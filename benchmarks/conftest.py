@@ -1,0 +1,34 @@
+"""Benchmark-suite configuration.
+
+Each benchmark module regenerates one table or figure of the paper.  The
+timed quantity is the experiment harness itself (workload generation +
+simulated execution); the *reproduced values* — the numbers the paper
+reports — are attached to ``benchmark.extra_info`` so a
+``--benchmark-json`` dump carries the full paper-vs-measured record.
+
+Environment knobs:
+
+* ``EGEMM_BENCH_FULL=1`` — run the paper's full problem sizes (slower;
+  the default sizes are scaled for CI, see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("EGEMM_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture
+def record(benchmark):
+    """Helper to attach paper-vs-measured pairs to the benchmark record."""
+
+    def _record(**kv):
+        for key, value in kv.items():
+            benchmark.extra_info[key] = value
+
+    return _record

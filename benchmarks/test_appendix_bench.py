@@ -1,0 +1,33 @@
+"""Benchmarks regenerating the Appendix A.3 artifact programs:
+``precision_test`` and the three performance anchors."""
+
+from conftest import full_scale
+
+from repro.experiments.appendix import run_performance_anchors, run_precision_test
+
+
+def test_precision_test(benchmark, record):
+    n = 1024 if full_scale() else 256
+    result = benchmark.pedantic(run_precision_test, kwargs={"n": n}, rounds=1, iterations=1)
+    record(
+        n=n,
+        max_emulation_error=f"{result.max_emulation_error:.8f}",
+        max_half_cublas_error=f"{result.max_half_cublas_error:.8f}",
+        ratio=f"{result.ratio:.6f}",
+        paper_example="0.00025177 / 0.13489914 -> ratio 0.00186636 at n=1024",
+    )
+    assert result.ratio < 0.01  # "error reduced by more than 100x"
+
+
+def test_performance_anchors(benchmark, record):
+    anchors = benchmark.pedantic(run_performance_anchors, rounds=1, iterations=1)
+    record(
+        paper="EGEMM ~12, cublas_CUDA_FP32 ~4, SDK_CUDA_FP32 ~1 TFLOPS",
+        measured=(
+            f"EGEMM {anchors.egemm:.1f}, cublas {anchors.cublas_fp32:.1f}, "
+            f"SDK {anchors.sdk_fp32:.1f} TFLOPS"
+        ),
+    )
+    assert 10.5 < anchors.egemm < 13.5
+    assert 3.3 < anchors.cublas_fp32 < 4.7
+    assert 0.8 < anchors.sdk_fp32 < 1.2

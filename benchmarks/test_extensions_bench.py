@@ -1,0 +1,45 @@
+"""Benchmarks for the extension studies: Ozaki int8, traffic-model
+validation, and calibration sensitivity."""
+
+from repro.experiments.ablations import run_ozaki_comparison
+from repro.experiments.sensitivity import run_sensitivity
+from repro.experiments.traffic_validation import validate_traffic_model
+
+
+def test_a6_ozaki_ladder(benchmark, record):
+    """The integer-pipe successor: precision per exact IMMA call."""
+    result = benchmark.pedantic(run_ozaki_comparison, rounds=1, iterations=1)
+    ladder = {r.slices: r.max_error_vs_exact for r in result["ladder"]}
+    record(
+        ozaki_errors={f"{s} slices ({s * s} calls)": f"{e:.2e}" for s, e in ladder.items()},
+        egemm_4call_error=f"{result['egemm_error']:.2e}",
+        finding="3 int8 slices land in the round-split class; 4 reach fp32-exact inputs",
+    )
+    assert ladder[2] > ladder[3] > ladder[4]
+    assert ladder[4] < result["egemm_error"]
+
+
+def test_traffic_model_validation(benchmark, record):
+    """Analytic wave-reuse DRAM model vs a functional L2 simulation."""
+    v = benchmark.pedantic(
+        validate_traffic_model, kwargs={"n": 2048, "iterations": 6}, rounds=1, iterations=1
+    )
+    record(
+        analytic_kb_per_block=f"{v.analytic_bytes_per_block / 1024:.0f}",
+        measured_kb_per_block=f"{v.measured_bytes_per_block / 1024:.0f}",
+        ratio=f"{v.ratio:.2f}",
+        l2_hit_rate=f"{v.l2_hit_rate:.0%}",
+    )
+    assert 0.8 <= v.ratio <= 2.0
+    assert v.l2_hit_rate > 0.7
+
+
+def test_calibration_sensitivity(benchmark, record):
+    """Headline ratios under +/-20% perturbation of every fitted constant."""
+    points = benchmark.pedantic(run_sensitivity, kwargs={"n": 4096}, rounds=1, iterations=1)
+    record(
+        vs_fp32_range=f"{min(p.speedup_vs_fp32 for p in points):.2f}-{max(p.speedup_vs_fp32 for p in points):.2f}x",
+        vs_emulation_range=f"{min(p.speedup_vs_emulation for p in points):.2f}-{max(p.speedup_vs_emulation for p in points):.2f}x",
+        orderings_hold=all(p.ordering_holds for p in points),
+    )
+    assert all(p.ordering_holds for p in points)

@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 11: benefit of instruction scheduling.
+
+Paper claim: the register-enhanced SASS-level latency hiding yields a
+1.14x average speedup; the CUDA interface cannot reach the same
+interleaving granularity.
+"""
+
+from conftest import full_scale
+
+from repro.experiments.common import DEFAULT_SIZES, FULL_PAPER_SIZES
+from repro.experiments.fig11 import run_fig11
+
+
+def test_fig11_latency_hiding(benchmark, record):
+    sizes = FULL_PAPER_SIZES if full_scale() else DEFAULT_SIZES
+    result = benchmark.pedantic(run_fig11, kwargs={"sizes": sizes}, rounds=1, iterations=1)
+    record(
+        sizes=list(result.sizes),
+        with_hiding_tflops=[round(v, 2) for v in result.with_hiding.y],
+        without_hiding_tflops=[round(v, 2) for v in result.without_hiding.y],
+        paper_avg_speedup="1.14x",
+        measured_avg_speedup=f"{result.avg_speedup:.2f}x",
+    )
+    assert 1.08 < result.avg_speedup < 1.4
+    assert all(w > wo for w, wo in zip(result.with_hiding.y, result.without_hiding.y))

@@ -1,0 +1,34 @@
+"""Benchmark regenerating Figure 12: scientific-computing acceleration.
+
+Paper claims: kMeans speeds up 1.3x (2048 points) to 1.82x (16384);
+kNN shows the same trend up to ~2.4x; speedups grow with data size both
+because the GEMM speedup grows and because GEMM dominates more.
+"""
+
+from repro.experiments.fig12 import DEFAULT_POINTS, run_fig12
+
+
+def test_fig12a_kmeans(benchmark, record):
+    result = benchmark.pedantic(run_fig12, kwargs={"app": "kmeans"}, rounds=1, iterations=1)
+    record(
+        points=list(result.points),
+        speedups=[round(v, 2) for v in result.speedup.y],
+        gemm_fraction=[round(v, 2) for v in result.baseline_gemm_fraction],
+        paper_range="1.3x @2048 -> 1.82x @16384",
+        measured_range=f"{result.speedup.y[0]:.2f}x -> {result.speedup.y[-1]:.2f}x",
+    )
+    assert result.speedup.y == sorted(result.speedup.y)
+    assert 1.2 < result.speedup.y[0] < 1.6
+    assert 1.7 < result.max_speedup < 2.1
+
+
+def test_fig12b_knn(benchmark, record):
+    result = benchmark.pedantic(run_fig12, kwargs={"app": "knn"}, rounds=1, iterations=1)
+    record(
+        points=list(result.points),
+        speedups=[round(v, 2) for v in result.speedup.y],
+        paper_range="up to ~2.4x, avg 1.7x",
+        measured_range=f"{result.speedup.y[0]:.2f}x -> {result.speedup.y[-1]:.2f}x",
+    )
+    assert result.speedup.y == sorted(result.speedup.y)
+    assert 2.0 < result.max_speedup < 2.7

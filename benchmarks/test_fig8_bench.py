@@ -1,0 +1,50 @@
+"""Benchmark regenerating Figure 8: vendor-kernel comparison on square
+matrices, Tesla T4 (8a) and RTX 6000 (8b).
+
+Paper claims: 3.13x average speedup over cuBLAS-CUDA-FP32, 1.35x over
+cuBLAS-TC-Emulation, larger speedups at larger sizes, same picture on
+both GPUs.
+"""
+
+from conftest import full_scale
+
+from repro.experiments.common import DEFAULT_SIZES, FULL_PAPER_SIZES
+from repro.experiments.fig8 import run_fig8
+from repro.gpu.spec import RTX6000, TESLA_T4
+
+
+def _sizes():
+    return FULL_PAPER_SIZES if full_scale() else DEFAULT_SIZES
+
+
+def test_fig8a_t4(benchmark, record):
+    result = benchmark.pedantic(
+        run_fig8, kwargs={"spec": TESLA_T4, "sizes": _sizes()}, rounds=1, iterations=1
+    )
+    record(
+        sizes=list(result.sizes),
+        egemm_tflops=[round(v, 2) for v in result.egemm.y],
+        cublas_fp32_tflops=[round(v, 2) for v in result.cublas_fp32.y],
+        cublas_tc_emulation_tflops=[round(v, 2) for v in result.cublas_tc_emulation.y],
+        paper_avg_vs_fp32="3.13x",
+        measured_avg_vs_fp32=f"{result.avg_speedup_vs_fp32:.2f}x",
+        paper_avg_vs_emulation="1.35x",
+        measured_avg_vs_emulation=f"{result.avg_speedup_vs_emulation:.2f}x",
+    )
+    assert 2.5 < result.avg_speedup_vs_fp32 < 3.7
+    assert 1.2 < result.avg_speedup_vs_emulation < 1.6
+
+
+def test_fig8b_rtx6000(benchmark, record):
+    result = benchmark.pedantic(
+        run_fig8, kwargs={"spec": RTX6000, "sizes": _sizes()}, rounds=1, iterations=1
+    )
+    record(
+        egemm_tflops=[round(v, 2) for v in result.egemm.y],
+        measured_avg_vs_fp32=f"{result.avg_speedup_vs_fp32:.2f}x",
+        paper_observation="similar benefits as on Tesla T4",
+    )
+    assert result.avg_speedup_vs_fp32 > 2.0
+    # absolute throughput scales with the bigger GPU
+    t4 = run_fig8(TESLA_T4, _sizes())
+    assert result.egemm.y[-1] > t4.egemm.y[-1]

@@ -1,0 +1,73 @@
+"""Library micro-benchmarks: throughput of the reproduction's own hot
+paths (the numerical core that every experiment runs through).
+
+These track the *Python library's* performance (regressions in the
+vectorized implementations), distinct from the simulated GPU TFLOPS the
+figure benchmarks report.
+"""
+
+import numpy as np
+import pytest
+
+from repro.emulation.gemm import EmulatedGemm
+from repro.emulation.schemes import EGEMM
+from repro.profiling.workflow import PrecisionProfiler
+from repro.splits.round import RoundSplit
+from repro.splits.truncate import TruncateSplit
+from repro.tensorcore.mma import InternalPrecision, mma
+
+
+@pytest.fixture(scope="module")
+def matrices():
+    rng = np.random.default_rng(0)
+    n = 512
+    return (
+        rng.uniform(-1, 1, (n, n)).astype(np.float32),
+        rng.uniform(-1, 1, (n, n)).astype(np.float32),
+    )
+
+
+def test_round_split_throughput(benchmark, matrices, record):
+    a, _ = matrices
+    split = RoundSplit()
+    pair = benchmark(split.split, a)
+    record(elements=a.size, effective_bits=split.effective_mantissa_bits)
+    assert pair.hi.shape == a.shape
+
+
+def test_truncate_split_throughput(benchmark, matrices):
+    a, _ = matrices
+    pair = benchmark(TruncateSplit().split, a)
+    assert pair.lo.shape == a.shape
+
+
+def test_emulated_gemm_512(benchmark, matrices, record):
+    a, b = matrices
+    gemm = EmulatedGemm(scheme=EGEMM)
+    d = benchmark(gemm, a, b)
+    useful = 2 * a.shape[0] * a.shape[1] * b.shape[1]
+    record(useful_flops=useful)
+    assert d.shape == (512, 512)
+
+
+def test_mma_primitive_tile(benchmark):
+    rng = np.random.default_rng(1)
+    a = rng.uniform(0, 1, (16, 16)).astype(np.float16)
+    b = rng.uniform(0, 1, (16, 16)).astype(np.float16)
+    out = benchmark(mma, a, b)
+    assert out.shape == (16, 16)
+
+
+def test_mma_float_probe_tile(benchmark):
+    """The sequential-fp32 probing model is the profiling hot path."""
+    rng = np.random.default_rng(2)
+    a = rng.uniform(0, 1, (16, 16)).astype(np.float16)
+    b = rng.uniform(0, 1, (16, 16)).astype(np.float16)
+    out = benchmark(lambda: mma(a, b, precision=InternalPrecision.FLOAT))
+    assert out.shape == (16, 16)
+
+
+def test_profiler_100_trials(benchmark):
+    profiler = PrecisionProfiler()
+    result = benchmark.pedantic(profiler.run, kwargs={"trials": 100}, rounds=1, iterations=1)
+    assert result.agreements

@@ -1,0 +1,26 @@
+"""Benchmark regenerating E2: the Tensor Core precision profiling
+(Figures 2-3, Appendix A.3 'Profiling').
+
+Paper claim: over 10,000 randomized trials, d_TC is bit-wise identical to
+d_FLOAT up to 21 mantissa bits, while the half-precision hypothesis is
+rejected immediately.
+"""
+
+from conftest import full_scale
+
+from repro.experiments.profiling_exp import PAPER_TRIALS, run_profiling
+
+
+def test_precision_profiling(benchmark, record):
+    trials = PAPER_TRIALS if full_scale() else 1500
+    exp = benchmark.pedantic(run_profiling, kwargs={"trials": trials}, rounds=1, iterations=1)
+    record(
+        trials=trials,
+        paper_float_min_bits=21,
+        measured_float_min_bits=exp.float_min_bits,
+        measured_half_min_bits=exp.half_min_bits,
+        verdict=exp.result.verdict()[:80],
+    )
+    assert exp.supports_extended_precision
+    assert exp.float_min_bits >= 21
+    assert exp.half_min_bits < 21

@@ -1,0 +1,67 @@
+"""Benchmarks regenerating Tables 1-5 (experiments E1, E11, E12, E13, E15)."""
+
+from repro.experiments.tables import (
+    run_table1,
+    run_table2,
+    run_table2_measured,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+
+def test_table1_formats(benchmark, record):
+    rows = benchmark(run_table1)
+    by_name = {r["data_type"]: r["mantissa"] for r in rows}
+    record(
+        paper_half_mantissa=10,
+        paper_extended_mantissa=21,
+        measured_half_mantissa=by_name["half"],
+        measured_extended_mantissa=by_name["extended"],
+    )
+    assert by_name == {"half": 10, "single": 23, "markidis": 20, "extended": 21}
+
+
+def test_table2_analytic_traffic(benchmark, record):
+    rows = benchmark(run_table2)
+    by_type = {r["type"]: r for r in rows}
+    record(
+        alo_saving=by_type["Alo"]["saving"],
+        c_saving=by_type["C"]["saving"],
+        paper_claim="FRAG caching removes the bk/tk reload factor",
+    )
+    assert by_type["Alo"]["w/o FRAG caching"] > by_type["Alo"]["w/ FRAG caching"]
+
+
+def test_table2_measured_traffic(benchmark, record):
+    measured = benchmark(run_table2_measured, n=48)
+    record(
+        measured_saving=round(measured["measured_saving"], 2),
+        frag_hit_rate=round(measured["frag_hit_rate"], 3),
+    )
+    assert measured["measured_saving"] > 2.0
+
+
+def test_table3_budget(benchmark, record):
+    rows = benchmark(run_table3)
+    record(**{r["resource"].replace(" ", "_"): r["budget"] for r in rows})
+    assert len(rows) == 4
+
+
+def test_table4_solver(benchmark, record):
+    rows = benchmark(run_table4)
+    values = {r["item"]: r["value"] for r in rows}
+    record(
+        paper_block_tiling="(128, 128, 32)",
+        measured_block_tiling=values["(bm, bn, bk)"],
+        paper_warp_tiling="(64, 32, 8)",
+        measured_warp_tiling=values["(wm, wn, wk)"],
+    )
+    assert values["(bm, bn, bk)"] == "(128, 128, 32)"
+    assert values["(wm, wn, wk)"] == "(64, 32, 8)"
+
+
+def test_table5_inventory(benchmark, record):
+    rows = benchmark(run_table5)
+    record(kernels=len(rows))
+    assert len(rows) == 7

@@ -1,0 +1,112 @@
+"""Export every figure's data series as CSV (plot-ready artifact output).
+
+Regenerates Figures 7–12 plus the ablation ladder and writes one CSV per
+figure under ``figures/`` — the files a plotting script (or the paper's
+camera-ready pipeline) would consume.  No plotting library is required
+or used; the CSVs are the deliverable.
+
+Usage::
+
+    python examples/export_figures.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import csv
+import sys
+from pathlib import Path
+
+from repro.experiments import (
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+)
+from repro.experiments.ablations import run_overhead_ladder
+from repro.gpu.spec import RTX6000, TESLA_T4
+
+
+def _write(path: Path, header: list[str], rows: list[list[object]]) -> None:
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+    print(f"  wrote {path} ({len(rows)} rows)")
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("figures")
+    out.mkdir(parents=True, exist_ok=True)
+    print(f"exporting figure data to {out}/")
+
+    f7 = run_fig7(sizes=(128, 256, 512, 1024), samples=2)
+    _write(
+        out / "fig7_precision.csv",
+        ["n", "egemm_tc_max_error", "markidis_max_error", "cublas_tc_half_max_error"],
+        [[n, e, m, h] for n, e, m, h in zip(f7.sizes, f7.egemm.y, f7.markidis.y, f7.half.y)],
+    )
+
+    for spec, tag in ((TESLA_T4, "t4"), (RTX6000, "rtx6000")):
+        f8 = run_fig8(spec)
+        _write(
+            out / f"fig8_{tag}.csv",
+            ["n", "cublas_cuda_fp32_tflops", "cublas_tc_emulation_tflops", "egemm_tc_tflops"],
+            [
+                [n, f, e, g]
+                for n, f, e, g in zip(
+                    f8.sizes, f8.cublas_fp32.y, f8.cublas_tc_emulation.y, f8.egemm.y
+                )
+            ],
+        )
+
+    for family, tag in (("NxNx2N", "fig9a_k_skew"), ("4NxNxN", "fig9b_m_skew")):
+        f9 = run_fig9(family)
+        _write(
+            out / f"{tag}.csv",
+            ["m", "n", "k", "cublas_cuda_fp32", "cublas_tc_emulation", "egemm_tc"],
+            [
+                [m, n, k, f, e, g]
+                for (m, n, k), f, e, g in zip(
+                    f9.shapes, f9.cublas_fp32.y, f9.cublas_tc_emulation.y, f9.egemm.y
+                )
+            ],
+        )
+
+    f10 = run_fig10()
+    _write(
+        out / "fig10_opensource.csv",
+        ["n", "sdk_cuda_fp32", "markidis", "egemm_tc"],
+        [[n, s, m, e] for n, s, m, e in zip(f10.sizes, f10.sdk.y, f10.markidis.y, f10.egemm.y)],
+    )
+
+    f11 = run_fig11()
+    _write(
+        out / "fig11_latency_hiding.csv",
+        ["n", "without_hiding_tflops", "with_hiding_tflops"],
+        [[n, wo, w] for n, wo, w in zip(f11.sizes, f11.without_hiding.y, f11.with_hiding.y)],
+    )
+
+    for app in ("kmeans", "knn"):
+        f12 = run_fig12(app)
+        _write(
+            out / f"fig12_{app}.csv",
+            ["data_points", "speedup", "baseline_gemm_fraction"],
+            [
+                [n, s, f]
+                for n, s, f in zip(f12.points, f12.speedup.y, f12.baseline_gemm_fraction)
+            ],
+        )
+
+    ladder = run_overhead_ladder()
+    _write(
+        out / "ablation_overhead_ladder.csv",
+        ["scheme", "core_calls", "effective_bits", "max_error_vs_exact", "tflops"],
+        [[r.name, r.core_calls, r.effective_bits, r.max_error_vs_exact, r.tflops] for r in ladder],
+    )
+    print("done")
+
+
+if __name__ == "__main__":
+    main()

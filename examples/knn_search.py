@@ -1,0 +1,60 @@
+"""GEMM-based kNN for high-dimensional feature matching (§7.5 / [9]).
+
+Garcia et al.'s GPU kNN computes the full distance matrix as a GEMM (85%
+of runtime) and selects the k smallest per query — the classic
+image-feature-matching workload.  This example:
+
+* matches synthetic SIFT-like descriptors against a reference set,
+* verifies that EGEMM-TC-backed neighbors equal the fp32 baseline's
+  while plain half-precision flips near-ties,
+* prints the modelled end-to-end speedup sweep (Figure 12b).
+
+Usage::
+
+    python examples/knn_search.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CublasCudaFp32, CublasTcHalf, EgemmTcKernel, KnnSearch
+from repro.apps.datasets import descriptor_set
+from repro.apps.knn import KnnWorkload
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    ref, queries, truth = descriptor_set(rng)
+    print(f"matching {queries.shape[0]} queries against {ref.shape[0]} descriptors with near-duplicate twins (dim=128)")
+
+    results = {}
+    for name, kernel in (
+        ("cuBLAS-CUDA-FP32", CublasCudaFp32()),
+        ("EGEMM-TC", EgemmTcKernel()),
+        ("cuBLAS-TC-Half", CublasTcHalf()),
+    ):
+        knn = KnnSearch(k=5, kernel=kernel).fit(ref)
+        _, idx = knn.kneighbors(queries)
+        results[name] = idx
+        recall = float((idx[:, 0] == truth).mean())
+        print(f"  {name:<18} top-1 recall of the true source descriptor: {recall:.3f}")
+
+    same_egemm = float((results["EGEMM-TC"] == results["cuBLAS-CUDA-FP32"]).mean())
+    same_half = float((results["cuBLAS-TC-Half"] == results["cuBLAS-CUDA-FP32"]).mean())
+    print(f"\nneighbor-list agreement with the fp32 baseline:")
+    print(f"  EGEMM-TC       : {same_egemm:.4f}")
+    print(f"  cuBLAS-TC-Half : {same_half:.4f}")
+
+    print("\nmodelled end-to-end speedup of the open-source kNN [9] (Fig. 12b):")
+    wl = KnnWorkload()
+    for n in (2048, 8192, 16384):
+        base, fast, s = wl.speedup(n)
+        print(
+            f"  {n:>6} points: {s:.2f}x  "
+            f"(GEMM share of baseline runtime: {base.gemm_fraction:.0%})"
+        )
+
+
+if __name__ == "__main__":
+    main()

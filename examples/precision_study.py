@@ -1,0 +1,58 @@
+"""Precision anatomy: the profiling workflow and the split algorithms.
+
+Walks the paper's §3 story interactively:
+
+1. run the generalized precision-profiling workflow against the simulated
+   Tensor Core and print the Appendix-style report (which hypothesis about
+   the core's internal precision survives bit-wise comparison),
+2. dissect one value through round-split vs truncate-split, showing the
+   recovered bits,
+3. sweep Figure 7's emulation-precision comparison at small sizes.
+
+Usage::
+
+    python examples/precision_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PrecisionProfiler, round_split, truncate_split
+from repro.experiments.fig7 import run_fig7
+from repro.fp import hex_bits
+from repro.profiling import TileGenerator, format_profiling_report
+
+
+def main() -> None:
+    # --- 1. precision profiling (Figure 2a / Figure 3) -----------------
+    print("=== precision profiling of the simulated Tensor Core ===")
+    result = PrecisionProfiler().run(trials=1000, generator=TileGenerator(seed=0))
+    print(format_profiling_report(result))
+
+    # --- 2. split anatomy (Figure 4) ------------------------------------
+    # A value that is *not* on the fp16 grid, so both splits must work:
+    # round-split's high part rounds up and leaves a negative residual
+    # (the extra sign-encoded bit); truncate-split chops and loses it.
+    print("\n=== split anatomy of x = 0.7005 ===")
+    x = np.array([0.7005], dtype=np.float32)
+    for name, split in (("round-split", round_split), ("truncate-split", truncate_split)):
+        pair = split(x)
+        hi, lo = float(pair.hi[0]), float(pair.lo[0])
+        residual = float(x[0]) - (hi + lo)
+        print(f"{name}:")
+        print(f"  x   = {float(x[0]):+.9f}  {hex_bits(float(x[0]))}")
+        print(f"  hi  = {hi:+.9f}  (fp16 {hex_bits(hi, np.float16)})")
+        print(f"  lo  = {lo:+.9f}  (fp16 {hex_bits(lo, np.float16)}, sign bit used: {lo < 0})")
+        print(f"  residual |x - (hi + lo)| = {abs(residual):.3e}")
+
+    # --- 3. Figure 7 at small scale --------------------------------------
+    print("\n=== emulation precision sweep (Figure 7, scaled) ===")
+    fig7 = run_fig7(sizes=(128, 256, 512), samples=2)
+    print(fig7.table())
+    print(f"\nerror reduction vs cuBLAS-TC-Half : {fig7.avg_half_over_egemm:.0f}x (paper ~350x)")
+    print(f"round vs truncate, split level    : {fig7.split_level_ratio:.2f}x (paper 2.33x)")
+
+
+if __name__ == "__main__":
+    main()

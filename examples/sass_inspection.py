@@ -1,0 +1,74 @@
+"""SASS-level inspection: the §5 optimizations, instruction by instruction.
+
+Walks the reproduction's lowest layer the way the artifact's README walks
+its .sass files:
+
+1. generate the EGEMM-TC steady-state iteration in both instruction
+   orders (Figure 6) and print the listing heads,
+2. validate the listings (register budget, def-before-use, barriers) and
+   demonstrate the architecture gate (the artifact's "Turing required" /
+   V100-segfault rule, §A.2),
+3. round-trip the listing through the text assembler (the TuringAs role),
+4. render the timing simulator's issue timeline for both orders.
+
+Usage::
+
+    python examples/sass_inspection.py
+"""
+
+from __future__ import annotations
+
+from repro.gpu.arch import TURING, VOLTA, UnsupportedArchitectureError, check_listing
+from repro.gpu.assembler import parse
+from repro.gpu.sass import validate
+from repro.gpu.scheduler import schedule
+from repro.gpu.spec import TESLA_T4
+from repro.gpu.timeline import render_timeline
+from repro.tensorize.codegen import build_register_map, generate_iteration_sass
+from repro.tensorize.kernel import build_gemm_stream
+from repro.tensorize.plan import TensorizationPlan
+from repro.tensorize.tiling import T4_TILING
+
+
+def main() -> None:
+    regmap = build_register_map()
+    print(f"register map: {regmap.total} registers/thread (paper: 232 of 256)")
+    print(f"  C fragments   R{regmap.c_base}-R{regmap.c_base + regmap.c_count - 1}")
+    print(f"  A/B fragments R{regmap.frag_base[0]}-R{regmap.frag_base[1] + regmap.frag_count - 1} (double-buffered)")
+    print(f"  LDG staging   R{regmap.stage_base[0]}-R{regmap.stage_base[1] + regmap.stage_count - 1} (double-buffered)")
+    print(f"  addressing    R{regmap.addr_base}-R{regmap.addr_base + regmap.addr_count - 1}")
+    print(f"  context       R{regmap.context_base}-R{regmap.context_base + regmap.context_count - 1}")
+
+    for hiding, title in ((True, "Figure 6, right (pipelined)"), (False, "Figure 6, left (naive)")):
+        listing = generate_iteration_sass(latency_hiding=hiding)
+        validate(listing, max_registers=256)
+        print(f"\n=== {title}: {len(listing)} instructions/warp/iteration ===")
+        print("\n".join(listing.render().splitlines()[:8]))
+        print("  ...")
+
+    # Architecture gating (§A.2's GPU requirement).
+    listing = generate_iteration_sass()
+    check_listing(listing, TURING)
+    print("\nTuring: listing accepted (HMMA.1688 encoded)")
+    try:
+        check_listing(listing, VOLTA)
+    except UnsupportedArchitectureError as err:
+        print(f"Volta:  {err}")
+
+    # Round-trip through the text assembler.
+    reparsed = parse(listing.render(), live_in=listing.live_in)
+    validate(reparsed, 256)
+    assert reparsed.render().splitlines()[1:] == listing.render().splitlines()[1:]
+    print("\nassembler round-trip: text -> listing -> text is identical")
+
+    # Issue timelines of a few iterations on the timing simulator.
+    plan = TensorizationPlan(512, 512, 512, T4_TILING)
+    for hiding in (True, False):
+        stream = build_gemm_stream(plan, latency_hiding=hiding)
+        cycles = schedule(stream, TESLA_T4).total_cycles
+        print(f"\n--- timeline ({'pipelined' if hiding else 'naive'}), {cycles:,.0f} cycles ---")
+        print(render_timeline(stream, TESLA_T4, width=90))
+
+
+if __name__ == "__main__":
+    main()

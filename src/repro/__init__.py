@@ -1,0 +1,131 @@
+"""EGEMM-TC reproduction: extended-precision emulated GEMM on (simulated)
+Tensor Cores.
+
+Reproduces *EGEMM-TC: Accelerating Scientific Computing on Tensor Cores
+with Extended Precision* (Feng et al., PPoPP 2021) as a pure-Python
+library: a bit-accurate Tensor Core functional simulator, the round-split
+4-instruction emulation algorithm, the tensorized kernel with FRAG caching
+and SASS-level latency hiding, a cycle-approximate GPU timing model, the
+hardware-aware analytic autotuner, and the GEMM-based scientific-computing
+applications (kMeans, kNN, PCA).
+
+Quickstart::
+
+    import numpy as np
+    from repro import egemm, EgemmTcKernel
+
+    a = np.random.uniform(-1, 1, (512, 512)).astype(np.float32)
+    b = np.random.uniform(-1, 1, (512, 512)).astype(np.float32)
+    d = egemm(a, b)                      # extended-precision D = A @ B
+
+    kernel = EgemmTcKernel()
+    print(kernel.tflops(8192, 8192, 8192))   # simulated T4 throughput
+
+Subpackages: :mod:`repro.fp` (float formats and bit views),
+:mod:`repro.splits` (round/truncate/Dekker splits), :mod:`repro.tensorcore`
+(the simulated compute primitive), :mod:`repro.profiling` (the generalized
+emulation-design workflow), :mod:`repro.emulation` (Algorithm 1),
+:mod:`repro.gpu` (the timing simulator), :mod:`repro.tensorize` (§4),
+:mod:`repro.model` (§6), :mod:`repro.kernels` (Table 5),
+:mod:`repro.apps` (§7.5), :mod:`repro.experiments` (every table/figure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .apps import KMeans, KnnSearch, PCA
+from .emulation import (
+    EGEMM,
+    HALF,
+    MARKIDIS,
+    EmulatedGemm,
+    EmulationScheme,
+    emulated_gemm,
+    get_scheme,
+    reference_exact,
+    reference_single,
+)
+from .gpu import RTX6000, TESLA_T4, GpuSpec, get_gpu
+from .kernels import (
+    CublasCudaFp32,
+    CublasTcEmulation,
+    CublasTcHalf,
+    EgemmTcKernel,
+    GemmKernel,
+    MarkidisKernel,
+    SdkCudaFp32,
+    get_kernel,
+)
+from .model import solve as autotune
+from .profiling import PrecisionProfiler
+from .splits import RoundSplit, TruncateSplit, round_split, truncate_split
+from .tensorcore import InternalPrecision, mma
+from .verify import VerificationError, verify as selfcheck
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "egemm",
+    "KMeans",
+    "KnnSearch",
+    "PCA",
+    "EGEMM",
+    "HALF",
+    "MARKIDIS",
+    "EmulatedGemm",
+    "EmulationScheme",
+    "emulated_gemm",
+    "get_scheme",
+    "reference_exact",
+    "reference_single",
+    "RTX6000",
+    "TESLA_T4",
+    "GpuSpec",
+    "get_gpu",
+    "CublasCudaFp32",
+    "CublasTcEmulation",
+    "CublasTcHalf",
+    "EgemmTcKernel",
+    "GemmKernel",
+    "MarkidisKernel",
+    "SdkCudaFp32",
+    "get_kernel",
+    "autotune",
+    "PrecisionProfiler",
+    "RoundSplit",
+    "TruncateSplit",
+    "round_split",
+    "truncate_split",
+    "InternalPrecision",
+    "mma",
+    "VerificationError",
+    "selfcheck",
+    "__version__",
+]
+
+_SCHEME_ALIASES = {"egemm-tc": "egemm-tc", "egemm": "egemm-tc"}
+
+
+def egemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+    scheme: str = "egemm-tc",
+    trans_a: bool = False,
+    trans_b: bool = False,
+) -> np.ndarray:
+    """Extended-precision ``D = op(A) @ op(B) + C`` — the library's front door.
+
+    ``scheme`` selects the emulation: 'egemm-tc' (default, round-split),
+    'markidis' (truncate-split), 'half', or 'dekker'.  ``trans_a`` /
+    ``trans_b`` apply BLAS-style transposes to the operands (zero-copy
+    views; the split handles any memory layout).
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if trans_a:
+        a = a.T
+    if trans_b:
+        b = b.T
+    return emulated_gemm(a, b, c, scheme=get_scheme(_SCHEME_ALIASES.get(scheme, scheme)))

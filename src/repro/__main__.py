@@ -1,0 +1,80 @@
+"""Command-line entry point: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro                      # everything (the artifact's "make all")
+    python -m repro tables               # Tables 1-5
+    python -m repro profiling            # Figures 2-3 / Appendix profiling
+    python -m repro fig7 ... fig12       # individual figures
+    python -m repro appendix             # Appendix precision_test + anchors
+    python -m repro ablations            # design-choice ablations (A1-A4)
+    python -m repro generality           # TF32-core workflow generality
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .experiments import ablations, appendix, fig6, fig7, fig8, fig9, fig10, fig11, fig12
+from .experiments import generality, profiling_exp, report, sensitivity, tables, traffic_validation
+
+_EXPERIMENTS = {
+    "tables": tables.main,
+    "fig6": fig6.main,
+    "profiling": profiling_exp.main,
+    "fig7": fig7.main,
+    "fig8": fig8.main,
+    "fig9": fig9.main,
+    "fig10": fig10.main,
+    "fig11": fig11.main,
+    "fig12": fig12.main,
+    "appendix": appendix.main,
+    "ablations": ablations.main,
+    "generality": generality.main,
+    "report": report.main,
+    "sensitivity": sensitivity.main,
+    "traffic": traffic_validation.main,
+}
+
+#: everything except the slow full-trial profiling run
+_DEFAULT_ORDER = (
+    "tables",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "appendix",
+    "ablations",
+    "generality",
+    "sensitivity",
+    "traffic",
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if args and args[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    names = args or list(_DEFAULT_ORDER)
+    unknown = [n for n in names if n not in _EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for i, name in enumerate(names):
+        if i:
+            print("\n" + "=" * 72 + "\n")
+        print(f"### {name} ###\n")
+        _EXPERIMENTS[name]()
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:  # piping into head/less is fine
+        raise SystemExit(0)

@@ -1,0 +1,27 @@
+"""GEMM-based scientific computing applications (§7.5): kMeans, kNN, and
+PCA, each running its GEMM through a pluggable kernel, plus the Amdahl
+end-to-end timing models behind Figure 12."""
+
+from .common import AppTiming, app_speedup, non_gemm_seconds
+from .datasets import descriptor_set, expression_profiles, gaussian_blobs, spd_matrix
+from .kmeans import KMeans, KMeansWorkload
+from .knn import KnnSearch, KnnWorkload
+from .pca import PCA
+from .power_iteration import PowerIteration, SubspaceIteration
+
+__all__ = [
+    "AppTiming",
+    "descriptor_set",
+    "expression_profiles",
+    "gaussian_blobs",
+    "spd_matrix",
+    "app_speedup",
+    "non_gemm_seconds",
+    "KMeans",
+    "KMeansWorkload",
+    "KnnSearch",
+    "KnnWorkload",
+    "PCA",
+    "PowerIteration",
+    "SubspaceIteration",
+]

@@ -1,0 +1,99 @@
+"""Synthetic dataset generators for the application studies.
+
+The paper motivates kMeans/kNN with gene analysis [31], environmental
+science [19], and astronomy [18]; the examples and tests need matching
+synthetic workloads with controllable difficulty.  All generators are
+seeded and return float32.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gaussian_blobs", "descriptor_set", "spd_matrix", "expression_profiles"]
+
+
+def gaussian_blobs(
+    rng: np.random.Generator,
+    clusters: int = 4,
+    per_cluster: int = 100,
+    dim: int = 16,
+    center_scale: float = 5.0,
+    spread: float = 0.3,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Isotropic Gaussian clusters: (points, labels, centroids)."""
+    if clusters <= 0 or per_cluster <= 0 or dim <= 0:
+        raise ValueError("clusters, per_cluster and dim must be positive")
+    centroids = rng.normal(0, center_scale, (clusters, dim)).astype(np.float32)
+    points = np.vstack(
+        [c + rng.normal(0, spread, (per_cluster, dim)) for c in centroids]
+    ).astype(np.float32)
+    labels = np.repeat(np.arange(clusters), per_cluster)
+    return points, labels, centroids
+
+
+def descriptor_set(
+    rng: np.random.Generator,
+    n_base: int = 400,
+    n_query: int = 100,
+    dim: int = 128,
+    twin_noise: float = 1e-3,
+    query_noise: float = 0.02,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Unit-norm descriptors with near-duplicate twins (kNN stress case).
+
+    Returns (reference, queries, true_indices): every base descriptor
+    gets a twin ``twin_noise`` away (interleaved, twins at odd indices),
+    creating top-1/top-2 margins far below half-precision GEMM error but
+    far above the extended-precision emulation's.
+    """
+    base = rng.normal(0, 1, (n_base, dim)).astype(np.float32)
+    base /= np.linalg.norm(base, axis=1, keepdims=True)
+    twins = base + twin_noise * rng.normal(0, 1, (n_base, dim)).astype(np.float32)
+    twins /= np.linalg.norm(twins, axis=1, keepdims=True)
+    ref = np.empty((2 * n_base, dim), dtype=np.float32)
+    ref[0::2] = base
+    ref[1::2] = twins
+    picks = rng.choice(n_base, size=n_query, replace=False)
+    queries = base[picks] + query_noise * rng.normal(0, 1, (n_query, dim)).astype(np.float32)
+    queries /= np.linalg.norm(queries, axis=1, keepdims=True)
+    return ref, queries.astype(np.float32), 2 * picks
+
+
+def spd_matrix(
+    rng: np.random.Generator, n: int = 48, spectrum: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetric matrix with a prescribed spectrum: (A, sorted_spectrum).
+
+    Used by the power-iteration app tests/examples; the spectrum controls
+    the convergence rate (eigenvalue gaps) directly.
+    """
+    if spectrum is None:
+        spectrum = np.linspace(1.0, 10.0, n)
+    spectrum = np.asarray(spectrum, dtype=np.float64)
+    if spectrum.shape != (n,):
+        raise ValueError(f"spectrum must have shape ({n},)")
+    q, _ = np.linalg.qr(rng.normal(0, 1, (n, n)))
+    a = (q * spectrum) @ q.T
+    return a.astype(np.float32), np.sort(spectrum)[::-1]
+
+
+def expression_profiles(
+    rng: np.random.Generator,
+    clusters: int = 6,
+    per_cluster: int = 150,
+    genes: int = 96,
+    separation: float = 0.9,
+    spread: float = 0.35,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gene-expression-style data: log-normal-ish, close cluster pairs.
+
+    Returns (profiles, labels).  The deliberately small ``separation``
+    puts centroids close enough that half-precision distances bias the
+    clustering objective — the precision-sensitivity regime of [31].
+    """
+    base = rng.normal(0, 1, (1, genes))
+    centroids = base + separation * rng.normal(0, 1, (clusters, genes))
+    x = np.vstack([c + spread * rng.normal(0, 1, (per_cluster, genes)) for c in centroids])
+    labels = np.repeat(np.arange(clusters), per_cluster)
+    return np.exp(0.1 * x).astype(np.float32), labels

@@ -1,0 +1,103 @@
+"""GEMM-based k-nearest-neighbor search (Fig. 12b; Garcia et al. [9]).
+
+The fast GPU kNN of Garcia et al. computes the full query-reference
+distance matrix as a GEMM (85% of runtime) and then selects the k
+smallest entries per query:
+
+    D^2 = ||q||^2 - 2 Q R^T + ||r||^2
+
+As with kMeans, the cross-term GEMM runs through a pluggable kernel;
+selection is vectorized ``argpartition``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpu.spec import TESLA_T4, GpuSpec
+from ..kernels.base import GemmKernel
+from ..kernels.cublas import CublasCudaFp32
+from ..kernels.egemm import EgemmTcKernel
+from .common import AppTiming, app_speedup, non_gemm_seconds
+
+__all__ = ["KnnSearch", "KnnWorkload"]
+
+
+@dataclass
+class KnnSearch:
+    """Exact kNN over a reference set, distances via a GEMM kernel."""
+
+    k: int
+    kernel: GemmKernel = field(default_factory=EgemmTcKernel)
+
+    reference_: np.ndarray | None = None
+    _ref_norms: np.ndarray | None = None
+
+    def fit(self, reference: np.ndarray) -> "KnnSearch":
+        """Index the (n_ref, dim) reference points."""
+        ref = np.asarray(reference, dtype=np.float32)
+        if ref.ndim != 2:
+            raise ValueError("reference must be 2-D (points, features)")
+        if not 1 <= self.k <= ref.shape[0]:
+            raise ValueError("need 1 <= k <= n_reference")
+        self.reference_ = ref
+        self._ref_norms = np.einsum("ij,ij->i", ref, ref, dtype=np.float64).astype(np.float32)
+        return self
+
+    def squared_distances(self, queries: np.ndarray) -> np.ndarray:
+        """(n_query, n_ref) squared euclidean distance matrix."""
+        if self.reference_ is None:
+            raise RuntimeError("fit() first")
+        q = np.asarray(queries, dtype=np.float32)
+        cross = self.kernel.compute(q, self.reference_.T)
+        q_norm = np.einsum("ij,ij->i", q, q, dtype=np.float64).astype(np.float32)
+        return np.maximum(q_norm[:, None] - 2.0 * cross + self._ref_norms[None, :], 0.0)
+
+    def kneighbors(self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return (distances, indices), each (n_query, k), ascending."""
+        d2 = self.squared_distances(queries)
+        part = np.argpartition(d2, self.k - 1, axis=1)[:, : self.k]
+        rows = np.arange(d2.shape[0])[:, None]
+        order = np.argsort(d2[rows, part], axis=1, kind="stable")
+        idx = part[rows, order]
+        return np.sqrt(d2[rows, idx]), idx
+
+
+@dataclass
+class KnnWorkload:
+    """Figure 12b's workload: speedup vs number of data points.
+
+    Queries and references both scale with the data-point count (the
+    kNN benchmark of [9] matches a set against itself); defaults give the
+    baseline an ~85% GEMM fraction at the largest size.
+    """
+
+    dim: int = 512
+    non_gemm_inefficiency: float = 3.0
+    non_gemm_fixed_seconds: float = 1.0e-3
+
+    def gemm_shape(self, n_points: int) -> tuple[int, int, int]:
+        return (n_points, n_points, self.dim)
+
+    def non_gemm_seconds(self, n_points: int, spec: GpuSpec = TESLA_T4) -> float:
+        # Selection scans the full distance matrix.
+        bytes_touched = n_points * n_points * 4.0
+        return non_gemm_seconds(
+            bytes_touched, spec, self.non_gemm_inefficiency, self.non_gemm_fixed_seconds
+        )
+
+    def speedup(
+        self,
+        n_points: int,
+        spec: GpuSpec = TESLA_T4,
+        baseline: GemmKernel | None = None,
+        accelerated: GemmKernel | None = None,
+    ) -> tuple[AppTiming, AppTiming, float]:
+        """(baseline timing, accelerated timing, end-to-end speedup)."""
+        baseline = baseline or CublasCudaFp32()
+        accelerated = accelerated or EgemmTcKernel()
+        return app_speedup(
+            baseline, accelerated, self.gemm_shape(n_points), self.non_gemm_seconds(n_points, spec), spec
+        )

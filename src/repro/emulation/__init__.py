@@ -1,0 +1,27 @@
+"""The paper's core contribution: lightweight extended-precision GEMM
+emulation on (simulated) Tensor Cores — Algorithm 1 and its large-matrix
+driver, plus the baseline emulation schemes."""
+
+from .algorithm import emulate_tile, emulate_tile_wmma
+from .extended import EGEMM3, ThreeTermScheme
+from .gemm import EmulatedGemm, GemmStats, emulated_gemm, reference_exact, reference_single
+from .schemes import DEKKER, EGEMM, HALF, MARKIDIS, SCHEMES, EmulationScheme, get_scheme
+
+__all__ = [
+    "EGEMM3",
+    "ThreeTermScheme",
+    "emulate_tile",
+    "emulate_tile_wmma",
+    "EmulatedGemm",
+    "GemmStats",
+    "emulated_gemm",
+    "reference_exact",
+    "reference_single",
+    "DEKKER",
+    "EGEMM",
+    "HALF",
+    "MARKIDIS",
+    "SCHEMES",
+    "EmulationScheme",
+    "get_scheme",
+]

@@ -1,0 +1,94 @@
+"""Algorithm 1 — the lightweight GEMM emulation on one primitive-sized tile.
+
+Two functionally equivalent realizations are provided:
+
+* :func:`emulate_tile` — the fast path: issues the scheme's partial
+  products straight to the :func:`~repro.tensorcore.mma.mma` primitive
+  (what a SASS kernel does with raw HMMA instructions);
+* :func:`emulate_tile_wmma` — the literate path: walks the full CUDA-style
+  fragment API (``load_matrix_sync`` / ``mma_sync`` / ``store_matrix_sync``)
+  exactly as Algorithm 1 is written, used by integration tests to pin the
+  two paths together.
+
+Both take single-precision A, B, C and return ``D = A x B + C`` with the
+scheme's extended precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensorcore.fragment import FragmentRole
+from ..tensorcore.mma import InternalPrecision, MmaCounter, MmaShape, mma
+from ..tensorcore.wmma import WmmaContext, load_matrix_sync, mma_sync, store_matrix_sync
+from .schemes import EGEMM, EmulationScheme
+
+__all__ = ["emulate_tile", "emulate_tile_wmma"]
+
+
+def emulate_tile(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+    scheme: EmulationScheme = EGEMM,
+    precision: InternalPrecision = InternalPrecision.TENSOR_CORE,
+    counter: MmaCounter | None = None,
+) -> np.ndarray:
+    """Algorithm 1 on a tile that fits the compute primitive directly.
+
+    Lines 2-3 (Round-Split of A and B) happen in ``scheme.split_operands``;
+    lines 5-8 are the chained ``mma`` calls, with the core's native fp32
+    accumulator carrying the data combination.
+    """
+    a32 = np.asarray(a, dtype=np.float32)
+    b32 = np.asarray(b, dtype=np.float32)
+    if a32.ndim != 2 or b32.ndim != 2 or a32.shape[1] != b32.shape[0]:
+        raise ValueError("emulate_tile expects (m,k) @ (k,n) matrices")
+    m, n = a32.shape[0], b32.shape[1]
+    d = np.zeros((m, n), dtype=np.float32) if c is None else np.asarray(c, dtype=np.float32)
+
+    pa, pb = scheme.split_operands(a32, b32)
+    for a_part, b_part in scheme.product_terms(pa, pb):
+        d = mma(a_part, b_part, d, precision=precision, counter=counter)
+    return d
+
+
+def emulate_tile_wmma(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+    scheme: EmulationScheme = EGEMM,
+    ctx: WmmaContext | None = None,
+) -> np.ndarray:
+    """Algorithm 1 through the fragment-level WMMA API, verbatim.
+
+    Requires the operands to match the context's primitive shape (16x16x16
+    by default); raises otherwise — larger matrices go through the
+    tensorized driver in :mod:`repro.emulation.gemm`.
+    """
+    a32 = np.asarray(a, dtype=np.float32)
+    b32 = np.asarray(b, dtype=np.float32)
+    m, k = a32.shape
+    n = b32.shape[1]
+    if ctx is None:
+        ctx = WmmaContext()  # the 16x16x16 WMMA primitive
+    if (m, n, k) != (ctx.shape.m, ctx.shape.n, ctx.shape.k):
+        raise ValueError(f"tile {(m, n, k)} does not fit primitive shape {ctx.shape}")
+
+    pa, pb = scheme.split_operands(a32, b32)
+
+    frag_a = ctx.fragment(FragmentRole.MATRIX_A)
+    frag_b = ctx.fragment(FragmentRole.MATRIX_B)
+    frag_acc = ctx.fragment(FragmentRole.ACCUMULATOR)
+    if c is None:
+        frag_acc.fill(0.0)
+    else:
+        load_matrix_sync(ctx, frag_acc, np.asarray(c, dtype=np.float32))
+
+    # Lines 5-8 of Algorithm 1: D accumulates across the four mma_sync
+    # calls (the accumulator fragment is both C and D of each call).
+    for a_part, b_part in scheme.product_terms(pa, pb):
+        load_matrix_sync(ctx, frag_a, a_part)
+        load_matrix_sync(ctx, frag_b, b_part)
+        mma_sync(ctx, frag_acc, frag_a, frag_b, frag_acc)
+    return store_matrix_sync(ctx, frag_acc)

@@ -1,0 +1,73 @@
+"""Extended emulation schemes beyond the paper: the 9-call three-term design.
+
+The paper's design space has two published points: 4 Tensor Core calls
+for 21 mantissa bits (EGEMM-TC) and 16 half instructions for Dekker.
+The natural next point splits each operand into *three* half terms and
+issues all nine pairwise products at 9x compute overhead.
+
+Measured verdict (ablation A1): the split-level residual halves (~1
+extra bit on unit-scaled data — fp16's subnormal floor caps the third
+term, see :mod:`repro.splits.three_term`), but *end to end* the gain
+vanishes: the fp32 accumulator's rounding dominates and the five extra
+roundings per k-chunk offset the tighter split.  Combined with the 9/4
+throughput cost, this quantifies why the paper's 4-call design is the
+sweet spot.  The scheme exposes the same duck-typed interface
+:class:`~repro.emulation.gemm.EmulatedGemm` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..splits.three_term import SplitTriple, ThreeTermSplit
+
+__all__ = ["ThreeTermScheme", "EGEMM3"]
+
+
+@dataclass(frozen=True)
+class ThreeTermScheme:
+    """Nine-call emulation over three-term splits (duck-typed scheme)."""
+
+    name: str = "egemm3"
+    compute_overhead: int = 9
+    memory_overhead: int = 3
+    effective_mantissa_bits: int = 23
+    description: str = "three-term round-split + 9 Tensor Core calls (~23-bit input precision)"
+
+    #: scheme protocol compatibility: the underlying split object
+    @property
+    def split(self) -> ThreeTermSplit:
+        return ThreeTermSplit()
+
+    def split_operands(self, a: np.ndarray, b: np.ndarray) -> tuple[SplitTriple, SplitTriple]:
+        s = ThreeTermSplit()
+        return s.split3(np.asarray(a, dtype=np.float32)), s.split3(np.asarray(b, dtype=np.float32))
+
+    def product_terms(
+        self, pa: SplitTriple, pb: SplitTriple
+    ) -> Sequence[tuple[np.ndarray, np.ndarray]]:
+        """All nine pairwise products, smallest magnitudes first.
+
+        Accumulating low-order terms first keeps them from being absorbed
+        by a large running sum — the same ordering argument as
+        Algorithm 1's four terms.
+        """
+        a_hi, a_mid, a_lo = pa.terms()
+        b_hi, b_mid, b_lo = pb.terms()
+        return [
+            (a_lo, b_lo),
+            (a_lo, b_mid),
+            (a_mid, b_lo),
+            (a_mid, b_mid),
+            (a_lo, b_hi),
+            (a_hi, b_lo),
+            (a_mid, b_hi),
+            (a_hi, b_mid),
+            (a_hi, b_hi),
+        ]
+
+
+EGEMM3 = ThreeTermScheme()

@@ -1,0 +1,210 @@
+"""Large-matrix emulated GEMM: Algorithm 1 driven over k-chunks.
+
+The tensorized kernel iterates over the k dimension in primitive-sized
+steps, each step accumulating four partial products into the fp32
+accumulator (§4).  Numerically, what matters is the *rounding cadence*:
+one fp32 rounding per partial product per k-chunk.  This driver reproduces
+exactly that cadence while staying fully vectorized — each chunk's partial
+product is one NumPy matmul over the whole output matrix, so the only
+Python-level loop is the short k-chunk loop.
+
+``EmulatedGemm`` is the functional core the public API, the kernels of
+:mod:`repro.kernels`, and the applications of :mod:`repro.apps` all share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..tensorcore.mma import InternalPrecision, MmaCounter
+from .schemes import EGEMM, EmulationScheme
+
+__all__ = ["GemmStats", "EmulatedGemm", "emulated_gemm", "reference_single", "reference_exact"]
+
+
+@dataclass
+class GemmStats:
+    """Accounting for one emulated GEMM execution."""
+
+    m: int = 0
+    n: int = 0
+    k: int = 0
+    scheme: str = ""
+    k_chunks: int = 0
+    partial_products: int = 0
+    #: nominal HMMA-primitive invocations (16x16x16 granularity)
+    mma_calls: int = 0
+
+    @property
+    def flops(self) -> int:
+        """Useful FLOPs of the emulated GEMM (2*m*n*k, Eq. 9 numerator)."""
+        return 2 * self.m * self.n * self.k
+
+    @property
+    def emulation_flops(self) -> int:
+        """FLOPs actually issued to the core (overhead x useful FLOPs)."""
+        return self.flops * max(self.partial_products // max(self.k_chunks, 1), 1)
+
+
+@dataclass
+class EmulatedGemm:
+    """Configurable extended-precision GEMM through the simulated core.
+
+    Parameters
+    ----------
+    scheme:
+        Emulation scheme (default: the paper's EGEMM-TC round-split).
+    tk:
+        k-chunk length — the cadence at which partial sums are rounded
+        into the fp32 accumulator.  16 matches the WMMA primitive; larger
+        values trade rounding-cadence fidelity for speed and are used by
+        the large benchmark sweeps (documented in EXPERIMENTS.md).
+    precision:
+        Internal model of the simulated core; ``TENSOR_CORE`` is the
+        hardware, the probing models exist for profiling experiments.
+    """
+
+    scheme: EmulationScheme = field(default_factory=lambda: EGEMM)
+    tk: int = 16
+    precision: InternalPrecision = InternalPrecision.TENSOR_CORE
+    counter: MmaCounter = field(default_factory=MmaCounter)
+
+    def __post_init__(self) -> None:
+        if self.tk <= 0:
+            raise ValueError("tk must be positive")
+
+    def __call__(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None
+    ) -> np.ndarray:
+        d, _ = self.run(a, b, c)
+        return d
+
+    def batched(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Batched emulated GEMM over leading batch dimensions.
+
+        ``a`` has shape (..., m, k) and ``b`` (..., k, n) with
+        broadcast-compatible batch prefixes (mirroring
+        ``cublasGemmStridedBatchedEx``); each batch element runs the full
+        emulation.  The k-chunked split work is shared per element.
+        """
+        a32 = np.asarray(a, dtype=np.float32)
+        b32 = np.asarray(b, dtype=np.float32)
+        if a32.ndim < 2 or b32.ndim < 2:
+            raise ValueError("batched operands need at least 2 dimensions")
+        batch = np.broadcast_shapes(a32.shape[:-2], b32.shape[:-2])
+        m, k = a32.shape[-2:]
+        kb, n = b32.shape[-2:]
+        if k != kb:
+            raise ValueError(f"k-dimension mismatch: {a32.shape} x {b32.shape}")
+        a_b = np.broadcast_to(a32, (*batch, m, k)).reshape(-1, m, k)
+        b_b = np.broadcast_to(b32, (*batch, kb, n)).reshape(-1, kb, n)
+        if c is not None:
+            c32 = np.asarray(c, dtype=np.float32)
+            c_b = np.broadcast_to(c32, (*batch, m, n)).reshape(-1, m, n)
+        out = np.empty((a_b.shape[0], m, n), dtype=np.float32)
+        for i in range(a_b.shape[0]):
+            out[i] = self(a_b[i], b_b[i], c_b[i] if c is not None else None)
+        return out.reshape(*batch, m, n)
+
+    def run(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None
+    ) -> tuple[np.ndarray, GemmStats]:
+        """Compute ``D = A @ B + C`` and return (D, stats)."""
+        a32 = np.asarray(a, dtype=np.float32)
+        b32 = np.asarray(b, dtype=np.float32)
+        if a32.ndim != 2 or b32.ndim != 2:
+            raise ValueError("EmulatedGemm expects 2-D matrices")
+        m, k = a32.shape
+        kb, n = b32.shape
+        if k != kb:
+            raise ValueError(f"k-dimension mismatch: {a32.shape} x {b32.shape}")
+        if c is None:
+            d = np.zeros((m, n), dtype=np.float32)
+        else:
+            c = np.asarray(c, dtype=np.float32)
+            if c.shape != (m, n):
+                raise ValueError(f"C shape {c.shape} != {(m, n)}")
+            d = c.copy()
+
+        # Data split runs once over each operand (O(N^2), §3.2) — on CUDA
+        # cores in the real system, vectorized bit-twiddling here.
+        pa, pb = self.scheme.split_operands(a32, b32)
+        terms = self.scheme.product_terms(pa, pb)
+
+        stats = GemmStats(m=m, n=n, k=k, scheme=self.scheme.name)
+        if self.precision is InternalPrecision.TENSOR_CORE:
+            d = self._run_tensor_core(d, terms, k, stats)
+        else:
+            d = self._run_generic(d, terms, k, stats)
+
+        # Nominal primitive count at WMMA granularity, for overhead reports.
+        tiles = -(-m // 16) * -(-n // 16) * -(-k // 16)
+        stats.mma_calls = tiles * self.scheme.compute_overhead
+        self.counter.calls += stats.mma_calls
+        self.counter.flops += stats.flops * self.scheme.compute_overhead
+        return d, stats
+
+    def _run_tensor_core(self, d, terms, k, stats) -> np.ndarray:
+        """Hardware model: exact chunk products, one fp32 rounding each.
+
+        The float64 matmul of a (m, tk) x (tk, n) chunk realizes the wide
+        internal accumulator of the primitive; adding it to the float64
+        promotion of the running fp32 accumulator and rounding once gives
+        the per-chunk-per-term rounding cadence of the tensorized kernel.
+        """
+        for k0 in range(0, k, self.tk):
+            k1 = min(k0 + self.tk, k)
+            stats.k_chunks += 1
+            for a_part, b_part in terms:
+                wide = a_part[:, k0:k1].astype(np.float64) @ b_part[k0:k1, :].astype(np.float64)
+                d = (d.astype(np.float64) + wide).astype(np.float32)
+                stats.partial_products += 1
+        return d
+
+    def _run_generic(self, d, terms, k, stats) -> np.ndarray:
+        """Probing models: route every chunk through the mma primitive."""
+        from ..tensorcore.mma import mma
+
+        for k0 in range(0, k, self.tk):
+            k1 = min(k0 + self.tk, k)
+            stats.k_chunks += 1
+            for a_part, b_part in terms:
+                d = mma(a_part[:, k0:k1], b_part[k0:k1, :], d, precision=self.precision)
+                stats.partial_products += 1
+        return d
+
+
+def emulated_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+    scheme: EmulationScheme = EGEMM,
+    tk: int = 16,
+) -> np.ndarray:
+    """One-shot functional emulated GEMM (see :class:`EmulatedGemm`)."""
+    return EmulatedGemm(scheme=scheme, tk=tk)(a, b, c)
+
+
+def reference_single(a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None) -> np.ndarray:
+    """Single-precision reference — the paper's ``V_single`` (Eq. 10).
+
+    Computed as a float32 matmul, matching ``cublasSgemm``'s working
+    precision (accumulation order differs between BLAS implementations;
+    both are "the" single-precision result for Eq. 10 purposes).
+    """
+    d = np.asarray(a, dtype=np.float32) @ np.asarray(b, dtype=np.float32)
+    if c is not None:
+        d = d + np.asarray(c, dtype=np.float32)
+    return d.astype(np.float32)
+
+
+def reference_exact(a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None) -> np.ndarray:
+    """Float64 ground truth, for error decomposition in tests."""
+    d = np.asarray(a, dtype=np.float64) @ np.asarray(b, dtype=np.float64)
+    if c is not None:
+        d = d + np.asarray(c, dtype=np.float64)
+    return d

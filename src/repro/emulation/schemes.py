@@ -1,0 +1,117 @@
+"""Emulation schemes: how a GEMM is decomposed into specialized-core calls.
+
+A scheme bundles (a) the data-split algorithm applied to the fp32 inputs,
+(b) the ordered sequence of partial products issued to the Tensor Core
+primitive (the *data combination* of Figure 2b happens implicitly in the
+core's single-precision accumulator), and (c) the bookkeeping the paper
+reports: compute overhead (Tensor Core calls per emulated GEMM) and memory
+overhead.
+
+Schemes provided:
+
+* ``EGEMM``    — the paper's lightweight 4-instruction round-split emulation
+  (Algorithm 1; 21 effective mantissa bits),
+* ``MARKIDIS`` — the same 4-call structure with truncate-split
+  (20 bits; the baseline of [20]),
+* ``HALF``     — no split: inputs rounded to fp16, one call per tile
+  (the ``cuBLAS-TC-Half`` baseline of Table 5),
+* ``DEKKER``   — the 16-instruction half-only emulation (handled by
+  :mod:`repro.splits.dekker`; listed here for overhead accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..splits.base import Split, SplitPair
+from ..splits.eft import DEKKER_EMULATED_FMA_OPS
+from ..splits.round import RoundSplit
+from ..splits.truncate import TruncateSplit
+
+__all__ = ["EmulationScheme", "EGEMM", "MARKIDIS", "HALF", "DEKKER", "SCHEMES", "get_scheme"]
+
+
+@dataclass(frozen=True)
+class EmulationScheme:
+    """One strategy for emulating extended-precision GEMM on the core."""
+
+    name: str
+    split: Split | None
+    #: Tensor Core primitive calls per emulated tile ("4x" vs "16x" in §3.2)
+    compute_overhead: int
+    #: fp16 operand matrices read per input matrix (2 for split schemes);
+    #: with FRAG caching the paper reduces realized traffic to 2x (§3.2)
+    memory_overhead: int
+    effective_mantissa_bits: int
+    description: str = ""
+
+    def split_operands(self, a: np.ndarray, b: np.ndarray) -> tuple[SplitPair, SplitPair]:
+        """Apply the data split to both operands (fp32 -> fp16 pairs)."""
+        if self.split is None:
+            a16 = np.asarray(a, dtype=np.float32).astype(np.float16)
+            b16 = np.asarray(b, dtype=np.float32).astype(np.float16)
+            return SplitPair(hi=a16, lo=np.zeros_like(a16)), SplitPair(hi=b16, lo=np.zeros_like(b16))
+        return self.split.split(a), self.split.split(b)
+
+    def product_terms(
+        self, pa: SplitPair, pb: SplitPair
+    ) -> Sequence[tuple[np.ndarray, np.ndarray]]:
+        """Ordered (A-part, B-part) pairs issued to the core.
+
+        Algorithm 1 accumulates low-order terms first (lo*lo, lo*hi,
+        hi*lo, hi*hi) so small contributions are not absorbed by a large
+        running sum before the dominant term arrives.
+        """
+        if self.split is None:
+            return [(pa.hi, pb.hi)]
+        return [(pa.lo, pb.lo), (pa.lo, pb.hi), (pa.hi, pb.lo), (pa.hi, pb.hi)]
+
+
+EGEMM = EmulationScheme(
+    name="egemm-tc",
+    split=RoundSplit(),
+    compute_overhead=4,
+    memory_overhead=2,
+    effective_mantissa_bits=21,
+    description="EGEMM-TC lightweight emulation: round-split + 4 Tensor Core calls (Algorithm 1)",
+)
+
+MARKIDIS = EmulationScheme(
+    name="markidis",
+    split=TruncateSplit(),
+    compute_overhead=4,
+    memory_overhead=2,
+    effective_mantissa_bits=20,
+    description="Markidis et al.: truncate-split + 4 Tensor Core calls (1-bit precision loss)",
+)
+
+HALF = EmulationScheme(
+    name="half",
+    split=None,
+    compute_overhead=1,
+    memory_overhead=1,
+    effective_mantissa_bits=10,
+    description="plain half-precision Tensor Core GEMM (cuBLAS-TC-Half baseline)",
+)
+
+DEKKER = EmulationScheme(
+    name="dekker",
+    split=RoundSplit(),
+    compute_overhead=DEKKER_EMULATED_FMA_OPS,
+    memory_overhead=2,
+    effective_mantissa_bits=20,
+    description="Dekker 16-instruction half-only emulation (CPU-era baseline)",
+)
+
+SCHEMES = {s.name: s for s in (EGEMM, MARKIDIS, HALF, DEKKER)}
+
+
+def get_scheme(name: str) -> EmulationScheme:
+    """Look up a scheme by name, with a helpful error."""
+    try:
+        return SCHEMES[name]
+    except KeyError:
+        raise KeyError(f"unknown emulation scheme {name!r}; choose from {sorted(SCHEMES)}") from None

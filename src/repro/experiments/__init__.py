@@ -1,0 +1,95 @@
+"""Experiment harness: one module per paper table/figure (see DESIGN.md's
+per-experiment index).  Each module exposes ``run_*`` returning structured
+results and a ``main()`` that prints the table/series."""
+
+from .ablations import (
+    ModelValidation,
+    OverheadRung,
+    run_frag_caching_timed,
+    run_model_validation,
+    run_overhead_ladder,
+    run_register_policy,
+)
+from .appendix import (
+    PerformanceAnchors,
+    PrecisionTestResult,
+    run_performance_anchors,
+    run_precision_test,
+)
+from .common import DEFAULT_SIZES, FULL_PAPER_SIZES, Series, format_table, geomean
+from .fig6 import Fig6Result, run_fig6
+from .fig7 import DEFAULT_FIG7_SIZES, PAPER_FIG7_SIZES, Fig7Result, run_fig7
+from .fig8 import Fig8Result, run_fig8
+from .fig9 import DEFAULT_SKEW_BASES, Fig9Result, run_fig9
+from .fig10 import Fig10Result, run_fig10
+from .fig11 import Fig11Result, run_fig11
+from .fig12 import DEFAULT_POINTS, Fig12Result, run_fig12
+from .generality import GeneralityResult, run_tf32_generality
+from .profiling_exp import PAPER_TRIALS, ProfilingExperiment, run_profiling
+from .report import ReportRow, collect_rows, generate_report
+from .sensitivity import SensitivityPoint, run_sensitivity
+from .traffic_validation import TrafficValidation, validate_traffic_model
+from .tables import (
+    format_all_tables,
+    run_table1,
+    run_table2,
+    run_table2_measured,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+__all__ = [
+    "ModelValidation",
+    "OverheadRung",
+    "run_frag_caching_timed",
+    "run_model_validation",
+    "run_overhead_ladder",
+    "run_register_policy",
+    "GeneralityResult",
+    "run_tf32_generality",
+    "PerformanceAnchors",
+    "PrecisionTestResult",
+    "run_performance_anchors",
+    "run_precision_test",
+    "DEFAULT_SIZES",
+    "FULL_PAPER_SIZES",
+    "Series",
+    "format_table",
+    "geomean",
+    "Fig6Result",
+    "run_fig6",
+    "DEFAULT_FIG7_SIZES",
+    "PAPER_FIG7_SIZES",
+    "Fig7Result",
+    "run_fig7",
+    "Fig8Result",
+    "run_fig8",
+    "DEFAULT_SKEW_BASES",
+    "Fig9Result",
+    "run_fig9",
+    "Fig10Result",
+    "run_fig10",
+    "Fig11Result",
+    "run_fig11",
+    "DEFAULT_POINTS",
+    "Fig12Result",
+    "run_fig12",
+    "TrafficValidation",
+    "validate_traffic_model",
+    "SensitivityPoint",
+    "run_sensitivity",
+    "ReportRow",
+    "collect_rows",
+    "generate_report",
+    "PAPER_TRIALS",
+    "ProfilingExperiment",
+    "run_profiling",
+    "format_all_tables",
+    "run_table1",
+    "run_table2",
+    "run_table2_measured",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+]

@@ -1,0 +1,97 @@
+"""Appendix A.3 experiments: the artifact's three step-by-step programs.
+
+* ``precision_profiling`` — covered by :mod:`repro.experiments.profiling_exp`
+  (scalar triples + the 21-mantissa-bit conclusion);
+* ``precision_test`` — N = 1024 square GEMM: emulation max error,
+  half-cuBLAS max error, and their ratio (the artifact prints ~0.00025,
+  ~0.135, ratio ~0.0019 — "error reduced by more than 500x");
+* ``performance anchors`` — the artifact's expected throughputs on T4 at
+  8192^3: EGEMM ~12 TFLOPS, cublas_CUDA_FP32 ~4, SDK_CUDA_FP32 ~1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..emulation.gemm import EmulatedGemm, reference_single
+from ..emulation.schemes import EGEMM, HALF
+from ..fp.error import error_ratio, max_error
+from ..gpu.spec import TESLA_T4, GpuSpec
+from ..kernels.cublas import CublasCudaFp32
+from ..kernels.egemm import EgemmTcKernel
+from ..kernels.sdk import SdkCudaFp32
+
+__all__ = ["PrecisionTestResult", "run_precision_test", "PerformanceAnchors", "run_performance_anchors"]
+
+
+@dataclass
+class PrecisionTestResult:
+    """Output of the artifact's ``precision_test`` program."""
+
+    n: int
+    max_emulation_error: float
+    max_half_cublas_error: float
+
+    @property
+    def ratio(self) -> float:
+        """Max_Emulation_Error / Max_Half_cuBLAS_Error (artifact: ~0.0019)."""
+        return error_ratio(self.max_emulation_error, self.max_half_cublas_error)
+
+    def lines(self) -> list[str]:
+        return [
+            f"m*n*k: {self.n}.",
+            f"max Emulation Error: {self.max_emulation_error:.8f}",
+            f"max Half cuBLAS Error: {self.max_half_cublas_error:.8f}",
+            f"Ratio (Max_Emulation_Error/Max_Half_cuBLAS_Error): {self.ratio:.8f}",
+        ]
+
+
+def run_precision_test(n: int = 1024, seed: int = 0) -> PrecisionTestResult:
+    """The artifact's precision_test at size ``n`` (default: its 1024)."""
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1.0, 1.0, (n, n)).astype(np.float32)
+    b = rng.uniform(-1.0, 1.0, (n, n)).astype(np.float32)
+    ref = reference_single(a, b)
+    emu = EmulatedGemm(scheme=EGEMM)(a, b)
+    half = EmulatedGemm(scheme=HALF)(a, b)
+    return PrecisionTestResult(
+        n=n,
+        max_emulation_error=max_error(emu, ref),
+        max_half_cublas_error=max_error(half, ref),
+    )
+
+
+@dataclass
+class PerformanceAnchors:
+    """The artifact's expected T4 throughputs at 8192^3 (TFLOPS)."""
+
+    egemm: float
+    cublas_fp32: float
+    sdk_fp32: float
+
+    def lines(self) -> list[str]:
+        return [
+            f"emulation (EGEMM-TC): {self.egemm:.1f} TFLOPS (artifact: ~12)",
+            f"cublas_CUDA_FP32: {self.cublas_fp32:.1f} TFLOPS (artifact: ~4)",
+            f"SDK_CUDA_FP32: {self.sdk_fp32:.1f} TFLOPS (artifact: ~1)",
+        ]
+
+
+def run_performance_anchors(n: int = 8192, spec: GpuSpec = TESLA_T4) -> PerformanceAnchors:
+    return PerformanceAnchors(
+        egemm=EgemmTcKernel().tflops(n, n, n, spec),
+        cublas_fp32=CublasCudaFp32().tflops(n, n, n, spec),
+        sdk_fp32=SdkCudaFp32().tflops(n, n, n, spec),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print("\n".join(run_precision_test().lines()))
+    print()
+    print("\n".join(run_performance_anchors().lines()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,71 @@
+"""Shared helpers for the experiment harness.
+
+Every module in this package regenerates one table or figure of the
+paper: a ``run(...)`` function returns structured rows/series (consumed
+by the benchmark suite and the tests), and ``format_*`` helpers render
+them the way the paper presents them.  ``main()`` entry points print to
+stdout so each experiment is runnable as ``python -m
+repro.experiments.<name>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import exp, log
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "Series", "geomean", "DEFAULT_SIZES", "FULL_PAPER_SIZES"]
+
+#: default sweep sizes — a scaled-down version of the paper's 1024..16384
+#: sweep that keeps the timing model cheap in CI (the model is closed-form,
+#: so the full sweep is also fast; precision experiments are the costly ones)
+DEFAULT_SIZES = (1024, 2048, 4096, 8192, 12288, 16384)
+
+#: the paper's full evaluation sweep
+FULL_PAPER_SIZES = (1024, 2048, 4096, 6144, 8192, 10240, 12288, 14336, 16384)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the conventional aggregate for speedup curves)."""
+    vals = [v for v in values]
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return exp(sum(log(v) for v in vals) / len(vals))
+
+
+@dataclass
+class Series:
+    """One named curve of a figure: y-values over a shared x-axis."""
+
+    name: str
+    x: Sequence[float]
+    y: Sequence[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.name!r}: x and y lengths differ")
+
+    def ratio_to(self, other: "Series") -> list[float]:
+        """Pointwise self/other (speedup of self over other)."""
+        if list(self.x) != list(other.x):
+            raise ValueError("series are on different x-axes")
+        return [a / b for a, b in zip(self.y, other.y)]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Plain-text table renderer for experiment output."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

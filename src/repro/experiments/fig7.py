@@ -1,0 +1,139 @@
+"""Figure 7: emulation precision — max error vs single precision (Eq. 10).
+
+Square N x N x N GEMMs with values sampled uniformly from [-1, +1];
+for each size, the max absolute elementwise deviation from the
+single-precision result for
+
+* EGEMM-TC (round-split emulation),
+* Markidis (truncate-split emulation),
+* cuBLAS-TC-Half (plain half-precision Tensor Core GEMM).
+
+The paper reports: 350x average error reduction of EGEMM-TC vs
+cuBLAS-TC-Half, 82x at N=8192, and 2.33x vs Markidis (the round-split
+bit).  Errors grow slowly with N as the emulation error accumulates over
+the N-term dot products (§7.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..emulation.gemm import EmulatedGemm, reference_single
+from ..emulation.schemes import EGEMM, HALF, MARKIDIS
+from ..fp.error import max_error
+from .common import Series, format_table, geomean
+
+__all__ = ["Fig7Result", "run_fig7", "DEFAULT_FIG7_SIZES", "PAPER_FIG7_SIZES"]
+
+#: CI-friendly subset of the paper's sweep (errors scale smoothly with N)
+DEFAULT_FIG7_SIZES = (128, 256, 512, 1024)
+#: the paper's full Figure 7 x-axis
+PAPER_FIG7_SIZES = (128, 256, 512, 1024, 2048, 4096, 8192)
+
+
+@dataclass
+class Fig7Result:
+    """Max-error series per kernel plus the paper's headline ratios."""
+
+    sizes: tuple[int, ...]
+    egemm: Series
+    markidis: Series
+    half: Series
+    #: round-split vs truncate-split measured at the *split* level
+    #: (reconstruction residual through an exact product) — the pure
+    #: Figure 4 effect, undiluted by accumulator/reference rounding
+    split_level_ratio: float = 0.0
+    samples: int = 1
+
+    @property
+    def avg_half_over_egemm(self) -> float:
+        """Paper: ~350x average error reduction vs cuBLAS-TC-Half."""
+        return geomean(h / e for h, e in zip(self.half.y, self.egemm.y))
+
+    @property
+    def avg_markidis_over_egemm(self) -> float:
+        """Paper: ~2.33x error reduction vs Markidis (round vs truncate).
+
+        In this reproduction the end-to-end ratio is smaller (~1.1x):
+        the Eq. 10 metric compares against the fp32 reference, whose own
+        accumulation error is common to both schemes and — because our
+        simulated accumulator is exactly-rounded — dominates the split
+        residuals.  ``split_level_ratio`` isolates the split effect and
+        lands at ~2-3x, confirming the 1-extra-bit claim (recorded in
+        EXPERIMENTS.md).
+        """
+        return geomean(m / e for m, e in zip(self.markidis.y, self.egemm.y))
+
+    def table(self) -> str:
+        rows = [
+            [n, f"{e:.3e}", f"{m:.3e}", f"{h:.3e}"]
+            for n, e, m, h in zip(self.sizes, self.egemm.y, self.markidis.y, self.half.y)
+        ]
+        return format_table(
+            ["N", "EGEMM-TC", "Markidis", "cuBLAS-TC-Half"],
+            rows,
+            "Figure 7. Emulation Precision (max error vs single precision).",
+        )
+
+
+def run_fig7(
+    sizes: tuple[int, ...] = DEFAULT_FIG7_SIZES, seed: int = 0, samples: int = 1, tk: int = 16
+) -> Fig7Result:
+    """Measure Eq. 10 max errors over ``sizes``; averages over ``samples``
+    independent matrices per size (the paper averages over 10 runs)."""
+    rng = np.random.default_rng(seed)
+    errs = {name: [] for name in ("egemm", "markidis", "half")}
+    gemms = {
+        "egemm": EmulatedGemm(scheme=EGEMM, tk=tk),
+        "markidis": EmulatedGemm(scheme=MARKIDIS, tk=tk),
+        "half": EmulatedGemm(scheme=HALF, tk=tk),
+    }
+
+    # Split-level comparison (the pure Figure 4 effect): reconstruct each
+    # split and multiply exactly, so only the split residuals differ.
+    n0 = sizes[-1]
+    a0 = rng.uniform(-1.0, 1.0, (n0, n0)).astype(np.float32)
+    b0 = rng.uniform(-1.0, 1.0, (n0, n0)).astype(np.float32)
+    exact = a0.astype(np.float64) @ b0.astype(np.float64)
+    split_err = {}
+    for name, scheme in (("egemm", EGEMM), ("markidis", MARKIDIS)):
+        pa, pb = scheme.split_operands(a0, b0)
+        split_err[name] = max_error(pa.reconstruct() @ pb.reconstruct(), exact)
+    split_level_ratio = split_err["markidis"] / split_err["egemm"]
+
+    for n in sizes:
+        acc = {name: 0.0 for name in errs}
+        for _ in range(samples):
+            a = rng.uniform(-1.0, 1.0, (n, n)).astype(np.float32)
+            b = rng.uniform(-1.0, 1.0, (n, n)).astype(np.float32)
+            ref = reference_single(a, b)
+            for name, gemm in gemms.items():
+                acc[name] += max_error(gemm(a, b), ref)
+        for name in errs:
+            errs[name].append(acc[name] / samples)
+
+    return Fig7Result(
+        sizes=tuple(sizes),
+        egemm=Series("EGEMM-TC", sizes, errs["egemm"]),
+        markidis=Series("Markidis", sizes, errs["markidis"]),
+        half=Series("cuBLAS-TC-Half", sizes, errs["half"]),
+        split_level_ratio=split_level_ratio,
+        samples=samples,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    # The CLI default stops at 2048: the functional simulator is O(N^3)
+    # on CPU and the trend is smooth (EXPERIMENTS.md's scaled-size
+    # policy).  Pass PAPER_FIG7_SIZES to run_fig7 for the full sweep.
+    result = run_fig7(sizes=(128, 256, 512, 1024, 2048), samples=2)
+    print(result.table())
+    print(f"\navg error reduction vs cuBLAS-TC-Half: {result.avg_half_over_egemm:.0f}x (paper: ~350x)")
+    print(f"avg error reduction vs Markidis (end-to-end): {result.avg_markidis_over_egemm:.2f}x (paper: 2.33x)")
+    print(f"round vs truncate at the split level: {result.split_level_ratio:.2f}x (the 1-extra-bit effect)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,81 @@
+"""Figure 8: performance vs vendor kernels on square matrices (T4 + RTX6000).
+
+TFLOPS (Eq. 9) of cuBLAS-CUDA-FP32, cuBLAS-TC-Emulation, and EGEMM-TC
+over the N x N x N sweep, on both evaluation GPUs.  Paper headlines:
+3.13x average speedup over cuBLAS-CUDA-FP32, 1.35x over
+cuBLAS-TC-Emulation, larger speedups at larger sizes (occupancy /
+compute-bound ramp), and the same qualitative picture on RTX 6000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.spec import TESLA_T4, GpuSpec
+from ..kernels.cublas import CublasCudaFp32, CublasTcEmulation
+from ..kernels.egemm import EgemmTcKernel
+from .common import DEFAULT_SIZES, Series, format_table, geomean
+
+__all__ = ["Fig8Result", "run_fig8"]
+
+
+@dataclass
+class Fig8Result:
+    """TFLOPS series of the three kernels on one GPU."""
+
+    spec_name: str
+    sizes: tuple[int, ...]
+    cublas_fp32: Series
+    cublas_tc_emulation: Series
+    egemm: Series
+
+    @property
+    def avg_speedup_vs_fp32(self) -> float:
+        return geomean(self.egemm.ratio_to(self.cublas_fp32))
+
+    @property
+    def avg_speedup_vs_emulation(self) -> float:
+        return geomean(self.egemm.ratio_to(self.cublas_tc_emulation))
+
+    def table(self) -> str:
+        rows = [
+            [n, f"{f:.2f}", f"{e:.2f}", f"{g:.2f}"]
+            for n, f, e, g in zip(
+                self.sizes, self.cublas_fp32.y, self.cublas_tc_emulation.y, self.egemm.y
+            )
+        ]
+        return format_table(
+            ["N", "cuBLAS-CUDA-FP32", "cuBLAS-TC-Emulation", "EGEMM-TC"],
+            rows,
+            f"Figure 8. Comparison with Vendor Kernels on Square Matrices ({self.spec_name}, TFLOPS).",
+        )
+
+
+def run_fig8(spec: GpuSpec = TESLA_T4, sizes: tuple[int, ...] = DEFAULT_SIZES) -> Fig8Result:
+    """Sweep the three kernels' timing models over square sizes."""
+    fp32 = CublasCudaFp32()
+    emu = CublasTcEmulation()
+    egemm = EgemmTcKernel()
+    return Fig8Result(
+        spec_name=spec.name,
+        sizes=tuple(sizes),
+        cublas_fp32=Series("cuBLAS-CUDA-FP32", sizes, [fp32.tflops(n, n, n, spec) for n in sizes]),
+        cublas_tc_emulation=Series(
+            "cuBLAS-TC-Emulation", sizes, [emu.tflops(n, n, n, spec) for n in sizes]
+        ),
+        egemm=Series("EGEMM-TC", sizes, [egemm.tflops(n, n, n, spec) for n in sizes]),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    from ..gpu.spec import RTX6000
+
+    for spec in (TESLA_T4, RTX6000):
+        result = run_fig8(spec)
+        print(result.table())
+        print(f"avg speedup vs cuBLAS-CUDA-FP32: {result.avg_speedup_vs_fp32:.2f}x (paper: 3.13x)")
+        print(f"avg speedup vs cuBLAS-TC-Emulation: {result.avg_speedup_vs_emulation:.2f}x (paper: 1.35x)\n")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

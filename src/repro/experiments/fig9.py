@@ -1,0 +1,100 @@
+"""Figure 9: performance on skewed matrices.
+
+Two skew families: (M, N, K) = (N, N, 2N) — K-dominant — and
+(4N, N, N) — M-dominant.  Paper observations: cuBLAS-TC-Emulation slows
+sharply once the K-dominant size exceeds 4096 x 4096 x 8192 (split-K
+kernel selection) while EGEMM-TC stays flat, yielding 1.33x / 1.40x over
+the emulation baseline and 2.89x / 2.9x over cuBLAS-CUDA-FP32 on the two
+families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..gpu.spec import TESLA_T4, GpuSpec
+from ..kernels.cublas import CublasCudaFp32, CublasTcEmulation
+from ..kernels.egemm import EgemmTcKernel
+from .common import Series, format_table, geomean
+
+__all__ = ["Fig9Result", "run_fig9", "SKEW_K", "SKEW_M", "DEFAULT_SKEW_BASES"]
+
+#: (N, N, 2N): enlarge the reduction dimension (Figure 9a)
+SKEW_K: Callable[[int], tuple[int, int, int]] = lambda n: (n, n, 2 * n)
+#: (4N, N, N): enlarge the M dimension (Figure 9b)
+SKEW_M: Callable[[int], tuple[int, int, int]] = lambda n: (4 * n, n, n)
+
+DEFAULT_SKEW_BASES = (1024, 2048, 4096, 6144, 8192)
+
+
+@dataclass
+class Fig9Result:
+    """TFLOPS series of the three kernels on one skew family."""
+
+    family: str
+    bases: tuple[int, ...]
+    shapes: tuple[tuple[int, int, int], ...]
+    cublas_fp32: Series
+    cublas_tc_emulation: Series
+    egemm: Series
+
+    @property
+    def avg_speedup_vs_fp32(self) -> float:
+        return geomean(self.egemm.ratio_to(self.cublas_fp32))
+
+    @property
+    def avg_speedup_vs_emulation(self) -> float:
+        return geomean(self.egemm.ratio_to(self.cublas_tc_emulation))
+
+    def table(self) -> str:
+        rows = [
+            [f"{m}x{n}x{k}", f"{f:.2f}", f"{e:.2f}", f"{g:.2f}"]
+            for (m, n, k), f, e, g in zip(
+                self.shapes, self.cublas_fp32.y, self.cublas_tc_emulation.y, self.egemm.y
+            )
+        ]
+        return format_table(
+            ["MxNxK", "cuBLAS-CUDA-FP32", "cuBLAS-TC-Emulation", "EGEMM-TC"],
+            rows,
+            f"Figure 9 ({self.family}). Skewed Matrices (TFLOPS).",
+        )
+
+
+def run_fig9(
+    family: str = "NxNx2N",
+    spec: GpuSpec = TESLA_T4,
+    bases: tuple[int, ...] = DEFAULT_SKEW_BASES,
+) -> Fig9Result:
+    """Sweep one skew family ('NxNx2N' or '4NxNxN')."""
+    shape_of = {"NxNx2N": SKEW_K, "4NxNxN": SKEW_M}.get(family)
+    if shape_of is None:
+        raise ValueError(f"unknown skew family {family!r}; use 'NxNx2N' or '4NxNxN'")
+    shapes = tuple(shape_of(n) for n in bases)
+
+    fp32, emu, egemm = CublasCudaFp32(), CublasTcEmulation(), EgemmTcKernel()
+    series = {}
+    for name, kern in (("fp32", fp32), ("emu", emu), ("egemm", egemm)):
+        series[name] = [kern.tflops(m, n, k, spec) for (m, n, k) in shapes]
+    return Fig9Result(
+        family=family,
+        bases=tuple(bases),
+        shapes=shapes,
+        cublas_fp32=Series("cuBLAS-CUDA-FP32", bases, series["fp32"]),
+        cublas_tc_emulation=Series("cuBLAS-TC-Emulation", bases, series["emu"]),
+        egemm=Series("EGEMM-TC", bases, series["egemm"]),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    for family, paper in (("NxNx2N", "1.33x / 2.89x"), ("4NxNxN", "1.40x / 2.9x")):
+        result = run_fig9(family)
+        print(result.table())
+        print(
+            f"avg speedup vs emulation: {result.avg_speedup_vs_emulation:.2f}x, "
+            f"vs FP32: {result.avg_speedup_vs_fp32:.2f}x (paper: {paper})\n"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

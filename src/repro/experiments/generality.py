@@ -1,0 +1,125 @@
+"""Workflow-generality experiment: the TF32 core (§3.1's extendability).
+
+The paper claims its emulation design workflow "can be generally applied
+towards various accelerators and specialized cores."  This experiment
+substantiates that with a second simulated core — an Ampere-style TF32
+unit — by running the *same* :class:`PrecisionProfiler` with TF32
+probing primitives and then transplanting Algorithm 1 onto the core:
+
+1. profiling identifies the correct hypothesis (inputs reduced to 10
+   mantissa bits, wide internal multiply) and rejects the full-fp32 one;
+2. the round-split + 4-call emulation recovers >= 21 mantissa bits on
+   the new core, with no exponent-range hazard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fp.error import max_error
+from ..profiling.generator import TileGenerator
+from ..profiling.workflow import PrecisionProfiler, ProfilingResult
+from ..tensorcore.tf32 import emulated_gemm_tf32, tf32_mma, tf32_probes
+
+__all__ = ["GeneralityResult", "run_tf32_generality"]
+
+
+@dataclass
+class GeneralityResult:
+    """Profiling verdict + emulation precision on the TF32 core."""
+
+    profiling: ProfilingResult
+    emulation_max_error: float
+    plain_tf32_max_error: float
+    n: int
+
+    @property
+    def correct_probe_name(self) -> str:
+        return self.profiling.best_probe().probe.name
+
+    @property
+    def full_fp32_rejected(self) -> bool:
+        agreement = next(
+            a for a in self.profiling.agreements if a.probe.name == "d_FP32FULL"
+        )
+        return agreement.min_bits < 21
+
+    @property
+    def error_reduction(self) -> float:
+        return self.plain_tf32_max_error / self.emulation_max_error
+
+
+def run_tf32_generality(trials: int = 300, n: int = 256, seed: int = 0) -> GeneralityResult:
+    """Run the full workflow against the simulated TF32 core."""
+    # Step 1: precision profiling with TF32 hypotheses.  Inputs are fp32
+    # (the TF32 core takes fp32 storage), so the generator's half rounding
+    # is bypassed by regenerating single-precision tiles.
+    profiler = PrecisionProfiler(hardware=tf32_mma, probes=tf32_probes())
+    gen = TileGenerator(seed=seed)
+
+    # The profiler's stock loop feeds half-precision tiles; the TF32
+    # core's natural input is fp32, so the comparison loop is inlined
+    # here over fp32 tiles (same aggregation as PrecisionProfiler.run).
+    mins = {p.name: 24 for p in profiler.probes}
+    from ..fp.bits import mantissa_bits_agreement
+    from ..profiling.workflow import ProbeAgreement
+
+    sums = {p.name: 0.0 for p in profiler.probes}
+    identical = {p.name: 0 for p in profiler.probes}
+    count = 0
+    for _ in range(trials):
+        a, b = gen.single_inputs()
+        d_hw = tf32_mma(a, b)
+        for probe in profiler.probes:
+            d_probe = np.asarray(probe.compute(a, b, None), dtype=np.float32)
+            bits = mantissa_bits_agreement(d_hw, d_probe)
+            mins[probe.name] = min(mins[probe.name], int(bits.min()))
+            sums[probe.name] += float(bits.mean())
+            identical[probe.name] += int(np.count_nonzero(bits == 24))
+        count += d_hw.size
+    profiling = ProfilingResult(
+        agreements=[
+            ProbeAgreement(
+                probe=p,
+                min_bits=mins[p.name],
+                mean_bits=sums[p.name] / trials,
+                identical_fraction=identical[p.name] / count,
+                trials=trials,
+            )
+            for p in profiler.probes
+        ]
+    )
+
+    # Step 2: emulation design on the TF32 core.
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1.0, 1.0, (n, n)).astype(np.float32)
+    b = rng.uniform(-1.0, 1.0, (n, n)).astype(np.float32)
+    exact = a.astype(np.float64) @ b.astype(np.float64)
+    emulated = emulated_gemm_tf32(a, b)
+    plain = tf32_mma(a, b)
+    return GeneralityResult(
+        profiling=profiling,
+        emulation_max_error=max_error(emulated, exact),
+        plain_tf32_max_error=max_error(plain, exact),
+        n=n,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    result = run_tf32_generality()
+    print("TF32-core profiling:")
+    for a in result.profiling.agreements:
+        print(f"  {a.probe.name:<12} min bits {a.min_bits:>2}  mean {a.mean_bits:.2f}")
+    print(f"correct hypothesis: {result.correct_probe_name}")
+    print(f"full-fp32 hypothesis rejected: {result.full_fp32_rejected}")
+    print(
+        f"\nTF32 emulation at n={result.n}: max error {result.emulation_max_error:.3e} "
+        f"vs plain TF32 {result.plain_tf32_max_error:.3e} "
+        f"({result.error_reduction:.0f}x reduction)"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,271 @@
+"""Full reproduction report: run every experiment, render one markdown file.
+
+``python -m repro report`` (or :func:`generate_report`) executes the whole
+harness at CI scale and writes a paper-vs-measured markdown document —
+the machine-generated counterpart of the hand-written EXPERIMENTS.md, so
+a fresh checkout can regenerate its evidence in one command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.spec import RTX6000, TESLA_T4
+from .ablations import (
+    run_frag_caching_timed,
+    run_model_validation,
+    run_overhead_ladder,
+    run_register_policy,
+)
+from .appendix import run_performance_anchors, run_precision_test
+from .fig7 import run_fig7
+from .fig8 import run_fig8
+from .fig9 import run_fig9
+from .fig10 import run_fig10
+from .fig11 import run_fig11
+from .fig12 import run_fig12
+from .generality import run_tf32_generality
+from .profiling_exp import run_profiling
+from .tables import run_table4
+
+__all__ = ["ReportRow", "collect_rows", "generate_report"]
+
+
+@dataclass(frozen=True)
+class ReportRow:
+    """One paper-vs-measured claim."""
+
+    claim: str
+    paper: str
+    measured: str
+    ok: bool
+
+
+def collect_rows(profiling_trials: int = 800) -> list[ReportRow]:
+    """Run every experiment at CI scale; return the claim table."""
+    rows: list[ReportRow] = []
+
+    prof = run_profiling(trials=profiling_trials)
+    rows.append(
+        ReportRow(
+            "Tensor Core matches d_FLOAT bit-wise (mantissa bits, min)",
+            "21",
+            str(prof.float_min_bits),
+            prof.float_min_bits >= 21,
+        )
+    )
+
+    f7 = run_fig7(sizes=(128, 256, 512), samples=2)
+    rows.append(
+        ReportRow(
+            "Emulation error reduction vs cuBLAS-TC-Half (avg)",
+            "~350x",
+            f"{f7.avg_half_over_egemm:.0f}x",
+            f7.avg_half_over_egemm > 100,
+        )
+    )
+    rows.append(
+        ReportRow(
+            "Round- vs truncate-split gap (split level)",
+            "2.33x",
+            f"{f7.split_level_ratio:.2f}x",
+            f7.split_level_ratio > 1.5,
+        )
+    )
+
+    f8 = run_fig8(TESLA_T4)
+    rows.append(
+        ReportRow(
+            "Speedup vs cuBLAS-CUDA-FP32 (square, T4, avg)",
+            "3.13x",
+            f"{f8.avg_speedup_vs_fp32:.2f}x",
+            2.5 < f8.avg_speedup_vs_fp32 < 3.7,
+        )
+    )
+    rows.append(
+        ReportRow(
+            "Speedup vs cuBLAS-TC-Emulation (square, T4, avg)",
+            "1.35x",
+            f"{f8.avg_speedup_vs_emulation:.2f}x",
+            1.2 < f8.avg_speedup_vs_emulation < 1.6,
+        )
+    )
+    f8r = run_fig8(RTX6000)
+    rows.append(
+        ReportRow(
+            "Same qualitative picture on RTX 6000 (avg vs FP32)",
+            ">1 (similar)",
+            f"{f8r.avg_speedup_vs_fp32:.2f}x",
+            f8r.avg_speedup_vs_fp32 > 2.0,
+        )
+    )
+
+    f9 = run_fig9("NxNx2N")
+    emu = dict(zip(f9.bases, f9.cublas_tc_emulation.y))
+    rows.append(
+        ReportRow(
+            "K-skew cliff for cuBLAS-TC-Emulation past 4096x4096x8192",
+            "slowdown",
+            f"{emu[2048]:.1f} -> {emu[4096]:.1f} TFLOPS",
+            emu[4096] < emu[2048],
+        )
+    )
+
+    f10 = run_fig10()
+    rows.append(
+        ReportRow(
+            "Speedup vs SDK-CUDA-FP32 (avg)",
+            "11.18x",
+            f"{f10.avg_speedup_vs_sdk:.2f}x",
+            9 < f10.avg_speedup_vs_sdk < 13,
+        )
+    )
+    rows.append(
+        ReportRow(
+            "Speedup vs Markidis (avg)",
+            "3.0x",
+            f"{f10.avg_speedup_vs_markidis:.2f}x",
+            2.3 < f10.avg_speedup_vs_markidis < 3.7,
+        )
+    )
+
+    f11 = run_fig11()
+    rows.append(
+        ReportRow(
+            "Latency-hiding benefit (avg)",
+            "1.14x",
+            f"{f11.avg_speedup:.2f}x",
+            1.05 < f11.avg_speedup < 1.4,
+        )
+    )
+
+    for app, paper in (("kmeans", "1.3x -> 1.82x"), ("knn", "up to ~2.4x")):
+        f12 = run_fig12(app)
+        rows.append(
+            ReportRow(
+                f"{app} end-to-end speedup",
+                paper,
+                f"{f12.speedup.y[0]:.2f}x -> {f12.max_speedup:.2f}x",
+                f12.speedup.y == sorted(f12.speedup.y),
+            )
+        )
+
+    t4_rows = {r["item"]: r["value"] for r in run_table4()}
+    rows.append(
+        ReportRow(
+            "Analytic solver design choice (Table 4)",
+            "(128, 128, 32) / (64, 32, 8)",
+            f"{t4_rows['(bm, bn, bk)']} / {t4_rows['(wm, wn, wk)']}",
+            t4_rows["(bm, bn, bk)"] == "(128, 128, 32)",
+        )
+    )
+
+    pt = run_precision_test(n=256)
+    rows.append(
+        ReportRow(
+            "Appendix precision_test error ratio",
+            "~0.002 (n=1024)",
+            f"{pt.ratio:.4f} (n=256)",
+            pt.ratio < 0.01,
+        )
+    )
+    anchors = run_performance_anchors()
+    rows.append(
+        ReportRow(
+            "Appendix throughput anchors (EGEMM/cuBLAS/SDK, TFLOPS)",
+            "~12 / ~4 / ~1",
+            f"{anchors.egemm:.1f} / {anchors.cublas_fp32:.1f} / {anchors.sdk_fp32:.1f}",
+            abs(anchors.egemm - 12) < 1.5,
+        )
+    )
+
+    ladder = {r.name: r for r in run_overhead_ladder()}
+    rows.append(
+        ReportRow(
+            "Dekker 16-op emulation slower than the fp32 baseline (§1)",
+            "inappropriate",
+            f"{ladder['Dekker (16 scalar ops)'].tflops:.2f} TFLOPS",
+            ladder["Dekker (16 scalar ops)"].tflops < 2.0,
+        )
+    )
+    fc = run_frag_caching_timed()
+    rows.append(
+        ReportRow("FRAG caching end-to-end benefit", "(Table 2 motivates)", f"{fc['speedup']:.2f}x", fc["speedup"] > 1.2)
+    )
+    rp = run_register_policy()
+    rows.append(
+        ReportRow("Stage-reuse vs naive register allocation", "heavy slowdown avoided", f"{rp['speedup']:.2f}x", rp["speedup"] > 1.2)
+    )
+    mv = run_model_validation()
+    rows.append(
+        ReportRow(
+            "Analytic pick vs simulated-best tiling",
+            "no trial-and-error needed",
+            f"{mv.gap:.1%} gap",
+            mv.gap < 0.10,
+        )
+    )
+    from .ablations import run_ozaki_comparison
+    from .traffic_validation import validate_traffic_model
+
+    oz = run_ozaki_comparison()
+    oz4 = next(r for r in oz["ladder"] if r.slices == 4)
+    rows.append(
+        ReportRow(
+            "Ozaki int8 extension: 4 slices reach fp32-exact inputs",
+            "(successor line, beyond paper)",
+            f"{oz4.max_error_vs_exact:.1e} vs EGEMM {oz['egemm_error']:.1e}",
+            oz4.max_error_vs_exact < oz["egemm_error"],
+        )
+    )
+    tv = validate_traffic_model(n=1024, iterations=6)
+    rows.append(
+        ReportRow(
+            "DRAM wave-reuse model vs functional L2 simulation",
+            "within line-granularity effects",
+            f"ratio {tv.ratio:.2f}, L2 hit rate {tv.l2_hit_rate:.0%}",
+            0.8 <= tv.ratio <= 2.0,
+        )
+    )
+    gen = run_tf32_generality(trials=150, n=128)
+    rows.append(
+        ReportRow(
+            "Workflow generality: TF32 core profiled + emulated",
+            "extendable (§3.1)",
+            f"{gen.correct_probe_name}, {gen.error_reduction:.0f}x error reduction",
+            gen.correct_probe_name == "d_TF32",
+        )
+    )
+    return rows
+
+
+def generate_report(path: str | None = None, profiling_trials: int = 800) -> str:
+    """Render (and optionally write) the markdown report."""
+    rows = collect_rows(profiling_trials=profiling_trials)
+    lines = [
+        "# EGEMM-TC reproduction report (machine-generated)",
+        "",
+        "Regenerated by `python -m repro report`; CI-scale sizes "
+        "(see EXPERIMENTS.md for the scaled-size policy).",
+        "",
+        "| Claim | Paper | Measured | Status |",
+        "|---|---|---|---|",
+    ]
+    for row in rows:
+        status = "reproduced" if row.ok else "**DEVIATION**"
+        lines.append(f"| {row.claim} | {row.paper} | {row.measured} | {status} |")
+    ok = sum(r.ok for r in rows)
+    lines += ["", f"{ok}/{len(rows)} claims reproduced."]
+    text = "\n".join(lines)
+    if path is not None:
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+    return text
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(generate_report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

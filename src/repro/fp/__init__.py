@@ -1,0 +1,56 @@
+"""Floating-point substrate: bit views, formats (Table 1), rounding, errors."""
+
+from .bits import (
+    bits_to_float,
+    compose,
+    decompose,
+    float_to_bits,
+    format_bits,
+    hex_bits,
+    is_negative_zero,
+    mantissa_bits_agreement,
+    next_after_zero,
+    ulp,
+)
+from .analysis import ErrorDecomposition, decompose_emulation_error
+from .error import ErrorReport, compare_to_reference, error_ratio, max_error, mean_error
+from .formats import EXTENDED, HALF, MARKIDIS, SINGLE, TABLE1, FloatFormat, table1_rows
+from .rounding import (
+    round_to_mantissa,
+    split_scale,
+    to_half,
+    to_single,
+    truncate_to_mantissa,
+)
+
+__all__ = [
+    "bits_to_float",
+    "compose",
+    "decompose",
+    "float_to_bits",
+    "format_bits",
+    "hex_bits",
+    "is_negative_zero",
+    "mantissa_bits_agreement",
+    "next_after_zero",
+    "ulp",
+    "ErrorDecomposition",
+    "decompose_emulation_error",
+    "ErrorReport",
+    "compare_to_reference",
+    "error_ratio",
+    "max_error",
+    "mean_error",
+    "EXTENDED",
+    "HALF",
+    "MARKIDIS",
+    "SINGLE",
+    "TABLE1",
+    "FloatFormat",
+    "table1_rows",
+    "round_to_mantissa",
+    "split_scale",
+    "to_half",
+    "to_single",
+    "truncate_to_mantissa",
+]

@@ -1,0 +1,96 @@
+"""Error decomposition for emulated GEMM results.
+
+The end-to-end Eq. 10 error of an emulated GEMM mixes three sources with
+different owners:
+
+* **split residual** — what the data split discarded (the Figure 4
+  difference between round- and truncate-split lives here),
+* **accumulation rounding** — the fp32 roundings of the Tensor Core
+  accumulator across k-chunks and emulation terms,
+* **reference error** — the single-precision reference's *own* deviation
+  from the exact product (common-mode: present in every comparison
+  against ``V_single``).
+
+:func:`decompose_emulation_error` measures each component separately —
+the tool behind EXPERIMENTS.md's explanation of why the paper's 2.33x
+round-vs-truncate gap appears at the split level but dilutes end-to-end
+in this reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..emulation.gemm import EmulatedGemm, reference_exact, reference_single
+from ..emulation.schemes import EGEMM, EmulationScheme
+from .error import max_error
+
+__all__ = ["ErrorDecomposition", "decompose_emulation_error"]
+
+
+@dataclass(frozen=True)
+class ErrorDecomposition:
+    """Max-error components of one emulated GEMM (all vs float64 exact)."""
+
+    scheme: str
+    #: |split-reconstructed exact product - exact product|
+    split_residual: float
+    #: |emulated result - split-reconstructed exact product|
+    accumulation: float
+    #: |fp32 reference - exact product| (common-mode in Eq. 10)
+    reference: float
+    #: |emulated result - exact product|
+    total_vs_exact: float
+    #: |emulated result - fp32 reference| (the paper's Eq. 10 number)
+    total_vs_single: float
+
+    @property
+    def dominant_source(self) -> str:
+        """Which component bounds the Eq. 10 measurement."""
+        sources = {
+            "split": self.split_residual,
+            "accumulation": self.accumulation,
+            "reference": self.reference,
+        }
+        return max(sources, key=lambda k: sources[k])
+
+    def summary(self) -> str:
+        return (
+            f"{self.scheme}: split={self.split_residual:.2e} "
+            f"accum={self.accumulation:.2e} reference={self.reference:.2e} "
+            f"-> vs_single={self.total_vs_single:.2e} (dominant: {self.dominant_source})"
+        )
+
+
+def decompose_emulation_error(
+    a: np.ndarray,
+    b: np.ndarray,
+    scheme: EmulationScheme = EGEMM,
+    tk: int = 16,
+) -> ErrorDecomposition:
+    """Measure each error component of one emulated GEMM.
+
+    The split-residual component multiplies the *reconstructed* split
+    values exactly (float64), so only the discarded bits differ; the
+    accumulation component is the emulated result against that exact
+    product of reconstructed inputs.
+    """
+    a32 = np.asarray(a, dtype=np.float32)
+    b32 = np.asarray(b, dtype=np.float32)
+    exact = reference_exact(a32, b32)
+    single = reference_single(a32, b32)
+    emulated = EmulatedGemm(scheme=scheme, tk=tk)(a32, b32)
+
+    pa, pb = scheme.split_operands(a32, b32)
+    reconstructed = pa.reconstruct() @ pb.reconstruct()
+
+    return ErrorDecomposition(
+        scheme=scheme.name,
+        split_residual=max_error(reconstructed, exact),
+        accumulation=max_error(emulated, reconstructed),
+        reference=max_error(single, exact),
+        total_vs_exact=max_error(emulated, exact),
+        total_vs_single=max_error(emulated, single),
+    )

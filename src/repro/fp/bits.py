@@ -1,0 +1,198 @@
+"""Bit-level views of IEEE-754 floating-point values.
+
+This module is the lowest layer of the reproduction: everything above it —
+the split algorithms of :mod:`repro.splits`, the simulated tensor-core
+primitive of :mod:`repro.tensorcore`, the bit-wise profiling workflow of
+:mod:`repro.profiling` — reasons about floats through the decompositions
+defined here.
+
+All functions are vectorized over NumPy arrays; scalars are accepted and
+returned as 0-d results.  The integer views never copy when the input is a
+contiguous float array of the matching width (``ndarray.view``), matching
+the "views, not copies" guidance for numerical hot paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "FP16_SIGN_MASK",
+    "FP16_EXP_MASK",
+    "FP16_MAN_MASK",
+    "FP32_SIGN_MASK",
+    "FP32_EXP_MASK",
+    "FP32_MAN_MASK",
+    "float_to_bits",
+    "bits_to_float",
+    "decompose",
+    "compose",
+    "hex_bits",
+    "format_bits",
+    "mantissa_bits_agreement",
+    "ulp",
+    "next_after_zero",
+    "is_negative_zero",
+]
+
+# fp16 field masks (1 sign, 5 exponent, 10 mantissa bits).
+FP16_SIGN_MASK = np.uint16(0x8000)
+FP16_EXP_MASK = np.uint16(0x7C00)
+FP16_MAN_MASK = np.uint16(0x03FF)
+
+# fp32 field masks (1 sign, 8 exponent, 23 mantissa bits).
+FP32_SIGN_MASK = np.uint32(0x8000_0000)
+FP32_EXP_MASK = np.uint32(0x7F80_0000)
+FP32_MAN_MASK = np.uint32(0x007F_FFFF)
+
+_UINT_FOR_FLOAT = {
+    np.dtype(np.float16): np.dtype(np.uint16),
+    np.dtype(np.float32): np.dtype(np.uint32),
+    np.dtype(np.float64): np.dtype(np.uint64),
+}
+
+_FIELDS = {
+    # dtype -> (exponent bits, mantissa bits)
+    np.dtype(np.float16): (5, 10),
+    np.dtype(np.float32): (8, 23),
+    np.dtype(np.float64): (11, 52),
+}
+
+
+def float_to_bits(x: np.ndarray | float) -> np.ndarray:
+    """Return the raw IEEE-754 bit pattern of ``x`` as an unsigned integer.
+
+    The result dtype matches the width of the input float dtype
+    (``float16 -> uint16`` etc.).  A zero-copy view is used whenever the
+    input is already a NumPy float array.
+    """
+    arr = np.asarray(x)
+    if arr.dtype not in _UINT_FOR_FLOAT:
+        raise TypeError(f"unsupported float dtype: {arr.dtype}")
+    return arr.view(_UINT_FOR_FLOAT[arr.dtype])
+
+
+def bits_to_float(bits: np.ndarray | int, dtype=np.float32) -> np.ndarray:
+    """Reinterpret unsigned-integer bit patterns as floats of ``dtype``."""
+    dtype = np.dtype(dtype)
+    if dtype not in _UINT_FOR_FLOAT:
+        raise TypeError(f"unsupported float dtype: {dtype}")
+    arr = np.asarray(bits, dtype=_UINT_FOR_FLOAT[dtype])
+    return arr.view(dtype)
+
+
+def decompose(x: np.ndarray | float) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split floats into ``(sign, biased_exponent, mantissa)`` integer fields.
+
+    ``sign`` is 0 or 1, ``biased_exponent`` is the raw stored exponent and
+    ``mantissa`` is the stored fraction field (without the implicit bit).
+    """
+    arr = np.asarray(x)
+    exp_bits, man_bits = _FIELDS[arr.dtype]
+    bits = float_to_bits(arr).astype(np.uint64)
+    man = bits & np.uint64((1 << man_bits) - 1)
+    exp = (bits >> np.uint64(man_bits)) & np.uint64((1 << exp_bits) - 1)
+    sign = bits >> np.uint64(man_bits + exp_bits)
+    return sign, exp, man
+
+
+def compose(sign, exp, man, dtype=np.float32) -> np.ndarray:
+    """Inverse of :func:`decompose`: assemble fields into a float array."""
+    dtype = np.dtype(dtype)
+    exp_bits, man_bits = _FIELDS[dtype]
+    sign = np.asarray(sign, dtype=np.uint64)
+    exp = np.asarray(exp, dtype=np.uint64)
+    man = np.asarray(man, dtype=np.uint64)
+    if np.any(exp >> exp_bits):
+        raise ValueError("exponent field overflow")
+    if np.any(man >> man_bits):
+        raise ValueError("mantissa field overflow")
+    bits = (sign << np.uint64(man_bits + exp_bits)) | (exp << np.uint64(man_bits)) | man
+    return bits_to_float(bits.astype(_UINT_FOR_FLOAT[dtype]), dtype)
+
+
+def hex_bits(x: float, dtype=np.float32) -> str:
+    """Hexadecimal bit pattern of a scalar, e.g. ``0x029a6944``.
+
+    This is the representation the paper's Appendix prints next to the
+    half/single/Tensor-Core results of the profiling program.
+    """
+    dtype = np.dtype(dtype)
+    bits = int(float_to_bits(np.asarray(x, dtype=dtype)))
+    width = dtype.itemsize * 2
+    return f"0x{bits:0{width}x}"
+
+
+def _ordered_int32(x: np.ndarray) -> np.ndarray:
+    """Map fp32 bit patterns to integers monotonic in the float ordering.
+
+    The classic sign-magnitude trick: non-negative floats keep their bit
+    pattern, negative floats are mirrored below zero.  The integer
+    difference of two mapped values is their distance in ulps, valid
+    across exponent boundaries and the signed-zero pair.
+    """
+    bits = float_to_bits(np.asarray(x, dtype=np.float32)).astype(np.int64)
+    return np.where(bits & 0x8000_0000, -(bits & 0x7FFF_FFFF), bits)
+
+
+def ulp_distance(a: np.ndarray | float, b: np.ndarray | float) -> np.ndarray:
+    """Elementwise distance between fp32 values in units in the last place."""
+    return np.abs(_ordered_int32(a) - _ordered_int32(b))
+
+
+def mantissa_bits_agreement(a: np.ndarray | float, b: np.ndarray | float) -> np.ndarray:
+    """Number of leading fp32 mantissa bits on which ``a`` and ``b`` agree.
+
+    Both inputs are interpreted as fp32.  Agreement is measured through
+    the ulp distance ``d`` (which, unlike a raw XOR of mantissa fields,
+    does not over-penalize values adjacent across a carry or exponent
+    boundary):
+
+    * ``d == 0``  -> 24 (all 23 stored bits plus the implicit bit),
+    * otherwise   -> ``max(0, 23 - floor(log2(d)))`` — a 1-ulp difference
+      leaves 23 agreeing bits, a difference in the 2^j-ulp range leaves
+      ``23 - j``.
+
+    This metric implements the paper's "identical ... bit-wisely up to 21
+    mantissa bits" profiling comparison (§3.2, Appendix A.3): agreement of
+    21 bits means the values differ by at most a few units in the 21st
+    mantissa bit.
+    """
+    d = ulp_distance(a, b)
+    nonzero = d != 0
+    safe = np.where(nonzero, d, 1)
+    high = np.floor(np.log2(safe.astype(np.float64))).astype(np.int64)
+    agree = np.where(nonzero, np.maximum(23 - high, 0), 24)
+    return agree
+
+
+def ulp(x: np.ndarray | float, dtype=np.float32) -> np.ndarray:
+    """Unit in the last place of ``x`` in the given format."""
+    dtype = np.dtype(dtype)
+    arr = np.asarray(x, dtype=dtype)
+    return np.abs(np.nextafter(arr, np.array(np.inf, dtype=dtype)) - arr)
+
+
+def next_after_zero(dtype=np.float16) -> float:
+    """Smallest positive subnormal of the format."""
+    return float(np.nextafter(np.array(0, dtype=dtype), np.array(1, dtype=dtype)))
+
+
+def format_bits(x: float, dtype=np.float32) -> str:
+    """Render a float's bit fields as ``s|exponent|mantissa``.
+
+    Example: ``format_bits(1.0)`` -> ``0|01111111|00000000000000000000000``.
+    Used by the precision-study example and the documentation to make the
+    Figure 4 split anatomy visible bit by bit.
+    """
+    dtype = np.dtype(dtype)
+    exp_bits, man_bits = _FIELDS[dtype]
+    sign, exp, man = decompose(np.asarray(x, dtype=dtype))
+    return f"{int(sign):01b}|{int(exp):0{exp_bits}b}|{int(man):0{man_bits}b}"
+
+
+def is_negative_zero(x: np.ndarray | float) -> np.ndarray:
+    """Elementwise test for ``-0.0`` (sign bit set, value zero)."""
+    arr = np.asarray(x)
+    sign, _, _ = decompose(arr)
+    return (arr == 0) & (sign == 1)

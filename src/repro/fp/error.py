@@ -1,0 +1,65 @@
+"""Error metrics for emulated-precision GEMM results.
+
+The paper's precision evaluation (Figure 7, Eq. 10) reports
+
+    MaxError(p) = | V_p - V_single |
+
+the largest absolute elementwise deviation of the precision-``p`` result
+from the single-precision result.  The Appendix's ``precision_test``
+additionally reports the *ratio* of the emulation error to the
+half-precision cuBLAS error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["max_error", "mean_error", "error_ratio", "ErrorReport", "compare_to_reference"]
+
+
+def max_error(value: np.ndarray, reference: np.ndarray) -> float:
+    """Eq. 10: largest absolute elementwise deviation from ``reference``."""
+    v = np.asarray(value, dtype=np.float64)
+    r = np.asarray(reference, dtype=np.float64)
+    if v.shape != r.shape:
+        raise ValueError(f"shape mismatch: {v.shape} vs {r.shape}")
+    return float(np.max(np.abs(v - r))) if v.size else 0.0
+
+
+def mean_error(value: np.ndarray, reference: np.ndarray) -> float:
+    """Mean absolute elementwise deviation from ``reference``."""
+    v = np.asarray(value, dtype=np.float64)
+    r = np.asarray(reference, dtype=np.float64)
+    if v.shape != r.shape:
+        raise ValueError(f"shape mismatch: {v.shape} vs {r.shape}")
+    return float(np.mean(np.abs(v - r))) if v.size else 0.0
+
+
+def error_ratio(value_error: float, baseline_error: float) -> float:
+    """Ratio of two max errors (Appendix ``precision_test`` output).
+
+    Returns ``nan`` when the baseline error is exactly zero, which only
+    happens for degenerate inputs.
+    """
+    if baseline_error == 0.0:
+        return float("nan")
+    return value_error / baseline_error
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """Max/mean error of a result against a reference computation."""
+
+    label: str
+    max_error: float
+    mean_error: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.label}: max={self.max_error:.8g} mean={self.mean_error:.8g}"
+
+
+def compare_to_reference(label: str, value: np.ndarray, reference: np.ndarray) -> ErrorReport:
+    """Bundle :func:`max_error` and :func:`mean_error` into a report."""
+    return ErrorReport(label, max_error(value, reference), mean_error(value, reference))

@@ -1,0 +1,126 @@
+"""Floating-point format descriptors (the paper's Table 1).
+
+The paper compares four precision types by their bit budgets:
+
+==================== ==== ======== ========
+Data type            Sign Exponent Mantissa
+==================== ==== ======== ========
+Half-precision       1    5        10
+Single-precision     1    8        23
+Markidis-precision   1    5        20
+Extended-precision   1    5        21
+==================== ==== ======== ========
+
+"Markidis-precision" is what the truncate-split emulation of Markidis [20]
+delivers: two half-precision mantissas back to back, 20 effective bits.
+"Extended-precision" is what the paper's round-split emulation delivers:
+the same two 10-bit mantissas *plus* one extra bit recovered by re-using
+the sign bit of the low part (Figure 4), for 21 effective bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FloatFormat", "HALF", "SINGLE", "MARKIDIS", "EXTENDED", "TABLE1", "table1_rows"]
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """A (possibly emulated) binary floating-point format.
+
+    Parameters mirror Table 1 of the paper.  ``storage`` names the NumPy
+    dtype(s) used to *carry* values of this format in the reproduction;
+    emulated formats are carried as pairs of ``float16`` values.
+    """
+
+    name: str
+    sign_bits: int
+    exponent_bits: int
+    mantissa_bits: int
+    emulated: bool = False
+    description: str = ""
+
+    @property
+    def significand_bits(self) -> int:
+        """Mantissa bits including the implicit leading 1."""
+        return self.mantissa_bits + 1
+
+    @property
+    def epsilon(self) -> float:
+        """Machine epsilon (spacing of 1.0) implied by the mantissa width."""
+        return 2.0 ** (-self.mantissa_bits)
+
+    @property
+    def total_bits(self) -> int:
+        return self.sign_bits + self.exponent_bits + self.mantissa_bits
+
+    def max_exponent(self) -> int:
+        """Largest unbiased exponent of a normal number."""
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    def min_exponent(self) -> int:
+        """Smallest unbiased exponent of a normal number."""
+        return 2 - (1 << (self.exponent_bits - 1))
+
+    def representable_max(self) -> float:
+        """Largest finite value representable in the format."""
+        frac = 2.0 - 2.0 ** (-self.mantissa_bits)
+        return frac * 2.0 ** self.max_exponent()
+
+    def quantize(self, x: np.ndarray | float) -> np.ndarray:
+        """Round ``x`` to this format's mantissa width (nearest-even).
+
+        Exponent-range effects (overflow to inf, subnormal flushing) are
+        applied for the two hardware formats; emulated formats share the
+        half-precision exponent range on each component but represent the
+        *value* to their wider mantissa, so only mantissa rounding applies.
+        """
+        from .rounding import round_to_mantissa
+
+        if self.name == "half":
+            return np.asarray(x, dtype=np.float64).astype(np.float16).astype(np.float64)
+        if self.name == "single":
+            return np.asarray(x, dtype=np.float64).astype(np.float32).astype(np.float64)
+        return round_to_mantissa(np.asarray(x, dtype=np.float64), self.mantissa_bits)
+
+
+HALF = FloatFormat(
+    "half", 1, 5, 10, description="IEEE-754 binary16 — Tensor Core input type"
+)
+SINGLE = FloatFormat(
+    "single", 1, 8, 23, description="IEEE-754 binary32 — Tensor Core accumulator type"
+)
+MARKIDIS = FloatFormat(
+    "markidis",
+    1,
+    5,
+    20,
+    emulated=True,
+    description="truncate-split pair of binary16 values (Markidis et al.)",
+)
+EXTENDED = FloatFormat(
+    "extended",
+    1,
+    5,
+    21,
+    emulated=True,
+    description="round-split pair of binary16 values (EGEMM-TC)",
+)
+
+TABLE1 = (HALF, SINGLE, MARKIDIS, EXTENDED)
+
+
+def table1_rows() -> list[dict[str, object]]:
+    """Rows of the paper's Table 1, for the experiment harness."""
+    return [
+        {
+            "data_type": f.name,
+            "sign": f.sign_bits,
+            "exponent": f.exponent_bits,
+            "mantissa": f.mantissa_bits,
+        }
+        for f in TABLE1
+    ]

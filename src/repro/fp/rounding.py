@@ -1,0 +1,107 @@
+"""Rounding primitives used by the split algorithms and probing cores.
+
+The emulation algorithms of the paper hinge on *where* rounding happens:
+
+* truncate-split (Markidis) chops the fp32 mantissa after 10 bits;
+* round-split (EGEMM-TC) rounds-to-nearest on the 10th bit, recovering one
+  extra effective mantissa bit via the sign of the residual (Figure 4);
+* the probing compute primitives of the profiling workflow differ only in
+  the precision each intermediate result is rounded to.
+
+All routines are vectorized and operate in float64 carriers, which hold
+fp16/fp32 values exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "round_to_mantissa",
+    "truncate_to_mantissa",
+    "to_half",
+    "to_single",
+    "split_scale",
+]
+
+
+def _frexp_scale(x: np.ndarray) -> np.ndarray:
+    """Per-element power of two such that ``x / 2**e`` lies in [1, 2).
+
+    Zeros map to scale 1 so downstream code never divides by zero.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    mant, exp = np.frexp(x)  # x = mant * 2**exp with |mant| in [0.5, 1)
+    exp = np.where(x == 0, 1, exp)
+    return np.ldexp(1.0, exp - 1)
+
+
+def round_to_mantissa(x: np.ndarray | float, bits: int) -> np.ndarray:
+    """Round ``x`` to ``bits`` stored mantissa bits, ties-to-even.
+
+    Mimics IEEE round-to-nearest-even at an arbitrary mantissa width without
+    altering the exponent range.  Used to model the emulated "extended" and
+    "markidis" value sets and the wide internal accumulator of the probing
+    primitives.
+    """
+    if bits < 0:
+        raise ValueError("mantissa width must be non-negative")
+    x = np.asarray(x, dtype=np.float64)
+    scale = _frexp_scale(x)
+    # x = m * scale with |m| in [1,2); quantum of the target format is
+    # scale * 2**-bits.  np.round implements ties-to-even on the scaled
+    # integer, matching IEEE RN behaviour for in-range values.  Values so
+    # small that the quantum underflows to zero (deep f64 subnormals)
+    # pass through unchanged: they are already below any emulated grid.
+    quantum = scale * 2.0 ** (-bits)
+    safe_quantum = np.where(quantum == 0, 1.0, quantum)
+    out = np.round(x / safe_quantum) * safe_quantum
+    out = np.where(quantum == 0, x, out)
+    return np.where(np.isfinite(x), out, x)
+
+
+def truncate_to_mantissa(x: np.ndarray | float, bits: int) -> np.ndarray:
+    """Chop ``x`` to ``bits`` stored mantissa bits (round toward zero).
+
+    This is the split primitive of Markidis et al.: ``xhi = trunc16(x)``
+    keeps the top 10 mantissa bits, discarding the rest regardless of their
+    value, which loses one expected bit of accuracy versus rounding.
+    """
+    if bits < 0:
+        raise ValueError("mantissa width must be non-negative")
+    x = np.asarray(x, dtype=np.float64)
+    scale = _frexp_scale(x)
+    quantum = scale * 2.0 ** (-bits)
+    safe_quantum = np.where(quantum == 0, 1.0, quantum)
+    out = np.trunc(x / safe_quantum) * safe_quantum
+    out = np.where(quantum == 0, x, out)
+    return np.where(np.isfinite(x), out, x)
+
+
+def to_half(x: np.ndarray | float) -> np.ndarray:
+    """Round to IEEE binary16 (including range effects), carried as f64.
+
+    Values beyond the fp16 range overflow to infinity, as the hardware
+    conversion does; the NumPy overflow warning is intentional behaviour
+    here and suppressed.
+    """
+    with np.errstate(over="ignore"):
+        return np.asarray(x, dtype=np.float64).astype(np.float16).astype(np.float64)
+
+
+def to_single(x: np.ndarray | float) -> np.ndarray:
+    """Round to IEEE binary32 (including range effects), carried as f64."""
+    return np.asarray(x, dtype=np.float64).astype(np.float32).astype(np.float64)
+
+
+def split_scale(x: np.ndarray | float) -> np.ndarray:
+    """Power-of-two ulp scale of the fp16 *high* part of ``x``.
+
+    For a value ``x`` whose fp16 rounding is ``xhi = m * 2**e`` (normal),
+    the low part of a two-term split carries bits at and below
+    ``2**(e-10)``; this helper returns that quantum.  Used by tests to
+    check that round-split residuals are bounded by half a quantum.
+    """
+    xhi = to_half(x)
+    scale = _frexp_scale(xhi)
+    return scale * 2.0**-10

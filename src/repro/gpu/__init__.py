@@ -1,0 +1,86 @@
+"""GPU hardware simulator: specs (Table 3), SASS-like ISA, dual-pipeline
+scheduler with latency hiding (Figure 6), register allocation (§5.2),
+occupancy, memory hierarchy, and the wave/DRAM execution engine."""
+
+from .engine import LAUNCH_OVERHEAD_S, KernelLaunch, KernelTiming, execute, roofline_seconds
+from .isa import ExecUnit, InstrGroup, InstructionStream, Opcode
+from .memory import GlobalMemory, SharedMemory, SharedMemoryOverflow, TrafficLog
+from .occupancy import BlockResources, Occupancy, occupancy
+from .registers import AllocationResult, StageUsage, allocate, egemm_stage_usage
+from .arch import AMPERE, PASCAL, TURING, VOLTA, Architecture, UnsupportedArchitectureError, check_listing
+from .cache import CacheStats, SetAssociativeCache
+from .assembler import SassParseError, parse as parse_sass
+from .sass import RZ, Reg, SassInstr, SassListing, SassValidationError
+from .sass import validate as validate_sass
+from .scheduler import ScheduleResult, schedule
+from .spec import GPUS, RTX6000, TESLA_T4, GpuSpec, get_gpu, table3_rows
+from .timeline import LaneSegment, render_timeline, timeline_segments
+from .trace import Segment, block_iteration_segments, wave_trace
+from .warp import (
+    COMPUTE_LAYOUT,
+    WARP_SIZE,
+    ThreadLayout,
+    compute_sharing,
+    loading_assignment,
+    thread_slices,
+)
+
+__all__ = [
+    "LAUNCH_OVERHEAD_S",
+    "KernelLaunch",
+    "KernelTiming",
+    "execute",
+    "roofline_seconds",
+    "ExecUnit",
+    "InstrGroup",
+    "InstructionStream",
+    "Opcode",
+    "GlobalMemory",
+    "SharedMemory",
+    "SharedMemoryOverflow",
+    "TrafficLog",
+    "BlockResources",
+    "Occupancy",
+    "occupancy",
+    "AllocationResult",
+    "StageUsage",
+    "allocate",
+    "egemm_stage_usage",
+    "CacheStats",
+    "SetAssociativeCache",
+    "AMPERE",
+    "PASCAL",
+    "TURING",
+    "VOLTA",
+    "Architecture",
+    "UnsupportedArchitectureError",
+    "check_listing",
+    "SassParseError",
+    "parse_sass",
+    "RZ",
+    "Reg",
+    "SassInstr",
+    "SassListing",
+    "SassValidationError",
+    "validate_sass",
+    "ScheduleResult",
+    "schedule",
+    "Segment",
+    "block_iteration_segments",
+    "wave_trace",
+    "LaneSegment",
+    "render_timeline",
+    "timeline_segments",
+    "GPUS",
+    "RTX6000",
+    "TESLA_T4",
+    "GpuSpec",
+    "get_gpu",
+    "table3_rows",
+    "COMPUTE_LAYOUT",
+    "WARP_SIZE",
+    "ThreadLayout",
+    "compute_sharing",
+    "loading_assignment",
+    "thread_slices",
+]

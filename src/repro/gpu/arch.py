@@ -1,0 +1,69 @@
+"""GPU architecture gating — the artifact's "Turing required" rule.
+
+The artifact's Appendix warns that its SASS "can be compiled and
+evaluated" only on Turing GPUs and that running on Volta or Pascal ends
+in ``Segmentation fault (core dumped)``: the m16n8k8 ``HMMA.1688``
+encoding does not exist before Turing (Volta's HMMA is m8n8k4; Pascal
+has no Tensor Cores at all).  This module makes that constraint a
+checkable property instead of a crash:
+
+* each :class:`Architecture` declares the HMMA shapes it encodes,
+* :func:`check_listing` validates a SASS listing against a target
+  architecture and raises :class:`UnsupportedArchitectureError` with the
+  artifact's diagnosis instead of a segfault.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .sass import SassListing
+
+__all__ = ["Architecture", "TURING", "VOLTA", "PASCAL", "AMPERE", "UnsupportedArchitectureError", "check_listing"]
+
+
+class UnsupportedArchitectureError(RuntimeError):
+    """The listing uses instructions the target architecture lacks."""
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """One GPU generation's instruction-encoding capabilities."""
+
+    name: str
+    sm_version: int
+    #: HMMA opcode spellings this generation encodes
+    hmma_shapes: frozenset[str]
+    has_tensor_cores: bool = True
+
+
+PASCAL = Architecture("Pascal", 61, frozenset(), has_tensor_cores=False)
+VOLTA = Architecture("Volta", 70, frozenset({"HMMA.884.F32"}))
+TURING = Architecture("Turing", 75, frozenset({"HMMA.884.F32", "HMMA.1688.F32"}))
+AMPERE = Architecture(
+    "Ampere", 80, frozenset({"HMMA.884.F32", "HMMA.1688.F32", "HMMA.16816.F32"})
+)
+
+
+def check_listing(listing: SassListing, arch: Architecture) -> None:
+    """Raise with the artifact's diagnosis when the listing cannot run.
+
+    Mirrors the Appendix's "Typical Errors": compiling the EGEMM-TC SASS
+    for a non-Turing GPU produces a crash at run time; here it produces
+    an explanation.
+    """
+    for pos, instr in enumerate(listing.instrs):
+        if instr.opcode.startswith("HMMA"):
+            if not arch.has_tensor_cores:
+                raise UnsupportedArchitectureError(
+                    f"{listing.name}[{pos}]: {arch.name} (sm_{arch.sm_version}) has no "
+                    "Tensor Cores — this kernel cannot run at all"
+                )
+            if instr.opcode not in arch.hmma_shapes:
+                raise UnsupportedArchitectureError(
+                    f"{listing.name}[{pos}]: {instr.opcode} is not encoded on "
+                    f"{arch.name} (sm_{arch.sm_version}) — running this SASS there "
+                    "would be the artifact's 'Segmentation fault (core dumped)'; "
+                    "Turing architecture is required"
+                )

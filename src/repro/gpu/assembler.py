@@ -1,0 +1,95 @@
+"""A minimal SASS text assembler/parser (the TuringAs role).
+
+The artifact assembles hand-written SASS text with TuringAs; this module
+closes the loop in the reproduction by *parsing* rendered listings back
+into :class:`~repro.gpu.sass.SassListing` objects, so listings round-trip
+(``parse(render(listing))`` preserves every instruction and control
+word) and externally-authored listing text can be validated with
+:func:`repro.gpu.sass.validate`.
+
+Grammar (one instruction per line)::
+
+    [B<wait6>:R<r>:W<w>:<Y|->:S<nn>]  OPCODE [operands...] ;
+
+Comment lines (``//``) and blank lines are skipped.  Register operands
+are recovered from the operand text (every ``R<n>`` token) — enough for
+def-before-use and budget validation; destination registers are taken as
+the leading register tokens for opcodes that write (loads, HMMA, MOV).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .sass import Reg, SassInstr, SassListing
+
+__all__ = ["SassParseError", "parse"]
+
+_LINE_RE = re.compile(
+    r"^\[B(?P<wait>[-0-5]{6}):R(?P<read>[-0-5]):W(?P<write>[-0-5]):(?P<yield>[Y-]):S(?P<stall>\d{2})\]"
+    r"\s+(?P<opcode>[A-Z][A-Z0-9._]*)\s*(?P<operands>.*?)\s*;\s*$"
+)
+_REG_RE = re.compile(r"\bR(\d{1,3})\b")
+
+#: opcodes whose leading register vector is a destination, with its width
+_DEST_WIDTH = {
+    "LDG.E.128": 4,
+    "LDS.128": 4,
+    "LDG.E.64": 2,
+    "LDS.64": 2,
+    "LDG.E": 1,
+    "LDS": 1,
+    "HMMA.1688.F32": 4,
+    "MOV": 1,
+    "IADD3": 1,
+    "FADD": 1,
+    "FFMA": 1,
+}
+
+
+class SassParseError(ValueError):
+    """The text is not a well-formed listing line."""
+
+
+def _parse_line(line: str, lineno: int) -> SassInstr:
+    match = _LINE_RE.match(line.strip())
+    if match is None:
+        raise SassParseError(f"line {lineno}: cannot parse {line.strip()!r}")
+    wait = 0
+    for ch in match["wait"]:
+        if ch != "-":
+            wait |= 1 << int(ch)
+    operand_text = match["operands"]
+    regs = [Reg(int(tok)) for tok in _REG_RE.findall(operand_text)]
+    dest_width = _DEST_WIDTH.get(match["opcode"], 0)
+    dests = tuple(regs[:dest_width])
+    srcs = tuple(regs[dest_width:])
+    # The renderer prints the destination vector before the operand text;
+    # strip it back out so parse(render(x)) renders identically.
+    if dest_width:
+        tokens = list(_REG_RE.finditer(operand_text))
+        if len(tokens) >= dest_width:
+            cut = tokens[dest_width - 1].end()
+            operand_text = operand_text[cut:].lstrip(", ").strip()
+    return SassInstr(
+        opcode=match["opcode"],
+        dests=dests,
+        srcs=srcs,
+        operands=operand_text,
+        stall=int(match["stall"]),
+        yield_=match["yield"] == "Y",
+        wrtdb=None if match["write"] == "-" else int(match["write"]),
+        readb=None if match["read"] == "-" else int(match["read"]),
+        watdb=wait,
+    )
+
+
+def parse(text: str, name: str = "parsed", live_in: frozenset[int] = frozenset()) -> SassListing:
+    """Parse rendered listing text back into a :class:`SassListing`."""
+    listing = SassListing(name=name, live_in=live_in)
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("//"):
+            continue
+        listing.emit(_parse_line(stripped, lineno))
+    return listing

@@ -1,0 +1,104 @@
+"""Set-associative cache simulator (the L2 model behind the wave-reuse
+DRAM accounting).
+
+The engine's DRAM traffic model (:meth:`TensorizationPlan
+.dram_bytes_per_block`) *assumes* that operand panels shared by the
+blocks of one wave hit in L2 — the standard wave-reuse argument.  This
+module provides the machinery to check that assumption rather than
+assert it: a functional LRU set-associative cache
+(:class:`SetAssociativeCache`) that consumes address streams and counts
+hits, misses, and DRAM fill bytes.  The companion trace generator lives
+in :mod:`repro.gpu.trace`; the cross-check experiment in
+:mod:`repro.experiments.traffic_validation`.
+
+The default geometry matches the Tesla T4's L2: 4 MiB, 128-byte lines,
+16-way associative.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+__all__ = ["CacheStats", "SetAssociativeCache"]
+
+
+@dataclass
+class CacheStats:
+    """Access counters of one simulated cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    line_bytes: int = 128
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def fill_bytes(self) -> int:
+        """Bytes pulled from the next level (DRAM) on misses."""
+        return self.misses * self.line_bytes
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over a byte address space."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = 4 * 1024 * 1024,
+        line_bytes: int = 128,
+        ways: int = 16,
+    ) -> None:
+        if capacity_bytes <= 0 or line_bytes <= 0 or ways <= 0:
+            raise ValueError("cache geometry must be positive")
+        if capacity_bytes % (line_bytes * ways):
+            raise ValueError("capacity must be a whole number of sets")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = capacity_bytes // (line_bytes * ways)
+        # one LRU-ordered dict of tags per set
+        self._sets: list[OrderedDict[int, None]] = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats = CacheStats(line_bytes=line_bytes)
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def access(self, address: int) -> bool:
+        """Touch one byte address; returns True on hit."""
+        set_idx, tag = self._locate(address)
+        ways = self._sets[set_idx]
+        if tag in ways:
+            ways.move_to_end(tag)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        ways[tag] = None
+        if len(ways) > self.ways:
+            ways.popitem(last=False)
+            self.stats.evictions += 1
+        return False
+
+    def access_range(self, start: int, nbytes: int) -> int:
+        """Touch a contiguous byte range; returns the number of line hits."""
+        if nbytes <= 0:
+            return 0
+        first = start // self.line_bytes
+        last = (start + nbytes - 1) // self.line_bytes
+        hits = 0
+        for line in range(first, last + 1):
+            hits += self.access(line * self.line_bytes)
+        return hits
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats(line_bytes=self.line_bytes)
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(len(s) for s in self._sets) * self.line_bytes

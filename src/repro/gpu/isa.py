@@ -1,0 +1,190 @@
+"""A SASS-like instruction set for the kernel timing simulator (§5).
+
+The paper programs Tensor Cores at the SASS level with four instructions
+that "are widely used in many generations of Nvidia GPUs":
+
+* ``LDS``  — shared memory -> registers,
+* ``LDG``  — global memory -> registers,
+* ``STS``  — registers -> shared memory,
+* ``HMMA`` — the Tensor Core compute instruction.
+
+We add the bookkeeping opcodes a real kernel carries (``FFMA`` for
+CUDA-core math, ``IADD`` for addressing, ``BAR`` for block barriers,
+``EXIT``).  Instructions here are *warp-level*: one ``LDG.128`` is the
+128-bit-per-thread load of a whole warp (512 bytes of traffic).
+
+Instruction streams are represented as lists of :class:`InstrGroup` —
+run-length-encoded batches of identical instructions with explicit
+dependency edges — which keeps the scheduler cost independent of matrix
+size while preserving the issue-order structure Figure 6 manipulates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .spec import GpuSpec
+
+__all__ = ["Opcode", "ExecUnit", "InstrGroup", "InstructionStream"]
+
+
+class ExecUnit(enum.Enum):
+    """Functional unit an opcode issues to.
+
+    Per the microbenchmarking works the paper cites [15, 39], the memory
+    instructions (LDS, LDG, STS) are executed *sequentially* on one
+    load/store pipeline and "cannot be further paralleled"; the Tensor
+    Core pipeline runs independently — that independence is exactly the
+    latency-hiding opportunity of §5.1.
+    """
+
+    MEM = "mem"
+    TENSOR = "tensor"
+    ALU = "alu"
+    SYNC = "sync"
+
+
+class Opcode(enum.Enum):
+    LDS = "LDS"
+    LDG = "LDG"
+    STS = "STS"
+    STG = "STG"
+    HMMA = "HMMA"
+    FFMA = "FFMA"
+    IADD = "IADD"
+    BAR = "BAR"
+    EXIT = "EXIT"
+
+    @property
+    def unit(self) -> ExecUnit:
+        return _UNIT[self]
+
+
+_UNIT = {
+    Opcode.LDS: ExecUnit.MEM,
+    Opcode.LDG: ExecUnit.MEM,
+    Opcode.STS: ExecUnit.MEM,
+    Opcode.STG: ExecUnit.MEM,
+    Opcode.HMMA: ExecUnit.TENSOR,
+    Opcode.FFMA: ExecUnit.ALU,
+    Opcode.IADD: ExecUnit.ALU,
+    Opcode.BAR: ExecUnit.SYNC,
+    Opcode.EXIT: ExecUnit.SYNC,
+}
+
+#: bytes of traffic carried by one warp-level instance of each memory opcode
+_BYTES_PER_INSTR = {
+    Opcode.LDS: 512,  # LDS.128: 16 B x 32 threads
+    Opcode.LDG: 512,  # LDG.128
+    Opcode.STS: 512,  # STS.128
+    Opcode.STG: 512,  # STG.128
+}
+
+
+@dataclass
+class InstrGroup:
+    """A run of ``count`` identical warp-level instructions.
+
+    ``depends_on`` lists indices (into the owning stream) of groups whose
+    *completion* must precede this group's first issue — the coarse
+    dependency structure of a tensorized kernel (HMMAs of iteration *i*
+    depend on the LDS batch of iteration *i*; the STS batch of iteration
+    *i+1* is delayed behind iteration *i*'s LDS batch, §5.1's "delay STS
+    to the end of the current iteration").
+
+    ``issue_after`` lists groups whose *issue* (not completion) must
+    precede this group's issue — the in-order front-end constraint.  The
+    SASS-level instruction reordering of §5.1 manipulates exactly these
+    edges: without scheduling, a warp's LDG for iteration *i+1* sits in
+    program order behind the iteration-*i* HMMAs and cannot issue until
+    they have; with scheduling the loads are hoisted ahead.
+    """
+
+    opcode: Opcode
+    count: int
+    depends_on: tuple[int, ...] = ()
+    issue_after: tuple[int, ...] = ()
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("instruction count must be non-negative")
+
+    @property
+    def unit(self) -> ExecUnit:
+        return self.opcode.unit
+
+    @property
+    def traffic_bytes(self) -> int:
+        """Bytes moved by the whole group (memory opcodes only)."""
+        return _BYTES_PER_INSTR.get(self.opcode, 0) * self.count
+
+    def issue_cycles(self, spec: GpuSpec) -> float:
+        """Cycles this group occupies its functional unit."""
+        per = {
+            Opcode.LDS: spec.lds_issue_cycles,
+            Opcode.LDG: spec.ldg_issue_cycles,
+            Opcode.STS: spec.sts_issue_cycles,
+            Opcode.STG: spec.sts_issue_cycles,
+            Opcode.HMMA: spec.hmma_issue_cycles,
+            Opcode.FFMA: 1.0,
+            Opcode.IADD: 1.0,
+            Opcode.BAR: spec.barrier_cycles,
+            Opcode.EXIT: 1.0,
+        }[self.opcode]
+        return per * self.count
+
+    def completion_latency(self, spec: GpuSpec) -> float:
+        """Extra cycles from last issue to last completion."""
+        return {
+            Opcode.LDS: spec.lds_latency_cycles,
+            Opcode.LDG: spec.ldg_latency_cycles,
+            Opcode.STS: spec.lds_latency_cycles,
+            Opcode.STG: spec.lds_latency_cycles,
+            Opcode.HMMA: spec.hmma_latency_cycles,
+            Opcode.FFMA: 4.0,
+            Opcode.IADD: 4.0,
+            Opcode.BAR: 0.0,
+            Opcode.EXIT: 0.0,
+        }[self.opcode]
+
+
+@dataclass
+class InstructionStream:
+    """An ordered list of instruction groups forming one block's schedule."""
+
+    groups: list[InstrGroup] = field(default_factory=list)
+
+    def append(self, group: InstrGroup) -> int:
+        """Add a group; returns its index for dependency wiring."""
+        self.groups.append(group)
+        return len(self.groups) - 1
+
+    def emit(
+        self,
+        opcode: Opcode,
+        count: int,
+        depends_on: tuple[int, ...] = (),
+        issue_after: tuple[int, ...] = (),
+        label: str = "",
+    ) -> int:
+        return self.append(InstrGroup(opcode, count, depends_on, issue_after, label))
+
+    def count(self, opcode: Opcode) -> int:
+        """Total instruction count of one opcode across the stream."""
+        return sum(g.count for g in self.groups if g.opcode is opcode)
+
+    def traffic_bytes(self, opcode: Opcode) -> int:
+        """Total bytes moved by one memory opcode across the stream."""
+        return sum(g.traffic_bytes for g in self.groups if g.opcode is opcode)
+
+    def hmma_flops(self, flops_per_hmma: int = 2 * 16 * 8 * 8) -> int:
+        """FLOPs issued to Tensor Cores (HMMA.1688 default shape)."""
+        return self.count(Opcode.HMMA) * flops_per_hmma
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def __iter__(self):
+        return iter(self.groups)

@@ -1,0 +1,120 @@
+"""Functional memory hierarchy with traffic accounting.
+
+The paper's memory optimizations (§4's FRAG caching, §5.1's delayed STS)
+are fundamentally *byte-counting* arguments — Table 2 compares the bytes
+moved between shared memory and registers with and without FRAG caching.
+This module provides the functional containers the tensorized kernel
+executes against, each counting its own traffic, so those byte counts are
+*measured* from the executing kernel rather than asserted:
+
+* :class:`GlobalMemory` — device-memory matrices (LDG/STG traffic),
+* :class:`SharedMemory` — one block's scratchpad with the 64 KB capacity
+  check (STS/LDS traffic),
+* :class:`TrafficLog`  — the per-level byte counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TrafficLog", "GlobalMemory", "SharedMemory", "SharedMemoryOverflow"]
+
+
+class SharedMemoryOverflow(RuntimeError):
+    """Raised when a block allocates more scratchpad than the SM has."""
+
+
+@dataclass
+class TrafficLog:
+    """Byte counters for each memory-hierarchy edge."""
+
+    global_load: int = 0  # LDG: global -> registers
+    global_store: int = 0  # STG: registers -> global
+    shared_store: int = 0  # STS: registers -> shared
+    shared_load: int = 0  # LDS: shared -> registers (FRAG)
+
+    @property
+    def global_total(self) -> int:
+        return self.global_load + self.global_store
+
+    @property
+    def shared_total(self) -> int:
+        return self.shared_store + self.shared_load
+
+    def merged(self, other: "TrafficLog") -> "TrafficLog":
+        return TrafficLog(
+            global_load=self.global_load + other.global_load,
+            global_store=self.global_store + other.global_store,
+            shared_store=self.shared_store + other.shared_store,
+            shared_load=self.shared_load + other.shared_load,
+        )
+
+
+@dataclass
+class GlobalMemory:
+    """Device memory holding named matrices, with LDG/STG accounting."""
+
+    log: TrafficLog = field(default_factory=TrafficLog)
+    _arrays: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def bind(self, name: str, array: np.ndarray) -> None:
+        """Place a matrix in global memory (no traffic: host-side copy)."""
+        self._arrays[name] = array
+
+    def load(self, name: str, rows: slice, cols: slice) -> np.ndarray:
+        """LDG: read a tile; counts its bytes and returns a copy."""
+        tile = self._arrays[name][rows, cols]
+        self.log.global_load += int(tile.nbytes)
+        return tile.copy()
+
+    def store(self, name: str, rows: slice, cols: slice, tile: np.ndarray) -> None:
+        """STG: write a tile back; counts its bytes."""
+        dst = self._arrays[name][rows, cols]
+        if dst.shape != tile.shape:
+            raise ValueError(f"store shape {tile.shape} != destination {dst.shape}")
+        self._arrays[name][rows, cols] = tile.astype(dst.dtype)
+        self.log.global_store += int(tile.nbytes)
+
+    def array(self, name: str) -> np.ndarray:
+        """Direct (untracked) access, for result extraction in tests."""
+        return self._arrays[name]
+
+
+@dataclass
+class SharedMemory:
+    """One block's shared-memory scratchpad with capacity enforcement."""
+
+    capacity_bytes: int
+    log: TrafficLog = field(default_factory=TrafficLog)
+    _tiles: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(int(t.nbytes) for t in self._tiles.values())
+
+    def store(self, name: str, tile: np.ndarray) -> None:
+        """STS: stage a tile from registers into shared memory."""
+        new_bytes = int(tile.nbytes)
+        old = self._tiles.get(name)
+        projected = self.used_bytes - (int(old.nbytes) if old is not None else 0) + new_bytes
+        if projected > self.capacity_bytes:
+            raise SharedMemoryOverflow(
+                f"block shared-memory demand {projected} B exceeds the "
+                f"{self.capacity_bytes} B budget — the analytic model's "
+                "SHMEM constraint (Eq. 8) should have rejected this tiling"
+            )
+        self._tiles[name] = tile.copy()
+        self.log.shared_store += new_bytes
+
+    def load(self, name: str, rows: slice | None = None, cols: slice | None = None) -> np.ndarray:
+        """LDS: read a staged tile (or sub-tile) into registers."""
+        tile = self._tiles[name]
+        if rows is not None or cols is not None:
+            tile = tile[rows if rows is not None else slice(None), cols if cols is not None else slice(None)]
+        self.log.shared_load += int(tile.nbytes)
+        return tile.copy()
+
+    def free(self, name: str) -> None:
+        self._tiles.pop(name, None)

@@ -1,0 +1,76 @@
+"""Occupancy model: how many blocks fit on an SM, and how full the GPU is.
+
+Small problem sizes launch fewer blocks than the GPU has SMs; the paper's
+§7.3 attributes EGEMM-TC's smaller speedups at small matrices to exactly
+this ("the GPU capability is not fully utilized at small matrix sizes and
+the compute-bound has not been achieved").  The engine uses this module to
+derive wave counts and per-wave DRAM fair shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from .spec import GpuSpec
+
+__all__ = ["BlockResources", "Occupancy", "occupancy"]
+
+
+@dataclass(frozen=True)
+class BlockResources:
+    """Per-block resource footprint of a kernel."""
+
+    threads: int
+    shared_mem_bytes: int
+    registers_per_thread: int
+
+    @property
+    def warps(self) -> int:
+        return ceil(self.threads / 32)
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Resolved occupancy of a kernel on a GPU."""
+
+    blocks_per_sm: int
+    active_warps_per_sm: int
+    limiting_resource: str
+
+    @property
+    def resident_blocks(self) -> int:
+        return self.blocks_per_sm
+
+
+def occupancy(res: BlockResources, spec: GpuSpec) -> Occupancy:
+    """Blocks per SM under the shared-memory / register / thread limits."""
+    if res.threads <= 0:
+        raise ValueError("block must have threads")
+    if res.registers_per_thread > spec.max_registers_per_thread:
+        raise ValueError(
+            f"{res.registers_per_thread} registers/thread exceeds the "
+            f"{spec.max_registers_per_thread} hardware limit (kernel would spill)"
+        )
+
+    limits = {
+        "shared_memory": (
+            spec.shared_mem_per_sm // res.shared_mem_bytes if res.shared_mem_bytes else spec.max_blocks_per_sm
+        ),
+        "registers": (
+            spec.register_file_per_sm // (res.registers_per_thread * 4 * res.threads)
+            if res.registers_per_thread
+            else spec.max_blocks_per_sm
+        ),
+        "threads": spec.max_threads_per_sm // res.threads,
+        "blocks": spec.max_blocks_per_sm,
+    }
+    limiting = min(limits, key=lambda k: limits[k])
+    blocks = max(0, min(limits.values()))
+    if blocks == 0:
+        raise ValueError(f"block footprint exceeds one SM ({limiting} limit)")
+    return Occupancy(
+        blocks_per_sm=blocks,
+        active_warps_per_sm=blocks * res.warps,
+        limiting_resource=limiting,
+    )

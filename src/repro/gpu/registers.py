@@ -1,0 +1,125 @@
+"""Heuristic stage-based register allocation (§5.2).
+
+The paper observes that a Tensor-Core-centric kernel runs in four stages
+with largely disjoint register needs:
+
+1. *context* — thread/block indices, block-matrix addressing,
+2. *load C*  — staging the C block from global memory,
+3. *compute* — accumulator fragments + operand fragments + double-buffer
+   staging registers,
+4. *store C* — writing the result back.
+
+A naive (CUDA-level) allocation gives every stage its own registers and
+spills; the paper's manual allocation reuses registers across stages,
+fitting the whole kernel in 232 of the 256 per-thread registers.
+
+This module models both policies over a :class:`StageUsage` description,
+reporting per-thread register counts and the spill traffic the naive
+policy would incur — the quantity behind the "register spilling, leading
+to heavy slow down" claim and the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .spec import GpuSpec
+
+__all__ = ["StageUsage", "AllocationResult", "allocate", "egemm_stage_usage"]
+
+
+@dataclass(frozen=True)
+class StageUsage:
+    """Per-thread register demand of the four kernel stages."""
+
+    context: int
+    load_c: int
+    compute: int
+    store_c: int
+
+    def stages(self) -> dict[str, int]:
+        return {
+            "context": self.context,
+            "load_c": self.load_c,
+            "compute": self.compute,
+            "store_c": self.store_c,
+        }
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Outcome of a register-allocation policy."""
+
+    policy: str
+    registers_per_thread: int
+    limit: int
+    spilled_registers: int
+
+    @property
+    def spills(self) -> bool:
+        return self.spilled_registers > 0
+
+    @property
+    def spill_bytes_per_thread(self) -> int:
+        """Local-memory footprint of the spilled registers (4 B each)."""
+        return self.spilled_registers * 4
+
+
+def allocate(usage: StageUsage, spec: GpuSpec, policy: str = "stage-reuse") -> AllocationResult:
+    """Allocate registers under one of two policies.
+
+    ``stage-reuse``
+        The paper's manual allocation: context registers are live across
+        the whole kernel; the three remaining stages time-share one pool
+        sized by the largest of them.
+    ``naive``
+        Compiler-conservative allocation: every stage holds its own
+        registers simultaneously (what aggressive CUDA-level register
+        caching degenerates to when live ranges overlap).
+    """
+    limit = spec.max_registers_per_thread
+    if policy == "stage-reuse":
+        used = usage.context + max(usage.load_c, usage.compute, usage.store_c)
+    elif policy == "naive":
+        used = usage.context + usage.load_c + usage.compute + usage.store_c
+    else:
+        raise ValueError(f"unknown policy {policy!r}")
+    spilled = max(0, used - limit)
+    return AllocationResult(
+        policy=policy,
+        registers_per_thread=min(used, limit),
+        limit=limit,
+        spilled_registers=spilled,
+    )
+
+
+def egemm_stage_usage(
+    wm: int, wn: int, wk: int, bm: int, bn: int, bk: int, threads_per_block: int = 256
+) -> StageUsage:
+    """Stage register demands of the EGEMM kernel for one tiling choice.
+
+    Derived from the data each thread holds (4-byte registers):
+
+    * context: indices, strides, pointers, and the block-matrix addressing
+      the paper's first stage computes (~40 registers);
+    * load C: a (wm x wn) fp32 warp tile spread over 32 threads;
+    * compute: the C accumulator fragments, double-buffered A/B fragments
+      of both split halves at the current and next wk step, double-buffered
+      staging registers for the in-flight global loads (§5.1 caches LDG
+      data in registers before the delayed STS), plus addressing
+      temporaries;
+    * store C: same footprint as load C.
+
+    For the paper's T4 design point (wm=64, wn=32, wk=8, bm=bn=128,
+    bk=32, 256 threads) this evaluates to 232 registers under stage
+    reuse — the "232 out of 256" of §5.2.
+    """
+    c_frag = (wm * wn * 4) // (32 * 4)
+    ab_frag = (2 * (wm + wn) * wk * 2) // (32 * 4)
+    staging = (2 * (bm + bn) * bk * 2) // (threads_per_block * 4)
+    return StageUsage(
+        context=40,
+        load_c=c_frag,
+        compute=c_frag + 2 * ab_frag + 2 * staging + 16,
+        store_c=c_frag,
+    )

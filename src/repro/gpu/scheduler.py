@@ -1,0 +1,93 @@
+"""In-order dual-pipeline instruction scheduler (§5.1, Figure 6).
+
+Models the warp scheduler of one SM at the granularity of instruction
+groups.  Two structural facts drive the timing — both taken from the
+microbenchmarking literature the paper builds on:
+
+* memory instructions (LDS/LDG/STS) share one load/store pipeline and are
+  executed sequentially on it;
+* the Tensor Core pipeline is independent, so HMMA issue can overlap
+  memory issue *when the dependency structure allows it*.
+
+The scheduler walks the stream in order; each group starts when (a) its
+functional unit is free and (b) every group it depends on has *completed*
+(issue + latency).  Register-enhanced latency hiding (the paper's Figure 6
+right-hand side) is therefore not a scheduler flag but a property of the
+stream the kernel builder emits: the software-pipelined stream has
+iteration *i+1*'s LDG depend only on iteration *i*'s LDS batch, while the
+unscheduled stream serializes each iteration's memory behind the previous
+iteration's HMMAs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .isa import ExecUnit, InstructionStream, Opcode
+from .spec import GpuSpec
+
+__all__ = ["ScheduleResult", "schedule"]
+
+
+@dataclass
+class ScheduleResult:
+    """Timing of one block's instruction stream on one SM."""
+
+    total_cycles: float
+    #: busy cycles per functional unit (issue occupancy)
+    unit_busy: dict[ExecUnit, float] = field(default_factory=dict)
+    #: completion time of each instruction group
+    group_complete: list[float] = field(default_factory=list)
+
+    @property
+    def tensor_utilization(self) -> float:
+        """Fraction of the block's lifetime the Tensor pipe was issuing."""
+        busy = self.unit_busy.get(ExecUnit.TENSOR, 0.0)
+        return busy / self.total_cycles if self.total_cycles > 0 else 0.0
+
+    @property
+    def mem_utilization(self) -> float:
+        busy = self.unit_busy.get(ExecUnit.MEM, 0.0)
+        return busy / self.total_cycles if self.total_cycles > 0 else 0.0
+
+
+def schedule(stream: InstructionStream, spec: GpuSpec) -> ScheduleResult:
+    """Simulate the stream's issue timeline; return total cycles and stats.
+
+    Groups issue in stream order on their unit; a group begins when its
+    unit frees *and* all its dependencies have completed.  Barriers are
+    ordinary ``SYNC``-unit groups whose dependencies the kernel builder
+    wires explicitly (a ``__syncthreads`` before a buffer swap depends on
+    the LDS batch that read the buffer and the STS batch that refilled
+    it, but *not* on in-flight HMMAs, which work out of registers —
+    that distinction is what makes software pipelining legal).
+    """
+    unit_free: dict[ExecUnit, float] = {u: 0.0 for u in ExecUnit}
+    unit_busy: dict[ExecUnit, float] = {u: 0.0 for u in ExecUnit}
+    complete: list[float] = []
+    issue_end: list[float] = []
+    horizon = 0.0  # completion time of everything issued so far
+
+    for idx, group in enumerate(stream):
+        ready = unit_free[group.unit]
+        for dep in group.depends_on:
+            if dep < 0 or dep >= idx:
+                raise ValueError(f"group {idx} has invalid dependency {dep}")
+            ready = max(ready, complete[dep])
+        for dep in group.issue_after:
+            if dep < 0 or dep >= idx:
+                raise ValueError(f"group {idx} has invalid issue-order dependency {dep}")
+            ready = max(ready, issue_end[dep])
+
+        issue = group.issue_cycles(spec)
+        start = ready
+        end_issue = start + issue
+        end_complete = end_issue + group.completion_latency(spec)
+
+        unit_free[group.unit] = end_issue
+        unit_busy[group.unit] += issue
+        complete.append(end_complete)
+        issue_end.append(end_issue)
+        horizon = max(horizon, end_complete)
+
+    return ScheduleResult(total_cycles=horizon, unit_busy=unit_busy, group_complete=complete)

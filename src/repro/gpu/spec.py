@@ -1,0 +1,153 @@
+"""GPU hardware specifications and resource budgets (Table 3).
+
+A :class:`GpuSpec` carries the small set of resource budgets the paper's
+hardware-aware analytic model consumes (§6: "the user only needs to provide
+a small set of resource budgets") plus the microarchitectural constants the
+timing simulator needs.  Values for the two evaluation GPUs come from the
+public datasheets [23, 24] and the microbenchmarking studies the paper
+cites (Jia et al. [12, 13]):
+
+* **Tesla T4** (TU104, 40 SMs, 320 Tensor Cores, 16 GB GDDR6 @ 320 GB/s) —
+  Table 3's budget: 64 KB shared memory/SM, 256 KB registers/SM, 2^6
+  TFLOPS peak, 750 GB/s L2.
+* **Quadro RTX 6000** (TU102, 72 SMs, 576 Tensor Cores, 24 GB GDDR6 @
+  672 GB/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["GpuSpec", "TESLA_T4", "RTX6000", "GPUS", "get_gpu", "table3_rows"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Resource budgets and timing constants of one GPU model."""
+
+    name: str
+    # --- topology -------------------------------------------------------
+    num_sms: int
+    tensor_cores_per_sm: int
+    fp32_cores_per_sm: int
+    clock_ghz: float
+    # --- per-SM resource budgets (Table 3) ------------------------------
+    shared_mem_per_sm: int  # bytes
+    register_file_per_sm: int  # bytes (the FRAG budget)
+    max_registers_per_thread: int
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    # --- peaks and bandwidths -------------------------------------------
+    peak_half_tc_tflops: float  # Tensor Core fp16 peak (Table 3's 2^6)
+    peak_fp32_tflops: float  # CUDA-core single-precision peak
+    dram_bw_gbps: float  # GDDR6 bandwidth
+    l2_bw_gbps: float  # Table 3: 750 GB/s on T4
+    l2_size: int  # bytes
+    # --- instruction timing (cycles), after Jia et al. [12, 13] ---------
+    #: issue-to-issue interval of one HMMA.1688 warp instruction per SM.
+    #: 2.0 would sustain the theoretical Tensor Core peak; 2.7 reflects the
+    #: achievable steady-state HMMA rate with operand-collector and
+    #: register-bank conflicts, calibrated once against the Appendix's
+    #: ~12 TFLOPS EGEMM-TC anchor on T4 (all other results are derived)
+    hmma_issue_cycles: float = 2.7
+    #: LSU issue interval of one 128-bit shared-memory load (warp-wide)
+    lds_issue_cycles: float = 4.0
+    #: LSU issue interval of one 128-bit shared-memory store (warp-wide)
+    sts_issue_cycles: float = 4.0
+    #: LSU issue interval of one 128-bit global load (warp-wide); the
+    #: DRAM-bandwidth cost is modelled separately by the engine
+    ldg_issue_cycles: float = 4.0
+    #: completion latency of a global load (DRAM round trip)
+    ldg_latency_cycles: float = 450.0
+    #: completion latency of a shared-memory load
+    lds_latency_cycles: float = 22.0
+    #: completion latency of one HMMA
+    hmma_latency_cycles: float = 14.0
+    #: block-wide barrier cost per tensorized iteration (__syncthreads)
+    barrier_cycles: float = 30.0
+
+    # derived -------------------------------------------------------------
+    @property
+    def flops_per_cycle_tc_per_sm(self) -> float:
+        """Half-precision Tensor Core FLOPs per cycle per SM."""
+        return self.peak_half_tc_tflops * 1e12 / (self.num_sms * self.clock_ghz * 1e9)
+
+    @property
+    def flops_per_cycle_fp32_per_sm(self) -> float:
+        """CUDA-core fp32 FLOPs per cycle per SM (2 per FMA per core)."""
+        return self.peak_fp32_tflops * 1e12 / (self.num_sms * self.clock_ghz * 1e9)
+
+    @property
+    def dram_bytes_per_cycle_per_sm(self) -> float:
+        """Fair-share DRAM bandwidth per SM, in bytes per core cycle."""
+        return self.dram_bw_gbps * 1e9 / (self.num_sms * self.clock_ghz * 1e9)
+
+    @property
+    def shared_bytes_per_cycle_per_sm(self) -> float:
+        """Shared-memory bandwidth per SM (Turing: 128 B/cycle)."""
+        return 128.0
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / (self.clock_ghz * 1e9)
+
+    def with_overrides(self, **kwargs) -> "GpuSpec":
+        """A copy with selected fields replaced (for what-if studies)."""
+        return replace(self, **kwargs)
+
+
+TESLA_T4 = GpuSpec(
+    name="Tesla T4",
+    num_sms=40,
+    tensor_cores_per_sm=8,
+    fp32_cores_per_sm=64,
+    clock_ghz=1.59,
+    shared_mem_per_sm=64 * 1024,
+    register_file_per_sm=256 * 1024,
+    max_registers_per_thread=256,
+    max_threads_per_sm=1024,
+    max_blocks_per_sm=16,
+    peak_half_tc_tflops=64.0,  # Table 3 lists the budget as 2^6 TFLOPS
+    peak_fp32_tflops=8.1,
+    dram_bw_gbps=320.0,
+    l2_bw_gbps=750.0,  # Table 3
+    l2_size=4 * 1024 * 1024,
+)
+
+RTX6000 = GpuSpec(
+    name="RTX 6000",
+    num_sms=72,
+    tensor_cores_per_sm=8,
+    fp32_cores_per_sm=64,
+    clock_ghz=1.77,
+    shared_mem_per_sm=64 * 1024,
+    register_file_per_sm=256 * 1024,
+    max_registers_per_thread=256,
+    max_threads_per_sm=1024,
+    max_blocks_per_sm=16,
+    peak_half_tc_tflops=130.5,
+    peak_fp32_tflops=16.3,
+    dram_bw_gbps=672.0,
+    l2_bw_gbps=1400.0,
+    l2_size=6 * 1024 * 1024,
+)
+
+GPUS = {"t4": TESLA_T4, "rtx6000": RTX6000}
+
+
+def get_gpu(name: str) -> GpuSpec:
+    """Look up a GPU spec by short name ('t4' or 'rtx6000')."""
+    key = name.lower().replace(" ", "").replace("-", "")
+    for alias, spec in (("t4", TESLA_T4), ("teslat4", TESLA_T4), ("rtx6000", RTX6000)):
+        if key == alias:
+            return spec
+    raise KeyError(f"unknown GPU {name!r}; choose from {sorted(GPUS)}")
+
+
+def table3_rows(spec: GpuSpec = TESLA_T4) -> list[dict[str, str]]:
+    """The paper's Table 3 (resource budget), for the experiment harness."""
+    return [
+        {"resource": "Shared Memory Size", "budget": f"{spec.shared_mem_per_sm // 1024} KB"},
+        {"resource": "FRAG/Register Size", "budget": f"{spec.register_file_per_sm // 1024} KB"},
+        {"resource": "Peak Computation", "budget": f"{spec.peak_half_tc_tflops:.0f} TFLOPS"},
+        {"resource": "L2 Cache Speed", "budget": f"{spec.l2_bw_gbps:.0f} GB/s"},
+    ]

@@ -1,0 +1,83 @@
+"""Global-memory address traces of the tensorized GEMM kernel.
+
+Generates the byte-address ranges each block's LDG instructions touch,
+iteration by iteration, in the wave order the GPU schedules blocks —
+the input the L2 cache simulator needs to *measure* cross-block panel
+reuse instead of assuming it.
+
+Memory layout (matching the kernel's reality): the four split matrices
+live contiguously in device memory as row-major fp16 arrays::
+
+    Alo @ 0,           Ahi @ size(A),
+    Blo @ 2 size(A),   Bhi @ 2 size(A) + size(B)
+
+Each iteration a block reads ``bk`` columns of its A panels (``bm`` rows
+x ``bk`` halfs, row-major -> ``bm`` short row segments each) and ``bk``
+rows of its B panels (contiguous ``bk * n`` region sliced to ``bn``
+columns -> ``bk`` segments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..tensorize.plan import TensorizationPlan
+
+__all__ = ["Segment", "block_iteration_segments", "wave_trace"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous global-memory read: (byte start, byte length)."""
+
+    start: int
+    nbytes: int
+
+
+def _a_panel_segments(base: int, row0: int, k0: int, bm: int, bk: int, k: int) -> Iterator[Segment]:
+    """Row-major (m, k) fp16 matrix: bm row slices of bk halfs each."""
+    for r in range(row0, row0 + bm):
+        yield Segment(start=base + (r * k + k0) * 2, nbytes=bk * 2)
+
+
+def _b_panel_segments(base: int, k0: int, col0: int, bk: int, bn: int, n: int) -> Iterator[Segment]:
+    """Row-major (k, n) fp16 matrix: bk row slices of bn halfs each."""
+    for r in range(k0, k0 + bk):
+        yield Segment(start=base + (r * n + col0) * 2, nbytes=bn * 2)
+
+
+def block_iteration_segments(
+    plan: TensorizationPlan, block_row: int, block_col: int, iteration: int
+) -> list[Segment]:
+    """The LDG byte ranges of one block's k-iteration (all 4 split tiles)."""
+    cfg = plan.config
+    m, n, k = plan.m, plan.n, plan.k
+    a_bytes = m * k * 2
+    b_bytes = k * n * 2
+    bases = {"Alo": 0, "Ahi": a_bytes, "Blo": 2 * a_bytes, "Bhi": 2 * a_bytes + b_bytes}
+    row0 = block_row * cfg.bm
+    col0 = block_col * cfg.bn
+    k0 = iteration * cfg.bk
+    segments: list[Segment] = []
+    for name in ("Alo", "Ahi"):
+        segments.extend(_a_panel_segments(bases[name], row0, k0, cfg.bm, cfg.bk, k))
+    for name in ("Blo", "Bhi"):
+        segments.extend(_b_panel_segments(bases[name], k0, col0, cfg.bk, cfg.bn, n))
+    return segments
+
+
+def wave_trace(
+    plan: TensorizationPlan, wave_blocks: list[tuple[int, int]], iterations: int | None = None
+) -> Iterator[Segment]:
+    """Interleaved address stream of one wave of concurrent blocks.
+
+    Blocks of a wave run in lockstep across k-iterations (they all stall
+    on the same barrier cadence), so the stream interleaves per
+    iteration: iteration 0 of every block, then iteration 1, ... — the
+    access pattern under which panel sharing either hits L2 or does not.
+    """
+    total_iters = plan.k_iterations if iterations is None else iterations
+    for it in range(total_iters):
+        for row, col in wave_blocks:
+            yield from block_iteration_segments(plan, row, col, it)

@@ -1,0 +1,103 @@
+"""Warp model: thread layouts and cross-warp collaboration (§4, Figure 5).
+
+Tensor Cores force a two-phase warp discipline the paper exploits:
+
+* **computation phase** — the 32 threads of a warp act as one unit with
+  the default ``(32, 1)`` layout, collaboratively calling the primitive;
+* **data-loading phase** — the same threads are re-organized into a 2-D
+  layout (e.g. ``(16, 2)``) so each thread owns a non-overlapping slice of
+  the tile being staged ("it is much easier to program with the 16x2
+  thread configuration", §4).
+
+Figure 5's warp collaboration: during loading, *all* warps of a block
+cooperatively stage *all* data fragments into shared memory; during
+computation, one staged fragment is consumed by *multiple* warps (each A
+row-panel is shared by every warp in the same warp-grid row, and likewise
+for B column-panels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "WARP_SIZE",
+    "ThreadLayout",
+    "COMPUTE_LAYOUT",
+    "thread_slices",
+    "loading_assignment",
+    "compute_sharing",
+]
+
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class ThreadLayout:
+    """A (x, y) organization of one warp's 32 threads."""
+
+    x: int
+    y: int
+
+    def __post_init__(self) -> None:
+        if self.x <= 0 or self.y <= 0 or self.x * self.y != WARP_SIZE:
+            raise ValueError(f"layout {self.x}x{self.y} must cover exactly {WARP_SIZE} threads")
+
+
+#: the default layout required for collaborative Tensor Core calls
+COMPUTE_LAYOUT = ThreadLayout(32, 1)
+
+
+def thread_slices(
+    rows: int, cols: int, layout: ThreadLayout
+) -> list[tuple[slice, slice]]:
+    """Partition a (rows, cols) tile among a warp's threads.
+
+    Returns one ``(row_slice, col_slice)`` per thread, in thread order.
+    The slices are non-overlapping and jointly cover the tile — the
+    property §4's loading-phase reorganization exists to guarantee
+    (verified by the test suite).  ``rows`` must divide by ``layout.y``
+    and ``cols`` by ``layout.x``.
+    """
+    if rows % layout.y or cols % layout.x:
+        raise ValueError(f"tile {rows}x{cols} does not partition over layout {layout.x}x{layout.y}")
+    r_step = rows // layout.y
+    c_step = cols // layout.x
+    slices = []
+    for ty in range(layout.y):
+        for tx in range(layout.x):
+            slices.append(
+                (slice(ty * r_step, (ty + 1) * r_step), slice(tx * c_step, (tx + 1) * c_step))
+            )
+    return slices
+
+
+def loading_assignment(num_fragments: int, num_warps: int) -> dict[int, list[int]]:
+    """Figure 5, loading phase: warps collaboratively stage all fragments.
+
+    Fragments are dealt round-robin so the LDG work is balanced; returns
+    ``{warp_id: [fragment ids]}`` covering every fragment exactly once.
+    """
+    if num_warps <= 0:
+        raise ValueError("need at least one warp")
+    assignment: dict[int, list[int]] = {w: [] for w in range(num_warps)}
+    for frag in range(num_fragments):
+        assignment[frag % num_warps].append(frag)
+    return assignment
+
+
+def compute_sharing(warp_grid_m: int, warp_grid_n: int) -> dict[str, dict[int, list[int]]]:
+    """Figure 5, computation phase: which warps consume each staged panel.
+
+    With warps arranged in a (warp_grid_m x warp_grid_n) grid over the
+    block tile, A row-panel ``i`` is consumed by every warp of grid row
+    ``i`` and B column-panel ``j`` by every warp of grid column ``j`` —
+    the cross-warp reuse that motivates staging through shared memory
+    once instead of per-warp global reads.
+    """
+    if warp_grid_m <= 0 or warp_grid_n <= 0:
+        raise ValueError("warp grid dimensions must be positive")
+    warp_id = lambda i, j: i * warp_grid_n + j
+    a_panels = {i: [warp_id(i, j) for j in range(warp_grid_n)] for i in range(warp_grid_m)}
+    b_panels = {j: [warp_id(i, j) for i in range(warp_grid_m)] for j in range(warp_grid_n)}
+    return {"A": a_panels, "B": b_panels}

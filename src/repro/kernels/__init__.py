@@ -1,0 +1,31 @@
+"""End-to-end GEMM kernels (Table 5): EGEMM-TC and all baselines, each
+with a bit-accurate functional path and a simulated timing path."""
+
+from .base import GemmKernel, KernelInfo
+from .cublas import CublasCudaFp32, CublasTcEmulation, CublasTcHalf, gemm_dram_bytes
+from .dekker import DekkerCudaKernel
+from .egemm import EgemmTcKernel, split_pass_seconds
+from .markidis import MARKIDIS_TILING, MarkidisKernel
+from .ozaki import OzakiKernel
+from .registry import KERNELS, get_kernel, table5_rows
+from .sdk import SDK_TILE, SdkCudaFp32
+
+__all__ = [
+    "GemmKernel",
+    "KernelInfo",
+    "CublasCudaFp32",
+    "CublasTcEmulation",
+    "CublasTcHalf",
+    "gemm_dram_bytes",
+    "DekkerCudaKernel",
+    "EgemmTcKernel",
+    "split_pass_seconds",
+    "MARKIDIS_TILING",
+    "MarkidisKernel",
+    "OzakiKernel",
+    "KERNELS",
+    "get_kernel",
+    "table5_rows",
+    "SDK_TILE",
+    "SdkCudaFp32",
+]

@@ -1,0 +1,63 @@
+"""Common interface of the GEMM kernels under evaluation (Table 5).
+
+Every kernel pairs two views:
+
+* ``compute(a, b, c)`` — the *functional* path: the bit-accurate result
+  the kernel would produce, via the simulated Tensor Core / CUDA-core
+  arithmetic (used by the precision experiments and the applications);
+* ``time(m, n, k, spec)`` — the *performance* path: the simulated wall
+  time on a given GPU, via the instruction-level engine or a calibrated
+  roofline (used by every TFLOPS figure).
+
+Keeping the two paths on one object mirrors the artifact's structure
+(each baseline is one buildable binary that both computes and reports
+throughput) while letting the precision benchmarks run at small sizes
+and the timing sweeps at the paper's full sizes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpu.engine import KernelTiming
+from ..gpu.spec import TESLA_T4, GpuSpec
+
+__all__ = ["GemmKernel", "KernelInfo"]
+
+
+@dataclass(frozen=True)
+class KernelInfo:
+    """Table 5 row: name, source, precision, description."""
+
+    name: str
+    source: str
+    precision: str
+    description: str
+
+
+class GemmKernel(abc.ABC):
+    """A GEMM implementation with functional and timed execution."""
+
+    info: KernelInfo
+
+    @abc.abstractmethod
+    def compute(self, a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None) -> np.ndarray:
+        """Bit-accurate ``D = A @ B + C`` under this kernel's arithmetic."""
+
+    @abc.abstractmethod
+    def time(self, m: int, n: int, k: int, spec: GpuSpec = TESLA_T4) -> KernelTiming:
+        """Simulated wall time of one (m, n, k) GEMM on ``spec``."""
+
+    def tflops(self, m: int, n: int, k: int, spec: GpuSpec = TESLA_T4) -> float:
+        """Eq. 9 throughput of one (m, n, k) GEMM on ``spec``."""
+        return self.time(m, n, k, spec).tflops
+
+    def _validate_dims(self, m: int, n: int, k: int) -> None:
+        if min(m, n, k) <= 0:
+            raise ValueError(f"invalid GEMM shape ({m}, {n}, {k})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.info.name}>"

@@ -1,0 +1,79 @@
+"""Dekker-emulation kernel: the why-not baseline of the paper's §1.
+
+Dekker's CPU-era scheme needs ~16 *serialized* half-precision scalar
+instructions per emulated extended-precision FMA.  On a GPU those run on
+the CUDA cores' fp16x2 pipes (2x the fp32 rate on Turing), so the useful
+throughput ceiling is
+
+    peak_fp32 * 2 / 16  =  peak_fp32 / 8
+
+before accounting for the dependence chains inside each 16-instruction
+bundle, which cap achievable ILP well below peak.  The paper's argument —
+"half-precision computation on Tensor Cores is only 8x faster than
+single-precision on CUDA Cores, this 16x overhead can easily make
+emulation inappropriate" — lands here as a kernel that is *slower than
+the plain fp32 baseline*, which is exactly why EGEMM-TC's 4-call design
+matters.  Functional path: the faithful per-operation-rounded
+:func:`~repro.splits.dekker.dekker_gemm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+import numpy as np
+
+from ..gpu.engine import KernelTiming, roofline_seconds
+from ..gpu.spec import TESLA_T4, GpuSpec
+from ..splits.dekker import dekker_gemm
+from ..splits.eft import DEKKER_EMULATED_FMA_OPS
+from .base import GemmKernel, KernelInfo
+
+__all__ = ["DekkerCudaKernel"]
+
+
+@dataclass
+class DekkerCudaKernel(GemmKernel):
+    """16-instruction Dekker emulation on CUDA cores (half2 pipes)."""
+
+    #: fraction of the fp16x2 peak the serialized bundles sustain — the
+    #: two_sum/two_prod chains are pure dependence chains, so per-thread
+    #: ILP is ~1 and only warp-level parallelism fills the pipes
+    chain_efficiency: float = 0.45
+
+    def __post_init__(self) -> None:
+        self.info = KernelInfo(
+            name="Dekker-CUDA-Half",
+            source="[7]",
+            precision="extended*",
+            description="16 serialized half instructions per emulated FMA on CUDA cores",
+        )
+
+    def compute(self, a, b, c=None) -> np.ndarray:
+        return dekker_gemm(a, b, c)
+
+    def time(self, m: int, n: int, k: int, spec: GpuSpec = TESLA_T4) -> KernelTiming:
+        self._validate_dims(m, n, k)
+        useful_flops = 2.0 * m * n * k
+        issued_flops = useful_flops * DEKKER_EMULATED_FMA_OPS / 2  # 16 ops per 2-flop FMA
+        half2_peak = 2.0 * spec.peak_fp32_tflops
+        # Memory traffic matches a well-tiled fp32 GEMM (the splits are
+        # half-sized but there are two of them).
+        from .cublas import gemm_dram_bytes
+
+        dram = gemm_dram_bytes(m, n, k, 4, 128, spec)
+        seconds = roofline_seconds(
+            issued_flops,
+            dram,
+            spec,
+            half2_peak,
+            self.chain_efficiency,
+            grid_blocks=ceil(m / 128) * ceil(n / 128),
+        )
+        return KernelTiming(
+            name=self.info.name,
+            seconds=seconds,
+            cycles=seconds * spec.clock_ghz * 1e9,
+            useful_flops=useful_flops,
+        )

@@ -1,0 +1,138 @@
+"""The EGEMM-TC kernel: the paper's system, end to end.
+
+Functionally: the round-split 4-call emulation (Algorithm 1) through the
+simulated Tensor Core, giving 21-mantissa-bit extended precision.
+
+Performance: the full §4-§6 pipeline — the analytic model's tiling, the
+tensorized instruction stream with register-enhanced latency hiding, the
+stage-reuse register allocation, executed on the wave/DRAM engine — plus
+the O(N^2) split pre-pass, which runs on CUDA cores and is DRAM-bound
+(reads the fp32 operands, writes the four fp16 split matrices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..emulation.gemm import EmulatedGemm
+from ..emulation.schemes import EGEMM, EmulationScheme
+from ..gpu.engine import LAUNCH_OVERHEAD_S, KernelLaunch, KernelTiming, execute
+from ..gpu.occupancy import BlockResources
+from ..gpu.registers import allocate, egemm_stage_usage
+from ..gpu.spec import TESLA_T4, GpuSpec
+from ..model.solver import solve
+from ..tensorize.kernel import build_gemm_stream
+from ..tensorize.plan import TensorizationPlan
+from ..tensorize.tiling import TilingConfig
+from .base import GemmKernel, KernelInfo
+
+__all__ = ["EgemmTcKernel", "split_pass_seconds"]
+
+
+def split_pass_seconds(m: int, n: int, k: int, spec: GpuSpec) -> float:
+    """Time of the data-split pre-pass on CUDA cores.
+
+    Round-split touches every element of A and B once (§3.2's O(N^2)
+    overhead): read 4 fp32 bytes, write two fp16 halves (4 bytes) per
+    element — DRAM-bound at 8 bytes per element, plus one kernel launch.
+    """
+    elements = m * k + k * n
+    return elements * 8 / (spec.dram_bw_gbps * 1e9) + LAUNCH_OVERHEAD_S
+
+
+@dataclass
+class EgemmTcKernel(GemmKernel):
+    """EGEMM-TC with all optimizations (the paper's full system).
+
+    Parameters
+    ----------
+    scheme:
+        Emulation scheme (round-split EGEMM by default; swapping in
+        MARKIDIS here isolates the split algorithm from the kernel
+        engineering).
+    tiling:
+        Tensorization point; ``None`` runs the §6 analytic solver for
+        the target GPU on first use (cached per spec).
+    latency_hiding:
+        §5.1's register-enhanced instruction scheduling (Figure 11's
+        ablation switch).
+    frag_caching:
+        §4's intra-warp FRAG caching (Table 2's ablation switch).
+    register_policy:
+        'stage-reuse' (the §5.2 manual allocation) or 'naive' (every
+        stage holds its own registers).  The naive policy spills at the
+        paper's design point; spilled registers turn into local-memory
+        round trips on the LSU every iteration — the "heavy slow down"
+        ablation.
+    """
+
+    scheme: EmulationScheme = field(default_factory=lambda: EGEMM)
+    tiling: TilingConfig | None = None
+    latency_hiding: bool = True
+    frag_caching: bool = True
+    register_policy: str = "stage-reuse"
+
+    def __post_init__(self) -> None:
+        self.info = KernelInfo(
+            name="EGEMM-TC",
+            source="this paper",
+            precision="extended",
+            description="round-split 4-call emulation with SASS-level kernel optimizations",
+        )
+        self._tiling_cache: dict[str, TilingConfig] = {}
+
+    # --- functional -------------------------------------------------------
+    def compute(self, a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None) -> np.ndarray:
+        return EmulatedGemm(scheme=self.scheme)(a, b, c)
+
+    # --- performance ------------------------------------------------------
+    def tiling_for(self, spec: GpuSpec) -> TilingConfig:
+        """The tensorization point used on ``spec`` (solver output)."""
+        if self.tiling is not None:
+            return self.tiling
+        if spec.name not in self._tiling_cache:
+            self._tiling_cache[spec.name] = solve(spec).best
+        return self._tiling_cache[spec.name]
+
+    def time(self, m: int, n: int, k: int, spec: GpuSpec = TESLA_T4) -> KernelTiming:
+        self._validate_dims(m, n, k)
+        cfg = self.tiling_for(spec)
+        plan = TensorizationPlan(m, n, k, cfg, frag_caching=self.frag_caching)
+        usage = egemm_stage_usage(cfg.wm, cfg.wn, cfg.wk, cfg.bm, cfg.bn, cfg.bk, cfg.threads_per_block)
+        alloc = allocate(usage, spec, policy=self.register_policy)
+        regs = alloc.registers_per_thread
+
+        # Spilled registers live in thread-local (L1-cached) memory and
+        # round-trip on the LSU.  The spilled registers belong to the
+        # compute stage, whose values are touched on every warp k-step of
+        # the iteration — so each spilled byte costs one load and one
+        # store per (bk/wk) step, all serialized on the single LSU pipe.
+        spill_bytes = alloc.spill_bytes_per_thread * cfg.threads_per_block
+        k_steps = max(cfg.bk // cfg.wk, 1)
+        spill_lds = 2 * k_steps * -(-spill_bytes // 512) if alloc.spills else 0
+        lds_cost = 1.0 + spill_lds / max(plan.lds_per_iteration(), 1)
+
+        stream = build_gemm_stream(
+            plan,
+            scheme_terms=self.scheme.compute_overhead,
+            latency_hiding=self.latency_hiding,
+            lds_cost_factor=lds_cost,
+        )
+        launch = KernelLaunch(
+            name=self.info.name,
+            stream=stream,
+            grid_blocks=plan.grid_blocks,
+            resources=BlockResources(
+                threads=cfg.threads_per_block,
+                shared_mem_bytes=cfg.shared_mem_bytes,
+                registers_per_thread=regs,
+            ),
+            dram_bytes_per_block=plan.dram_bytes_per_block(spec),
+            useful_flops=plan.useful_flops,
+        )
+        timing = execute(launch, spec)
+        if self.scheme.split is not None:
+            timing.seconds += split_pass_seconds(m, n, k, spec)
+        return timing

@@ -1,0 +1,70 @@
+"""Kernel registry: the baselines of Table 5, constructible by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import GemmKernel
+from .cublas import CublasCudaFp32, CublasTcEmulation, CublasTcHalf
+from .dekker import DekkerCudaKernel
+from .egemm import EgemmTcKernel
+from .markidis import MarkidisKernel
+from .ozaki import OzakiKernel
+from .sdk import SdkCudaFp32
+
+__all__ = ["KERNELS", "get_kernel", "table5_rows"]
+
+KERNELS: dict[str, Callable[[], GemmKernel]] = {
+    "egemm-tc": EgemmTcKernel,
+    "cublas-cuda-fp32": CublasCudaFp32,
+    "cublas-tc-half": CublasTcHalf,
+    "cublas-tc-emulation": CublasTcEmulation,
+    "sdk-cuda-fp32": SdkCudaFp32,
+    "markidis": MarkidisKernel,
+    "dekker-cuda-half": DekkerCudaKernel,
+    "ozaki-int8": OzakiKernel,
+}
+
+
+def get_kernel(name: str) -> GemmKernel:
+    """Instantiate a kernel by its registry name (case-insensitive)."""
+    key = name.lower()
+    if key not in KERNELS:
+        raise KeyError(f"unknown kernel {name!r}; choose from {sorted(KERNELS)}")
+    return KERNELS[key]()
+
+
+def table5_rows() -> list[dict[str, str]]:
+    """The paper's Table 5 (baseline kernels), from the registry.
+
+    The kMeans/kNN rows of Table 5 are applications, not GEMM kernels;
+    they live in :mod:`repro.apps` and are appended here for completeness.
+    """
+    rows = []
+    for name in ("cublas-cuda-fp32", "cublas-tc-half", "cublas-tc-emulation", "sdk-cuda-fp32", "markidis"):
+        info = get_kernel(name).info
+        rows.append(
+            {
+                "name": info.name,
+                "source": info.source,
+                "precision": info.precision,
+                "description": info.description,
+            }
+        )
+    rows.append(
+        {
+            "name": "kMeans",
+            "source": "[2]",
+            "precision": "single",
+            "description": "open-source implementation with cublasSgemm on CUDA Cores",
+        }
+    )
+    rows.append(
+        {
+            "name": "kNN",
+            "source": "[9]",
+            "precision": "single",
+            "description": "open-source implementation with cublasSgemm on CUDA Cores",
+        }
+    )
+    return rows

@@ -1,0 +1,74 @@
+"""The CUDA-SDK ``matrixMul`` sample kernel (Table 5's SDK-CUDA-FP32).
+
+The SDK sample is the classic pedagogical GEMM: 16x16 thread blocks, one
+output element per thread, operand tiles staged through shared memory,
+no register blocking.  Its arithmetic intensity is fixed at
+``tile/2 = 8`` FLOPs per DRAM byte (each 16-wide k-slab of A and B is
+re-read by every tile row/column), which pins it far below the roofline
+ridge — the kernel is DRAM-bound at ~1 TFLOPS on T4 regardless of size,
+matching the Appendix anchor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+import numpy as np
+
+from ..emulation.gemm import reference_single
+from ..gpu.engine import KernelTiming, roofline_seconds
+from ..gpu.spec import TESLA_T4, GpuSpec
+from .base import GemmKernel, KernelInfo
+
+__all__ = ["SdkCudaFp32", "SDK_TILE"]
+
+#: the sample's BLOCK_SIZE
+SDK_TILE = 16
+
+
+@dataclass
+class SdkCudaFp32(GemmKernel):
+    """Open-source ``matrixMul`` from the CUDA SDK, on CUDA cores."""
+
+    efficiency: float = 0.8  # fp32-pipe efficiency when not DRAM-bound
+    #: achieved fraction of DRAM bandwidth: the sample's 16-wide tile
+    #: loads do not fill GDDR6 burst transactions
+    bw_efficiency: float = 0.75
+
+    def __post_init__(self) -> None:
+        self.info = KernelInfo(
+            name="SDK-CUDA-FP32",
+            source="SDK",
+            precision="single",
+            description="matrixMul on CUDA Cores",
+        )
+
+    def compute(self, a, b, c=None) -> np.ndarray:
+        # Numerically the SDK kernel is a straight fp32 GEMM.
+        return reference_single(a, b, c)
+
+    def dram_bytes(self, m: int, n: int, k: int) -> float:
+        """Without register blocking every 16x16 tile re-reads its A row
+        slab and B column slab from DRAM: ``2 * m * n * k / 16`` elements
+        of 4 bytes, plus the C store."""
+        return 2.0 * m * n * k / SDK_TILE * 4 + m * n * 4
+
+    def time(self, m: int, n: int, k: int, spec: GpuSpec = TESLA_T4) -> KernelTiming:
+        self._validate_dims(m, n, k)
+        flops = 2.0 * m * n * k
+        seconds = roofline_seconds(
+            flops,
+            self.dram_bytes(m, n, k) / self.bw_efficiency,
+            spec,
+            spec.peak_fp32_tflops,
+            self.efficiency,
+            grid_blocks=ceil(m / SDK_TILE) * ceil(n / SDK_TILE),
+            blocks_per_sm=4,
+        )
+        return KernelTiming(
+            name=self.info.name,
+            seconds=seconds,
+            cycles=seconds * spec.clock_ghz * 1e9,
+            useful_flops=flops,
+        )

@@ -1,0 +1,40 @@
+"""Hardware-aware analytic model (§6): resource-consumption equations
+(Eq. 2-7) and the design-space solver (Eq. 8) that regenerates Table 4."""
+
+from .resources import (
+    HMMA_GROUP_FLOPS,
+    ModelTimes,
+    compute_intensity,
+    flops_per_iteration,
+    global_bytes_per_iteration,
+    register_bytes,
+    shmem_bytes,
+    t_comp,
+    t_mem1,
+    t_mem2,
+    times_from_spec,
+)
+from .roofline import RooflinePoint, analyze_kernels, ridge_intensity
+from .solver import Candidate, DesignSpace, SolverResult, solve, table4_rows
+
+__all__ = [
+    "HMMA_GROUP_FLOPS",
+    "ModelTimes",
+    "compute_intensity",
+    "flops_per_iteration",
+    "global_bytes_per_iteration",
+    "register_bytes",
+    "shmem_bytes",
+    "t_comp",
+    "t_mem1",
+    "t_mem2",
+    "times_from_spec",
+    "RooflinePoint",
+    "analyze_kernels",
+    "ridge_intensity",
+    "Candidate",
+    "DesignSpace",
+    "SolverResult",
+    "solve",
+    "table4_rows",
+]

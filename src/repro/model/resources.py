@@ -1,0 +1,114 @@
+"""Resource-consumption equations of the hardware-aware analytic model (§6.1).
+
+Each function implements one numbered equation of the paper, parameterized
+by the tiling hyper-parameters and the instruction timings of a
+:class:`~repro.gpu.spec.GpuSpec`:
+
+* Eq. 2 — global-memory bytes per block per k-iteration,
+* Eq. 3 — FLOPs per block per k-iteration (4 Tensor Core calls),
+* Eq. 4 — compute-to-global-traffic ratio (the solver's objective),
+* Eq. 5 — per-iteration computation time ``T_Comp``,
+* Eq. 6 — global->shared staging time ``T_Mem1``,
+* Eq. 7 — shared->FRAG load time ``T_Mem2``,
+* Eq. 8's left-hand sides — register/FRAG and shared-memory footprints.
+
+Instruction-time symbols map onto the spec as: ``T_HMMA`` is the time one
+4-Tensor-Core HMMA group occupies the pipe (4x the per-instruction issue
+interval, since each block drives 4 TCs simultaneously [12, 13]);
+``T_LDG.128``/``T_STS.128`` are the LSU issue intervals; ``T_LDS.32`` is a
+quarter of the 128-bit LDS interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.spec import GpuSpec
+
+__all__ = ["ModelTimes", "times_from_spec", "global_bytes_per_iteration", "flops_per_iteration",
+           "compute_intensity", "t_comp", "t_mem1", "t_mem2", "register_bytes", "shmem_bytes"]
+
+#: FLOPs of one HMMA.1688 instruction group across the 4 simultaneously
+#: driven Tensor Cores (Eq. 5's denominator: 2 x 16 x 8 x 8 x 4)
+HMMA_GROUP_FLOPS = 2 * 16 * 8 * 8 * 4
+
+
+@dataclass(frozen=True)
+class ModelTimes:
+    """The instruction-time constants Eq. 5-7 consume (cycles)."""
+
+    t_hmma: float
+    t_ldg_128: float
+    t_sts_128: float
+    t_lds_32: float
+
+
+def times_from_spec(spec: GpuSpec) -> ModelTimes:
+    """Derive the model's instruction times from a GPU spec."""
+    return ModelTimes(
+        t_hmma=4.0 * spec.hmma_issue_cycles,
+        t_ldg_128=spec.ldg_issue_cycles,
+        t_sts_128=spec.sts_issue_cycles,
+        t_lds_32=spec.lds_issue_cycles / 4.0,
+    )
+
+
+def global_bytes_per_iteration(bm: int, bn: int, bk: int) -> int:
+    """Eq. 2: ``(bm + bm + bn + bn) * bk * 2 = 4 (bm + bn) bk`` bytes.
+
+    Two half-precision split matrices per operand, 2 bytes each.  The C
+    block is excluded: it is read once per ``k/bk`` iterations and is
+    negligible (§6.1).
+    """
+    return 4 * (bm + bn) * bk
+
+
+def flops_per_iteration(bm: int, bn: int, bk: int) -> int:
+    """Eq. 3: ``2 * bm * bn * bk * 4 = 8 bm bn bk`` — the 4 is EGEMM's
+    four Tensor Core calls per extended-precision computation."""
+    return 8 * bm * bn * bk
+
+
+def compute_intensity(bm: int, bn: int) -> float:
+    """Eq. 4: FLOPs per global byte, ``2 bm bn / (bm + bn)``.
+
+    Notably independent of ``bk`` — the paper's "surprising" observation
+    that lets the solver pick a small ``bk`` to free capacity for larger
+    ``bm``/``bn``.
+    """
+    return 2.0 * bm * bn / (bm + bn)
+
+
+def t_comp(bm: int, bn: int, bk: int, times: ModelTimes) -> float:
+    """Eq. 5: per-iteration Tensor Core time of one block."""
+    return flops_per_iteration(bm, bn, bk) / HMMA_GROUP_FLOPS * times.t_hmma
+
+
+def t_mem1(bm: int, bn: int, bk: int, times: ModelTimes) -> float:
+    """Eq. 6: global->shared staging time (all warps collaborating).
+
+    ``(2bm + 2bn) * bk * 2 / (32 * 16)`` 128-bit transactions, each paying
+    one LDG and one STS issue slot (Nvidia GPUs cannot load straight from
+    global to shared memory, §5.1).
+    """
+    transactions = (2 * bm + 2 * bn) * bk * 2 / (32 * 16)
+    return transactions * (times.t_ldg_128 + times.t_sts_128)
+
+
+def t_mem2(bm: int, bn: int, bk: int, wm: int, wn: int, wk: int, times: ModelTimes) -> float:
+    """Eq. 7: shared->FRAG load time across the block's warp iterations."""
+    groups = (bm * bn * bk) / (wm * wn * wk)
+    per_group = (wm / 8 + wm / 8 + wn / 8 + wn / 8)
+    return groups * per_group * times.t_lds_32
+
+
+def register_bytes(bm: int, bn: int, bk: int) -> int:
+    """Eq. 8 constraint 1 LHS: FRAG bytes of the C block plus the
+    double-buffered split operands — ``4 bm bn + 4 (bm + bn) bk``."""
+    return 4 * bm * bn + 4 * (bm + bn) * bk
+
+
+def shmem_bytes(bm: int, bn: int, bk: int, pad: int = 8) -> int:
+    """Eq. 8 constraint 2 LHS: staged split tiles with k-padding —
+    ``2 (bm + bn) (bk + pad) * 2`` bytes (the paper pads by 8)."""
+    return 2 * (bm + bn) * (bk + pad) * 2

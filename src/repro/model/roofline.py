@@ -1,0 +1,102 @@
+"""Roofline analysis: arithmetic intensity, ridge points, boundedness.
+
+§6.1's compute-to-memory ratio (Eq. 4) is a roofline argument; this
+module makes the full picture queryable for any kernel and GPU:
+
+* :func:`ridge_intensity` — FLOP/byte where a GPU turns compute-bound,
+* :class:`RooflinePoint` — one kernel's intensity + achieved throughput
+  and its classification (memory-bound / compute-bound / overhead-bound),
+* :func:`analyze_kernels` — the Table-style roofline summary used by the
+  documentation and the ablation narrative ("EGEMM-TC's tiling pushes
+  intensity past the ridge; the SDK kernel is pinned below it").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.spec import TESLA_T4, GpuSpec
+from ..kernels.base import GemmKernel
+
+__all__ = ["ridge_intensity", "RooflinePoint", "analyze_kernels"]
+
+
+def ridge_intensity(spec: GpuSpec, peak_tflops: float | None = None) -> float:
+    """FLOP/byte at which ``peak`` compute meets DRAM bandwidth.
+
+    Defaults to the Tensor Core peak — the ridge EGEMM-TC's *issued*
+    FLOPs must clear (the useful-FLOP ridge is 4x lower thanks to the
+    emulation's 4x compute overhead).
+    """
+    peak = spec.peak_half_tc_tflops if peak_tflops is None else peak_tflops
+    return peak * 1e12 / (spec.dram_bw_gbps * 1e9)
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel at one problem size on the roofline."""
+
+    kernel: str
+    intensity_flop_per_byte: float
+    achieved_tflops: float
+    roof_tflops: float
+    ridge: float
+
+    @property
+    def bound(self) -> str:
+        if self.intensity_flop_per_byte < self.ridge:
+            return "memory-bound"
+        if self.achieved_tflops >= 0.7 * self.roof_tflops:
+            return "compute-bound"
+        return "overhead-bound"
+
+    @property
+    def roof_fraction(self) -> float:
+        return self.achieved_tflops / self.roof_tflops if self.roof_tflops else 0.0
+
+
+def _kernel_traffic(kernel: GemmKernel, n: int, spec: GpuSpec) -> float:
+    """Estimated DRAM bytes of one n^3 GEMM under the kernel's tiling."""
+    from ..kernels.sdk import SdkCudaFp32
+    from ..kernels.egemm import EgemmTcKernel
+    from ..kernels.markidis import MarkidisKernel
+    from ..tensorize.plan import TensorizationPlan
+
+    if isinstance(kernel, SdkCudaFp32):
+        return kernel.dram_bytes(n, n, n)
+    if isinstance(kernel, (EgemmTcKernel, MarkidisKernel)):
+        cfg = kernel.tiling_for(spec) if isinstance(kernel, EgemmTcKernel) else kernel.tiling
+        plan = TensorizationPlan(n, n, n, cfg)
+        return plan.dram_bytes_per_block(spec) * plan.grid_blocks
+    from ..kernels.cublas import gemm_dram_bytes
+
+    element = 2 if "TC" in kernel.info.name else 4
+    return gemm_dram_bytes(n, n, n, element, 128, spec)
+
+
+def analyze_kernels(
+    kernels: list[GemmKernel], n: int = 8192, spec: GpuSpec = TESLA_T4
+) -> list[RooflinePoint]:
+    """Place each kernel on the roofline at one problem size."""
+    points = []
+    for kernel in kernels:
+        flops = 2.0 * n * n * n
+        bytes_ = _kernel_traffic(kernel, n, spec)
+        intensity = flops / bytes_
+        # The roof for useful FLOPs folds each kernel's compute overhead.
+        overhead = getattr(getattr(kernel, "scheme", None), "compute_overhead", 1)
+        if "FP32" in kernel.info.name or "SDK" in kernel.info.name:
+            peak = spec.peak_fp32_tflops
+        else:
+            peak = spec.peak_half_tc_tflops / max(overhead, 1)
+        roof = min(peak, intensity * spec.dram_bw_gbps / 1e3)
+        points.append(
+            RooflinePoint(
+                kernel=kernel.info.name,
+                intensity_flop_per_byte=intensity,
+                achieved_tflops=kernel.tflops(n, n, n, spec),
+                roof_tflops=roof,
+                ridge=ridge_intensity(spec, peak),
+            )
+        )
+    return points

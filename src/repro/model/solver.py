@@ -1,0 +1,174 @@
+"""Analytic solver for the tensorization design space (§6.2, Eq. 8).
+
+Maximizes the compute-to-traffic ratio (Eq. 4) subject to:
+
+1. the register/FRAG budget (Eq. 8, constraint 1),
+2. the shared-memory budget (Eq. 8, constraint 2),
+3. compute-bound warps: ``T_Mem1 + T_Mem2 <= T_Comp`` (Eq. 8, constraint 3),
+4. structural legality (warp tiles partition block tiles, TC tiles
+   partition warp tiles, at most ``max_warps`` warps per block),
+5. the per-thread register limit under the §5.2 stage-reuse allocator —
+   the constraint that actually rules out wider warp tiles and pins the
+   paper's (64, 32) choice.
+
+The space is small and discrete (a few thousand candidates), so the
+"optimization solver" is an exhaustive feasibility scan with
+lexicographic tie-breaking — equivalent to the cvxopt formulation the
+paper references but dependency-free and exact on the integer lattice.
+Ties on the objective prefer (in order) larger ``bk`` (fewer iterations,
+fewer barriers), smaller ``wk`` (less fragment pressure), and
+``wm >= wn`` (row-major staging).
+
+On the Tesla T4 budget the solver returns the paper's Table 4 point:
+``(bm, bn, bk) = (128, 128, 32)``, ``(wm, wn, wk) = (64, 32, 8)``,
+36 KB shared memory per block, 1 active block per SM, 8 warps per block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..gpu.occupancy import BlockResources, occupancy
+from ..gpu.registers import allocate, egemm_stage_usage
+from ..gpu.spec import TESLA_T4, GpuSpec
+from ..tensorize.tiling import TilingConfig
+from . import resources as R
+
+__all__ = ["Candidate", "SolverResult", "DesignSpace", "solve", "table4_rows"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One evaluated design-space point."""
+
+    config: TilingConfig
+    objective: float
+    feasible: bool
+    violated: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """Discrete candidate values for the six hyper-parameters."""
+
+    bm: Sequence[int] = (32, 64, 96, 128, 192, 256)
+    bn: Sequence[int] = (32, 64, 96, 128, 192, 256)
+    bk: Sequence[int] = (8, 16, 32, 64)
+    wm: Sequence[int] = (16, 32, 64, 128)
+    wn: Sequence[int] = (16, 32, 64, 128)
+    wk: Sequence[int] = (8, 16, 32)
+    max_warps: int = 8
+
+    def candidates(self) -> Iterable[TilingConfig]:
+        for bm in self.bm:
+            for bn in self.bn:
+                for bk in self.bk:
+                    for wm in self.wm:
+                        for wn in self.wn:
+                            for wk in self.wk:
+                                try:
+                                    cfg = TilingConfig(bm=bm, bn=bn, bk=bk, wm=wm, wn=wn, wk=wk)
+                                except ValueError:
+                                    continue
+                                if cfg.warps_per_block > self.max_warps:
+                                    continue
+                                yield cfg
+
+
+@dataclass
+class SolverResult:
+    """Outcome of the design-space scan."""
+
+    best: TilingConfig
+    objective: float
+    evaluated: int
+    feasible_count: int
+    candidates: list[Candidate] = field(default_factory=list)
+
+    def blocks_per_sm(self, spec: GpuSpec) -> int:
+        usage = egemm_stage_usage(
+            self.best.wm, self.best.wn, self.best.wk,
+            self.best.bm, self.best.bn, self.best.bk,
+            self.best.threads_per_block,
+        )
+        regs = allocate(usage, spec, policy="stage-reuse").registers_per_thread
+        res = BlockResources(
+            threads=self.best.threads_per_block,
+            shared_mem_bytes=self.best.shared_mem_bytes,
+            registers_per_thread=regs,
+        )
+        return occupancy(res, spec).blocks_per_sm
+
+
+def _check(cfg: TilingConfig, spec: GpuSpec, times: R.ModelTimes) -> tuple[bool, tuple[str, ...]]:
+    violated = []
+    if R.register_bytes(cfg.bm, cfg.bn, cfg.bk) > spec.register_file_per_sm:
+        violated.append("register-file (Eq. 8 c1)")
+    if R.shmem_bytes(cfg.bm, cfg.bn, cfg.bk) > spec.shared_mem_per_sm:
+        violated.append("shared-memory (Eq. 8 c2)")
+    tc = R.t_comp(cfg.bm, cfg.bn, cfg.bk, times)
+    tm = R.t_mem1(cfg.bm, cfg.bn, cfg.bk, times) + R.t_mem2(
+        cfg.bm, cfg.bn, cfg.bk, cfg.wm, cfg.wn, cfg.wk, times
+    )
+    if tm > tc:
+        violated.append("memory-bound (Eq. 8 c3)")
+    usage = egemm_stage_usage(cfg.wm, cfg.wn, cfg.wk, cfg.bm, cfg.bn, cfg.bk, cfg.threads_per_block)
+    alloc = allocate(usage, spec, policy="stage-reuse")
+    if alloc.spills:
+        violated.append("per-thread registers (spills under stage reuse)")
+    return (not violated), tuple(violated)
+
+
+def solve(
+    spec: GpuSpec = TESLA_T4,
+    space: DesignSpace | None = None,
+    keep_candidates: bool = False,
+) -> SolverResult:
+    """Scan the design space; return the best feasible configuration."""
+    space = space or DesignSpace()
+    times = R.times_from_spec(spec)
+
+    best: TilingConfig | None = None
+    best_key: tuple | None = None
+    evaluated = 0
+    feasible_count = 0
+    kept: list[Candidate] = []
+
+    for cfg in space.candidates():
+        evaluated += 1
+        feasible, violated = _check(cfg, spec, times)
+        objective = R.compute_intensity(cfg.bm, cfg.bn)
+        if keep_candidates:
+            kept.append(Candidate(cfg, objective, feasible, violated))
+        if not feasible:
+            continue
+        feasible_count += 1
+        # Lexicographic preference: objective, then larger bk, smaller wk,
+        # then wm >= wn, then smaller footprint for determinism.
+        key = (objective, cfg.bk, -cfg.wk, cfg.wm >= cfg.wn, -cfg.shared_mem_bytes)
+        if best_key is None or key > best_key:
+            best, best_key = cfg, key
+
+    if best is None:
+        raise RuntimeError(f"no feasible tiling for {spec.name} in the given design space")
+    return SolverResult(
+        best=best,
+        objective=R.compute_intensity(best.bm, best.bn),
+        evaluated=evaluated,
+        feasible_count=feasible_count,
+        candidates=kept,
+    )
+
+
+def table4_rows(spec: GpuSpec = TESLA_T4) -> list[dict[str, str]]:
+    """The paper's Table 4 (design choice), regenerated by the solver."""
+    result = solve(spec)
+    cfg = result.best
+    return [
+        {"item": "(bm, bn, bk)", "value": f"({cfg.bm}, {cfg.bn}, {cfg.bk})"},
+        {"item": "(wm, wn, wk)", "value": f"({cfg.wm}, {cfg.wn}, {cfg.wk})"},
+        {"item": "Shared memory/block", "value": f"{cfg.shared_mem_bytes // 1024} KB"},
+        {"item": "Active Blocks/SM", "value": str(result.blocks_per_sm(spec))},
+        {"item": "Active Warps / Block", "value": str(cfg.warps_per_block)},
+    ]

@@ -1,0 +1,27 @@
+"""Generalized emulation design workflow: randomized bit-wise precision
+profiling of specialized cores (Figure 2a / Figure 3 / Appendix A.3)."""
+
+from .generator import UNIT_POSITIVE, UNIT_SIGNED, InputDistribution, TileGenerator
+from .report import format_profiling_report
+from .sweep import SweepPoint, sweep_distribution, sweep_k
+from .workflow import (
+    EXTENDED_PRECISION_BITS,
+    PrecisionProfiler,
+    ProbeAgreement,
+    ProfilingResult,
+)
+
+__all__ = [
+    "UNIT_POSITIVE",
+    "UNIT_SIGNED",
+    "InputDistribution",
+    "TileGenerator",
+    "format_profiling_report",
+    "SweepPoint",
+    "sweep_distribution",
+    "sweep_k",
+    "EXTENDED_PRECISION_BITS",
+    "PrecisionProfiler",
+    "ProbeAgreement",
+    "ProfilingResult",
+]

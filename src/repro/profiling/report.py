@@ -1,0 +1,34 @@
+"""Textual reports for profiling runs (Appendix A.3 "Profiling" output)."""
+
+from __future__ import annotations
+
+from .workflow import ProfilingResult
+
+__all__ = ["format_profiling_report"]
+
+
+def format_profiling_report(result: ProfilingResult) -> str:
+    """Render a profiling result the way the artifact's program prints it.
+
+    The first block reproduces the Appendix's scalar triples
+    (``half_result`` / ``single_result`` / ``Tensor Core`` with hex bit
+    patterns); the second summarizes per-probe mantissa agreement; the
+    last line is the §3.2 verdict.
+    """
+    lines: list[str] = []
+    for i, sample in enumerate(result.samples):
+        if i:
+            lines.append("")
+        lines.extend(sample.lines())
+    if result.samples:
+        lines.append("")
+
+    lines.append(f"{'probe':<10} {'min bits':>8} {'mean bits':>10} {'bit-identical':>14}")
+    for agreement in result.agreements:
+        lines.append(
+            f"{agreement.probe.name:<10} {agreement.min_bits:>8d} "
+            f"{agreement.mean_bits:>10.2f} {agreement.identical_fraction:>13.1%}"
+        )
+    lines.append("")
+    lines.append(result.verdict())
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""The generalized emulation design workflow — precision profiling half.
+
+Implements Figure 2a and the Figure 3 profiling program: for many trials,
+
+1. generate randomized half-precision inputs,
+2. evaluate the specialized core (the simulated Tensor Core primitive),
+3. evaluate every probing compute primitive on the "CPU",
+4. compare bit-wise, tracking how many leading mantissa bits agree,
+
+and identify the "correct" probing primitive: the one whose results agree
+with the hardware on at least the extended-precision requirement (21
+mantissa bits) across *all* tested inputs.
+
+The workflow is hardware-agnostic by construction — ``hardware`` is any
+callable with the primitive's signature — which is the paper's point about
+extendability to other specialized cores (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..fp.bits import mantissa_bits_agreement
+from ..tensorcore.mma import InternalPrecision, mma
+from ..tensorcore.probing import ALL_PROBES, ProbeSample, ProbingPrimitive, probe_sample
+from .generator import TileGenerator
+
+__all__ = ["ProbeAgreement", "ProfilingResult", "PrecisionProfiler", "EXTENDED_PRECISION_BITS"]
+
+#: mantissa bits required for extended-precision emulation (Table 1)
+EXTENDED_PRECISION_BITS = 21
+
+
+@dataclass
+class ProbeAgreement:
+    """Bit-agreement statistics of one probing primitive vs the hardware."""
+
+    probe: ProbingPrimitive
+    min_bits: int = 24
+    mean_bits: float = 0.0
+    identical_fraction: float = 0.0
+    trials: int = 0
+
+    @property
+    def meets_extended_precision(self) -> bool:
+        """True when every tested output agreed to >= 21 mantissa bits."""
+        return self.trials > 0 and self.min_bits >= EXTENDED_PRECISION_BITS
+
+
+@dataclass
+class ProfilingResult:
+    """Outcome of a profiling run over all probing primitives."""
+
+    agreements: list[ProbeAgreement]
+    samples: list[ProbeSample] = field(default_factory=list)
+
+    def best_probe(self) -> ProbeAgreement:
+        """The probing primitive that best matches the hardware."""
+        return max(self.agreements, key=lambda a: (a.min_bits, a.mean_bits))
+
+    def correct_probes(self) -> list[ProbeAgreement]:
+        """All probes meeting the extended-precision agreement bar."""
+        return [a for a in self.agreements if a.meets_extended_precision]
+
+    def verdict(self) -> str:
+        """Human-readable conclusion, phrased like §3.2's."""
+        correct = self.correct_probes()
+        if not correct:
+            return (
+                "no probing primitive matches the specialized core to "
+                f"{EXTENDED_PRECISION_BITS} mantissa bits; fall back to Dekker-style emulation"
+            )
+        names = ", ".join(a.probe.name for a in correct)
+        return (
+            f"specialized core matches {names} bit-wisely up to "
+            f"{min(a.min_bits for a in correct)} mantissa bits — the operation natively "
+            "supports extended precision; only the half-precision inputs lose data"
+        )
+
+
+class PrecisionProfiler:
+    """Runs the randomized bit-wise comparison loop of Figure 3.
+
+    Parameters
+    ----------
+    hardware:
+        The specialized-core primitive under test.  Defaults to the
+        simulated Tensor Core (:func:`repro.tensorcore.mma` with the
+        ``TENSOR_CORE`` internal model); injectable so the same workflow
+        can profile any other core model.
+    probes:
+        Candidate probing primitives (defaults to d_HALF / d_FLOAT /
+        d_EXACT, the hypotheses of §3.2).
+    """
+
+    def __init__(
+        self,
+        hardware: Callable[..., np.ndarray] | None = None,
+        probes: Sequence[ProbingPrimitive] = ALL_PROBES,
+    ) -> None:
+        if hardware is None:
+            hardware = lambda a, b, c=None: mma(a, b, c, precision=InternalPrecision.TENSOR_CORE)
+        self.hardware = hardware
+        self.probes = tuple(probes)
+
+    def run(
+        self,
+        trials: int = 1000,
+        generator: TileGenerator | None = None,
+        with_c: bool = False,
+        keep_samples: int = 3,
+    ) -> ProfilingResult:
+        """Profile over ``trials`` random tiles; aggregate agreement stats.
+
+        ``keep_samples`` retains a few formatted scalar comparisons for the
+        Appendix-style printout.
+        """
+        if trials <= 0:
+            raise ValueError("trials must be positive")
+        gen = generator or TileGenerator()
+
+        mins = {p.name: 24 for p in self.probes}
+        sums = {p.name: 0.0 for p in self.probes}
+        identical = {p.name: 0 for p in self.probes}
+        count = 0
+        samples: list[ProbeSample] = []
+
+        for t in range(trials):
+            a, b, c = gen.half_inputs(with_c=with_c)
+            d_hw = np.asarray(self.hardware(a, b, c), dtype=np.float32)
+            for probe in self.probes:
+                d_probe = np.asarray(probe.compute(a, b, c), dtype=np.float32)
+                bits = mantissa_bits_agreement(d_hw, d_probe)
+                mins[probe.name] = min(mins[probe.name], int(bits.min()))
+                sums[probe.name] += float(bits.mean())
+                identical[probe.name] += int(np.count_nonzero(bits == 24))
+            count += d_hw.size
+            if t < keep_samples:
+                samples.append(probe_sample(a, b, c))
+
+        agreements = [
+            ProbeAgreement(
+                probe=p,
+                min_bits=mins[p.name],
+                mean_bits=sums[p.name] / trials,
+                identical_fraction=identical[p.name] / count,
+                trials=trials,
+            )
+            for p in self.probes
+        ]
+        return ProfilingResult(agreements=agreements, samples=samples)

@@ -1,0 +1,52 @@
+"""Data-split algorithms: round-split (EGEMM-TC), truncate-split (Markidis),
+Dekker error-free transforms, and the common split protocol."""
+
+from .base import Split, SplitPair
+from .dekker import DekkerSplit, DekkerStats, dekker_dot, dekker_gemm
+from .eft import (
+    DEKKER_EMULATED_FMA_OPS,
+    FAST_TWO_SUM_OPS,
+    TWO_PROD_OPS,
+    TWO_SUM_OPS,
+    VELTKAMP_SPLIT_OPS,
+    fast_two_sum,
+    two_prod,
+    two_sum,
+    veltkamp_split,
+)
+from .ozaki import OzakiSlices, ozaki_gemm, ozaki_slice
+from .round import RoundSplit, round_split
+from .scaled import SCALE_BITS, ScaledTruncateSplit, scaled_emulated_gemm
+from .three_term import SplitTriple, ThreeTermSplit, three_term_split
+from .truncate import TruncateSplit, truncate_split
+
+__all__ = [
+    "Split",
+    "SplitPair",
+    "DekkerSplit",
+    "DekkerStats",
+    "dekker_dot",
+    "dekker_gemm",
+    "DEKKER_EMULATED_FMA_OPS",
+    "FAST_TWO_SUM_OPS",
+    "TWO_PROD_OPS",
+    "TWO_SUM_OPS",
+    "VELTKAMP_SPLIT_OPS",
+    "fast_two_sum",
+    "two_prod",
+    "two_sum",
+    "veltkamp_split",
+    "OzakiSlices",
+    "ozaki_gemm",
+    "ozaki_slice",
+    "RoundSplit",
+    "round_split",
+    "SCALE_BITS",
+    "ScaledTruncateSplit",
+    "scaled_emulated_gemm",
+    "SplitTriple",
+    "ThreeTermSplit",
+    "three_term_split",
+    "TruncateSplit",
+    "truncate_split",
+]

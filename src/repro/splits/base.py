@@ -1,0 +1,77 @@
+"""Common protocol for data-split algorithms (§3 of the paper).
+
+A *split* decomposes a single-precision matrix ``X`` into a small number of
+half-precision matrices whose (exact) sum approximates ``X`` to more
+mantissa bits than a single half-precision value can hold.  The split is the
+first half of the generalized emulation design workflow (Figure 2b: "Data
+Split"); the matching *data combination* lives in :mod:`repro.emulation`.
+
+Splits run once per matrix element — O(N²) work against the O(N³) GEMM —
+which is why the paper calls their overhead negligible (§3.2).  In the real
+system they execute on CUDA cores; here they are vectorized NumPy bit
+manipulation.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SplitPair", "Split"]
+
+
+@dataclass(frozen=True)
+class SplitPair:
+    """The (hi, lo) half-precision pair produced by a two-term split.
+
+    ``hi`` carries the leading ~10 mantissa bits of the source value and
+    ``lo`` the next ~10 (plus, for round-split, one extra effective bit in
+    its sign).  Both are stored as ``float16`` arrays, exactly as they
+    would be laid out in GPU global memory before the HMMA calls.
+    """
+
+    hi: np.ndarray
+    lo: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.hi.dtype != np.float16 or self.lo.dtype != np.float16:
+            raise TypeError("split parts must be float16")
+        if self.hi.shape != self.lo.shape:
+            raise ValueError("split parts must share a shape")
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.hi.shape
+
+    def reconstruct(self) -> np.ndarray:
+        """Exact sum ``hi + lo`` in float64 (the emulated value)."""
+        return self.hi.astype(np.float64) + self.lo.astype(np.float64)
+
+
+class Split(abc.ABC):
+    """A two-term single→half data-split algorithm."""
+
+    #: short name used in reports and the kernel registry
+    name: str = "abstract"
+    #: effective mantissa bits of the reconstructed value (Table 1 column)
+    effective_mantissa_bits: int = 0
+
+    @abc.abstractmethod
+    def split(self, x: np.ndarray) -> SplitPair:
+        """Decompose single-precision ``x`` into a half-precision pair.
+
+        ``x`` is converted to float32 first: the paper's emulation takes
+        single-precision inputs (Algorithm 1), so any extra bits beyond
+        fp32 are, by definition, out of scope for the split.
+        """
+
+    def max_reconstruction_error(self, x: np.ndarray) -> float:
+        """Largest |x - (hi + lo)| over the array, for diagnostics."""
+        x32 = np.asarray(x, dtype=np.float32).astype(np.float64)
+        pair = self.split(x32)
+        return float(np.max(np.abs(x32 - pair.reconstruct()))) if x32.size else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, bits={self.effective_mantissa_bits})"

@@ -1,0 +1,135 @@
+"""Dekker-style emulation baseline (the 16-instruction scheme of §1/§2.2).
+
+Dekker [7] assumes hardware whose computation precision equals its input
+precision.  To emulate an extended-precision multiply-accumulate from
+half-precision scalar instructions, both operands are pre-split into
+(hi, lo) half pairs; the four partial products are then formed and combined
+with compensated additions, costing ~16 serialized half-precision
+instructions per emulated FMA — the overhead that makes Dekker emulation
+unattractive on Tensor Cores (8x throughput advantage < 16x instruction
+overhead).
+
+This module provides the baseline functionally:
+
+* :class:`DekkerSplit` — the Veltkamp-style half split of an fp32 value,
+* :func:`dekker_dot` / :func:`dekker_gemm` — a dot product / GEMM whose
+  every scalar operation is rounded to half precision, with the accumulator
+  held as an unevaluated (hi, lo) half pair,
+* instruction accounting so the 16x-vs-4x comparison is measurable.
+
+Vectorization note: the k-loop is a Python loop (it is inherently a
+serialized dependence chain — that is Dekker's point), but each iteration
+is a fully vectorized NumPy operation over the whole output matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import Split, SplitPair
+from .eft import DEKKER_EMULATED_FMA_OPS, two_sum
+from .round import RoundSplit
+
+__all__ = ["DekkerSplit", "dekker_dot", "dekker_gemm", "DekkerStats"]
+
+
+class DekkerSplit(Split):
+    """Two-term half split used as the input stage of Dekker emulation.
+
+    Operationally identical to round-split (round-to-nearest high part);
+    kept as a distinct class because the downstream *combination* differs:
+    Dekker combines in half precision, EGEMM-TC combines in the Tensor
+    Core's single-precision accumulator.
+    """
+
+    name = "dekker"
+    effective_mantissa_bits = 20  # limited by half-precision combination
+
+    def split(self, x: np.ndarray) -> SplitPair:
+        return RoundSplit().split(x)
+
+
+@dataclass
+class DekkerStats:
+    """Instruction accounting for a Dekker-emulated GEMM."""
+
+    emulated_fmas: int = 0
+
+    @property
+    def half_instructions(self) -> int:
+        """Total half-precision scalar instructions executed."""
+        return self.emulated_fmas * DEKKER_EMULATED_FMA_OPS
+
+    @property
+    def overhead_factor(self) -> int:
+        """Half instructions per emulated FMA — the 16x of the paper."""
+        return DEKKER_EMULATED_FMA_OPS
+
+
+def _h(x: np.ndarray) -> np.ndarray:
+    """Round to half precision (simulating a half-precision ALU)."""
+    return np.asarray(x).astype(np.float16)
+
+
+def dekker_dot(a: np.ndarray, b: np.ndarray, stats: DekkerStats | None = None) -> np.ndarray:
+    """Extended-precision dot products along the last axis of ``a``/``b``.
+
+    ``a`` has shape (..., k) and ``b`` shape (..., k); every arithmetic
+    operation is rounded to float16, and the accumulator is an unevaluated
+    (hi, lo) half pair maintained with compensated two-sums.  Returns the
+    float32 value of the pair.
+    """
+    a32 = np.asarray(a, dtype=np.float32)
+    b32 = np.asarray(b, dtype=np.float32)
+    if a32.shape[-1] != b32.shape[-1]:
+        raise ValueError("k-dimension mismatch")
+    split = DekkerSplit()
+    pa = split.split(a32)
+    pb = split.split(b32)
+
+    out_shape = np.broadcast_shapes(a32.shape[:-1], b32.shape[:-1])
+    chi = np.zeros(out_shape, dtype=np.float16)
+    clo = np.zeros(out_shape, dtype=np.float16)
+    k = a32.shape[-1]
+    for j in range(k):
+        ahi, alo = pa.hi[..., j], pa.lo[..., j]
+        bhi, blo = pb.hi[..., j], pb.lo[..., j]
+        # Four half partial products; ahi*bhi dominates, cross terms refine.
+        p_hh = _h(ahi * bhi)
+        p_hl = _h(ahi * blo)
+        p_lh = _h(alo * bhi)
+        p_ll = _h(alo * blo)
+        # Combine the correction terms in half precision.
+        corr = _h(_h(p_hl + p_lh) + p_ll)
+        # Compensated accumulation of (p_hh + corr) into the (hi, lo) pair.
+        s, e = two_sum(chi, p_hh, dtype=np.float16)
+        e = _h(e + corr)
+        e = _h(e + clo)
+        chi, clo = s, e
+        if stats is not None:
+            stats.emulated_fmas += int(np.prod(out_shape))
+    return chi.astype(np.float32) + clo.astype(np.float32)
+
+
+def dekker_gemm(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None, stats: DekkerStats | None = None
+) -> np.ndarray:
+    """Dekker-emulated GEMM ``D = A @ B + C`` with half-only arithmetic.
+
+    Intended as a *functional* baseline at small sizes; its per-scalar
+    Python-level k-loop makes it intentionally slow, mirroring the
+    serialized instruction chain the paper criticises.
+    """
+    a32 = np.asarray(a, dtype=np.float32)
+    b32 = np.asarray(b, dtype=np.float32)
+    if a32.ndim != 2 or b32.ndim != 2 or a32.shape[1] != b32.shape[0]:
+        raise ValueError("dekker_gemm expects (m,k) @ (k,n)")
+    # Broadcast to (m, n, k) views (no copies) and reduce along k.
+    av = a32[:, None, :]
+    bv = b32.T[None, :, :]
+    d = dekker_dot(av, bv, stats=stats)
+    if c is not None:
+        d = d + np.asarray(c, dtype=np.float32)
+    return d.astype(np.float32)

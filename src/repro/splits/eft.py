@@ -1,0 +1,123 @@
+"""Error-free transformations (Dekker [7], Knuth [14], Shewchuk [36]).
+
+These are the classical CPU-era building blocks the paper contrasts its
+lightweight emulation against.  Each transform expresses an exact result as
+an unevaluated sum of two floating-point numbers of the *working* precision:
+
+* :func:`two_sum` — Knuth's 6-operation exact addition,
+* :func:`fast_two_sum` — Dekker's 3-operation variant (|a| >= |b|),
+* :func:`veltkamp_split` — Dekker/Veltkamp's multiplier-based split,
+* :func:`two_prod` — Dekker's 17-operation exact product (split + 7 ops).
+
+The working precision is parameterized: ``dtype=np.float16`` gives the
+half-precision instruction stream Dekker-on-Tensor-Core-inputs would need
+(the 16-instruction emulation of the paper's §1), ``np.float32``/
+``np.float64`` give the standard CPU forms used as references in tests.
+
+Every function also reports its *operation count* so the emulation-overhead
+comparison (16 half instructions per emulated FMA for Dekker vs 4 HMMA
+calls for EGEMM-TC) is grounded in code rather than prose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "two_sum",
+    "fast_two_sum",
+    "veltkamp_split",
+    "two_prod",
+    "TWO_SUM_OPS",
+    "FAST_TWO_SUM_OPS",
+    "VELTKAMP_SPLIT_OPS",
+    "TWO_PROD_OPS",
+    "DEKKER_EMULATED_FMA_OPS",
+]
+
+#: flop counts of each transform in the working precision
+TWO_SUM_OPS = 6
+FAST_TWO_SUM_OPS = 3
+VELTKAMP_SPLIT_OPS = 4
+TWO_PROD_OPS = 2 * VELTKAMP_SPLIT_OPS + 9  # two splits + product/remainder chain
+
+#: multiplies needed per emulated extended-precision multiply-accumulate when
+#: both operands are already split into (hi, lo) pairs and all four partial
+#: products must be formed and combined pairwise: 4 products + 12 combination
+#: adds — the "16 half-precision instructions" of Dekker quoted in §1.
+DEKKER_EMULATED_FMA_OPS = 16
+
+
+def _rn(x: np.ndarray, dtype) -> np.ndarray:
+    """Round to the working precision (simulating that format's ALU)."""
+    return np.asarray(x).astype(dtype)
+
+
+def two_sum(a: np.ndarray, b: np.ndarray, dtype=np.float64) -> tuple[np.ndarray, np.ndarray]:
+    """Knuth two-sum: returns (s, e) with s = RN(a+b) and a+b = s+e exactly.
+
+    Exactness holds when no intermediate overflows; it does not require any
+    ordering of |a| and |b|.
+    """
+    a = _rn(a, dtype)
+    b = _rn(b, dtype)
+    s = _rn(a + b, dtype)
+    bp = _rn(s - a, dtype)
+    ap = _rn(s - bp, dtype)
+    db = _rn(b - bp, dtype)
+    da = _rn(a - ap, dtype)
+    e = _rn(da + db, dtype)
+    return s, e
+
+
+def fast_two_sum(a: np.ndarray, b: np.ndarray, dtype=np.float64) -> tuple[np.ndarray, np.ndarray]:
+    """Dekker fast-two-sum: exact when |a| >= |b| elementwise."""
+    a = _rn(a, dtype)
+    b = _rn(b, dtype)
+    s = _rn(a + b, dtype)
+    z = _rn(s - a, dtype)
+    e = _rn(b - z, dtype)
+    return s, e
+
+
+def _mantissa_bits(dtype) -> int:
+    return {np.dtype(np.float16): 10, np.dtype(np.float32): 23, np.dtype(np.float64): 52}[
+        np.dtype(dtype)
+    ]
+
+
+def veltkamp_split(a: np.ndarray, dtype=np.float64) -> tuple[np.ndarray, np.ndarray]:
+    """Dekker/Veltkamp split: a = hi + lo with hi, lo each on ~p/2 bits.
+
+    Uses the magic multiplier ``2**ceil(t/2) + 1`` where ``t`` is the full
+    significand width (stored mantissa + implicit bit; 27 for binary64,
+    12 for binary32, 6 for binary16).  This is the split Dekker's
+    emulation uses on hardware whose input and output precision coincide —
+    contrast with the paper's round-split, which targets hardware with
+    *wider output than input* precision.
+    """
+    a = _rn(a, dtype)
+    t = _mantissa_bits(dtype) + 1
+    factor = _rn(2.0 ** ((t + 1) // 2) + 1.0, dtype)
+    c = _rn(factor * a, dtype)
+    hi = _rn(c - _rn(c - a, dtype), dtype)
+    lo = _rn(a - hi, dtype)
+    return hi, lo
+
+
+def two_prod(a: np.ndarray, b: np.ndarray, dtype=np.float64) -> tuple[np.ndarray, np.ndarray]:
+    """Dekker two-prod: (p, e) with p = RN(a*b) and a*b = p+e exactly.
+
+    Exact for working formats where the product's exponent stays in range
+    and 2p-bit products split cleanly (standard Dekker conditions).
+    """
+    a = _rn(a, dtype)
+    b = _rn(b, dtype)
+    p = _rn(a * b, dtype)
+    ah, al = veltkamp_split(a, dtype)
+    bh, bl = veltkamp_split(b, dtype)
+    e1 = _rn(_rn(ah * bh, dtype) - p, dtype)
+    e2 = _rn(e1 + _rn(ah * bl, dtype), dtype)
+    e3 = _rn(e2 + _rn(al * bh, dtype), dtype)
+    e = _rn(e3 + _rn(al * bl, dtype), dtype)
+    return p, e

@@ -1,0 +1,134 @@
+"""Ozaki-scheme emulation on the integer tensor core (the ozIMMU line).
+
+A forward-looking extension: where the paper splits fp32 into *two fp16
+values* and pays rounding inside every Tensor Core call, the Ozaki scheme
+slices each operand row/column into **int8 digit planes** under a shared
+per-row power-of-two exponent, multiplies the planes on the *exact*
+integer tensor core (:mod:`repro.tensorcore.imma`), and rounds only in
+the final fp64 recombination.  Accuracy is then a free parameter — each
+extra slice buys 7 mantissa bits — at quadratic cost in slice pairs:
+
+=========  ==============  ====================================
+slices     IMMA calls      effective input mantissa (approx)
+=========  ==============  ====================================
+2          4               ~13 bits (near half precision)
+3          9               ~20 bits (round-split class)
+4          16              ~27 bits (full fp32 inputs, exactly)
+=========  ==============  ====================================
+
+The per-row exponent sidesteps fp16's range problem entirely (the issue
+that floors the three-term fp16 split, :mod:`repro.splits.three_term`) —
+which is precisely why the post-EGEMM-TC literature moved to integer
+pipes.  The trade: digit slicing is *blockwise* (one exponent per row),
+so badly scaled rows waste digits, and the recombination is a CUDA-core
+pass the fp16 scheme's fused accumulation avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tensorcore.imma import imma
+
+__all__ = ["OzakiSlices", "ozaki_slice", "ozaki_gemm"]
+
+#: normalization margin: |normalized| < 2^_LEAD_BITS with one spare bit of
+#: headroom so rounding carries never clip at the int8 boundary
+_LEAD_BITS = 6
+#: bits carried by each digit plane (7 keeps every rounded residual
+#: strictly inside [-64, 64] — no digit is ever clipped)
+_DIGIT_BITS = 7
+
+
+@dataclass(frozen=True)
+class OzakiSlices:
+    """Digit-plane decomposition of one matrix along its rows.
+
+    ``value[i, j] ~= 2^(exponents[i] - LEAD_BITS) *
+    sum_p digits[p, i, j] * 2^(-DIGIT_BITS * p)``.
+    """
+
+    digits: np.ndarray  # (slices, rows, cols) int8
+    exponents: np.ndarray  # (rows,) int64 — per-row shared exponent
+
+    @property
+    def num_slices(self) -> int:
+        return self.digits.shape[0]
+
+    def reconstruct(self) -> np.ndarray:
+        """Float64 value of the decomposition (for error analysis)."""
+        scale0 = np.exp2(self.exponents - _LEAD_BITS)[:, None]
+        out = np.zeros(self.digits.shape[1:], dtype=np.float64)
+        for p in range(self.num_slices):
+            out += self.digits[p].astype(np.float64) * 2.0 ** (-_DIGIT_BITS * p)
+        return out * scale0
+
+
+def ozaki_slice(x: np.ndarray, slices: int = 3, axis: int = 1) -> OzakiSlices:
+    """Slice a matrix into int8 digit planes with per-row exponents.
+
+    ``axis=1`` shares one exponent per row (for the A operand);
+    ``axis=0`` per column (for B — internally transposed and restored).
+    """
+    if slices < 1:
+        raise ValueError("need at least one slice")
+    x64 = np.asarray(x, dtype=np.float64)
+    if x64.ndim != 2:
+        raise ValueError("ozaki_slice expects a matrix")
+    if axis == 0:
+        t = ozaki_slice(x64.T, slices=slices, axis=1)
+        return OzakiSlices(digits=np.swapaxes(t.digits, 1, 2), exponents=t.exponents)
+    if axis != 1:
+        raise ValueError("axis must be 0 or 1")
+
+    row_max = np.max(np.abs(x64), axis=1)
+    # Exponent such that |x| / 2^e < 1; zero rows get exponent 0.
+    exponents = np.where(row_max > 0, np.ceil(np.log2(np.maximum(row_max, 1e-300))), 0.0)
+    exponents = exponents.astype(np.int64)
+
+    # |normalized| < 2^_LEAD_BITS = 64: the leading digit rounds to at
+    # most 64 and every residual (|r| <= 0.5 scaled by 2^7) stays within
+    # [-64, 64] — the int8 range is never clipped, so the expansion is
+    # error-free down to the last plane's rounding.
+    normalized = x64 / np.exp2(exponents - _LEAD_BITS)[:, None]
+    digits = np.empty((slices, *x64.shape), dtype=np.int8)
+    residual = normalized
+    for p in range(slices):
+        d = np.rint(residual)
+        digits[p] = d.astype(np.int8)
+        residual = (residual - d) * 2.0**_DIGIT_BITS
+    return OzakiSlices(digits=digits, exponents=exponents)
+
+
+def ozaki_gemm(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None, slices: int = 3
+) -> np.ndarray:
+    """Ozaki-scheme GEMM: slices^2 exact IMMA calls + fp64 recombination.
+
+    Digit-pair products whose combined weight falls below the last
+    retained plane could be skipped (the triangular optimization of the
+    ozIMMU implementations); this reference keeps all pairs so precision
+    statements stay simple.
+    """
+    a64 = np.asarray(a, dtype=np.float32).astype(np.float64)
+    b64 = np.asarray(b, dtype=np.float32).astype(np.float64)
+    if a64.ndim != 2 or b64.ndim != 2 or a64.shape[1] != b64.shape[0]:
+        raise ValueError("ozaki_gemm expects (m,k) @ (k,n)")
+
+    sa = ozaki_slice(a64, slices=slices, axis=1)
+    sb = ozaki_slice(b64, slices=slices, axis=0)
+
+    # Per-element scale: outer product of the row/column base scales.
+    scale = np.exp2(sa.exponents - _LEAD_BITS)[:, None] * np.exp2(sb.exponents - _LEAD_BITS)[None, :]
+
+    acc = np.zeros((a64.shape[0], b64.shape[1]), dtype=np.float64)
+    for p in range(slices):
+        for q in range(slices):
+            exact = imma(sa.digits[p], sb.digits[q])  # int32, exact
+            acc += exact.astype(np.float64) * 2.0 ** (-_DIGIT_BITS * (p + q))
+    d = acc * scale
+    if c is not None:
+        d = d + np.asarray(c, dtype=np.float32).astype(np.float64)
+    return d.astype(np.float32)

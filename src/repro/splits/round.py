@@ -1,0 +1,46 @@
+"""Round-split: the paper's data split (§3.2, Figure 4b).
+
+Like truncate-split, the value is decomposed into two half-precision terms,
+but ``xhi`` is obtained by *round-to-nearest*: when the 21st mantissa bit
+``s`` of the source is set, 1 is added to the 10th mantissa bit of ``xhi``
+and ``xlo`` is recomputed against the incremented high part.  The residual
+is therefore bounded by half a ulp of ``xhi`` and may be negative even for
+positive ``x`` — the sign bit of ``xlo`` encodes one extra effective
+mantissa bit, for 21 bits total ("extended-precision" in Table 1).
+
+The split runs once per element, O(N²) against the O(N³) multiplication,
+so its cost is negligible in the emulated GEMM; in the real system it runs
+on CUDA cores while the matrix product runs on Tensor Cores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Split, SplitPair
+
+__all__ = ["RoundSplit", "round_split"]
+
+
+class RoundSplit(Split):
+    """EGEMM-TC round-based two-term split (21 effective mantissa bits)."""
+
+    name = "round"
+    effective_mantissa_bits = 21
+
+    def split(self, x: np.ndarray) -> SplitPair:
+        x32 = np.asarray(x, dtype=np.float32).astype(np.float64)
+        # NumPy's float16 cast implements IEEE round-to-nearest-even, which
+        # is exactly the "check bit s, maybe add 1 to the 10th mantissa bit"
+        # procedure of Figure 4b (ties go to even rather than always up;
+        # the paper's description elides the tie case).
+        hi = x32.astype(np.float16)
+        # The residual is computed against the *rounded* high part, so it
+        # may carry either sign; its float16 rounding is the low term.
+        lo = (x32 - hi.astype(np.float64)).astype(np.float16)
+        return SplitPair(hi=hi, lo=lo)
+
+
+def round_split(x: np.ndarray) -> SplitPair:
+    """Functional convenience wrapper around :class:`RoundSplit`."""
+    return RoundSplit().split(x)

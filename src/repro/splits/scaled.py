@@ -1,0 +1,112 @@
+"""Scaled truncate-split — the form Markidis et al.'s code actually uses.
+
+The IPDPSW'18 implementation stores the low term *scaled by 2^11*
+(``lo_s = (half)((x - hi) * 2048)``) so the residual sits comfortably in
+fp16's normal range instead of brushing its subnormals.  The price is
+structural: the low-term partial products come out scaled by 2^11 (cross
+terms) or 2^22 (lo*lo), so they cannot be accumulated by the Tensor
+Core's plain ``D = A x B + C`` primitive — each scaled product needs its
+own accumulator and a CUDA-core rescale-and-add pass.
+
+This module provides the split and a reference emulation that performs
+the rescale combination explicitly, quantifying the trade-off the paper
+implicitly makes by choosing the *unscaled* round-split (4 fused calls,
+no rescale pass, slightly larger residual near the subnormal boundary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fp.rounding import truncate_to_mantissa
+from .base import Split, SplitPair
+
+__all__ = ["ScaledTruncateSplit", "SCALE_BITS", "scaled_emulated_gemm"]
+
+#: the 2^11 scale of the low term (one half-precision mantissa width + 1)
+SCALE_BITS = 11
+
+
+@dataclass(frozen=True)
+class _ScaledPair:
+    """hi (unscaled) and lo (scaled by 2^SCALE_BITS) half matrices."""
+
+    hi: np.ndarray
+    lo_scaled: np.ndarray
+
+    def reconstruct(self) -> np.ndarray:
+        return self.hi.astype(np.float64) + self.lo_scaled.astype(np.float64) * 2.0**-SCALE_BITS
+
+
+class ScaledTruncateSplit(Split):
+    """Markidis's published split: chopped high term, 2^11-scaled low."""
+
+    name = "scaled-truncate"
+    effective_mantissa_bits = 21  # the scale recovers the subnormal losses
+
+    def split_scaled(self, x: np.ndarray) -> _ScaledPair:
+        x64 = np.asarray(x, dtype=np.float32).astype(np.float64)
+        hi = truncate_to_mantissa(x64, 10).astype(np.float16)
+        residual = (x64 - hi.astype(np.float64)) * 2.0**SCALE_BITS
+        return _ScaledPair(hi=hi, lo_scaled=residual.astype(np.float16))
+
+    def split(self, x: np.ndarray) -> SplitPair:
+        """Protocol view: the low term de-scaled back to fp16.
+
+        De-scaling re-introduces the subnormal floor, so this view is
+        only for interoperability; the scaled emulation path uses
+        :meth:`split_scaled`.
+        """
+        pair = self.split_scaled(x)
+        lo = (pair.lo_scaled.astype(np.float64) * 2.0**-SCALE_BITS).astype(np.float16)
+        return SplitPair(hi=pair.hi, lo=lo)
+
+
+def scaled_emulated_gemm(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None, tk: int = 16
+) -> np.ndarray:
+    """Markidis-style emulation with explicit rescale combination.
+
+    Four Tensor Core products per chunk, but the three low-involving
+    products accumulate in *separate* fp32 buffers that a CUDA-core pass
+    rescales (2^-11 / 2^-22) and adds — the extra memory traffic and
+    kernel-fusion obstacle the unscaled EGEMM-TC design avoids.
+    """
+    a32 = np.asarray(a, dtype=np.float32)
+    b32 = np.asarray(b, dtype=np.float32)
+    if a32.ndim != 2 or b32.ndim != 2 or a32.shape[1] != b32.shape[0]:
+        raise ValueError("scaled_emulated_gemm expects (m,k) @ (k,n)")
+    m, k = a32.shape
+    n = b32.shape[1]
+
+    split = ScaledTruncateSplit()
+    pa = split.split_scaled(a32)
+    pb = split.split_scaled(b32)
+
+    d_hh = np.zeros((m, n), dtype=np.float32)
+    d_hl = np.zeros((m, n), dtype=np.float32)  # scaled by 2^11
+    d_lh = np.zeros((m, n), dtype=np.float32)  # scaled by 2^11
+    d_ll = np.zeros((m, n), dtype=np.float32)  # scaled by 2^22
+
+    def acc(d: np.ndarray, ta: np.ndarray, tb: np.ndarray, k0: int, k1: int) -> np.ndarray:
+        wide = ta[:, k0:k1].astype(np.float64) @ tb[k0:k1, :].astype(np.float64)
+        return (d.astype(np.float64) + wide).astype(np.float32)
+
+    for k0 in range(0, k, tk):
+        k1 = min(k0 + tk, k)
+        d_ll = acc(d_ll, pa.lo_scaled, pb.lo_scaled, k0, k1)
+        d_hl = acc(d_hl, pa.hi, pb.lo_scaled, k0, k1)
+        d_lh = acc(d_lh, pa.lo_scaled, pb.hi, k0, k1)
+        d_hh = acc(d_hh, pa.hi, pb.hi, k0, k1)
+
+    # CUDA-core combination pass: rescale and sum in fp32 (power-of-two
+    # scales are exact; each addition rounds once, smallest terms first).
+    cross = (d_hl + d_lh).astype(np.float32)
+    d = (d_ll * np.float32(2.0 ** (-2 * SCALE_BITS))).astype(np.float32)
+    d = (d + cross * np.float32(2.0**-SCALE_BITS)).astype(np.float32)
+    d = (d + d_hh).astype(np.float32)
+    if c is not None:
+        d = (d + np.asarray(c, dtype=np.float32)).astype(np.float32)
+    return d

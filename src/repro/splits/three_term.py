@@ -1,0 +1,111 @@
+"""Three-term split: an extension beyond the paper's two-term design.
+
+The round-split recovers 21 of fp32's 24 significand bits.  Splitting
+into *three* half-precision terms captures 2-3 further bits at the cost
+of 9 Tensor Core calls per emulated GEMM (every pairwise product of the
+3x3 split terms) instead of 4 — the next point on the precision/overhead
+curve the paper's §3 opens.
+
+**Range limitation (a finding of this reproduction).**  Full fp32
+recovery is *not* achievable with unscaled fp16 terms: for an operand
+near 0.25, the third residual sits near 3e-8, below fp16's smallest
+subnormal (2^-24 ~= 6e-8), and underflows to zero.  Recovering it would
+require Markidis-style scaling of the low term (store ``lo * 2^12``),
+but a scaled term cannot be accumulated by the Tensor Core's plain
+``D = A x B + C`` primitive — it needs a separate accumulator and a
+CUDA-core rescale pass, breaking the lightweight 4/9-call structure.
+This is a concrete reason the paper's design stops at two terms.
+Accordingly the split is "up to 24 bits, floored at fp16's subnormal
+quantum": reconstruction error is bounded by 2^-24 absolute for
+operands of magnitude <= 2 and is *zero* whenever the third residual is
+fp16-representable.
+
+This module provides the split; the matching emulation scheme lives in
+:mod:`repro.emulation.extended` (``EGEMM3``), and an ablation benchmark
+compares the 4-call and 9-call designs on both axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import Split, SplitPair
+
+__all__ = ["ThreeTermSplit", "SplitTriple", "three_term_split"]
+
+
+@dataclass(frozen=True)
+class SplitTriple:
+    """(hi, mid, lo) half-precision triple of a three-term split."""
+
+    hi: np.ndarray
+    mid: np.ndarray
+    lo: np.ndarray
+
+    def __post_init__(self) -> None:
+        for part in (self.hi, self.mid, self.lo):
+            if part.dtype != np.float16:
+                raise TypeError("split parts must be float16")
+            if part.shape != self.hi.shape:
+                raise ValueError("split parts must share a shape")
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.hi.shape
+
+    def reconstruct(self) -> np.ndarray:
+        """Exact sum of the three terms in float64."""
+        return (
+            self.hi.astype(np.float64)
+            + self.mid.astype(np.float64)
+            + self.lo.astype(np.float64)
+        )
+
+    def terms(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return (self.hi, self.mid, self.lo)
+
+
+class ThreeTermSplit(Split):
+    """Recursive round-split: x = hi + mid + lo, each term fp16.
+
+    The two-term ``split`` interface folds ``mid + lo`` into a float16
+    pair where possible; use :meth:`split3` for the full triple.
+    """
+
+    name = "three-term"
+    #: up to fp32's full 24 significand bits, floored at fp16's subnormal
+    #: quantum (see the module docstring's range limitation)
+    effective_mantissa_bits = 23
+
+    def split3(self, x: np.ndarray) -> SplitTriple:
+        x64 = np.asarray(x, dtype=np.float32).astype(np.float64)
+        hi = x64.astype(np.float16)
+        r1 = x64 - hi.astype(np.float64)
+        mid = r1.astype(np.float16)
+        r2 = r1 - mid.astype(np.float64)
+        lo = r2.astype(np.float16)
+        return SplitTriple(hi=hi, mid=mid, lo=lo)
+
+    def split(self, x: np.ndarray) -> SplitPair:
+        """Two-term view: (hi, mid) — the lo term is dropped.
+
+        Provided for protocol compatibility; precision-sensitive callers
+        should use :meth:`split3`.
+        """
+        triple = self.split3(x)
+        return SplitPair(hi=triple.hi, lo=triple.mid)
+
+    def max_reconstruction_error3(self, x: np.ndarray) -> float:
+        """Largest |x - (hi + mid + lo)| — bounded by fp16's smallest
+        subnormal (2^-24) for |x| <= 2; zero when the third residual is
+        fp16-representable."""
+        x64 = np.asarray(x, dtype=np.float32).astype(np.float64)
+        triple = self.split3(x64)
+        return float(np.max(np.abs(x64 - triple.reconstruct()))) if x64.size else 0.0
+
+
+def three_term_split(x: np.ndarray) -> SplitTriple:
+    """Functional wrapper around :class:`ThreeTermSplit`."""
+    return ThreeTermSplit().split3(x)

@@ -1,0 +1,45 @@
+"""Truncate-split: the data split of Markidis et al. [20] (Figure 4a).
+
+The single-precision mantissa is *chopped* into two back-to-back 10-bit
+fields: ``xhi`` keeps the leading 10 bits (round toward zero) and ``xlo``
+keeps the next 10, also by chopping — Figure 4a draws exactly these two
+"10-bit mantissa" boxes.  Because chopping never rounds up, the residual
+of a positive value is always non-negative, so the sign bit of ``xlo`` is
+wasted and the truncation of the low field discards everything beyond bit
+20 outright — the reconstructed value carries only 20 effective mantissa
+bits ("Markidis-precision" in Table 1) and a one-sided error the
+round-split avoids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fp.rounding import truncate_to_mantissa
+from .base import Split, SplitPair
+
+__all__ = ["TruncateSplit", "truncate_split"]
+
+
+class TruncateSplit(Split):
+    """Markidis truncate-based two-term split (1-bit precision loss)."""
+
+    name = "truncate"
+    effective_mantissa_bits = 20
+
+    def split(self, x: np.ndarray) -> SplitPair:
+        x32 = np.asarray(x, dtype=np.float32).astype(np.float64)
+        # Chop to the half-precision mantissa width.  The chopped value has
+        # at most 11 significand bits and (for in-range inputs) converts to
+        # float16 exactly; the conversion itself cannot round.
+        hi = truncate_to_mantissa(x32, 10).astype(np.float16)
+        # The low field is chopped as well (Figure 4a): bits beyond the
+        # 20th are discarded, never rounded up.
+        residual = x32 - hi.astype(np.float64)
+        lo = truncate_to_mantissa(residual, 10).astype(np.float16)
+        return SplitPair(hi=hi, lo=lo)
+
+
+def truncate_split(x: np.ndarray) -> SplitPair:
+    """Functional convenience wrapper around :class:`TruncateSplit`."""
+    return TruncateSplit().split(x)

@@ -1,0 +1,64 @@
+"""Simulated Tensor Core: the mma primitive, FRAG fragments, probing cores,
+and the warp-level WMMA-style API."""
+
+from .fragment import Fragment, FragmentOverflowError, FragmentRole, FragmentSpace
+from .mma import HMMA_1688, M16N16K16, InternalPrecision, MmaCounter, MmaShape, mma
+from .probing import (
+    ALL_PROBES,
+    EXACT_PROBE,
+    FLOAT_PROBE,
+    HALF_PROBE,
+    ProbeSample,
+    ProbingPrimitive,
+    probe_sample,
+)
+from .imma import IMMA_MAX_K, imma
+from .layout import collect, distribute, elements_per_thread, ownership
+from .tf32 import (
+    TF32_MANTISSA_BITS,
+    Tf32RoundSplit,
+    emulated_gemm_tf32,
+    tf32_mma,
+    tf32_probes,
+    tf32_round_split_arrays,
+    to_tf32,
+)
+from .wmma import WmmaContext, fill_fragment, load_matrix_sync, mma_sync, store_matrix_sync
+
+__all__ = [
+    "Fragment",
+    "FragmentOverflowError",
+    "FragmentRole",
+    "FragmentSpace",
+    "HMMA_1688",
+    "M16N16K16",
+    "InternalPrecision",
+    "MmaCounter",
+    "MmaShape",
+    "mma",
+    "ALL_PROBES",
+    "EXACT_PROBE",
+    "FLOAT_PROBE",
+    "HALF_PROBE",
+    "ProbeSample",
+    "ProbingPrimitive",
+    "probe_sample",
+    "IMMA_MAX_K",
+    "imma",
+    "collect",
+    "distribute",
+    "elements_per_thread",
+    "ownership",
+    "TF32_MANTISSA_BITS",
+    "Tf32RoundSplit",
+    "emulated_gemm_tf32",
+    "tf32_mma",
+    "tf32_probes",
+    "tf32_round_split_arrays",
+    "to_tf32",
+    "WmmaContext",
+    "fill_fragment",
+    "load_matrix_sync",
+    "mma_sync",
+    "store_matrix_sync",
+]

@@ -1,0 +1,147 @@
+"""FRAG — the Tensor Core register-backed fragment memory space (§2.1, §4).
+
+Before a warp can call the Tensor Core primitive, its 32 threads must
+collaboratively stage operand tiles into *fragments*: an opaque memory
+space that microbenchmarking (Jia et al. [12, 13]) shows is implemented as
+registers shared across the threads of a warp.  Two properties of FRAG
+drive the paper's §4 optimizations:
+
+* intra-warp sharing — all 32 threads of a warp can reuse a fragment,
+  enabling the intra-warp FRAG caching strategy (Table 2), and
+* capacity — the register file (256 KB/SM on T4) is 4x the shared memory
+  (64 KB/SM), so caching in FRAG relieves the scarcer resource.
+
+:class:`Fragment` models one operand tile; :class:`FragmentSpace` models a
+warp's fragment storage with byte accounting, hit/miss tracking for the
+caching study, and a capacity check against the per-warp register budget.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FragmentRole", "Fragment", "FragmentSpace", "FragmentOverflowError"]
+
+
+class FragmentRole(enum.Enum):
+    """WMMA fragment kinds, mirroring ``wmma::matrix_a`` etc."""
+
+    MATRIX_A = "matrix_a"
+    MATRIX_B = "matrix_b"
+    ACCUMULATOR = "accumulator"
+
+
+class FragmentOverflowError(RuntimeError):
+    """Raised when fragment allocations exceed the register budget."""
+
+
+_ROLE_DTYPE = {
+    FragmentRole.MATRIX_A: np.dtype(np.float16),
+    FragmentRole.MATRIX_B: np.dtype(np.float16),
+    FragmentRole.ACCUMULATOR: np.dtype(np.float32),
+}
+
+
+@dataclass
+class Fragment:
+    """One register-resident operand tile of a warp.
+
+    ``data`` is owned by the fragment (loads copy into it), mirroring the
+    hardware reality that a fragment is a register snapshot, not a view of
+    shared/global memory.
+    """
+
+    role: FragmentRole
+    shape: tuple[int, int]
+    data: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        m, n = self.shape
+        if m <= 0 or n <= 0:
+            raise ValueError("fragment dimensions must be positive")
+        self.data = np.zeros(self.shape, dtype=_ROLE_DTYPE[self.role])
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Register bytes consumed by this fragment across the warp."""
+        return int(self.data.nbytes)
+
+    def fill(self, value: float) -> None:
+        """``wmma::fill_fragment`` — broadcast a scalar into the tile."""
+        self.data[...] = value
+
+    def load(self, src: np.ndarray) -> None:
+        """``wmma::load_matrix_sync`` — stage a tile into registers."""
+        src = np.asarray(src)
+        if src.shape != self.shape:
+            raise ValueError(f"tile shape {src.shape} != fragment shape {self.shape}")
+        self.data[...] = src.astype(self.dtype)
+
+    def store(self) -> np.ndarray:
+        """``wmma::store_matrix_sync`` — copy the tile out of registers."""
+        return self.data.copy()
+
+
+@dataclass
+class FragmentSpace:
+    """A warp's fragment storage with capacity and reuse accounting.
+
+    ``capacity_bytes`` is the per-warp slice of the SM register file (the
+    analytic model's Eq. 8 budgets this explicitly).  ``get`` implements
+    the intra-warp FRAG caching of §4: a keyed lookup that either reuses a
+    resident fragment (cache hit — no shared-memory traffic) or allocates
+    and counts a load.
+    """
+
+    capacity_bytes: int
+    used_bytes: int = 0
+    hits: int = 0
+    misses: int = 0
+    _store: dict[object, Fragment] = field(default_factory=dict)
+
+    def allocate(self, role: FragmentRole, shape: tuple[int, int]) -> Fragment:
+        """Allocate an anonymous fragment, enforcing the register budget."""
+        frag = Fragment(role, shape)
+        if self.used_bytes + frag.nbytes > self.capacity_bytes:
+            raise FragmentOverflowError(
+                f"fragment allocation of {frag.nbytes} B exceeds budget "
+                f"({self.used_bytes}/{self.capacity_bytes} B in use) — the "
+                f"analytic model should have rejected this tiling"
+            )
+        self.used_bytes += frag.nbytes
+        return frag
+
+    def get(self, key: object, role: FragmentRole, shape: tuple[int, int]) -> tuple[Fragment, bool]:
+        """Keyed fragment lookup: returns (fragment, was_cached).
+
+        A hit means the tile is already register-resident and the LDS
+        traffic to re-stage it is skipped — the mechanism behind the
+        "w/ FRAG caching" column of Table 2.
+        """
+        frag = self._store.get(key)
+        if frag is not None:
+            if frag.role != role or frag.shape != shape:
+                raise ValueError(f"fragment key {key!r} reused with a different signature")
+            self.hits += 1
+            return frag, True
+        frag = self.allocate(role, shape)
+        self._store[key] = frag
+        self.misses += 1
+        return frag, False
+
+    def evict(self, key: object) -> None:
+        """Release a keyed fragment (frees register budget)."""
+        frag = self._store.pop(key, None)
+        if frag is not None:
+            self.used_bytes -= frag.nbytes
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

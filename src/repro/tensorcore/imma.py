@@ -1,0 +1,48 @@
+"""Simulated integer tensor core (IMMA): exact int8 x int8 -> int32 GEMM.
+
+Turing's second tensor-core mode multiplies int8 operands into an int32
+accumulator *exactly* — there is no rounding anywhere in the primitive.
+That exactness is the foundation of the Ozaki-scheme emulation
+(:mod:`repro.splits.ozaki`), the modern successor line to the paper's
+fp16 emulation (the ozIMMU family): slice fp32/fp64 operands into int8
+digits, multiply the digit planes exactly, and pay rounding only in the
+final recombination.
+
+Overflow note: an int32 accumulator holds k products of magnitude up to
+127^2 exactly while ``k <= 2^31 / 127^2 ~= 133k`` — checked explicitly,
+since silent wraparound is the real hardware's failure mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["IMMA_MAX_K", "imma"]
+
+#: largest reduction length whose worst-case int8 dot fits int32
+IMMA_MAX_K = (2**31 - 1) // (127 * 127)
+
+
+def imma(a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None) -> np.ndarray:
+    """Exact integer compute primitive ``D = A x B + C`` (int8 -> int32)."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.dtype != np.int8 or b.dtype != np.int8:
+        raise TypeError("IMMA operands must be int8")
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError("imma expects (m,k) @ (k,n)")
+    if a.shape[1] > IMMA_MAX_K:
+        raise ValueError(
+            f"k={a.shape[1]} exceeds the int32 accumulator's exact range "
+            f"(max {IMMA_MAX_K})"
+        )
+    # int64 matmul is exact for these magnitudes; cast down is checked.
+    wide = a.astype(np.int64) @ b.astype(np.int64)
+    if c is not None:
+        c = np.asarray(c)
+        if c.dtype != np.int32 or c.shape != wide.shape:
+            raise TypeError("accumulator must be int32 of the output shape")
+        wide = wide + c.astype(np.int64)
+    if np.any(np.abs(wide) > np.iinfo(np.int32).max):
+        raise OverflowError("int32 accumulator overflow")
+    return wide.astype(np.int32)

@@ -1,0 +1,88 @@
+"""Thread-level fragment element ownership (the real WMMA layout).
+
+"All registers in a warp need to collaboratively store these matrices
+into ... Fragment" (§2.1): on real Turing hardware each of the 32 threads
+owns a fixed subset of a fragment's elements, and the HMMA instruction
+reads each thread's registers according to that map.  This module
+implements the documented m16n8k8 ownership functions (PTX ISA,
+``mma.sync.aligned.m16n8k8``):
+
+* A (16x8 fp16): thread ``t`` = (group g = t/4, lane l = t%4) owns
+  ``A[g][2l], A[g][2l+1], A[g+8][2l], A[g+8][2l+1]`` — 4 elements,
+* B (8x8 fp16): owns ``B[2l][g'], B[2l+1][g']`` with g' = t/4 — wait, the
+  documented map is ``B[2l + i][g]`` for i in {0,1} — 2 elements,
+* C/D (16x8 fp32): owns ``C[g][2l], C[g][2l+1], C[g+8][2l], C[g+8][2l+1]``
+  — 4 elements.
+
+:func:`distribute` shards a tile into per-thread element vectors;
+:func:`collect` reassembles it.  The partition property (every element
+owned by exactly one thread) is what makes the intra-warp FRAG caching
+of §4 sound, and is verified by the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fragment import FragmentRole
+
+__all__ = ["ownership", "distribute", "collect", "elements_per_thread"]
+
+_SHAPES = {
+    FragmentRole.MATRIX_A: (16, 8),
+    FragmentRole.MATRIX_B: (8, 8),
+    FragmentRole.ACCUMULATOR: (16, 8),
+}
+
+
+def ownership(role: FragmentRole) -> np.ndarray:
+    """(rows, cols) int array: which thread owns each tile element."""
+    rows, cols = _SHAPES[role]
+    owner = np.empty((rows, cols), dtype=np.int64)
+    for t in range(32):
+        for r, c in _thread_elements(role, t):
+            owner[r, c] = t
+    return owner
+
+
+def _thread_elements(role: FragmentRole, t: int) -> list[tuple[int, int]]:
+    g, l = divmod(t, 4)
+    if role is FragmentRole.MATRIX_A or role is FragmentRole.ACCUMULATOR:
+        return [(g, 2 * l), (g, 2 * l + 1), (g + 8, 2 * l), (g + 8, 2 * l + 1)]
+    # MATRIX_B: 8x8, two elements per thread
+    return [(2 * l, g), (2 * l + 1, g)]
+
+
+def elements_per_thread(role: FragmentRole) -> int:
+    """Fragment elements each thread's registers hold."""
+    return len(_thread_elements(role, 0))
+
+
+def distribute(tile: np.ndarray, role: FragmentRole) -> np.ndarray:
+    """Shard a tile into a (32, elements_per_thread) per-thread view.
+
+    This is what ``wmma::load_matrix_sync`` physically does: each thread
+    pulls its owned elements into its registers.
+    """
+    tile = np.asarray(tile)
+    if tile.shape != _SHAPES[role]:
+        raise ValueError(f"{role.value} fragments are {_SHAPES[role]}, got {tile.shape}")
+    out = np.empty((32, elements_per_thread(role)), dtype=tile.dtype)
+    for t in range(32):
+        for slot, (r, c) in enumerate(_thread_elements(role, t)):
+            out[t, slot] = tile[r, c]
+    return out
+
+
+def collect(per_thread: np.ndarray, role: FragmentRole) -> np.ndarray:
+    """Inverse of :func:`distribute`: reassemble the tile from registers."""
+    per_thread = np.asarray(per_thread)
+    expected = (32, elements_per_thread(role))
+    if per_thread.shape != expected:
+        raise ValueError(f"expected per-thread shape {expected}, got {per_thread.shape}")
+    rows, cols = _SHAPES[role]
+    tile = np.empty((rows, cols), dtype=per_thread.dtype)
+    for t in range(32):
+        for slot, (r, c) in enumerate(_thread_elements(role, t)):
+            tile[r, c] = per_thread[t, slot]
+    return tile

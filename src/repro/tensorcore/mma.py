@@ -1,0 +1,190 @@
+"""The simulated Tensor Core compute primitive ``D = A x B + C``.
+
+This is the reproduction's stand-in for the HMMA instruction /
+``wmma::mma_sync`` API.  The hardware contract (§2.1): ``A`` and ``B`` are
+half-precision matrices, ``C``/``D`` are single-precision, and — the key
+fact the paper's profiling uncovers — the *internal* multiply is **not**
+performed in half precision: products are formed at full precision and
+accumulated at (at least) single precision, so "the only precision loss
+comes from the half-precision data type of A and B" (§3.2).
+
+The internal behaviour is configurable through :class:`InternalPrecision`
+precisely so the generalized profiling workflow (Figure 2a) has distinct
+probing primitives to discriminate between:
+
+* ``HALF``   — products and accumulation rounded to fp16 (the pessimistic
+  hypothesis under which Dekker's 16-instruction emulation is needed),
+* ``FLOAT``  — operands promoted to fp32, sequential fp32 accumulation
+  (the ``d_FLOAT`` reference of Figure 3),
+* ``TENSOR_CORE`` — the simulated silicon: exact products, a wide internal
+  dot-product accumulator, and a single rounding into the fp32 accumulator
+  per primitive invocation,
+* ``EXACT``  — float64 throughout; ground-truth for tests.
+
+Products of two fp16 values carry at most 22 significand bits and are
+exactly representable in fp32, so ``FLOAT`` and ``TENSOR_CORE`` agree to
+well over the 21 mantissa bits the paper reports; ``HALF`` disagrees
+catastrophically — which is exactly the discrimination the profiling
+workflow performs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["InternalPrecision", "MmaShape", "M16N16K16", "HMMA_1688", "mma", "MmaCounter"]
+
+
+class InternalPrecision(enum.Enum):
+    """Internal arithmetic model of the simulated specialized core."""
+
+    HALF = "half"
+    FLOAT = "float"
+    TENSOR_CORE = "tensor_core"
+    EXACT = "exact"
+
+
+@dataclass(frozen=True)
+class MmaShape:
+    """An (m, n, k) compute-primitive shape."""
+
+    m: int
+    n: int
+    k: int
+
+    @property
+    def flops(self) -> int:
+        """Multiply-add FLOPs of one primitive invocation (2*m*n*k)."""
+        return 2 * self.m * self.n * self.k
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"m{self.m}n{self.n}k{self.k}"
+
+
+#: the WMMA API tile (``wmma::mma_sync`` with 16x16x16 fragments)
+M16N16K16 = MmaShape(16, 16, 16)
+#: the native Turing SASS instruction shape (HMMA.1688: m16 n8 k8)
+HMMA_1688 = MmaShape(16, 8, 8)
+
+
+@dataclass
+class MmaCounter:
+    """Counts primitive invocations and FLOPs, for overhead accounting."""
+
+    calls: int = 0
+    flops: int = 0
+
+    def record(self, shape_m: int, shape_n: int, shape_k: int) -> None:
+        self.calls += 1
+        self.flops += 2 * shape_m * shape_n * shape_k
+
+
+def _validate(a: np.ndarray, b: np.ndarray, c: np.ndarray | None, shape: MmaShape | None):
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("mma operands must be 2-D matrices")
+    if a.dtype != np.float16 or b.dtype != np.float16:
+        raise TypeError("Tensor Core inputs A and B must be float16")
+    m, ka = a.shape
+    kb, n = b.shape
+    if ka != kb:
+        raise ValueError(f"k-dimension mismatch: {a.shape} x {b.shape}")
+    if shape is not None and (m, n, ka) != (shape.m, shape.n, shape.k):
+        raise ValueError(f"operands {(m, n, ka)} do not match primitive shape {shape}")
+    if c is None:
+        c = np.zeros((m, n), dtype=np.float32)
+    else:
+        c = np.asarray(c)
+        if c.shape != (m, n):
+            raise ValueError(f"accumulator shape {c.shape} != {(m, n)}")
+        if c.dtype not in (np.dtype(np.float16), np.dtype(np.float32)):
+            raise TypeError("accumulator must be float16 or float32")
+    return a, b, c
+
+
+def _mma_half(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Probing primitive: products and running sums rounded to fp16."""
+    acc = c.astype(np.float16)
+    k = a.shape[1]
+    # Sequential fp16 accumulation along k: each outer product slice is a
+    # vectorized (m, n) update; only the short k loop is Python-level.
+    for j in range(k):
+        prod = (a[:, j : j + 1] * b[j : j + 1, :]).astype(np.float16)
+        acc = (acc + prod).astype(np.float16)
+    return acc.astype(np.float32)
+
+
+def _mma_float(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Probing primitive: fp32 promotion + sequential fp32 accumulation."""
+    acc = c.astype(np.float32).copy()
+    a32 = a.astype(np.float32)
+    b32 = b.astype(np.float32)
+    for j in range(a.shape[1]):
+        # fp16*fp16 products are exact in fp32; each accumulation rounds.
+        acc = (acc + a32[:, j : j + 1] * b32[j : j + 1, :]).astype(np.float32)
+    return acc
+
+
+def _mma_tensor_core(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Simulated silicon: exact products, wide dot accumulator, one rounding.
+
+    The float64 matmul holds every 22-bit product exactly and sums them
+    with <= 2^-53 relative error — below fp32 resolution, i.e. effectively
+    an infinitely-precise internal accumulator.  A single rounding to fp32
+    happens when the result lands in the accumulator, matching the
+    profiling observation that only the fp16 input conversion loses data.
+    """
+    wide = a.astype(np.float64) @ b.astype(np.float64)
+    return (c.astype(np.float64) + wide).astype(np.float32)
+
+
+def _mma_exact(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Ground truth in float64 (no fp32 rounding at all)."""
+    return a.astype(np.float64) @ b.astype(np.float64) + c.astype(np.float64)
+
+
+_IMPL = {
+    InternalPrecision.HALF: _mma_half,
+    InternalPrecision.FLOAT: _mma_float,
+    InternalPrecision.TENSOR_CORE: _mma_tensor_core,
+    InternalPrecision.EXACT: _mma_exact,
+}
+
+
+def mma(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+    *,
+    precision: InternalPrecision = InternalPrecision.TENSOR_CORE,
+    shape: MmaShape | None = None,
+    counter: MmaCounter | None = None,
+) -> np.ndarray:
+    """Execute one specialized-core compute primitive ``D = A x B + C``.
+
+    Parameters
+    ----------
+    a, b:
+        float16 input matrices of shape (m, k) and (k, n).
+    c:
+        Optional accumulator (float16 or float32); zeros when omitted.
+    precision:
+        Internal arithmetic model (see :class:`InternalPrecision`).
+    shape:
+        When given, operand shapes must match this primitive shape exactly
+        (e.g. :data:`M16N16K16` for the WMMA API).
+    counter:
+        Optional :class:`MmaCounter` to record the invocation.
+
+    Returns
+    -------
+    The (m, n) result: float32 for all models except ``EXACT`` (float64).
+    """
+    a, b, c = _validate(a, b, c, shape)
+    if counter is not None:
+        counter.record(a.shape[0], b.shape[1], a.shape[1])
+    return _IMPL[precision](a, b, c)

@@ -1,0 +1,105 @@
+"""Probing compute primitives for the generalized profiling workflow.
+
+Figure 2a's workflow discriminates between candidate hypotheses about a
+specialized core's undocumented internal precision by evaluating *probing
+compute primitives* — reference implementations pinned to one specific
+intermediate precision each — and comparing them bit-wise against the
+hardware output over many random inputs.
+
+Each :class:`ProbingPrimitive` bundles a candidate hypothesis with the
+reference implementation that realizes it on the "CPU" (here: NumPy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..fp.bits import hex_bits
+from .mma import InternalPrecision, mma
+
+__all__ = ["ProbingPrimitive", "HALF_PROBE", "FLOAT_PROBE", "EXACT_PROBE", "ALL_PROBES", "ProbeSample", "probe_sample"]
+
+
+@dataclass(frozen=True)
+class ProbingPrimitive:
+    """One candidate hypothesis for the core's internal precision.
+
+    ``compute(a, b, c)`` evaluates the primitive on the CPU with the
+    hypothesized intermediate precision; the profiling workflow compares
+    its output bit-wise with the specialized core's output.
+    """
+
+    name: str
+    hypothesis: str
+    compute: Callable[[np.ndarray, np.ndarray, np.ndarray | None], np.ndarray]
+
+
+def _half_compute(a, b, c=None):
+    return mma(a, b, c, precision=InternalPrecision.HALF)
+
+
+def _float_compute(a, b, c=None):
+    return mma(a, b, c, precision=InternalPrecision.FLOAT)
+
+
+def _exact_compute(a, b, c=None):
+    return mma(a, b, c, precision=InternalPrecision.EXACT).astype(np.float32)
+
+
+HALF_PROBE = ProbingPrimitive(
+    name="d_HALF",
+    hypothesis="A x B is conducted in half precision (same as the inputs)",
+    compute=_half_compute,
+)
+
+FLOAT_PROBE = ProbingPrimitive(
+    name="d_FLOAT",
+    hypothesis="A and B are promoted to single precision; A x B is conducted in single (or wider) precision",
+    compute=_float_compute,
+)
+
+EXACT_PROBE = ProbingPrimitive(
+    name="d_EXACT",
+    hypothesis="A x B is conducted with an effectively infinite accumulator",
+    compute=_exact_compute,
+)
+
+#: the probes Figure 3's profiling code evaluates (plus the exact reference)
+ALL_PROBES = (HALF_PROBE, FLOAT_PROBE, EXACT_PROBE)
+
+
+@dataclass(frozen=True)
+class ProbeSample:
+    """One scalar comparison, formatted like the Appendix A.3 output::
+
+        half_result: 926.00000000, 0x00806744
+        single_result: 934.40637207, 0x029a6944
+        Tensor Core : 934.40631104, 0x019a6944
+    """
+
+    half_result: float
+    single_result: float
+    tensor_core_result: float
+
+    def lines(self) -> list[str]:
+        return [
+            f"half_result: {self.half_result:.8f}, {hex_bits(self.half_result)}",
+            f"single_result: {self.single_result:.8f}, {hex_bits(self.single_result)}",
+            f"Tensor Core : {self.tensor_core_result:.8f}, {hex_bits(self.tensor_core_result)}",
+        ]
+
+
+def probe_sample(a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None, index: tuple[int, int] = (0, 0)) -> ProbeSample:
+    """Evaluate all three primitives on one tile; report one output element."""
+    i, j = index
+    d_half = HALF_PROBE.compute(a, b, c)
+    d_float = FLOAT_PROBE.compute(a, b, c)
+    d_tc = mma(a, b, c, precision=InternalPrecision.TENSOR_CORE)
+    return ProbeSample(
+        half_result=float(d_half[i, j]),
+        single_result=float(d_float[i, j]),
+        tensor_core_result=float(d_tc[i, j]),
+    )

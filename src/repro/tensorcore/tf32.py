@@ -1,0 +1,160 @@
+"""A second simulated specialized core: TF32 (Ampere-style), exercising
+the generalized emulation design workflow end to end (§3.1's claim that
+the workflow "can be generally applied towards various accelerators").
+
+The TF32 primitive differs from the half-precision Tensor Core in the
+input format only: operands are fp32 values whose mantissas the core
+*truncates to 10 bits at the multiplier inputs* (full 8-bit exponent
+range), products are formed at full precision and accumulated in fp32.
+
+Running the same :class:`~repro.profiling.workflow.PrecisionProfiler`
+against this core with TF32-specific probing primitives identifies the
+correct internal-precision hypothesis, and the same round-split +
+4-call emulation design then recovers >= 21 mantissa bits — with *no
+exponent-range hazard*, since TF32 keeps fp32's exponent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fp.rounding import round_to_mantissa
+from ..splits.base import Split, SplitPair
+from .probing import ProbingPrimitive
+
+__all__ = [
+    "TF32_MANTISSA_BITS",
+    "to_tf32",
+    "tf32_mma",
+    "Tf32RoundSplit",
+    "tf32_round_split_arrays",
+    "emulated_gemm_tf32",
+    "TF32_TRUNC_PROBE",
+    "TF32_FULL_PROBE",
+    "tf32_probes",
+]
+
+#: TF32 keeps fp32's 8-bit exponent but only 10 explicit mantissa bits
+TF32_MANTISSA_BITS = 10
+
+
+def to_tf32(x: np.ndarray) -> np.ndarray:
+    """Round fp32 values to the TF32 grid (10 mantissa bits, fp32 range)."""
+    return round_to_mantissa(np.asarray(x, dtype=np.float32), TF32_MANTISSA_BITS).astype(
+        np.float32
+    )
+
+
+def tf32_mma(a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None) -> np.ndarray:
+    """The simulated TF32 compute primitive ``D = A x B + C``.
+
+    Inputs are fp32; the core truncates them to the TF32 grid at the
+    multiplier, forms exact products (two 11-bit significands fit f64
+    exactly), sums with a wide accumulator, and rounds once into the
+    fp32 accumulator.
+    """
+    a32 = np.asarray(a, dtype=np.float32)
+    b32 = np.asarray(b, dtype=np.float32)
+    if a32.ndim != 2 or b32.ndim != 2 or a32.shape[1] != b32.shape[0]:
+        raise ValueError("tf32_mma expects (m,k) @ (k,n)")
+    at = to_tf32(a32).astype(np.float64)
+    bt = to_tf32(b32).astype(np.float64)
+    wide = at @ bt
+    if c is None:
+        return wide.astype(np.float32)
+    return (np.asarray(c, dtype=np.float32).astype(np.float64) + wide).astype(np.float32)
+
+
+# --- probing primitives for the profiling workflow -----------------------
+
+def _trunc_compute(a, b, c=None):
+    """Hypothesis: inputs are reduced to 10 mantissa bits, op is wide."""
+    at = to_tf32(np.asarray(a, dtype=np.float32)).astype(np.float64)
+    bt = to_tf32(np.asarray(b, dtype=np.float32)).astype(np.float64)
+    out = at @ bt
+    if c is not None:
+        out = out + np.asarray(c, dtype=np.float32).astype(np.float64)
+    return out.astype(np.float32)
+
+
+def _full_compute(a, b, c=None):
+    """Hypothesis: the core multiplies full fp32 inputs."""
+    out = np.asarray(a, dtype=np.float64) @ np.asarray(b, dtype=np.float64)
+    if c is not None:
+        out = out + np.asarray(c, dtype=np.float64)
+    return out.astype(np.float32)
+
+
+TF32_TRUNC_PROBE = ProbingPrimitive(
+    name="d_TF32",
+    hypothesis="inputs reduced to 10 mantissa bits; multiply at full precision",
+    compute=_trunc_compute,
+)
+
+TF32_FULL_PROBE = ProbingPrimitive(
+    name="d_FP32FULL",
+    hypothesis="inputs used at full fp32 precision",
+    compute=_full_compute,
+)
+
+
+def tf32_probes() -> tuple[ProbingPrimitive, ProbingPrimitive]:
+    """The probing primitives to hand to :class:`PrecisionProfiler`."""
+    return (TF32_TRUNC_PROBE, TF32_FULL_PROBE)
+
+
+# --- emulation design on the TF32 core ------------------------------------
+
+class Tf32RoundSplit(Split):
+    """Round-split of fp32 into two TF32-grid values.
+
+    Unlike the fp16 split, both terms keep fp32's exponent range, so
+    there is no subnormal/overflow hazard; the high term carries the top
+    11 significand bits and the low term the remaining 13 (of which TF32
+    keeps 11) — ~22 effective bits.
+    """
+
+    name = "tf32-round"
+    effective_mantissa_bits = 22
+
+    def split(self, x: np.ndarray) -> SplitPair:  # pragma: no cover - protocol stub
+        raise NotImplementedError("TF32 terms are fp32-storage; use split_arrays")
+
+    def split_arrays(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        x64 = np.asarray(x, dtype=np.float32).astype(np.float64)
+        hi = to_tf32(x64.astype(np.float32))
+        lo = to_tf32((x64 - hi.astype(np.float64)).astype(np.float32))
+        return hi, lo
+
+
+def tf32_round_split_arrays(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Functional wrapper around :class:`Tf32RoundSplit`."""
+    return Tf32RoundSplit().split_arrays(x)
+
+
+def emulated_gemm_tf32(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None, tk: int = 16
+) -> np.ndarray:
+    """Algorithm 1 transplanted onto the TF32 core: 4 primitive calls.
+
+    Same structure as the Tensor Core emulation — split both operands,
+    accumulate lo*lo, lo*hi, hi*lo, hi*hi through the core's fp32
+    accumulator, k-chunked at the primitive cadence.
+    """
+    a32 = np.asarray(a, dtype=np.float32)
+    b32 = np.asarray(b, dtype=np.float32)
+    if a32.ndim != 2 or b32.ndim != 2 or a32.shape[1] != b32.shape[0]:
+        raise ValueError("emulated_gemm_tf32 expects (m,k) @ (k,n)")
+    m, k = a32.shape
+    n = b32.shape[1]
+    d = np.zeros((m, n), dtype=np.float32) if c is None else np.asarray(c, dtype=np.float32).copy()
+
+    split = Tf32RoundSplit()
+    a_hi, a_lo = split.split_arrays(a32)
+    b_hi, b_lo = split.split_arrays(b32)
+    terms = [(a_lo, b_lo), (a_lo, b_hi), (a_hi, b_lo), (a_hi, b_hi)]
+    for k0 in range(0, k, tk):
+        k1 = min(k0 + tk, k)
+        for ta, tb in terms:
+            d = tf32_mma(ta[:, k0:k1], tb[k0:k1, :], d)
+    return d

@@ -1,0 +1,82 @@
+"""Warp-level WMMA-style API over the simulated Tensor Core.
+
+Mirrors the CUDA ``nvcuda::wmma`` interface the paper's Figure 3 profiling
+code uses (``load_matrix_sync`` / ``mma_sync`` / ``store_matrix_sync``),
+operating on :class:`~repro.tensorcore.fragment.Fragment` objects and the
+:func:`~repro.tensorcore.mma.mma` primitive.  The tensorized kernels of
+:mod:`repro.tensorize` are written against this API, so the functional
+path through the library exercises the same call structure as the CUDA
+implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .fragment import Fragment, FragmentRole
+from .mma import M16N16K16, InternalPrecision, MmaCounter, MmaShape, mma
+
+__all__ = ["WmmaContext", "load_matrix_sync", "mma_sync", "store_matrix_sync", "fill_fragment"]
+
+
+@dataclass
+class WmmaContext:
+    """Per-warp execution context: primitive shape, precision, counters."""
+
+    shape: MmaShape = M16N16K16
+    precision: InternalPrecision = InternalPrecision.TENSOR_CORE
+    counter: MmaCounter = field(default_factory=MmaCounter)
+    #: bytes moved into fragments by load_matrix_sync (traffic accounting)
+    load_bytes: int = 0
+    #: bytes moved out of fragments by store_matrix_sync
+    store_bytes: int = 0
+
+    def fragment(self, role: FragmentRole) -> Fragment:
+        """Allocate a fragment of the context's primitive tile shape."""
+        if role is FragmentRole.MATRIX_A:
+            return Fragment(role, (self.shape.m, self.shape.k))
+        if role is FragmentRole.MATRIX_B:
+            return Fragment(role, (self.shape.k, self.shape.n))
+        return Fragment(role, (self.shape.m, self.shape.n))
+
+
+def load_matrix_sync(ctx: WmmaContext, frag: Fragment, src: np.ndarray) -> None:
+    """Collaboratively stage a tile from (shared or global) memory."""
+    frag.load(src)
+    ctx.load_bytes += frag.nbytes
+
+
+def fill_fragment(frag: Fragment, value: float) -> None:
+    """Broadcast a scalar into a fragment (``wmma::fill_fragment``)."""
+    frag.fill(value)
+
+
+def mma_sync(
+    ctx: WmmaContext,
+    d: Fragment,
+    a: Fragment,
+    b: Fragment,
+    c: Fragment,
+) -> None:
+    """``wmma::mma_sync`` — one Tensor Core primitive on fragments."""
+    if a.role is not FragmentRole.MATRIX_A or b.role is not FragmentRole.MATRIX_B:
+        raise TypeError("mma_sync operand fragments have the wrong roles")
+    if c.role is not FragmentRole.ACCUMULATOR or d.role is not FragmentRole.ACCUMULATOR:
+        raise TypeError("mma_sync accumulator fragments have the wrong roles")
+    out = mma(
+        a.data,
+        b.data,
+        c.data,
+        precision=ctx.precision,
+        shape=ctx.shape,
+        counter=ctx.counter,
+    )
+    d.data[...] = out.astype(d.dtype)
+
+
+def store_matrix_sync(ctx: WmmaContext, frag: Fragment) -> np.ndarray:
+    """Copy an accumulator fragment back to memory."""
+    ctx.store_bytes += frag.nbytes
+    return frag.store()

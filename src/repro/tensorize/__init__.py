@@ -1,0 +1,27 @@
+"""Tensor-Core-centric tensorization (§4): hierarchical tiling, warp
+collaboration, FRAG caching, traffic planning (Table 2), and the
+instruction-stream / functional kernel builders."""
+
+from .codegen import RegisterMap, build_register_map, generate_iteration_sass
+from .frag_cache import FragCachePolicy, check_register_budget, frag_bytes_per_warp
+from .kernel import FunctionalResult, build_gemm_stream, run_functional
+from .plan import TensorizationPlan, WarpTraffic, table2_rows
+from .tiling import SHMEM_PAD, T4_TILING, TilingConfig
+
+__all__ = [
+    "RegisterMap",
+    "build_register_map",
+    "generate_iteration_sass",
+    "FragCachePolicy",
+    "check_register_budget",
+    "frag_bytes_per_warp",
+    "FunctionalResult",
+    "build_gemm_stream",
+    "run_functional",
+    "TensorizationPlan",
+    "WarpTraffic",
+    "table2_rows",
+    "SHMEM_PAD",
+    "T4_TILING",
+    "TilingConfig",
+]

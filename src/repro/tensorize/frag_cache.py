@@ -1,0 +1,85 @@
+"""Intra-warp FRAG caching strategy (§4, Table 2).
+
+The optimization: track which TC tiles are already resident in a warp's
+fragments and skip the shared->register load when possible.  Concretely,
+
+* the C accumulator fragments stay in FRAG for the *entire* k loop, and
+* each A/B split panel is read into FRAG once per block iteration and
+  reused across the output tiles that consume it.
+
+:class:`FragCachePolicy` captures the decision procedure as used by the
+functional kernel; :func:`frag_bytes_per_warp` and
+:func:`check_register_budget` quantify the register-pressure cost the
+analytic model must respect (Eq. 8's first constraint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.spec import GpuSpec
+from .tiling import TilingConfig
+
+__all__ = ["FragCachePolicy", "frag_bytes_per_warp", "check_register_budget"]
+
+
+@dataclass
+class FragCachePolicy:
+    """Tracks FRAG-resident tiles for one warp; answers "load or reuse?"."""
+
+    enabled: bool = True
+    _resident: set[object] = None  # type: ignore[assignment]
+    loads_skipped: int = 0
+    loads_performed: int = 0
+
+    def __post_init__(self) -> None:
+        self._resident = set()
+
+    def should_load(self, key: object) -> bool:
+        """True when the tile must be staged from shared memory.
+
+        With caching disabled every query loads; with it enabled, a key
+        seen since the last :meth:`invalidate` is register-resident.
+        """
+        if self.enabled and key in self._resident:
+            self.loads_skipped += 1
+            return False
+        if self.enabled:
+            self._resident.add(key)
+        self.loads_performed += 1
+        return True
+
+    def invalidate(self) -> None:
+        """Drop operand residency (new k-iteration overwrote shared mem).
+
+        C-accumulator keys are intentionally *not* tracked here: the C
+        fragments live in registers for the whole block lifetime and are
+        never re-staged, caching on or off.
+        """
+        self._resident.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.loads_skipped + self.loads_performed
+        return self.loads_skipped / total if total else 0.0
+
+
+def frag_bytes_per_warp(config: TilingConfig) -> int:
+    """Register/FRAG bytes one warp holds under the caching strategy.
+
+    The C warp tile in fp32 plus both split halves of the A and B warp
+    panels at the current wk step in fp16 (double-buffered).
+    """
+    c_bytes = 4 * config.wm * config.wn
+    ab_bytes = 2 * 2 * (config.wm + config.wn) * config.wk * 2
+    return c_bytes + ab_bytes
+
+
+def check_register_budget(config: TilingConfig, spec: GpuSpec) -> bool:
+    """Would the caching strategy fit the SM register file? (Eq. 8, c1).
+
+    Evaluates the block-level FRAG demand ``4*bm*bn + 4*(bm+bn)*bk``
+    against the register-file budget; exceeding it means register
+    spilling and the "degraded performance" of §6.
+    """
+    return config.frag_bytes_per_block <= spec.register_file_per_sm

@@ -1,0 +1,132 @@
+"""Hierarchical tiling configuration (§4: block -> warp -> TC tiles).
+
+EGEMM-TC's tensorization recursively divides the GEMM into *block
+matrices* of size (bm, bk)/(bk, bn)/(bm, bn) assigned to GPU blocks,
+*warp matrices* (wm, wk)/(wk, wn)/(wm, wn) assigned to warps, and *TC
+matrices* matching the compute-primitive shape (tm, tn, tk).  The six
+hyper-parameters (bm, bn, bk, wm, wn, wk) form the design space the
+analytic model of §6 searches; this module owns the legality rules.
+
+The paper's chosen T4 design point (Table 4) is exported as
+:data:`T4_TILING`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from ..tensorcore.mma import HMMA_1688, MmaShape
+
+__all__ = ["TilingConfig", "T4_TILING", "SHMEM_PAD"]
+
+#: half-precision elements of k-padding per staged operand row, avoiding
+#: shared-memory bank conflicts.  Eq. 8 budgets (bk + 8); the 36 KB/block
+#: figure of Table 4 implies an effective pad of 4 on the (128,128,32)
+#: design point — we follow Table 4 and record the discrepancy in
+#: EXPERIMENTS.md.
+SHMEM_PAD = 4
+
+
+@dataclass(frozen=True)
+class TilingConfig:
+    """One point of the 6-parameter tensorization design space."""
+
+    bm: int
+    bn: int
+    bk: int
+    wm: int
+    wn: int
+    wk: int
+    tc: MmaShape = HMMA_1688
+
+    def __post_init__(self) -> None:
+        for name in ("bm", "bn", "bk", "wm", "wn", "wk"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.bm % self.wm or self.bn % self.wn:
+            raise ValueError("block tile must partition into warp tiles")
+        if self.wk > self.bk or self.bk % self.wk:
+            raise ValueError("warp k-step must divide the block k-step")
+        if self.wm % self.tc.m or self.wn % self.tc.n or self.wk % self.tc.k:
+            raise ValueError("warp tile must partition into TC tiles")
+
+    # --- structure -------------------------------------------------------
+    @property
+    def warp_grid(self) -> tuple[int, int]:
+        """Warps along (m, n) within a block."""
+        return (self.bm // self.wm, self.bn // self.wn)
+
+    @property
+    def warps_per_block(self) -> int:
+        gm, gn = self.warp_grid
+        return gm * gn
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.warps_per_block * 32
+
+    def grid_blocks(self, m: int, n: int) -> int:
+        """Blocks launched for an (m, n) output."""
+        return ceil(m / self.bm) * ceil(n / self.bn)
+
+    def grid_dims(self, m: int, n: int) -> tuple[int, int]:
+        return (ceil(m / self.bm), ceil(n / self.bn))
+
+    def k_iterations(self, k: int) -> int:
+        return ceil(k / self.bk)
+
+    # --- resource footprints ----------------------------------------------
+    @property
+    def shared_mem_bytes(self) -> int:
+        """Staged Alo/Ahi/Blo/Bhi tiles: 2 splits x (bm + bn) rows x
+        (bk + pad) halfs x 2 bytes — 36 KB at the Table 4 design point."""
+        return 2 * (self.bm + self.bn) * (self.bk + SHMEM_PAD) * 2
+
+    @property
+    def frag_bytes_per_block(self) -> int:
+        """Register/FRAG bytes of §6.1: the C block in fp32 plus the
+        double-buffered split operands (4*bm*bn + 4*(bm+bn)*bk)."""
+        return 4 * self.bm * self.bn + 4 * (self.bm + self.bn) * self.bk
+
+    @property
+    def c_frag_bytes_per_warp(self) -> int:
+        """fp32 C accumulator fragment held by each warp."""
+        return self.wm * self.wn * 4
+
+    # --- per-iteration work (block scope) ---------------------------------
+    @property
+    def ldg_bytes_per_iteration(self) -> int:
+        """Eq. 2: global bytes per block per k-iteration (4 split tiles)."""
+        return 4 * (self.bm + self.bn) * self.bk
+
+    @property
+    def flops_per_iteration(self) -> int:
+        """Eq. 3: FLOPs per block per k-iteration (4 emulation terms)."""
+        return 8 * self.bm * self.bn * self.bk
+
+    @property
+    def compute_intensity(self) -> float:
+        """Eq. 4: FLOPs per global byte = 2*bm*bn / (bm + bn).
+
+        Independent of bk — the observation that lets the solver shrink
+        bk to make room for larger (bm, bn).
+        """
+        return 2.0 * self.bm * self.bn / (self.bm + self.bn)
+
+    def hmma_per_iteration(self, scheme_terms: int = 4) -> int:
+        """TC instructions per block per k-iteration, normalized to
+        HMMA.1688 equivalents (a 16x16x16 WMMA op is 4 of them), so the
+        engine's per-HMMA issue interval applies uniformly."""
+        tiles = (self.bm // self.tc.m) * (self.bn // self.tc.n) * (self.bk // self.tc.k)
+        return tiles * scheme_terms * (self.tc.flops // HMMA_1688.flops)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"(bm,bn,bk)=({self.bm},{self.bn},{self.bk}) "
+            f"(wm,wn,wk)=({self.wm},{self.wn},{self.wk})"
+        )
+
+
+#: the paper's Table 4 design choice for Tesla T4
+T4_TILING = TilingConfig(bm=128, bn=128, bk=32, wm=64, wn=32, wk=8)

@@ -1,0 +1,85 @@
+"""Library self-check: one call that exercises the numerical core.
+
+``python -c "import repro; repro.verify.verify()"`` (or ``repro.selfcheck()``)
+runs in a few seconds and validates the invariants a correct install must
+satisfy — the same checks the artifact's "Getting Started Guide" performs
+with its `make ...; ./...` smoke runs.  Raises :class:`VerificationError`
+with a specific diagnosis on the first failure; returns a summary dict on
+success.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["VerificationError", "verify"]
+
+
+class VerificationError(AssertionError):
+    """A self-check invariant failed — the install is not trustworthy."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise VerificationError(message)
+
+
+def verify(verbose: bool = False) -> dict[str, object]:
+    """Run the self-check suite; return a summary of measured values."""
+    from .emulation.gemm import EmulatedGemm, reference_exact, reference_single
+    from .emulation.schemes import EGEMM, HALF
+    from .fp.error import max_error
+    from .kernels.cublas import CublasCudaFp32
+    from .kernels.egemm import EgemmTcKernel
+    from .model.solver import solve
+    from .profiling.workflow import PrecisionProfiler
+    from .splits.round import RoundSplit
+
+    summary: dict[str, object] = {}
+    rng = np.random.default_rng(0)
+
+    # 1. split exactness class
+    x = rng.uniform(-1, 1, 4096).astype(np.float32)
+    err = RoundSplit().max_reconstruction_error(x)
+    _check(err <= 2.0**-21, f"round-split residual {err:.3e} exceeds the 21-bit class")
+    summary["round_split_residual"] = err
+
+    # 2. emulation beats half by orders of magnitude
+    a = rng.uniform(-1, 1, (96, 96)).astype(np.float32)
+    b = rng.uniform(-1, 1, (96, 96)).astype(np.float32)
+    ref = reference_single(a, b)
+    e_ext = max_error(EmulatedGemm(scheme=EGEMM)(a, b), ref)
+    e_half = max_error(EmulatedGemm(scheme=HALF)(a, b), ref)
+    _check(e_half > 50 * e_ext, f"emulation advantage too small: {e_half:.2e} vs {e_ext:.2e}")
+    summary["emulation_error"] = e_ext
+    summary["half_error"] = e_half
+
+    # 3. emulation is extended-precision against the exact product
+    e_exact = max_error(EmulatedGemm(scheme=EGEMM)(a, b), reference_exact(a, b))
+    _check(e_exact < 1e-4, f"emulation error vs exact {e_exact:.2e} out of class")
+
+    # 4. the profiling workflow reaches the paper's verdict
+    result = PrecisionProfiler().run(trials=120)
+    float_min = next(p for p in result.agreements if p.probe.name == "d_FLOAT").min_bits
+    _check(float_min >= 21, f"d_FLOAT agreement {float_min} < 21 mantissa bits")
+    summary["profiling_min_bits"] = float_min
+
+    # 5. the analytic solver lands on Table 4
+    best = solve().best
+    _check(
+        (best.bm, best.bn, best.bk, best.wm, best.wn, best.wk) == (128, 128, 32, 64, 32, 8),
+        f"solver picked {best} instead of the Table 4 point",
+    )
+
+    # 6. the timing model's headline ordering
+    egemm_tf = EgemmTcKernel().tflops(8192, 8192, 8192)
+    fp32_tf = CublasCudaFp32().tflops(8192, 8192, 8192)
+    _check(egemm_tf > 2 * fp32_tf, f"speedup collapsed: {egemm_tf:.1f} vs {fp32_tf:.1f} TFLOPS")
+    summary["egemm_tflops"] = egemm_tf
+    summary["speedup_vs_fp32"] = egemm_tf / fp32_tf
+
+    if verbose:  # pragma: no cover - cosmetic
+        for key, value in summary.items():
+            print(f"  {key}: {value}")
+        print("self-check passed")
+    return summary

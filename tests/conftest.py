@@ -1,0 +1,30 @@
+"""Shared fixtures for the EGEMM-TC reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; tests that need different streams pass seeds."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_matrices(rng):
+    """A (48, 32) x (32, 40) fp32 problem with values in [-1, 1]."""
+    a = rng.uniform(-1.0, 1.0, (48, 32)).astype(np.float32)
+    b = rng.uniform(-1.0, 1.0, (32, 40)).astype(np.float32)
+    c = rng.uniform(-1.0, 1.0, (48, 40)).astype(np.float32)
+    return a, b, c
+
+
+@pytest.fixture
+def tile_16(rng):
+    """A primitive-sized 16x16x16 fp32 problem."""
+    a = rng.uniform(-1.0, 1.0, (16, 16)).astype(np.float32)
+    b = rng.uniform(-1.0, 1.0, (16, 16)).astype(np.float32)
+    c = rng.uniform(-1.0, 1.0, (16, 16)).astype(np.float32)
+    return a, b, c

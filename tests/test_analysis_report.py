@@ -1,0 +1,110 @@
+"""Tests for error decomposition, the SASS parser, and the report generator."""
+
+import numpy as np
+import pytest
+
+from repro.emulation.schemes import EGEMM, MARKIDIS
+from repro.fp.analysis import ErrorDecomposition, decompose_emulation_error
+from repro.gpu.assembler import SassParseError, parse
+from repro.gpu.sass import SassInstr, validate
+from repro.tensorize.codegen import generate_iteration_sass
+
+
+class TestErrorDecomposition:
+    @pytest.fixture(scope="class")
+    def decomp(self):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(-1, 1, (128, 128)).astype(np.float32)
+        b = rng.uniform(-1, 1, (128, 128)).astype(np.float32)
+        return {
+            "egemm": decompose_emulation_error(a, b, EGEMM),
+            "markidis": decompose_emulation_error(a, b, MARKIDIS),
+        }
+
+    def test_components_positive(self, decomp):
+        d = decomp["egemm"]
+        for v in (d.split_residual, d.accumulation, d.reference, d.total_vs_single):
+            assert v > 0
+
+    def test_split_gap_between_schemes(self, decomp):
+        """The Figure 4 effect lives in the split component: truncate's
+        residual is ~2-3x round-split's."""
+        ratio = decomp["markidis"].split_residual / decomp["egemm"].split_residual
+        assert ratio > 1.8
+
+    def test_common_mode_reference_identical(self, decomp):
+        """The reference error is scheme-independent (common mode)."""
+        assert decomp["egemm"].reference == decomp["markidis"].reference
+
+    def test_dilution_mechanism(self, decomp):
+        """EXPERIMENTS.md's explanation: vs-single totals are dominated by
+        the common components, so they sit much closer together than the
+        split residuals."""
+        e, m = decomp["egemm"], decomp["markidis"]
+        total_ratio = m.total_vs_single / e.total_vs_single
+        split_ratio = m.split_residual / e.split_residual
+        assert total_ratio < split_ratio
+
+    def test_total_bounded_by_component_sum(self, decomp):
+        d = decomp["egemm"]
+        assert d.total_vs_exact <= d.split_residual + d.accumulation + 1e-12
+
+    def test_summary_format(self, decomp):
+        s = decomp["egemm"].summary()
+        assert "egemm-tc" in s and "dominant" in s
+
+    def test_dominant_source(self):
+        d = ErrorDecomposition("x", split_residual=3.0, accumulation=1.0, reference=2.0, total_vs_exact=3.5, total_vs_single=4.0)
+        assert d.dominant_source == "split"
+
+
+class TestSassParser:
+    def test_round_trip_generated_listing(self):
+        original = generate_iteration_sass()
+        text = original.render()
+        parsed = parse(text, live_in=original.live_in)
+        assert len(parsed) == len(original)
+        assert parsed.render().splitlines()[1:] == text.splitlines()[1:]
+        validate(parsed, 256)
+
+    def test_round_trip_naive_listing(self):
+        original = generate_iteration_sass(latency_hiding=False)
+        parsed = parse(original.render(), live_in=original.live_in)
+        assert [i.opcode for i in parsed] == [i.opcode for i in original]
+        assert [i.control_word for i in parsed] == [i.control_word for i in original]
+
+    def test_comments_and_blanks_skipped(self):
+        text = "// header\n\n[B------:R-:W-:-:S01]  MOV R0, RZ ;\n"
+        listing = parse(text)
+        assert len(listing) == 1
+        assert listing.instrs[0].opcode == "MOV"
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(SassParseError, match="line 1"):
+            parse("HMMA without control word ;")
+
+    def test_control_word_fields_recovered(self):
+        instr = SassInstr(opcode="LDG.E.128", stall=3, yield_=True, wrtdb=2, readb=4, watdb=0b101)
+        line = instr.render()
+        parsed = parse(line).instrs[0]
+        assert parsed.stall == 3
+        assert parsed.yield_
+        assert parsed.wrtdb == 2
+        assert parsed.readb == 4
+        assert parsed.watdb == 0b101
+
+
+class TestReport:
+    def test_collect_and_render(self, tmp_path):
+        from repro.experiments.report import collect_rows, generate_report
+
+        rows = collect_rows(profiling_trials=60)
+        assert len(rows) >= 15
+        reproduced = sum(r.ok for r in rows)
+        assert reproduced == len(rows), [r.claim for r in rows if not r.ok]
+
+        out = tmp_path / "report.md"
+        text = generate_report(str(out), profiling_trials=60)
+        assert out.exists()
+        assert "| Claim |" in text
+        assert "DEVIATION" not in text

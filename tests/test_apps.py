@@ -1,0 +1,168 @@
+"""Tests for the GEMM-based applications: kMeans, kNN, PCA (§7.5)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.common import AppTiming, non_gemm_seconds
+from repro.apps.kmeans import KMeans, KMeansWorkload
+from repro.apps.knn import KnnSearch, KnnWorkload
+from repro.apps.pca import PCA
+from repro.gpu.spec import TESLA_T4
+from repro.kernels import CublasCudaFp32, CublasTcHalf, EgemmTcKernel
+
+
+def _blobs(rng, n_per=60, centers=4, dim=12, spread=0.25):
+    centroids = rng.normal(0, 5, (centers, dim)).astype(np.float32)
+    pts = np.vstack([c + rng.normal(0, spread, (n_per, dim)) for c in centroids])
+    labels = np.repeat(np.arange(centers), n_per)
+    return pts.astype(np.float32), labels, centroids
+
+
+class TestKMeansFunctional:
+    def test_recovers_well_separated_blobs(self, rng):
+        x, true_labels, _ = _blobs(rng)
+        model = KMeans(n_clusters=4, seed=3).fit(x)
+        pred = model.predict(x)
+        # Each true cluster maps to exactly one predicted cluster.
+        for c in range(4):
+            assert len(np.unique(pred[true_labels == c])) == 1
+        assert len(np.unique(pred)) == 4
+
+    def test_kernel_swap_gives_same_clustering(self, rng):
+        """The paper's premise: extended precision preserves app results."""
+        x, _, _ = _blobs(rng)
+        m_egemm = KMeans(4, kernel=EgemmTcKernel(), seed=3).fit(x)
+        m_fp32 = KMeans(4, kernel=CublasCudaFp32(), seed=3).fit(x)
+        assert np.array_equal(m_egemm.predict(x), m_fp32.predict(x))
+
+    def test_half_precision_can_differ(self, rng):
+        """Sanity: the inertia under half-precision GEMM is measurably
+        different, motivating extended precision."""
+        x, _, _ = _blobs(rng, dim=64, spread=2.0)
+        m_half = KMeans(4, kernel=CublasTcHalf(), seed=3).fit(x)
+        m_fp32 = KMeans(4, kernel=CublasCudaFp32(), seed=3).fit(x)
+        assert m_half.inertia_ != m_fp32.inertia_
+
+    def test_convergence_and_inertia(self, rng):
+        x, _, _ = _blobs(rng)
+        model = KMeans(4, seed=0, max_iter=100).fit(x)
+        assert 1 < model.n_iter_ <= 100
+        assert model.inertia_ > 0
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KMeans(2).predict(np.zeros((4, 2), np.float32))
+
+    def test_validation(self, rng):
+        x, _, _ = _blobs(rng)
+        with pytest.raises(ValueError):
+            KMeans(0).fit(x)
+        with pytest.raises(ValueError):
+            KMeans(4).fit(x[0])
+
+    def test_inertia_decreases_with_more_clusters(self, rng):
+        x, _, _ = _blobs(rng)
+        i2 = KMeans(2, seed=0).fit(x).inertia_
+        i8 = KMeans(8, seed=0).fit(x).inertia_
+        assert i8 < i2
+
+
+class TestKnnFunctional:
+    def test_matches_brute_force(self, rng):
+        ref = rng.normal(0, 1, (150, 24)).astype(np.float32)
+        q = rng.normal(0, 1, (20, 24)).astype(np.float32)
+        knn = KnnSearch(k=7).fit(ref)
+        dist, idx = knn.kneighbors(q)
+        brute = np.linalg.norm(q[:, None, :] - ref[None, :, :], axis=2)
+        expected = np.argsort(brute, axis=1, kind="stable")[:, :7]
+        assert np.array_equal(np.sort(idx, axis=1), np.sort(expected, axis=1))
+        assert np.all(np.diff(dist, axis=1) >= -1e-5)  # ascending
+
+    def test_kernel_swap_same_neighbors(self, rng):
+        ref = rng.normal(0, 1, (120, 16)).astype(np.float32)
+        q = rng.normal(0, 1, (10, 16)).astype(np.float32)
+        i1 = KnnSearch(5, kernel=EgemmTcKernel()).fit(ref).kneighbors(q)[1]
+        i2 = KnnSearch(5, kernel=CublasCudaFp32()).fit(ref).kneighbors(q)[1]
+        assert np.array_equal(i1, i2)
+
+    def test_self_query_returns_self_first(self, rng):
+        ref = rng.normal(0, 1, (50, 8)).astype(np.float32)
+        _, idx = KnnSearch(1).fit(ref).kneighbors(ref)
+        assert np.array_equal(idx[:, 0], np.arange(50))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            KnnSearch(0).fit(rng.normal(0, 1, (10, 4)).astype(np.float32))
+        with pytest.raises(RuntimeError):
+            KnnSearch(3).kneighbors(np.zeros((2, 4), np.float32))
+
+
+class TestPca:
+    def test_matches_numpy_covariance_eig(self, rng):
+        x = rng.normal(0, 1, (200, 10)).astype(np.float32) @ rng.normal(
+            0, 1, (10, 10)
+        ).astype(np.float32)
+        pca = PCA(n_components=3).fit(x)
+        ref_cov = np.cov(x.astype(np.float64), rowvar=False)
+        vals = np.sort(np.linalg.eigvalsh(ref_cov))[::-1][:3]
+        assert np.allclose(pca.explained_variance_, vals, rtol=1e-3)
+
+    def test_variance_descending(self, rng):
+        x = rng.normal(0, 1, (100, 8)).astype(np.float32)
+        pca = PCA(4).fit(x)
+        assert np.all(np.diff(pca.explained_variance_) <= 1e-9)
+
+    def test_transform_shape(self, rng):
+        x = rng.normal(0, 1, (60, 8)).astype(np.float32)
+        z = PCA(2).fit(x).transform(x)
+        assert z.shape == (60, 2)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            PCA(0).fit(rng.normal(0, 1, (10, 4)).astype(np.float32))
+        with pytest.raises(RuntimeError):
+            PCA(2).transform(np.zeros((3, 4), np.float32))
+
+
+class TestWorkloadModels:
+    def test_kmeans_speedup_curve_matches_paper_shape(self):
+        """Fig 12a: rising from ~1.3-1.4 at 2048 to ~1.8-1.9 at 16384."""
+        wl = KMeansWorkload()
+        s_small = wl.speedup(2048)[2]
+        s_large = wl.speedup(16384)[2]
+        assert 1.2 < s_small < 1.55
+        assert 1.7 < s_large < 2.05
+        assert s_large > s_small
+
+    def test_kmeans_gemm_fraction_near_67(self):
+        """§1: GEMM is 67% of kMeans runtime at scale."""
+        base, _, _ = KMeansWorkload().speedup(16384)
+        assert 0.6 < base.gemm_fraction < 0.8
+
+    def test_knn_speedup_curve(self):
+        """Fig 12b: up to ~2.4x at 16384 points."""
+        wl = KnnWorkload()
+        s_small = wl.speedup(2048)[2]
+        s_large = wl.speedup(16384)[2]
+        assert s_small < s_large
+        assert 2.1 < s_large < 2.7
+
+    def test_knn_gemm_fraction_near_85(self):
+        base, _, _ = KnnWorkload().speedup(16384)
+        assert 0.8 < base.gemm_fraction < 0.92
+
+    def test_monotone_speedups(self):
+        for wl in (KMeansWorkload(), KnnWorkload()):
+            curve = [wl.speedup(n)[2] for n in (2048, 4096, 8192, 16384)]
+            assert curve == sorted(curve)
+
+    def test_app_timing_properties(self):
+        t = AppTiming("x", gemm_seconds=2.0, non_gemm_seconds=1.0)
+        assert t.total_seconds == 3.0
+        assert t.gemm_fraction == pytest.approx(2 / 3)
+
+    def test_non_gemm_model_components(self):
+        base = non_gemm_seconds(0.0, TESLA_T4, fixed_seconds=1e-3)
+        assert base == pytest.approx(1e-3)
+        scaled = non_gemm_seconds(320e9, TESLA_T4, inefficiency=1.0, fixed_seconds=0.0)
+        assert scaled == pytest.approx(1.0)

@@ -1,0 +1,166 @@
+"""Unit tests for repro.fp.bits — bit-level float views."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fp.bits import (
+    bits_to_float,
+    compose,
+    decompose,
+    float_to_bits,
+    hex_bits,
+    is_negative_zero,
+    mantissa_bits_agreement,
+    next_after_zero,
+    ulp,
+    ulp_distance,
+)
+
+
+class TestFloatToBits:
+    def test_known_fp32_patterns(self):
+        assert int(float_to_bits(np.float32(1.0))) == 0x3F800000
+        assert int(float_to_bits(np.float32(-2.0))) == 0xC0000000
+        assert int(float_to_bits(np.float32(0.0))) == 0
+
+    def test_known_fp16_patterns(self):
+        assert int(float_to_bits(np.float16(1.0))) == 0x3C00
+        assert int(float_to_bits(np.float16(-1.0))) == 0xBC00
+
+    def test_round_trip_fp32(self, rng):
+        x = rng.normal(0, 10, 100).astype(np.float32)
+        assert np.array_equal(bits_to_float(float_to_bits(x), np.float32), x)
+
+    def test_round_trip_fp16(self, rng):
+        x = rng.normal(0, 10, 100).astype(np.float16)
+        assert np.array_equal(bits_to_float(float_to_bits(x), np.float16), x)
+
+    def test_round_trip_fp64(self, rng):
+        x = rng.normal(0, 10, 100)
+        assert np.array_equal(bits_to_float(float_to_bits(x), np.float64), x)
+
+    def test_view_is_zero_copy(self):
+        x = np.ones(4, dtype=np.float32)
+        bits = float_to_bits(x)
+        assert bits.base is x or bits.base is x.base
+
+    def test_rejects_integer_input(self):
+        with pytest.raises(TypeError):
+            float_to_bits(np.arange(4))
+
+    def test_bits_to_float_rejects_bad_dtype(self):
+        with pytest.raises(TypeError):
+            bits_to_float(np.zeros(2, dtype=np.uint32), np.int32)
+
+
+class TestDecomposeCompose:
+    def test_decompose_one(self):
+        sign, exp, man = decompose(np.float32(1.0))
+        assert (int(sign), int(exp), int(man)) == (0, 127, 0)
+
+    def test_decompose_negative_half_precision(self):
+        sign, exp, man = decompose(np.float16(-1.5))
+        assert int(sign) == 1
+        assert int(exp) == 15
+        assert int(man) == 0x200  # 0.5 in the 10-bit fraction
+
+    def test_compose_inverse_of_decompose(self, rng):
+        x = rng.normal(0, 100, 50).astype(np.float32)
+        assert np.array_equal(compose(*decompose(x), dtype=np.float32), x)
+
+    def test_compose_inverse_fp16(self, rng):
+        x = rng.normal(0, 10, 50).astype(np.float16)
+        assert np.array_equal(compose(*decompose(x), dtype=np.float16), x)
+
+    def test_compose_field_overflow_raises(self):
+        with pytest.raises(ValueError):
+            compose(0, 1 << 9, 0, dtype=np.float32)
+        with pytest.raises(ValueError):
+            compose(0, 0, 1 << 24, dtype=np.float32)
+
+
+class TestHexBits:
+    def test_matches_appendix_format(self):
+        # 32-bit values render as 8 hex digits with the 0x prefix.
+        assert hex_bits(1.0) == "0x3f800000"
+        assert len(hex_bits(934.40637207)) == 10
+
+    def test_fp16_width(self):
+        assert hex_bits(1.0, np.float16) == "0x3c00"
+
+
+class TestUlpDistance:
+    def test_identical_is_zero(self):
+        x = np.float32(3.14159)
+        assert int(ulp_distance(x, x)) == 0
+
+    def test_adjacent_is_one(self):
+        x = np.float32(1.0)
+        y = np.nextafter(x, np.float32(2.0))
+        assert int(ulp_distance(x, y)) == 1
+
+    def test_crosses_exponent_boundary(self):
+        below = np.nextafter(np.float32(2.0), np.float32(1.0))
+        assert int(ulp_distance(below, np.float32(2.0))) == 1
+
+    def test_signed_zero_pair(self):
+        assert int(ulp_distance(np.float32(0.0), np.float32(-0.0))) == 0
+
+    def test_spans_zero(self):
+        tiny_pos = np.nextafter(np.float32(0.0), np.float32(1.0))
+        tiny_neg = np.nextafter(np.float32(0.0), np.float32(-1.0))
+        assert int(ulp_distance(tiny_pos, tiny_neg)) == 2
+
+
+class TestMantissaBitsAgreement:
+    def test_identical_gives_24(self):
+        assert int(mantissa_bits_agreement(1.5, 1.5)) == 24
+
+    def test_one_ulp_gives_23(self):
+        x = np.float32(1.0)
+        y = np.nextafter(x, np.float32(2.0))
+        assert int(mantissa_bits_agreement(x, y)) == 23
+
+    def test_carry_boundary_not_over_penalized(self):
+        # 1.9999999 vs 2.0: adjacent values whose mantissa fields XOR
+        # almost everywhere — the agreement must still be 23.
+        below = np.nextafter(np.float32(2.0), np.float32(1.0))
+        assert int(mantissa_bits_agreement(below, np.float32(2.0))) == 23
+
+    def test_half_rounding_scale(self):
+        # fp16 rounding of a value near 1 perturbs ~2^-11 -> ~10-12 bits.
+        x = np.float32(1.0003)  # not on the fp16 grid
+        y = np.float32(np.float16(x))
+        bits = int(mantissa_bits_agreement(x, y))
+        assert 9 <= bits <= 14
+
+    def test_vectorized(self, rng):
+        x = rng.uniform(1, 2, 100).astype(np.float32)
+        out = mantissa_bits_agreement(x, x)
+        assert out.shape == (100,)
+        assert np.all(out == 24)
+
+    @given(st.floats(min_value=1e-3, max_value=1e3, allow_nan=False), st.integers(0, 22))
+    def test_agreement_monotone_in_perturbation(self, value, shift):
+        """Perturbing a value by 2^shift ulps leaves ~23-shift bits."""
+        x = np.float32(value)
+        bits_pattern = float_to_bits(x).astype(np.int64) + (1 << shift)
+        y = bits_to_float(bits_pattern.astype(np.uint32), np.float32)
+        agree = int(mantissa_bits_agreement(x, y))
+        assert agree == max(0, 23 - shift)
+
+
+class TestUlpHelpers:
+    def test_ulp_of_one(self):
+        assert float(ulp(1.0, np.float32)) == pytest.approx(2.0**-23)
+
+    def test_ulp_fp16(self):
+        assert float(ulp(1.0, np.float16)) == pytest.approx(2.0**-10)
+
+    def test_next_after_zero_fp16(self):
+        assert next_after_zero(np.float16) == pytest.approx(2.0**-24)
+
+    def test_is_negative_zero(self):
+        x = np.array([0.0, -0.0, 1.0, -1.0], dtype=np.float32)
+        assert list(is_negative_zero(x)) == [False, True, False, False]

@@ -1,0 +1,57 @@
+"""Unit tests for repro.fp.error — Eq. 10 error metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.fp.error import ErrorReport, compare_to_reference, error_ratio, max_error, mean_error
+
+
+class TestMaxError:
+    def test_zero_for_identical(self, rng):
+        x = rng.normal(0, 1, (8, 8)).astype(np.float32)
+        assert max_error(x, x) == 0.0
+
+    def test_picks_the_largest_deviation(self):
+        ref = np.zeros((2, 2))
+        val = np.array([[0.0, 0.1], [-0.3, 0.2]])
+        assert max_error(val, ref) == pytest.approx(0.3)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            max_error(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_empty_arrays(self):
+        assert max_error(np.zeros((0,)), np.zeros((0,))) == 0.0
+
+
+class TestMeanError:
+    def test_mean_of_absolute_deviations(self):
+        ref = np.zeros(4)
+        val = np.array([1.0, -1.0, 2.0, 0.0])
+        assert mean_error(val, ref) == pytest.approx(1.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mean_error(np.zeros(3), np.zeros(4))
+
+
+class TestErrorRatio:
+    def test_basic_ratio(self):
+        assert error_ratio(0.00025177, 0.13489914) == pytest.approx(0.00186636, rel=1e-4)
+
+    def test_zero_baseline_gives_nan(self):
+        assert math.isnan(error_ratio(1.0, 0.0))
+
+
+class TestReport:
+    def test_compare_to_reference(self, rng):
+        ref = rng.normal(0, 1, (4, 4))
+        val = ref + 0.5
+        report = compare_to_reference("probe", val, ref)
+        assert isinstance(report, ErrorReport)
+        assert report.label == "probe"
+        assert report.max_error == pytest.approx(0.5)
+        assert report.mean_error == pytest.approx(0.5)
+        assert "probe" in str(report)

@@ -1,0 +1,90 @@
+"""Unit tests for repro.fp.formats — Table 1 precision specifications."""
+
+import numpy as np
+import pytest
+
+from repro.fp.formats import EXTENDED, HALF, MARKIDIS, SINGLE, TABLE1, FloatFormat, table1_rows
+
+
+class TestTable1:
+    """The exact bit budgets of the paper's Table 1."""
+
+    @pytest.mark.parametrize(
+        "fmt,sign,exponent,mantissa",
+        [(HALF, 1, 5, 10), (SINGLE, 1, 8, 23), (MARKIDIS, 1, 5, 20), (EXTENDED, 1, 5, 21)],
+    )
+    def test_bit_budgets(self, fmt, sign, exponent, mantissa):
+        assert fmt.sign_bits == sign
+        assert fmt.exponent_bits == exponent
+        assert fmt.mantissa_bits == mantissa
+
+    def test_rows_order_and_content(self):
+        rows = table1_rows()
+        assert [r["data_type"] for r in rows] == ["half", "single", "markidis", "extended"]
+        assert rows[3]["mantissa"] == 21
+
+    def test_emulated_flags(self):
+        assert not HALF.emulated and not SINGLE.emulated
+        assert MARKIDIS.emulated and EXTENDED.emulated
+
+    def test_extended_has_one_more_bit_than_markidis(self):
+        """The round-split recovers exactly one extra mantissa bit."""
+        assert EXTENDED.mantissa_bits == MARKIDIS.mantissa_bits + 1
+
+
+class TestFormatProperties:
+    def test_epsilon(self):
+        assert HALF.epsilon == 2.0**-10
+        assert SINGLE.epsilon == 2.0**-23
+        assert EXTENDED.epsilon == 2.0**-21
+
+    def test_significand_bits(self):
+        assert HALF.significand_bits == 11
+
+    def test_total_bits(self):
+        assert HALF.total_bits == 16
+        assert SINGLE.total_bits == 32
+
+    def test_exponent_range_half(self):
+        assert HALF.max_exponent() == 15
+        assert HALF.min_exponent() == -14
+
+    def test_representable_max_half(self):
+        assert HALF.representable_max() == pytest.approx(65504.0)
+
+    def test_representable_max_single(self):
+        assert SINGLE.representable_max() == pytest.approx(float(np.finfo(np.float32).max))
+
+
+class TestQuantize:
+    def test_half_quantize_matches_numpy(self, rng):
+        x = rng.uniform(-10, 10, 100)
+        assert np.array_equal(HALF.quantize(x), x.astype(np.float16).astype(np.float64))
+
+    def test_single_quantize_matches_numpy(self, rng):
+        x = rng.uniform(-10, 10, 100)
+        assert np.array_equal(SINGLE.quantize(x), x.astype(np.float32).astype(np.float64))
+
+    def test_extended_quantize_error_bound(self, rng):
+        x = rng.uniform(0.5, 1.0, 1000)
+        q = EXTENDED.quantize(x)
+        # Rounding to 21 mantissa bits: error <= half the 2^-21 spacing.
+        assert np.max(np.abs(q - x)) <= 2.0**-22
+
+    def test_extended_strictly_finer_than_markidis(self, rng):
+        x = rng.uniform(0.5, 1.0, 10000)
+        e_ext = np.max(np.abs(EXTENDED.quantize(x) - x))
+        e_mar = np.max(np.abs(MARKIDIS.quantize(x) - x))
+        assert e_ext < e_mar
+
+    def test_quantize_idempotent(self, rng):
+        x = rng.uniform(-1, 1, 100)
+        q = EXTENDED.quantize(x)
+        assert np.array_equal(EXTENDED.quantize(q), q)
+
+
+class TestCustomFormat:
+    def test_arbitrary_format(self):
+        bf16 = FloatFormat("bfloat16", 1, 8, 7)
+        assert bf16.epsilon == 2.0**-7
+        assert bf16.max_exponent() == 127

@@ -1,0 +1,110 @@
+"""Unit tests for repro.fp.rounding — mantissa-width rounding primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fp.rounding import (
+    round_to_mantissa,
+    split_scale,
+    to_half,
+    to_single,
+    truncate_to_mantissa,
+)
+
+finite_floats = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False).filter(lambda v: v != 0)
+
+
+class TestRoundToMantissa:
+    def test_exact_values_unchanged(self):
+        # 1.5 = 1.1b needs one mantissa bit.
+        for bits in (1, 5, 10, 23):
+            assert float(round_to_mantissa(1.5, bits)) == 1.5
+
+    def test_matches_fp16_for_10_bits_normal_range(self, rng):
+        x = rng.uniform(0.5, 2.0, 1000)
+        ours = round_to_mantissa(x, 10)
+        theirs = x.astype(np.float16).astype(np.float64)
+        assert np.array_equal(ours, theirs)
+
+    def test_matches_fp32_for_23_bits_normal_range(self, rng):
+        x = rng.uniform(0.5, 2.0, 1000)
+        assert np.array_equal(round_to_mantissa(x, 23), x.astype(np.float32).astype(np.float64))
+
+    def test_ties_to_even(self):
+        # 1 + 1.5*2^-10: exactly halfway between 1+2^-10 and 1+2^-9 at
+        # 10-bit precision -> rounds to the even mantissa (1 + 2^-9).
+        x = 1.0 + 1.5 * 2.0**-10
+        assert float(round_to_mantissa(x, 10)) == 1.0 + 2.0**-9
+        # 1 + 0.5*2^-10 is halfway between 1 and 1+2^-10 -> even is 1.0.
+        x = 1.0 + 0.5 * 2.0**-10
+        assert float(round_to_mantissa(x, 10)) == 1.0
+
+    def test_error_bound(self, rng):
+        x = rng.uniform(-4, 4, 10000)
+        q = round_to_mantissa(x, 10)
+        # |x - q| <= 0.5 ulp = 2^-11 * 2^ceil(log2 |x|).
+        scale = 2.0 ** np.ceil(np.log2(np.abs(x)))
+        assert np.all(np.abs(x - q) <= 0.5 * scale * 2.0**-10 + 1e-300)
+
+    def test_zero_and_inf_passthrough(self):
+        assert float(round_to_mantissa(0.0, 10)) == 0.0
+        assert np.isinf(round_to_mantissa(np.inf, 10))
+        assert np.isneginf(round_to_mantissa(-np.inf, 10))
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            round_to_mantissa(1.0, -1)
+
+    @given(finite_floats, st.integers(0, 30))
+    def test_idempotent(self, x, bits):
+        once = round_to_mantissa(x, bits)
+        assert np.array_equal(round_to_mantissa(once, bits), once)
+
+    @given(finite_floats)
+    def test_monotone_precision(self, x):
+        """More mantissa bits never increases the rounding error."""
+        errs = [abs(float(round_to_mantissa(x, b)) - x) for b in (5, 10, 15, 20)]
+        assert errs == sorted(errs, reverse=True)
+
+
+class TestTruncateToMantissa:
+    def test_truncates_toward_zero_positive(self):
+        x = 1.0 + 2.0**-10 + 2.0**-12  # bits beyond 10 get chopped
+        assert float(truncate_to_mantissa(x, 10)) == 1.0 + 2.0**-10
+
+    def test_truncates_toward_zero_negative(self):
+        x = -(1.0 + 2.0**-10 + 2.0**-12)
+        assert float(truncate_to_mantissa(x, 10)) == -(1.0 + 2.0**-10)
+
+    @given(finite_floats)
+    def test_magnitude_never_increases(self, x):
+        t = float(truncate_to_mantissa(x, 10))
+        assert abs(t) <= abs(x)
+
+    @given(finite_floats)
+    def test_truncation_error_worse_or_equal_rounding(self, x):
+        r = abs(float(round_to_mantissa(x, 10)) - x)
+        t = abs(float(truncate_to_mantissa(x, 10)) - x)
+        assert r <= t + 1e-300
+
+    def test_error_bound_one_ulp(self, rng):
+        x = rng.uniform(1.0, 2.0, 10000)
+        t = truncate_to_mantissa(x, 10)
+        assert np.all(x - t >= 0)
+        assert np.all(x - t < 2.0**-10)
+
+
+class TestConversions:
+    def test_to_half_range_effects(self):
+        assert np.isinf(to_half(1e6))  # above fp16 max
+        assert float(to_half(65504.0)) == 65504.0
+
+    def test_to_single_exact_for_half_values(self, rng):
+        x = rng.uniform(-100, 100, 100).astype(np.float16).astype(np.float64)
+        assert np.array_equal(to_single(x), x)
+
+    def test_split_scale_quantum(self):
+        # For x ~ 1.x, the fp16 high part has ulp 2^-10 -> quantum 2^-10.
+        assert float(split_scale(1.3)) == pytest.approx(2.0**-10)
+        assert float(split_scale(2.5)) == pytest.approx(2.0**-9)

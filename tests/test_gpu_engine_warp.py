@@ -1,0 +1,149 @@
+"""Tests for the execution engine (waves/DRAM) and the warp model (§4)."""
+
+import pytest
+
+from repro.gpu.engine import LAUNCH_OVERHEAD_S, KernelLaunch, execute, roofline_seconds
+from repro.gpu.isa import InstructionStream, Opcode
+from repro.gpu.occupancy import BlockResources
+from repro.gpu.spec import TESLA_T4
+from repro.gpu.warp import (
+    COMPUTE_LAYOUT,
+    ThreadLayout,
+    compute_sharing,
+    loading_assignment,
+    thread_slices,
+)
+
+
+def _compute_stream(hmma=512):
+    s = InstructionStream()
+    s.emit(Opcode.HMMA, hmma)
+    return s
+
+
+def _launch(blocks, dram_bytes=0.0, hmma=512, flops=1e9):
+    return KernelLaunch(
+        name="test",
+        stream=_compute_stream(hmma),
+        grid_blocks=blocks,
+        resources=BlockResources(threads=256, shared_mem_bytes=32 * 1024, registers_per_thread=128),
+        dram_bytes_per_block=dram_bytes,
+        useful_flops=flops,
+    )
+
+
+class TestEngine:
+    def test_single_block(self):
+        t = execute(_launch(1), TESLA_T4)
+        assert t.waves == 1
+        assert t.seconds > LAUNCH_OVERHEAD_S
+
+    def test_wave_quantization(self):
+        """One more block than the wave capacity doubles the waves."""
+        slots = TESLA_T4.num_sms  # blocks_per_sm limited by shared mem: 2
+        t1 = execute(_launch(slots), TESLA_T4)
+        t2 = execute(_launch(slots * t1.occupancy.blocks_per_sm), TESLA_T4)
+        t3 = execute(_launch(slots * t1.occupancy.blocks_per_sm + 1), TESLA_T4)
+        assert t3.waves == t2.waves + 1
+        assert t3.cycles > t2.cycles
+
+    def test_throughput_scales_with_blocks(self):
+        """2x the blocks ~ 2x the useful work in ~2x the time => same TFLOPS
+        once full; the engine must not be superlinear."""
+        base = execute(_launch(400, flops=1e9), TESLA_T4)
+        double = execute(_launch(800, flops=2e9), TESLA_T4)
+        assert double.cycles == pytest.approx(2 * base.cycles, rel=0.05)
+
+    def test_dram_bound_wave_detection(self):
+        fast = execute(_launch(80, dram_bytes=0.0), TESLA_T4)
+        slow = execute(_launch(80, dram_bytes=100e6), TESLA_T4)
+        assert fast.dram_bound_waves == 0
+        assert slow.dram_bound_waves > 0
+        assert slow.cycles > fast.cycles
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            execute(_launch(0), TESLA_T4)
+
+    def test_tflops_eq9(self):
+        t = execute(_launch(40, flops=2.0 * 1024**3), TESLA_T4)
+        assert t.tflops == pytest.approx(t.useful_flops / t.seconds / 1e12)
+
+    def test_combined_timings(self):
+        a = execute(_launch(40), TESLA_T4)
+        b = execute(_launch(40), TESLA_T4)
+        c = a.combined(b, name="two")
+        assert c.seconds == pytest.approx(a.seconds + b.seconds)
+        assert c.useful_flops == a.useful_flops + b.useful_flops
+        assert c.name == "two"
+
+
+class TestRoofline:
+    def test_compute_bound_regime(self):
+        s = roofline_seconds(1e12, 1e6, TESLA_T4, peak_tflops=8.0, efficiency=0.5)
+        assert s == pytest.approx(1e12 / 4e12 + LAUNCH_OVERHEAD_S)
+
+    def test_memory_bound_regime(self):
+        s = roofline_seconds(1e9, 320e9, TESLA_T4, peak_tflops=8.0)
+        assert s == pytest.approx(1.0 + LAUNCH_OVERHEAD_S)
+
+    def test_occupancy_ramp(self):
+        """Fewer blocks than slots lowers effective throughput."""
+        full = roofline_seconds(1e12, 0, TESLA_T4, 8.0, grid_blocks=80, blocks_per_sm=2)
+        partial = roofline_seconds(1e12, 0, TESLA_T4, 8.0, grid_blocks=40, blocks_per_sm=2)
+        assert partial > full
+
+
+class TestThreadLayouts:
+    def test_compute_layout_is_32x1(self):
+        assert (COMPUTE_LAYOUT.x, COMPUTE_LAYOUT.y) == (32, 1)
+
+    def test_invalid_layouts_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadLayout(16, 4)  # 64 threads
+        with pytest.raises(ValueError):
+            ThreadLayout(0, 32)
+
+    def test_slices_cover_without_overlap(self):
+        """§4: the 2-D loading layout assigns non-overlapping work."""
+        import numpy as np
+
+        for layout in (ThreadLayout(16, 2), ThreadLayout(8, 4), ThreadLayout(32, 1)):
+            cover = np.zeros((16, 32), dtype=int)
+            slices = thread_slices(16, 32, layout)
+            assert len(slices) == 32
+            for rs, cs in slices:
+                cover[rs, cs] += 1
+            assert (cover == 1).all()
+
+    def test_slices_reject_nondivisible(self):
+        with pytest.raises(ValueError):
+            thread_slices(10, 16, ThreadLayout(8, 4))  # 10 rows over y=4
+
+
+class TestWarpCollaboration:
+    def test_loading_covers_all_fragments(self):
+        """Figure 5 loading phase: every fragment staged exactly once."""
+        assignment = loading_assignment(num_fragments=8, num_warps=4)
+        staged = sorted(f for frags in assignment.values() for f in frags)
+        assert staged == list(range(8))
+        counts = [len(v) for v in assignment.values()]
+        assert max(counts) - min(counts) <= 1  # balanced
+
+    def test_loading_rejects_zero_warps(self):
+        with pytest.raises(ValueError):
+            loading_assignment(4, 0)
+
+    def test_compute_sharing_cross_warp_reuse(self):
+        """Figure 5 computation phase: each A panel feeds a warp row."""
+        sharing = compute_sharing(2, 4)
+        assert sharing["A"][0] == [0, 1, 2, 3]
+        assert sharing["A"][1] == [4, 5, 6, 7]
+        assert sharing["B"][0] == [0, 4]
+        # Every warp appears in exactly one A row and one B column.
+        a_warps = sorted(w for ws in sharing["A"].values() for w in ws)
+        assert a_warps == list(range(8))
+
+    def test_compute_sharing_validation(self):
+        with pytest.raises(ValueError):
+            compute_sharing(0, 4)

@@ -1,0 +1,137 @@
+"""Tests for register allocation (§5.2), occupancy, and memory accounting."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.memory import GlobalMemory, SharedMemory, SharedMemoryOverflow
+from repro.gpu.occupancy import BlockResources, occupancy
+from repro.gpu.registers import StageUsage, allocate, egemm_stage_usage
+from repro.gpu.spec import TESLA_T4
+
+
+class TestRegisterAllocation:
+    def test_paper_design_point_uses_232_registers(self):
+        """§5.2: 'we utilize 232 out of 256 registers on each thread'."""
+        usage = egemm_stage_usage(wm=64, wn=32, wk=8, bm=128, bn=128, bk=32)
+        result = allocate(usage, TESLA_T4, policy="stage-reuse")
+        assert result.registers_per_thread == 232
+        assert not result.spills
+
+    def test_naive_allocation_spills_at_design_point(self):
+        """Without cross-stage reuse the same kernel would spill — the
+        'heavy slow down' motivation of §5.2."""
+        usage = egemm_stage_usage(wm=64, wn=32, wk=8, bm=128, bn=128, bk=32)
+        result = allocate(usage, TESLA_T4, policy="naive")
+        assert result.spills
+        assert result.spilled_registers > 0
+        assert result.spill_bytes_per_thread == result.spilled_registers * 4
+
+    def test_wider_warp_tile_spills_even_with_reuse(self):
+        """(wm, wn) = (64, 64) busts the per-thread budget — why the
+        solver lands on (64, 32)."""
+        usage = egemm_stage_usage(wm=64, wn=64, wk=8, bm=256, bn=128, bk=8)
+        result = allocate(usage, TESLA_T4, policy="stage-reuse")
+        assert result.spills
+
+    def test_reuse_never_worse_than_naive(self):
+        usage = StageUsage(context=10, load_c=50, compute=100, store_c=50)
+        reuse = allocate(usage, TESLA_T4, policy="stage-reuse")
+        naive = allocate(usage, TESLA_T4, policy="naive")
+        assert reuse.registers_per_thread <= naive.registers_per_thread
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            allocate(StageUsage(1, 1, 1, 1), TESLA_T4, policy="magic")
+
+
+class TestOccupancy:
+    def test_paper_config_one_block_per_sm(self):
+        """Table 4: 1 active block per SM at the design point."""
+        res = BlockResources(threads=256, shared_mem_bytes=36 * 1024, registers_per_thread=232)
+        occ = occupancy(res, TESLA_T4)
+        assert occ.blocks_per_sm == 1
+        assert occ.active_warps_per_sm == 8
+
+    def test_small_block_higher_occupancy(self):
+        res = BlockResources(threads=128, shared_mem_bytes=8 * 1024, registers_per_thread=64)
+        occ = occupancy(res, TESLA_T4)
+        assert occ.blocks_per_sm >= 4
+
+    def test_limiting_resource_identified(self):
+        res = BlockResources(threads=64, shared_mem_bytes=60 * 1024, registers_per_thread=32)
+        assert occupancy(res, TESLA_T4).limiting_resource == "shared_memory"
+
+    def test_register_limit_violation_raises(self):
+        res = BlockResources(threads=256, shared_mem_bytes=1024, registers_per_thread=300)
+        with pytest.raises(ValueError, match="registers"):
+            occupancy(res, TESLA_T4)
+
+    def test_oversized_block_raises(self):
+        res = BlockResources(threads=256, shared_mem_bytes=100 * 1024, registers_per_thread=32)
+        with pytest.raises(ValueError):
+            occupancy(res, TESLA_T4)
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(BlockResources(0, 0, 0), TESLA_T4)
+
+
+class TestMemory:
+    def test_global_memory_traffic(self, rng):
+        gmem = GlobalMemory()
+        gmem.bind("A", rng.uniform(0, 1, (8, 8)).astype(np.float32))
+        tile = gmem.load("A", slice(0, 4), slice(0, 4))
+        assert tile.shape == (4, 4)
+        assert gmem.log.global_load == 4 * 4 * 4
+        gmem.store("A", slice(0, 4), slice(0, 4), tile * 2)
+        assert gmem.log.global_store == 4 * 4 * 4
+        assert gmem.log.global_total == 128
+
+    def test_global_store_shape_check(self, rng):
+        gmem = GlobalMemory()
+        gmem.bind("A", np.zeros((8, 8), dtype=np.float32))
+        with pytest.raises(ValueError):
+            gmem.store("A", slice(0, 4), slice(0, 4), np.zeros((2, 2), dtype=np.float32))
+
+    def test_load_returns_copy(self):
+        gmem = GlobalMemory()
+        gmem.bind("A", np.ones((4, 4), dtype=np.float32))
+        tile = gmem.load("A", slice(0, 2), slice(0, 2))
+        tile[:] = 5
+        assert gmem.array("A")[0, 0] == 1.0
+
+    def test_shared_memory_capacity(self):
+        shared = SharedMemory(capacity_bytes=1024)
+        shared.store("x", np.zeros((16, 16), dtype=np.float16))  # 512 B
+        with pytest.raises(SharedMemoryOverflow):
+            shared.store("y", np.zeros((16, 32), dtype=np.float16))  # +1024 B
+
+    def test_shared_rebind_same_name_replaces(self):
+        shared = SharedMemory(capacity_bytes=1024)
+        shared.store("x", np.zeros((16, 16), dtype=np.float16))
+        shared.store("x", np.ones((16, 16), dtype=np.float16))  # replace, no overflow
+        assert shared.used_bytes == 512
+        assert float(shared.load("x")[0, 0]) == 1.0
+
+    def test_shared_traffic_log(self):
+        shared = SharedMemory(capacity_bytes=4096)
+        shared.store("x", np.zeros((16, 16), dtype=np.float16))
+        shared.load("x")
+        shared.load("x", slice(0, 8), slice(0, 8))
+        assert shared.log.shared_store == 512
+        assert shared.log.shared_load == 512 + 128
+
+    def test_traffic_merge(self):
+        a = SharedMemory(capacity_bytes=4096)
+        a.store("x", np.zeros(4, dtype=np.float32))
+        b = SharedMemory(capacity_bytes=4096)
+        b.store("y", np.zeros(4, dtype=np.float32))
+        merged = a.log.merged(b.log)
+        assert merged.shared_store == 32
+        assert merged.shared_total == 32
+
+    def test_free(self):
+        shared = SharedMemory(capacity_bytes=512)
+        shared.store("x", np.zeros((16, 16), dtype=np.float16))
+        shared.free("x")
+        assert shared.used_bytes == 0

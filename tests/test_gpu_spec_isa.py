@@ -1,0 +1,87 @@
+"""Tests for GPU specs (Table 3) and the SASS-like ISA."""
+
+import pytest
+
+from repro.gpu.isa import ExecUnit, InstrGroup, InstructionStream, Opcode
+from repro.gpu.spec import GPUS, RTX6000, TESLA_T4, get_gpu, table3_rows
+
+
+class TestSpecs:
+    def test_table3_budget(self):
+        """The paper's Table 3, verbatim."""
+        rows = {r["resource"]: r["budget"] for r in table3_rows(TESLA_T4)}
+        assert rows["Shared Memory Size"] == "64 KB"
+        assert rows["FRAG/Register Size"] == "256 KB"
+        assert rows["Peak Computation"] == "64 TFLOPS"
+        assert rows["L2 Cache Speed"] == "750 GB/s"
+
+    def test_t4_topology(self):
+        assert TESLA_T4.num_sms == 40
+        assert TESLA_T4.num_sms * TESLA_T4.tensor_cores_per_sm == 320  # [24]
+        assert TESLA_T4.max_registers_per_thread == 256
+
+    def test_rtx6000_topology(self):
+        assert RTX6000.num_sms * RTX6000.tensor_cores_per_sm == 576  # [23]
+        assert RTX6000.dram_bw_gbps > TESLA_T4.dram_bw_gbps
+
+    def test_derived_rates_positive(self):
+        for spec in (TESLA_T4, RTX6000):
+            assert spec.flops_per_cycle_tc_per_sm > 0
+            assert spec.dram_bytes_per_cycle_per_sm > 0
+
+    def test_cycles_to_seconds(self):
+        assert TESLA_T4.cycles_to_seconds(1.59e9) == pytest.approx(1.0)
+
+    def test_get_gpu_aliases(self):
+        assert get_gpu("t4") is TESLA_T4
+        assert get_gpu("Tesla T4") is TESLA_T4
+        assert get_gpu("RTX-6000") is RTX6000
+        with pytest.raises(KeyError):
+            get_gpu("a100")
+
+    def test_with_overrides(self):
+        fast = TESLA_T4.with_overrides(clock_ghz=2.0)
+        assert fast.clock_ghz == 2.0
+        assert TESLA_T4.clock_ghz == 1.59  # original untouched
+
+    def test_registry(self):
+        assert set(GPUS) == {"t4", "rtx6000"}
+
+
+class TestIsa:
+    def test_units(self):
+        """§5.1: memory instructions share one sequential pipeline."""
+        for op in (Opcode.LDS, Opcode.LDG, Opcode.STS, Opcode.STG):
+            assert op.unit is ExecUnit.MEM
+        assert Opcode.HMMA.unit is ExecUnit.TENSOR
+        assert Opcode.BAR.unit is ExecUnit.SYNC
+
+    def test_traffic_bytes_128bit(self):
+        assert InstrGroup(Opcode.LDG, 4).traffic_bytes == 4 * 512
+        assert InstrGroup(Opcode.HMMA, 4).traffic_bytes == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            InstrGroup(Opcode.LDS, -1)
+
+    def test_issue_cycles_scale_with_count(self):
+        g1 = InstrGroup(Opcode.HMMA, 1)
+        g10 = InstrGroup(Opcode.HMMA, 10)
+        assert g10.issue_cycles(TESLA_T4) == pytest.approx(10 * g1.issue_cycles(TESLA_T4))
+
+    def test_ldg_latency_dominates_lds(self):
+        assert InstrGroup(Opcode.LDG, 1).completion_latency(TESLA_T4) > InstrGroup(
+            Opcode.LDS, 1
+        ).completion_latency(TESLA_T4)
+
+    def test_stream_emit_and_counts(self):
+        stream = InstructionStream()
+        i0 = stream.emit(Opcode.LDG, 8)
+        i1 = stream.emit(Opcode.STS, 8, depends_on=(i0,))
+        stream.emit(Opcode.HMMA, 64, depends_on=(i1,))
+        assert (i0, i1) == (0, 1)
+        assert stream.count(Opcode.LDG) == 8
+        assert stream.count(Opcode.HMMA) == 64
+        assert stream.traffic_bytes(Opcode.LDG) == 8 * 512
+        assert stream.hmma_flops() == 64 * 2048
+        assert len(stream) == 3

@@ -1,0 +1,105 @@
+"""Cross-module integration tests: the public API end to end."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    EgemmTcKernel,
+    KMeans,
+    KnnSearch,
+    PrecisionProfiler,
+    autotune,
+    egemm,
+    reference_exact,
+    reference_single,
+)
+from repro.fp.error import max_error
+from repro.tensorize.kernel import run_functional
+from repro.tensorize.tiling import TilingConfig
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_egemm_front_door(self, small_matrices):
+        a, b, c = small_matrices
+        d = egemm(a, b, c)
+        assert d.dtype == np.float32
+        assert max_error(d, reference_exact(a, b, c)) < 1e-4
+
+    def test_egemm_scheme_aliases(self, small_matrices):
+        a, b, _ = small_matrices
+        assert np.array_equal(egemm(a, b), egemm(a, b, scheme="egemm"))
+
+    def test_egemm_markidis_scheme(self, small_matrices):
+        a, b, _ = small_matrices
+        d = egemm(a, b, scheme="markidis")
+        assert max_error(d, reference_exact(a, b)) < 1e-4
+
+    def test_egemm_unknown_scheme(self, small_matrices):
+        a, b, _ = small_matrices
+        with pytest.raises(KeyError):
+            egemm(a, b, scheme="quad")
+
+
+class TestCrossPathConsistency:
+    def test_three_functional_paths_agree(self, rng):
+        """EmulatedGemm (vectorized), run_functional (tiled through the
+        simulated hierarchy), and the kernel object must agree to the
+        extended-precision level (accumulation orders differ, so bitwise
+        equality is not expected — but all are within a few ulps of the
+        fp64 reference scaled by the split residual)."""
+        a = rng.uniform(-1, 1, (64, 64)).astype(np.float32)
+        b = rng.uniform(-1, 1, (64, 64)).astype(np.float32)
+        exact = reference_exact(a, b)
+
+        d_vec = egemm(a, b)
+        d_tiled = run_functional(a, b, config=TilingConfig(32, 32, 16, 16, 16, 8)).d
+        d_kernel = EgemmTcKernel().compute(a, b)
+
+        for d in (d_vec, d_tiled, d_kernel):
+            assert max_error(d, exact) < 1e-4
+        assert max_error(d_vec, d_tiled) < 1e-4
+        assert np.array_equal(d_vec, d_kernel)
+
+    def test_emulation_beats_half_everywhere(self, rng):
+        a = rng.uniform(-1, 1, (128, 128)).astype(np.float32)
+        b = rng.uniform(-1, 1, (128, 128)).astype(np.float32)
+        ref = reference_single(a, b)
+        assert max_error(egemm(a, b), ref) * 50 < max_error(egemm(a, b, scheme="half"), ref)
+
+
+class TestAutotuneIntegration:
+    def test_autotune_feeds_kernel(self):
+        result = autotune()
+        kernel = EgemmTcKernel(tiling=result.best)
+        assert kernel.tflops(4096, 4096, 4096) > 8.0
+
+
+class TestWorkflowIntegration:
+    def test_profile_then_emulate(self):
+        """The paper's end-to-end story: profile the core, confirm
+        extended-precision internals, then rely on the 4-call emulation."""
+        result = PrecisionProfiler().run(trials=100)
+        assert result.correct_probes()  # profiling validates the design
+        rng = np.random.default_rng(0)
+        a = rng.uniform(-1, 1, (32, 32)).astype(np.float32)
+        b = rng.uniform(-1, 1, (32, 32)).astype(np.float32)
+        assert max_error(egemm(a, b), reference_exact(a, b)) < 1e-4
+
+
+class TestAppsOnPublicApi:
+    def test_kmeans_pipeline(self, rng):
+        x = np.vstack(
+            [c + rng.normal(0, 0.2, (40, 8)) for c in rng.normal(0, 4, (3, 8))]
+        ).astype(np.float32)
+        model = KMeans(3, seed=1).fit(x)
+        assert len(np.unique(model.predict(x))) == 3
+
+    def test_knn_pipeline(self, rng):
+        ref = rng.normal(0, 1, (80, 6)).astype(np.float32)
+        d, i = KnnSearch(3).fit(ref).kneighbors(ref[:5])
+        assert i.shape == (5, 3)
+        assert np.array_equal(i[:, 0], np.arange(5))

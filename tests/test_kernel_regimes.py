@@ -1,0 +1,112 @@
+"""Regime tests for the kernel timing models and profiling sweeps —
+boundary behaviours the headline figures do not exercise."""
+
+import pytest
+
+from repro.gpu.engine import LAUNCH_OVERHEAD_S
+from repro.gpu.spec import RTX6000, TESLA_T4
+from repro.kernels.cublas import CublasCudaFp32, CublasTcEmulation, CublasTcHalf, gemm_dram_bytes
+from repro.kernels.egemm import EgemmTcKernel, split_pass_seconds
+from repro.kernels.markidis import MarkidisKernel
+from repro.kernels.sdk import SdkCudaFp32
+from repro.profiling.sweep import sweep_distribution, sweep_k
+
+
+class TestSmallSizeRegime:
+    def test_launch_overhead_dominates_tiny_gemm(self):
+        """At 64^3 the useful work is microseconds; timing is floored by
+        launch overhead, so TFLOPS collapse."""
+        k = EgemmTcKernel()
+        t = k.time(64, 64, 64)
+        assert t.seconds >= LAUNCH_OVERHEAD_S
+        assert k.tflops(64, 64, 64) < 1.0
+
+    def test_single_block_grid(self):
+        k = EgemmTcKernel()
+        t = k.time(128, 128, 128)
+        assert t.occupancy is not None
+        assert t.waves == 1
+
+    def test_all_kernels_handle_tiny_inputs(self):
+        for kern in (
+            EgemmTcKernel(),
+            CublasCudaFp32(),
+            CublasTcHalf(),
+            CublasTcEmulation(),
+            SdkCudaFp32(),
+            MarkidisKernel(),
+        ):
+            t = kern.time(32, 32, 32)
+            assert t.seconds > 0
+
+
+class TestSkewBoundaries:
+    def test_cliff_requires_both_conditions(self):
+        """Split-K selection needs k >= 2*max(m,n) AND k >= 8192."""
+        half = CublasTcHalf()
+        # large k but not 2x the other dims: no cliff
+        no_cliff = half.tflops(8192, 8192, 8192)
+        # k = 2*max but below the absolute threshold: no cliff
+        small = half.tflops(2048, 2048, 4096)
+        # both conditions: cliff
+        cliff = half.tflops(4096, 4096, 8192)
+        assert cliff < 0.8 * no_cliff
+        assert small > cliff
+
+    def test_emulation_inherits_custom_half_kernel(self):
+        custom = CublasTcHalf(efficiency=0.3)
+        emu = CublasTcEmulation(half_kernel=custom)
+        slower = emu.tflops(4096, 4096, 4096)
+        default = CublasTcEmulation().tflops(4096, 4096, 4096)
+        assert slower < default
+
+
+class TestTrafficModel:
+    def test_gemm_dram_bytes_scales_with_k(self):
+        a = gemm_dram_bytes(4096, 4096, 4096, 2, 128, TESLA_T4)
+        b = gemm_dram_bytes(4096, 4096, 8192, 2, 128, TESLA_T4)
+        assert b > 1.5 * a
+
+    def test_element_size_proportional(self):
+        half = gemm_dram_bytes(4096, 4096, 4096, 2, 128, TESLA_T4)
+        single = gemm_dram_bytes(4096, 4096, 4096, 4, 128, TESLA_T4)
+        assert single > 1.5 * half  # C term is fp32 in both
+
+    def test_bigger_tiles_less_traffic(self):
+        small = gemm_dram_bytes(8192, 8192, 8192, 4, 64, TESLA_T4)
+        large = gemm_dram_bytes(8192, 8192, 8192, 4, 256, TESLA_T4)
+        assert large < small
+
+    def test_split_pass_linear_in_elements(self):
+        s1 = split_pass_seconds(1024, 1024, 1024, TESLA_T4) - LAUNCH_OVERHEAD_S
+        s2 = split_pass_seconds(2048, 2048, 2048, TESLA_T4) - LAUNCH_OVERHEAD_S
+        assert s2 == pytest.approx(4 * s1, rel=0.01)
+
+    def test_split_pass_faster_on_wider_bus(self):
+        assert split_pass_seconds(4096, 4096, 4096, RTX6000) < split_pass_seconds(
+            4096, 4096, 4096, TESLA_T4
+        )
+
+
+class TestProfilingSweeps:
+    def test_agreement_decays_with_k(self):
+        """Longer sequential accumulation drifts further from the wide
+        accumulator: min agreement is non-increasing in k."""
+        points = sweep_k(ks=(4, 16, 64), trials=60)
+        mins = [p.min_bits for p in points]
+        assert mins == sorted(mins, reverse=True)
+        assert mins[0] >= 21  # short dots agree at/above the paper's bar
+
+    def test_wmma_k16_hits_paper_number(self):
+        """At the WMMA k=16 the tail of the agreement distribution sits
+        at the paper's 21-bit floor (the minimum needs enough trials to
+        reach the tail — the paper used 10,000)."""
+        (point,) = sweep_k(ks=(16,), trials=300)
+        assert 21 <= point.min_bits <= 22
+
+    def test_signed_inputs_cost_bits(self):
+        """Cancellation magnifies relative disagreement — why the
+        workflow probes with positive inputs."""
+        positive, signed = sweep_distribution(trials=120)
+        assert positive.min_bits >= signed.min_bits
+        assert positive.mean_bits > signed.mean_bits - 0.5

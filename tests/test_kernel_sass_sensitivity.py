@@ -1,0 +1,77 @@
+"""Tests for the full-kernel SASS generator and the sensitivity study."""
+
+import pytest
+
+from repro.experiments.sensitivity import run_sensitivity
+from repro.gpu.arch import TURING, VOLTA, UnsupportedArchitectureError, check_listing
+from repro.gpu.sass import validate
+from repro.tensorize.codegen import build_register_map, generate_kernel_sass
+from repro.tensorize.tiling import T4_TILING
+
+
+class TestFullKernelSass:
+    @pytest.fixture(scope="class", params=[True, False], ids=["pipelined", "naive"])
+    def kernel(self, request):
+        return generate_kernel_sass(latency_hiding=request.param)
+
+    def test_validates_from_empty_live_in(self, kernel):
+        """Unlike the iteration body, the full kernel defines everything
+        itself — def-before-use holds with no live-in registers."""
+        assert kernel.live_in == frozenset()
+        validate(kernel, max_registers=256)
+
+    def test_stage_structure(self, kernel):
+        ops = [i.opcode for i in kernel]
+        assert ops[0] == "S2R"  # context stage first
+        assert ops[-1] == "EXIT"  # epilogue last
+        assert "BAR.SYNC" in ops
+        assert any(o == "BRA" for o in ops)  # loop back edge
+
+    def test_c_load_and_store_counts_match(self, kernel):
+        regmap = build_register_map(T4_TILING)
+        assert kernel.count("STG") == regmap.c_count // 4
+        # C loads + cold-start loads + one body's prefetch loads
+        assert kernel.count("LDG") >= regmap.c_count // 4
+
+    def test_register_ceiling(self, kernel):
+        assert kernel.max_register() < 232
+
+    def test_loop_control_uses_predicate(self, kernel):
+        bra = next(i for i in kernel if i.opcode == "BRA")
+        assert "@P0" in bra.operands
+
+    def test_architecture_gating_applies(self, kernel):
+        check_listing(kernel, TURING)
+        with pytest.raises(UnsupportedArchitectureError):
+            check_listing(kernel, VOLTA)
+
+    def test_size_independent_length(self):
+        short = generate_kernel_sass(k=128)
+        long = generate_kernel_sass(k=16384)
+        assert len(short) == len(long)  # loop, not unrolled
+        # ... but the trip count differs
+        isetp_s = next(i for i in short if i.opcode.startswith("ISETP"))
+        isetp_l = next(i for i in long if i.opcode.startswith("ISETP"))
+        assert isetp_s.operands != isetp_l.operands
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_sensitivity(perturbation=0.2, n=4096)
+
+    def test_ordering_robust_everywhere(self, points):
+        """EGEMM > TC-Emulation > FP32 > SDK under every ±20% perturbation."""
+        assert all(p.ordering_holds for p in points)
+
+    def test_ratios_stay_in_class(self, points):
+        for p in points:
+            assert 2.0 < p.speedup_vs_fp32 < 5.0
+            assert 1.05 < p.speedup_vs_emulation < 2.0
+            assert 1.05 < p.latency_hiding < 1.5
+
+    def test_first_point_is_fitted(self, points):
+        assert points[0].speedup_vs_fp32 == pytest.approx(3.0, rel=0.15)
+
+    def test_seven_points(self, points):
+        assert len(points) == 7

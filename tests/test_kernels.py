@@ -1,0 +1,167 @@
+"""Tests for the end-to-end kernels (Table 5): functional + timing paths."""
+
+import numpy as np
+import pytest
+
+from repro.emulation.gemm import emulated_gemm, reference_single
+from repro.emulation.schemes import EGEMM, HALF, MARKIDIS
+from repro.fp.error import max_error
+from repro.gpu.spec import RTX6000, TESLA_T4
+from repro.kernels import (
+    CublasCudaFp32,
+    CublasTcEmulation,
+    CublasTcHalf,
+    EgemmTcKernel,
+    MarkidisKernel,
+    SdkCudaFp32,
+    get_kernel,
+    split_pass_seconds,
+    table5_rows,
+)
+
+
+class TestRegistry:
+    def test_all_kernels_constructible(self):
+        for name in (
+            "egemm-tc",
+            "cublas-cuda-fp32",
+            "cublas-tc-half",
+            "cublas-tc-emulation",
+            "sdk-cuda-fp32",
+            "markidis",
+        ):
+            k = get_kernel(name)
+            assert k.info.name
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            get_kernel("magma")
+
+    def test_table5_matches_paper(self):
+        rows = {r["name"]: r for r in table5_rows()}
+        assert rows["cuBLAS-CUDA-FP32"]["precision"] == "single"
+        assert rows["cuBLAS-TC-Half"]["precision"] == "half"
+        assert rows["cuBLAS-TC-Emulation"]["precision"] == "extended"
+        assert rows["Markidis"]["precision"] == "extended*"
+        assert rows["kMeans"]["source"] == "[2]"
+        assert rows["kNN"]["source"] == "[9]"
+        assert len(rows) == 7
+
+
+class TestFunctionalPaths:
+    def test_egemm_functional_matches_scheme(self, small_matrices):
+        a, b, c = small_matrices
+        assert np.array_equal(EgemmTcKernel().compute(a, b, c), emulated_gemm(a, b, c, scheme=EGEMM))
+
+    def test_markidis_functional_matches_scheme(self, small_matrices):
+        a, b, c = small_matrices
+        assert np.array_equal(
+            MarkidisKernel().compute(a, b, c), emulated_gemm(a, b, c, scheme=MARKIDIS)
+        )
+
+    def test_tc_half_functional(self, small_matrices):
+        a, b, c = small_matrices
+        assert np.array_equal(CublasTcHalf().compute(a, b, c), emulated_gemm(a, b, c, scheme=HALF))
+
+    def test_fp32_kernels_are_reference(self, small_matrices):
+        a, b, c = small_matrices
+        ref = reference_single(a, b, c)
+        assert np.array_equal(CublasCudaFp32().compute(a, b, c), ref)
+        assert np.array_equal(SdkCudaFp32().compute(a, b, c), ref)
+
+    def test_emulation_baseline_same_numerics_as_egemm(self, small_matrices):
+        """cuBLAS-TC-Emulation implements the *same* Algorithm 1."""
+        a, b, c = small_matrices
+        assert np.array_equal(
+            CublasTcEmulation().compute(a, b, c), EgemmTcKernel().compute(a, b, c)
+        )
+
+    def test_precision_ordering(self, small_matrices):
+        a, b, c = small_matrices
+        ref = reference_single(a, b, c)
+        assert max_error(EgemmTcKernel().compute(a, b, c), ref) < max_error(
+            CublasTcHalf().compute(a, b, c), ref
+        )
+
+
+class TestTimingModels:
+    N = 8192
+
+    def test_appendix_anchors(self):
+        """Appendix A.3: ~12 / ~4 / ~1 TFLOPS at 8192^3 on T4."""
+        assert EgemmTcKernel().tflops(self.N, self.N, self.N) == pytest.approx(12.0, rel=0.1)
+        assert CublasCudaFp32().tflops(self.N, self.N, self.N) == pytest.approx(4.0, rel=0.15)
+        assert SdkCudaFp32().tflops(self.N, self.N, self.N) == pytest.approx(1.0, rel=0.15)
+
+    def test_speedup_ordering_at_large_size(self):
+        egemm = EgemmTcKernel().tflops(self.N, self.N, self.N)
+        emu = CublasTcEmulation().tflops(self.N, self.N, self.N)
+        fp32 = CublasCudaFp32().tflops(self.N, self.N, self.N)
+        sdk = SdkCudaFp32().tflops(self.N, self.N, self.N)
+        markidis = MarkidisKernel().tflops(self.N, self.N, self.N)
+        assert egemm > emu > fp32 > sdk
+        assert egemm > markidis
+
+    def test_egemm_beats_emulation_by_about_135(self):
+        egemm = EgemmTcKernel().tflops(self.N, self.N, self.N)
+        emu = CublasTcEmulation().tflops(self.N, self.N, self.N)
+        assert 1.2 < egemm / emu < 1.6  # paper: 1.35x
+
+    def test_markidis_three_times_slower(self):
+        egemm = EgemmTcKernel().tflops(self.N, self.N, self.N)
+        markidis = MarkidisKernel().tflops(self.N, self.N, self.N)
+        assert 2.3 < egemm / markidis < 3.8  # paper: 3.0x
+
+    def test_throughput_grows_with_size(self):
+        k = EgemmTcKernel()
+        curve = [k.tflops(n, n, n) for n in (1024, 2048, 4096, 8192)]
+        assert curve == sorted(curve)
+
+    def test_rtx6000_faster_than_t4(self):
+        k = EgemmTcKernel()
+        assert k.tflops(self.N, self.N, self.N, RTX6000) > 1.5 * k.tflops(
+            self.N, self.N, self.N, TESLA_T4
+        )
+
+    def test_latency_hiding_ablation(self):
+        on = EgemmTcKernel(latency_hiding=True).tflops(self.N, self.N, self.N)
+        off = EgemmTcKernel(latency_hiding=False).tflops(self.N, self.N, self.N)
+        assert 1.05 < on / off < 1.5  # paper: 1.14x
+
+    def test_skew_cliff_for_emulation_baseline(self):
+        """Figure 9a: the 4-call baseline collapses at (4096, 4096, 8192)."""
+        emu = CublasTcEmulation()
+        before = emu.tflops(2048, 2048, 4096)
+        after = emu.tflops(4096, 4096, 8192)
+        assert after < before
+        egemm = EgemmTcKernel()
+        assert egemm.tflops(4096, 4096, 8192) > 2 * after / 1.2
+
+    def test_egemm_insensitive_to_k_skew(self):
+        egemm = EgemmTcKernel()
+        square = egemm.tflops(4096, 4096, 4096)
+        skewed = egemm.tflops(4096, 4096, 8192)
+        assert skewed == pytest.approx(square, rel=0.1)
+
+    def test_split_pass_cost_scales_with_operands(self):
+        small = split_pass_seconds(1024, 1024, 1024, TESLA_T4)
+        large = split_pass_seconds(8192, 8192, 8192, TESLA_T4)
+        assert large > 32 * small  # ~64x elements
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            EgemmTcKernel().time(0, 128, 128)
+
+    def test_autotuned_tiling_cached(self):
+        k = EgemmTcKernel()
+        t1 = k.tiling_for(TESLA_T4)
+        t2 = k.tiling_for(TESLA_T4)
+        assert t1 is t2
+        assert (t1.bm, t1.bn, t1.bk) == (128, 128, 32)
+
+    def test_explicit_tiling_respected(self):
+        from repro.tensorize.tiling import TilingConfig
+
+        cfg = TilingConfig(64, 64, 16, 32, 32, 8)
+        k = EgemmTcKernel(tiling=cfg)
+        assert k.tiling_for(TESLA_T4) is cfg

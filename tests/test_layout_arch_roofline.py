@@ -1,0 +1,144 @@
+"""Tests for fragment element layouts, architecture gating, rooflines,
+and the dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.apps.datasets import descriptor_set, expression_profiles, gaussian_blobs, spd_matrix
+from repro.gpu.arch import (
+    AMPERE,
+    PASCAL,
+    TURING,
+    VOLTA,
+    UnsupportedArchitectureError,
+    check_listing,
+)
+from repro.gpu.sass import SassInstr, SassListing
+from repro.kernels import CublasCudaFp32, EgemmTcKernel, SdkCudaFp32
+from repro.model.roofline import analyze_kernels, ridge_intensity
+from repro.tensorcore.fragment import FragmentRole
+from repro.tensorcore.layout import collect, distribute, elements_per_thread, ownership
+from repro.tensorize.codegen import generate_iteration_sass
+
+
+class TestFragmentLayout:
+    @pytest.mark.parametrize("role", list(FragmentRole))
+    def test_ownership_is_a_partition(self, role):
+        """Every element owned by exactly one thread; all 32 threads own
+        the same number of elements — the property behind collaborative
+        fragment loads (§2.1)."""
+        owner = ownership(role)
+        counts = np.bincount(owner.ravel(), minlength=32)
+        assert np.all(counts == elements_per_thread(role))
+        assert owner.size == 32 * elements_per_thread(role)
+
+    @pytest.mark.parametrize("role", list(FragmentRole))
+    def test_distribute_collect_round_trip(self, role, rng):
+        shape = {FragmentRole.MATRIX_B: (8, 8)}.get(role, (16, 8))
+        tile = rng.uniform(-1, 1, shape).astype(np.float32)
+        assert np.array_equal(collect(distribute(tile, role), role), tile)
+
+    def test_a_and_c_share_row_ownership(self):
+        """m16n8k8: the A and C maps coincide, so the accumulator reuse
+        of the FRAG caching never crosses threads."""
+        assert np.array_equal(
+            ownership(FragmentRole.MATRIX_A), ownership(FragmentRole.ACCUMULATOR)
+        )
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            distribute(np.zeros((8, 8)), FragmentRole.MATRIX_A)
+        with pytest.raises(ValueError):
+            collect(np.zeros((16, 4)), FragmentRole.MATRIX_B)
+
+
+class TestArchitectureGating:
+    def test_turing_accepts_egemm_sass(self):
+        check_listing(generate_iteration_sass(), TURING)
+
+    def test_ampere_accepts_it_too(self):
+        check_listing(generate_iteration_sass(), AMPERE)
+
+    def test_volta_rejects_hmma_1688(self):
+        """The artifact's 'Segmentation fault (core dumped)' on V100,
+        surfaced as a diagnosis."""
+        with pytest.raises(UnsupportedArchitectureError, match="Turing architecture is required"):
+            check_listing(generate_iteration_sass(), VOLTA)
+
+    def test_pascal_has_no_tensor_cores(self):
+        with pytest.raises(UnsupportedArchitectureError, match="no\\s+Tensor Cores"):
+            check_listing(generate_iteration_sass(), PASCAL)
+
+    def test_volta_accepts_its_own_shape(self):
+        listing = SassListing(name="v")
+        listing.emit(SassInstr(opcode="HMMA.884.F32"))
+        check_listing(listing, VOLTA)
+
+    def test_non_hmma_always_fine(self):
+        listing = SassListing(name="mem")
+        listing.emit(SassInstr(opcode="LDG.E.128"))
+        check_listing(listing, PASCAL)
+
+
+class TestRoofline:
+    def test_ridge_scales_with_peak(self):
+        from repro.gpu.spec import TESLA_T4
+
+        assert ridge_intensity(TESLA_T4, 64.0) == pytest.approx(200.0)
+        assert ridge_intensity(TESLA_T4, 8.0) == pytest.approx(25.0)
+
+    def test_kernel_classification(self):
+        points = {
+            p.kernel: p
+            for p in analyze_kernels([EgemmTcKernel(), SdkCudaFp32(), CublasCudaFp32()])
+        }
+        assert points["SDK-CUDA-FP32"].bound == "memory-bound"
+        assert points["EGEMM-TC"].bound == "compute-bound"
+        # cuBLAS fp32 sits below its roof (fitted efficiency < 1)
+        assert points["cuBLAS-CUDA-FP32"].roof_fraction < 0.7
+
+    def test_intensity_above_ridge_for_egemm(self):
+        """§6.1's design goal: the chosen tiling clears the ridge."""
+        (p,) = analyze_kernels([EgemmTcKernel()])
+        assert p.intensity_flop_per_byte > p.ridge
+
+    def test_achieved_below_roof(self):
+        for p in analyze_kernels([EgemmTcKernel(), SdkCudaFp32()]):
+            assert p.achieved_tflops <= p.roof_tflops * 1.05
+
+
+class TestDatasets:
+    def test_gaussian_blobs(self, rng):
+        x, labels, centroids = gaussian_blobs(rng, clusters=3, per_cluster=20, dim=5)
+        assert x.shape == (60, 5) and x.dtype == np.float32
+        assert centroids.shape == (3, 5)
+        assert np.bincount(labels).tolist() == [20, 20, 20]
+
+    def test_gaussian_blobs_validation(self, rng):
+        with pytest.raises(ValueError):
+            gaussian_blobs(rng, clusters=0)
+
+    def test_descriptor_set_twins(self, rng):
+        ref, q, truth = descriptor_set(rng, n_base=50, n_query=10, dim=32)
+        assert ref.shape == (100, 32)
+        assert np.allclose(np.linalg.norm(ref, axis=1), 1.0, atol=1e-5)
+        # twins interleave: odd rows sit ~1e-3 from their even partner
+        gaps = np.linalg.norm(ref[0::2] - ref[1::2], axis=1)
+        assert np.all(gaps < 1e-3 * np.sqrt(32) * 3)  # ~noise * sqrt(dim)
+        assert np.all(truth % 2 == 0)
+
+    def test_spd_matrix_spectrum(self, rng):
+        a, spectrum = spd_matrix(rng, n=16)
+        vals = np.sort(np.linalg.eigvalsh(a.astype(np.float64)))[::-1]
+        assert np.allclose(vals, spectrum, rtol=1e-3)
+        assert np.allclose(a, a.T, atol=1e-5)
+
+    def test_spd_matrix_validation(self, rng):
+        with pytest.raises(ValueError):
+            spd_matrix(rng, n=8, spectrum=np.ones(4))
+
+    def test_expression_profiles(self, rng):
+        x, labels = expression_profiles(rng, clusters=4, per_cluster=10, genes=12)
+        assert x.shape == (40, 12)
+        assert np.all(x > 0)  # exp-transformed
+        assert len(np.unique(labels)) == 4

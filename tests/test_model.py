@@ -1,0 +1,109 @@
+"""Tests for the hardware-aware analytic model (§6) and its solver."""
+
+import pytest
+
+from repro.gpu.spec import RTX6000, TESLA_T4
+from repro.model import resources as R
+from repro.model.solver import DesignSpace, solve, table4_rows
+from repro.tensorize.tiling import T4_TILING
+
+
+class TestEquations:
+    def test_eq2(self):
+        assert R.global_bytes_per_iteration(128, 128, 32) == 4 * 256 * 32
+
+    def test_eq3(self):
+        assert R.flops_per_iteration(128, 128, 32) == 8 * 128 * 128 * 32
+
+    def test_eq4(self):
+        assert R.compute_intensity(128, 128) == pytest.approx(128.0)
+        # Square blocks maximize intensity for a fixed perimeter.
+        assert R.compute_intensity(128, 128) > R.compute_intensity(256, 64)
+
+    def test_eq4_matches_tiling_property(self):
+        assert R.compute_intensity(T4_TILING.bm, T4_TILING.bn) == T4_TILING.compute_intensity
+
+    def test_eq5_structure(self):
+        times = R.times_from_spec(TESLA_T4)
+        t = R.t_comp(128, 128, 32, times)
+        # flops / (2*16*8*8*4) HMMA groups, each t_hmma cycles
+        assert t == pytest.approx(8 * 128 * 128 * 32 / 8192 * times.t_hmma)
+
+    def test_eq6_eq7_positive_and_bk_linear(self):
+        times = R.times_from_spec(TESLA_T4)
+        m1 = R.t_mem1(128, 128, 32, times)
+        m2 = R.t_mem2(128, 128, 32, 64, 32, 8, times)
+        assert m1 > 0 and m2 > 0
+        assert R.t_mem1(128, 128, 64, times) == pytest.approx(2 * m1)
+
+    def test_compute_bound_at_design_point(self):
+        """Eq. 8 c3 holds at the paper's choice: T_Mem1 + T_Mem2 <= T_Comp."""
+        times = R.times_from_spec(TESLA_T4)
+        tm = R.t_mem1(128, 128, 32, times) + R.t_mem2(128, 128, 32, 64, 32, 8, times)
+        assert tm <= R.t_comp(128, 128, 32, times)
+
+    def test_register_and_shmem_footprints(self):
+        assert R.register_bytes(128, 128, 32) == 4 * 128 * 128 + 4 * 256 * 32
+        assert R.shmem_bytes(128, 128, 32, pad=8) == 2 * 256 * 40 * 2
+
+
+class TestSolver:
+    def test_reproduces_table4_on_t4(self):
+        """The headline §6 result: the solver lands on the paper's point."""
+        result = solve(TESLA_T4)
+        cfg = result.best
+        assert (cfg.bm, cfg.bn, cfg.bk) == (128, 128, 32)
+        assert (cfg.wm, cfg.wn, cfg.wk) == (64, 32, 8)
+        assert cfg.shared_mem_bytes == 36 * 1024
+        assert cfg.warps_per_block == 8
+        assert result.blocks_per_sm(TESLA_T4) == 1
+
+    def test_table4_rows_format(self):
+        rows = {r["item"]: r["value"] for r in table4_rows(TESLA_T4)}
+        assert rows["(bm, bn, bk)"] == "(128, 128, 32)"
+        assert rows["(wm, wn, wk)"] == "(64, 32, 8)"
+        assert rows["Shared memory/block"] == "36 KB"
+        assert rows["Active Blocks/SM"] == "1"
+        assert rows["Active Warps / Block"] == "8"
+
+    def test_solver_on_rtx6000_feasible(self):
+        """Same per-SM budgets on TU102 -> same block design is feasible."""
+        result = solve(RTX6000)
+        assert result.feasible_count > 0
+        assert result.objective >= 128.0
+
+    def test_objective_is_best_among_feasible(self):
+        result = solve(TESLA_T4, keep_candidates=True)
+        feasible = [c for c in result.candidates if c.feasible]
+        assert result.objective == pytest.approx(max(c.objective for c in feasible))
+
+    def test_infeasible_space_raises(self):
+        tiny = TESLA_T4.with_overrides(shared_mem_per_sm=1024, register_file_per_sm=4096)
+        with pytest.raises(RuntimeError, match="no feasible tiling"):
+            solve(tiny)
+
+    def test_constraint_attribution(self):
+        result = solve(TESLA_T4, keep_candidates=True)
+        violated = [c for c in result.candidates if not c.feasible]
+        assert violated
+        reasons = {v for c in violated for v in c.violated}
+        assert any("register" in r for r in reasons)
+        assert any("shared-memory" in r or "memory-bound" in r for r in reasons)
+
+    def test_custom_design_space(self):
+        space = DesignSpace(bm=(64,), bn=(64,), bk=(16,), wm=(32,), wn=(32,), wk=(8,))
+        result = solve(TESLA_T4, space=space)
+        assert (result.best.bm, result.best.bn) == (64, 64)
+        assert result.evaluated == 1
+
+    def test_design_space_respects_max_warps(self):
+        space = DesignSpace(max_warps=4)
+        for cfg in space.candidates():
+            assert cfg.warps_per_block <= 4
+
+    def test_bigger_shared_memory_allows_bigger_bk(self):
+        """The shmem constraint binds bk (Eq. 8 c2): doubling the budget
+        admits bk = 64."""
+        big = TESLA_T4.with_overrides(shared_mem_per_sm=128 * 1024)
+        result = solve(big)
+        assert result.best.bk >= 32

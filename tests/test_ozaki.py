@@ -1,0 +1,173 @@
+"""Tests for the Ozaki-scheme int8 emulation (the ozIMMU extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.emulation.gemm import EmulatedGemm, reference_exact
+from repro.fp.error import max_error
+from repro.splits.ozaki import ozaki_gemm, ozaki_slice
+from repro.tensorcore.imma import IMMA_MAX_K, imma
+
+
+class TestImma:
+    def test_exactness(self, rng):
+        a = rng.integers(-127, 128, (8, 16)).astype(np.int8)
+        b = rng.integers(-127, 128, (16, 8)).astype(np.int8)
+        assert np.array_equal(imma(a, b), a.astype(np.int64) @ b.astype(np.int64))
+
+    def test_accumulator(self, rng):
+        a = rng.integers(-10, 10, (4, 4)).astype(np.int8)
+        b = rng.integers(-10, 10, (4, 4)).astype(np.int8)
+        c = rng.integers(-100, 100, (4, 4)).astype(np.int32)
+        assert np.array_equal(imma(a, b, c) - imma(a, b), c)
+
+    def test_dtype_enforced(self, rng):
+        with pytest.raises(TypeError):
+            imma(np.zeros((4, 4), np.int16), np.zeros((4, 4), np.int8))
+        with pytest.raises(TypeError):
+            imma(
+                np.zeros((4, 4), np.int8),
+                np.zeros((4, 4), np.int8),
+                np.zeros((4, 4), np.int64),
+            )
+
+    def test_k_range_guard(self):
+        assert IMMA_MAX_K == (2**31 - 1) // (127 * 127)
+        with pytest.raises(ValueError, match="exact range"):
+            imma(
+                np.zeros((1, IMMA_MAX_K + 1), np.int8),
+                np.zeros((IMMA_MAX_K + 1, 1), np.int8),
+            )
+
+    def test_overflow_via_accumulator(self):
+        a = np.full((1, 4), 127, np.int8)
+        b = np.full((4, 1), 127, np.int8)
+        c = np.full((1, 1), np.iinfo(np.int32).max - 10, np.int32)
+        with pytest.raises(OverflowError):
+            imma(a, b, c)
+
+
+class TestOzakiSlice:
+    def test_reconstruction_improves_with_slices(self, rng):
+        x = rng.uniform(-1, 1, (32, 32)).astype(np.float64)
+        errs = [
+            np.max(np.abs(ozaki_slice(x, slices=s).reconstruct() - x)) for s in (1, 2, 3, 4)
+        ]
+        assert errs == sorted(errs, reverse=True)
+        assert errs[3] < 1e-7
+
+    def test_digits_never_clip(self, rng):
+        """The 7-bit digit planes stay within [-64, 64] by construction."""
+        x = rng.uniform(-100, 100, (16, 16)).astype(np.float64)
+        sl = ozaki_slice(x, slices=4)
+        assert np.all(np.abs(sl.digits.astype(np.int64)) <= 64)
+
+    def test_per_row_exponents_handle_scale_spread(self, rng):
+        x = rng.uniform(0.5, 1.0, (4, 8)).astype(np.float64)
+        x[0] *= 1e6
+        x[2] *= 1e-6
+        sl = ozaki_slice(x, slices=3)
+        rel = np.abs(sl.reconstruct() - x) / np.abs(x)
+        assert rel.max() < 2.0**-18
+
+    def test_axis0_transposes_exponents(self, rng):
+        x = rng.uniform(-1, 1, (4, 6)).astype(np.float64)
+        sl = ozaki_slice(x, slices=2, axis=0)
+        assert sl.exponents.shape == (6,)  # per column
+        assert sl.digits.shape == (2, 4, 6)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            ozaki_slice(np.zeros((2, 2)), slices=0)
+        with pytest.raises(ValueError):
+            ozaki_slice(np.zeros(4), slices=2)
+        with pytest.raises(ValueError):
+            ozaki_slice(np.zeros((2, 2)), slices=2, axis=2)
+
+    def test_zero_rows(self):
+        x = np.zeros((3, 5))
+        sl = ozaki_slice(x, slices=2)
+        assert np.all(sl.digits == 0)
+        assert np.all(sl.reconstruct() == 0)
+
+
+class TestOzakiGemm:
+    def test_precision_ladder(self, rng):
+        """Each extra slice tightens the result; 4 slices reach the fp32
+        input-exactness floor (the capability the fp16 scheme's subnormal
+        range denies it — see repro.splits.three_term)."""
+        n = 96
+        a = rng.uniform(-1, 1, (n, n)).astype(np.float32)
+        b = rng.uniform(-1, 1, (n, n)).astype(np.float32)
+        exact = reference_exact(a, b)
+        errs = {s: max_error(ozaki_gemm(a, b, slices=s), exact) for s in (2, 3, 4)}
+        assert errs[2] > errs[3] > errs[4]
+        assert errs[4] < 1e-6
+
+    def test_three_slices_in_round_split_class(self, rng):
+        n = 96
+        a = rng.uniform(-1, 1, (n, n)).astype(np.float32)
+        b = rng.uniform(-1, 1, (n, n)).astype(np.float32)
+        exact = reference_exact(a, b)
+        ozaki3 = max_error(ozaki_gemm(a, b, slices=3), exact)
+        egemm = max_error(EmulatedGemm()(a, b), exact)
+        assert ozaki3 < 20 * egemm  # same class
+
+    def test_handles_row_scale_spread(self, rng):
+        """The capability EGEMM-TC lacks: operands far outside fp16 range."""
+        a = rng.uniform(-1, 1, (16, 32)).astype(np.float32)
+        a[0] *= 1e6
+        b = rng.uniform(-1, 1, (32, 16)).astype(np.float32)
+        exact = reference_exact(a, b)
+        err = max_error(ozaki_gemm(a, b, slices=4), exact)
+        assert err / np.abs(exact).max() < 1e-6
+
+    def test_c_accumulation(self, rng):
+        a = rng.uniform(-1, 1, (8, 16)).astype(np.float32)
+        b = rng.uniform(-1, 1, (16, 8)).astype(np.float32)
+        c = rng.uniform(-1, 1, (8, 8)).astype(np.float32)
+        assert max_error(ozaki_gemm(a, b, c, slices=4), reference_exact(a, b, c)) < 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ozaki_gemm(np.zeros((2, 3), np.float32), np.zeros((4, 2), np.float32))
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_random_matrices_bounded_error(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(-1, 1, (8, 12)).astype(np.float32)
+        b = rng.uniform(-1, 1, (12, 8)).astype(np.float32)
+        err = max_error(ozaki_gemm(a, b, slices=3), reference_exact(a, b))
+        assert err < 1e-4
+
+
+class TestOzakiKernel:
+    def test_registry_and_functional(self, rng):
+        from repro.emulation.gemm import reference_exact
+        from repro.kernels import get_kernel
+
+        k = get_kernel("ozaki-int8")
+        a = rng.uniform(-1, 1, (16, 24)).astype(np.float32)
+        b = rng.uniform(-1, 1, (24, 16)).astype(np.float32)
+        assert max_error(k.compute(a, b), reference_exact(a, b)) < 1e-4
+
+    def test_throughput_story_on_turing(self):
+        """At matched (round-split-class) precision, EGEMM-TC's 4 fused
+        fp16 calls beat Ozaki's 9 int8 calls on Turing-class hardware —
+        consistent with ozIMMU only overtaking on later int8-heavy GPUs."""
+        from repro.kernels import EgemmTcKernel, OzakiKernel
+
+        n = 8192
+        egemm = EgemmTcKernel().tflops(n, n, n)
+        ozaki3 = OzakiKernel(slices=3).tflops(n, n, n)
+        ozaki2 = OzakiKernel(slices=2).tflops(n, n, n)
+        assert egemm > ozaki3
+        assert ozaki2 > ozaki3 > OzakiKernel(slices=4).tflops(n, n, n)
+
+    def test_precision_throughput_tradeoff_monotone(self):
+        from repro.kernels import OzakiKernel
+
+        tflops = [OzakiKernel(slices=s).tflops(4096, 4096, 4096) for s in (2, 3, 4)]
+        assert tflops == sorted(tflops, reverse=True)

@@ -1,0 +1,115 @@
+"""Tests for the generalized precision-profiling workflow (Figure 2a/3)."""
+
+import numpy as np
+import pytest
+
+from repro.profiling.generator import UNIT_POSITIVE, UNIT_SIGNED, InputDistribution, TileGenerator
+from repro.profiling.report import format_profiling_report
+from repro.profiling.workflow import (
+    EXTENDED_PRECISION_BITS,
+    PrecisionProfiler,
+    ProfilingResult,
+)
+from repro.tensorcore.mma import InternalPrecision, mma
+
+
+class TestGenerator:
+    def test_deterministic_with_seed(self):
+        g1, g2 = TileGenerator(seed=7), TileGenerator(seed=7)
+        a1, b1, _ = g1.half_inputs()
+        a2, b2, _ = g2.half_inputs()
+        assert np.array_equal(a1, a2) and np.array_equal(b1, b2)
+
+    def test_different_seeds_differ(self):
+        a1, _, _ = TileGenerator(seed=1).half_inputs()
+        a2, _, _ = TileGenerator(seed=2).half_inputs()
+        assert not np.array_equal(a1, a2)
+
+    def test_half_dtype_and_shape(self):
+        gen = TileGenerator(m=16, n=8, k=8)
+        a, b, c = gen.half_inputs(with_c=True)
+        assert a.shape == (16, 8) and a.dtype == np.float16
+        assert b.shape == (8, 8) and b.dtype == np.float16
+        assert c.shape == (16, 8) and c.dtype == np.float32
+
+    def test_c_none_by_default(self):
+        _, _, c = TileGenerator().half_inputs()
+        assert c is None
+
+    def test_distributions(self):
+        rng = np.random.default_rng(0)
+        pos = UNIT_POSITIVE.sample(rng, (1000,))
+        assert pos.min() >= 0 and pos.max() < 1
+        sgn = UNIT_SIGNED.sample(rng, (1000,))
+        assert sgn.min() < 0 < sgn.max()
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            TileGenerator(m=0)
+
+    def test_single_inputs(self):
+        a, b = TileGenerator().single_inputs()
+        assert a.dtype == np.float32 and b.dtype == np.float32
+
+
+class TestProfiler:
+    @pytest.fixture(scope="class")
+    def result(self) -> ProfilingResult:
+        return PrecisionProfiler().run(trials=300, generator=TileGenerator(seed=0))
+
+    def test_float_probe_meets_extended_precision(self, result):
+        """The §3.2 claim: d_FLOAT agrees to >= 21 mantissa bits always."""
+        float_agree = next(a for a in result.agreements if a.probe.name == "d_FLOAT")
+        assert float_agree.min_bits >= EXTENDED_PRECISION_BITS
+        assert float_agree.meets_extended_precision
+
+    def test_half_probe_rejected(self, result):
+        half_agree = next(a for a in result.agreements if a.probe.name == "d_HALF")
+        assert half_agree.min_bits < EXTENDED_PRECISION_BITS
+        assert not half_agree.meets_extended_precision
+        assert half_agree.mean_bits < 15
+
+    def test_verdict_names_extended_precision(self, result):
+        verdict = result.verdict()
+        assert "extended precision" in verdict
+        assert "d_FLOAT" in verdict
+
+    def test_best_probe_is_not_half(self, result):
+        assert result.best_probe().probe.name != "d_HALF"
+
+    def test_samples_kept(self, result):
+        assert len(result.samples) == 3
+
+    def test_report_contains_appendix_lines(self, result):
+        report = format_profiling_report(result)
+        assert "half_result:" in report
+        assert "Tensor Core :" in report
+        assert "d_FLOAT" in report
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            PrecisionProfiler().run(trials=0)
+
+
+class TestWorkflowGenerality:
+    def test_custom_hardware_half_core(self):
+        """Profiling a (hypothetical) half-internal core picks d_HALF —
+        the workflow discriminates, it does not assume."""
+        half_hw = lambda a, b, c=None: mma(a, b, c, precision=InternalPrecision.HALF)
+        result = PrecisionProfiler(hardware=half_hw).run(
+            trials=50, generator=TileGenerator(seed=3)
+        )
+        best = result.best_probe()
+        assert best.probe.name == "d_HALF"
+        assert best.min_bits == 24  # bitwise identical to itself
+        # And the verdict warns that extended precision is unavailable...
+        # unless d_HALF itself matches (it does, bitwise) — the workflow
+        # reports *which* primitive matched, which is what matters.
+        assert "d_HALF" in result.verdict() or "Dekker" in result.verdict()
+
+    def test_with_c_accumulator(self):
+        result = PrecisionProfiler().run(
+            trials=30, generator=TileGenerator(seed=5), with_c=True
+        )
+        float_agree = next(a for a in result.agreements if a.probe.name == "d_FLOAT")
+        assert float_agree.min_bits >= 20  # C adds one more rounding site

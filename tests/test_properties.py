@@ -1,0 +1,180 @@
+"""Property-based tests on the library's core invariants (hypothesis).
+
+These complement the per-module unit tests with randomized invariants
+that must hold across the whole input space:
+
+* split algebra (reconstruction bounds, ordering, exactness conditions),
+* emulated GEMM algebra (linearity-in-C, scaling, transpose symmetry up
+  to accumulation order, error bounds),
+* the agreement metric's metric-like properties,
+* scheduler monotonicity (more work never takes less time),
+* analytic-model monotonicity (bigger tiles never lower the objective).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.emulation.gemm import EmulatedGemm, reference_exact
+from repro.emulation.schemes import EGEMM
+from repro.fp.bits import mantissa_bits_agreement, ulp_distance
+from repro.fp.error import max_error
+from repro.gpu.isa import InstructionStream, Opcode
+from repro.gpu.scheduler import schedule
+from repro.gpu.spec import TESLA_T4
+from repro.model.resources import compute_intensity
+from repro.splits.round import RoundSplit
+from repro.splits.truncate import TruncateSplit
+
+# strategies -----------------------------------------------------------------
+
+unit_floats = st.floats(min_value=-1.0, max_value=1.0, allow_nan=False).filter(
+    lambda v: v == 0 or abs(v) > 1e-6
+)
+seeds = st.integers(0, 2**31 - 1)
+dims = st.integers(1, 24)
+
+
+def _matrix(seed: int, m: int, k: int) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(-1, 1, (m, k)).astype(np.float32)
+
+
+class TestSplitProperties:
+    @given(st.lists(unit_floats, min_size=1, max_size=64))
+    @settings(max_examples=100)
+    def test_round_split_reconstruction_bound(self, values):
+        x = np.array(values, dtype=np.float32)
+        err = RoundSplit().max_reconstruction_error(x)
+        # residual <= 0.5 ulp16 of the residual's own scale: for |x| <= 1
+        # that is at most 2^-21 absolute.
+        assert err <= 2.0**-21
+
+    @given(st.lists(unit_floats, min_size=1, max_size=64))
+    @settings(max_examples=100)
+    def test_splits_exact_on_fp16_grid(self, values):
+        """Any fp16-representable input splits with zero residual."""
+        x = np.array(values, dtype=np.float32).astype(np.float16).astype(np.float32)
+        assert RoundSplit().max_reconstruction_error(x) == 0.0
+        assert TruncateSplit().max_reconstruction_error(x) == 0.0
+
+    @given(unit_floats)
+    @settings(max_examples=200)
+    def test_split_negation_symmetry(self, value):
+        """round-split(-x) == -round-split(x) (RN-even is symmetric)."""
+        x = np.array([value], dtype=np.float32)
+        p = RoundSplit().split(x)
+        n = RoundSplit().split(-x)
+        assert np.array_equal(n.hi, -p.hi)
+        assert np.array_equal(n.lo, -p.lo)
+
+
+class TestGemmProperties:
+    @given(seeds, dims, dims, dims)
+    @settings(max_examples=25, deadline=None)
+    def test_c_linearity(self, seed, m, n, k):
+        """egemm(a, b, c) - egemm(a, b, 0) ~= c (C passes through fp32)."""
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(-1, 1, (m, k)).astype(np.float32)
+        b = rng.uniform(-1, 1, (k, n)).astype(np.float32)
+        c = rng.uniform(-1, 1, (m, n)).astype(np.float32)
+        g = EmulatedGemm(scheme=EGEMM)
+        delta = g(a, b, c) - g(a, b)
+        assert np.max(np.abs(delta - c)) <= 1e-4
+
+    @given(seeds, dims, dims)
+    @settings(max_examples=25, deadline=None)
+    def test_zero_operand(self, seed, m, k):
+        a = _matrix(seed, m, k)
+        z = np.zeros((k, 3), dtype=np.float32)
+        assert np.all(EmulatedGemm()(a, z) == 0)
+
+    @given(seeds, st.integers(1, 12), st.integers(1, 12), st.integers(1, 24))
+    @settings(max_examples=25, deadline=None)
+    def test_power_of_two_scaling(self, seed, m, n, k):
+        """Scaling A by 4 scales D by ~4.
+
+        Power-of-two scaling commutes with every *normal-range* rounding
+        step; it does NOT commute exactly when a low split term lands in
+        fp16's subnormal range (absolute 2^-24 quantum), so the property
+        is approximate with a subnormal-sized tolerance — a faithful
+        artifact of real fp16 hardware, not a bug.
+        """
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(-1, 1, (m, k)).astype(np.float32)
+        b = rng.uniform(-1, 1, (k, n)).astype(np.float32)
+        g = EmulatedGemm()
+        lhs = g(4.0 * a, b)
+        rhs = 4.0 * g(a, b)
+        assert np.max(np.abs(lhs - rhs)) <= 4 * max(k, 4) * 2.0**-23
+
+    @given(seeds, st.integers(1, 10), st.integers(1, 10), st.integers(1, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_error_bound_vs_exact(self, seed, m, n, k):
+        """|D - exact| <= k * 2^-20 for unit inputs — the extended-
+        precision guarantee with generous slack for accumulation."""
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(-1, 1, (m, k)).astype(np.float32)
+        b = rng.uniform(-1, 1, (k, n)).astype(np.float32)
+        d = EmulatedGemm()(a, b)
+        assert max_error(d, reference_exact(a, b)) <= max(k, 4) * 2.0**-20
+
+
+class TestAgreementMetric:
+    @given(unit_floats, unit_floats)
+    @settings(max_examples=200)
+    def test_symmetry(self, a, b):
+        x, y = np.float32(a), np.float32(b)
+        assert int(mantissa_bits_agreement(x, y)) == int(mantissa_bits_agreement(y, x))
+
+    @given(unit_floats)
+    @settings(max_examples=100)
+    def test_identity(self, a):
+        x = np.float32(a)
+        assert int(mantissa_bits_agreement(x, x)) == 24
+        assert int(ulp_distance(x, x)) == 0
+
+    @given(unit_floats, unit_floats, unit_floats)
+    @settings(max_examples=150)
+    def test_ulp_triangle_inequality(self, a, b, c):
+        x, y, z = np.float32(a), np.float32(b), np.float32(c)
+        assert int(ulp_distance(x, z)) <= int(ulp_distance(x, y)) + int(ulp_distance(y, z))
+
+
+class TestSchedulerMonotonicity:
+    @given(st.integers(1, 200), st.integers(0, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_more_instructions_never_faster(self, base, extra):
+        def total(n):
+            s = InstructionStream()
+            g = s.emit(Opcode.LDS, n)
+            s.emit(Opcode.HMMA, n, depends_on=(g,))
+            return schedule(s, TESLA_T4).total_cycles
+
+        assert total(base + extra) >= total(base)
+
+    @given(st.integers(1, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_dependency_never_faster_than_parallel(self, n):
+        dep = InstructionStream()
+        g = dep.emit(Opcode.LDG, n)
+        dep.emit(Opcode.HMMA, n, depends_on=(g,))
+        par = InstructionStream()
+        par.emit(Opcode.LDG, n)
+        par.emit(Opcode.HMMA, n)
+        assert schedule(dep, TESLA_T4).total_cycles >= schedule(par, TESLA_T4).total_cycles
+
+
+class TestModelProperties:
+    @given(st.integers(16, 512), st.integers(16, 512), st.integers(1, 4))
+    @settings(max_examples=100)
+    def test_intensity_monotone_in_block_size(self, bm, bn, factor):
+        """Growing a block dimension never lowers Eq. 4's objective."""
+        assert compute_intensity(bm * factor, bn) >= compute_intensity(bm, bn)
+
+    @given(st.integers(16, 512))
+    @settings(max_examples=50)
+    def test_square_blocks_maximize_intensity(self, s):
+        """For a fixed area, the square block maximizes Eq. 4."""
+        area = s * s
+        for skew in (2, 4, 8):
+            if s % skew == 0:
+                assert compute_intensity(s, s) >= compute_intensity(s * skew, s // skew)

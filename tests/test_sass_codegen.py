@@ -1,0 +1,170 @@
+"""Tests for the SASS layer (repro.gpu.sass) and the EGEMM code
+generator (repro.tensorize.codegen)."""
+
+import pytest
+
+from repro.gpu.sass import RZ, Reg, SassInstr, SassListing, SassValidationError, validate
+from repro.tensorize.codegen import build_register_map, generate_iteration_sass
+from repro.tensorize.plan import TensorizationPlan
+from repro.tensorize.tiling import T4_TILING
+
+
+class TestReg:
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            Reg(256)
+        with pytest.raises(ValueError):
+            Reg(-1)
+
+    def test_rz(self):
+        assert str(RZ) == "RZ"
+        assert RZ.is_rz
+        assert str(Reg(7)) == "R7"
+
+    def test_span(self):
+        assert [r.index for r in Reg(4).span(4)] == [4, 5, 6, 7]
+
+
+class TestSassInstr:
+    def test_control_word_rendering(self):
+        i = SassInstr(opcode="LDG.E.128", stall=2, wrtdb=0, watdb=0b10)
+        cw = i.control_word
+        assert cw.startswith("[B-1----")
+        assert ":W0:" in cw
+        assert cw.endswith("S02]")
+
+    def test_render_full_line(self):
+        i = SassInstr(
+            opcode="HMMA.1688.F32",
+            dests=Reg(8).span(4),
+            srcs=(Reg(4), Reg(5), Reg(6), *Reg(8).span(4)),
+            operands="R4, R6, R8",
+        )
+        line = i.render()
+        assert line.endswith(";")
+        assert "HMMA.1688.F32" in line
+
+    def test_control_validation(self):
+        with pytest.raises(ValueError):
+            SassInstr(opcode="NOP", stall=16)
+        with pytest.raises(ValueError):
+            SassInstr(opcode="NOP", wrtdb=6)
+        with pytest.raises(ValueError):
+            SassInstr(opcode="NOP", watdb=64)
+
+
+class TestValidate:
+    def test_read_before_write_rejected(self):
+        listing = SassListing(name="bad")
+        listing.emit(SassInstr(opcode="FADD", dests=(Reg(0),), srcs=(Reg(1),)))
+        with pytest.raises(SassValidationError, match="read before write"):
+            validate(listing)
+
+    def test_live_in_exempts_context(self):
+        listing = SassListing(name="ok", live_in=frozenset({1}))
+        listing.emit(SassInstr(opcode="FADD", dests=(Reg(0),), srcs=(Reg(1),)))
+        validate(listing)
+
+    def test_register_budget(self):
+        listing = SassListing(name="fat", live_in=frozenset({250}))
+        listing.emit(SassInstr(opcode="MOV", dests=(Reg(250),)))
+        with pytest.raises(SassValidationError, match="budget"):
+            validate(listing, max_registers=232)
+
+    def test_wait_without_set_rejected(self):
+        listing = SassListing(name="bar")
+        listing.emit(SassInstr(opcode="NOP", watdb=0b1))
+        with pytest.raises(SassValidationError, match="barrier"):
+            validate(listing)
+
+    def test_barrier_set_then_wait_ok(self):
+        listing = SassListing(name="ok", live_in=frozenset({0}))
+        listing.emit(SassInstr(opcode="LDG.E.128", dests=(Reg(4),), srcs=(Reg(0),), wrtdb=0))
+        listing.emit(SassInstr(opcode="STS.128", srcs=(Reg(4),), watdb=0b1))
+        validate(listing)
+
+    def test_rz_always_allowed(self):
+        listing = SassListing(name="rz")
+        listing.emit(SassInstr(opcode="MOV", dests=(Reg(0),), srcs=(RZ,)))
+        validate(listing)
+
+
+class TestRegisterMap:
+    def test_paper_total_232(self):
+        assert build_register_map(T4_TILING).total == 232
+
+    def test_banks_disjoint(self):
+        rm = build_register_map(T4_TILING)
+        banks = [
+            set(range(rm.c_base, rm.c_base + rm.c_count)),
+            set(range(rm.frag_base[0], rm.frag_base[0] + rm.frag_count)),
+            set(range(rm.frag_base[1], rm.frag_base[1] + rm.frag_count)),
+            set(range(rm.stage_base[0], rm.stage_base[0] + rm.stage_count)),
+            set(range(rm.stage_base[1], rm.stage_base[1] + rm.stage_count)),
+            set(range(rm.addr_base, rm.addr_base + rm.addr_count)),
+            set(range(rm.context_base, rm.context_base + rm.context_count)),
+        ]
+        union = set()
+        for bank in banks:
+            assert not (union & bank)
+            union |= bank
+        assert len(union) == rm.total
+
+    def test_under_the_hardware_ceiling(self):
+        rm = build_register_map(T4_TILING)
+        assert rm.context_base + rm.context_count <= 256
+
+
+class TestGeneratedSass:
+    @pytest.fixture(scope="class", params=[True, False], ids=["pipelined", "naive"])
+    def listing(self, request):
+        return generate_iteration_sass(latency_hiding=request.param)
+
+    def test_validates(self, listing):
+        validate(listing, max_registers=256)
+
+    def test_instruction_counts_match_plan(self, listing):
+        """The per-warp SASS counts equal the plan's per-block counts
+        divided by the warp count."""
+        plan = TensorizationPlan(8192, 8192, 8192, T4_TILING)
+        warps = T4_TILING.warps_per_block
+        assert listing.count("HMMA") == plan.hmma_per_iteration(4) // warps
+        assert listing.count("LDG") == plan.ldg_per_iteration() // warps
+        assert listing.count("STS") == plan.sts_per_iteration() // warps
+        assert listing.count("BAR") == 1
+
+    def test_registers_within_stage_budget(self, listing):
+        assert listing.max_register() < 232
+
+    def test_render_round_trip_lines(self, listing):
+        text = listing.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("//")
+        assert len(lines) == len(listing) + 1
+        assert all(line.endswith(";") for line in lines[1:])
+
+    def test_pipelined_interleaves_ldg(self):
+        """Figure 6: in the pipelined listing LDGs sit *between* HMMAs;
+        in the naive one they all follow the math."""
+
+        def positions(listing, prefix):
+            return [i for i, ins in enumerate(listing) if ins.opcode.startswith(prefix)]
+
+        pipelined = generate_iteration_sass(latency_hiding=True)
+        naive = generate_iteration_sass(latency_hiding=False)
+        p_ldg, p_hmma = positions(pipelined, "LDG"), positions(pipelined, "HMMA")
+        n_ldg, n_hmma = positions(naive, "LDG"), positions(naive, "HMMA")
+        # pipelined: at least one LDG before the last HMMA
+        assert min(p_ldg) < max(p_hmma)
+        # naive: every LDG after every HMMA
+        assert min(n_ldg) > max(n_hmma)
+
+    def test_sts_waits_on_ldg_barrier(self):
+        listing = generate_iteration_sass(latency_hiding=True)
+        sts = [i for i in listing if i.opcode.startswith("STS")]
+        assert any(i.watdb & 0b1 for i in sts)
+
+    def test_first_hmma_of_step_waits_on_lds(self):
+        listing = generate_iteration_sass(latency_hiding=True)
+        hmma = [i for i in listing if i.opcode.startswith("HMMA")]
+        assert hmma[0].watdb & 0b10

@@ -1,0 +1,139 @@
+"""Tests for the Dekker/Knuth error-free transformations and the
+16-instruction Dekker emulation baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.emulation.gemm import reference_exact, reference_single
+from repro.fp.error import max_error
+from repro.splits.dekker import DekkerSplit, DekkerStats, dekker_dot, dekker_gemm
+from repro.splits.eft import (
+    DEKKER_EMULATED_FMA_OPS,
+    fast_two_sum,
+    two_prod,
+    two_sum,
+    veltkamp_split,
+)
+
+moderate = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestTwoSum:
+    @given(moderate, moderate)
+    @settings(max_examples=300)
+    def test_exactness_in_float64(self, a, b):
+        s, e = two_sum(np.float64(a), np.float64(b))
+        # a + b == s + e exactly (both are f64; the identity is exact).
+        assert float(s) == float(np.float64(a) + np.float64(b))
+        # The error term recovers what the rounded sum lost.
+        import decimal
+
+        exact = decimal.Decimal(float(a)) + decimal.Decimal(float(b))
+        recovered = decimal.Decimal(float(s)) + decimal.Decimal(float(e))
+        assert exact == recovered
+
+    def test_catastrophic_cancellation_recovered(self):
+        a, b = np.float64(1e16), np.float64(1.0)
+        s, e = two_sum(a, b)
+        assert float(s) == 1e16
+        assert float(e) == 1.0
+
+    def test_fp16_working_precision(self):
+        a, b = np.float16(1024.0), np.float16(0.5)
+        s, e = two_sum(a, b, dtype=np.float16)
+        assert s.dtype == np.float16
+        assert float(s) + float(e) == 1024.5
+
+
+class TestFastTwoSum:
+    @given(moderate, moderate)
+    @settings(max_examples=300)
+    def test_exact_when_ordered(self, a, b):
+        hi, lo = (a, b) if abs(a) >= abs(b) else (b, a)
+        s, e = fast_two_sum(np.float64(hi), np.float64(lo))
+        import decimal
+
+        assert decimal.Decimal(float(hi)) + decimal.Decimal(float(lo)) == decimal.Decimal(
+            float(s)
+        ) + decimal.Decimal(float(e))
+
+
+class TestVeltkampSplit:
+    @given(st.floats(min_value=-1e10, max_value=1e10, allow_nan=False))
+    @settings(max_examples=300)
+    def test_exact_decomposition(self, a):
+        hi, lo = veltkamp_split(np.float64(a))
+        assert float(hi) + float(lo) == float(np.float64(a))
+
+    def test_halves_fit_in_half_width(self):
+        hi, lo = veltkamp_split(np.float64(np.pi))
+        # Each part fits 26 significand bits: squaring is exact in f64.
+        assert float(hi) * float(hi) == float(np.float64(float(hi)) * np.float64(float(hi)))
+
+
+class TestTwoProd:
+    @given(
+        # Dekker's exactness precondition excludes products whose error
+        # term would be subnormal; keep magnitudes in the normal range.
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False).filter(
+            lambda v: v == 0 or abs(v) > 1e-100
+        ),
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False).filter(
+            lambda v: v == 0 or abs(v) > 1e-100
+        ),
+    )
+    @settings(max_examples=300)
+    def test_exact_product_in_float64(self, a, b):
+        p, e = two_prod(np.float64(a), np.float64(b))
+        import decimal
+
+        exact = decimal.Decimal(float(a)) * decimal.Decimal(float(b))
+        assert decimal.Decimal(float(p)) + decimal.Decimal(float(e)) == exact
+
+    def test_instruction_count_constant(self):
+        assert DEKKER_EMULATED_FMA_OPS == 16
+
+
+class TestDekkerEmulation:
+    def test_split_reuses_round_split(self, rng):
+        x = rng.uniform(-1, 1, 100).astype(np.float32)
+        pair = DekkerSplit().split(x)
+        assert np.array_equal(pair.hi, x.astype(np.float16))
+
+    def test_dot_beats_plain_half(self, rng):
+        a = rng.uniform(0, 1, (8, 32)).astype(np.float32)
+        b = rng.uniform(0, 1, (8, 32)).astype(np.float32)
+        exact = np.einsum("ij,ij->i", a.astype(np.float64), b.astype(np.float64))
+        dek = dekker_dot(a, b)
+        half = np.einsum(
+            "ij,ij->i", a.astype(np.float16).astype(np.float32), b.astype(np.float16).astype(np.float32)
+        )
+        assert np.max(np.abs(dek - exact)) < np.max(np.abs(half - exact))
+
+    def test_gemm_matches_reference_within_extended_precision(self, rng):
+        a = rng.uniform(-1, 1, (8, 16)).astype(np.float32)
+        b = rng.uniform(-1, 1, (16, 8)).astype(np.float32)
+        d = dekker_gemm(a, b)
+        # Half-combined Dekker reaches ~20 bits; generous tolerance.
+        assert max_error(d, reference_exact(a, b)) < 1e-2
+        assert max_error(d, reference_single(a, b)) < 1e-2
+
+    def test_gemm_adds_c(self, rng):
+        a = rng.uniform(-1, 1, (4, 8)).astype(np.float32)
+        b = rng.uniform(-1, 1, (8, 4)).astype(np.float32)
+        c = rng.uniform(-1, 1, (4, 4)).astype(np.float32)
+        assert max_error(dekker_gemm(a, b, c), reference_exact(a, b, c)) < 1e-2
+
+    def test_stats_count_16x_overhead(self, rng):
+        a = rng.uniform(-1, 1, (4, 8)).astype(np.float32)
+        b = rng.uniform(-1, 1, (8, 4)).astype(np.float32)
+        stats = DekkerStats()
+        dekker_gemm(a, b, stats=stats)
+        assert stats.emulated_fmas == 4 * 4 * 8
+        assert stats.half_instructions == 16 * stats.emulated_fmas
+        assert stats.overhead_factor == 16
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            dekker_gemm(np.zeros((2, 3), np.float32), np.zeros((4, 2), np.float32))

@@ -1,0 +1,91 @@
+"""Tests for FRAG fragments and the per-warp fragment space."""
+
+import numpy as np
+import pytest
+
+from repro.tensorcore.fragment import (
+    Fragment,
+    FragmentOverflowError,
+    FragmentRole,
+    FragmentSpace,
+)
+
+
+class TestFragment:
+    def test_role_dtypes(self):
+        assert Fragment(FragmentRole.MATRIX_A, (16, 16)).dtype == np.float16
+        assert Fragment(FragmentRole.MATRIX_B, (16, 16)).dtype == np.float16
+        assert Fragment(FragmentRole.ACCUMULATOR, (16, 16)).dtype == np.float32
+
+    def test_nbytes(self):
+        assert Fragment(FragmentRole.MATRIX_A, (16, 16)).nbytes == 16 * 16 * 2
+        assert Fragment(FragmentRole.ACCUMULATOR, (16, 16)).nbytes == 16 * 16 * 4
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(ValueError):
+            Fragment(FragmentRole.MATRIX_A, (0, 16))
+
+    def test_fill(self):
+        frag = Fragment(FragmentRole.ACCUMULATOR, (4, 4))
+        frag.fill(2.5)
+        assert np.all(frag.data == 2.5)
+
+    def test_load_copies_and_converts(self, rng):
+        frag = Fragment(FragmentRole.MATRIX_A, (4, 4))
+        src = rng.uniform(0, 1, (4, 4)).astype(np.float32)
+        frag.load(src)
+        assert np.array_equal(frag.data, src.astype(np.float16))
+        src[0, 0] = 99  # fragment owns its storage
+        assert frag.data[0, 0] != np.float16(99)
+
+    def test_load_shape_mismatch(self):
+        frag = Fragment(FragmentRole.MATRIX_A, (4, 4))
+        with pytest.raises(ValueError):
+            frag.load(np.zeros((4, 8)))
+
+    def test_store_returns_copy(self):
+        frag = Fragment(FragmentRole.ACCUMULATOR, (2, 2))
+        frag.fill(1.0)
+        out = frag.store()
+        out[0, 0] = 7.0
+        assert frag.data[0, 0] == 1.0
+
+
+class TestFragmentSpace:
+    def test_allocation_accounting(self):
+        space = FragmentSpace(capacity_bytes=4096)
+        space.allocate(FragmentRole.MATRIX_A, (16, 16))  # 512 B
+        assert space.used_bytes == 512
+
+    def test_overflow_raises(self):
+        space = FragmentSpace(capacity_bytes=512)
+        space.allocate(FragmentRole.MATRIX_A, (16, 16))
+        with pytest.raises(FragmentOverflowError):
+            space.allocate(FragmentRole.MATRIX_A, (16, 16))
+
+    def test_get_caches_by_key(self):
+        space = FragmentSpace(capacity_bytes=65536)
+        f1, cached1 = space.get("A0", FragmentRole.MATRIX_A, (16, 16))
+        f2, cached2 = space.get("A0", FragmentRole.MATRIX_A, (16, 16))
+        assert f1 is f2
+        assert (cached1, cached2) == (False, True)
+        assert (space.hits, space.misses) == (1, 1)
+
+    def test_get_rejects_signature_change(self):
+        space = FragmentSpace(capacity_bytes=65536)
+        space.get("A0", FragmentRole.MATRIX_A, (16, 16))
+        with pytest.raises(ValueError):
+            space.get("A0", FragmentRole.MATRIX_B, (16, 16))
+
+    def test_evict_frees_budget(self):
+        space = FragmentSpace(capacity_bytes=512)
+        space.get("A0", FragmentRole.MATRIX_A, (16, 16))
+        space.evict("A0")
+        assert space.used_bytes == 0
+        space.get("A1", FragmentRole.MATRIX_A, (16, 16))  # fits again
+
+    def test_reset_stats(self):
+        space = FragmentSpace(capacity_bytes=65536)
+        space.get("x", FragmentRole.MATRIX_A, (16, 16))
+        space.reset_stats()
+        assert (space.hits, space.misses) == (0, 0)

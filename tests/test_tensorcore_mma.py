@@ -1,0 +1,129 @@
+"""Tests for the simulated Tensor Core compute primitive."""
+
+import numpy as np
+import pytest
+
+from repro.fp.bits import mantissa_bits_agreement
+from repro.tensorcore.mma import (
+    HMMA_1688,
+    M16N16K16,
+    InternalPrecision,
+    MmaCounter,
+    MmaShape,
+    mma,
+)
+
+
+def _half_tile(rng, m, k):
+    return rng.uniform(0, 1, (m, k)).astype(np.float16)
+
+
+class TestValidation:
+    def test_rejects_fp32_inputs(self, rng):
+        a = rng.uniform(0, 1, (16, 16)).astype(np.float32)
+        b = _half_tile(rng, 16, 16)
+        with pytest.raises(TypeError, match="float16"):
+            mma(a, b)
+
+    def test_rejects_dim_mismatch(self, rng):
+        with pytest.raises(ValueError, match="mismatch"):
+            mma(_half_tile(rng, 16, 8), _half_tile(rng, 16, 16))
+
+    def test_rejects_non_2d(self, rng):
+        with pytest.raises(ValueError):
+            mma(np.zeros(16, dtype=np.float16), _half_tile(rng, 16, 16))
+
+    def test_enforces_primitive_shape(self, rng):
+        a, b = _half_tile(rng, 16, 8), _half_tile(rng, 8, 16)
+        with pytest.raises(ValueError, match="primitive shape"):
+            mma(a, b, shape=M16N16K16)
+
+    def test_accepts_matching_primitive_shape(self, rng):
+        a, b = _half_tile(rng, 16, 8), _half_tile(rng, 8, 8)
+        out = mma(a, b, shape=HMMA_1688)
+        assert out.shape == (16, 8)
+
+    def test_rejects_bad_accumulator_shape(self, rng):
+        a, b = _half_tile(rng, 16, 16), _half_tile(rng, 16, 16)
+        with pytest.raises(ValueError, match="accumulator"):
+            mma(a, b, np.zeros((8, 8), dtype=np.float32))
+
+    def test_rejects_fp64_accumulator(self, rng):
+        a, b = _half_tile(rng, 16, 16), _half_tile(rng, 16, 16)
+        with pytest.raises(TypeError, match="accumulator"):
+            mma(a, b, np.zeros((16, 16), dtype=np.float64))
+
+
+class TestArithmeticModels:
+    def test_default_is_tensor_core_fp32_output(self, rng):
+        out = mma(_half_tile(rng, 16, 16), _half_tile(rng, 16, 16))
+        assert out.dtype == np.float32
+
+    def test_exact_model_returns_float64(self, rng):
+        out = mma(
+            _half_tile(rng, 16, 16),
+            _half_tile(rng, 16, 16),
+            precision=InternalPrecision.EXACT,
+        )
+        assert out.dtype == np.float64
+
+    def test_tensor_core_close_to_exact(self, rng):
+        a, b = _half_tile(rng, 16, 16), _half_tile(rng, 16, 16)
+        tc = mma(a, b, precision=InternalPrecision.TENSOR_CORE)
+        exact = mma(a, b, precision=InternalPrecision.EXACT)
+        # One fp32 rounding only.
+        assert np.max(np.abs(tc - exact)) <= np.max(np.abs(exact)) * 2.0**-23
+
+    def test_half_model_much_worse_than_tc(self, rng):
+        a, b = _half_tile(rng, 16, 16), _half_tile(rng, 16, 16)
+        exact = mma(a, b, precision=InternalPrecision.EXACT)
+        tc_err = np.max(np.abs(mma(a, b) - exact))
+        half_err = np.max(np.abs(mma(a, b, precision=InternalPrecision.HALF) - exact))
+        assert half_err > 100 * max(tc_err, 1e-12)
+
+    def test_float_model_agrees_with_tc_to_21_bits(self, rng):
+        """The §3.2 profiling claim at the primitive level."""
+        a, b = _half_tile(rng, 16, 16), _half_tile(rng, 16, 16)
+        tc = mma(a, b, precision=InternalPrecision.TENSOR_CORE)
+        fl = mma(a, b, precision=InternalPrecision.FLOAT)
+        assert int(mantissa_bits_agreement(tc, fl).min()) >= 21
+
+    def test_accumulates_into_c(self, rng):
+        a, b = _half_tile(rng, 16, 16), _half_tile(rng, 16, 16)
+        c = rng.uniform(0, 1, (16, 16)).astype(np.float32)
+        with_c = mma(a, b, c)
+        without_c = mma(a, b)
+        assert np.allclose(with_c - without_c, c, atol=1e-5)
+
+    def test_half_precision_c_accepted(self, rng):
+        a, b = _half_tile(rng, 16, 16), _half_tile(rng, 16, 16)
+        c = rng.uniform(0, 1, (16, 16)).astype(np.float16)
+        out = mma(a, b, c)
+        assert out.dtype == np.float32
+
+    def test_zero_c_default(self, rng):
+        a, b = _half_tile(rng, 16, 16), _half_tile(rng, 16, 16)
+        assert np.array_equal(mma(a, b), mma(a, b, np.zeros((16, 16), dtype=np.float32)))
+
+    def test_deterministic(self, rng):
+        a, b = _half_tile(rng, 16, 16), _half_tile(rng, 16, 16)
+        assert np.array_equal(mma(a, b), mma(a, b))
+
+
+class TestShapesAndCounter:
+    def test_mma_shape_flops(self):
+        assert M16N16K16.flops == 2 * 16 * 16 * 16
+        assert HMMA_1688.flops == 2 * 16 * 8 * 8
+
+    def test_counter_records(self, rng):
+        counter = MmaCounter()
+        a, b = _half_tile(rng, 16, 16), _half_tile(rng, 16, 16)
+        mma(a, b, counter=counter)
+        mma(a, b, counter=counter)
+        assert counter.calls == 2
+        assert counter.flops == 2 * M16N16K16.flops
+
+    def test_custom_shape(self):
+        s = MmaShape(32, 8, 16)
+        assert s.flops == 2 * 32 * 8 * 16
+        assert "m32n8k16" in str(s)

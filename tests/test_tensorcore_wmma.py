@@ -1,0 +1,99 @@
+"""Tests for the warp-level WMMA-style API and probing primitives."""
+
+import numpy as np
+import pytest
+
+from repro.tensorcore.fragment import FragmentRole
+from repro.tensorcore.mma import M16N16K16, InternalPrecision, mma
+from repro.tensorcore.probing import ALL_PROBES, ProbeSample, probe_sample
+from repro.tensorcore.wmma import (
+    WmmaContext,
+    fill_fragment,
+    load_matrix_sync,
+    mma_sync,
+    store_matrix_sync,
+)
+
+
+def _tile(rng, shape, dtype=np.float32):
+    return rng.uniform(0, 1, shape).astype(dtype)
+
+
+class TestWmmaApi:
+    def test_full_cycle_matches_direct_mma(self, rng):
+        ctx = WmmaContext()
+        a32, b32 = _tile(rng, (16, 16)), _tile(rng, (16, 16))
+        c32 = _tile(rng, (16, 16))
+
+        frag_a = ctx.fragment(FragmentRole.MATRIX_A)
+        frag_b = ctx.fragment(FragmentRole.MATRIX_B)
+        frag_c = ctx.fragment(FragmentRole.ACCUMULATOR)
+        load_matrix_sync(ctx, frag_a, a32.astype(np.float16))
+        load_matrix_sync(ctx, frag_b, b32.astype(np.float16))
+        load_matrix_sync(ctx, frag_c, c32)
+        mma_sync(ctx, frag_c, frag_a, frag_b, frag_c)
+        out = store_matrix_sync(ctx, frag_c)
+
+        direct = mma(a32.astype(np.float16), b32.astype(np.float16), c32)
+        assert np.array_equal(out, direct)
+
+    def test_counters(self, rng):
+        ctx = WmmaContext()
+        frag_a = ctx.fragment(FragmentRole.MATRIX_A)
+        frag_b = ctx.fragment(FragmentRole.MATRIX_B)
+        frag_c = ctx.fragment(FragmentRole.ACCUMULATOR)
+        load_matrix_sync(ctx, frag_a, _tile(rng, (16, 16), np.float16))
+        load_matrix_sync(ctx, frag_b, _tile(rng, (16, 16), np.float16))
+        fill_fragment(frag_c, 0.0)
+        mma_sync(ctx, frag_c, frag_a, frag_b, frag_c)
+        assert ctx.counter.calls == 1
+        assert ctx.counter.flops == M16N16K16.flops
+        assert ctx.load_bytes == 2 * 16 * 16 * 2
+        store_matrix_sync(ctx, frag_c)
+        assert ctx.store_bytes == 16 * 16 * 4
+
+    def test_role_enforcement(self, rng):
+        ctx = WmmaContext()
+        frag_a = ctx.fragment(FragmentRole.MATRIX_A)
+        frag_c = ctx.fragment(FragmentRole.ACCUMULATOR)
+        with pytest.raises(TypeError):
+            mma_sync(ctx, frag_c, frag_c, frag_a, frag_c)  # wrong roles
+
+    def test_context_precision_respected(self, rng):
+        a16 = _tile(rng, (16, 16), np.float16)
+        b16 = _tile(rng, (16, 16), np.float16)
+        for prec in (InternalPrecision.HALF, InternalPrecision.FLOAT):
+            ctx = WmmaContext(precision=prec)
+            fa = ctx.fragment(FragmentRole.MATRIX_A)
+            fb = ctx.fragment(FragmentRole.MATRIX_B)
+            fc = ctx.fragment(FragmentRole.ACCUMULATOR)
+            load_matrix_sync(ctx, fa, a16)
+            load_matrix_sync(ctx, fb, b16)
+            fill_fragment(fc, 0.0)
+            mma_sync(ctx, fc, fa, fb, fc)
+            direct = mma(a16, b16, precision=prec)
+            assert np.array_equal(fc.data, direct.astype(np.float32))
+
+
+class TestProbes:
+    def test_three_probes_registered(self):
+        assert [p.name for p in ALL_PROBES] == ["d_HALF", "d_FLOAT", "d_EXACT"]
+
+    def test_probe_sample_format(self, rng):
+        a = _tile(rng, (16, 16), np.float16)
+        b = _tile(rng, (16, 16), np.float16)
+        sample = probe_sample(a, b)
+        assert isinstance(sample, ProbeSample)
+        lines = sample.lines()
+        assert lines[0].startswith("half_result:")
+        assert lines[1].startswith("single_result:")
+        assert lines[2].startswith("Tensor Core :")
+        assert all("0x" in line for line in lines)
+
+    def test_sample_values_ordering(self, rng):
+        """half result deviates far more from exact than the TC result."""
+        a = _tile(rng, (16, 16), np.float16)
+        b = _tile(rng, (16, 16), np.float16)
+        sample = probe_sample(a, b)
+        exact = float(mma(a, b, precision=InternalPrecision.EXACT)[0, 0])
+        assert abs(sample.tensor_core_result - exact) < abs(sample.half_result - exact)

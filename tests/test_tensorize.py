@@ -1,0 +1,218 @@
+"""Tests for the tensorization layer (§4): tiling, plans, FRAG caching,
+the instruction-stream builder, and the functional kernel."""
+
+import numpy as np
+import pytest
+
+from repro.emulation.gemm import reference_exact
+from repro.emulation.schemes import HALF
+from repro.fp.error import max_error
+from repro.gpu.isa import Opcode
+from repro.gpu.scheduler import schedule
+from repro.gpu.spec import TESLA_T4
+from repro.tensorcore.mma import M16N16K16
+from repro.tensorize.frag_cache import FragCachePolicy, check_register_budget, frag_bytes_per_warp
+from repro.tensorize.kernel import build_gemm_stream, run_functional
+from repro.tensorize.plan import TensorizationPlan, table2_rows
+from repro.tensorize.tiling import T4_TILING, TilingConfig
+
+SMALL = TilingConfig(bm=32, bn=32, bk=16, wm=16, wn=16, wk=8)
+
+
+class TestTilingConfig:
+    def test_paper_design_point(self):
+        """Table 4's derived quantities."""
+        cfg = T4_TILING
+        assert cfg.warps_per_block == 8
+        assert cfg.threads_per_block == 256
+        assert cfg.shared_mem_bytes == 36 * 1024
+        assert cfg.compute_intensity == pytest.approx(128.0)  # Eq. 4
+
+    def test_eq2_eq3(self):
+        cfg = T4_TILING
+        assert cfg.ldg_bytes_per_iteration == 4 * (128 + 128) * 32  # Eq. 2
+        assert cfg.flops_per_iteration == 8 * 128 * 128 * 32  # Eq. 3
+
+    def test_intensity_independent_of_bk(self):
+        """The §6.1 observation that justifies shrinking bk."""
+        a = TilingConfig(128, 128, 32, 64, 32, 8)
+        b = TilingConfig(128, 128, 16, 64, 32, 8)
+        assert a.compute_intensity == b.compute_intensity
+
+    def test_grid_geometry(self):
+        assert T4_TILING.grid_blocks(8192, 8192) == 64 * 64
+        assert T4_TILING.grid_dims(1000, 1000) == (8, 8)  # ceil(1000/128)
+        assert T4_TILING.k_iterations(8192) == 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TilingConfig(100, 128, 32, 64, 32, 8)  # bm % wm != 0
+        with pytest.raises(ValueError):
+            TilingConfig(128, 128, 32, 64, 32, 12)  # wk % tc.k != 0
+        with pytest.raises(ValueError):
+            TilingConfig(128, 128, 8, 64, 32, 16)  # wk > bk
+        with pytest.raises(ValueError):
+            TilingConfig(0, 128, 32, 64, 32, 8)
+
+    def test_hmma_normalization_across_shapes(self):
+        """WMMA 16x16x16 counts as 4 HMMA.1688 equivalents."""
+        a = TilingConfig(64, 64, 16, 32, 32, 16, tc=M16N16K16)
+        b = TilingConfig(64, 64, 16, 32, 32, 8)
+        assert a.hmma_per_iteration(4) == b.hmma_per_iteration(4)
+
+
+class TestPlan:
+    def test_table2_at_design_point(self):
+        """Table 2 with the bk/tk reload factor: 8x saving on Alo, 4x on C."""
+        rows = {r.name: r for r in table2_rows(T4_TILING)}
+        assert rows["Alo"].size_bytes == 2 * 64 * 32
+        assert rows["Alo"].saving_factor == pytest.approx(8.0)
+        assert rows["C"].size_bytes == 4 * 64 * 32
+        assert rows["C"].saving_factor == pytest.approx(4.0)
+
+    def test_instruction_counts(self):
+        plan = TensorizationPlan(8192, 8192, 8192, T4_TILING)
+        assert plan.ldg_per_iteration() == 64  # 32 KB / 512 B
+        assert plan.sts_per_iteration() == 64
+        assert plan.hmma_per_iteration(4) == (128 // 16) * (128 // 8) * (32 // 8) * 4
+
+    def test_frag_caching_reduces_lds(self):
+        on = TensorizationPlan(8192, 8192, 8192, T4_TILING, frag_caching=True)
+        off = TensorizationPlan(8192, 8192, 8192, T4_TILING, frag_caching=False)
+        assert off.lds_per_iteration() > 2 * on.lds_per_iteration()
+
+    def test_useful_flops(self):
+        plan = TensorizationPlan(100, 200, 300, SMALL)
+        assert plan.useful_flops == 2 * 100 * 200 * 300
+
+    def test_dram_bytes_reasonable(self):
+        """Per-block unique DRAM traffic sits between the perfectly-shared
+        lower bound and the no-reuse upper bound."""
+        plan = TensorizationPlan(8192, 8192, 8192, T4_TILING)
+        per_block = plan.dram_bytes_per_block(TESLA_T4)
+        no_reuse = plan.k_iterations * T4_TILING.ldg_bytes_per_iteration + plan.c_io_bytes_per_block()
+        assert per_block < no_reuse
+        assert per_block > plan.c_io_bytes_per_block()
+
+    def test_wave_shape_covers_wave(self):
+        plan = TensorizationPlan(8192, 8192, 8192, T4_TILING)
+        rows, cols = plan.wave_shape(TESLA_T4)
+        assert rows * cols >= min(plan.grid_blocks, TESLA_T4.num_sms)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            TensorizationPlan(0, 8, 8, SMALL)
+
+
+class TestFragCache:
+    def test_policy_hit_miss(self):
+        p = FragCachePolicy(enabled=True)
+        assert p.should_load("a")
+        assert not p.should_load("a")
+        assert p.should_load("b")
+        assert p.hit_rate == pytest.approx(1 / 3)
+
+    def test_invalidate_clears(self):
+        p = FragCachePolicy(enabled=True)
+        p.should_load("a")
+        p.invalidate()
+        assert p.should_load("a")
+
+    def test_disabled_always_loads(self):
+        p = FragCachePolicy(enabled=False)
+        assert p.should_load("a") and p.should_load("a")
+        assert p.hit_rate == 0.0
+
+    def test_frag_bytes_per_warp_design_point(self):
+        # C tile (64x32 fp32) + double-buffered split operand fragments.
+        expected = 4 * 64 * 32 + 2 * 2 * (64 + 32) * 8 * 2
+        assert frag_bytes_per_warp(T4_TILING) == expected
+
+    def test_register_budget_check(self):
+        assert check_register_budget(T4_TILING, TESLA_T4)
+        huge = TilingConfig(256, 256, 32, 64, 32, 8)
+        assert not check_register_budget(huge, TESLA_T4)
+
+
+class TestStreamBuilder:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return TensorizationPlan(1024, 1024, 1024, T4_TILING)
+
+    def test_identical_instruction_counts(self, plan):
+        """Figure 6: scheduling changes order, never the instruction mix."""
+        on = build_gemm_stream(plan, latency_hiding=True)
+        off = build_gemm_stream(plan, latency_hiding=False)
+        for op in (Opcode.LDG, Opcode.LDS, Opcode.STS, Opcode.HMMA, Opcode.STG):
+            assert on.count(op) == off.count(op), op
+
+    def test_hiding_is_faster(self, plan):
+        on = schedule(build_gemm_stream(plan, latency_hiding=True), TESLA_T4)
+        off = schedule(build_gemm_stream(plan, latency_hiding=False), TESLA_T4)
+        assert on.total_cycles < off.total_cycles
+        # the paper's Figure 11 factor is ~1.14; accept a sane range
+        assert 1.05 < off.total_cycles / on.total_cycles < 1.6
+
+    def test_hmma_total(self, plan):
+        stream = build_gemm_stream(plan, latency_hiding=True)
+        expected = plan.k_iterations * plan.hmma_per_iteration(4)
+        assert stream.count(Opcode.HMMA) == expected
+
+    def test_lds_cost_factor_scales(self, plan):
+        base = build_gemm_stream(plan).count(Opcode.LDS)
+        conflicted = build_gemm_stream(plan, lds_cost_factor=4.0).count(Opcode.LDS)
+        assert conflicted == pytest.approx(4 * base, rel=0.05)
+
+    def test_single_iteration_edge(self):
+        plan = TensorizationPlan(128, 128, 32, T4_TILING)
+        assert plan.k_iterations == 1
+        stream = build_gemm_stream(plan, latency_hiding=True)
+        assert stream.count(Opcode.LDG) > 0  # prologue only
+        schedule(stream, TESLA_T4)  # must be well-formed
+
+
+class TestFunctionalKernel:
+    def test_matches_exact_within_extended_precision(self, rng):
+        a = rng.uniform(-1, 1, (64, 48)).astype(np.float32)
+        b = rng.uniform(-1, 1, (48, 64)).astype(np.float32)
+        c = rng.uniform(-1, 1, (64, 64)).astype(np.float32)
+        res = run_functional(a, b, c, config=SMALL)
+        assert max_error(res.d, reference_exact(a, b, c)) < 1e-4
+
+    def test_caching_does_not_change_numerics(self, rng):
+        """The central safety property of the FRAG caching optimization."""
+        a = rng.uniform(-1, 1, (64, 32)).astype(np.float32)
+        b = rng.uniform(-1, 1, (32, 64)).astype(np.float32)
+        on = run_functional(a, b, config=SMALL, frag_caching=True)
+        off = run_functional(a, b, config=SMALL, frag_caching=False)
+        assert np.array_equal(on.d, off.d)
+
+    def test_caching_reduces_measured_traffic(self, rng):
+        a = rng.uniform(-1, 1, (64, 64)).astype(np.float32)
+        b = rng.uniform(-1, 1, (64, 64)).astype(np.float32)
+        on = run_functional(a, b, config=SMALL, frag_caching=True)
+        off = run_functional(a, b, config=SMALL, frag_caching=False)
+        assert off.traffic.shared_load > 2 * on.traffic.shared_load
+        assert on.frag_hit_rate > 0.5
+        assert off.frag_hit_rate == 0.0
+
+    def test_padding_for_odd_sizes(self, rng):
+        a = rng.uniform(-1, 1, (50, 30)).astype(np.float32)
+        b = rng.uniform(-1, 1, (30, 45)).astype(np.float32)
+        res = run_functional(a, b, config=SMALL)
+        assert res.d.shape == (50, 45)
+        assert max_error(res.d, reference_exact(a, b)) < 1e-4
+
+    def test_half_scheme_single_term(self, rng):
+        a = rng.uniform(-1, 1, (32, 32)).astype(np.float32)
+        b = rng.uniform(-1, 1, (32, 32)).astype(np.float32)
+        res = run_functional(a, b, config=SMALL, scheme=HALF)
+        # 1 term instead of 4 -> a quarter of the mma calls.
+        res4 = run_functional(a, b, config=SMALL)
+        assert res.mma_calls * 4 == res4.mma_calls
+
+    def test_k_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            run_functional(
+                np.zeros((32, 16), np.float32), np.zeros((32, 32), np.float32), config=SMALL
+            )

@@ -1,0 +1,116 @@
+"""Property-based tests over randomly drawn legal tiling configurations.
+
+The paper's design space is 6-dimensional; the fixed-point tests pin the
+published operating point, while these hypothesis tests assert the
+structural invariants at arbitrary legal points — the properties the
+solver, the planner, the stream builder and the code generator must
+preserve everywhere, not just at Table 4.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.isa import Opcode
+from repro.gpu.sass import validate
+from repro.gpu.scheduler import schedule
+from repro.gpu.spec import TESLA_T4
+from repro.model.resources import compute_intensity
+from repro.tensorize.codegen import build_register_map, generate_iteration_sass
+from repro.tensorize.kernel import build_gemm_stream
+from repro.tensorize.plan import TensorizationPlan
+from repro.tensorize.tiling import TilingConfig
+
+
+@st.composite
+def legal_tilings(draw):
+    """Random tiling configurations satisfying the structural rules."""
+    wm = draw(st.sampled_from([16, 32, 64]))
+    wn = draw(st.sampled_from([8, 16, 32]))
+    wk = draw(st.sampled_from([8, 16]))
+    grid_m = draw(st.integers(1, 2))
+    grid_n = draw(st.integers(1, 4))
+    bk = wk * draw(st.integers(1, 4))
+    return TilingConfig(bm=wm * grid_m, bn=wn * grid_n, bk=bk, wm=wm, wn=wn, wk=wk)
+
+
+class TestTilingInvariants:
+    @given(legal_tilings())
+    @settings(max_examples=60, deadline=None)
+    def test_structural_consistency(self, cfg):
+        gm, gn = cfg.warp_grid
+        assert gm * gn == cfg.warps_per_block
+        assert cfg.threads_per_block == 32 * cfg.warps_per_block
+        assert cfg.shared_mem_bytes > 0
+        assert cfg.compute_intensity == compute_intensity(cfg.bm, cfg.bn)
+
+    @given(legal_tilings(), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_grid_covers_matrix(self, cfg, scale):
+        m = cfg.bm * scale + 1  # deliberately non-divisible
+        n = cfg.bn * scale
+        gm, gn = cfg.grid_dims(m, n)
+        assert gm * cfg.bm >= m
+        assert gn * cfg.bn >= n
+        assert cfg.grid_blocks(m, n) == gm * gn
+
+    @given(legal_tilings())
+    @settings(max_examples=60, deadline=None)
+    def test_eq2_eq3_signs_and_ratio(self, cfg):
+        assert cfg.ldg_bytes_per_iteration == 4 * (cfg.bm + cfg.bn) * cfg.bk
+        assert cfg.flops_per_iteration == 8 * cfg.bm * cfg.bn * cfg.bk
+        # Eq. 4 == Eq. 3 / Eq. 2 (issued FLOPs per global byte).
+        assert cfg.flops_per_iteration / cfg.ldg_bytes_per_iteration == cfg.compute_intensity / 1
+
+
+class TestPlanInvariants:
+    @given(legal_tilings(), st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_counts_positive_and_caching_helps(self, cfg, scale):
+        plan_on = TensorizationPlan(cfg.bm * scale, cfg.bn * scale, cfg.bk * scale, cfg)
+        plan_off = TensorizationPlan(
+            cfg.bm * scale, cfg.bn * scale, cfg.bk * scale, cfg, frag_caching=False
+        )
+        assert plan_on.ldg_per_iteration() > 0
+        assert plan_on.hmma_per_iteration() > 0
+        assert plan_off.lds_per_iteration() >= plan_on.lds_per_iteration()
+
+    @given(legal_tilings())
+    @settings(max_examples=40, deadline=None)
+    def test_dram_bytes_bounded_by_no_reuse(self, cfg):
+        plan = TensorizationPlan(cfg.bm * 4, cfg.bn * 4, cfg.bk * 4, cfg)
+        per_block = plan.dram_bytes_per_block(TESLA_T4)
+        no_reuse = (
+            plan.k_iterations * cfg.ldg_bytes_per_iteration + plan.c_io_bytes_per_block()
+        )
+        assert 0 < per_block <= no_reuse * 1.01
+
+
+class TestStreamInvariants:
+    @given(legal_tilings(), st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_identical_counts_and_hiding_never_slower(self, cfg, iters):
+        plan = TensorizationPlan(cfg.bm, cfg.bn, cfg.bk * iters, cfg)
+        on = build_gemm_stream(plan, latency_hiding=True)
+        off = build_gemm_stream(plan, latency_hiding=False)
+        for op in (Opcode.LDG, Opcode.LDS, Opcode.STS, Opcode.HMMA, Opcode.STG):
+            assert on.count(op) == off.count(op)
+        # "Hiding never slower" needs compute long enough to hide the
+        # prefetch's completion latency under; on degenerate tiny tiles
+        # the pipelined order pays the LDG round trip on the critical
+        # path that the staggered naive order dodges — physically real,
+        # and exactly why the analytic model rejects tiny tiles.
+        hmma_cycles = plan.hmma_per_iteration() * TESLA_T4.hmma_issue_cycles
+        if hmma_cycles >= 2 * TESLA_T4.ldg_latency_cycles:
+            assert schedule(on, TESLA_T4).total_cycles <= schedule(off, TESLA_T4).total_cycles
+
+
+class TestCodegenInvariants:
+    @given(legal_tilings())
+    @settings(max_examples=30, deadline=None)
+    def test_listing_always_validates(self, cfg):
+        regmap = build_register_map(cfg)
+        if regmap.context_base + regmap.context_count > 256:
+            return  # infeasible register demand: the solver rejects these
+        listing = generate_iteration_sass(cfg)
+        validate(listing, max_registers=256)
+        plan = TensorizationPlan(cfg.bm, cfg.bn, cfg.bk, cfg)
+        assert listing.count("HMMA") == plan.hmma_per_iteration(4) // cfg.warps_per_block

@@ -1,0 +1,68 @@
+"""Tests for the self-check entry point and codegen over arbitrary tilings."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.sass import validate
+from repro.kernels.markidis import MARKIDIS_TILING
+from repro.tensorcore.mma import M16N16K16
+from repro.tensorize.codegen import build_register_map, generate_iteration_sass, generate_kernel_sass
+from repro.tensorize.tiling import TilingConfig
+from repro.verify import VerificationError, verify
+
+
+class TestSelfCheck:
+    def test_passes_and_reports(self):
+        summary = verify()
+        assert summary["profiling_min_bits"] >= 21
+        assert summary["speedup_vs_fp32"] > 2.0
+        assert summary["emulation_error"] < summary["half_error"]
+
+    def test_detects_broken_invariant(self, monkeypatch):
+        """Sabotage the split and confirm the check trips."""
+        from repro.splits import round as round_mod
+
+        class BrokenSplit(round_mod.RoundSplit):
+            def max_reconstruction_error(self, x):
+                return 1.0  # nonsense
+
+        monkeypatch.setattr(round_mod, "RoundSplit", BrokenSplit)
+        # verify() imports RoundSplit from repro.splits.round lazily
+        import repro.verify as v
+
+        with pytest.raises(VerificationError, match="round-split"):
+            v.verify()
+
+
+class TestCodegenAcrossTilings:
+    CONFIGS = [
+        TilingConfig(128, 128, 32, 64, 32, 8),  # the paper's point
+        MARKIDIS_TILING,  # 64/64/16 at WMMA shape
+        TilingConfig(64, 64, 16, 32, 32, 8),
+        TilingConfig(64, 32, 16, 32, 16, 8),
+    ]
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=[str(c) for c in CONFIGS])
+    def test_register_map_disjoint_and_bounded(self, config):
+        rm = build_register_map(config)
+        assert rm.total <= 256
+        assert rm.context_base + rm.context_count <= 256
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=[str(c) for c in CONFIGS])
+    @pytest.mark.parametrize("hiding", [True, False])
+    def test_iteration_listing_validates(self, config, hiding):
+        listing = generate_iteration_sass(config, latency_hiding=hiding)
+        validate(listing, max_registers=256)
+        assert listing.count("HMMA") > 0
+        assert listing.count("BAR") == 1
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=[str(c) for c in CONFIGS])
+    def test_full_kernel_validates(self, config):
+        kernel = generate_kernel_sass(config, k=config.bk * 4)
+        validate(kernel, max_registers=256)
+        assert kernel.instrs[-1].opcode == "EXIT"
+
+    def test_hmma_count_scales_with_terms(self):
+        one = generate_iteration_sass(scheme_terms=1).count("HMMA")
+        four = generate_iteration_sass(scheme_terms=4).count("HMMA")
+        assert four == 4 * one
