@@ -58,6 +58,7 @@ from .kernels import (
     get_kernel,
 )
 from .model import solve as autotune
+from .perf import SplitCache, parallel_map
 from .profiling import PrecisionProfiler
 from .splits import RoundSplit, TruncateSplit, round_split, truncate_split
 from .tensorcore import InternalPrecision, mma
@@ -92,6 +93,8 @@ __all__ = [
     "SdkCudaFp32",
     "get_kernel",
     "autotune",
+    "SplitCache",
+    "parallel_map",
     "PrecisionProfiler",
     "RoundSplit",
     "TruncateSplit",

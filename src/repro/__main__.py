@@ -9,6 +9,7 @@ Usage::
     python -m repro appendix             # Appendix precision_test + anchors
     python -m repro ablations            # design-choice ablations (A1-A4)
     python -m repro generality           # TF32-core workflow generality
+    python -m repro bench [--quick]      # hot-path performance benchmarks
 """
 
 from __future__ import annotations
@@ -59,6 +60,11 @@ def main(argv: list[str] | None = None) -> int:
     if args and args[0] in ("-h", "--help"):
         print(__doc__)
         return 0
+    if args and args[0] == "bench":
+        # The only experiment with its own flags (--quick, --out).
+        from .perf.bench import main as bench_main
+
+        return bench_main(args[1:])
     names = args or list(_DEFAULT_ORDER)
     unknown = [n for n in names if n not in _EXPERIMENTS]
     if unknown:

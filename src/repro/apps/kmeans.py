@@ -81,6 +81,13 @@ class KMeans:
         rng = np.random.default_rng(self.seed)
         centroids = self._init_centroids(x, rng)
 
+        # The data matrix is the stationary GEMM operand of every Lloyd
+        # iteration.  A frozen view gives it a stable identity, so a
+        # kernel with a split cache splits it exactly once per fit (the
+        # caller's array is untouched — only this view is read-only).
+        x = x.view()
+        x.flags.writeable = False
+
         prev_inertia = np.inf
         for it in range(1, self.max_iter + 1):
             d = self._distances(x, centroids)

@@ -34,6 +34,7 @@ class KnnSearch:
 
     reference_: np.ndarray | None = None
     _ref_norms: np.ndarray | None = None
+    _reference_t: np.ndarray | None = None
 
     def fit(self, reference: np.ndarray) -> "KnnSearch":
         """Index the (n_ref, dim) reference points."""
@@ -44,6 +45,11 @@ class KnnSearch:
             raise ValueError("need 1 <= k <= n_reference")
         self.reference_ = ref
         self._ref_norms = np.einsum("ij,ij->i", ref, ref, dtype=np.float64).astype(np.float32)
+        # The transposed corpus is the stationary GEMM operand of every
+        # query batch; a persistent frozen view (``.T`` makes a fresh
+        # object per call) lets a split-caching kernel split it once.
+        self._reference_t = ref.T
+        self._reference_t.flags.writeable = False
         return self
 
     def squared_distances(self, queries: np.ndarray) -> np.ndarray:
@@ -51,7 +57,7 @@ class KnnSearch:
         if self.reference_ is None:
             raise RuntimeError("fit() first")
         q = np.asarray(queries, dtype=np.float32)
-        cross = self.kernel.compute(q, self.reference_.T)
+        cross = self.kernel.compute(q, self._reference_t)
         q_norm = np.einsum("ij,ij->i", q, q, dtype=np.float64).astype(np.float32)
         return np.maximum(q_norm[:, None] - 2.0 * cross + self._ref_norms[None, :], 0.0)
 

@@ -42,9 +42,31 @@ class ThreeTermScheme:
     def split(self) -> ThreeTermSplit:
         return ThreeTermSplit()
 
+    @property
+    def split_id(self) -> str:
+        """Cache namespace — keyed on the split algorithm."""
+        return ThreeTermSplit.name
+
+    def split_one(self, x: np.ndarray) -> SplitTriple:
+        """Three-term split of a single operand."""
+        return ThreeTermSplit().split3(np.asarray(x, dtype=np.float32))
+
     def split_operands(self, a: np.ndarray, b: np.ndarray) -> tuple[SplitTriple, SplitTriple]:
-        s = ThreeTermSplit()
-        return s.split3(np.asarray(a, dtype=np.float32)), s.split3(np.asarray(b, dtype=np.float32))
+        return self.split_one(a), self.split_one(b)
+
+    def term_parts(self) -> tuple[tuple[str, str], ...]:
+        """Name form of :meth:`product_terms` (same nine-pair order)."""
+        return (
+            ("lo", "lo"),
+            ("lo", "mid"),
+            ("mid", "lo"),
+            ("mid", "mid"),
+            ("lo", "hi"),
+            ("hi", "lo"),
+            ("mid", "hi"),
+            ("hi", "mid"),
+            ("hi", "hi"),
+        )
 
     def product_terms(
         self, pa: SplitTriple, pb: SplitTriple

@@ -8,6 +8,18 @@ exactly that cadence while staying fully vectorized — each chunk's partial
 product is one NumPy matmul over the whole output matrix, so the only
 Python-level loop is the short k-chunk loop.
 
+Two hot-path optimizations ride on top of that cadence, both bit-neutral:
+
+* **split-plan reuse** — the operands' splits (and their exact float64
+  promotions) are computed once per ``run`` and, with a
+  :class:`~repro.perf.SplitCache` attached, once per *operand lifetime*,
+  mirroring the paper's "split once, reuse across the k-loop" design;
+* **chunk batching** — when the per-chunk output is small (tall-skinny
+  GEMMs, GEMVs), the independent chunk products of one term are computed
+  by a single stacked ``(chunks, m, tk) @ (chunks, tk, n)`` matmul and
+  the rounding cadence is then replayed over the precomputed partials.
+  ``batched`` does the same across batch elements.
+
 ``EmulatedGemm`` is the functional core the public API, the kernels of
 :mod:`repro.kernels`, and the applications of :mod:`repro.apps` all share.
 """
@@ -18,20 +30,28 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..perf.split_cache import SplitCache, SplitPlan
 from ..tensorcore.mma import InternalPrecision, MmaCounter
 from .schemes import EGEMM, EmulationScheme
 
 __all__ = ["GemmStats", "EmulatedGemm", "emulated_gemm", "reference_single", "reference_exact"]
 
+#: float64 scratch budget (bytes) per product term for chunk batching —
+#: large outputs stream chunk-by-chunk, small outputs batch every chunk
+_WIDE_SCRATCH_BYTES = 8 * 1024 * 1024
+
 
 @dataclass
 class GemmStats:
-    """Accounting for one emulated GEMM execution."""
+    """Accounting for one emulated GEMM execution (or batch thereof)."""
 
     m: int = 0
     n: int = 0
     k: int = 0
     scheme: str = ""
+    #: batch elements covered by this record (1 for a plain ``run``)
+    batch: int = 1
+    #: k-chunk visits, summed over batch elements
     k_chunks: int = 0
     partial_products: int = 0
     #: nominal HMMA-primitive invocations (16x16x16 granularity)
@@ -39,8 +59,9 @@ class GemmStats:
 
     @property
     def flops(self) -> int:
-        """Useful FLOPs of the emulated GEMM (2*m*n*k, Eq. 9 numerator)."""
-        return 2 * self.m * self.n * self.k
+        """Useful FLOPs of the emulated GEMM (2*m*n*k per batch element,
+        Eq. 9 numerator)."""
+        return 2 * self.batch * self.m * self.n * self.k
 
     @property
     def emulation_flops(self) -> int:
@@ -64,12 +85,18 @@ class EmulatedGemm:
     precision:
         Internal model of the simulated core; ``TENSOR_CORE`` is the
         hardware, the probing models exist for profiling experiments.
+    split_cache:
+        Optional :class:`~repro.perf.SplitCache`.  When set, operand
+        split plans are looked up by identity/content so a stationary
+        operand across an iterative workload is split exactly once.
+        Results are bit-identical with or without the cache.
     """
 
     scheme: EmulationScheme = field(default_factory=lambda: EGEMM)
     tk: int = 16
     precision: InternalPrecision = InternalPrecision.TENSOR_CORE
     counter: MmaCounter = field(default_factory=MmaCounter)
+    split_cache: SplitCache | None = None
 
     def __post_init__(self) -> None:
         if self.tk <= 0:
@@ -81,6 +108,13 @@ class EmulatedGemm:
         d, _ = self.run(a, b, c)
         return d
 
+    def _plan(self, x32: np.ndarray) -> SplitPlan:
+        """Split plan for one operand, served from the cache when attached."""
+        if self.split_cache is not None:
+            return self.split_cache.get(x32, self.scheme.split_id, self.scheme.split_one)
+        return SplitPlan(self.scheme.split_one(x32))
+
+    # --- batched ----------------------------------------------------------
     def batched(
         self, a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None
     ) -> np.ndarray:
@@ -89,7 +123,23 @@ class EmulatedGemm:
         ``a`` has shape (..., m, k) and ``b`` (..., k, n) with
         broadcast-compatible batch prefixes (mirroring
         ``cublasGemmStridedBatchedEx``); each batch element runs the full
-        emulation.  The k-chunked split work is shared per element.
+        emulation.  See :meth:`run_batched` for the stats-returning form.
+        """
+        d, _ = self.run_batched(a, b, c)
+        return d
+
+    def run_batched(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None
+    ) -> tuple[np.ndarray, GemmStats]:
+        """Compute the batched GEMM and return (D, aggregated stats).
+
+        The whole stacked operand is split once and every k-chunk partial
+        product runs as a single stacked ``(B, m, tk) @ (B, tk, n)``
+        float64 matmul — bit-identical to looping :meth:`run` over the
+        batch elements (the per-chunk-per-term rounding cadence is
+        unchanged; only the Python-level loop over elements is gone).
+        Stats are aggregated across elements with ``mma_calls`` counted
+        once per element.
         """
         a32 = np.asarray(a, dtype=np.float32)
         b32 = np.asarray(b, dtype=np.float32)
@@ -100,16 +150,64 @@ class EmulatedGemm:
         kb, n = b32.shape[-2:]
         if k != kb:
             raise ValueError(f"k-dimension mismatch: {a32.shape} x {b32.shape}")
-        a_b = np.broadcast_to(a32, (*batch, m, k)).reshape(-1, m, k)
-        b_b = np.broadcast_to(b32, (*batch, kb, n)).reshape(-1, kb, n)
-        if c is not None:
+        out_shape = (*batch, m, n)
+        if c is None:
+            d = np.zeros(out_shape, dtype=np.float32)
+        else:
             c32 = np.asarray(c, dtype=np.float32)
-            c_b = np.broadcast_to(c32, (*batch, m, n)).reshape(-1, m, n)
-        out = np.empty((a_b.shape[0], m, n), dtype=np.float32)
-        for i in range(a_b.shape[0]):
-            out[i] = self(a_b[i], b_b[i], c_b[i] if c is not None else None)
-        return out.reshape(*batch, m, n)
+            d = np.array(np.broadcast_to(c32, out_shape), dtype=np.float32)
 
+        nbatch = 1
+        for dim in batch:
+            nbatch *= dim
+        stats = GemmStats(m=m, n=n, k=k, scheme=self.scheme.name, batch=nbatch)
+        if nbatch == 0:
+            return d, stats
+
+        if self.precision is not InternalPrecision.TENSOR_CORE:
+            # Probing models route through the scalar mma primitive; keep
+            # the per-element loop (profiling runs are deliberately small).
+            flat_a = np.broadcast_to(a32, (*batch, m, k)).reshape(-1, m, k)
+            flat_b = np.broadcast_to(b32, (*batch, k, n)).reshape(-1, kb, n)
+            flat_d = d.reshape(-1, m, n)
+            for i in range(nbatch):
+                flat_d[i], elem = self.run(flat_a[i], flat_b[i], flat_d[i])
+                stats.k_chunks += elem.k_chunks
+                stats.partial_products += elem.partial_products
+                stats.mma_calls += elem.mma_calls
+            return d, stats
+
+        # Split the (possibly stacked) operands once — the split is
+        # elementwise, so splitting the stack equals stacking the splits.
+        plan_a = self._plan(a32)
+        plan_b = self._plan(b32)
+        terms64 = [
+            (
+                np.broadcast_to(plan_a.wide(pa), (*batch, m, k)),
+                np.broadcast_to(plan_b.wide(pb), (*batch, k, n)),
+            )
+            for pa, pb in self.scheme.term_parts()
+        ]
+        # Preallocated scratch keeps the cadence loop allocation-free:
+        # the fp32->fp64 promotion of D happens inside the in-place add
+        # and the single fp32 rounding inside ``copyto`` — bit-identical
+        # to ``(d.astype(f64) + wide).astype(f32)``.
+        wide = np.empty((*batch, m, n), dtype=np.float64)
+        for k0 in range(0, k, self.tk):
+            k1 = min(k0 + self.tk, k)
+            stats.k_chunks += nbatch
+            for a64, b64 in terms64:
+                np.matmul(a64[..., :, k0:k1], b64[..., k0:k1, :], out=wide)
+                wide += d
+                np.copyto(d, wide)
+                stats.partial_products += nbatch
+
+        tiles = -(-m // 16) * -(-n // 16) * -(-k // 16)
+        stats.mma_calls = tiles * self.scheme.compute_overhead * nbatch
+        self.counter.add(stats.mma_calls, stats.flops * self.scheme.compute_overhead)
+        return d, stats
+
+    # --- single -----------------------------------------------------------
     def run(
         self, a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None
     ) -> tuple[np.ndarray, GemmStats]:
@@ -131,36 +229,69 @@ class EmulatedGemm:
             d = c.copy()
 
         # Data split runs once over each operand (O(N^2), §3.2) — on CUDA
-        # cores in the real system, vectorized bit-twiddling here.
-        pa, pb = self.scheme.split_operands(a32, b32)
-        terms = self.scheme.product_terms(pa, pb)
+        # cores in the real system, vectorized bit-twiddling here.  The
+        # plan also carries the exact float64 promotion of each part so
+        # the k-chunk loop works on views instead of re-converting.
+        plan_a = self._plan(a32)
+        plan_b = self._plan(b32)
 
         stats = GemmStats(m=m, n=n, k=k, scheme=self.scheme.name)
         if self.precision is InternalPrecision.TENSOR_CORE:
-            d = self._run_tensor_core(d, terms, k, stats)
+            terms64 = [
+                (plan_a.wide(pa), plan_b.wide(pb)) for pa, pb in self.scheme.term_parts()
+            ]
+            d = self._run_tensor_core(d, terms64, k, stats)
         else:
+            terms = self.scheme.product_terms(plan_a.pair, plan_b.pair)
             d = self._run_generic(d, terms, k, stats)
 
         # Nominal primitive count at WMMA granularity, for overhead reports.
         tiles = -(-m // 16) * -(-n // 16) * -(-k // 16)
         stats.mma_calls = tiles * self.scheme.compute_overhead
-        self.counter.calls += stats.mma_calls
-        self.counter.flops += stats.flops * self.scheme.compute_overhead
+        self.counter.add(stats.mma_calls, stats.flops * self.scheme.compute_overhead)
         return d, stats
 
-    def _run_tensor_core(self, d, terms, k, stats) -> np.ndarray:
+    def _run_tensor_core(self, d, terms64, k, stats) -> np.ndarray:
         """Hardware model: exact chunk products, one fp32 rounding each.
 
         The float64 matmul of a (m, tk) x (tk, n) chunk realizes the wide
         internal accumulator of the primitive; adding it to the float64
         promotion of the running fp32 accumulator and rounding once gives
         the per-chunk-per-term rounding cadence of the tensorized kernel.
+
+        The chunk products of one term are independent of the running
+        accumulator, so when the per-chunk output fits the scratch budget
+        they are computed ahead by one stacked matmul per term and the
+        rounding cadence is replayed over the stack — fewer Python-level
+        BLAS calls, identical bits.
         """
-        for k0 in range(0, k, self.tk):
-            k1 = min(k0 + self.tk, k)
+        tk = self.tk
+        m, n = d.shape
+        pos = 0
+        full = k // tk
+        group = int(_WIDE_SCRATCH_BYTES // max(m * n * 8, 1))
+        if full >= 2 and group >= 2:
+            stacked = [
+                (
+                    a64[:, : full * tk].reshape(m, full, tk).transpose(1, 0, 2),
+                    b64[: full * tk, :].reshape(full, tk, n),
+                )
+                for a64, b64 in terms64
+            ]
+            for c0 in range(0, full, group):
+                c1 = min(c0 + group, full)
+                wides = [ar[c0:c1] @ br[c0:c1] for ar, br in stacked]
+                for i in range(c1 - c0):
+                    stats.k_chunks += 1
+                    for w in wides:
+                        d = (d.astype(np.float64) + w[i]).astype(np.float32)
+                        stats.partial_products += 1
+            pos = full * tk
+        for k0 in range(pos, k, tk):
+            k1 = min(k0 + tk, k)
             stats.k_chunks += 1
-            for a_part, b_part in terms:
-                wide = a_part[:, k0:k1].astype(np.float64) @ b_part[k0:k1, :].astype(np.float64)
+            for a64, b64 in terms64:
+                wide = a64[:, k0:k1] @ b64[k0:k1, :]
                 d = (d.astype(np.float64) + wide).astype(np.float32)
                 stats.partial_products += 1
         return d

@@ -48,13 +48,36 @@ class EmulationScheme:
     effective_mantissa_bits: int
     description: str = ""
 
+    @property
+    def split_id(self) -> str:
+        """Cache namespace of this scheme's split algorithm.
+
+        Keyed on the *split*, not the scheme, so two schemes sharing a
+        split (EGEMM and DEKKER both round-split) share cached plans.
+        """
+        return self.split.name if self.split is not None else "half-cast"
+
+    def split_one(self, x: np.ndarray) -> SplitPair:
+        """Apply the data split to a single operand (fp32 -> fp16 pair)."""
+        if self.split is None:
+            x16 = np.asarray(x, dtype=np.float32).astype(np.float16)
+            return SplitPair(hi=x16, lo=np.zeros_like(x16))
+        return self.split.split(x)
+
     def split_operands(self, a: np.ndarray, b: np.ndarray) -> tuple[SplitPair, SplitPair]:
         """Apply the data split to both operands (fp32 -> fp16 pairs)."""
+        return self.split_one(a), self.split_one(b)
+
+    def term_parts(self) -> tuple[tuple[str, str], ...]:
+        """Ordered (A-part, B-part) *names* of the product terms.
+
+        The name form of :meth:`product_terms`, letting callers pick the
+        parts from a cached split plan (fp16 or pre-promoted float64)
+        without re-pairing arrays.  Order matches Algorithm 1.
+        """
         if self.split is None:
-            a16 = np.asarray(a, dtype=np.float32).astype(np.float16)
-            b16 = np.asarray(b, dtype=np.float32).astype(np.float16)
-            return SplitPair(hi=a16, lo=np.zeros_like(a16)), SplitPair(hi=b16, lo=np.zeros_like(b16))
-        return self.split.split(a), self.split.split(b)
+            return (("hi", "hi"),)
+        return (("lo", "lo"), ("lo", "hi"), ("hi", "lo"), ("hi", "hi"))
 
     def product_terms(
         self, pa: SplitPair, pb: SplitPair

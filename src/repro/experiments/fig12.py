@@ -16,12 +16,22 @@ from dataclasses import dataclass
 from ..apps.kmeans import KMeansWorkload
 from ..apps.knn import KnnWorkload
 from ..gpu.spec import TESLA_T4, GpuSpec
+from ..perf.parallel import parallel_map
 from .common import Series, format_table, geomean
 
 __all__ = ["Fig12Result", "run_fig12", "DEFAULT_POINTS"]
 
 #: the paper's x-axis: number of data points
 DEFAULT_POINTS = (2048, 4096, 8192, 12288, 16384)
+
+_WORKLOADS = {"kmeans": KMeansWorkload, "knn": KnnWorkload}
+
+
+def _fig12_point(task: tuple[str, GpuSpec, int]) -> tuple[float, float]:
+    """(speedup, baseline GEMM share) at one size (pool-picklable)."""
+    app, spec, n = task
+    base, _fast, s = _WORKLOADS[app]().speedup(n, spec)
+    return s, base.gemm_fraction
 
 
 @dataclass
@@ -55,15 +65,11 @@ def run_fig12(
     app: str = "kmeans", spec: GpuSpec = TESLA_T4, points: tuple[int, ...] = DEFAULT_POINTS
 ) -> Fig12Result:
     """Sweep one application's end-to-end speedup model."""
-    workload = {"kmeans": KMeansWorkload, "knn": KnnWorkload}.get(app)
-    if workload is None:
+    if app not in _WORKLOADS:
         raise ValueError(f"unknown app {app!r}; use 'kmeans' or 'knn'")
-    wl = workload()
-    speedups, fractions = [], []
-    for n in points:
-        base, _fast, s = wl.speedup(n, spec)
-        speedups.append(s)
-        fractions.append(base.gemm_fraction)
+    rows = parallel_map(_fig12_point, [(app, spec, n) for n in points])
+    speedups = [r[0] for r in rows]
+    fractions = [r[1] for r in rows]
     return Fig12Result(
         app=app,
         points=tuple(points),

@@ -14,9 +14,25 @@ from dataclasses import dataclass
 from ..gpu.spec import TESLA_T4, GpuSpec
 from ..kernels.cublas import CublasCudaFp32, CublasTcEmulation
 from ..kernels.egemm import EgemmTcKernel
+from ..perf.parallel import parallel_map
+from ..tensorize.tiling import TilingConfig
 from .common import DEFAULT_SIZES, Series, format_table, geomean
 
 __all__ = ["Fig8Result", "run_fig8"]
+
+
+def _fig8_point(task: tuple[GpuSpec, TilingConfig, int]) -> tuple[float, float, float]:
+    """TFLOPS of the three kernels at one size (top-level: pool-picklable).
+
+    The solver's tiling is passed in pre-solved so neither the serial nor
+    the pooled path re-runs the §6 search per point.
+    """
+    spec, tiling, n = task
+    return (
+        CublasCudaFp32().tflops(n, n, n, spec),
+        CublasTcEmulation().tflops(n, n, n, spec),
+        EgemmTcKernel(tiling=tiling).tflops(n, n, n, spec),
+    )
 
 
 @dataclass
@@ -52,18 +68,22 @@ class Fig8Result:
 
 
 def run_fig8(spec: GpuSpec = TESLA_T4, sizes: tuple[int, ...] = DEFAULT_SIZES) -> Fig8Result:
-    """Sweep the three kernels' timing models over square sizes."""
-    fp32 = CublasCudaFp32()
-    emu = CublasTcEmulation()
-    egemm = EgemmTcKernel()
+    """Sweep the three kernels' timing models over square sizes.
+
+    Points are independent, so the sweep fans out over a process pool
+    when ``REPRO_JOBS`` asks for one (serial and identical by default).
+    """
+    tiling = EgemmTcKernel().tiling_for(spec)
+    rows = parallel_map(_fig8_point, [(spec, tiling, n) for n in sizes])
+    fp32_y = [r[0] for r in rows]
+    emu_y = [r[1] for r in rows]
+    egemm_y = [r[2] for r in rows]
     return Fig8Result(
         spec_name=spec.name,
         sizes=tuple(sizes),
-        cublas_fp32=Series("cuBLAS-CUDA-FP32", sizes, [fp32.tflops(n, n, n, spec) for n in sizes]),
-        cublas_tc_emulation=Series(
-            "cuBLAS-TC-Emulation", sizes, [emu.tflops(n, n, n, spec) for n in sizes]
-        ),
-        egemm=Series("EGEMM-TC", sizes, [egemm.tflops(n, n, n, spec) for n in sizes]),
+        cublas_fp32=Series("cuBLAS-CUDA-FP32", sizes, fp32_y),
+        cublas_tc_emulation=Series("cuBLAS-TC-Emulation", sizes, emu_y),
+        egemm=Series("EGEMM-TC", sizes, egemm_y),
     )
 
 

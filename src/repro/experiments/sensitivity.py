@@ -23,6 +23,7 @@ from ..gpu.spec import TESLA_T4, GpuSpec
 from ..kernels.cublas import CublasCudaFp32, CublasTcEmulation, CublasTcHalf
 from ..kernels.egemm import EgemmTcKernel
 from ..kernels.sdk import SdkCudaFp32
+from ..perf.parallel import parallel_map
 
 __all__ = ["SensitivityPoint", "run_sensitivity"]
 
@@ -38,7 +39,9 @@ class SensitivityPoint:
     ordering_holds: bool
 
 
-def _headline(spec: GpuSpec, fp32_eff: float, tc_eff: float, n: int = 8192) -> SensitivityPoint:
+def _headline(task: tuple[GpuSpec, float, float, int]) -> SensitivityPoint:
+    """Headline ratios at one perturbed calibration (pool-picklable)."""
+    spec, fp32_eff, tc_eff, n = task
     egemm = EgemmTcKernel()
     egemm_no_hide = EgemmTcKernel(latency_hiding=False)
     fp32 = CublasCudaFp32(efficiency=fp32_eff)
@@ -68,19 +71,20 @@ def run_sensitivity(perturbation: float = 0.2, n: int = 8192) -> list[Sensitivit
     """
     base_hmma = TESLA_T4.hmma_issue_cycles
     base_fp32, base_tc = 0.47, 0.55
-    points = [_headline(TESLA_T4, base_fp32, base_tc, n)]
+    tasks = [(TESLA_T4, base_fp32, base_tc, n)]
     for factor in (1 - perturbation, 1 + perturbation):
-        points.append(
-            _headline(
+        tasks.append(
+            (
                 TESLA_T4.with_overrides(hmma_issue_cycles=base_hmma * factor),
                 base_fp32,
                 base_tc,
                 n,
             )
         )
-        points.append(_headline(TESLA_T4, base_fp32 * factor, base_tc, n))
-        points.append(_headline(TESLA_T4, base_fp32, base_tc * factor, n))
-    return points
+        tasks.append((TESLA_T4, base_fp32 * factor, base_tc, n))
+        tasks.append((TESLA_T4, base_fp32, base_tc * factor, n))
+    # Independent calibration points: fan out when REPRO_JOBS asks for it.
+    return parallel_map(_headline, tasks)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -12,7 +12,7 @@ from .cache import CacheStats, SetAssociativeCache
 from .assembler import SassParseError, parse as parse_sass
 from .sass import RZ, Reg, SassInstr, SassListing, SassValidationError
 from .sass import validate as validate_sass
-from .scheduler import ScheduleResult, schedule
+from .scheduler import ScheduleResult, clear_schedule_cache, schedule, schedule_cache_stats
 from .spec import GPUS, RTX6000, TESLA_T4, GpuSpec, get_gpu, table3_rows
 from .timeline import LaneSegment, render_timeline, timeline_segments
 from .trace import Segment, block_iteration_segments, wave_trace
@@ -65,6 +65,8 @@ __all__ = [
     "validate_sass",
     "ScheduleResult",
     "schedule",
+    "schedule_cache_stats",
+    "clear_schedule_cache",
     "Segment",
     "block_iteration_segments",
     "wave_trace",

@@ -31,6 +31,7 @@ from ..emulation.gemm import EmulatedGemm, reference_single
 from ..emulation.schemes import EGEMM, HALF
 from ..gpu.engine import LAUNCH_OVERHEAD_S, KernelTiming, roofline_seconds
 from ..gpu.spec import TESLA_T4, GpuSpec
+from ..perf.split_cache import SplitCache
 from .base import GemmKernel, KernelInfo
 from .egemm import split_pass_seconds
 
@@ -102,9 +103,11 @@ class CublasTcHalf(GemmKernel):
             precision="half",
             description="cublasGemmEx on Tensor Cores",
         )
+        self.split_cache = SplitCache()
+        self._gemm = EmulatedGemm(scheme=HALF, split_cache=self.split_cache)
 
     def compute(self, a, b, c=None) -> np.ndarray:
-        return EmulatedGemm(scheme=HALF)(a, b, c)
+        return self._gemm(a, b, c)
 
     def time(self, m: int, n: int, k: int, spec: GpuSpec = TESLA_T4) -> KernelTiming:
         self._validate_dims(m, n, k)
@@ -142,11 +145,13 @@ class CublasTcEmulation(GemmKernel):
         )
         if self.half_kernel is None:
             self.half_kernel = CublasTcHalf()
+        self.split_cache = SplitCache()
+        self._gemm = EmulatedGemm(scheme=EGEMM, split_cache=self.split_cache)
 
     def compute(self, a, b, c=None) -> np.ndarray:
         # Numerically identical to the fused kernel: the same four partial
         # products accumulate into the same fp32 C.
-        return EmulatedGemm(scheme=EGEMM)(a, b, c)
+        return self._gemm(a, b, c)
 
     def time(self, m: int, n: int, k: int, spec: GpuSpec = TESLA_T4) -> KernelTiming:
         self._validate_dims(m, n, k)

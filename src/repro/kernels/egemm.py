@@ -23,6 +23,7 @@ from ..gpu.occupancy import BlockResources
 from ..gpu.registers import allocate, egemm_stage_usage
 from ..gpu.spec import TESLA_T4, GpuSpec
 from ..model.solver import solve
+from ..perf.split_cache import SplitCache
 from ..tensorize.kernel import build_gemm_stream
 from ..tensorize.plan import TensorizationPlan
 from ..tensorize.tiling import TilingConfig
@@ -82,10 +83,15 @@ class EgemmTcKernel(GemmKernel):
             description="round-split 4-call emulation with SASS-level kernel optimizations",
         )
         self._tiling_cache: dict[str, TilingConfig] = {}
+        #: split plans are cached per kernel instance, so a stationary
+        #: operand across an iterative workload is split exactly once —
+        #: the software analogue of §3.2's "split once, reuse" pre-pass
+        self.split_cache = SplitCache()
+        self._gemm = EmulatedGemm(scheme=self.scheme, split_cache=self.split_cache)
 
     # --- functional -------------------------------------------------------
     def compute(self, a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None) -> np.ndarray:
-        return EmulatedGemm(scheme=self.scheme)(a, b, c)
+        return self._gemm(a, b, c)
 
     # --- performance ------------------------------------------------------
     def tiling_for(self, spec: GpuSpec) -> TilingConfig:

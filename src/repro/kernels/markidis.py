@@ -24,6 +24,7 @@ from ..emulation.schemes import MARKIDIS, EmulationScheme
 from ..gpu.engine import KernelLaunch, KernelTiming, execute
 from ..gpu.occupancy import BlockResources
 from ..gpu.spec import TESLA_T4, GpuSpec
+from ..perf.split_cache import SplitCache
 from ..tensorcore.mma import M16N16K16
 from ..tensorize.kernel import build_gemm_stream
 from ..tensorize.plan import TensorizationPlan
@@ -54,9 +55,11 @@ class MarkidisKernel(GemmKernel):
             precision="extended*",
             description="implemented Markidis method on Tensor Cores (truncate-split, CUDA-level)",
         )
+        self.split_cache = SplitCache()
+        self._gemm = EmulatedGemm(scheme=self.scheme, split_cache=self.split_cache)
 
     def compute(self, a, b, c=None) -> np.ndarray:
-        return EmulatedGemm(scheme=self.scheme)(a, b, c)
+        return self._gemm(a, b, c)
 
     def time(self, m: int, n: int, k: int, spec: GpuSpec = TESLA_T4) -> KernelTiming:
         self._validate_dims(m, n, k)

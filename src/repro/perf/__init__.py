@@ -1,0 +1,34 @@
+"""Cross-cutting performance layer: caching and parallelism for the hot paths.
+
+The paper's own headline win comes from eliminating redundant work around
+the Tensor Core primitive — the operands are split *once* and the split
+data is reused by all four partial products (§3.2, §4).  This package
+applies the same lesson to the reproduction's hot paths:
+
+* :class:`SplitCache` — a bounded, thread-safe cache of split plans so a
+  stationary operand (the kMeans data matrix, the kNN corpus, the
+  power-iteration matrix) is split exactly once across an iterative run;
+* :func:`parallel_map` — a process-pool map for the embarrassingly
+  parallel experiment sweeps, controlled by the ``REPRO_JOBS`` env knob
+  (serial by default, serial fallback on pickling failure);
+* :mod:`repro.perf.bench` — the ``python -m repro bench`` entry point
+  that times the before/after hot paths and writes ``BENCH_perf.json``
+  so the performance trajectory is tracked from PR to PR.
+
+Schedule memoization, the third caching layer, lives next to its subject
+in :mod:`repro.gpu.scheduler` (``schedule_cache_stats`` /
+``clear_schedule_cache``).
+"""
+
+from __future__ import annotations
+
+from .parallel import default_jobs, parallel_map
+from .split_cache import CacheStats, SplitCache, SplitPlan
+
+__all__ = [
+    "CacheStats",
+    "SplitCache",
+    "SplitPlan",
+    "default_jobs",
+    "parallel_map",
+]

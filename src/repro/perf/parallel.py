@@ -1,0 +1,72 @@
+"""Process-pool map for the experiment sweeps, with a serial fallback.
+
+Every figure/table sweep is embarrassingly parallel — independent
+(kernel, size, spec) points of a closed-form timing model — so a process
+pool gives near-linear speedup without touching the model.  Parallelism
+is opt-in through the ``REPRO_JOBS`` environment variable:
+
+* unset or ``1`` — run serially (deterministic, zero overhead; the
+  default so tests and CI behave exactly as before);
+* ``N > 1`` — map over an ``N``-worker process pool;
+* ``0`` — use all available CPUs.
+
+The pool is a *fallback-safe* optimization: if the work function or an
+item cannot be pickled (closures, locks, live array views), or the pool
+dies, the map transparently re-runs serially — callers never see a
+pool-related failure.  Worker processes aggregate counters (MMA calls,
+cache hits) through their *returned* values; in-process shared counters
+are not visible across the process boundary.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["default_jobs", "parallel_map"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: environment variable controlling sweep parallelism
+JOBS_ENV = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (1 = serial; 0 = all CPUs)."""
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        return 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return max(jobs, 1)
+
+
+def parallel_map(
+    fn: Callable[[_T], _R], items: Iterable[_T], jobs: int | None = None
+) -> list[_R]:
+    """``[fn(x) for x in items]``, fanned over a process pool when asked.
+
+    Order is preserved.  ``jobs=None`` reads ``REPRO_JOBS``; ``jobs<=1``
+    or fewer than two items short-circuits to the serial path.  Any pool
+    failure (unpicklable work, broken worker) falls back to the serial
+    path, so results are identical either way.
+    """
+    work: Sequence[_T] = list(items)
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs <= 1 or len(work) < 2:
+        return [fn(x) for x in work]
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+            return list(pool.map(fn, work))
+    except Exception:
+        # Pickling failure or a broken pool: the sweep functions are pure,
+        # so re-running serially reproduces the same results (or the same
+        # genuine error, now with a readable traceback).
+        return [fn(x) for x in work]

@@ -1,0 +1,170 @@
+"""Split-plan caching: split a stationary operand exactly once (§3.2).
+
+The data split is O(N²) against the GEMM's O(N³), but in the iterative
+applications the same operand is re-split every iteration — the kMeans
+data matrix across the Lloyd loop, the kNN corpus across query batches,
+the power-iteration matrix across the k-loop.  The paper's fused kernel
+splits once and reuses; :class:`SplitCache` restores that property for
+the functional simulator.
+
+A cached entry is a :class:`SplitPlan`: the fp16 :class:`SplitPair` plus
+lazily materialized float64 promotions of its parts (the form the
+simulated wide-accumulator matmul consumes), so a cache hit skips both
+the split *and* the per-call float64 promotion.
+
+Keying has two tiers:
+
+* **identity fast path** — a non-writeable array cannot change content,
+  so ``id(array)`` (validated by an ``is`` check against the stored
+  reference, which makes id reuse after garbage collection safe)
+  identifies the plan without touching the data;
+* **content fingerprint fallback** — writeable arrays are keyed by
+  (shape, dtype, blake2b digest of the bytes).  Hashing is a single
+  cheap pass, far below the split's cost, and it guarantees that an
+  in-place mutation is a *miss* — correctness never depends on callers
+  remembering to invalidate.
+
+The cache is a bounded LRU (least-recently-used plan evicted first) and
+every counter update is taken under a lock so concurrent threads can
+share one cache.  Process-pool workers do not share state: a pickled
+cache arrives empty (identity keys are process-local) and workers
+aggregate statistics through their returned results instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..splits.base import SplitPair
+
+__all__ = ["CacheStats", "SplitPlan", "SplitCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class SplitPlan:
+    """One operand's split, ready for the wide-accumulator matmul.
+
+    Holds the fp16 :class:`SplitPair` and caches the float64 promotion
+    of each part on first use — fp16→fp64 conversion is exact, so the
+    promoted arrays are bit-equivalent to promoting per k-chunk as the
+    pre-cache implementation did.
+    """
+
+    __slots__ = ("pair", "_wide")
+
+    def __init__(self, pair: SplitPair) -> None:
+        self.pair = pair
+        self._wide: dict[str, np.ndarray] = {}
+
+    def wide(self, part: str) -> np.ndarray:
+        """Float64 promotion of one part ('hi' or 'lo'), contiguous."""
+        arr = self._wide.get(part)
+        if arr is None:
+            arr = np.ascontiguousarray(getattr(self.pair, part), dtype=np.float64)
+            self._wide[part] = arr
+        return arr
+
+
+def _fingerprint(x: np.ndarray) -> bytes:
+    """Content digest of an array (one pass, ~memcpy speed)."""
+    data = np.ascontiguousarray(x)
+    return hashlib.blake2b(data.view(np.uint8).reshape(-1), digest_size=16).digest()
+
+
+@dataclass
+class _Entry:
+    plan: SplitPlan
+    #: strong reference for identity-keyed entries, validated with ``is``
+    #: on lookup so a recycled id can never alias a dead array
+    array: np.ndarray | None = None
+
+
+@dataclass
+class SplitCache:
+    """Bounded LRU cache of :class:`SplitPlan` objects, thread-safe."""
+
+    maxsize: int = 16
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # --- keying -----------------------------------------------------------
+    @staticmethod
+    def _key(x: np.ndarray, split_name: str) -> tuple:
+        if not x.flags.writeable:
+            return ("id", split_name, id(x))
+        return ("content", split_name, x.shape, x.dtype.str, _fingerprint(x))
+
+    # --- API --------------------------------------------------------------
+    def get(self, x: np.ndarray, split_name: str, splitter) -> SplitPlan:
+        """The split plan for ``x``, computing it on a miss.
+
+        ``splitter`` is a zero-argument-free callable ``x -> SplitPair``;
+        ``split_name`` namespaces entries so two split algorithms never
+        collide on the same operand.
+        """
+        key = self._key(x, split_name)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and (entry.array is None or entry.array is x):
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry.plan
+            self.stats.misses += 1
+        # Split outside the lock: the split is the expensive part and is
+        # deterministic, so a racing duplicate costs time, not correctness.
+        plan = SplitPlan(splitter(x))
+        with self._lock:
+            self._entries[key] = _Entry(plan=plan, array=x if key[0] == "id" else None)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return plan
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # --- pickling ---------------------------------------------------------
+    # Process-pool workers get a fresh, empty cache: identity keys are
+    # process-local and locks are unpicklable.  Counter aggregation across
+    # workers happens via returned stats, never via shared state.
+    def __getstate__(self) -> dict:
+        return {"maxsize": self.maxsize}
+
+    def __setstate__(self, state: dict) -> None:
+        self.maxsize = state["maxsize"]
+        self.stats = CacheStats()
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()

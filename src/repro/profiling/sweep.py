@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..fp.bits import mantissa_bits_agreement
+from ..perf.parallel import parallel_map
 from ..tensorcore.mma import InternalPrecision, mma
 from .generator import UNIT_POSITIVE, UNIT_SIGNED, InputDistribution
 
@@ -37,6 +38,15 @@ class SweepPoint:
     setting: str
     min_bits: int
     mean_bits: float
+
+
+def _agreement_point(
+    task: tuple[str, int, int, InputDistribution, int]
+) -> SweepPoint:
+    """One sweep setting's agreement statistics (pool-picklable)."""
+    setting, k, trials, distribution, seed = task
+    min_bits, mean_bits = _agreement(k, trials, distribution, seed)
+    return SweepPoint(setting=setting, min_bits=min_bits, mean_bits=mean_bits)
 
 
 def _agreement(
@@ -60,20 +70,21 @@ def sweep_k(
     trials: int = 200,
     seed: int = 0,
 ) -> list[SweepPoint]:
-    """Minimum d_FLOAT agreement as the dot-product length grows."""
-    points = []
-    for k in ks:
-        min_bits, mean_bits = _agreement(k, trials, UNIT_POSITIVE, seed)
-        points.append(SweepPoint(setting=f"k={k}", min_bits=min_bits, mean_bits=mean_bits))
-    return points
+    """Minimum d_FLOAT agreement as the dot-product length grows.
+
+    Each k is an independent batch of trials; the sweep fans out over a
+    process pool when ``REPRO_JOBS`` asks for one.
+    """
+    return parallel_map(
+        _agreement_point, [(f"k={k}", k, trials, UNIT_POSITIVE, seed) for k in ks]
+    )
 
 
 def sweep_distribution(
     k: int = 16, trials: int = 200, seed: int = 0
 ) -> list[SweepPoint]:
     """Agreement under the positive vs signed input distributions."""
-    points = []
-    for dist in (UNIT_POSITIVE, UNIT_SIGNED):
-        min_bits, mean_bits = _agreement(k, trials, dist, seed)
-        points.append(SweepPoint(setting=dist.name, min_bits=min_bits, mean_bits=mean_bits))
-    return points
+    return parallel_map(
+        _agreement_point,
+        [(dist.name, k, trials, dist, seed) for dist in (UNIT_POSITIVE, UNIT_SIGNED)],
+    )

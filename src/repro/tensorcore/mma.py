@@ -31,7 +31,8 @@ workflow performs.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -72,14 +73,38 @@ HMMA_1688 = MmaShape(16, 8, 8)
 
 @dataclass
 class MmaCounter:
-    """Counts primitive invocations and FLOPs, for overhead accounting."""
+    """Counts primitive invocations and FLOPs, for overhead accounting.
+
+    Increments are taken under a lock so a counter shared by concurrent
+    threads (e.g. a kernel driven from a threaded sweep) stays exact.
+    Process-pool workers do *not* share a counter — a pickled counter
+    arrives reset, and workers report their accounting through the
+    returned :class:`~repro.emulation.gemm.GemmStats` instead.
+    """
 
     calls: int = 0
     flops: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add(self, calls: int, flops: int) -> None:
+        """Atomically add a batch of invocations and FLOPs."""
+        with self._lock:
+            self.calls += calls
+            self.flops += flops
 
     def record(self, shape_m: int, shape_n: int, shape_k: int) -> None:
-        self.calls += 1
-        self.flops += 2 * shape_m * shape_n * shape_k
+        self.add(1, 2 * shape_m * shape_n * shape_k)
+
+    def __getstate__(self) -> dict:
+        # Locks don't pickle, and counts are process-local by design.
+        return {"calls": 0, "flops": 0}
+
+    def __setstate__(self, state: dict) -> None:
+        self.calls = state["calls"]
+        self.flops = state["flops"]
+        self._lock = threading.Lock()
 
 
 def _validate(a: np.ndarray, b: np.ndarray, c: np.ndarray | None, shape: MmaShape | None):

@@ -1,0 +1,368 @@
+"""Tests for the hot-path performance layer (repro.perf + scheduler memo).
+
+The layer's contract is strict: every cache and every vectorized path
+must be *bit-identical* to the seed implementation it replaces.  The
+equivalence tests therefore compare against a seed-faithful reference
+(:func:`repro.perf.bench._legacy_gemm`) at the byte level, not with
+tolerances.
+"""
+
+import os
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.emulation.extended import EGEMM3
+from repro.emulation.gemm import EmulatedGemm
+from repro.emulation.schemes import EGEMM, HALF, MARKIDIS
+from repro.gpu.scheduler import clear_schedule_cache, schedule, schedule_cache_stats
+from repro.gpu.spec import RTX6000, TESLA_T4
+from repro.perf.bench import _legacy_gemm
+from repro.perf.parallel import default_jobs, parallel_map
+from repro.perf.split_cache import SplitCache
+from repro.tensorcore.mma import MmaCounter
+
+
+def _bits(x):
+    return np.ascontiguousarray(x).view(np.uint32)
+
+
+class TestSplitCache:
+    def test_identity_hit_on_frozen_array(self, rng):
+        cache = SplitCache()
+        gemm = EmulatedGemm(split_cache=cache)
+        a = rng.uniform(-1, 1, (32, 32)).astype(np.float32)
+        a.flags.writeable = False
+        b = rng.uniform(-1, 1, (32, 32)).astype(np.float32)
+        b.flags.writeable = False
+        gemm(a, b)
+        assert cache.stats.misses == 2 and cache.stats.hits == 0
+        gemm(a, b)
+        assert cache.stats.hits == 2
+
+    def test_content_hit_on_equal_writeable_arrays(self, rng):
+        cache = SplitCache()
+        gemm = EmulatedGemm(split_cache=cache)
+        a = rng.uniform(-1, 1, (16, 16)).astype(np.float32)
+        b = rng.uniform(-1, 1, (16, 16)).astype(np.float32)
+        gemm(a, b)
+        assert cache.stats.misses == 2 and cache.stats.hits == 0
+        gemm(a.copy(), b.copy())  # distinct objects, same bytes
+        assert cache.stats.hits == 2
+
+    def test_miss_after_inplace_mutation(self, rng):
+        cache = SplitCache()
+        gemm = EmulatedGemm(split_cache=cache)
+        a = rng.uniform(-1, 1, (16, 16)).astype(np.float32)
+        b = rng.uniform(-1, 1, (16, 16)).astype(np.float32)
+        d0 = gemm(a, b)
+        a[0, 0] += 1.0  # in-place mutation must invalidate
+        d1 = gemm(a, b)
+        assert not np.array_equal(d0, d1)
+        assert np.array_equal(d1, EmulatedGemm()(a, b))
+
+    def test_mutation_result_matches_uncached(self, rng):
+        """The content key guarantees a mutated operand is re-split."""
+        cache = SplitCache()
+        cached = EmulatedGemm(split_cache=cache)
+        plain = EmulatedGemm()
+        a = rng.uniform(-1, 1, (24, 40)).astype(np.float32)
+        b = rng.uniform(-1, 1, (40, 24)).astype(np.float32)
+        for _ in range(3):
+            assert np.array_equal(_bits(cached(a, b)), _bits(plain(a, b)))
+            a *= 1.5
+
+    def test_lru_eviction_bound(self, rng):
+        cache = SplitCache(maxsize=4)
+        gemm = EmulatedGemm(split_cache=cache)
+        b = rng.uniform(-1, 1, (8, 8)).astype(np.float32)
+        for _ in range(10):
+            gemm(rng.uniform(-1, 1, (8, 8)).astype(np.float32), b)
+        assert len(cache) <= 4
+        assert cache.stats.evictions > 0
+
+    def test_identity_entry_pins_array(self, rng):
+        """The id fast path stores a strong reference, so an id can't be
+        recycled by the allocator while its cache entry is alive."""
+        cache = SplitCache()
+        gemm = EmulatedGemm(split_cache=cache)
+        for _ in range(5):
+            a = rng.uniform(-1, 1, (8, 8)).astype(np.float32)
+            a.flags.writeable = False
+            d = gemm(a, a)
+            assert np.array_equal(_bits(d), _bits(EmulatedGemm()(a, a)))
+
+    def test_pickle_resets_state(self, rng):
+        cache = SplitCache(maxsize=7)
+        gemm = EmulatedGemm(split_cache=cache)
+        a = rng.uniform(-1, 1, (8, 8)).astype(np.float32)
+        gemm(a, a)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.maxsize == 7
+        assert len(clone) == 0 and clone.stats.lookups == 0
+
+
+class TestBitEquivalence:
+    @pytest.mark.parametrize("scheme", [EGEMM, MARKIDIS, HALF], ids=lambda s: s.name)
+    @pytest.mark.parametrize("shape", [(16, 16, 16), (24, 40, 24), (7, 33, 5), (1, 16, 1)])
+    def test_run_matches_legacy(self, rng, scheme, shape):
+        m, k, n = shape
+        a = rng.uniform(-1, 1, (m, k)).astype(np.float32)
+        b = rng.uniform(-1, 1, (k, n)).astype(np.float32)
+        c = rng.uniform(-1, 1, (m, n)).astype(np.float32)
+        got = EmulatedGemm(scheme=scheme)(a, b, c)
+        want = _legacy_gemm(a, b, c, scheme=scheme)
+        assert np.array_equal(_bits(got), _bits(want))
+
+    @pytest.mark.parametrize("tk", [8, 16, 48, 1000])
+    def test_run_matches_legacy_tk(self, rng, tk):
+        a = rng.uniform(-1, 1, (20, 100)).astype(np.float32)
+        b = rng.uniform(-1, 1, (100, 20)).astype(np.float32)
+        got = EmulatedGemm(tk=tk)(a, b)
+        assert np.array_equal(_bits(got), _bits(_legacy_gemm(a, b, tk=tk)))
+
+    def test_run_with_cache_matches_legacy(self, rng):
+        gemm = EmulatedGemm(split_cache=SplitCache())
+        a = rng.uniform(-1, 1, (32, 64)).astype(np.float32)
+        b = rng.uniform(-1, 1, (64, 32)).astype(np.float32)
+        for _ in range(3):  # second+ runs served from the cache
+            assert np.array_equal(_bits(gemm(a, b)), _bits(_legacy_gemm(a, b)))
+
+    def test_three_term_scheme_still_works(self, rng):
+        """EGEMM3 is duck-typed; the cached-plan path must support it."""
+        a = rng.uniform(-1, 1, (16, 32)).astype(np.float32)
+        b = rng.uniform(-1, 1, (32, 16)).astype(np.float32)
+        gemm = EmulatedGemm(scheme=EGEMM3, split_cache=SplitCache())
+        d0 = gemm(a, b)
+        d1 = gemm(a, b)
+        assert np.array_equal(_bits(d0), _bits(d1))
+        # 9 partial products per chunk
+        _, stats = EmulatedGemm(scheme=EGEMM3).run(a, b)
+        assert stats.partial_products == stats.k_chunks * 9
+
+    def test_batched_matches_legacy_loop(self, rng):
+        a = rng.uniform(-1, 1, (6, 12, 40)).astype(np.float32)
+        b = rng.uniform(-1, 1, (6, 40, 12)).astype(np.float32)
+        d = EmulatedGemm().batched(a, b)
+        want = np.stack([_legacy_gemm(a[i], b[i]) for i in range(6)])
+        assert np.array_equal(_bits(d), _bits(want))
+
+
+class TestBatchedEdgeCases:
+    def test_empty_batch(self, rng):
+        g = EmulatedGemm()
+        d, stats = g.run_batched(
+            np.zeros((0, 4, 8), np.float32), np.zeros((0, 8, 4), np.float32)
+        )
+        assert d.shape == (0, 4, 4)
+        assert stats.batch == 0 and stats.mma_calls == 0
+
+    def test_degenerate_2d_inputs(self, rng):
+        """ndim == 2 means an empty batch prefix — same bits as run()."""
+        g = EmulatedGemm()
+        a = rng.uniform(-1, 1, (8, 24)).astype(np.float32)
+        b = rng.uniform(-1, 1, (24, 8)).astype(np.float32)
+        d = g.batched(a, b)
+        assert d.shape == (8, 8)
+        assert np.array_equal(_bits(d), _bits(g(a, b)))
+
+    def test_broadcast_c(self, rng):
+        g = EmulatedGemm()
+        a = rng.uniform(-1, 1, (3, 4, 8)).astype(np.float32)
+        b = rng.uniform(-1, 1, (3, 8, 4)).astype(np.float32)
+        c = rng.uniform(-1, 1, (4, 4)).astype(np.float32)  # shared across batch
+        d = g.batched(a, b, c)
+        for i in range(3):
+            assert np.array_equal(_bits(d[i]), _bits(g(a[i], b[i], c)))
+
+    def test_broadcast_operand_zero_stride(self, rng):
+        """One shared B across the batch (0-stride broadcast view)."""
+        g = EmulatedGemm()
+        a = rng.uniform(-1, 1, (4, 6, 16)).astype(np.float32)
+        b = rng.uniform(-1, 1, (16, 6)).astype(np.float32)
+        d = g.batched(a, b[None])  # batch dims (4,) x (1,) -> (4,)
+        for i in range(4):
+            assert np.array_equal(_bits(d[i]), _bits(g(a[i], b)))
+
+    def test_batched_stats_aggregate(self, rng):
+        g = EmulatedGemm()
+        a = rng.uniform(-1, 1, (5, 8, 32)).astype(np.float32)
+        b = rng.uniform(-1, 1, (5, 32, 8)).astype(np.float32)
+        _, stats = g.run_batched(a, b)
+        _, elem = EmulatedGemm().run(a[0], b[0])
+        assert stats.batch == 5
+        assert stats.mma_calls == 5 * elem.mma_calls
+        assert stats.k_chunks == 5 * elem.k_chunks
+        assert stats.partial_products == 5 * elem.partial_products
+        assert stats.flops == 5 * elem.flops
+
+    def test_batched_counter_counts_once_per_element(self, rng):
+        g = EmulatedGemm()
+        a = rng.uniform(-1, 1, (3, 16, 16)).astype(np.float32)
+        b = rng.uniform(-1, 1, (3, 16, 16)).astype(np.float32)
+        g.batched(a, b)
+        # one 16x16x16 tile x 4-term scheme x 3 elements
+        assert g.counter.calls == 3 * 4
+
+
+class TestScheduleMemo:
+    def setup_method(self):
+        clear_schedule_cache()
+
+    def teardown_method(self):
+        clear_schedule_cache()
+
+    def _stream(self):
+        from repro.kernels.egemm import EgemmTcKernel
+
+        kernel = EgemmTcKernel()
+        cfg = kernel.tiling_for(TESLA_T4)
+        from repro.tensorize.kernel import build_gemm_stream
+        from repro.tensorize.plan import TensorizationPlan
+
+        plan = TensorizationPlan(1024, 1024, 1024, cfg)
+        return build_gemm_stream(plan, scheme_terms=4)
+
+    def test_hit_on_repeat(self):
+        stream = self._stream()
+        r0 = schedule(stream, TESLA_T4)
+        stats = schedule_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 0
+        r1 = schedule(stream, TESLA_T4)
+        stats = schedule_cache_stats()
+        assert stats["hits"] == 1
+        assert r0.total_cycles == r1.total_cycles
+        assert r0.unit_busy == r1.unit_busy
+
+    def test_memoize_false_bypasses(self):
+        stream = self._stream()
+        schedule(stream, TESLA_T4, memoize=False)
+        assert schedule_cache_stats()["misses"] == 0
+
+    def test_cached_result_isolation(self):
+        stream = self._stream()
+        r0 = schedule(stream, TESLA_T4)
+        r0.unit_busy.clear()
+        r0.group_complete.clear()
+        r1 = schedule(stream, TESLA_T4)
+        assert r1.unit_busy and r1.group_complete
+
+    def test_distinct_specs_distinct_entries(self):
+        stream = self._stream()
+        schedule(stream, TESLA_T4)
+        schedule(stream, RTX6000)
+        stats = schedule_cache_stats()
+        assert stats["misses"] == 2 and stats["size"] == 2
+
+    def test_sweep_hit_rate_above_90_percent(self):
+        """The bench's acceptance bar: 12 reps of a Figure-8-shaped sweep."""
+        from repro.kernels.egemm import EgemmTcKernel
+
+        kernel = EgemmTcKernel()
+        for _ in range(12):
+            for n in (256, 512, 1024):
+                kernel.time(n, n, n, TESLA_T4)
+        assert schedule_cache_stats()["hit_rate"] > 0.90
+
+
+class TestParallelMap:
+    def test_serial_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+        assert parallel_map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() >= 1
+        monkeypatch.setenv("REPRO_JOBS", "banana")
+        assert default_jobs() == 1
+
+    def test_unpicklable_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        captured = []
+        assert parallel_map(lambda x: captured.append(x) or -x, [1, 2, 3]) == [-1, -2, -3]
+
+    def test_order_preserved(self):
+        items = list(range(20))
+        assert parallel_map(str, items, jobs=1) == [str(i) for i in items]
+
+
+class TestMmaCounterThreadSafety:
+    def test_concurrent_add_is_exact(self):
+        counter = MmaCounter()
+        per_thread, threads = 2000, 8
+
+        def work():
+            for _ in range(per_thread):
+                counter.add(1, 2)
+
+        ts = [threading.Thread(target=work) for _ in range(threads)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert counter.calls == per_thread * threads
+        assert counter.flops == 2 * per_thread * threads
+
+    def test_pickle_arrives_reset(self):
+        counter = MmaCounter()
+        counter.add(5, 10)
+        clone = pickle.loads(pickle.dumps(counter))
+        assert clone.calls == 0 and clone.flops == 0
+        clone.add(1, 2)  # fresh lock works
+        assert clone.calls == 1
+
+
+class TestAppsCaching:
+    def test_power_iteration_splits_matrix_once(self, rng):
+        from repro.apps.power_iteration import PowerIteration
+
+        a = rng.normal(0, 1, (48, 48)).astype(np.float32)
+        a = ((a + a.T) / 2).astype(np.float32)
+        model = PowerIteration(max_iter=10, tol=0).fit(a)
+        cache = model.kernel.split_cache
+        # Two GEMMs per iteration; the matrix hits from iteration 1 on.
+        assert cache.stats.hits >= 2 * model.n_iter_ - 1
+        assert a.flags.writeable  # caller's array untouched
+
+    def test_knn_reference_split_reused_across_queries(self, rng):
+        from repro.apps.knn import KnnSearch
+
+        ref = rng.normal(0, 1, (64, 16)).astype(np.float32)
+        knn = KnnSearch(k=2).fit(ref)
+        q = rng.normal(0, 1, (8, 16)).astype(np.float32)
+        d0, i0 = knn.kneighbors(q)
+        hits_before = knn.kernel.split_cache.stats.hits
+        d1, i1 = knn.kneighbors(q)
+        assert knn.kernel.split_cache.stats.hits > hits_before
+        assert np.array_equal(d0, d1) and np.array_equal(i0, i1)
+
+    def test_kmeans_data_matrix_cached(self, rng):
+        from repro.apps.kmeans import KMeans
+
+        x = rng.normal(0, 1, (120, 8)).astype(np.float32)
+        model = KMeans(n_clusters=3, max_iter=6).fit(x)
+        cache = model.kernel.split_cache
+        assert cache.stats.hits >= model.n_iter_ - 1
+        assert x.flags.writeable
+
+    def test_kernels_expose_split_cache(self):
+        from repro.kernels.cublas import CublasTcEmulation, CublasTcHalf
+        from repro.kernels.egemm import EgemmTcKernel
+        from repro.kernels.markidis import MarkidisKernel
+
+        for kernel in (EgemmTcKernel(), MarkidisKernel(), CublasTcHalf(), CublasTcEmulation()):
+            assert isinstance(kernel.split_cache, SplitCache)
+
+    def test_kernel_pickles_for_process_pools(self):
+        from repro.kernels.egemm import EgemmTcKernel
+
+        kernel = EgemmTcKernel()
+        a = np.ones((8, 8), np.float32)
+        kernel.compute(a, a)
+        clone = pickle.loads(pickle.dumps(kernel))
+        assert np.array_equal(clone.compute(a, a), kernel.compute(a, a))
