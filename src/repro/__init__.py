@@ -27,7 +27,9 @@ Subpackages: :mod:`repro.fp` (float formats and bit views),
 emulation-design workflow), :mod:`repro.emulation` (Algorithm 1),
 :mod:`repro.gpu` (the timing simulator), :mod:`repro.tensorize` (§4),
 :mod:`repro.model` (§6), :mod:`repro.kernels` (Table 5),
-:mod:`repro.apps` (§7.5), :mod:`repro.experiments` (every table/figure).
+:mod:`repro.apps` (§7.5), :mod:`repro.experiments` (every table/figure),
+:mod:`repro.resilience` (fault injection, ABFT-protected GEMM, and the
+resilient kernel runner — see docs/robustness.md).
 """
 
 from __future__ import annotations
@@ -60,6 +62,14 @@ from .kernels import (
 from .model import solve as autotune
 from .perf import SplitCache, parallel_map
 from .profiling import PrecisionProfiler
+from .resilience import (
+    AbftGemm,
+    AbftKernel,
+    FaultInjector,
+    FaultSite,
+    ResilientRunner,
+    run_campaign,
+)
 from .splits import RoundSplit, TruncateSplit, round_split, truncate_split
 from .tensorcore import InternalPrecision, mma
 from .verify import VerificationError, verify as selfcheck
@@ -96,6 +106,12 @@ __all__ = [
     "SplitCache",
     "parallel_map",
     "PrecisionProfiler",
+    "AbftGemm",
+    "AbftKernel",
+    "FaultInjector",
+    "FaultSite",
+    "ResilientRunner",
+    "run_campaign",
     "RoundSplit",
     "TruncateSplit",
     "round_split",

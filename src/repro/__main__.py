@@ -10,6 +10,7 @@ Usage::
     python -m repro ablations            # design-choice ablations (A1-A4)
     python -m repro generality           # TF32-core workflow generality
     python -m repro bench [--quick]      # hot-path performance benchmarks
+    python -m repro faults [--quick]     # fault-injection campaign (ABFT)
 """
 
 from __future__ import annotations
@@ -61,10 +62,15 @@ def main(argv: list[str] | None = None) -> int:
         print(__doc__)
         return 0
     if args and args[0] == "bench":
-        # The only experiment with its own flags (--quick, --out).
+        # Experiments with their own flags (--quick, --out) get the rest
+        # of the argv verbatim.
         from .perf.bench import main as bench_main
 
         return bench_main(args[1:])
+    if args and args[0] == "faults":
+        from .resilience.campaign import main as faults_main
+
+        return faults_main(args[1:])
     names = args or list(_DEFAULT_ORDER)
     unknown = [n for n in names if n not in _EXPERIMENTS]
     if unknown:

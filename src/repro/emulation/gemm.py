@@ -40,6 +40,12 @@ __all__ = ["GemmStats", "EmulatedGemm", "emulated_gemm", "reference_single", "re
 #: large outputs stream chunk-by-chunk, small outputs batch every chunk
 _WIDE_SCRATCH_BYTES = 8 * 1024 * 1024
 
+#: fault-injection hook (``repro.resilience.faults``): when set, called as
+#: ``FAULT_HOOK("accumulator", d)`` after every chunk-term rounding with
+#: the running fp32 accumulator; returns the (possibly corrupted) array
+#: to continue with.  ``None`` in normal operation.
+FAULT_HOOK = None
+
 
 @dataclass
 class GemmStats:
@@ -161,7 +167,10 @@ class EmulatedGemm:
         for dim in batch:
             nbatch *= dim
         stats = GemmStats(m=m, n=n, k=k, scheme=self.scheme.name, batch=nbatch)
-        if nbatch == 0:
+        if nbatch == 0 or min(m, n, k) == 0:
+            # Degenerate GEMM: nothing to split or accumulate.  D is the
+            # correctly-shaped zero (or broadcast C) result and the stats
+            # stay empty — downstream never sees an empty-operand split.
             return d, stats
 
         if self.precision is not InternalPrecision.TENSOR_CORE:
@@ -193,6 +202,7 @@ class EmulatedGemm:
         # and the single fp32 rounding inside ``copyto`` — bit-identical
         # to ``(d.astype(f64) + wide).astype(f32)``.
         wide = np.empty((*batch, m, n), dtype=np.float64)
+        hook = FAULT_HOOK
         for k0 in range(0, k, self.tk):
             k1 = min(k0 + self.tk, k)
             stats.k_chunks += nbatch
@@ -200,6 +210,8 @@ class EmulatedGemm:
                 np.matmul(a64[..., :, k0:k1], b64[..., k0:k1, :], out=wide)
                 wide += d
                 np.copyto(d, wide)
+                if hook is not None:
+                    d = hook("accumulator", d)
                 stats.partial_products += nbatch
 
         tiles = -(-m // 16) * -(-n // 16) * -(-k // 16)
@@ -227,6 +239,12 @@ class EmulatedGemm:
             if c.shape != (m, n):
                 raise ValueError(f"C shape {c.shape} != {(m, n)}")
             d = c.copy()
+
+        if min(m, n, k) == 0:
+            # Degenerate GEMM (k=0 or an empty output): return the
+            # correctly-shaped zero/C result with empty stats instead of
+            # pushing empty operands through the split machinery.
+            return d, GemmStats(m=m, n=n, k=k, scheme=self.scheme.name)
 
         # Data split runs once over each operand (O(N^2), §3.2) — on CUDA
         # cores in the real system, vectorized bit-twiddling here.  The
@@ -269,6 +287,7 @@ class EmulatedGemm:
         m, n = d.shape
         pos = 0
         full = k // tk
+        hook = FAULT_HOOK
         group = int(_WIDE_SCRATCH_BYTES // max(m * n * 8, 1))
         if full >= 2 and group >= 2:
             stacked = [
@@ -285,6 +304,8 @@ class EmulatedGemm:
                     stats.k_chunks += 1
                     for w in wides:
                         d = (d.astype(np.float64) + w[i]).astype(np.float32)
+                        if hook is not None:
+                            d = hook("accumulator", d)
                         stats.partial_products += 1
             pos = full * tk
         for k0 in range(pos, k, tk):
@@ -293,6 +314,8 @@ class EmulatedGemm:
             for a64, b64 in terms64:
                 wide = a64[:, k0:k1] @ b64[k0:k1, :]
                 d = (d.astype(np.float64) + wide).astype(np.float32)
+                if hook is not None:
+                    d = hook("accumulator", d)
                 stats.partial_products += 1
         return d
 

@@ -21,6 +21,11 @@ import numpy as np
 
 __all__ = ["TrafficLog", "GlobalMemory", "SharedMemory", "SharedMemoryOverflow"]
 
+#: fault-injection hook (``repro.resilience.faults``): when set, called as
+#: ``FAULT_HOOK("shared", tile)`` on every tile staged into shared memory;
+#: returns the (possibly corrupted) tile.  ``None`` in normal operation.
+FAULT_HOOK = None
+
 
 class SharedMemoryOverflow(RuntimeError):
     """Raised when a block allocates more scratchpad than the SM has."""
@@ -105,7 +110,10 @@ class SharedMemory:
                 f"{self.capacity_bytes} B budget — the analytic model's "
                 "SHMEM constraint (Eq. 8) should have rejected this tiling"
             )
-        self._tiles[name] = tile.copy()
+        staged = tile.copy()
+        if FAULT_HOOK is not None:
+            staged = FAULT_HOOK("shared", staged)
+        self._tiles[name] = staged
         self.log.shared_store += new_bytes
 
     def load(self, name: str, rows: slice | None = None, cols: slice | None = None) -> np.ndarray:

@@ -25,7 +25,14 @@ from dataclasses import dataclass
 
 from .spec import GpuSpec
 
-__all__ = ["StageUsage", "AllocationResult", "allocate", "egemm_stage_usage"]
+__all__ = [
+    "StageUsage",
+    "AllocationResult",
+    "allocate",
+    "egemm_stage_usage",
+    "FaultExposure",
+    "fault_exposure",
+]
 
 
 @dataclass(frozen=True)
@@ -90,6 +97,46 @@ def allocate(usage: StageUsage, spec: GpuSpec, policy: str = "stage-reuse") -> A
         registers_per_thread=min(used, limit),
         limit=limit,
         spilled_registers=spilled,
+    )
+
+
+@dataclass(frozen=True)
+class FaultExposure:
+    """AVF-style bit-exposure accounting of one allocation policy.
+
+    A particle strike can only corrupt *architecturally live* state:
+    registers the allocation keeps resident, plus any state the policy
+    spilled to local memory (spilled bits are still live — they just
+    moved to a different, typically less-protected, storage class).  The
+    stage-reuse policy shrinks the live register window, which shrinks
+    the raw soft-error cross-section the fault campaigns of
+    :mod:`repro.resilience` model with their FRAG/accumulator flips.
+    """
+
+    policy: str
+    #: per-thread live register bits (32-bit registers)
+    live_register_bits: int
+    #: per-thread bits spilled to local memory by this policy
+    spilled_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.live_register_bits + self.spilled_bits
+
+    @property
+    def spill_fraction(self) -> float:
+        return self.spilled_bits / self.total_bits if self.total_bits else 0.0
+
+
+def fault_exposure(
+    usage: StageUsage, spec: GpuSpec, policy: str = "stage-reuse"
+) -> FaultExposure:
+    """Bit-level fault-exposure surface of ``usage`` under ``policy``."""
+    alloc = allocate(usage, spec, policy)
+    return FaultExposure(
+        policy=policy,
+        live_register_bits=alloc.registers_per_thread * 32,
+        spilled_bits=alloc.spilled_registers * 32,
     )
 
 

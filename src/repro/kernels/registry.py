@@ -26,12 +26,22 @@ KERNELS: dict[str, Callable[[], GemmKernel]] = {
 }
 
 
-def get_kernel(name: str) -> GemmKernel:
-    """Instantiate a kernel by its registry name (case-insensitive)."""
+def get_kernel(name: str, abft: bool = False) -> GemmKernel:
+    """Instantiate a kernel by its registry name (case-insensitive).
+
+    ``abft=True`` wraps the kernel in checksum-based fault tolerance
+    (:class:`repro.resilience.abft.AbftKernel`) — same ``compute``/
+    ``time`` interface, operands augmented with ABFT checksums.
+    """
     key = name.lower()
     if key not in KERNELS:
         raise KeyError(f"unknown kernel {name!r}; choose from {sorted(KERNELS)}")
-    return KERNELS[key]()
+    kernel = KERNELS[key]()
+    if abft:
+        from ..resilience.abft import AbftKernel  # local import: avoids cycle
+
+        kernel = AbftKernel(kernel)
+    return kernel
 
 
 def table5_rows() -> list[dict[str, str]]:

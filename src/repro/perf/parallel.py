@@ -10,24 +10,35 @@ is opt-in through the ``REPRO_JOBS`` environment variable:
 * ``N > 1`` — map over an ``N``-worker process pool;
 * ``0`` — use all available CPUs.
 
-The pool is a *fallback-safe* optimization: if the work function or an
-item cannot be pickled (closures, locks, live array views), or the pool
-dies, the map transparently re-runs serially — callers never see a
-pool-related failure.  Worker processes aggregate counters (MMA calls,
-cache hits) through their *returned* values; in-process shared counters
-are not visible across the process boundary.
+The fallback is deliberately narrow.  Only *pool-infrastructure*
+problems trigger the serial re-run — work that cannot be pickled
+(detected up front, before any worker starts) or a pool whose workers
+died (:class:`~concurrent.futures.process.BrokenProcessPool`) — and
+each fallback logs its reason.  An exception raised *by the work
+function* is a genuine error in the sweep: it propagates to the caller
+once, with its real traceback, instead of being swallowed and re-raised
+later from a confusing serial re-execution of the whole sweep.
+
+Worker processes aggregate counters (MMA calls, cache hits) through
+their *returned* values; in-process shared counters are not visible
+across the process boundary.
 """
 
 from __future__ import annotations
 
+import logging
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
 __all__ = ["default_jobs", "parallel_map"]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+_log = logging.getLogger(__name__)
 
 #: environment variable controlling sweep parallelism
 JOBS_ENV = "REPRO_JOBS"
@@ -47,26 +58,55 @@ def default_jobs() -> int:
     return max(jobs, 1)
 
 
+def _picklable(fn: Callable, sample: object) -> str | None:
+    """Pre-flight check; returns the failure reason, or None when OK.
+
+    Checks the function and one representative item — items of a sweep
+    are homogeneous, so the first item stands in for all of them.
+    """
+    try:
+        pickle.dumps(fn)
+    except Exception as exc:  # pickle raises a zoo of types here
+        return f"work function is not picklable ({type(exc).__name__}: {exc})"
+    try:
+        pickle.dumps(sample)
+    except Exception as exc:
+        return f"work item is not picklable ({type(exc).__name__}: {exc})"
+    return None
+
+
 def parallel_map(
-    fn: Callable[[_T], _R], items: Iterable[_T], jobs: int | None = None
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    jobs: int | None = None,
+    timeout: float | None = None,
 ) -> list[_R]:
     """``[fn(x) for x in items]``, fanned over a process pool when asked.
 
     Order is preserved.  ``jobs=None`` reads ``REPRO_JOBS``; ``jobs<=1``
-    or fewer than two items short-circuits to the serial path.  Any pool
-    failure (unpicklable work, broken worker) falls back to the serial
-    path, so results are identical either way.
+    or fewer than two items short-circuits to the serial path.
+
+    Failure semantics: unpicklable work and a broken pool fall back to
+    the serial path (logged); an exception raised by ``fn`` itself
+    propagates immediately — it would fail identically in serial, so
+    re-running the sweep would only delay and obscure it.  ``timeout``
+    bounds the wall-clock wait for each mapped result (pool path only;
+    a timeout raises :class:`TimeoutError` to the caller).
     """
     work: Sequence[_T] = list(items)
     if jobs is None:
         jobs = default_jobs()
     if jobs <= 1 or len(work) < 2:
         return [fn(x) for x in work]
+    reason = _picklable(fn, work[0])
+    if reason is not None:
+        _log.warning("parallel_map falling back to serial: %s", reason)
+        return [fn(x) for x in work]
     try:
         with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
-            return list(pool.map(fn, work))
-    except Exception:
-        # Pickling failure or a broken pool: the sweep functions are pure,
-        # so re-running serially reproduces the same results (or the same
-        # genuine error, now with a readable traceback).
+            return list(pool.map(fn, work, timeout=timeout))
+    except BrokenProcessPool as exc:
+        _log.warning(
+            "parallel_map falling back to serial: process pool broke (%s)", exc
+        )
         return [fn(x) for x in work]

@@ -14,10 +14,20 @@ the split *and* the per-call float64 promotion.
 
 Keying has two tiers:
 
-* **identity fast path** — a non-writeable array cannot change content,
-  so ``id(array)`` (validated by an ``is`` check against the stored
-  reference, which makes id reuse after garbage collection safe)
-  identifies the plan without touching the data;
+* **identity fast path** — a non-writeable array cannot change content
+  *through its own reference*, so ``id(array)`` (validated by an ``is``
+  check against the stored reference, which makes id reuse after garbage
+  collection safe) identifies the plan without hashing the data.  One
+  loophole remains: a frozen *view* (``y = x.view();
+  y.flags.writeable = False``) still aliases a writeable base, so the
+  content can mutate underneath the frozen reference.  Identity hits are
+  therefore re-validated against a ~64-element strided **guard sample**
+  taken at insert time; a mismatch retires the stale entry (counted in
+  ``stats.stale``) and recomputes.  The guard is probabilistic by design
+  — callers wanting the contract airtight should freeze the *base*
+  array, not a view — but it catches real mutations at O(1) cost and
+  keeps the fast path data-untouched on the overwhelmingly common
+  unchanged case;
 * **content fingerprint fallback** — writeable arrays are keyed by
   (shape, dtype, blake2b digest of the bytes).  Hashing is a single
   cheap pass, far below the split's cost, and it guarantees that an
@@ -52,6 +62,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: identity-keyed entries retired because the guard sample showed the
+    #: array content changed (mutation through a writeable view/base)
+    stale: int = 0
 
     @property
     def lookups(self) -> int:
@@ -93,12 +106,34 @@ def _fingerprint(x: np.ndarray) -> bytes:
     return hashlib.blake2b(data.view(np.uint8).reshape(-1), digest_size=16).digest()
 
 
+#: elements sampled for the identity-entry guard (strided across the array)
+_GUARD_SAMPLES = 64
+
+
+def _guard_sample(x: np.ndarray) -> bytes:
+    """Cheap content witness: up to 64 elements strided across ``x``.
+
+    O(1) in array size (``np.take`` on the flat index space works for
+    non-contiguous views without materializing a copy), so the identity
+    fast path stays fast; enough coverage to catch any real re-fill of
+    the operand between iterations.
+    """
+    n = x.size
+    if n == 0:
+        return b""
+    idx = np.linspace(0, n - 1, num=min(_GUARD_SAMPLES, n), dtype=np.intp)
+    return np.take(x, idx).tobytes()
+
+
 @dataclass
 class _Entry:
     plan: SplitPlan
     #: strong reference for identity-keyed entries, validated with ``is``
     #: on lookup so a recycled id can never alias a dead array
     array: np.ndarray | None = None
+    #: guard sample taken at insert, re-checked on identity hits to catch
+    #: mutation through a writeable view of the same buffer
+    guard: bytes = b""
 
 
 @dataclass
@@ -133,15 +168,26 @@ class SplitCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None and (entry.array is None or entry.array is x):
-                self._entries.move_to_end(key)
-                self.stats.hits += 1
-                return entry.plan
+                if entry.array is not None and entry.guard != _guard_sample(x):
+                    # Frozen view, writeable base, content changed: the
+                    # cached plan no longer describes this data.
+                    del self._entries[key]
+                    self.stats.stale += 1
+                else:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return entry.plan
             self.stats.misses += 1
         # Split outside the lock: the split is the expensive part and is
         # deterministic, so a racing duplicate costs time, not correctness.
         plan = SplitPlan(splitter(x))
         with self._lock:
-            self._entries[key] = _Entry(plan=plan, array=x if key[0] == "id" else None)
+            is_id = key[0] == "id"
+            self._entries[key] = _Entry(
+                plan=plan,
+                array=x if is_id else None,
+                guard=_guard_sample(x) if is_id else b"",
+            )
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)

@@ -1,0 +1,61 @@
+"""Fault-tolerant execution layer (beyond the paper; ROADMAP robustness pillar).
+
+The paper's value proposition is *trustworthy* numerics on
+reduced-precision hardware — this subpackage makes the reproduction
+trustworthy under *faults* as well:
+
+* :mod:`repro.resilience.faults` — a seeded fault-injection framework
+  hooked into the simulator's HMMA accumulator, FRAG registers, and
+  shared-memory tiles, with per-site fault logs;
+* :mod:`repro.resilience.abft` — algorithm-based fault tolerance
+  (checksum rows/columns, Huang & Abraham) composed with the emulated
+  GEMM: detect, locate, and correct single-element faults, recompute on
+  multi-element corruption;
+* :mod:`repro.resilience.runner` — a resilient execution path for every
+  kernel: input sanitization, automatic scheme escalation when operands
+  leave fp16's range, a retry-with-fallback kernel chain with bounded
+  backoff, and per-stage timeouts;
+* :mod:`repro.resilience.campaign` — the ``python -m repro faults``
+  injection-campaign CLI (detection / correction / false-positive rates
+  and the protected-vs-unprotected overhead).
+
+See docs/robustness.md for the fault model and the ABFT math.
+"""
+
+from __future__ import annotations
+
+from .abft import AbftError, AbftGemm, AbftKernel, AbftReport, abft_run, augment_operands
+from .campaign import run_campaign
+from .faults import FaultEvent, FaultInjector, FaultSite, flip_bit
+from .runner import (
+    ExhaustedFallbacksError,
+    InputValidationError,
+    ResilienceError,
+    ResilientRunner,
+    RunnerResult,
+    StageTimeoutError,
+    assess_operand,
+    call_with_timeout,
+)
+
+__all__ = [
+    "AbftError",
+    "AbftGemm",
+    "AbftKernel",
+    "AbftReport",
+    "abft_run",
+    "augment_operands",
+    "run_campaign",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSite",
+    "flip_bit",
+    "ExhaustedFallbacksError",
+    "InputValidationError",
+    "ResilienceError",
+    "ResilientRunner",
+    "RunnerResult",
+    "StageTimeoutError",
+    "assess_operand",
+    "call_with_timeout",
+]

@@ -1,0 +1,406 @@
+"""Algorithm-based fault tolerance for the emulated GEMM (Huang & Abraham).
+
+The classic ABFT construction composes exactly with Algorithm 1's k-chunk
+accumulation: augment ``A`` with a checksum **row** (column sums) and
+``B`` with a checksum **column** (row sums), run the *same* emulated GEMM
+over the augmented operands, and the product arrives carrying its own
+checksums::
+
+    [ A ]           [ A@B      A@B@e ]
+    [e'A] @ [B Be] = [e'A@B   e'A@B@e]     (e = ones vector)
+
+Row ``i`` of the data block must sum to the checksum column entry ``i``
+and column ``j`` to the checksum row entry ``j`` — up to the emulation's
+*numerical* error, for which this module derives a per-row/per-column
+tolerance from operand magnitudes (|A| and |B| row/column sums — two
+mat-vec products, O(N²) against the GEMM's O(N³)).
+
+A violated invariant localizes the fault: one bad row *and* one bad
+column intersect at a single corrupted element, which is **corrected**
+from the row checksum (the correction is cross-validated against the
+column checksum before being accepted); a bad row or column alone means
+the corruption sits in a checksum entry and the data block is intact;
+anything else (multi-element corruption, e.g. a flipped FRAG operand
+bit that poisons a whole tile row) triggers the **recompute fallback**.
+
+This is the same guarantee mechanism the Ozaki-scheme literature uses to
+certify DGEMM on reduced-precision tensor cores (Schwarz et al.,
+PAPERS.md); here it certifies the simulated pipeline against the fault
+campaigns of :mod:`repro.resilience.faults`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Callable
+
+import numpy as np
+
+from ..emulation.gemm import EmulatedGemm, GemmStats
+from ..gpu.engine import KernelTiming
+from ..gpu.spec import TESLA_T4, GpuSpec
+from ..kernels.base import GemmKernel, KernelInfo
+
+__all__ = [
+    "AbftError",
+    "AbftReport",
+    "augment_operands",
+    "checksum_tolerances",
+    "abft_run",
+    "AbftGemm",
+    "AbftKernel",
+]
+
+#: default safety factor over the analytic error bound — wide enough that
+#: clean Figure 7/8-class sweeps never false-positive (validated in
+#: tests/test_resilience.py), tight enough to catch upper-mantissa flips
+DEFAULT_TOL_FACTOR = 16.0
+
+
+class AbftError(RuntimeError):
+    """Raised when a detected fault survives correction and recompute."""
+
+
+@dataclass
+class AbftReport:
+    """Outcome of one ABFT-protected GEMM execution."""
+
+    detected: bool = False
+    #: "clean" | "data" | "row-checksum" | "col-checksum" | "corner" | "multi"
+    kind: str = "clean"
+    #: (row, col) of a located single-element data fault
+    location: tuple[int, int] | None = None
+    corrected: bool = False
+    recomputes: int = 0
+    unrecovered: bool = False
+    #: max |row/col discrepancy| / tolerance observed before any repair
+    #: (< 1.0 on a clean run; diagnosing threshold margins)
+    max_residual_ratio: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "detected": self.detected,
+            "kind": self.kind,
+            "location": list(self.location) if self.location else None,
+            "corrected": self.corrected,
+            "recomputes": self.recomputes,
+            "unrecovered": self.unrecovered,
+            "max_residual_ratio": self.max_residual_ratio,
+        }
+
+
+def augment_operands(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Append the checksum row to A, column to B (and both to C).
+
+    Checksums are accumulated in float64 and stored in float32 — the
+    rounding of the stored checksum is part of the verified error budget.
+    """
+    a32 = np.asarray(a, dtype=np.float32)
+    b32 = np.asarray(b, dtype=np.float32)
+    a_aug = np.vstack([a32, a32.sum(axis=0, dtype=np.float64).astype(np.float32)[None, :]])
+    b_aug = np.hstack([b32, b32.sum(axis=1, dtype=np.float64).astype(np.float32)[:, None]])
+    c_aug = None
+    if c is not None:
+        c32 = np.asarray(c, dtype=np.float32)
+        col = c32.sum(axis=1, dtype=np.float64)
+        row = c32.sum(axis=0, dtype=np.float64)
+        c_aug = np.zeros((c32.shape[0] + 1, c32.shape[1] + 1), dtype=np.float32)
+        c_aug[:-1, :-1] = c32
+        c_aug[:-1, -1] = col.astype(np.float32)
+        c_aug[-1, :-1] = row.astype(np.float32)
+        c_aug[-1, -1] = np.float32(c32.sum(dtype=np.float64))
+    return a_aug, b_aug, c_aug
+
+
+def checksum_tolerances(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+    *,
+    tk: int = 16,
+    terms: int = 4,
+    unit_roundoff: float = 2.0**-22,
+    tol_factor: float = DEFAULT_TOL_FACTOR,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row / per-column absolute detection thresholds.
+
+    The emulated product's per-element error is bounded by
+    ``u_e * sum_k |a_ik||b_kj|`` with ``u_e`` covering the split residual
+    (``unit_roundoff``, from the scheme's effective mantissa) plus one
+    fp32 rounding per chunk-term (``terms * ceil(k/tk) * 2^-24``).
+    Summing the bound along a row gives ``u_e * S_row`` with
+    ``S_row = |A| @ rowsum(|B|)`` — an O(mk) mat-vec, not a matmul.  The
+    checksum entry obeys the same bound, so the row discrepancy of a
+    clean run is below ``2 * u_e * S_row``; ``tol_factor`` adds the
+    safety margin.
+    """
+    a64 = np.abs(np.asarray(a, dtype=np.float64))
+    b64 = np.abs(np.asarray(b, dtype=np.float64))
+    k = a64.shape[1]
+    chunks = max(ceil(k / max(tk, 1)), 1)
+    u_e = unit_roundoff + terms * chunks * 2.0**-24 + 2.0**-23
+    s_row = a64 @ b64.sum(axis=1)
+    s_col = a64.sum(axis=0) @ b64
+    if c is not None:
+        c64 = np.abs(np.asarray(c, dtype=np.float64))
+        s_row = s_row + c64.sum(axis=1)
+        s_col = s_col + c64.sum(axis=0)
+    tiny = np.finfo(np.float32).tiny
+    tol_row = tol_factor * 2.0 * u_e * s_row + tiny
+    tol_col = tol_factor * 2.0 * u_e * s_col + tiny
+    return tol_row, tol_col
+
+
+@dataclass
+class _Check:
+    """Invariant evaluation of one augmented product."""
+
+    bad_rows: np.ndarray
+    bad_cols: np.ndarray
+    rdiff: np.ndarray
+    cdiff: np.ndarray
+    corner_bad: bool
+    max_ratio: float
+
+
+def _verify(d_aug: np.ndarray, tol_row: np.ndarray, tol_col: np.ndarray) -> _Check:
+    m, n = d_aug.shape[0] - 1, d_aug.shape[1] - 1
+    with np.errstate(invalid="ignore", over="ignore"):
+        d = d_aug[:m, :n].astype(np.float64)
+        rdiff = d.sum(axis=1) - d_aug[:m, n].astype(np.float64)
+        cdiff = d.sum(axis=0) - d_aug[m, :n].astype(np.float64)
+        bad_rows = np.flatnonzero(~np.isfinite(rdiff) | (np.abs(rdiff) > tol_row))
+        bad_cols = np.flatnonzero(~np.isfinite(cdiff) | (np.abs(cdiff) > tol_col))
+        corner = d_aug[m, :n].astype(np.float64).sum() - float(d_aug[m, n])
+        corner_bad = bool(~np.isfinite(corner) or abs(corner) > tol_row.sum() + tol_col.sum())
+        finite_r = np.abs(rdiff[np.isfinite(rdiff)])
+        ratios = finite_r / tol_row[np.isfinite(rdiff)] if finite_r.size else np.zeros(1)
+        max_ratio = float(ratios.max()) if ratios.size else 0.0
+        if bad_rows.size and not np.all(np.isfinite(rdiff)):
+            max_ratio = float("inf")
+    return _Check(bad_rows, bad_cols, rdiff, cdiff, corner_bad, max_ratio)
+
+
+def _correct_single(
+    d_aug: np.ndarray, i: int, j: int, check: _Check, tol_row: np.ndarray, tol_col: np.ndarray
+) -> bool:
+    """Correct data element (i, j) from the row checksum, cross-validated.
+
+    Returns True when the corrected value also satisfies the column
+    invariant (a mislocated or multi-element fault fails this and falls
+    through to recompute).
+    """
+    m, n = d_aug.shape[0] - 1, d_aug.shape[1] - 1
+    with np.errstate(invalid="ignore", over="ignore"):
+        row = d_aug[i, :n].astype(np.float64).copy()
+        row[j] = 0.0
+        corrected = float(d_aug[i, n]) - row.sum()
+        col = d_aug[:m, j].astype(np.float64).copy()
+        col[i] = 0.0
+        col_residual = col.sum() + corrected - float(d_aug[m, j])
+    if not np.isfinite(corrected) or abs(col_residual) > tol_col[j]:
+        return False
+    d_aug[i, j] = np.float32(corrected)
+    return True
+
+
+def abft_run(
+    gemm_fn: Callable[[np.ndarray, np.ndarray, np.ndarray | None], np.ndarray],
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+    *,
+    tk: int = 16,
+    terms: int = 4,
+    unit_roundoff: float = 2.0**-22,
+    tol_factor: float = DEFAULT_TOL_FACTOR,
+    max_recomputes: int = 1,
+    raise_on_unrecovered: bool = False,
+) -> tuple[np.ndarray, AbftReport]:
+    """Run ``gemm_fn`` under ABFT protection; return (data block, report).
+
+    ``gemm_fn(a_aug, b_aug, c_aug) -> d_aug`` is any GEMM backend —
+    the emulated driver, a kernel's ``compute``, or the functional tiled
+    executor.  The returned data block is bit-identical to the
+    unprotected result on a fault-free run (the augmented row/column do
+    not perturb the data block's arithmetic).
+    """
+    a32 = np.asarray(a, dtype=np.float32)
+    b32 = np.asarray(b, dtype=np.float32)
+    a_aug, b_aug, c_aug = augment_operands(a32, b32, c)
+    tol_row, tol_col = checksum_tolerances(
+        a32, b32, c, tk=tk, terms=terms, unit_roundoff=unit_roundoff, tol_factor=tol_factor
+    )
+    # The checksum row/column have their own invariant contributions:
+    # extend the row tolerances with the checksum row's bound and vice
+    # versa (their magnitudes are the operand sums already in S).
+    report = AbftReport()
+    d_aug = np.asarray(gemm_fn(a_aug, b_aug, c_aug), dtype=np.float32)
+
+    for _ in range(max_recomputes + 1):
+        check = _verify(d_aug, tol_row, tol_col)
+        report.max_residual_ratio = max(report.max_residual_ratio, check.max_ratio)
+        nr, nc = check.bad_rows.size, check.bad_cols.size
+        if nr == 0 and nc == 0 and not check.corner_bad:
+            break
+        report.detected = True
+        if nr == 1 and nc == 1:
+            i, j = int(check.bad_rows[0]), int(check.bad_cols[0])
+            report.kind = "data"
+            report.location = (i, j)
+            if _correct_single(d_aug, i, j, check, tol_row, tol_col):
+                report.corrected = True
+                break
+        elif nr == 1 and nc == 0:
+            # Row checksum entry corrupted; the data block is intact.
+            i = int(check.bad_rows[0])
+            report.kind = "row-checksum"
+            report.location = (i, d_aug.shape[1] - 1)
+            d_aug[i, -1] = np.float32(d_aug[i, :-1].astype(np.float64).sum())
+            report.corrected = True
+            break
+        elif nr == 0 and nc == 1:
+            j = int(check.bad_cols[0])
+            report.kind = "col-checksum"
+            report.location = (d_aug.shape[0] - 1, j)
+            d_aug[-1, j] = np.float32(d_aug[:-1, j].astype(np.float64).sum())
+            report.corrected = True
+            break
+        elif nr == 0 and nc == 0:
+            report.kind = "corner"
+            report.location = (d_aug.shape[0] - 1, d_aug.shape[1] - 1)
+            d_aug[-1, -1] = np.float32(d_aug[-1, :-1].astype(np.float64).sum())
+            report.corrected = True
+            break
+        else:
+            report.kind = "multi"
+        # Located-but-uncorrectable or multi-element: recompute fallback.
+        if report.recomputes >= max_recomputes:
+            report.unrecovered = True
+            break
+        report.recomputes += 1
+        d_aug = np.asarray(gemm_fn(a_aug, b_aug, c_aug), dtype=np.float32)
+        if report.recomputes > 0 and report.kind == "multi":
+            report.corrected = True  # provisional; re-verified by the loop
+
+    if report.unrecovered and raise_on_unrecovered:
+        raise AbftError(
+            f"checksum invariant still violated after {report.recomputes} recompute(s): "
+            f"{report.kind} fault"
+        )
+    if report.unrecovered:
+        report.corrected = False
+    return d_aug[:-1, :-1].copy(), report
+
+
+@dataclass
+class AbftGemm:
+    """ABFT-protected :class:`~repro.emulation.gemm.EmulatedGemm` wrapper.
+
+    Opt-in: construct with any configured ``EmulatedGemm`` and call
+    :meth:`run` in its place.  Tolerances adapt to the wrapped scheme's
+    effective mantissa and chunk length.
+    """
+
+    gemm: EmulatedGemm = field(default_factory=EmulatedGemm)
+    tol_factor: float = DEFAULT_TOL_FACTOR
+    max_recomputes: int = 1
+    raise_on_unrecovered: bool = False
+
+    def run(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None
+    ) -> tuple[np.ndarray, GemmStats, AbftReport]:
+        stats_box: list[GemmStats] = []
+
+        def fn(aa: np.ndarray, bb: np.ndarray, cc: np.ndarray | None) -> np.ndarray:
+            d, stats = self.gemm.run(aa, bb, cc)
+            stats_box.append(stats)
+            return d
+
+        scheme = self.gemm.scheme
+        d, report = abft_run(
+            fn,
+            a,
+            b,
+            c,
+            tk=self.gemm.tk,
+            terms=scheme.compute_overhead if scheme.split is not None else 1,
+            unit_roundoff=2.0 ** -(scheme.effective_mantissa_bits + 1),
+            tol_factor=self.tol_factor,
+            max_recomputes=self.max_recomputes,
+            raise_on_unrecovered=self.raise_on_unrecovered,
+        )
+        return d, stats_box[-1], report
+
+    def __call__(self, a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None) -> np.ndarray:
+        d, _, _ = self.run(a, b, c)
+        return d
+
+
+class AbftKernel(GemmKernel):
+    """ABFT protection over any :class:`~repro.kernels.base.GemmKernel`.
+
+    ``compute`` runs the wrapped kernel on checksum-augmented operands
+    and verifies/repairs the invariant (:attr:`last_report` holds the
+    outcome); ``time`` reports the augmented (m+1, n+1, k) launch, making
+    the protection overhead visible to the timing experiments.
+    """
+
+    def __init__(
+        self,
+        kernel: GemmKernel,
+        tol_factor: float = DEFAULT_TOL_FACTOR,
+        max_recomputes: int = 1,
+        raise_on_unrecovered: bool = False,
+    ) -> None:
+        self.kernel = kernel
+        self.tol_factor = tol_factor
+        self.max_recomputes = max_recomputes
+        self.raise_on_unrecovered = raise_on_unrecovered
+        self.last_report: AbftReport | None = None
+        inner = kernel.info
+        self.info = KernelInfo(
+            name=f"ABFT-{inner.name}",
+            source=inner.source,
+            precision=inner.precision,
+            description=f"{inner.description} + checksum-row/column fault tolerance",
+        )
+
+    def _numerics(self) -> tuple[int, int, float]:
+        """(tk, terms, unit_roundoff) of the wrapped kernel's arithmetic."""
+        gemm = getattr(self.kernel, "_gemm", None)
+        scheme = getattr(self.kernel, "scheme", None)
+        if scheme is None and gemm is not None:
+            scheme = gemm.scheme
+        tk = gemm.tk if gemm is not None else 1
+        if scheme is not None and scheme.split is not None:
+            return tk, scheme.compute_overhead, 2.0 ** -(scheme.effective_mantissa_bits + 1)
+        if scheme is not None:  # half-precision scheme (no split)
+            return tk, 1, 2.0 ** -(scheme.effective_mantissa_bits + 1)
+        # fp32 CUDA-core kernels: one fp32 rounding per k step.
+        return 1, 1, 2.0**-24
+
+    def compute(self, a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None) -> np.ndarray:
+        tk, terms, unit = self._numerics()
+        d, report = abft_run(
+            self.kernel.compute,
+            a,
+            b,
+            c,
+            tk=tk,
+            terms=terms,
+            unit_roundoff=unit,
+            tol_factor=self.tol_factor,
+            max_recomputes=self.max_recomputes,
+            raise_on_unrecovered=self.raise_on_unrecovered,
+        )
+        self.last_report = report
+        return d
+
+    def time(self, m: int, n: int, k: int, spec: GpuSpec = TESLA_T4) -> KernelTiming:
+        timing = self.kernel.time(m + 1, n + 1, k, spec)
+        timing.name = self.info.name
+        return timing

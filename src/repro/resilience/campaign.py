@@ -1,0 +1,364 @@
+"""Fault-injection campaigns: measure what ABFT actually catches.
+
+A campaign drives thousands of seeded single-bit flips through the
+simulator's fault sites (:mod:`repro.resilience.faults`) while the GEMM
+runs under ABFT protection (:mod:`repro.resilience.abft`), and accounts
+for every outcome:
+
+* **detected** — the checksum invariant fired; the protected result was
+  repaired (single-element correction or recompute fallback);
+* **masked** — the flip's perturbation is below the ABFT significance
+  threshold *and* the delivered result is numerically clean (benign
+  faults in the fault-injection literature — low-mantissa noise);
+* **SDC** — silent data corruption: undetected *and* the delivered
+  result is wrong.  The acceptance bar for the protected pipeline is
+  **zero**.
+
+The campaign also runs clean (fault-free) Figure 7/8-style sweeps to
+measure the false-positive rate (must also be zero: a checksum scheme
+that cries wolf on ordinary rounding is unusable), times the
+protected-vs-unprotected overhead, and reports the register fault-
+exposure surface of the two §5.2 allocation policies.
+
+CLI::
+
+    python -m repro faults [--quick] [--faults N] [--seed S] [--out F]
+
+Exits non-zero when the campaign misses the acceptance bar (SDC > 0,
+false positives > 0, detection < 99%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from math import ceil
+from pathlib import Path
+
+import numpy as np
+
+from ..emulation.gemm import EmulatedGemm
+from ..emulation.schemes import get_scheme
+from ..gpu.registers import egemm_stage_usage, fault_exposure
+from ..gpu.spec import TESLA_T4
+from ..kernels.registry import get_kernel
+from ..tensorize.kernel import run_functional
+from .abft import AbftGemm, abft_run, checksum_tolerances
+from .faults import FaultInjector, FaultSite
+from .runner import ResilientRunner
+
+__all__ = ["run_campaign", "main"]
+
+#: (m, n, k) pools for accumulator-site trials
+_SIZES_FULL = ((48, 48, 96), (64, 64, 64), (32, 48, 80))
+_SIZES_QUICK = ((32, 32, 64), (48, 32, 48))
+
+#: functional-path trial shape: augmented operands land exactly on the
+#: default 32x32x16 block tiling (31+1 = 32)
+_FUNCTIONAL_SHAPE = (31, 31, 32)
+
+DETECTION_TARGET = 0.99
+
+
+def _operands(rng: np.random.Generator, m: int, n: int, k: int):
+    a = rng.standard_normal((m, k)).astype(np.float32)
+    b = rng.standard_normal((k, n)).astype(np.float32)
+    return a, b
+
+
+def _accumulator_campaign(faults: int, seed: int) -> dict:
+    """Inject single-bit flips into the HMMA/chunk accumulators."""
+    sizes = _SIZES_QUICK if faults <= 200 else _SIZES_FULL
+    rng = np.random.default_rng(seed)
+    gemm = EmulatedGemm()
+    protected = AbftGemm(gemm=gemm)
+    cases = []
+    for m, n, k in sizes:
+        a, b = _operands(rng, m, n, k)
+        d0, _ = gemm.run(a, b)
+        tol_row, _ = checksum_tolerances(a, b, tk=gemm.tk, terms=4)
+        # One accumulator-hook call per stacked chunk-term of the
+        # augmented (m+1, k) x (k, n+1) run.
+        calls = ceil(k / gemm.tk) * gemm.scheme.compute_overhead
+        cases.append((a, b, d0, float(tol_row.max()), calls))
+
+    injector = FaultInjector(seed=seed, site=FaultSite.ACCUMULATOR, faults=1)
+    counts = {"injected": 0, "detected": 0, "corrected": 0, "recomputed": 0,
+              "masked": 0, "sdc": 0, "miscorrected": 0, "unrecovered": 0}
+    with injector.installed():
+        for t in range(faults):
+            a, b, d0, thresh, calls = cases[t % len(cases)]
+            injector.arm(skip=int(np.random.default_rng((seed, t)).integers(0, calls)))
+            # Exponent-bit flips legitimately push values to Inf/NaN;
+            # the resulting cast/arithmetic warnings are the fault model
+            # working as intended, not numerical bugs.
+            with np.errstate(invalid="ignore", over="ignore"):
+                d, _, report = protected.run(a, b)
+            injector.disarm()
+            if injector.injected == 0:
+                continue
+            counts["injected"] += 1
+            diff = float(np.abs(d.astype(np.float64) - d0.astype(np.float64)).max())
+            clean = diff <= thresh
+            if report.unrecovered:
+                counts["unrecovered"] += 1
+            elif report.detected:
+                counts["detected"] += 1
+                counts["recomputed"] += report.recomputes
+                if clean:
+                    counts["corrected"] += 1
+                else:
+                    counts["miscorrected"] += 1
+            elif clean:
+                counts["masked"] += 1
+            else:
+                counts["sdc"] += 1
+    # Coverage over *significant* faults: a flip whose effect is below the
+    # checksum tolerance is architecturally masked — no output-level
+    # detector can (or needs to) see it.  Masked counts stay in the
+    # report; they just don't dilute the coverage of faults that matter.
+    significant = counts["injected"] - counts["masked"]
+    counts["significant"] = significant
+    counts["detection_rate"] = counts["detected"] / significant if significant else 1.0
+    counts["events"] = len(injector.events)
+    return counts
+
+
+def _functional_campaign(trials: int, seed: int, site: FaultSite) -> dict:
+    """Inject FRAG / shared-memory flips into the functional tiled path.
+
+    An operand-register or shared-tile flip corrupts a whole tile
+    row/column of the product — a multi-element signature ABFT cannot
+    correct in place, exercising the recompute fallback.
+    """
+    m, n, k = _FUNCTIONAL_SHAPE
+    site_id = list(FaultSite).index(site)
+    rng = np.random.default_rng((seed, 100 + site_id))
+    a, b = _operands(rng, m, n, k)
+    d0 = run_functional(a, b).d
+    tol_row, _ = checksum_tolerances(a, b, tk=8, terms=4)
+    thresh = 2.0 * float(tol_row.max())
+    # Eligible hook calls per protected run: every mma sees two operand
+    # fragments ("frag"); every k-iteration stages four tiles ("shared").
+    calls = 256 if site is FaultSite.FRAG else 8
+
+    def gemm_fn(aa, bb, cc):
+        return run_functional(aa, bb, cc).d
+
+    injector = FaultInjector(seed=seed + 1, site=site, faults=1)
+    counts = {"injected": 0, "detected": 0, "recovered": 0, "masked": 0,
+              "sdc": 0, "unrecovered": 0}
+    with injector.installed():
+        for t in range(trials):
+            injector.arm(skip=int(np.random.default_rng((seed, site_id, t)).integers(0, calls)))
+            with np.errstate(invalid="ignore", over="ignore"):
+                d, report = abft_run(gemm_fn, a, b, tk=8, terms=4)
+            injector.disarm()
+            if injector.injected == 0:
+                continue
+            counts["injected"] += 1
+            diff = float(np.abs(d.astype(np.float64) - d0.astype(np.float64)).max())
+            clean = diff <= thresh
+            if report.unrecovered:
+                counts["unrecovered"] += 1
+            elif report.detected:
+                counts["detected"] += 1
+                if clean:
+                    counts["recovered"] += 1
+            elif clean:
+                counts["masked"] += 1
+            else:
+                counts["sdc"] += 1
+    significant = counts["injected"] - counts["masked"]
+    counts["significant"] = significant
+    counts["detection_rate"] = counts["detected"] / significant if significant else 1.0
+    return counts
+
+
+def _false_positive_sweeps(quick: bool, seed: int) -> dict:
+    """Fault-free protected runs over Figure 7/8-style configurations.
+
+    Every detection here is a false positive; the count must be zero.
+    """
+    rng = np.random.default_rng(seed)
+    runs = 0
+    false_positives = 0
+    worst_ratio = 0.0
+
+    # Figure 7 style: precision sweep of the emulated schemes.
+    sizes7 = (96, 128) if quick else (128, 256, 384)
+    for scheme_name in ("egemm-tc", "markidis"):
+        protected = AbftGemm(gemm=EmulatedGemm(scheme=get_scheme(scheme_name)))
+        for size in sizes7:
+            a, b = _operands(rng, size, size, size)
+            _, _, report = protected.run(a, b)
+            runs += 1
+            worst_ratio = max(worst_ratio, report.max_residual_ratio)
+            false_positives += int(report.detected)
+
+    # Figure 8 style: the timing-sweep kernels under AbftKernel.
+    sizes8 = (64,) if quick else (64, 128)
+    for name in ("cublas-cuda-fp32", "cublas-tc-emulation", "egemm-tc"):
+        kernel = get_kernel(name, abft=True)
+        for size in sizes8:
+            a, b = _operands(rng, size, size, size)
+            kernel.compute(a, b)
+            runs += 1
+            worst_ratio = max(worst_ratio, kernel.last_report.max_residual_ratio)
+            false_positives += int(kernel.last_report.detected)
+
+    return {"runs": runs, "false_positives": false_positives,
+            "worst_residual_ratio": worst_ratio}
+
+
+def _overhead(quick: bool, seed: int) -> dict:
+    """Protected-vs-unprotected cost, measured and modelled."""
+    size = 128 if quick else 256
+    rng = np.random.default_rng(seed)
+    a, b = _operands(rng, size, size, size)
+    gemm = EmulatedGemm()
+    protected = AbftGemm(gemm=gemm)
+
+    def best_of(fn, reps=3):
+        times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    plain_s = best_of(lambda: gemm.run(a, b))
+    abft_s = best_of(lambda: protected.run(a, b))
+
+    # Modelled overhead on the timing engine: the augmented launch.
+    kernel = get_kernel("egemm-tc")
+    modelled = get_kernel("egemm-tc", abft=True).time(size, size, size).seconds / kernel.time(
+        size, size, size
+    ).seconds
+    return {
+        "size": size,
+        "unprotected_s": plain_s,
+        "protected_s": abft_s,
+        "measured_overhead": abft_s / plain_s if plain_s else float("nan"),
+        "modelled_overhead": modelled,
+    }
+
+
+def _register_exposure() -> dict:
+    """Bit-level soft-error surface of the two §5.2 allocation policies."""
+    usage = egemm_stage_usage(64, 32, 8, 128, 128, 32)
+    out = {}
+    for policy in ("stage-reuse", "naive"):
+        exp = fault_exposure(usage, TESLA_T4, policy)
+        out[policy] = {
+            "live_register_bits": exp.live_register_bits,
+            "spilled_bits": exp.spilled_bits,
+            "total_bits": exp.total_bits,
+            "spill_fraction": exp.spill_fraction,
+        }
+    return out
+
+
+def _runner_drill(seed: int) -> dict:
+    """Exercise the resilient runner's escalation on hostile operands."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((48, 64)).astype(np.float32) * 1.0e6  # >> FP16_MAX
+    b = rng.standard_normal((64, 48)).astype(np.float32)
+    runner = ResilientRunner(abft=True)
+    result = runner.run(a, b)
+    ref = a.astype(np.float64) @ b.astype(np.float64)
+    rel = float(np.abs(result.d - ref).max() / max(np.abs(ref).max(), 1e-30))
+    return {
+        "kernel": result.kernel,
+        "escalation": result.escalation,
+        "attempts": result.total_attempts,
+        "finite": bool(np.isfinite(result.d).all()),
+        "max_rel_error": rel,
+    }
+
+
+def run_campaign(
+    faults: int = 1000, seed: int = 0, quick: bool = False, out: str | Path | None = None
+) -> dict:
+    """Run the full fault-injection campaign; returns (and saves) the report."""
+    if quick:
+        faults = min(faults, 120)
+    functional_trials = 6 if quick else 25
+
+    report = {
+        "seed": seed,
+        "quick": quick,
+        "accumulator": _accumulator_campaign(faults, seed),
+        "frag": _functional_campaign(functional_trials, seed, FaultSite.FRAG),
+        "shared": _functional_campaign(functional_trials, seed, FaultSite.SHARED),
+        "clean_sweeps": _false_positive_sweeps(quick, seed + 7),
+        "overhead": _overhead(quick, seed + 11),
+        "register_exposure": _register_exposure(),
+        "runner": _runner_drill(seed + 13),
+    }
+    sdc = sum(report[s]["sdc"] for s in ("accumulator", "frag", "shared"))
+    unrecovered = sum(report[s]["unrecovered"] for s in ("accumulator", "frag", "shared"))
+    report["summary"] = {
+        "total_injected": sum(
+            report[s]["injected"] for s in ("accumulator", "frag", "shared")
+        ),
+        "detection_rate": report["accumulator"]["detection_rate"],
+        "sdc": sdc,
+        "unrecovered": unrecovered,
+        "false_positives": report["clean_sweeps"]["false_positives"],
+        "pass": (
+            sdc == 0
+            and unrecovered == 0
+            and report["accumulator"]["miscorrected"] == 0
+            and report["clean_sweeps"]["false_positives"] == 0
+            and report["accumulator"]["detection_rate"] >= DETECTION_TARGET
+        ),
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(report, indent=2, default=float))
+    return report
+
+
+def _print_summary(report: dict) -> None:
+    acc, s = report["accumulator"], report["summary"]
+    print("fault-injection campaign")
+    print(f"  accumulator: {acc['injected']} faults "
+          f"({acc['significant']} significant, {acc['masked']} masked), "
+          f"{100 * acc['detection_rate']:.1f}% of significant detected, "
+          f"{acc['sdc']} SDC, {acc['miscorrected']} miscorrected")
+    for site in ("frag", "shared"):
+        r = report[site]
+        print(f"  {site:11s}: {r['injected']} faults "
+              f"({r['significant']} significant, {r['masked']} masked), "
+              f"{100 * r['detection_rate']:.1f}% of significant detected, "
+              f"{r['sdc']} SDC")
+    cs = report["clean_sweeps"]
+    print(f"  clean sweeps: {cs['runs']} runs, {cs['false_positives']} false positives "
+          f"(worst residual at {100 * cs['worst_residual_ratio']:.3g}% of threshold)")
+    ov = report["overhead"]
+    print(f"  overhead @ n={ov['size']}: {ov['measured_overhead']:.2f}x measured, "
+          f"{ov['modelled_overhead']:.3f}x modelled")
+    rn = report["runner"]
+    print(f"  runner drill: kernel={rn['kernel']} escalation={rn['escalation']} "
+          f"rel-err={rn['max_rel_error']:.2e}")
+    print(f"  verdict: {'PASS' if s['pass'] else 'FAIL'} "
+          f"(SDC={s['sdc']}, unrecovered={s['unrecovered']}, "
+          f"false positives={s['false_positives']})")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro faults",
+        description="seeded fault-injection campaign over the ABFT-protected pipeline",
+    )
+    parser.add_argument("--quick", action="store_true", help="small CI-sized campaign")
+    parser.add_argument("--faults", type=int, default=1000, help="accumulator-site fault count")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="FAULTS_campaign.json", help="JSON report path")
+    args = parser.parse_args(argv)
+
+    report = run_campaign(faults=args.faults, seed=args.seed, quick=args.quick, out=args.out)
+    _print_summary(report)
+    print(f"report written to {args.out}")
+    return 0 if report["summary"]["pass"] else 1

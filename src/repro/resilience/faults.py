@@ -1,0 +1,215 @@
+"""Seeded fault injection into the simulated execution pipeline.
+
+The simulator exposes three hookable fault sites, matching the places a
+real Tensor Core pipeline holds transient state:
+
+* ``accumulator`` — the fp32 HMMA accumulator, after each primitive's
+  single rounding (:mod:`repro.tensorcore.mma` results and the k-chunk
+  accumulator of :class:`repro.emulation.gemm.EmulatedGemm`);
+* ``frag`` — fp16 operand fragments, the register-resident tiles a warp
+  stages before an HMMA call (:class:`repro.tensorcore.fragment.Fragment`
+  loads and the operands of :func:`repro.tensorcore.mma.mma`);
+* ``shared`` — shared-memory tiles staged by
+  :class:`repro.gpu.memory.SharedMemory`.
+
+Each hooked module carries a ``FAULT_HOOK`` module global that is
+``None`` in normal operation (a single ``is None`` check on the hot
+path).  :meth:`FaultInjector.installed` installs the injector into every
+site for the duration of a ``with`` block and restores the previous
+hooks on exit, so campaigns cannot leak corruption into later runs.
+
+Faults are *single bit flips*: one randomly selected element of the
+array flowing through the site has one randomly selected bit inverted.
+Everything is driven by one seeded :class:`numpy.random.Generator`, so a
+campaign is reproducible from its seed, and every injection is logged as
+a :class:`FaultEvent` (site, call index, flat element index, bit,
+before/after values) for post-mortem analysis.
+
+Default bit ranges target the *significant* upper bits (high mantissa,
+exponent, sign).  Flips in the low mantissa produce perturbations below
+the ABFT significance threshold — they are numerically benign ("masked"
+in the fault-injection literature) and campaigns report them separately
+rather than letting them dilute detection statistics.
+"""
+
+from __future__ import annotations
+
+import enum
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FaultSite", "FaultEvent", "FaultInjector", "flip_bit"]
+
+#: default bit windows (lo inclusive, hi exclusive) per storage width —
+#: upper mantissa + exponent + sign, the architecturally significant bits
+DEFAULT_BIT_RANGE_32 = (16, 32)
+DEFAULT_BIT_RANGE_16 = (8, 16)
+
+_UINT_FOR = {2: np.uint16, 4: np.uint32, 8: np.uint64}
+
+
+class FaultSite(enum.Enum):
+    """A hookable state-holding location in the simulated pipeline."""
+
+    ACCUMULATOR = "accumulator"
+    FRAG = "frag"
+    SHARED = "shared"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected bit flip, fully reproducible from the log."""
+
+    site: str
+    #: which eligible hook invocation (per site) carried the fault
+    call_index: int
+    #: flat element index within the array flowing through the site
+    flat_index: int
+    #: flipped bit position (0 = LSB of the element's storage word)
+    bit: int
+    before: float
+    after: float
+
+    def as_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "call_index": self.call_index,
+            "flat_index": self.flat_index,
+            "bit": self.bit,
+            "before": self.before,
+            "after": self.after,
+        }
+
+
+def flip_bit(x: np.ndarray, flat_index: int, bit: int) -> np.ndarray:
+    """Flip one bit of one element, in place; returns ``x``.
+
+    ``x`` must be contiguous (the injector always operates on copies it
+    owns).  Works for any float dtype with a same-width unsigned view.
+    """
+    if not x.flags.c_contiguous:
+        raise ValueError("flip_bit requires a C-contiguous array")
+    width = x.dtype.itemsize
+    bits = x.reshape(-1).view(_UINT_FOR[width])
+    if not 0 <= bit < 8 * width:
+        raise ValueError(f"bit {bit} out of range for {x.dtype}")
+    bits[flat_index] ^= np.asarray(1 << bit, dtype=_UINT_FOR[width])
+    return x
+
+
+@dataclass
+class FaultInjector:
+    """Seeded single-bit fault injector for the simulator's fault sites.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the generator that picks the injection call, element, and
+        bit — identical seeds reproduce identical campaigns.
+    site:
+        Which :class:`FaultSite` this injector targets.
+    faults:
+        Maximum injections per :meth:`arm` (1 = the classic
+        single-event-upset model).
+    bit_range_fp32 / bit_range_fp16:
+        ``(lo, hi)`` windows the flipped bit is drawn from, by element
+        width.  Defaults cover high mantissa + exponent + sign.
+    """
+
+    seed: int = 0
+    site: FaultSite = FaultSite.ACCUMULATOR
+    faults: int = 1
+    bit_range_fp32: tuple[int, int] = DEFAULT_BIT_RANGE_32
+    bit_range_fp16: tuple[int, int] = DEFAULT_BIT_RANGE_16
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self._armed = False
+        self._skip = 0
+        self._seen = 0
+        self._injected = 0
+
+    # --- campaign control -------------------------------------------------
+    def arm(self, skip: int | None = None, skip_max: int = 16) -> None:
+        """Arm the injector for the next run.
+
+        ``skip`` is the number of eligible hook calls to let pass before
+        injecting (None draws uniformly from ``[0, skip_max)``), placing
+        the fault at a random point of the execution.
+        """
+        self._armed = True
+        self._seen = 0
+        self._injected = 0
+        self._skip = int(self._rng.integers(0, max(skip_max, 1))) if skip is None else int(skip)
+
+    def disarm(self) -> None:
+        self._armed = False
+
+    @property
+    def injected(self) -> int:
+        """Injections performed since the last :meth:`arm`."""
+        return self._injected
+
+    # --- the hook ---------------------------------------------------------
+    def __call__(self, site_name: str, arr: np.ndarray) -> np.ndarray:
+        """Hook entry point: maybe corrupt ``arr`` (returns the array to use).
+
+        Never mutates the caller's array — on injection, a copy is
+        corrupted and returned; otherwise ``arr`` passes through
+        untouched (zero-copy).
+        """
+        if not self._armed or site_name != self.site.value or arr.size == 0:
+            return arr
+        if self._injected >= self.faults:
+            return arr
+        call_index = self._seen
+        self._seen += 1
+        if call_index < self._skip:
+            return arr
+        corrupted = np.ascontiguousarray(arr).copy()
+        flat_index = int(self._rng.integers(0, corrupted.size))
+        lo, hi = self.bit_range_fp16 if corrupted.dtype.itemsize == 2 else self.bit_range_fp32
+        bit = int(self._rng.integers(lo, hi))
+        before = float(corrupted.reshape(-1)[flat_index])
+        flip_bit(corrupted, flat_index, bit)
+        after = float(corrupted.reshape(-1)[flat_index])
+        self._injected += 1
+        self.events.append(
+            FaultEvent(
+                site=site_name,
+                call_index=call_index,
+                flat_index=flat_index,
+                bit=bit,
+                before=before,
+                after=after,
+            )
+        )
+        return corrupted
+
+    # --- installation -----------------------------------------------------
+    @contextmanager
+    def installed(self):
+        """Install this injector into every hookable module.
+
+        The previous hooks are restored on exit — even on error — so an
+        injector can never outlive its ``with`` block.
+        """
+        # importlib, not ``from .. import gemm``: sibling packages re-export
+        # functions under the same names as their modules.
+        import importlib
+
+        modules = tuple(
+            importlib.import_module(f"repro.{name}")
+            for name in ("emulation.gemm", "tensorcore.mma", "tensorcore.fragment", "gpu.memory")
+        )
+        previous = [mod.FAULT_HOOK for mod in modules]
+        for mod in modules:
+            mod.FAULT_HOOK = self
+        try:
+            yield self
+        finally:
+            for mod, prior in zip(modules, previous):
+                mod.FAULT_HOOK = prior

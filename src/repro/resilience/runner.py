@@ -1,0 +1,374 @@
+"""Resilient kernel execution: sanitize, escalate, retry, fall back.
+
+The emulated kernels inherit fp16's narrow dynamic range: a round-split
+of an operand whose magnitude exceeds ``FP16_MAX`` (65504) produces Inf
+in the hi half, and magnitudes below fp16's subnormal floor vanish
+entirely.  The experiment drivers sidestep this by sampling well-scaled
+inputs; a *robust* front door cannot.  :class:`ResilientRunner` is that
+front door:
+
+1. **sanitize** — reject NaN/Inf operands up-front with a precise error
+   instead of letting them surface as inscrutable checksum mismatches
+   three layers down;
+2. **escalate** — when finite operands exceed the fp16-safe range,
+   switch the emulation strategy: exact power-of-two operand scaling
+   (``np.ldexp``; bit-exact to within one final rounding) or the
+   Ozaki-style per-row-exponent slicing of :mod:`repro.splits.ozaki`;
+3. **retry / fall back** — drive a kernel chain (default
+   ``egemm-tc -> markidis -> cublas-cuda-fp32``) with bounded
+   exponential backoff between attempts and a per-stage wall-clock
+   timeout, optionally wrapping each attempt in ABFT protection
+   (:mod:`repro.resilience.abft`).
+
+Every attempt is recorded; :class:`RunnerResult` carries the full
+provenance of how a result was obtained.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..kernels.registry import get_kernel
+from ..splits.ozaki import ozaki_gemm
+
+__all__ = [
+    "ResilienceError",
+    "InputValidationError",
+    "StageTimeoutError",
+    "ExhaustedFallbacksError",
+    "FP16_MAX",
+    "FP16_TINY",
+    "OperandHealth",
+    "assess_operand",
+    "call_with_timeout",
+    "Attempt",
+    "RunnerResult",
+    "ResilientRunner",
+]
+
+#: largest finite fp16 magnitude — operands beyond this overflow the split
+FP16_MAX = 65504.0
+#: smallest fp16 subnormal — magnitudes below this vanish in the split
+FP16_TINY = 2.0**-24
+#: escalation target: bring max |x| near 2^11 so hi*hi products sit
+#: comfortably inside fp16 range (matches the scaled-split design point)
+_SCALE_TARGET_EXP = 11
+
+
+class ResilienceError(RuntimeError):
+    """Base class for resilient-runner failures."""
+
+
+class InputValidationError(ResilienceError, ValueError):
+    """Operands failed sanitization (non-finite values)."""
+
+
+class StageTimeoutError(ResilienceError):
+    """A pipeline stage exceeded its wall-clock budget."""
+
+
+class ExhaustedFallbacksError(ResilienceError):
+    """Every kernel in the fallback chain failed."""
+
+
+@dataclass(frozen=True)
+class OperandHealth:
+    """Range/finiteness diagnosis of one operand matrix."""
+
+    finite: bool
+    nonfinite_count: int
+    max_abs: float
+    min_nonzero: float  # 0.0 when the operand is all zeros
+    overflow: bool  # exceeds fp16 range
+    underflow: bool  # nonzero magnitudes below the fp16 subnormal floor
+
+    @property
+    def needs_escalation(self) -> bool:
+        return self.overflow or self.underflow
+
+
+def assess_operand(x: np.ndarray) -> OperandHealth:
+    """Diagnose an operand's fp16-representability without mutating it."""
+    x64 = np.abs(np.asarray(x, dtype=np.float64))
+    finite_mask = np.isfinite(x64)
+    nonfinite = int(x64.size - np.count_nonzero(finite_mask))
+    finite_vals = x64[finite_mask] if nonfinite else x64
+    max_abs = float(finite_vals.max(initial=0.0))
+    nonzero = finite_vals[finite_vals > 0.0]
+    min_nonzero = float(nonzero.min(initial=np.inf)) if nonzero.size else 0.0
+    if not np.isfinite(min_nonzero):
+        min_nonzero = 0.0
+    return OperandHealth(
+        finite=nonfinite == 0,
+        nonfinite_count=nonfinite,
+        max_abs=max_abs,
+        min_nonzero=min_nonzero,
+        overflow=max_abs > FP16_MAX,
+        underflow=0.0 < min_nonzero < FP16_TINY,
+    )
+
+
+def call_with_timeout(fn: Callable, timeout_s: float | None, *args, **kwargs):
+    """Run ``fn(*args, **kwargs)`` with a wall-clock bound.
+
+    Uses a single-worker thread; a stage that overruns raises
+    :class:`StageTimeoutError` (the worker thread is abandoned — pure
+    NumPy stages cannot be interrupted, but the caller regains control,
+    which is what the sweep scheduler needs).
+    """
+    if timeout_s is None:
+        return fn(*args, **kwargs)
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        future = pool.submit(fn, *args, **kwargs)
+        try:
+            return future.result(timeout=timeout_s)
+        except FutureTimeoutError:
+            future.cancel()
+            raise StageTimeoutError(
+                f"stage exceeded its {timeout_s:g}s wall-clock budget"
+            ) from None
+
+
+@dataclass
+class Attempt:
+    """Record of one kernel attempt in the fallback chain."""
+
+    kernel: str
+    attempt: int
+    escalation: str  # "none" | "scaled" | "ozaki"
+    ok: bool
+    error: str | None = None
+    abft_kind: str | None = None
+    abft_recomputes: int = 0
+    backoff_s: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "attempt": self.attempt,
+            "escalation": self.escalation,
+            "ok": self.ok,
+            "error": self.error,
+            "abft_kind": self.abft_kind,
+            "abft_recomputes": self.abft_recomputes,
+            "backoff_s": self.backoff_s,
+        }
+
+
+@dataclass
+class RunnerResult:
+    """A computed product plus the provenance of how it was obtained."""
+
+    d: np.ndarray
+    kernel: str
+    escalation: str
+    attempts: list[Attempt] = field(default_factory=list)
+
+    @property
+    def total_attempts(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def fell_back(self) -> bool:
+        return any(att.kernel != self.kernel for att in self.attempts)
+
+
+def _scaled_compute(
+    compute: Callable, a: np.ndarray, b: np.ndarray, c: np.ndarray | None
+) -> np.ndarray:
+    """Run ``compute`` on power-of-two-rescaled operands (escalation='scaled').
+
+    Scaling by 2^-e is exact in binary floating point (``np.ldexp``), so
+    the only extra rounding is the final product rescale.  ``c`` is added
+    afterwards in fp32 — folding it into the scaled launch would require
+    scaling it by the *product* of both exponents and can itself overflow.
+    """
+
+    def exponent(x: np.ndarray) -> int:
+        m = float(np.abs(x[np.isfinite(x)]).max(initial=0.0))
+        if m == 0.0:
+            return 0
+        return int(np.floor(np.log2(m))) - _SCALE_TARGET_EXP
+
+    ea, eb = exponent(a), exponent(b)
+    a_s = np.ldexp(np.asarray(a, dtype=np.float32), -ea)
+    b_s = np.ldexp(np.asarray(b, dtype=np.float32), -eb)
+    d = np.asarray(compute(a_s, b_s, None), dtype=np.float32)
+    d = np.ldexp(d, ea + eb)
+    if c is not None:
+        d = (d.astype(np.float64) + np.asarray(c, dtype=np.float64)).astype(np.float32)
+    return d
+
+
+@dataclass
+class ResilientRunner:
+    """Sanitizing, escalating, retrying front door over the kernel registry.
+
+    Parameters
+    ----------
+    chain:
+        Kernel names tried in order; later entries are progressively more
+        conservative (the chain's tail should be the fp32 CUDA-core
+        kernel, which has no fp16 range hazard at all).
+    escalation:
+        Strategy for finite-but-out-of-fp16-range operands: ``"scaled"``
+        (exact power-of-two rescaling), ``"ozaki"`` (per-row-exponent
+        slicing — also repairs *underflow*), or ``"none"``.
+    abft:
+        Wrap every attempt in checksum protection; a detected
+        uncorrectable fault counts as a failed attempt and advances the
+        retry/fallback machinery.
+    attempts_per_kernel / backoff_s / backoff_cap_s:
+        Bounded exponential backoff: attempt ``i`` of a kernel sleeps
+        ``min(backoff_s * 2**(i-1), backoff_cap_s)`` first.
+    stage_timeout_s:
+        Per-attempt wall-clock budget (None = unbounded).
+    sleep:
+        Injectable sleep for tests.
+    """
+
+    chain: Sequence[str] = ("egemm-tc", "markidis", "cublas-cuda-fp32")
+    escalation: str = "scaled"
+    abft: bool = False
+    attempts_per_kernel: int = 2
+    backoff_s: float = 0.05
+    backoff_cap_s: float = 1.0
+    stage_timeout_s: float | None = None
+    validate_output: bool = True
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.escalation not in ("scaled", "ozaki", "none"):
+            raise ValueError(f"unknown escalation strategy {self.escalation!r}")
+        if not self.chain:
+            raise ValueError("fallback chain must name at least one kernel")
+
+    # -- sanitization ---------------------------------------------------
+    def sanitize(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray | None
+    ) -> tuple[OperandHealth, OperandHealth]:
+        ha, hb = assess_operand(a), assess_operand(b)
+        bad = [
+            f"{name} has {h.nonfinite_count} non-finite element(s)"
+            for name, h in (("A", ha), ("B", hb))
+            if not h.finite
+        ]
+        if c is not None and not assess_operand(c).finite:
+            bad.append("C has non-finite element(s)")
+        if bad:
+            raise InputValidationError(
+                "; ".join(bad) + " — refusing to launch (NaN/Inf would "
+                "propagate through the split and poison the product)"
+            )
+        return ha, hb
+
+    # -- escalation -----------------------------------------------------
+    def _pick_escalation(self, kernel, ha: OperandHealth, hb: OperandHealth) -> str:
+        if self.escalation == "none":
+            return "none"
+        if kernel.info.precision == "single":
+            return "none"  # fp32 CUDA-core path has no fp16 range hazard
+        if ha.needs_escalation or hb.needs_escalation:
+            return self.escalation
+        return "none"
+
+    def _attempt_compute(
+        self,
+        kernel,
+        escalation: str,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray | None,
+    ) -> tuple[np.ndarray, str | None, int]:
+        """One protected attempt; returns (d, abft_kind, abft_recomputes)."""
+
+        if escalation == "ozaki":
+            base = lambda aa, bb, cc: ozaki_gemm(aa, bb, cc)  # noqa: E731
+        elif escalation == "scaled":
+            base = lambda aa, bb, cc: _scaled_compute(kernel.compute, aa, bb, cc)  # noqa: E731
+        else:
+            base = kernel.compute
+
+        if not self.abft:
+            return np.asarray(base(a, b, c), dtype=np.float32), None, 0
+
+        # ABFT checksum rows are ~k-fold larger than the data; under the
+        # 'scaled'/'ozaki' strategies the escalated arithmetic absorbs
+        # that, and the augmented operands flow through the same `base`.
+        from .abft import AbftError, abft_run
+
+        gemm = getattr(kernel, "_gemm", None)
+        scheme = getattr(kernel, "scheme", None)
+        if scheme is None and gemm is not None:
+            scheme = gemm.scheme
+        if escalation == "ozaki" or scheme is None:
+            tk, terms, unit = 1, 1, 2.0**-24
+        elif scheme.split is not None:
+            tk = gemm.tk if gemm is not None else 16
+            terms, unit = scheme.compute_overhead, 2.0 ** -(scheme.effective_mantissa_bits + 1)
+        else:
+            tk = gemm.tk if gemm is not None else 16
+            terms, unit = 1, 2.0 ** -(scheme.effective_mantissa_bits + 1)
+        d, report = abft_run(
+            base,
+            a,
+            b,
+            c,
+            tk=tk,
+            terms=terms,
+            unit_roundoff=unit,
+            raise_on_unrecovered=True,
+        )
+        return d, report.kind, report.recomputes
+
+    # -- driver ---------------------------------------------------------
+    def run(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None
+    ) -> RunnerResult:
+        a = np.asarray(a, dtype=np.float32)
+        b = np.asarray(b, dtype=np.float32)
+        ha, hb = self.sanitize(a, b, c)
+
+        attempts: list[Attempt] = []
+        last_error: BaseException | None = None
+        for name in self.chain:
+            kernel = get_kernel(name)
+            escalation = self._pick_escalation(kernel, ha, hb)
+            for i in range(1, self.attempts_per_kernel + 1):
+                backoff = 0.0
+                if i > 1:
+                    backoff = min(self.backoff_s * 2.0 ** (i - 2), self.backoff_cap_s)
+                    self.sleep(backoff)
+                record = Attempt(
+                    kernel=name, attempt=i, escalation=escalation, ok=False, backoff_s=backoff
+                )
+                attempts.append(record)
+                try:
+                    d, kind, recomputes = call_with_timeout(
+                        self._attempt_compute, self.stage_timeout_s, kernel, escalation, a, b, c
+                    )
+                    record.abft_kind = kind
+                    record.abft_recomputes = recomputes
+                    if self.validate_output and not np.isfinite(d).all():
+                        raise ResilienceError(
+                            f"kernel {name!r} produced non-finite output "
+                            f"(escalation={escalation!r})"
+                        )
+                except InputValidationError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - each failure advances the chain
+                    record.error = f"{type(exc).__name__}: {exc}"
+                    last_error = exc
+                    continue
+                record.ok = True
+                return RunnerResult(d=d, kernel=name, escalation=escalation, attempts=attempts)
+        raise ExhaustedFallbacksError(
+            f"all kernels failed ({' -> '.join(self.chain)}); "
+            f"last error: {last_error}"
+        ) from last_error

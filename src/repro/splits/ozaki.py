@@ -83,7 +83,9 @@ def ozaki_slice(x: np.ndarray, slices: int = 3, axis: int = 1) -> OzakiSlices:
     if axis != 1:
         raise ValueError("axis must be 0 or 1")
 
-    row_max = np.max(np.abs(x64), axis=1)
+    # initial=0.0: keeps k=0 (empty-reduction) operands well-defined —
+    # zero rows get exponent 0 and all-zero digit planes.
+    row_max = np.max(np.abs(x64), axis=1, initial=0.0)
     # Exponent such that |x| / 2^e < 1; zero rows get exponent 0.
     exponents = np.where(row_max > 0, np.ceil(np.log2(np.maximum(row_max, 1e-300))), 0.0)
     exponents = exponents.astype(np.int64)

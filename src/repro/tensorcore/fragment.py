@@ -25,6 +25,11 @@ import numpy as np
 
 __all__ = ["FragmentRole", "Fragment", "FragmentSpace", "FragmentOverflowError"]
 
+#: fault-injection hook (``repro.resilience.faults``): when set, called as
+#: ``FAULT_HOOK("frag", data)`` after a tile is staged into registers;
+#: returns the (possibly corrupted) tile.  ``None`` in normal operation.
+FAULT_HOOK = None
+
 
 class FragmentRole(enum.Enum):
     """WMMA fragment kinds, mirroring ``wmma::matrix_a`` etc."""
@@ -83,6 +88,8 @@ class Fragment:
         if src.shape != self.shape:
             raise ValueError(f"tile shape {src.shape} != fragment shape {self.shape}")
         self.data[...] = src.astype(self.dtype)
+        if FAULT_HOOK is not None:
+            self.data[...] = FAULT_HOOK("frag", self.data)
 
     def store(self) -> np.ndarray:
         """``wmma::store_matrix_sync`` — copy the tile out of registers."""

@@ -38,6 +38,12 @@ import numpy as np
 
 __all__ = ["InternalPrecision", "MmaShape", "M16N16K16", "HMMA_1688", "mma", "MmaCounter"]
 
+#: fault-injection hook (``repro.resilience.faults``): when set, called as
+#: ``FAULT_HOOK("frag", operand)`` on each fp16 operand entering the
+#: primitive and ``FAULT_HOOK("accumulator", out)`` on the result; returns
+#: the (possibly corrupted) array to use.  ``None`` in normal operation.
+FAULT_HOOK = None
+
 
 class InternalPrecision(enum.Enum):
     """Internal arithmetic model of the simulated specialized core."""
@@ -212,4 +218,13 @@ def mma(
     a, b, c = _validate(a, b, c, shape)
     if counter is not None:
         counter.record(a.shape[0], b.shape[1], a.shape[1])
-    return _IMPL[precision](a, b, c)
+    hook = FAULT_HOOK
+    if hook is not None:
+        # FRAG faults corrupt operand registers before the multiply;
+        # accumulator faults corrupt the rounded primitive output.
+        a = hook("frag", a)
+        b = hook("frag", b)
+    out = _IMPL[precision](a, b, c)
+    if hook is not None:
+        out = hook("accumulator", out)
+    return out

@@ -1,0 +1,650 @@
+"""Fault-tolerance layer: injection, ABFT, the resilient runner, and the
+robustness satellites (empty operands, out-of-range inputs, parallel-map
+failure semantics, split-cache staleness)."""
+
+from __future__ import annotations
+
+import logging
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.emulation.gemm import EmulatedGemm
+from repro.emulation.schemes import get_scheme
+from repro.kernels.registry import get_kernel
+from repro.perf.parallel import parallel_map
+from repro.perf.split_cache import SplitCache
+from repro.resilience import (
+    AbftGemm,
+    AbftKernel,
+    ExhaustedFallbacksError,
+    FaultInjector,
+    FaultSite,
+    InputValidationError,
+    ResilienceError,
+    ResilientRunner,
+    StageTimeoutError,
+    abft_run,
+    assess_operand,
+    call_with_timeout,
+    flip_bit,
+    run_campaign,
+)
+from repro.splits.ozaki import ozaki_gemm
+from repro.splits.round import round_split
+from repro.tensorize.kernel import run_functional
+
+
+def _problem(rng, m=48, n=48, k=96):
+    a = rng.standard_normal((m, k)).astype(np.float32)
+    b = rng.standard_normal((k, n)).astype(np.float32)
+    return a, b
+
+
+# ---------------------------------------------------------------------------
+# fault injection machinery
+# ---------------------------------------------------------------------------
+
+
+class TestFlipBit:
+    def test_flips_and_restores(self):
+        x = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        flip_bit(x, 1, 30)
+        assert x[1] != 2.0
+        flip_bit(x, 1, 30)
+        assert x[1] == 2.0
+
+    def test_fp16_width(self):
+        x = np.array([1.0], dtype=np.float16)
+        flip_bit(x, 0, 15)
+        assert x[0] == -1.0  # sign bit
+
+    def test_rejects_noncontiguous(self):
+        x = np.zeros((4, 4), dtype=np.float32)[:, ::2]
+        with pytest.raises(ValueError, match="contiguous"):
+            flip_bit(x, 0, 5)
+
+    def test_rejects_out_of_range_bit(self):
+        with pytest.raises(ValueError, match="out of range"):
+            flip_bit(np.zeros(2, dtype=np.float32), 0, 32)
+
+
+class TestFaultInjector:
+    def test_deterministic_from_seed(self, rng):
+        a, b = _problem(rng)
+        gemm = EmulatedGemm()
+
+        def campaign():
+            inj = FaultInjector(seed=7, site=FaultSite.ACCUMULATOR)
+            with inj.installed():
+                inj.arm(skip=2)
+                d, _ = gemm.run(a, b)
+            return d, inj.events
+
+        d1, ev1 = campaign()
+        d2, ev2 = campaign()
+        assert np.array_equal(d1, d2)
+        assert ev1 == ev2
+        assert len(ev1) == 1 and ev1[0].site == "accumulator"
+
+    def test_budget_is_one_by_default(self, rng):
+        a, b = _problem(rng)
+        inj = FaultInjector(seed=0, site=FaultSite.ACCUMULATOR)
+        with inj.installed():
+            inj.arm(skip=0)
+            EmulatedGemm().run(a, b)
+            EmulatedGemm().run(a, b)  # budget already spent
+        assert inj.injected == 1
+
+    def test_disarmed_injector_is_transparent(self, rng):
+        a, b = _problem(rng)
+        gemm = EmulatedGemm()
+        d0, _ = gemm.run(a, b)
+        inj = FaultInjector(seed=0)
+        with inj.installed():
+            d1, _ = gemm.run(a, b)
+        assert np.array_equal(d0, d1)
+        assert inj.events == []
+
+    def test_hooks_restored_after_context(self):
+        import importlib
+
+        # Sibling packages re-export functions under the module names, so
+        # attribute access (repro.emulation.gemm) resolves to a function;
+        # importlib gives the actual module, as the injector itself does.
+        gemm_mod = importlib.import_module("repro.emulation.gemm")
+        mma_mod = importlib.import_module("repro.tensorcore.mma")
+
+        inj = FaultInjector(seed=0)
+        with inj.installed():
+            assert gemm_mod.FAULT_HOOK is inj
+            assert mma_mod.FAULT_HOOK is inj
+        assert gemm_mod.FAULT_HOOK is None
+        assert mma_mod.FAULT_HOOK is None
+
+
+# ---------------------------------------------------------------------------
+# ABFT detect / locate / correct
+# ---------------------------------------------------------------------------
+
+
+class TestAbft:
+    def test_clean_run_bit_identical_and_undetected(self, rng):
+        a, b = _problem(rng)
+        gemm = EmulatedGemm()
+        d0, _ = gemm.run(a, b)
+        d1, _, report = AbftGemm(gemm=gemm).run(a, b)
+        assert np.array_equal(d0, d1)
+        assert not report.detected and report.kind == "clean"
+        assert report.max_residual_ratio < 1.0
+
+    def test_accumulator_fault_detected_located_corrected(self, rng):
+        a, b = _problem(rng)
+        gemm = EmulatedGemm()
+        d0, _ = gemm.run(a, b)
+        protected = AbftGemm(gemm=gemm)
+        inj = FaultInjector(seed=1, site=FaultSite.ACCUMULATOR)
+        with inj.installed():
+            inj.arm(skip=3)
+            d, _, report = protected.run(a, b)
+        assert inj.injected == 1
+        assert report.detected and not report.unrecovered
+        # Repaired output is numerically clean.
+        tol = 1e-4 * np.abs(d0).max()
+        assert np.abs(d.astype(np.float64) - d0.astype(np.float64)).max() < tol
+
+    def test_many_seeds_no_sdc(self, rng):
+        """Detection sweep: every significant flip is caught or benign."""
+        a, b = _problem(rng, 32, 32, 64)
+        gemm = EmulatedGemm()
+        d0, _ = gemm.run(a, b)
+        protected = AbftGemm(gemm=gemm)
+        # A flip is benign (masked) iff its output effect sits below the
+        # analytic checksum tolerance — the same bound ABFT detects against.
+        from repro.resilience.abft import checksum_tolerances
+
+        tol_row, _ = checksum_tolerances(a, b, tk=16, terms=4, unit_roundoff=2.0**-22)
+        thresh = float(tol_row.max())
+        detected = masked = 0
+        for seed in range(40):
+            inj = FaultInjector(seed=seed, site=FaultSite.ACCUMULATOR)
+            with inj.installed():
+                inj.arm(skip=seed % 16)
+                with np.errstate(invalid="ignore", over="ignore"):
+                    d, _, report = protected.run(a, b)
+            if inj.injected == 0:
+                continue
+            diff = np.abs(d.astype(np.float64) - d0.astype(np.float64)).max()
+            if report.detected:
+                detected += 1
+                assert not report.unrecovered
+                assert diff < thresh  # corrected or recomputed
+            else:
+                masked += 1
+                assert diff < thresh  # undetected ⇒ must be benign
+        assert detected > 0
+
+    def test_frag_fault_multi_element_recomputed(self, rng):
+        """An operand-register flip corrupts a tile row — uncorrectable in
+        place, so ABFT falls back to recompute."""
+        m, n, k = 31, 31, 32
+        a, b = _problem(rng, m, n, k)
+        d0 = run_functional(a, b).d
+
+        def fn(aa, bb, cc):
+            return run_functional(aa, bb, cc).d
+
+        recovered = 0
+        for skip in (1, 3, 5):  # hi-fragment stores (significant faults)
+            inj = FaultInjector(seed=3, site=FaultSite.SHARED)
+            with inj.installed():
+                inj.arm(skip=skip)
+                d, report = abft_run(fn, a, b, tk=8, terms=4)
+            assert inj.injected == 1
+            if report.detected:
+                assert report.kind in ("multi", "data")
+                assert not report.unrecovered
+                recovered += 1
+                assert np.allclose(d, d0, atol=1e-4)
+        assert recovered >= 2
+
+    def test_checksum_entry_fault_leaves_data_intact(self, rng):
+        """A fault in the appended checksum row/column is repaired without
+        touching (or recomputing) the data block."""
+        a, b = _problem(rng, 16, 16, 32)
+        gemm = EmulatedGemm()
+        d0, _ = gemm.run(a, b)
+
+        def fn(aa, bb, cc):
+            d, _ = gemm.run(aa, bb, cc)
+            d = d.copy()
+            d[3, -1] += 1.0  # corrupt a row-checksum entry
+            return d
+
+        d, report = abft_run(fn, a, b)
+        assert report.detected and report.kind == "row-checksum"
+        assert report.recomputes == 0
+        assert np.array_equal(d, d0)
+
+    def test_nonfinite_fault_recovered(self, rng):
+        a, b = _problem(rng, 16, 16, 32)
+        gemm = EmulatedGemm()
+        d0, _ = gemm.run(a, b)
+
+        calls = [0]
+
+        def fn(aa, bb, cc):
+            d, _ = gemm.run(aa, bb, cc)
+            if calls[0] == 0:
+                d = d.copy()
+                d[2, 5] = np.inf
+            calls[0] += 1
+            return d
+
+        with np.errstate(invalid="ignore"):
+            d, report = abft_run(fn, a, b)
+        assert report.detected and not report.unrecovered
+        assert np.isfinite(d).all()
+        assert np.allclose(d, d0, atol=1e-5)
+
+    def test_abft_kernel_wraps_registry(self, rng):
+        a, b = _problem(rng, 32, 32, 32)
+        kernel = get_kernel("egemm-tc", abft=True)
+        assert isinstance(kernel, AbftKernel)
+        d = kernel.compute(a, b)
+        assert not kernel.last_report.detected
+        plain = get_kernel("egemm-tc").compute(a, b)
+        assert np.array_equal(d, plain)
+        # Timing reports the augmented launch.
+        assert kernel.time(128, 128, 128).seconds >= get_kernel("egemm-tc").time(128, 128, 128).seconds
+
+    def test_clean_sweeps_zero_false_positives(self, rng):
+        """Fig 7/8-style fault-free runs must never trip the checksum."""
+        for scheme_name in ("egemm-tc", "markidis"):
+            protected = AbftGemm(gemm=EmulatedGemm(scheme=get_scheme(scheme_name)))
+            for size in (64, 128):
+                a, b = _problem(rng, size, size, size)
+                _, _, report = protected.run(a, b)
+                assert not report.detected, (scheme_name, size)
+        for name in ("cublas-cuda-fp32", "cublas-tc-emulation", "cublas-tc-half"):
+            kernel = get_kernel(name, abft=True)
+            a, b = _problem(rng, 48, 48, 64)
+            kernel.compute(a, b)
+            assert not kernel.last_report.detected, name
+
+
+# ---------------------------------------------------------------------------
+# empty / degenerate operands (satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestEmptyOperands:
+    @pytest.mark.parametrize("shape", [(4, 0, 5), (0, 8, 3), (6, 8, 0)])
+    def test_emulated_gemm_degenerate(self, shape):
+        m, k, n = shape
+        a = np.zeros((m, k), dtype=np.float32)
+        b = np.zeros((k, n), dtype=np.float32)
+        d, stats = EmulatedGemm().run(a, b)
+        assert d.shape == (m, n)
+        assert stats.m == m and stats.n == n and stats.k == k
+
+    def test_k_zero_returns_c(self):
+        c = np.arange(12, dtype=np.float32).reshape(3, 4)
+        d, _ = EmulatedGemm().run(
+            np.zeros((3, 0), dtype=np.float32), np.zeros((0, 4), dtype=np.float32), c
+        )
+        assert np.array_equal(d, c)
+
+    def test_batched_k_zero(self):
+        a = np.zeros((2, 4, 0), dtype=np.float32)
+        b = np.zeros((2, 0, 5), dtype=np.float32)
+        d, stats = EmulatedGemm().run_batched(a, b)
+        assert d.shape == (2, 4, 5) and not d.any()
+        assert stats.batch == 2
+
+    @pytest.mark.parametrize(
+        "name", ["egemm-tc", "markidis", "cublas-tc-emulation", "cublas-tc-half", "ozaki-int8"]
+    )
+    def test_kernels_k_zero(self, name):
+        a = np.zeros((4, 0), dtype=np.float32)
+        b = np.zeros((0, 5), dtype=np.float32)
+        d = get_kernel(name).compute(a, b)
+        assert d.shape == (4, 5) and not np.asarray(d).any()
+
+    def test_ozaki_gemm_empty_k(self):
+        d = ozaki_gemm(np.zeros((3, 0), dtype=np.float32), np.zeros((0, 2), dtype=np.float32))
+        assert d.shape == (3, 2) and not d.any()
+
+
+# ---------------------------------------------------------------------------
+# out-of-range / non-finite operands across the kernels (satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestHostileOperands:
+    def test_assess_operand(self):
+        h = assess_operand(np.array([[1.0, 1e6]], dtype=np.float32))
+        assert h.finite and h.overflow and h.needs_escalation
+        h = assess_operand(np.array([[1.0, 1e-9]], dtype=np.float32))
+        assert h.underflow and h.needs_escalation
+        h = assess_operand(np.array([[np.nan, 1.0]], dtype=np.float32))
+        assert not h.finite and h.nonfinite_count == 1
+
+    @pytest.mark.parametrize(
+        "name", ["egemm-tc", "markidis", "cublas-tc-emulation", "cublas-tc-half"]
+    )
+    def test_fp16_kernels_overflow_raw(self, name, rng):
+        """Documents the hazard the runner exists for: raw emulated kernels
+        produce non-finite output on out-of-fp16-range operands."""
+        a = rng.standard_normal((16, 32)).astype(np.float32) * 1e6
+        b = rng.standard_normal((32, 16)).astype(np.float32)
+        with np.errstate(invalid="ignore", over="ignore"):
+            d = get_kernel(name).compute(a, b)
+        assert not np.isfinite(d).all()
+
+    @pytest.mark.parametrize("escalation", ["scaled", "ozaki"])
+    def test_runner_rescues_overflow(self, escalation, rng):
+        a = rng.standard_normal((24, 32)).astype(np.float32) * 1e7
+        b = rng.standard_normal((32, 24)).astype(np.float32)
+        result = ResilientRunner(escalation=escalation).run(a, b)
+        ref = a.astype(np.float64) @ b.astype(np.float64)
+        assert result.escalation == escalation
+        assert np.isfinite(result.d).all()
+        rel = np.abs(result.d - ref).max() / np.abs(ref).max()
+        assert rel < 1e-5
+
+    def test_runner_rescues_underflow_with_ozaki(self, rng):
+        a = rng.standard_normal((16, 32)).astype(np.float32) * np.float32(2.0**-30)
+        b = rng.standard_normal((32, 16)).astype(np.float32)
+        result = ResilientRunner(escalation="ozaki").run(a, b)
+        ref = a.astype(np.float64) @ b.astype(np.float64)
+        assert np.abs(result.d - ref).max() <= 1e-4 * np.abs(ref).max()
+
+    def test_runner_rejects_nan_and_inf(self, rng):
+        a, b = _problem(rng, 8, 8, 8)
+        bad = a.copy()
+        bad[0, 0] = np.nan
+        with pytest.raises(InputValidationError, match="non-finite"):
+            ResilientRunner().run(bad, b)
+        bad[0, 0] = np.inf
+        with pytest.raises(InputValidationError):
+            ResilientRunner().run(a, bad.T[:8, :8] * np.inf)
+
+    def test_escalation_skipped_for_fp32_kernel(self, rng):
+        a = rng.standard_normal((8, 8)).astype(np.float32) * 1e6
+        b = rng.standard_normal((8, 8)).astype(np.float32)
+        result = ResilientRunner(chain=("cublas-cuda-fp32",)).run(a, b)
+        assert result.escalation == "none"  # fp32 path has no fp16 hazard
+
+
+# ---------------------------------------------------------------------------
+# resilient runner: retry, fallback, timeout
+# ---------------------------------------------------------------------------
+
+
+class TestResilientRunner:
+    def test_happy_path_single_attempt(self, rng):
+        a, b = _problem(rng, 16, 16, 32)
+        result = ResilientRunner().run(a, b)
+        assert result.kernel == "egemm-tc"
+        assert result.total_attempts == 1 and not result.fell_back
+
+    def test_abft_protected_run(self, rng):
+        a, b = _problem(rng, 24, 24, 48)
+        result = ResilientRunner(abft=True).run(a, b)
+        assert result.attempts[0].abft_kind == "clean"
+        plain = get_kernel("egemm-tc").compute(a, b)
+        assert np.array_equal(result.d, plain)
+
+    def test_fallback_chain_with_backoff(self, rng, monkeypatch):
+        a, b = _problem(rng, 8, 8, 8)
+        sleeps: list[float] = []
+
+        import repro.kernels.registry as registry
+
+        class FailingKernel:
+            info = get_kernel("egemm-tc").info
+
+            def compute(self, *args):
+                raise RuntimeError("synthetic kernel failure")
+
+        real_get = registry.get_kernel
+        monkeypatch.setitem(registry.KERNELS, "always-fails", FailingKernel)
+
+        runner = ResilientRunner(
+            chain=("always-fails", "cublas-cuda-fp32"),
+            attempts_per_kernel=3,
+            backoff_s=0.01,
+            backoff_cap_s=0.02,
+            sleep=sleeps.append,
+        )
+        result = runner.run(a, b)
+        assert result.kernel == "cublas-cuda-fp32"
+        assert result.fell_back
+        failures = [att for att in result.attempts if not att.ok]
+        assert len(failures) == 3
+        assert all("synthetic kernel failure" in att.error for att in failures)
+        # Bounded exponential backoff: 0.01, then capped at 0.02.
+        assert sleeps == [0.01, 0.02]
+        assert real_get("cublas-cuda-fp32").info.precision == "single"
+
+    def test_exhausted_chain_raises(self, rng, monkeypatch):
+        import repro.kernels.registry as registry
+
+        class FailingKernel:
+            info = get_kernel("egemm-tc").info
+
+            def compute(self, *args):
+                raise RuntimeError("nope")
+
+        monkeypatch.setitem(registry.KERNELS, "always-fails", FailingKernel)
+        a, b = _problem(rng, 8, 8, 8)
+        runner = ResilientRunner(
+            chain=("always-fails",), attempts_per_kernel=2, sleep=lambda s: None
+        )
+        with pytest.raises(ExhaustedFallbacksError, match="nope"):
+            runner.run(a, b)
+
+    def test_nonfinite_output_triggers_fallback(self, rng, monkeypatch):
+        import repro.kernels.registry as registry
+
+        class InfKernel:
+            info = get_kernel("cublas-cuda-fp32").info  # precision=single: no escalation
+
+            def compute(self, a, b, c=None):
+                return np.full((a.shape[0], b.shape[1]), np.inf, dtype=np.float32)
+
+        monkeypatch.setitem(registry.KERNELS, "inf-kernel", InfKernel)
+        a, b = _problem(rng, 8, 8, 8)
+        runner = ResilientRunner(
+            chain=("inf-kernel", "cublas-cuda-fp32"), attempts_per_kernel=1, sleep=lambda s: None
+        )
+        result = runner.run(a, b)
+        assert result.kernel == "cublas-cuda-fp32"
+        assert "non-finite" in result.attempts[0].error
+
+    def test_stage_timeout(self):
+        import time as _time
+
+        with pytest.raises(StageTimeoutError):
+            call_with_timeout(_time.sleep, 0.05, 5.0)
+        assert call_with_timeout(lambda: 42, 0.5) == 42
+        assert call_with_timeout(lambda: 42, None) == 42
+
+    def test_runner_stage_timeout_falls_back(self, rng, monkeypatch):
+        import repro.kernels.registry as registry
+        import time as _time
+
+        class SlowKernel:
+            info = get_kernel("cublas-cuda-fp32").info
+
+            def compute(self, a, b, c=None):
+                _time.sleep(5.0)
+                return np.zeros((a.shape[0], b.shape[1]), dtype=np.float32)
+
+        monkeypatch.setitem(registry.KERNELS, "slow-kernel", SlowKernel)
+        a, b = _problem(rng, 8, 8, 8)
+        runner = ResilientRunner(
+            chain=("slow-kernel", "cublas-cuda-fp32"),
+            attempts_per_kernel=1,
+            stage_timeout_s=0.1,
+            sleep=lambda s: None,
+        )
+        result = runner.run(a, b)
+        assert result.kernel == "cublas-cuda-fp32"
+        assert "StageTimeoutError" in result.attempts[0].error
+
+
+# ---------------------------------------------------------------------------
+# campaign smoke (the CI job runs the CLI; this pins the API contract)
+# ---------------------------------------------------------------------------
+
+
+class TestCampaign:
+    def test_quick_campaign_passes(self, tmp_path):
+        out = tmp_path / "campaign.json"
+        report = run_campaign(faults=40, seed=0, quick=True, out=out)
+        assert report["summary"]["sdc"] == 0
+        assert report["summary"]["false_positives"] == 0
+        assert report["summary"]["pass"]
+        assert report["accumulator"]["detection_rate"] >= 0.99
+        assert out.exists()
+
+    def test_register_exposure_ranks_policies(self):
+        from repro.gpu.registers import egemm_stage_usage, fault_exposure
+        from repro.gpu.spec import TESLA_T4
+
+        usage = egemm_stage_usage(64, 32, 8, 128, 128, 32)
+        reuse = fault_exposure(usage, TESLA_T4, "stage-reuse")
+        naive = fault_exposure(usage, TESLA_T4, "naive")
+        assert reuse.total_bits < naive.total_bits
+        assert reuse.spilled_bits == 0
+        assert naive.spill_fraction > 0
+
+
+# ---------------------------------------------------------------------------
+# parallel_map failure semantics (satellite)
+# ---------------------------------------------------------------------------
+
+
+def _boom(x):  # module-level: picklable
+    raise ValueError(f"work error on {x}")
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestParallelMapFailures:
+    def test_work_error_propagates_not_swallowed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        with pytest.raises(ValueError, match="work error"):
+            parallel_map(_boom, [1, 2, 3])
+
+    def test_unpicklable_fn_logs_and_falls_back(self, monkeypatch, caplog):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        with caplog.at_level(logging.WARNING, logger="repro.perf.parallel"):
+            assert parallel_map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+        assert any("not picklable" in rec.message for rec in caplog.records)
+
+    def test_unpicklable_item_logs_and_falls_back(self, monkeypatch, caplog):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        items = [lambda: 1, lambda: 2]  # lambdas as items: unpicklable
+        with caplog.at_level(logging.WARNING, logger="repro.perf.parallel"):
+            assert parallel_map(lambda f: f(), items) == [1, 2]
+
+    def test_broken_pool_falls_back_serially(self, monkeypatch, caplog):
+        from concurrent.futures.process import BrokenProcessPool
+        import repro.perf.parallel as par
+
+        class DyingPool:
+            def __init__(self, *a, **kw):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, work, timeout=None):
+                raise BrokenProcessPool("worker died")
+
+        monkeypatch.setattr(par, "ProcessPoolExecutor", DyingPool)
+        with caplog.at_level(logging.WARNING, logger="repro.perf.parallel"):
+            assert par.parallel_map(_double, [1, 2, 3], jobs=2) == [2, 4, 6]
+        assert any("pool broke" in rec.message for rec in caplog.records)
+
+    def test_pool_path_still_works(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert parallel_map(_double, list(range(8))) == [2 * i for i in range(8)]
+
+
+# ---------------------------------------------------------------------------
+# split-cache staleness guard (satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestSplitCacheStaleness:
+    def test_frozen_view_mutated_through_base_recomputes(self, rng):
+        base = rng.standard_normal((32, 32)).astype(np.float32)
+        frozen = base.view()
+        frozen.flags.writeable = False
+
+        cache = SplitCache()
+        plan1 = cache.get(frozen, "round", round_split)
+        assert cache.stats.misses == 1
+        # Mutate through the still-writeable base: identity key unchanged,
+        # content changed.
+        base[0, 0] += 100.0
+        plan2 = cache.get(frozen, "round", round_split)
+        assert plan2 is not plan1
+        assert cache.stats.stale == 1
+        # The recomputed plan reflects the new content.
+        hi = plan2.pair.hi.astype(np.float64) + plan2.pair.lo.astype(np.float64)
+        assert abs(hi[0, 0] - float(frozen[0, 0])) < 0.1
+
+    def test_unchanged_frozen_array_still_hits(self, rng):
+        x = rng.standard_normal((16, 16)).astype(np.float32)
+        x.flags.writeable = False
+        cache = SplitCache()
+        p1 = cache.get(x, "round", round_split)
+        p2 = cache.get(x, "round", round_split)
+        assert p1 is p2
+        assert cache.stats.hits == 1 and cache.stats.stale == 0
+
+    def test_writeable_array_mutation_already_safe(self, rng):
+        x = rng.standard_normal((16, 16)).astype(np.float32)
+        cache = SplitCache()
+        p1 = cache.get(x, "round", round_split)
+        x[0, 0] += 1.0
+        p2 = cache.get(x, "round", round_split)
+        assert p1 is not p2  # content key changed
+
+
+# ---------------------------------------------------------------------------
+# pickling / integration odds and ends
+# ---------------------------------------------------------------------------
+
+
+class TestIntegration:
+    def test_fault_event_roundtrips(self):
+        from repro.resilience.faults import FaultEvent
+
+        ev = FaultEvent(site="frag", call_index=3, flat_index=17, bit=12, before=1.0, after=-1.0)
+        clone = pickle.loads(pickle.dumps(ev))
+        assert clone == ev
+        assert ev.as_dict()["bit"] == 12
+
+    def test_public_api_exported(self):
+        import repro
+
+        for name in ("ResilientRunner", "AbftGemm", "AbftKernel", "FaultInjector", "run_campaign"):
+            assert hasattr(repro, name)
+
+    def test_resilience_error_hierarchy(self):
+        assert issubclass(InputValidationError, ResilienceError)
+        assert issubclass(InputValidationError, ValueError)
+        assert issubclass(StageTimeoutError, ResilienceError)
+        assert issubclass(ExhaustedFallbacksError, ResilienceError)
