@@ -29,7 +29,9 @@ emulation-design workflow), :mod:`repro.emulation` (Algorithm 1),
 :mod:`repro.model` (§6), :mod:`repro.kernels` (Table 5),
 :mod:`repro.apps` (§7.5), :mod:`repro.experiments` (every table/figure),
 :mod:`repro.resilience` (fault injection, ABFT-protected GEMM, and the
-resilient kernel runner — see docs/robustness.md).
+resilient kernel runner — see docs/robustness.md),
+:mod:`repro.obs` (tracing, metrics, Chrome-trace/profile export — see
+docs/observability.md).
 """
 
 from __future__ import annotations
@@ -60,6 +62,7 @@ from .kernels import (
     get_kernel,
 )
 from .model import solve as autotune
+from .obs import configure as configure_tracing, get_registry, get_tracer
 from .perf import SplitCache, parallel_map
 from .profiling import PrecisionProfiler
 from .resilience import (
@@ -103,6 +106,9 @@ __all__ = [
     "SdkCudaFp32",
     "get_kernel",
     "autotune",
+    "configure_tracing",
+    "get_registry",
+    "get_tracer",
     "SplitCache",
     "parallel_map",
     "PrecisionProfiler",

@@ -11,6 +11,8 @@ Usage::
     python -m repro generality           # TF32-core workflow generality
     python -m repro bench [--quick]      # hot-path performance benchmarks
     python -m repro faults [--quick]     # fault-injection campaign (ABFT)
+    python -m repro profile <kernel> --shape MxNxK [--trace out.json]
+                                         # per-kernel profile report + trace
 """
 
 from __future__ import annotations
@@ -71,6 +73,10 @@ def main(argv: list[str] | None = None) -> int:
         from .resilience.campaign import main as faults_main
 
         return faults_main(args[1:])
+    if args and args[0] == "profile":
+        from .obs.profile import main as profile_main
+
+        return profile_main(args[1:])
     names = args or list(_DEFAULT_ORDER)
     unknown = [n for n in names if n not in _EXPERIMENTS]
     if unknown:

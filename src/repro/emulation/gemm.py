@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.metrics import get_registry
+from ..obs.tracing import get_tracer
 from ..perf.split_cache import SplitCache, SplitPlan
 from ..tensorcore.mma import InternalPrecision, MmaCounter
 from .schemes import EGEMM, EmulationScheme
@@ -73,6 +75,33 @@ class GemmStats:
     def emulation_flops(self) -> int:
         """FLOPs actually issued to the core (overhead x useful FLOPs)."""
         return self.flops * max(self.partial_products // max(self.k_chunks, 1), 1)
+
+    def as_dict(self) -> dict:
+        """The record as a plain dict (span attributes, JSON reports)."""
+        return {
+            "m": self.m,
+            "n": self.n,
+            "k": self.k,
+            "scheme": self.scheme,
+            "batch": self.batch,
+            "k_chunks": self.k_chunks,
+            "partial_products": self.partial_products,
+            "mma_calls": self.mma_calls,
+            "flops": self.flops,
+            "emulation_flops": self.emulation_flops,
+        }
+
+
+def _record_run(stats: GemmStats) -> None:
+    """Fold one run's accounting into the process-wide metrics registry."""
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    registry.inc("emulation.gemm.runs")
+    registry.inc("emulation.gemm.flops", stats.flops)
+    registry.inc("emulation.gemm.mma_calls", stats.mma_calls)
+    registry.inc("emulation.gemm.partial_products", stats.partial_products)
+    registry.inc("emulation.gemm.k_chunks", stats.k_chunks)
 
 
 @dataclass
@@ -147,6 +176,18 @@ class EmulatedGemm:
         Stats are aggregated across elements with ``mma_calls`` counted
         once per element.
         """
+        with get_tracer().span(
+            "emulation.gemm.run_batched", category="emulation",
+            scheme=self.scheme.name,
+        ) as span:
+            d, stats = self._run_batched_impl(a, b, c)
+            span.set(**stats.as_dict())
+        _record_run(stats)
+        return d, stats
+
+    def _run_batched_impl(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None
+    ) -> tuple[np.ndarray, GemmStats]:
         a32 = np.asarray(a, dtype=np.float32)
         b32 = np.asarray(b, dtype=np.float32)
         if a32.ndim < 2 or b32.ndim < 2:
@@ -180,7 +221,9 @@ class EmulatedGemm:
             flat_b = np.broadcast_to(b32, (*batch, k, n)).reshape(-1, kb, n)
             flat_d = d.reshape(-1, m, n)
             for i in range(nbatch):
-                flat_d[i], elem = self.run(flat_a[i], flat_b[i], flat_d[i])
+                # _run_impl, not run: the batched wrapper already records
+                # the aggregate, so per-element runs must not double-count.
+                flat_d[i], elem = self._run_impl(flat_a[i], flat_b[i], flat_d[i])
                 stats.k_chunks += elem.k_chunks
                 stats.partial_products += elem.partial_products
                 stats.mma_calls += elem.mma_calls
@@ -224,6 +267,17 @@ class EmulatedGemm:
         self, a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None
     ) -> tuple[np.ndarray, GemmStats]:
         """Compute ``D = A @ B + C`` and return (D, stats)."""
+        with get_tracer().span(
+            "emulation.gemm.run", category="emulation", scheme=self.scheme.name,
+        ) as span:
+            d, stats = self._run_impl(a, b, c)
+            span.set(**stats.as_dict())
+        _record_run(stats)
+        return d, stats
+
+    def _run_impl(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None
+    ) -> tuple[np.ndarray, GemmStats]:
         a32 = np.asarray(a, dtype=np.float32)
         b32 = np.asarray(b, dtype=np.float32)
         if a32.ndim != 2 or b32.ndim != 2:

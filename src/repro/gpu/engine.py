@@ -23,15 +23,33 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from math import ceil
 
+from ..obs.metrics import get_registry
+from ..obs.tracing import get_tracer
 from .isa import ExecUnit, InstructionStream
 from .occupancy import BlockResources, Occupancy, occupancy
 from .scheduler import ScheduleResult, schedule
 from .spec import GpuSpec
 
-__all__ = ["KernelLaunch", "KernelTiming", "execute", "roofline_seconds", "LAUNCH_OVERHEAD_S"]
+__all__ = [
+    "KernelLaunch",
+    "KernelTiming",
+    "execute",
+    "roofline_seconds",
+    "LAUNCH_OVERHEAD_S",
+    "EXEC_HOOK",
+]
 
 #: fixed kernel-launch overhead (driver + grid setup), seconds
 LAUNCH_OVERHEAD_S = 4e-6
+
+#: execution observer: when set (same module-global idiom as
+#: ``emulation.gemm.FAULT_HOOK``), called once per :func:`execute` with an
+#: ``repro.obs.profile.ExecutionTrace`` carrying the launch, schedule,
+#: occupancy, per-wave records, and the returned timing.  The profiler
+#: installs it via ``repro.obs.profile.collect_executions``; the engine
+#: never imports the profiler at module level, so the dependency stays
+#: one-directional.
+EXEC_HOOK = None
 
 
 @dataclass(frozen=True)
@@ -85,53 +103,91 @@ def execute(launch: KernelLaunch, spec: GpuSpec) -> KernelTiming:
     if launch.grid_blocks <= 0:
         raise ValueError("grid must contain at least one block")
 
-    occ = occupancy(launch.resources, spec)
-    sched: ScheduleResult = schedule(launch.stream, spec)
+    hook = EXEC_HOOK
+    with get_tracer().span(
+        "gpu.execute", category="gpu", kernel=launch.name,
+        grid_blocks=launch.grid_blocks,
+    ) as span:
+        occ = occupancy(launch.resources, spec)
+        sched: ScheduleResult = schedule(launch.stream, spec)
 
-    # Per-SM block service time.  With a single resident block the SM pays
-    # the full dependency critical path; with more, the other residents
-    # fill the bubbles and throughput approaches the busiest-unit bound.
-    busy_bound = max(sched.unit_busy.values(), default=0.0)
-    if occ.blocks_per_sm <= 1:
-        cycles_per_block = sched.total_cycles
-    else:
-        cycles_per_block = max(busy_bound, sched.total_cycles / occ.blocks_per_sm)
+        # Per-SM block service time.  With a single resident block the SM pays
+        # the full dependency critical path; with more, the other residents
+        # fill the bubbles and throughput approaches the busiest-unit bound.
+        busy_bound = max(sched.unit_busy.values(), default=0.0)
+        if occ.blocks_per_sm <= 1:
+            cycles_per_block = sched.total_cycles
+        else:
+            cycles_per_block = max(busy_bound, sched.total_cycles / occ.blocks_per_sm)
 
-    slots = spec.num_sms * occ.blocks_per_sm
-    waves = ceil(launch.grid_blocks / slots)
-    total_cycles = 0.0
-    dram_bound_waves = 0
-    dram_bw_cycle = spec.dram_bw_gbps * 1e9 / (spec.clock_ghz * 1e9)  # bytes/cycle total
+        slots = spec.num_sms * occ.blocks_per_sm
+        waves = ceil(launch.grid_blocks / slots)
+        total_cycles = 0.0
+        dram_bound_waves = 0
+        dram_bw_cycle = spec.dram_bw_gbps * 1e9 / (spec.clock_ghz * 1e9)  # bytes/cycle total
 
-    remaining = launch.grid_blocks
-    for _ in range(waves):
-        active = min(remaining, slots)
-        remaining -= active
-        # Pipeline-bound time of the wave: resident blocks per SM run
-        # back-to-back; SMs run in parallel.
-        blocks_per_active_sm = ceil(active / spec.num_sms)
-        pipeline_cycles = cycles_per_block * blocks_per_active_sm
-        # DRAM-bound time of the wave: unique traffic over full bandwidth.
-        dram_cycles = launch.dram_bytes_per_block * active / dram_bw_cycle
-        if dram_cycles > pipeline_cycles:
-            dram_bound_waves += 1
-        total_cycles += max(pipeline_cycles, dram_cycles)
+        wave_log: list[tuple] = []
+        remaining = launch.grid_blocks
+        for wave_index in range(waves):
+            active = min(remaining, slots)
+            remaining -= active
+            # Pipeline-bound time of the wave: resident blocks per SM run
+            # back-to-back; SMs run in parallel.
+            blocks_per_active_sm = ceil(active / spec.num_sms)
+            pipeline_cycles = cycles_per_block * blocks_per_active_sm
+            # DRAM-bound time of the wave: unique traffic over full bandwidth.
+            dram_cycles = launch.dram_bytes_per_block * active / dram_bw_cycle
+            dram_bound = dram_cycles > pipeline_cycles
+            if dram_bound:
+                dram_bound_waves += 1
+            start = total_cycles
+            total_cycles += max(pipeline_cycles, dram_cycles)
+            if hook is not None:
+                wave_log.append(
+                    (wave_index, active, start, total_cycles,
+                     pipeline_cycles, dram_cycles, dram_bound)
+                )
 
-    seconds = spec.cycles_to_seconds(total_cycles) + LAUNCH_OVERHEAD_S
-    return KernelTiming(
-        name=launch.name,
-        seconds=seconds,
-        cycles=total_cycles,
-        useful_flops=launch.useful_flops,
-        occupancy=occ,
-        waves=waves,
-        dram_bound_waves=dram_bound_waves,
-        breakdown={
-            "block_cycles": sched.total_cycles,
-            "tensor_busy": sched.unit_busy.get(ExecUnit.TENSOR, 0.0),
-            "mem_busy": sched.unit_busy.get(ExecUnit.MEM, 0.0),
-        },
-    )
+        seconds = spec.cycles_to_seconds(total_cycles) + LAUNCH_OVERHEAD_S
+        timing = KernelTiming(
+            name=launch.name,
+            seconds=seconds,
+            cycles=total_cycles,
+            useful_flops=launch.useful_flops,
+            occupancy=occ,
+            waves=waves,
+            dram_bound_waves=dram_bound_waves,
+            breakdown={
+                "block_cycles": sched.total_cycles,
+                "tensor_busy": sched.unit_busy.get(ExecUnit.TENSOR, 0.0),
+                "mem_busy": sched.unit_busy.get(ExecUnit.MEM, 0.0),
+            },
+        )
+        span.set(waves=waves, dram_bound_waves=dram_bound_waves,
+                 cycles=total_cycles, seconds=seconds)
+
+    registry = get_registry()
+    if registry.enabled:
+        registry.inc("gpu.engine.launches")
+        registry.inc("gpu.engine.waves", waves)
+        registry.inc("gpu.engine.dram_bound_waves", dram_bound_waves)
+        registry.inc("gpu.engine.cycles", total_cycles)
+        registry.observe("gpu.engine.block_cycles", sched.total_cycles)
+
+    if hook is not None:
+        from ..obs.profile import ExecutionTrace, WaveRecord
+
+        hook(
+            ExecutionTrace(
+                launch=launch,
+                spec=spec,
+                occupancy=occ,
+                schedule=sched,
+                timing=timing,
+                waves=[WaveRecord(*w) for w in wave_log],
+            )
+        )
+    return timing
 
 
 def roofline_seconds(

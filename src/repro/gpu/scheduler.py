@@ -33,6 +33,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from ..obs.metrics import get_registry
 from .isa import ExecUnit, InstructionStream, Opcode
 from .spec import GpuSpec
 
@@ -106,6 +107,12 @@ def clear_schedule_cache() -> None:
         _cache.clear()
         _cache_hits = 0
         _cache_misses = 0
+
+
+# Surface the memo counters in the process-wide metrics registry; the
+# provider is evaluated lazily at snapshot time, so the registry never
+# duplicates (or races) the counters above.
+get_registry().register_provider("gpu.schedule_cache", schedule_cache_stats)
 
 
 def _copy_result(result: ScheduleResult) -> ScheduleResult:

@@ -18,14 +18,45 @@ and the timing sweeps at the paper's full sizes.
 from __future__ import annotations
 
 import abc
+import functools
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..gpu.engine import KernelTiming
 from ..gpu.spec import TESLA_T4, GpuSpec
+from ..obs.metrics import get_registry
+from ..obs.tracing import get_tracer
 
 __all__ = ["GemmKernel", "KernelInfo"]
+
+
+def _timed(time_method):
+    """Wrap a kernel's ``time`` with a span and registry accounting.
+
+    Applied once per concrete subclass by ``__init_subclass__``, so every
+    kernel — engine-modelled or roofline — reports through the same
+    ``kernel.time`` span and ``kernels.*`` metrics without each
+    implementation carrying instrumentation code.
+    """
+
+    @functools.wraps(time_method)
+    def wrapper(self, m, n, k, spec=TESLA_T4):
+        with get_tracer().span(
+            "kernel.time", category="kernel",
+            kernel=self.info.name, m=m, n=n, k=k, gpu=spec.name,
+        ) as span:
+            timing = time_method(self, m, n, k, spec)
+            span.set(seconds=timing.seconds, cycles=timing.cycles,
+                     tflops=timing.tflops)
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("kernels.timings")
+            registry.observe("kernels.time_seconds", timing.seconds)
+        return timing
+
+    wrapper.__wrapped_by_obs__ = True
+    return wrapper
 
 
 @dataclass(frozen=True)
@@ -42,6 +73,12 @@ class GemmKernel(abc.ABC):
     """A GEMM implementation with functional and timed execution."""
 
     info: KernelInfo
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        time_method = cls.__dict__.get("time")
+        if time_method is not None and not getattr(time_method, "__wrapped_by_obs__", False):
+            cls.time = _timed(time_method)
 
     @abc.abstractmethod
     def compute(self, a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None) -> np.ndarray:

@@ -1,0 +1,69 @@
+"""repro.obs — the observability spine of the simulator stack.
+
+Four pieces (see ``docs/observability.md``):
+
+* :mod:`repro.obs.tracing` — hierarchical spans with thread-safe context
+  propagation and a no-op fast path when disabled (``REPRO_TRACE``);
+* :mod:`repro.obs.metrics` — the process-wide registry of counters,
+  gauges, histograms, and subsystem stat providers (``REPRO_METRICS``);
+* :mod:`repro.obs.export` — Chrome-trace JSON, schema validation, and
+  run manifests;
+* :mod:`repro.obs.profile` — the per-kernel profiler behind
+  ``python -m repro profile``.
+
+The first three are stdlib-only, so every layer of the package —
+including :mod:`repro.gpu` — imports them freely.  The profiler imports
+the kernel registry (and therefore most of the package); it is exposed
+lazily here so ``import repro.obs`` from low layers stays cycle-free.
+"""
+
+from __future__ import annotations
+
+from .export import (
+    chrome_trace,
+    run_manifest,
+    spans_to_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+from .tracing import (
+    Span,
+    Tracer,
+    configure,
+    current_span_id,
+    get_tracer,
+    trace_enabled,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "configure",
+    "current_span_id",
+    "trace_enabled",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "spans_to_events",
+    "run_manifest",
+    "profile_kernel",
+    "collect_executions",
+    "format_report",
+]
+
+_LAZY = ("profile_kernel", "collect_executions", "format_report")
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import profile
+
+        return getattr(profile, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,250 @@
+"""Exporters: Chrome-trace JSON, trace-schema validation, run manifests.
+
+The Chrome trace event format (the JSON consumed by ``chrome://tracing``
+and Perfetto) is the lingua franca for timeline visualization; this
+module emits the *object array* flavour: a top-level dict with a
+``traceEvents`` list of events.  Two event phases are used:
+
+* ``"X"`` (complete) — a named interval with ``ts`` (start) and ``dur``,
+  both in microseconds.  Simulated-pipeline exports map **1 GPU cycle to
+  1 microsecond** so Perfetto's time axis reads directly in cycles (the
+  convention is recorded in the trace's ``otherData``);
+* ``"M"`` (metadata) — ``process_name`` / ``thread_name`` records that
+  label the pid/tid lanes (SM pipelines, wave rows, host threads).
+
+:func:`validate_chrome_trace` is the schema gate the tests and the CI
+smoke step assert; it accepts exactly what the viewers require and
+rejects structurally broken documents with a precise error.
+
+:func:`run_manifest` captures the reproducibility envelope of a run —
+interpreter, NumPy, platform, package version, git revision, the
+``REPRO_*`` environment, seed/config — and travels inside the trace's
+``otherData`` as well as the profile report.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .tracing import Span
+
+__all__ = [
+    "complete_event",
+    "counter_event",
+    "process_name_event",
+    "thread_name_event",
+    "spans_to_events",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "run_manifest",
+]
+
+#: metadata phases the validator accepts
+_META_NAMES = ("process_name", "thread_name", "process_sort_index", "thread_sort_index")
+
+
+# --- event constructors -----------------------------------------------------
+def complete_event(
+    name: str,
+    ts: float,
+    dur: float,
+    pid: int = 1,
+    tid: int = 1,
+    cat: str = "sim",
+    args: dict | None = None,
+) -> dict:
+    """A ``"X"`` (complete) event: one named interval on a pid/tid lane."""
+    event = {
+        "name": name,
+        "cat": cat,
+        "ph": "X",
+        "ts": float(ts),
+        "dur": float(dur),
+        "pid": int(pid),
+        "tid": int(tid),
+    }
+    if args:
+        event["args"] = args
+    return event
+
+
+def counter_event(
+    name: str, ts: float, values: dict, pid: int = 1, cat: str = "sim"
+) -> dict:
+    """A ``"C"`` (counter) event: sampled series rendered as stacked areas."""
+    return {
+        "name": name,
+        "cat": cat,
+        "ph": "C",
+        "ts": float(ts),
+        "pid": int(pid),
+        "args": {k: float(v) for k, v in values.items()},
+    }
+
+
+def process_name_event(pid: int, name: str) -> dict:
+    return {"name": "process_name", "ph": "M", "pid": int(pid), "tid": 0,
+            "args": {"name": name}}
+
+
+def thread_name_event(pid: int, tid: int, name: str) -> dict:
+    return {"name": "thread_name", "ph": "M", "pid": int(pid), "tid": int(tid),
+            "args": {"name": name}}
+
+
+def spans_to_events(spans: Iterable[Span], pid: int = 100) -> list[dict]:
+    """Runtime (wall-clock) spans as complete events, one tid per thread.
+
+    Timestamps are rebased to the earliest span start and expressed in
+    microseconds, the unit the viewers expect.
+    """
+    spans = list(spans)
+    if not spans:
+        return []
+    t0 = min(s.start_ns for s in spans)
+    threads: dict[int, int] = {}
+    events: list[dict] = [process_name_event(pid, "host (wall clock)")]
+    for span in spans:
+        tid = threads.get(span.thread_id)
+        if tid is None:
+            tid = threads[span.thread_id] = len(threads) + 1
+            events.append(thread_name_event(pid, tid, span.thread_name or f"thread-{tid}"))
+        args = {"span_id": span.span_id, "parent_id": span.parent_id}
+        args.update({k: v for k, v in span.attributes.items()
+                     if isinstance(v, (str, int, float, bool))})
+        events.append(
+            complete_event(
+                span.name,
+                ts=(span.start_ns - t0) / 1000.0,
+                dur=span.duration_ns / 1000.0,
+                pid=pid,
+                tid=tid,
+                cat=span.category or "runtime",
+                args=args,
+            )
+        )
+    return events
+
+
+# --- document assembly ------------------------------------------------------
+def chrome_trace(events: Sequence[dict], manifest: dict | None = None) -> dict:
+    """Assemble the object-array Chrome trace document."""
+    doc = {
+        "traceEvents": list(events),
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "format": "repro.obs chrome-trace",
+            "time_unit": "1 us == 1 simulated GPU cycle (sim lanes); "
+                         "wall-clock us (host lanes)",
+        },
+    }
+    if manifest is not None:
+        doc["otherData"]["manifest"] = manifest
+    return doc
+
+
+def validate_chrome_trace(doc: dict) -> int:
+    """Schema-check a Chrome trace document; returns the event count.
+
+    Enforces what ``chrome://tracing`` / Perfetto actually need to load
+    the file: a ``traceEvents`` list whose ``"X"`` events carry numeric
+    non-negative ``ts``/``dur`` and integer ``pid``/``tid``, and whose
+    metadata events name a known metadata record.  Raises
+    :class:`ValueError` with the index of the first offending event.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document must contain a 'traceEvents' list")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {i}: not an object")
+        ph = event.get("ph")
+        if not isinstance(ph, str) or not ph:
+            raise ValueError(f"event {i}: missing phase 'ph'")
+        if not isinstance(event.get("name"), str):
+            raise ValueError(f"event {i}: missing string 'name'")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+                    raise ValueError(f"event {i}: 'X' event needs numeric non-negative {key!r}")
+            for key in ("pid", "tid"):
+                if not isinstance(event.get(key), int):
+                    raise ValueError(f"event {i}: 'X' event needs integer {key!r}")
+        elif ph == "M":
+            if event.get("name") not in _META_NAMES:
+                raise ValueError(f"event {i}: unknown metadata record {event.get('name')!r}")
+            if not isinstance(event.get("args"), dict):
+                raise ValueError(f"event {i}: metadata event needs an 'args' object")
+        elif ph == "C":
+            if not isinstance(event.get("ts"), (int, float)):
+                raise ValueError(f"event {i}: 'C' event needs numeric 'ts'")
+            if not isinstance(event.get("args"), dict):
+                raise ValueError(f"event {i}: 'C' event needs an 'args' object")
+        # other phases (B/E/i/...) are legal in the format; we don't emit
+        # them, but a trace merging external events must still validate.
+    return len(events)
+
+
+def write_chrome_trace(
+    path: str | Path, events: Sequence[dict], manifest: dict | None = None
+) -> Path:
+    """Validate and write a Chrome trace document; returns the path."""
+    doc = chrome_trace(events, manifest=manifest)
+    validate_chrome_trace(doc)
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=1, default=float))
+    return path
+
+
+# --- reproducibility manifest -----------------------------------------------
+def _git_revision() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def run_manifest(seed: int | None = None, config: dict | None = None) -> dict:
+    """The reproducibility envelope of one run.
+
+    Everything needed to re-run the experiment and expect identical
+    output: interpreter and NumPy versions, platform, package version,
+    git revision (when the checkout is available), the ``REPRO_*``
+    environment knobs, and the caller's seed/config.
+    """
+    import numpy
+
+    from .. import __version__
+
+    manifest = {
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "repro_version": __version__,
+        "git_revision": _git_revision(),
+        "env": {k: v for k, v in sorted(os.environ.items()) if k.startswith("REPRO_")},
+        "argv": list(sys.argv),
+    }
+    if seed is not None:
+        manifest["seed"] = seed
+    if config is not None:
+        manifest["config"] = config
+    return manifest

@@ -1,0 +1,264 @@
+"""Metrics registry: counters, gauges, histograms, and stat providers.
+
+One queryable namespace for the quantitative state that used to live in
+ad-hoc per-subsystem accumulators — ``GemmStats`` aggregates,
+``MmaCounter`` totals, the scheduler's memo counters, ``SplitCache``
+hit/miss statistics, fault-injector event counts.  Three primitive
+metric kinds, all thread-safe:
+
+* :class:`Counter`   — monotonically increasing totals (``inc``);
+* :class:`Gauge`     — last-value-wins instantaneous readings (``set``);
+* :class:`Histogram` — streaming distribution summary (count / sum /
+  min / max plus power-of-two magnitude buckets).
+
+Subsystems that already maintain their own counters (the schedule memo,
+split caches) plug in as **providers**: a zero-argument callable
+returning a stats dict, evaluated lazily at :meth:`MetricsRegistry
+.snapshot` time, so the registry unifies existing state without
+duplicating it.
+
+The snapshot/reset protocol is the concurrency contract: ``snapshot()``
+reads every metric under the registry lock (no torn counters across a
+concurrent ``parallel_map`` sweep), and ``reset()`` zeroes them under
+the same lock.  Dotted metric names (``emulation.gemm.mma_calls``)
+namespace the owners; :meth:`MetricsRegistry.query` filters by prefix.
+
+``REPRO_METRICS=0`` disables collection: the hot-path helpers
+(:meth:`inc`, :meth:`observe`, :meth:`set_gauge`) become single-check
+no-ops.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from typing import Callable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+]
+
+
+def _env_flag(name: str, default: bool = True) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("0", "false", "no", "off")
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge for ups and downs")
+        with self._lock:
+            self.value += amount
+
+    def snapshot(self) -> int | float:
+        with self._lock:
+            return self.value
+
+    def reset(self) -> None:
+        with self._lock:
+            self.value = 0
+
+
+class Gauge:
+    """An instantaneous reading (last value wins)."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def snapshot(self) -> float:
+        with self._lock:
+            return self.value
+
+    def reset(self) -> None:
+        with self._lock:
+            self.value = 0.0
+
+
+class Histogram:
+    """Streaming distribution summary with power-of-two magnitude buckets.
+
+    Buckets count observations by ``ceil(log2(value))`` (values <= 0 land
+    in the ``"<=0"`` bucket) — enough resolution to see the shape of
+    latencies and sizes without configuring bucket boundaries.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets", "_lock")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _bucket(value: float) -> str:
+        if value <= 0:
+            return "<=0"
+        return f"<=2^{max(0, math.ceil(math.log2(value)))}"
+
+    def observe(self, value: float) -> None:
+        bucket = self._bucket(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            if not self.count:
+                return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                        "mean": None, "buckets": {}}
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.total / self.count,
+                "buckets": dict(self.buckets),
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = math.inf
+            self.max = -math.inf
+            self.buckets = {}
+
+
+class MetricsRegistry:
+    """Named metrics plus lazily evaluated stat providers, one namespace."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._providers: dict[str, Callable[[], dict]] = {}
+
+    # --- metric factories (create on first use) -----------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter()
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge()
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram()
+            return metric
+
+    # --- hot-path helpers (single-check no-ops when disabled) ---------------
+    def inc(self, name: str, amount: int | float = 1) -> None:
+        if self.enabled:
+            self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.histogram(name).observe(value)
+
+    # --- providers ----------------------------------------------------------
+    def register_provider(self, name: str, provider: Callable[[], dict]) -> None:
+        """Attach an external stats source, evaluated at snapshot time.
+
+        Re-registering a name replaces the provider (module reloads and
+        tests would otherwise accumulate stale callables).
+        """
+        with self._lock:
+            self._providers[name] = provider
+
+    def unregister_provider(self, name: str) -> None:
+        with self._lock:
+            self._providers.pop(name, None)
+
+    # --- snapshot / reset protocol ------------------------------------------
+    def snapshot(self, include_providers: bool = True) -> dict:
+        """Consistent point-in-time view of every metric.
+
+        Held under the registry lock so a concurrent sweep can never
+        interleave a half-updated set of counters into the snapshot.
+        Provider callables run *outside* the lock (they take their own
+        subsystem locks and must not deadlock against ours).
+        """
+        with self._lock:
+            out = {
+                "counters": {k: c.snapshot() for k, c in sorted(self._counters.items())},
+                "gauges": {k: g.snapshot() for k, g in sorted(self._gauges.items())},
+                "histograms": {k: h.snapshot() for k, h in sorted(self._histograms.items())},
+            }
+            providers = dict(self._providers)
+        if include_providers:
+            provided = {}
+            for name, fn in sorted(providers.items()):
+                try:
+                    provided[name] = fn()
+                except Exception as exc:  # a broken provider must not kill a report
+                    provided[name] = {"error": f"{type(exc).__name__}: {exc}"}
+            out["providers"] = provided
+        return out
+
+    def reset(self) -> None:
+        """Zero every owned metric (providers own their own reset)."""
+        with self._lock:
+            for metric in (*self._counters.values(), *self._gauges.values(),
+                           *self._histograms.values()):
+                metric.reset()
+
+    def query(self, prefix: str) -> dict:
+        """Flat {name: value} view of counters/gauges under a dotted prefix."""
+        snap = self.snapshot(include_providers=False)
+        flat: dict[str, float] = {}
+        flat.update(snap["counters"])
+        flat.update(snap["gauges"])
+        return {k: v for k, v in flat.items() if k == prefix or k.startswith(prefix + ".")}
+
+
+#: the process-wide registry; ``REPRO_METRICS=0`` disables collection
+REGISTRY = MetricsRegistry(enabled=_env_flag("REPRO_METRICS"))
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return REGISTRY

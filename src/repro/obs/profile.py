@@ -1,0 +1,507 @@
+"""Per-kernel profiler: Nsight-Compute-style reports from the simulator.
+
+``python -m repro profile <kernel> --shape MxNxK`` runs one kernel
+timing through :func:`repro.gpu.engine.execute` with an execution
+collector installed and turns the captured schedule into the report the
+paper's performance arguments are made of:
+
+* per-instruction-class issue/stall cycles (where the block's critical
+  path actually goes — HMMA issue vs the serialized LDS/LDG/STS pipe);
+* occupancy (blocks/SM, limiting resource, FRAG/register pressure);
+* memory-system view (LDG bytes per block, unique DRAM bytes after the
+  wave-level L2 reuse model, the implied L2 hit rate, shared-memory
+  traffic and the bank-conflict replay factor);
+* achieved vs roofline throughput and issue-bound schedule efficiency;
+* the wave timeline (pipeline- vs DRAM-bound, per wave).
+
+Totals are read from the *same* :class:`~repro.gpu.engine.KernelTiming`
+the engine returns — the report cannot drift from the aggregates — and
+an independent re-run cross-checks determinism (``consistency`` section).
+
+``--trace out.json`` additionally exports a Chrome-trace timeline
+(1 simulated cycle = 1 us) of the single-block pipeline occupancy, the
+wave schedule, and any wall-clock spans recorded during the run; the
+document passes :func:`repro.obs.export.validate_chrome_trace` before it
+is written.
+
+Roofline-modelled kernels (the cuBLAS baselines) never enter the
+instruction engine; they profile in ``mode="roofline"`` with the
+schedule sections absent.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "ExecutionTrace",
+    "WaveRecord",
+    "collect_executions",
+    "profile_kernel",
+    "KernelProfile",
+    "pipeline_events",
+    "wave_events",
+    "format_report",
+    "main",
+]
+
+
+@dataclass(frozen=True)
+class WaveRecord:
+    """Timing of one wave of concurrently resident blocks."""
+
+    index: int
+    active_blocks: int
+    start_cycle: float
+    end_cycle: float
+    pipeline_cycles: float
+    dram_cycles: float
+    dram_bound: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "active_blocks": self.active_blocks,
+            "start_cycle": self.start_cycle,
+            "end_cycle": self.end_cycle,
+            "pipeline_cycles": self.pipeline_cycles,
+            "dram_cycles": self.dram_cycles,
+            "dram_bound": self.dram_bound,
+        }
+
+
+@dataclass
+class ExecutionTrace:
+    """Everything :func:`repro.gpu.engine.execute` saw for one launch."""
+
+    launch: object  # KernelLaunch
+    spec: object  # GpuSpec
+    occupancy: object  # Occupancy
+    schedule: object  # ScheduleResult
+    timing: object  # KernelTiming
+    waves: list[WaveRecord] = field(default_factory=list)
+
+
+@contextmanager
+def collect_executions() -> Iterator[list[ExecutionTrace]]:
+    """Install the engine execution hook; yields the capture list.
+
+    The previous hook is restored on exit, so nested collectors and
+    error paths cannot leak instrumentation into later runs (the same
+    contract as :meth:`repro.resilience.faults.FaultInjector.installed`).
+    """
+    from ..gpu import engine
+
+    captured: list[ExecutionTrace] = []
+    previous = engine.EXEC_HOOK
+    engine.EXEC_HOOK = captured.append
+    try:
+        yield captured
+    finally:
+        engine.EXEC_HOOK = previous
+
+
+# --- schedule analysis ------------------------------------------------------
+def _instruction_classes(stream, schedule, spec) -> dict[str, dict]:
+    """Per-opcode issue/stall accounting of one block's schedule.
+
+    For each group: ``issue`` is the cycles it occupies its functional
+    unit; ``stall`` is the gap between the moment its dependencies were
+    satisfied and its first issue — time lost to unit serialization
+    (another group holding the pipe), the quantity §5.1's instruction
+    reordering attacks.
+    """
+    complete = schedule.group_complete
+    issue_end: list[float] = []
+    classes: dict[str, dict] = {}
+    for idx, group in enumerate(stream):
+        issue = group.issue_cycles(spec)
+        end_issue = complete[idx] - group.completion_latency(spec)
+        start = end_issue - issue
+        issue_end.append(end_issue)
+        ready = 0.0
+        for dep in group.depends_on:
+            ready = max(ready, complete[dep])
+        for dep in group.issue_after:
+            ready = max(ready, issue_end[dep])
+        entry = classes.setdefault(
+            group.opcode.value,
+            {"groups": 0, "instructions": 0, "issue_cycles": 0.0,
+             "stall_cycles": 0.0, "traffic_bytes": 0},
+        )
+        entry["groups"] += 1
+        entry["instructions"] += group.count
+        entry["issue_cycles"] += issue
+        entry["stall_cycles"] += max(0.0, start - ready)
+        entry["traffic_bytes"] += group.traffic_bytes
+    return classes
+
+
+@dataclass
+class KernelProfile:
+    """The assembled profile of one kernel launch."""
+
+    kernel: str
+    shape: tuple[int, int, int]
+    spec_name: str
+    mode: str  # "engine" | "roofline"
+    report: dict
+    trace: ExecutionTrace | None = None
+
+    def as_dict(self) -> dict:
+        return self.report
+
+
+def _engine_report(kernel_name, shape, spec, trace: ExecutionTrace, timing) -> dict:
+    from ..gpu.isa import ExecUnit, Opcode
+
+    m, n, k = shape
+    launch, sched, occ = trace.launch, trace.schedule, trace.occupancy
+    stream = launch.stream
+    classes = _instruction_classes(stream, sched, spec)
+
+    ldg_bytes = stream.traffic_bytes(Opcode.LDG)
+    stg_bytes = stream.traffic_bytes(Opcode.STG)
+    lds_bytes = stream.traffic_bytes(Opcode.LDS)
+    sts_bytes = stream.traffic_bytes(Opcode.STS)
+    global_bytes = ldg_bytes + stg_bytes
+    dram_bytes = launch.dram_bytes_per_block
+    l2_hit_rate = max(0.0, 1.0 - dram_bytes / global_bytes) if global_bytes else 0.0
+
+    tensor_busy = sched.unit_busy.get(ExecUnit.TENSOR, 0.0)
+    peak = (
+        spec.peak_half_tc_tflops
+        if stream.count(Opcode.HMMA)
+        else spec.peak_fp32_tflops
+    )
+    achieved = timing.tflops
+    issue_bound = max(sched.unit_busy.values(), default=0.0)
+
+    return {
+        "kernel": kernel_name,
+        "shape": list(shape),
+        "spec": spec.name,
+        "mode": "engine",
+        "timing": {
+            "seconds": timing.seconds,
+            "total_cycles": timing.cycles,
+            "tflops": achieved,
+            "waves": timing.waves,
+            "dram_bound_waves": timing.dram_bound_waves,
+            "breakdown": dict(timing.breakdown),
+        },
+        "occupancy": {
+            "grid_blocks": launch.grid_blocks,
+            "blocks_per_sm": occ.blocks_per_sm,
+            "active_warps_per_sm": occ.active_warps_per_sm,
+            "limiting_resource": occ.limiting_resource,
+            "threads_per_block": launch.resources.threads,
+            "registers_per_thread": launch.resources.registers_per_thread,
+            "shared_mem_bytes_per_block": launch.resources.shared_mem_bytes,
+        },
+        "schedule": {
+            "block_cycles": sched.total_cycles,
+            "instruction_groups": len(stream),
+            "tensor_utilization": sched.tensor_utilization,
+            "mem_utilization": sched.mem_utilization,
+            "issue_bound_cycles": issue_bound,
+            "schedule_efficiency": issue_bound / sched.total_cycles if sched.total_cycles else 0.0,
+        },
+        "instruction_classes": classes,
+        "memory": {
+            "ldg_bytes_per_block": ldg_bytes,
+            "stg_bytes_per_block": stg_bytes,
+            "lds_bytes_per_block": lds_bytes,
+            "sts_bytes_per_block": sts_bytes,
+            "dram_bytes_per_block": dram_bytes,
+            "l2_hit_rate": l2_hit_rate,
+        },
+        "roofline": {
+            "achieved_tflops": achieved,
+            "peak_tflops": peak,
+            "fraction_of_peak": achieved / peak if peak else 0.0,
+            "tensor_pipe_busy_cycles": tensor_busy,
+        },
+        "waves": [w.as_dict() for w in trace.waves],
+    }
+
+
+def _roofline_report(kernel_name, shape, spec, timing) -> dict:
+    peak = spec.peak_half_tc_tflops if "TC" in timing.name else spec.peak_fp32_tflops
+    return {
+        "kernel": kernel_name,
+        "shape": list(shape),
+        "spec": spec.name,
+        "mode": "roofline",
+        "timing": {
+            "seconds": timing.seconds,
+            "total_cycles": timing.cycles,
+            "tflops": timing.tflops,
+            "waves": timing.waves,
+            "dram_bound_waves": timing.dram_bound_waves,
+            "breakdown": dict(timing.breakdown),
+        },
+        "roofline": {
+            "achieved_tflops": timing.tflops,
+            "peak_tflops": peak,
+            "fraction_of_peak": timing.tflops / peak if peak else 0.0,
+        },
+    }
+
+
+def profile_kernel(name: str, m: int, n: int, k: int, spec=None) -> KernelProfile:
+    """Profile one (m, n, k) timing of a registry kernel on ``spec``.
+
+    Engine-modelled kernels (EGEMM-TC and friends) yield the full
+    schedule/memory/wave report; roofline-modelled baselines yield the
+    timing/roofline subset.  A second, independent ``kernel.time`` run
+    cross-checks that the captured totals are deterministic — the
+    ``consistency`` section records the bit-for-bit comparison.
+    """
+    from ..gpu.spec import TESLA_T4
+    from ..kernels.registry import get_kernel
+    from .metrics import get_registry
+    from .tracing import get_tracer
+
+    spec = spec or TESLA_T4
+    kernel = get_kernel(name)
+    tracer = get_tracer()
+    with tracer.span("obs.profile", category="obs", kernel=name, m=m, n=n, k=k):
+        with collect_executions() as captured:
+            timing = kernel.time(m, n, k, spec)
+
+    shape = (m, n, k)
+    if captured:
+        trace = captured[-1]
+        report = _engine_report(name, shape, spec, trace, timing)
+        mode = "engine"
+    else:
+        trace = None
+        report = _roofline_report(name, shape, spec, timing)
+        mode = "roofline"
+
+    # Determinism cross-check against a fresh, uninstrumented timing.
+    recheck = kernel.time(m, n, k, spec)
+    report["consistency"] = {
+        "recheck_seconds": recheck.seconds,
+        "recheck_total_cycles": recheck.cycles,
+        "cycles_match": recheck.cycles == report["timing"]["total_cycles"],
+        "seconds_match": recheck.seconds == report["timing"]["seconds"],
+    }
+    report["metrics"] = get_registry().query("gpu.engine")
+    get_registry().inc("obs.profiles")
+    return KernelProfile(
+        kernel=name, shape=shape, spec_name=spec.name, mode=mode,
+        report=report, trace=trace,
+    )
+
+
+# --- Chrome-trace assembly --------------------------------------------------
+def pipeline_events(trace: ExecutionTrace, pid: int = 1) -> list[dict]:
+    """One block's schedule as per-functional-unit timeline lanes.
+
+    1 simulated cycle maps to 1 us; lanes are the scheduler's functional
+    units, so the Figure 6 overlap (HMMA issuing under the MEM pipe) is
+    directly visible in Perfetto.
+    """
+    from ..gpu.isa import ExecUnit
+    from ..gpu.timeline import timeline_segments
+    from .export import complete_event, process_name_event, thread_name_event
+
+    lanes = {ExecUnit.TENSOR: 1, ExecUnit.MEM: 2, ExecUnit.ALU: 3, ExecUnit.SYNC: 4}
+    events = [process_name_event(pid, "SM pipeline (one block, cycles)")]
+    for unit, tid in lanes.items():
+        events.append(thread_name_event(pid, tid, unit.value))
+    for seg in timeline_segments(trace.launch.stream, trace.spec):
+        events.append(
+            complete_event(
+                seg.label,
+                ts=max(0.0, seg.start),
+                dur=max(0.0, seg.end - seg.start),
+                pid=pid,
+                tid=lanes.get(seg.unit, 5),
+                cat="pipeline",
+            )
+        )
+    return events
+
+
+def wave_events(trace: ExecutionTrace, pid: int = 2) -> list[dict]:
+    """The launch's wave schedule: one lane, one interval per wave."""
+    from .export import complete_event, counter_event, process_name_event, thread_name_event
+
+    events = [
+        process_name_event(pid, "wave schedule (launch, cycles)"),
+        thread_name_event(pid, 1, "waves"),
+    ]
+    for wave in trace.waves:
+        events.append(
+            complete_event(
+                f"wave {wave.index} ({'DRAM' if wave.dram_bound else 'pipeline'}-bound)",
+                ts=wave.start_cycle,
+                dur=max(0.0, wave.end_cycle - wave.start_cycle),
+                pid=pid,
+                tid=1,
+                cat="wave",
+                args={
+                    "active_blocks": wave.active_blocks,
+                    "pipeline_cycles": wave.pipeline_cycles,
+                    "dram_cycles": wave.dram_cycles,
+                },
+            )
+        )
+        events.append(
+            counter_event(
+                "active blocks", ts=wave.start_cycle,
+                values={"blocks": wave.active_blocks}, pid=pid,
+            )
+        )
+    return events
+
+
+def export_trace(profile: KernelProfile, path, seed: int | None = None):
+    """Write the profile's Chrome-trace JSON (validated); returns the path."""
+    from .export import run_manifest, spans_to_events, write_chrome_trace
+    from .tracing import get_tracer
+
+    events: list[dict] = []
+    if profile.trace is not None:
+        events.extend(pipeline_events(profile.trace))
+        events.extend(wave_events(profile.trace))
+    events.extend(spans_to_events(get_tracer().spans()))
+    manifest = run_manifest(
+        seed=seed,
+        config={"kernel": profile.kernel, "shape": list(profile.shape),
+                "spec": profile.spec_name, "mode": profile.mode},
+    )
+    return write_chrome_trace(path, events, manifest=manifest)
+
+
+# --- text report ------------------------------------------------------------
+def format_report(profile: KernelProfile) -> str:
+    """Human-readable profile report (the CLI's default output)."""
+    r = profile.report
+    t = r["timing"]
+    m, n, k = r["shape"]
+    lines = [
+        f"== profile: {r['kernel']} {m}x{n}x{k} on {r['spec']} ({r['mode']} model) ==",
+        "",
+        f"time          {t['seconds'] * 1e3:12.4f} ms   ({t['tflops']:.3f} TFLOPS)",
+        f"total cycles  {t['total_cycles']:14.1f}",
+        f"waves         {t['waves']:8d}   ({t['dram_bound_waves']} DRAM-bound)",
+    ]
+    if "occupancy" in r:
+        o = r["occupancy"]
+        lines += [
+            "",
+            "-- occupancy --",
+            f"grid blocks {o['grid_blocks']}, {o['blocks_per_sm']} block(s)/SM "
+            f"({o['active_warps_per_sm']} warps/SM), limited by {o['limiting_resource']}",
+            f"FRAG pressure: {o['registers_per_thread']} regs/thread, "
+            f"{o['shared_mem_bytes_per_block']} B shared/block, "
+            f"{o['threads_per_block']} threads/block",
+        ]
+    if "schedule" in r:
+        s = r["schedule"]
+        lines += [
+            "",
+            "-- block schedule --",
+            f"block cycles {s['block_cycles']:.1f} over {s['instruction_groups']} groups; "
+            f"tensor pipe {s['tensor_utilization']:.1%} busy, "
+            f"mem pipe {s['mem_utilization']:.1%} busy",
+            f"issue-bound limit {s['issue_bound_cycles']:.1f} cycles "
+            f"(schedule efficiency {s['schedule_efficiency']:.1%})",
+            "",
+            "-- instruction classes (per block) --",
+            f"{'class':>6} {'instrs':>8} {'issue cyc':>10} {'stall cyc':>10} {'bytes':>12}",
+        ]
+        for op, c in sorted(r["instruction_classes"].items()):
+            lines.append(
+                f"{op:>6} {c['instructions']:>8} {c['issue_cycles']:>10.1f} "
+                f"{c['stall_cycles']:>10.1f} {c['traffic_bytes']:>12}"
+            )
+    if "memory" in r:
+        mem = r["memory"]
+        lines += [
+            "",
+            "-- memory (per block) --",
+            f"LDG {mem['ldg_bytes_per_block']} B, STG {mem['stg_bytes_per_block']} B, "
+            f"LDS {mem['lds_bytes_per_block']} B, STS {mem['sts_bytes_per_block']} B",
+            f"unique DRAM {mem['dram_bytes_per_block']:.0f} B "
+            f"(L2 hit rate {mem['l2_hit_rate']:.1%} via wave panel reuse)",
+        ]
+    rf = r["roofline"]
+    lines += [
+        "",
+        "-- roofline --",
+        f"achieved {rf['achieved_tflops']:.3f} TFLOPS of {rf['peak_tflops']:.1f} peak "
+        f"({rf['fraction_of_peak']:.1%})",
+    ]
+    c = r["consistency"]
+    lines += [
+        "",
+        f"-- consistency: cycles match={c['cycles_match']} "
+        f"seconds match={c['seconds_match']} (independent re-run) --",
+    ]
+    return "\n".join(lines)
+
+
+# --- CLI --------------------------------------------------------------------
+def _parse_shape(text: str) -> tuple[int, int, int]:
+    parts = text.lower().replace("×", "x").split("x")
+    if len(parts) != 3:
+        raise ValueError(f"shape must look like MxNxK, got {text!r}")
+    m, n, k = (int(p) for p in parts)
+    if min(m, n, k) <= 0:
+        raise ValueError(f"shape dimensions must be positive, got {text!r}")
+    return m, n, k
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m repro profile <kernel> --shape MxNxK [--trace F]``."""
+    import argparse
+
+    from ..gpu.spec import get_gpu
+    from ..kernels.registry import KERNELS
+    from .tracing import configure
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro profile",
+        description="per-kernel profile report + Chrome-trace export "
+                    "(see docs/observability.md)",
+    )
+    parser.add_argument("kernel", choices=sorted(KERNELS), help="registry kernel name")
+    parser.add_argument("--shape", default="256x256x256", help="GEMM shape MxNxK")
+    parser.add_argument("--spec", default="t4", help="GPU spec name (t4, rtx6000)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome-trace JSON timeline here")
+    parser.add_argument("--json", default=None, metavar="PATH", dest="json_out",
+                        help="write the profile report as JSON here")
+    args = parser.parse_args(argv)
+
+    try:
+        m, n, k = _parse_shape(args.shape)
+    except ValueError as exc:
+        parser.error(str(exc))
+    spec = get_gpu(args.spec)
+
+    configure(True)  # the profiled run is traced by definition
+    profile = profile_kernel(args.kernel, m, n, k, spec=spec)
+    print(format_report(profile))
+
+    if args.json_out:
+        from .export import run_manifest
+
+        doc = dict(profile.report)
+        doc["manifest"] = run_manifest(config={"kernel": args.kernel,
+                                               "shape": [m, n, k], "spec": spec.name})
+        with open(args.json_out, "w") as fh:
+            json.dump(doc, fh, indent=2, default=float)
+        print(f"profile JSON written to {args.json_out}")
+    if args.trace:
+        path = export_trace(profile, args.trace)
+        print(f"Chrome trace written to {path} (load in chrome://tracing or Perfetto)")
+    return 0

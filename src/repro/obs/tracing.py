@@ -1,0 +1,224 @@
+"""Structured tracing core: hierarchical spans with near-zero disabled cost.
+
+The observability layer's spine is a single process-wide :class:`Tracer`
+holding a per-thread span stack.  A *span* is one timed region of the
+simulator — an emulated GEMM run, a kernel-launch timing, a resilient
+attempt, a fault-campaign section — carrying a monotonically increasing
+id, its parent's id (spans opened while another span is active nest
+under it), wall-clock start/duration, and free-form attributes.
+
+Two design constraints shape the implementation:
+
+* **zero dependencies** — stdlib only, so every subsystem (including the
+  lowest layers of :mod:`repro.gpu`) can import it without cycles;
+* **near-zero overhead when disabled** — ``Tracer.span`` performs one
+  attribute check and returns a shared no-op singleton, so hot paths can
+  be instrumented unconditionally.  The enabled path costs two
+  ``perf_counter_ns`` calls and one locked append per span; nothing on
+  the per-element or per-chunk level is ever traced.
+
+Toggles: the ``REPRO_TRACE`` environment variable (``1``/``true``/``on``)
+enables tracing at import; :func:`configure` flips it at runtime.  The
+``python -m repro profile`` CLI enables it for the profiled run.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "configure",
+    "current_span_id",
+    "trace_enabled",
+]
+
+
+def _env_flag(name: str, default: bool = False) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() in ("1", "true", "yes", "on")
+
+
+class _NullSpan:
+    """Shared no-op span returned while tracing is disabled."""
+
+    __slots__ = ()
+    span_id = 0
+    parent_id = 0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+@dataclass
+class Span:
+    """One timed, attributed region of execution."""
+
+    name: str
+    category: str = ""
+    span_id: int = 0
+    parent_id: int = 0
+    thread_id: int = 0
+    thread_name: str = ""
+    start_ns: int = 0
+    duration_ns: int = 0
+    attributes: dict = field(default_factory=dict)
+    _tracer: "Tracer | None" = field(default=None, repr=False, compare=False)
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes to the span (chainable)."""
+        self.attributes.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        if tracer is not None:
+            tracer._push(self)
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_ns = time.perf_counter_ns() - self.start_ns
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer._pop(self)
+        return False
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "category": self.category,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread_id": self.thread_id,
+            "thread_name": self.thread_name,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "attributes": dict(self.attributes),
+        }
+
+
+class Tracer:
+    """Process-wide span factory and collector.
+
+    Thread safety: each thread nests spans on its own stack (a
+    ``threading.local``), so context propagation never races; finished
+    spans are appended to one shared list under a lock.  Span ids come
+    from ``itertools.count`` (atomic in CPython).
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._finished: list[Span] = []
+
+    # --- span lifecycle -----------------------------------------------------
+    def span(self, name: str, category: str = "", **attrs):
+        """Open a span (use as a context manager).
+
+        Disabled tracing returns the shared :data:`NULL_SPAN` — one
+        attribute check, no allocation beyond the caller's kwargs.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        thread = threading.current_thread()
+        return Span(
+            name=name,
+            category=category,
+            span_id=next(self._ids),
+            parent_id=self.current_span_id(),
+            thread_id=thread.ident or 0,
+            thread_name=thread.name,
+            attributes=dict(attrs) if attrs else {},
+            _tracer=self,
+        )
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # out-of-order exit: drop it and everything above
+            del stack[stack.index(span) :]
+        with self._lock:
+            self._finished.append(span)
+
+    # --- context ------------------------------------------------------------
+    def current_span_id(self) -> int:
+        """Id of this thread's innermost active span (0 when none)."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1].span_id if stack else 0
+
+    # --- collection ---------------------------------------------------------
+    def spans(self) -> list[Span]:
+        """Snapshot of the finished spans (oldest first)."""
+        with self._lock:
+            return list(self._finished)
+
+    def drain(self) -> list[Span]:
+        """Remove and return all finished spans."""
+        with self._lock:
+            out = self._finished
+            self._finished = []
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+
+#: the process-wide tracer; enabled by ``REPRO_TRACE=1`` at import time
+TRACER = Tracer(enabled=_env_flag("REPRO_TRACE"))
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer instance."""
+    return TRACER
+
+
+def configure(enabled: bool) -> Tracer:
+    """Enable or disable tracing at runtime; returns the tracer."""
+    TRACER.enabled = enabled
+    return TRACER
+
+
+def trace_enabled() -> bool:
+    return TRACER.enabled
+
+
+def current_span_id() -> int:
+    """Innermost active span id of the calling thread (0 when none/disabled)."""
+    return TRACER.current_span_id()

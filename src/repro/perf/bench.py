@@ -29,6 +29,7 @@ from ..emulation.schemes import EGEMM, EmulationScheme
 from ..gpu.scheduler import clear_schedule_cache, schedule_cache_stats
 from ..gpu.spec import TESLA_T4
 from ..kernels.egemm import EgemmTcKernel
+from ..obs.metrics import get_registry
 from .split_cache import SplitCache
 
 __all__ = ["run_bench", "main"]
@@ -245,10 +246,19 @@ def main(argv: list[str] | None = None) -> int:
     print(f"batched GEMM   ({b['batch']}x{b['shape']}): "
           f"{b['speedup']:.2f}x, bit-identical: {b['bit_identical']}")
     print(f"power iteration (n={p['n']}, {p['iterations']} iters): "
-          f"{p['speedup']:.2f}x, bit-identical: {p['bit_identical']}, "
-          f"split-cache hit rate {p['split_cache']['hit_rate']:.1%}")
+          f"{p['speedup']:.2f}x, bit-identical: {p['bit_identical']}")
     print(f"schedule memo   ({s['repetitions']} reps over {len(s['sizes'])} sizes): "
-          f"{s['speedup']:.2f}x, hit rate {s['hit_rate']:.1%}")
+          f"{s['speedup']:.2f}x")
+    # Cache statistics come from the one queryable namespace — the
+    # metrics registry's providers — instead of per-subsystem printers.
+    providers = get_registry().snapshot()["providers"]
+    sched = providers.get("gpu.schedule_cache", {})
+    split = providers.get("perf.split_cache", {})
+    print(f"caches (registry): schedule memo {sched.get('hits', 0)}/{sched.get('misses', 0)} "
+          f"hits/misses ({sched.get('hit_rate', 0.0):.1%}), "
+          f"split caches {split.get('hits', 0)}/{split.get('misses', 0)} "
+          f"hits/misses ({split.get('hit_rate', 0.0):.1%}) "
+          f"across {split.get('caches', 0) + split.get('retired_caches', 0)} cache(s)")
     print(f"report written to {args.out}")
     return 0
 

@@ -45,14 +45,70 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.metrics import get_registry
 from ..splits.base import SplitPair
 
-__all__ = ["CacheStats", "SplitPlan", "SplitCache"]
+__all__ = ["CacheStats", "SplitPlan", "SplitCache", "split_cache_stats"]
+
+#: every live cache instance, keyed by id, for the registry's aggregate
+#: provider.  Weak references: registering for observability must not
+#: extend a cache's lifetime past its owner's.  (A WeakValueDictionary,
+#: not a WeakSet — the eq-comparing dataclass is unhashable, and a dead
+#: id is removed before it can be recycled.)
+_LIVE_CACHES: "weakref.WeakValueDictionary[int, SplitCache]" = weakref.WeakValueDictionary()
+
+#: counters folded in from caches that have been garbage-collected, so
+#: the provider stays cumulative (metrics-counter semantics) instead of
+#: forgetting a cache's work the moment its owner drops the reference
+_RETIRED = {"caches": 0, "hits": 0, "misses": 0, "evictions": 0, "stale": 0}
+_RETIRED_LOCK = threading.Lock()
+
+
+def _retire(stats: "CacheStats") -> None:
+    """finalize callback: fold a dead cache's counters into the totals.
+
+    Receives the :class:`CacheStats` (not the cache — a finalizer must
+    not hold its referent); by the time it runs no thread can still be
+    mutating the counters, so no per-cache lock is needed.
+    """
+    with _RETIRED_LOCK:
+        _RETIRED["caches"] += 1
+        _RETIRED["hits"] += stats.hits
+        _RETIRED["misses"] += stats.misses
+        _RETIRED["evictions"] += stats.evictions
+        _RETIRED["stale"] += stats.stale
+
+
+def split_cache_stats() -> dict[str, float]:
+    """Aggregate hit/miss stats across every :class:`SplitCache` ever made.
+
+    Registered as the ``perf.split_cache`` provider of the metrics
+    registry.  Live caches are read under their own locks; caches that
+    have been garbage-collected contribute their final counters through
+    the retired totals, so hit/miss counts are cumulative while
+    ``caches``/``entries`` describe only the currently-live population.
+    """
+    with _RETIRED_LOCK:
+        totals = {"caches": 0, "entries": 0, "hits": _RETIRED["hits"],
+                  "misses": _RETIRED["misses"], "evictions": _RETIRED["evictions"],
+                  "stale": _RETIRED["stale"], "retired_caches": _RETIRED["caches"]}
+    for cache in list(_LIVE_CACHES.values()):
+        with cache._lock:
+            totals["caches"] += 1
+            totals["entries"] += len(cache._entries)
+            totals["hits"] += cache.stats.hits
+            totals["misses"] += cache.stats.misses
+            totals["evictions"] += cache.stats.evictions
+            totals["stale"] += cache.stats.stale
+    lookups = totals["hits"] + totals["misses"]
+    totals["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
+    return totals
 
 
 @dataclass
@@ -148,6 +204,8 @@ class SplitCache:
             raise ValueError("maxsize must be positive")
         self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
         self._lock = threading.Lock()
+        _LIVE_CACHES[id(self)] = self
+        weakref.finalize(self, _retire, self.stats)
 
     # --- keying -----------------------------------------------------------
     @staticmethod
@@ -214,3 +272,8 @@ class SplitCache:
         self.stats = CacheStats()
         self._entries = OrderedDict()
         self._lock = threading.Lock()
+        _LIVE_CACHES[id(self)] = self
+        weakref.finalize(self, _retire, self.stats)
+
+
+get_registry().register_provider("perf.split_cache", split_cache_stats)

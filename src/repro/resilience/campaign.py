@@ -43,6 +43,8 @@ from ..emulation.schemes import get_scheme
 from ..gpu.registers import egemm_stage_usage, fault_exposure
 from ..gpu.spec import TESLA_T4
 from ..kernels.registry import get_kernel
+from ..obs.metrics import get_registry
+from ..obs.tracing import get_tracer
 from ..tensorize.kernel import run_functional
 from .abft import AbftGemm, abft_run, checksum_tolerances
 from .faults import FaultInjector, FaultSite
@@ -122,6 +124,9 @@ def _accumulator_campaign(faults: int, seed: int) -> dict:
     counts["significant"] = significant
     counts["detection_rate"] = counts["detected"] / significant if significant else 1.0
     counts["events"] = len(injector.events)
+    # First few events verbatim (with their span_id attribution) so the
+    # JSON report supports post-mortems without re-running the campaign.
+    counts["event_log"] = [e.as_dict() for e in injector.events[:20]]
     return counts
 
 
@@ -281,22 +286,45 @@ def _runner_drill(seed: int) -> dict:
 def run_campaign(
     faults: int = 1000, seed: int = 0, quick: bool = False, out: str | Path | None = None
 ) -> dict:
-    """Run the full fault-injection campaign; returns (and saves) the report."""
+    """Run the full fault-injection campaign; returns (and saves) the report.
+
+    Each campaign section runs inside a ``resilience.campaign.<site>``
+    span and its wall-clock time is recorded in the report's ``timing``
+    map — the per-site attribution that says where a slow campaign spent
+    its minutes.  Fault events inside a section carry the active span id
+    (see :class:`~repro.resilience.faults.FaultEvent`).
+    """
     if quick:
         faults = min(faults, 120)
     functional_trials = 6 if quick else 25
 
+    tracer = get_tracer()
+    timing: dict[str, float] = {}
+
+    def section(name: str, fn, *args) -> dict:
+        with tracer.span(f"resilience.campaign.{name}", category="resilience") as span:
+            t0 = time.perf_counter()
+            result = fn(*args)
+            elapsed = time.perf_counter() - t0
+            span.set(seconds=elapsed)
+        timing[name] = elapsed
+        get_registry().observe("resilience.campaign.section_seconds", elapsed)
+        return result
+
     report = {
         "seed": seed,
         "quick": quick,
-        "accumulator": _accumulator_campaign(faults, seed),
-        "frag": _functional_campaign(functional_trials, seed, FaultSite.FRAG),
-        "shared": _functional_campaign(functional_trials, seed, FaultSite.SHARED),
-        "clean_sweeps": _false_positive_sweeps(quick, seed + 7),
-        "overhead": _overhead(quick, seed + 11),
-        "register_exposure": _register_exposure(),
-        "runner": _runner_drill(seed + 13),
+        "accumulator": section("accumulator", _accumulator_campaign, faults, seed),
+        "frag": section("frag", _functional_campaign, functional_trials, seed, FaultSite.FRAG),
+        "shared": section(
+            "shared", _functional_campaign, functional_trials, seed, FaultSite.SHARED
+        ),
+        "clean_sweeps": section("clean_sweeps", _false_positive_sweeps, quick, seed + 7),
+        "overhead": section("overhead", _overhead, quick, seed + 11),
+        "register_exposure": section("register_exposure", _register_exposure),
+        "runner": section("runner", _runner_drill, seed + 13),
     }
+    report["timing"] = timing
     sdc = sum(report[s]["sdc"] for s in ("accumulator", "frag", "shared"))
     unrecovered = sum(report[s]["unrecovered"] for s in ("accumulator", "frag", "shared"))
     report["summary"] = {
@@ -342,6 +370,12 @@ def _print_summary(report: dict) -> None:
     rn = report["runner"]
     print(f"  runner drill: kernel={rn['kernel']} escalation={rn['escalation']} "
           f"rel-err={rn['max_rel_error']:.2e}")
+    t = report.get("timing", {})
+    if t:
+        total = sum(t.values())
+        slowest = max(t, key=t.get)
+        print(f"  timing: {total:.1f}s total, slowest section "
+              f"{slowest} ({t[slowest]:.1f}s)")
     print(f"  verdict: {'PASS' if s['pass'] else 'FAIL'} "
           f"(SDC={s['sdc']}, unrecovered={s['unrecovered']}, "
           f"false positives={s['false_positives']})")

@@ -40,6 +40,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.metrics import get_registry
+from ..obs.tracing import current_span_id
+
 __all__ = ["FaultSite", "FaultEvent", "FaultInjector", "flip_bit"]
 
 #: default bit windows (lo inclusive, hi exclusive) per storage width —
@@ -71,6 +74,10 @@ class FaultEvent:
     bit: int
     before: float
     after: float
+    #: innermost active tracing span when the fault was injected (0 when
+    #: tracing is disabled) — lets campaign post-mortems attribute an
+    #: injection to the exact GEMM run / kernel timing that absorbed it
+    span_id: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -80,6 +87,7 @@ class FaultEvent:
             "bit": self.bit,
             "before": self.before,
             "after": self.after,
+            "span_id": self.span_id,
         }
 
 
@@ -185,8 +193,13 @@ class FaultInjector:
                 bit=bit,
                 before=before,
                 after=after,
+                span_id=current_span_id(),
             )
         )
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("resilience.faults.injected")
+            registry.inc(f"resilience.faults.{site_name}")
         return corrupted
 
     # --- installation -----------------------------------------------------

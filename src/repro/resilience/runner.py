@@ -35,6 +35,8 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..kernels.registry import get_kernel
+from ..obs.metrics import get_registry
+from ..obs.tracing import get_tracer
 from ..splits.ozaki import ozaki_gemm
 
 __all__ = [
@@ -335,6 +337,8 @@ class ResilientRunner:
         b = np.asarray(b, dtype=np.float32)
         ha, hb = self.sanitize(a, b, c)
 
+        tracer = get_tracer()
+        registry = get_registry()
         attempts: list[Attempt] = []
         last_error: BaseException | None = None
         for name in self.chain:
@@ -349,24 +353,33 @@ class ResilientRunner:
                     kernel=name, attempt=i, escalation=escalation, ok=False, backoff_s=backoff
                 )
                 attempts.append(record)
-                try:
-                    d, kind, recomputes = call_with_timeout(
-                        self._attempt_compute, self.stage_timeout_s, kernel, escalation, a, b, c
-                    )
-                    record.abft_kind = kind
-                    record.abft_recomputes = recomputes
-                    if self.validate_output and not np.isfinite(d).all():
-                        raise ResilienceError(
-                            f"kernel {name!r} produced non-finite output "
-                            f"(escalation={escalation!r})"
+                with tracer.span(
+                    "resilience.attempt", category="resilience",
+                    kernel=name, attempt=i, escalation=escalation,
+                ) as span:
+                    registry.inc("resilience.runner.attempts")
+                    try:
+                        d, kind, recomputes = call_with_timeout(
+                            self._attempt_compute, self.stage_timeout_s, kernel, escalation, a, b, c
                         )
-                except InputValidationError:
-                    raise
-                except Exception as exc:  # noqa: BLE001 - each failure advances the chain
-                    record.error = f"{type(exc).__name__}: {exc}"
-                    last_error = exc
-                    continue
-                record.ok = True
+                        record.abft_kind = kind
+                        record.abft_recomputes = recomputes
+                        if self.validate_output and not np.isfinite(d).all():
+                            raise ResilienceError(
+                                f"kernel {name!r} produced non-finite output "
+                                f"(escalation={escalation!r})"
+                            )
+                    except InputValidationError:
+                        raise
+                    except Exception as exc:  # noqa: BLE001 - each failure advances the chain
+                        record.error = f"{type(exc).__name__}: {exc}"
+                        last_error = exc
+                        span.set(ok=False, error=record.error)
+                        registry.inc("resilience.runner.failed_attempts")
+                        continue
+                    record.ok = True
+                    span.set(ok=True)
+                registry.inc("resilience.runner.successes")
                 return RunnerResult(d=d, kernel=name, escalation=escalation, attempts=attempts)
         raise ExhaustedFallbacksError(
             f"all kernels failed ({' -> '.join(self.chain)}); "

@@ -15,11 +15,41 @@ manipulation.
 from __future__ import annotations
 
 import abc
+import functools
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.metrics import get_registry
+from ..obs.tracing import get_tracer
+
 __all__ = ["SplitPair", "Split"]
+
+
+def _observed(split_method):
+    """Wrap a split algorithm with a span and registry accounting.
+
+    Applied once per concrete subclass by ``Split.__init_subclass__`` —
+    every split algorithm reports through the same ``splits.split`` span
+    and ``splits.*`` counters without carrying instrumentation itself.
+    The split is O(N²) per call, so one enabled-check here is noise.
+    """
+
+    @functools.wraps(split_method)
+    def wrapper(self, x, *args, **kwargs):
+        with get_tracer().span(
+            "splits.split", category="splits", split=self.name,
+            elements=int(np.asarray(x).size),
+        ):
+            pair = split_method(self, x, *args, **kwargs)
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("splits.calls")
+            registry.inc("splits.elements", int(np.asarray(x).size))
+        return pair
+
+    wrapper.__wrapped_by_obs__ = True
+    return wrapper
 
 
 @dataclass(frozen=True)
@@ -57,6 +87,12 @@ class Split(abc.ABC):
     name: str = "abstract"
     #: effective mantissa bits of the reconstructed value (Table 1 column)
     effective_mantissa_bits: int = 0
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        split_method = cls.__dict__.get("split")
+        if split_method is not None and not getattr(split_method, "__wrapped_by_obs__", False):
+            cls.split = _observed(split_method)
 
     @abc.abstractmethod
     def split(self, x: np.ndarray) -> SplitPair:

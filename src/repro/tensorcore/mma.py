@@ -103,6 +103,25 @@ class MmaCounter:
     def record(self, shape_m: int, shape_n: int, shape_k: int) -> None:
         self.add(1, 2 * shape_m * shape_n * shape_k)
 
+    def snapshot(self) -> dict[str, int]:
+        """Atomic point-in-time reading of both totals.
+
+        Reading ``calls`` and ``flops`` as separate attribute accesses can
+        interleave with a concurrent :meth:`add` and pair a pre-update
+        call count with a post-update FLOP count; the snapshot takes both
+        under the lock (the registry's snapshot/reset protocol).
+        """
+        with self._lock:
+            return {"calls": self.calls, "flops": self.flops}
+
+    def reset(self) -> dict[str, int]:
+        """Atomically zero the counter; returns the final totals."""
+        with self._lock:
+            out = {"calls": self.calls, "flops": self.flops}
+            self.calls = 0
+            self.flops = 0
+            return out
+
     def __getstate__(self) -> dict:
         # Locks don't pickle, and counts are process-local by design.
         return {"calls": 0, "flops": 0}

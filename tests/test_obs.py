@@ -1,0 +1,408 @@
+"""Tests for the observability layer: tracing, metrics, exporters, profiler.
+
+Covers the contracts the rest of the stack leans on: span nesting and
+thread isolation, the near-zero disabled fast path, metric aggregation
+under concurrency (the snapshot/reset protocol), Chrome-trace schema
+validity, and profile-report determinism at a fixed seed.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    complete_event,
+    run_manifest,
+    spans_to_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, get_registry
+from repro.obs.tracing import NULL_SPAN, Tracer, configure, current_span_id, get_tracer
+
+
+@pytest.fixture
+def tracer():
+    """The process tracer, enabled and emptied; state restored on exit."""
+    t = get_tracer()
+    prev = t.enabled
+    t.clear()
+    configure(True)
+    yield t
+    configure(prev)
+    t.clear()
+
+
+class TestSpans:
+    def test_nesting_parent_ids(self, tracer):
+        with tracer.span("outer") as outer:
+            assert current_span_id() == outer.span_id
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert current_span_id() == inner.span_id
+            assert current_span_id() == outer.span_id
+        assert current_span_id() == 0
+        assert outer.parent_id == 0
+
+    def test_attributes_and_timing(self, tracer):
+        with tracer.span("work", category="test", shape="4x4") as span:
+            span.set(result=42)
+        assert span.attributes == {"shape": "4x4", "result": 42}
+        assert span.duration_ns >= 0
+        assert span.category == "test"
+
+    def test_finished_span_collection(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        names = [s.name for s in tracer.spans()]
+        assert names == ["b", "a"]  # finish order, innermost first
+        assert len(tracer) == 2
+        drained = tracer.drain()
+        assert len(drained) == 2
+        assert len(tracer) == 0
+
+    def test_exception_is_recorded_and_propagates(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed") as span:
+                raise RuntimeError("boom")
+        assert span.attributes["error"] == "RuntimeError"
+        assert current_span_id() == 0  # the stack unwound
+
+    def test_threads_get_independent_stacks(self, tracer):
+        results = {}
+        barrier = threading.Barrier(4)  # all alive at once: idents stay distinct
+
+        def worker(name):
+            barrier.wait()
+            with tracer.span(f"{name}.outer") as outer:
+                with tracer.span(f"{name}.inner") as inner:
+                    results[name] = (outer.span_id, inner.parent_id)
+            barrier.wait()
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # every inner span's parent is its own thread's outer span
+        for outer_id, inner_parent in results.values():
+            assert inner_parent == outer_id
+        spans = tracer.spans()
+        assert len(spans) == 8
+        assert len({s.thread_id for s in spans}) == 4
+
+
+class TestDisabledOverhead:
+    def test_disabled_returns_shared_null_span(self):
+        t = Tracer(enabled=False)
+        span = t.span("anything", key="value")
+        assert span is NULL_SPAN
+        assert t.span("more") is span  # the same singleton every time
+        with span as s:
+            s.set(a=1)
+        assert len(t) == 0
+        assert t.current_span_id() == 0
+
+    def test_disabled_fast_path_is_cheap(self):
+        # Not a benchmark — a guard against accidentally making the
+        # disabled path allocate or lock.  50k no-op spans in well under
+        # a second on any machine this suite runs on.
+        t = Tracer(enabled=False)
+        t0 = time.perf_counter()
+        for _ in range(50_000):
+            with t.span("hot"):
+                pass
+        assert time.perf_counter() - t0 < 1.0
+
+    def test_disabled_registry_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.inc("a.counter")
+        reg.set_gauge("a.gauge", 5.0)
+        reg.observe("a.histogram", 1.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+
+
+class TestMetrics:
+    def test_counter_rejects_negative(self):
+        c = Counter()
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_concurrent_increments_aggregate_exactly(self):
+        reg = MetricsRegistry(enabled=True)
+
+        def worker():
+            for _ in range(1000):
+                reg.inc("shared.total")
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.snapshot()["counters"]["shared.total"] == 8000
+
+    def test_histogram_summary_and_buckets(self):
+        h = Histogram()
+        for v in (1.0, 3.0, 100.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(104.0)
+        assert snap["min"] == 1.0 and snap["max"] == 100.0
+        assert snap["buckets"]["<=2^0"] == 1  # 1.0
+        assert snap["buckets"]["<=2^2"] == 1  # 3.0
+        assert snap["buckets"]["<=2^7"] == 1  # 100.0
+
+    def test_query_prefix_filter(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("gpu.engine.cycles", 10)
+        reg.inc("gpu.engine.waves", 2)
+        reg.inc("emulation.gemm.runs")
+        assert reg.query("gpu.engine") == {"gpu.engine.cycles": 10, "gpu.engine.waves": 2}
+        assert reg.query("gpu.engine.cycles") == {"gpu.engine.cycles": 10}
+        # prefix matching is component-wise, not substring
+        assert reg.query("gpu.eng") == {}
+
+    def test_snapshot_reset_protocol(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("x", 5)
+        reg.set_gauge("g", 3.0)
+        reg.observe("h", 2.0)
+        before = reg.snapshot()
+        reg.reset()
+        after = reg.snapshot()
+        assert before["counters"]["x"] == 5
+        assert after["counters"]["x"] == 0
+        assert after["gauges"]["g"] == 0.0
+        assert after["histograms"]["h"]["count"] == 0
+
+    def test_providers_evaluated_at_snapshot(self):
+        reg = MetricsRegistry(enabled=True)
+        state = {"n": 1}
+        reg.register_provider("sub.stats", lambda: dict(state))
+        assert reg.snapshot()["providers"]["sub.stats"] == {"n": 1}
+        state["n"] = 7  # lazily evaluated: the next snapshot sees the update
+        assert reg.snapshot()["providers"]["sub.stats"] == {"n": 7}
+        reg.unregister_provider("sub.stats")
+        assert "sub.stats" not in reg.snapshot()["providers"]
+
+    def test_broken_provider_is_contained(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.register_provider("bad", lambda: 1 / 0)
+        provided = reg.snapshot()["providers"]["bad"]
+        assert "ZeroDivisionError" in provided["error"]
+
+    def test_mma_counter_snapshot_is_atomic_pair(self):
+        from repro.tensorcore.mma import MmaCounter
+
+        counter = MmaCounter()
+        counter.record(16, 16, 16)
+        snap = counter.snapshot()
+        assert snap == {"calls": 1, "flops": 2 * 16 * 16 * 16}
+        final = counter.reset()
+        assert final == snap
+        assert counter.snapshot() == {"calls": 0, "flops": 0}
+
+    def test_subsystem_providers_are_registered(self):
+        import repro.gpu.scheduler  # noqa: F401 — registers its provider
+        import repro.perf.split_cache  # noqa: F401
+
+        providers = get_registry().snapshot()["providers"]
+        assert "gpu.schedule_cache" in providers
+        assert "perf.split_cache" in providers
+        for key in ("hits", "misses", "hit_rate"):
+            assert key in providers["gpu.schedule_cache"]
+            assert key in providers["perf.split_cache"]
+
+
+class TestChromeTrace:
+    def test_span_export_validates(self, tracer):
+        with tracer.span("outer", category="test", kernel="egemm-tc"):
+            with tracer.span("inner"):
+                pass
+        events = spans_to_events(tracer.spans())
+        doc = chrome_trace(events, manifest=run_manifest(seed=7))
+        count = validate_chrome_trace(doc)
+        assert count == len(events)
+        assert json.loads(json.dumps(doc))  # round-trips as JSON
+        # the metadata lane + both spans are present
+        phases = [e["ph"] for e in events]
+        assert phases.count("X") == 2 and "M" in phases
+        x_events = [e for e in events if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in x_events}
+        assert by_name["inner"]["args"]["parent_id"] == by_name["outer"]["args"]["span_id"]
+        assert by_name["outer"]["args"]["kernel"] == "egemm-tc"
+
+    def test_validator_rejects_broken_documents(self):
+        validate_chrome_trace({"traceEvents": []})  # empty is fine
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"events": []})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [{"ph": "X", "name": "x"}]})  # no ts/dur
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [complete_event("x", ts=-1.0, dur=1.0)]}
+            )
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "M", "name": "nonsense", "args": {}}]}
+            )
+
+    def test_write_chrome_trace_roundtrip(self, tmp_path):
+        events = [complete_event("tile", ts=0.0, dur=12.5, args={"k": 1})]
+        path = write_chrome_trace(tmp_path / "t.json", events, manifest={"seed": 3})
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == 1
+        assert doc["otherData"]["manifest"]["seed"] == 3
+
+    def test_manifest_contents(self):
+        manifest = run_manifest(seed=11, config={"kernel": "egemm-tc"})
+        assert manifest["seed"] == 11
+        assert manifest["config"] == {"kernel": "egemm-tc"}
+        for key in ("python", "numpy", "platform", "repro_version", "env", "argv"):
+            assert key in manifest
+
+
+class TestProfiler:
+    def test_engine_profile_matches_engine_aggregates(self, tracer):
+        from repro.gpu.spec import TESLA_T4
+        from repro.kernels.egemm import EgemmTcKernel
+        from repro.obs.profile import profile_kernel
+
+        profile = profile_kernel("egemm-tc", 128, 128, 128)
+        r = profile.report
+        assert profile.mode == "engine"
+        # bit-for-bit against an uninstrumented kernel.time run
+        timing = EgemmTcKernel().time(128, 128, 128, TESLA_T4)
+        assert r["timing"]["total_cycles"] == timing.cycles
+        assert r["timing"]["seconds"] == timing.seconds
+        assert r["consistency"]["cycles_match"] is True
+        assert r["consistency"]["seconds_match"] is True
+        # instruction classes cover the stream and include the tensor op
+        assert "HMMA" in r["instruction_classes"]
+        assert all(c["issue_cycles"] >= 0 and c["stall_cycles"] >= 0
+                   for c in r["instruction_classes"].values())
+        assert 0.0 <= r["memory"]["l2_hit_rate"] <= 1.0
+        assert r["waves"], "engine profiles carry the wave timeline"
+
+    def test_roofline_profile_for_baseline_kernel(self, tracer):
+        from repro.obs.profile import profile_kernel
+
+        profile = profile_kernel("cublas-tc-emulation", 128, 128, 128)
+        assert profile.mode == "roofline"
+        assert "schedule" not in profile.report
+        assert profile.report["consistency"]["cycles_match"] is True
+
+    def test_profile_report_is_deterministic(self, tracer):
+        from repro.obs.profile import format_report, profile_kernel
+
+        p1 = profile_kernel("egemm-tc", 128, 128, 128)
+        p2 = profile_kernel("egemm-tc", 128, 128, 128)
+        # everything but the cumulative process-wide metrics is identical
+        r1 = {k: v for k, v in p1.report.items() if k != "metrics"}
+        r2 = {k: v for k, v in p2.report.items() if k != "metrics"}
+        assert r1 == r2
+        assert format_report(p1) == format_report(p2)
+
+    def test_trace_export_end_to_end(self, tracer, tmp_path):
+        from repro.obs.profile import export_trace, profile_kernel
+
+        profile = profile_kernel("egemm-tc", 128, 128, 128)
+        path = export_trace(profile, tmp_path / "trace.json", seed=0)
+        doc = json.loads(path.read_text())
+        count = validate_chrome_trace(doc)
+        assert count > 0
+        # the pipeline lanes, the wave lane, and the host span lane
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert {1, 2, 100} <= pids
+        assert doc["otherData"]["manifest"]["config"]["kernel"] == "egemm-tc"
+
+    def test_exec_hook_restored_after_collection(self):
+        from repro.gpu import engine
+        from repro.obs.profile import collect_executions
+
+        assert engine.EXEC_HOOK is None
+        with collect_executions() as captured:
+            assert engine.EXEC_HOOK is not None
+        assert engine.EXEC_HOOK is None
+        assert captured == []
+
+    def test_cli_smoke(self, tmp_path, capsys):
+        from repro.obs.profile import main
+        from repro.obs.tracing import configure
+
+        trace_path = tmp_path / "trace.json"
+        json_path = tmp_path / "profile.json"
+        try:
+            rc = main(["egemm-tc", "--shape", "64x64x64",
+                       "--trace", str(trace_path), "--json", str(json_path)])
+        finally:
+            configure(False)  # the CLI enables tracing; don't leak it
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== profile: egemm-tc 64x64x64" in out
+        assert validate_chrome_trace(json.loads(trace_path.read_text())) > 0
+        report = json.loads(json_path.read_text())
+        assert report["kernel"] == "egemm-tc"
+        assert report["consistency"]["cycles_match"] is True
+
+    def test_shape_parse_errors(self):
+        from repro.obs.profile import _parse_shape
+
+        assert _parse_shape("128x64x32") == (128, 64, 32)
+        assert _parse_shape("16×16×16") == (16, 16, 16)
+        for bad in ("128x64", "axbxc", "0x16x16"):
+            with pytest.raises(ValueError):
+                _parse_shape(bad)
+
+
+class TestWiring:
+    """The instrumentation hooks in the subsystems actually fire."""
+
+    def test_emulated_gemm_records_spans_and_metrics(self, tracer):
+        import numpy as np
+
+        from repro.emulation.gemm import EmulatedGemm
+
+        reg = get_registry()
+        before = reg.query("emulation.gemm").get("emulation.gemm.runs", 0)
+        rng = np.random.default_rng(0)
+        a = rng.uniform(-1, 1, (32, 32)).astype(np.float32)
+        b = rng.uniform(-1, 1, (32, 32)).astype(np.float32)
+        EmulatedGemm().run(a, b)
+        assert reg.query("emulation.gemm")["emulation.gemm.runs"] == before + 1
+        spans = [s for s in tracer.spans() if s.name == "emulation.gemm.run"]
+        assert spans and spans[-1].attributes["mma_calls"] > 0
+
+    def test_fault_events_carry_the_active_span_id(self, tracer):
+        import numpy as np
+
+        from repro.resilience.faults import FaultInjector, FaultSite
+
+        injector = FaultInjector(seed=5, site=FaultSite.ACCUMULATOR)
+        injector.arm(skip=0)
+        with tracer.span("campaign.run") as span:
+            injector("accumulator", np.ones(8, dtype=np.float32))
+        assert injector.events, "the armed injector must fire"
+        assert injector.events[0].span_id == span.span_id
+        assert injector.events[0].as_dict()["span_id"] == span.span_id
+
+    def test_kernel_time_span_has_timing_attributes(self, tracer):
+        from repro.kernels.egemm import EgemmTcKernel
+
+        EgemmTcKernel().time(64, 64, 64)
+        spans = [s for s in tracer.spans() if s.name == "kernel.time"]
+        assert spans
+        attrs = spans[-1].attributes
+        assert attrs["kernel"] == "EGEMM-TC"
+        assert attrs["m"] == 64 and attrs["seconds"] > 0
