@@ -31,7 +31,9 @@ emulation-design workflow), :mod:`repro.emulation` (Algorithm 1),
 :mod:`repro.resilience` (fault injection, ABFT-protected GEMM, and the
 resilient kernel runner — see docs/robustness.md),
 :mod:`repro.obs` (tracing, metrics, Chrome-trace/profile export — see
-docs/observability.md).
+docs/observability.md),
+:mod:`repro.serve` (precision-aware GEMM serving: SLO routing, dynamic
+batching, multi-device dispatch — see docs/serving.md).
 """
 
 from __future__ import annotations
@@ -73,6 +75,7 @@ from .resilience import (
     ResilientRunner,
     run_campaign,
 )
+from .serve import GemmRequest, GemmResponse, GemmService, PrecisionRouter, ServeConfig
 from .splits import RoundSplit, TruncateSplit, round_split, truncate_split
 from .tensorcore import InternalPrecision, mma
 from .verify import VerificationError, verify as selfcheck
@@ -124,6 +127,11 @@ __all__ = [
     "truncate_split",
     "InternalPrecision",
     "mma",
+    "GemmRequest",
+    "GemmResponse",
+    "GemmService",
+    "PrecisionRouter",
+    "ServeConfig",
     "VerificationError",
     "selfcheck",
     "__version__",

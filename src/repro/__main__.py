@@ -11,6 +11,8 @@ Usage::
     python -m repro generality           # TF32-core workflow generality
     python -m repro bench [--quick]      # hot-path performance benchmarks
     python -m repro faults [--quick]     # fault-injection campaign (ABFT)
+    python -m repro serve [--requests N] [--arrival poisson|uniform|closed]
+                                         # GEMM serving load test -> SERVE_slo.json
     python -m repro profile <kernel> --shape MxNxK [--trace out.json]
                                          # per-kernel profile report + trace
 """
@@ -73,6 +75,10 @@ def main(argv: list[str] | None = None) -> int:
         from .resilience.campaign import main as faults_main
 
         return faults_main(args[1:])
+    if args and args[0] == "serve":
+        from .serve.loadgen import main as serve_main
+
+        return serve_main(args[1:])
     if args and args[0] == "profile":
         from .obs.profile import main as profile_main
 

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.hooks import fault_hook_override
 from ..obs.metrics import get_registry
 from ..obs.tracing import get_tracer
 from ..perf.split_cache import SplitCache, SplitPlan
@@ -45,7 +46,9 @@ _WIDE_SCRATCH_BYTES = 8 * 1024 * 1024
 #: fault-injection hook (``repro.resilience.faults``): when set, called as
 #: ``FAULT_HOOK("accumulator", d)`` after every chunk-term rounding with
 #: the running fp32 accumulator; returns the (possibly corrupted) array
-#: to continue with.  ``None`` in normal operation.
+#: to continue with.  ``None`` in normal operation.  A context-local
+#: override (``repro.obs.hooks``) takes precedence, so concurrent
+#: serving requests can instrument independently.
 FAULT_HOOK = None
 
 
@@ -245,7 +248,7 @@ class EmulatedGemm:
         # and the single fp32 rounding inside ``copyto`` — bit-identical
         # to ``(d.astype(f64) + wide).astype(f32)``.
         wide = np.empty((*batch, m, n), dtype=np.float64)
-        hook = FAULT_HOOK
+        hook = fault_hook_override(FAULT_HOOK)
         for k0 in range(0, k, self.tk):
             k1 = min(k0 + self.tk, k)
             stats.k_chunks += nbatch
@@ -341,7 +344,7 @@ class EmulatedGemm:
         m, n = d.shape
         pos = 0
         full = k // tk
-        hook = FAULT_HOOK
+        hook = fault_hook_override(FAULT_HOOK)
         group = int(_WIDE_SCRATCH_BYTES // max(m * n * 8, 1))
         if full >= 2 and group >= 2:
             stacked = [

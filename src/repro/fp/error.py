@@ -16,7 +16,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["max_error", "mean_error", "error_ratio", "ErrorReport", "compare_to_reference"]
+__all__ = [
+    "max_error",
+    "mean_error",
+    "error_ratio",
+    "gemm_relative_error_bound",
+    "ErrorReport",
+    "compare_to_reference",
+]
 
 
 def max_error(value: np.ndarray, reference: np.ndarray) -> float:
@@ -35,6 +42,45 @@ def mean_error(value: np.ndarray, reference: np.ndarray) -> float:
     if v.shape != r.shape:
         raise ValueError(f"shape mismatch: {v.shape} vs {r.shape}")
     return float(np.mean(np.abs(v - r))) if v.size else 0.0
+
+
+def gemm_relative_error_bound(
+    k: int, mantissa_bits: int, accumulator_bits: int = 23
+) -> float:
+    """Worst-case relative forward error of a length-``k`` dot product.
+
+    The classic componentwise bound (Higham, *Accuracy and Stability*,
+    §3.5) for a GEMM whose inputs are represented to ``mantissa_bits``
+    stored mantissa bits and whose partial sums round in an accumulator
+    with ``accumulator_bits`` stored bits:
+
+        |computed_ij - exact_ij|  <=  bound * (|A| |B|)_ij
+
+    with ``bound = 2*u_in + u_in^2 + gamma_k(u_acc) * (1 + u_in)^2``,
+    where ``u = 2^-(bits+1)`` is the unit roundoff and ``gamma_k = k*u /
+    (1 - k*u)`` collects the ``k`` accumulator roundings.  The first
+    terms charge the input representation (both operands), the gamma
+    term the accumulation cadence.
+
+    This is the *analytic* accuracy contract the serving router trades
+    against the timing model: a kernel is eligible for a request iff its
+    bound is at or below the request's ``max_rel_error`` SLO.  The bound
+    is deliberately worst-case — measured Eq. 10 errors sit well below
+    it — so routing decisions are safe, not merely typical.
+
+    ``k <= 0`` (degenerate GEMM) returns 0.0: an empty reduction is
+    exact.  A ``k`` large enough that ``k * u_acc >= 1`` returns ``inf``
+    (the bound no longer certifies anything).
+    """
+    if k <= 0:
+        return 0.0
+    u_in = 2.0 ** -(mantissa_bits + 1)
+    u_acc = 2.0 ** -(accumulator_bits + 1)
+    ku = k * u_acc
+    if ku >= 1.0:
+        return float("inf")
+    gamma = ku / (1.0 - ku)
+    return 2.0 * u_in + u_in * u_in + gamma * (1.0 + u_in) ** 2
 
 
 def error_ratio(value_error: float, baseline_error: float) -> float:

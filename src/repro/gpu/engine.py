@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from math import ceil
 
+from ..obs.hooks import exec_hook_override
 from ..obs.metrics import get_registry
 from ..obs.tracing import get_tracer
 from .isa import ExecUnit, InstructionStream
@@ -103,7 +104,7 @@ def execute(launch: KernelLaunch, spec: GpuSpec) -> KernelTiming:
     if launch.grid_blocks <= 0:
         raise ValueError("grid must contain at least one block")
 
-    hook = EXEC_HOOK
+    hook = exec_hook_override(EXEC_HOOK)
     with get_tracer().span(
         "gpu.execute", category="gpu", kernel=launch.name,
         grid_blocks=launch.grid_blocks,

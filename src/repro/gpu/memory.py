@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.hooks import fault_hook_override
+
 __all__ = ["TrafficLog", "GlobalMemory", "SharedMemory", "SharedMemoryOverflow"]
 
 #: fault-injection hook (``repro.resilience.faults``): when set, called as
@@ -111,8 +113,9 @@ class SharedMemory:
                 "SHMEM constraint (Eq. 8) should have rejected this tiling"
             )
         staged = tile.copy()
-        if FAULT_HOOK is not None:
-            staged = FAULT_HOOK("shared", staged)
+        hook = fault_hook_override(FAULT_HOOK)
+        if hook is not None:
+            staged = hook("shared", staged)
         self._tiles[name] = staged
         self.log.shared_store += new_bytes
 

@@ -1,0 +1,94 @@
+"""Context-local overrides for the simulator's single-slot hooks.
+
+The fault-injection hooks (``FAULT_HOOK`` in :mod:`repro.emulation.gemm`,
+:mod:`repro.tensorcore.mma`, :mod:`repro.tensorcore.fragment`,
+:mod:`repro.gpu.memory`) and the execution observer (``EXEC_HOOK`` in
+:mod:`repro.gpu.engine`) started life as module globals — one slot per
+process.  That is fine for a fault campaign that owns the whole process,
+but a *serving* process runs many instrumented requests concurrently:
+two in-flight requests installing collectors through the module global
+would clobber each other's hooks and interleave each other's events.
+
+This module adds a second, **context-local** tier on top of the module
+globals, built on :mod:`contextvars`:
+
+* each hot path resolves its hook as ``context-local override, else the
+  module global`` (:func:`fault_hook_override` /
+  :func:`exec_hook_override` — one ``ContextVar.get`` on the hot path,
+  ~the cost of the existing ``is None`` check);
+* :func:`local_fault_hook` / :func:`local_exec_hook` install a hook for
+  the current context only.  A new thread starts with an empty context,
+  so a hook installed inside one serving worker is invisible to every
+  other worker — two in-flight requests can collect concurrently without
+  coordination.
+
+The module-global tier keeps its exact old semantics (campaigns, the
+profiler CLI, and existing tests are unchanged); context installation is
+opt-in via ``FaultInjector.installed(scope="context")`` and
+``collect_executions(scope="context")``.
+
+stdlib-only, like the rest of the observability spine, so the lowest
+simulator layers import it freely.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Iterator
+
+__all__ = [
+    "FAULT_HOOK_VAR",
+    "EXEC_HOOK_VAR",
+    "fault_hook_override",
+    "exec_hook_override",
+    "local_fault_hook",
+    "local_exec_hook",
+]
+
+#: context-local fault hook; ``None`` means "defer to the module global"
+FAULT_HOOK_VAR: ContextVar[Callable | None] = ContextVar("repro_fault_hook", default=None)
+
+#: context-local execution observer; ``None`` defers to the module global
+EXEC_HOOK_VAR: ContextVar[Callable | None] = ContextVar("repro_exec_hook", default=None)
+
+
+def fault_hook_override(module_hook: Callable | None) -> Callable | None:
+    """The effective fault hook: the context-local one, else ``module_hook``.
+
+    Hot-path helper — callers pass their own module-global slot so the
+    precedence (context wins) lives in exactly one place.
+    """
+    override = FAULT_HOOK_VAR.get()
+    return module_hook if override is None else override
+
+
+def exec_hook_override(module_hook: Callable | None) -> Callable | None:
+    """The effective execution observer (context-local wins)."""
+    override = EXEC_HOOK_VAR.get()
+    return module_hook if override is None else override
+
+
+@contextmanager
+def local_fault_hook(hook: Callable) -> Iterator[Callable]:
+    """Install ``hook`` as the fault hook for the current context only.
+
+    Restores the previous context value on exit (even on error), so
+    nested installations unwind correctly and a hook can never leak past
+    its ``with`` block.
+    """
+    token = FAULT_HOOK_VAR.set(hook)
+    try:
+        yield hook
+    finally:
+        FAULT_HOOK_VAR.reset(token)
+
+
+@contextmanager
+def local_exec_hook(hook: Callable) -> Iterator[Callable]:
+    """Install ``hook`` as the execution observer for the current context."""
+    token = EXEC_HOOK_VAR.set(hook)
+    try:
+        yield hook
+    finally:
+        EXEC_HOOK_VAR.reset(token)

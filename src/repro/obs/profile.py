@@ -86,16 +86,29 @@ class ExecutionTrace:
 
 
 @contextmanager
-def collect_executions() -> Iterator[list[ExecutionTrace]]:
+def collect_executions(scope: str = "global") -> Iterator[list[ExecutionTrace]]:
     """Install the engine execution hook; yields the capture list.
 
     The previous hook is restored on exit, so nested collectors and
     error paths cannot leak instrumentation into later runs (the same
     contract as :meth:`repro.resilience.faults.FaultInjector.installed`).
+
+    ``scope="context"`` installs through the context-local override of
+    :mod:`repro.obs.hooks` instead of the module global, so concurrent
+    collectors (one per in-flight serving request) each capture only
+    their own context's executions.
     """
     from ..gpu import engine
 
     captured: list[ExecutionTrace] = []
+    if scope == "context":
+        from .hooks import local_exec_hook
+
+        with local_exec_hook(captured.append):
+            yield captured
+        return
+    if scope != "global":
+        raise ValueError(f"unknown hook scope {scope!r}; use 'global' or 'context'")
     previous = engine.EXEC_HOOK
     engine.EXEC_HOOK = captured.append
     try:

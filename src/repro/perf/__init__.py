@@ -11,6 +11,10 @@ applies the same lesson to the reproduction's hot paths:
 * :func:`parallel_map` — a process-pool map for the embarrassingly
   parallel experiment sweeps, controlled by the ``REPRO_JOBS`` env knob
   (serial by default, serial fallback on pickling failure);
+* :func:`bucket_by_shape` / :func:`run_bucketed` — shape bucketing so a
+  mixed GEMM stream (the serving batcher, the bench's mixed-shape sweep)
+  coalesces compatible problems through the bit-exact
+  ``EmulatedGemm.run_batched`` fast path;
 * :mod:`repro.perf.bench` — the ``python -m repro bench`` entry point
   that times the before/after hot paths and writes ``BENCH_perf.json``
   so the performance trajectory is tracked from PR to PR.
@@ -22,6 +26,7 @@ in :mod:`repro.gpu.scheduler` (``schedule_cache_stats`` /
 
 from __future__ import annotations
 
+from .bucketing import bucket_by_shape, gemm_shape_key, run_bucketed
 from .parallel import default_jobs, parallel_map
 from .split_cache import CacheStats, SplitCache, SplitPlan
 
@@ -29,6 +34,9 @@ __all__ = [
     "CacheStats",
     "SplitCache",
     "SplitPlan",
+    "bucket_by_shape",
     "default_jobs",
+    "gemm_shape_key",
     "parallel_map",
+    "run_bucketed",
 ]

@@ -216,13 +216,92 @@ def _bench_schedule_memo(quick: bool) -> dict:
     }
 
 
+def _bench_bucketed_stream(quick: bool) -> dict:
+    """Pillar 4: a mixed-shape GEMM stream, per-problem loop vs bucketing.
+
+    A serving-style stream interleaves a handful of shapes; the baseline
+    computes each problem with its own ``run`` call, the optimized path
+    groups compatible problems with :func:`repro.perf.bucket_by_shape`
+    and coalesces each bucket through one stacked ``run_batched`` —
+    exactly the serving batcher's execution path, so this pillar tracks
+    the coalescing win (and its bit-exactness) from PR to PR.
+    """
+    from .bucketing import run_bucketed
+
+    shapes = ((24, 96, 24), (48, 96, 16), (16, 96, 48)) if quick else (
+        (48, 384, 48), (96, 384, 32), (32, 384, 96))
+    count = 24 if quick else 48
+    rng = np.random.default_rng(11)
+    problems = []
+    for i in range(count):
+        m, k, n = shapes[int(rng.integers(len(shapes)))]
+        problems.append(
+            (
+                rng.uniform(-1, 1, (m, k)).astype(np.float32),
+                rng.uniform(-1, 1, (k, n)).astype(np.float32),
+            )
+        )
+    repeats = 3 if quick else 5
+    gemm = EmulatedGemm()
+
+    def loop() -> list[np.ndarray]:
+        return [gemm.run(a, b)[0] for a, b in problems]
+
+    def bucketed() -> list[np.ndarray]:
+        return run_bucketed(gemm, problems)
+
+    t_loop, d_loop = _best_of(loop, repeats)
+    t_bucketed, d_bucketed = _best_of(bucketed, repeats)
+    identical = all(
+        np.array_equal(x.view(np.uint32), y.view(np.uint32))
+        for x, y in zip(d_loop, d_bucketed)
+    )
+    return {
+        "problems": count,
+        "shapes": [list(s) for s in shapes],
+        "loop_seconds": t_loop,
+        "bucketed_seconds": t_bucketed,
+        "speedup": t_loop / t_bucketed,
+        "bit_identical": bool(identical),
+    }
+
+
+def _bench_serving(quick: bool) -> dict:
+    """Pillar 5: closed-loop serving throughput (virtual) + real wall time.
+
+    A small seeded load test through :mod:`repro.serve` — routing,
+    batching, dispatch, and the bit-accurate kernel math all included —
+    so the serving layer's lifetime counters land in the registry
+    providers this CLI prints, and its simulation overhead is tracked
+    PR over PR.
+    """
+    from ..serve import build_report, run_load_test
+
+    requests = 120 if quick else 400
+    t0 = time.perf_counter()
+    service, _ = run_load_test(requests, seed=0, arrival="closed")
+    wall = time.perf_counter() - t0
+    report = build_report(service, {"requests": requests})
+    return {
+        "requests": requests,
+        "counts": report["counts"],
+        "virtual_throughput_rps": report["throughput_rps"],
+        "p99_latency_s": report["latency_s"]["p99"],
+        "mean_batch_size": report["batcher"]["mean_batch_size"],
+        "wall_seconds": wall,
+        "requests_per_wall_second": requests / wall if wall > 0 else 0.0,
+    }
+
+
 def run_bench(quick: bool = False) -> dict:
-    """Run all three pillar benchmarks; return the report dict."""
+    """Run all pillar benchmarks; return the report dict."""
     return {
         "quick": quick,
         "batched_gemm": _bench_batched(quick),
         "power_iteration": _bench_power_iteration(quick),
         "schedule_memoization": _bench_schedule_memo(quick),
+        "bucketed_stream": _bench_bucketed_stream(quick),
+        "serving": _bench_serving(quick),
     }
 
 
@@ -249,6 +328,14 @@ def main(argv: list[str] | None = None) -> int:
           f"{p['speedup']:.2f}x, bit-identical: {p['bit_identical']}")
     print(f"schedule memo   ({s['repetitions']} reps over {len(s['sizes'])} sizes): "
           f"{s['speedup']:.2f}x")
+    u = report["bucketed_stream"]
+    print(f"bucketed stream ({u['problems']} mixed-shape problems): "
+          f"{u['speedup']:.2f}x, bit-identical: {u['bit_identical']}")
+    v = report["serving"]
+    print(f"serving smoke   ({v['requests']} closed-loop requests): "
+          f"{v['virtual_throughput_rps'] / 1e3:.1f} k req/s virtual, "
+          f"mean batch {v['mean_batch_size']:.2f}, "
+          f"{v['requests_per_wall_second']:.0f} req/s wall")
     # Cache statistics come from the one queryable namespace — the
     # metrics registry's providers — instead of per-subsystem printers.
     providers = get_registry().snapshot()["providers"]
@@ -259,6 +346,13 @@ def main(argv: list[str] | None = None) -> int:
           f"split caches {split.get('hits', 0)}/{split.get('misses', 0)} "
           f"hits/misses ({split.get('hit_rate', 0.0):.1%}) "
           f"across {split.get('caches', 0) + split.get('retired_caches', 0)} cache(s)")
+    serve = providers.get("serve.service", {})
+    counters = get_registry().query("serve")
+    print(f"serving (registry): {serve.get('submitted', 0)} submitted -> "
+          f"{serve.get('completed', 0)} completed / {serve.get('rejected', 0)} rejected / "
+          f"{serve.get('expired', 0)} expired in {serve.get('batches', 0)} batches; "
+          f"router decisions {counters.get('serve.router.decisions', 0):.0f}, "
+          f"pool steals {counters.get('serve.pool.steals', 0):.0f}")
     print(f"report written to {args.out}")
     return 0
 

@@ -1,0 +1,85 @@
+"""Shape bucketing: group compatible GEMMs so they coalesce batchably.
+
+A heterogeneous stream of GEMM problems — serving requests, sweep
+points, app query batches — can only ride
+:meth:`repro.emulation.gemm.EmulatedGemm.run_batched`'s stacked-matmul
+fast path when the stacked elements agree on ``(m, k, n)``.  This module
+is the one shared definition of "compatible":
+
+* :func:`bucket_by_shape` — order-preserving grouping of arbitrary items
+  by a shape key (the serving batcher's bucketing primitive and the
+  bench's mixed-stream coalescer);
+* :func:`run_bucketed` — the full coalescing path: bucket a mixed list
+  of ``(a, b)`` problems, run one ``run_batched`` per bucket, and
+  scatter results back into submission order.  Bit-identical to calling
+  :meth:`~repro.emulation.gemm.EmulatedGemm.run` per problem (the
+  rounding cadence is unchanged — only the Python-level loop over
+  same-shape problems is coalesced), which the property tests assert.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Hashable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["gemm_shape_key", "bucket_by_shape", "run_bucketed"]
+
+_T = TypeVar("_T")
+
+
+def gemm_shape_key(a: np.ndarray, b: np.ndarray) -> tuple[int, int, int]:
+    """The ``(m, k, n)`` coalescing key of one 2-D GEMM problem."""
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("gemm_shape_key expects 2-D operands")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"k-dimension mismatch: {a.shape} x {b.shape}")
+    return (a.shape[0], a.shape[1], b.shape[1])
+
+
+def bucket_by_shape(
+    items: Iterable[_T],
+    key: Callable[[_T], Hashable],
+) -> "OrderedDict[Hashable, list[int]]":
+    """Group item *indices* by ``key(item)``, preserving order.
+
+    Buckets appear in first-seen order and each bucket lists its item
+    indices in submission order, so any coalesced execution can scatter
+    results back deterministically.  Returning indices (not items) keeps
+    the helper allocation-free for large operands and lets callers carry
+    side tables (deadlines, priorities) by position.
+    """
+    buckets: "OrderedDict[Hashable, list[int]]" = OrderedDict()
+    for i, item in enumerate(items):
+        buckets.setdefault(key(item), []).append(i)
+    return buckets
+
+
+def run_bucketed(
+    gemm,
+    problems: Sequence[tuple[np.ndarray, np.ndarray]],
+) -> list[np.ndarray]:
+    """Run a mixed-shape problem list through per-bucket batched GEMMs.
+
+    ``gemm`` is an :class:`~repro.emulation.gemm.EmulatedGemm` (anything
+    with ``run_batched``).  Problems sharing an ``(m, k, n)`` shape are
+    stacked and computed by one ``run_batched`` call; results come back
+    in submission order and are bit-identical to per-problem ``run``
+    calls — the split is elementwise and the per-chunk rounding cadence
+    is replayed identically over the stack.
+    """
+    results: list[np.ndarray | None] = [None] * len(problems)
+    buckets = bucket_by_shape(problems, key=lambda p: gemm_shape_key(p[0], p[1]))
+    for indices in buckets.values():
+        if len(indices) == 1:
+            i = indices[0]
+            a, b = problems[i]
+            results[i], _ = gemm.run(a, b)
+            continue
+        stacked_a = np.stack([problems[i][0] for i in indices])
+        stacked_b = np.stack([problems[i][1] for i in indices])
+        d, _ = gemm.run_batched(stacked_a, stacked_b)
+        for pos, i in enumerate(indices):
+            results[i] = d[pos]
+    return results  # type: ignore[return-value]

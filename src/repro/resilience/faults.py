@@ -204,12 +204,33 @@ class FaultInjector:
 
     # --- installation -----------------------------------------------------
     @contextmanager
-    def installed(self):
-        """Install this injector into every hookable module.
+    def installed(self, scope: str = "global"):
+        """Install this injector into every hookable fault site.
 
         The previous hooks are restored on exit — even on error — so an
         injector can never outlive its ``with`` block.
+
+        ``scope`` selects the installation tier:
+
+        * ``"global"`` (default) — the module-global ``FAULT_HOOK`` slots,
+          visible to every thread in the process (campaign semantics;
+          required when the protected work runs on helper threads, e.g.
+          under a :func:`~repro.resilience.runner.call_with_timeout`
+          stage budget);
+        * ``"context"`` — the context-local override of
+          :mod:`repro.obs.hooks`, visible only to the installing context.
+          Concurrent serving requests each install their own injector
+          without clobbering one another (a fresh thread starts with an
+          empty context, so workers are isolated by construction).
         """
+        if scope == "context":
+            from ..obs.hooks import local_fault_hook
+
+            with local_fault_hook(self):
+                yield self
+            return
+        if scope != "global":
+            raise ValueError(f"unknown hook scope {scope!r}; use 'global' or 'context'")
         # importlib, not ``from .. import gemm``: sibling packages re-export
         # functions under the same names as their modules.
         import importlib

@@ -1,0 +1,64 @@
+"""``repro.serve``: a precision-aware GEMM serving layer.
+
+The paper's kernels form an accuracy-throughput frontier; this package
+turns that frontier into a *service*: callers submit GEMMs with an
+accuracy SLO (``max_rel_error``), an optional deadline, a priority, and
+a reliability flag, and the layer routes, batches, and executes them on
+a simulated multi-GPU fleet.
+
+The pieces (see ``docs/serving.md`` for the full tour):
+
+* :mod:`~repro.serve.api`     — :class:`GemmRequest` / :class:`GemmResponse`
+  and the typed error taxonomy;
+* :mod:`~repro.serve.router`  — cheapest kernel whose *analytic* error
+  bound (:func:`repro.fp.error.gemm_relative_error_bound`) certifies
+  the SLO;
+* :mod:`~repro.serve.batcher` — dynamic batching by shape/kernel
+  compatibility, bit-identical coalescing through ``run_batched``;
+* :mod:`~repro.serve.workers` — bounded per-device queues, placement,
+  work stealing, backpressure;
+* :mod:`~repro.serve.service` — the deterministic discrete-event engine
+  tying it together in virtual time;
+* :mod:`~repro.serve.loadgen` — seeded open/closed-loop load tests and
+  the ``SERVE_slo.json`` report (``python -m repro serve``).
+"""
+
+from __future__ import annotations
+
+from .api import (
+    AdmissionError,
+    GemmRequest,
+    GemmResponse,
+    RequestStatus,
+    ServeError,
+    SloUnsatisfiableError,
+)
+from .batcher import Batch, DynamicBatcher, compatibility_key
+from .loadgen import build_report, run_load_test, validate_slo_report
+from .router import DEFAULT_MENU, PrecisionRouter, RoutingDecision, kernel_error_model
+from .service import GemmService, ServeConfig, serve_stats
+from .workers import DeviceWorker, WorkerPool
+
+__all__ = [
+    "AdmissionError",
+    "Batch",
+    "DEFAULT_MENU",
+    "DeviceWorker",
+    "DynamicBatcher",
+    "GemmRequest",
+    "GemmResponse",
+    "GemmService",
+    "PrecisionRouter",
+    "RequestStatus",
+    "RoutingDecision",
+    "ServeConfig",
+    "ServeError",
+    "SloUnsatisfiableError",
+    "WorkerPool",
+    "build_report",
+    "compatibility_key",
+    "kernel_error_model",
+    "run_load_test",
+    "serve_stats",
+    "validate_slo_report",
+]

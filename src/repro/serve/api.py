@@ -1,0 +1,155 @@
+"""Request/response contract of the precision-aware GEMM serving layer.
+
+A :class:`GemmRequest` is one ``D = A @ B + C`` problem plus its service
+contract:
+
+* ``max_rel_error`` — the **accuracy SLO**: an upper bound on the
+  relative forward error (against ``(|A| |B|)`` scaling) the caller will
+  tolerate.  The router only considers kernels whose *analytic* bound
+  (:func:`repro.fp.error.gemm_relative_error_bound`) certifies this —
+  the accuracy counterpart of a latency SLO;
+* ``deadline_s`` — relative latency deadline; a request that cannot
+  start executing before its deadline is **expired**, never silently
+  dropped;
+* ``priority`` — larger runs sooner when queued work competes;
+* ``reliable`` — route through ABFT checksum protection and the
+  resilient fallback chain (:class:`repro.resilience.runner
+  .ResilientRunner`) instead of the bare kernel.
+
+Every submitted request is resolved to exactly one terminal
+:class:`RequestStatus` — ``COMPLETED``, ``REJECTED`` (admission control
+or no kernel can certify the SLO), or ``EXPIRED`` — so the accounting
+identity ``submitted == completed + rejected + expired`` holds by
+construction; the load-test report and CI assert it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "RequestStatus",
+    "GemmRequest",
+    "GemmResponse",
+    "ServeError",
+    "SloUnsatisfiableError",
+    "AdmissionError",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class for serving-layer failures."""
+
+
+class SloUnsatisfiableError(ServeError, ValueError):
+    """No kernel on the menu can certify the request's accuracy SLO.
+
+    Raised by the router (and surfaced as a ``REJECTED`` response with
+    reason ``"slo-unsatisfiable"`` by the service) — an impossible SLO
+    is a typed, immediate error, never a hang or a silently degraded
+    result.
+    """
+
+
+class AdmissionError(ServeError):
+    """The service is at capacity and refused the request (backpressure)."""
+
+
+class RequestStatus(enum.Enum):
+    """Terminal disposition of a submitted request."""
+
+    COMPLETED = "completed"
+    REJECTED = "rejected"
+    EXPIRED = "expired"
+
+
+@dataclass
+class GemmRequest:
+    """One GEMM problem plus its accuracy/latency service contract."""
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray | None = None
+    #: accuracy SLO: max tolerated relative forward error (analytic bound)
+    max_rel_error: float = 1e-4
+    #: relative deadline in (virtual) seconds; None = no deadline
+    deadline_s: float | None = None
+    #: larger = more urgent when queued work competes
+    priority: int = 0
+    #: route through ABFT + the resilient fallback chain
+    reliable: bool = False
+    #: assigned by the service at submission
+    request_id: int = -1
+    #: virtual submission timestamp, assigned by the service
+    submitted_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.a = np.asarray(self.a, dtype=np.float32)
+        self.b = np.asarray(self.b, dtype=np.float32)
+        if self.a.ndim != 2 or self.b.ndim != 2:
+            raise ValueError("GemmRequest operands must be 2-D matrices")
+        if self.a.shape[1] != self.b.shape[0]:
+            raise ValueError(
+                f"k-dimension mismatch: {self.a.shape} x {self.b.shape}"
+            )
+        if self.c is not None:
+            self.c = np.asarray(self.c, dtype=np.float32)
+            if self.c.shape != self.shape_mn:
+                raise ValueError(
+                    f"C shape {self.c.shape} != output shape {self.shape_mn}"
+                )
+        if not self.max_rel_error > 0.0:
+            raise ValueError("max_rel_error must be positive")
+        if self.deadline_s is not None and self.deadline_s <= 0.0:
+            raise ValueError("deadline_s must be positive (or None)")
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """The ``(m, k, n)`` problem shape — the batching coalescing key."""
+        return (self.a.shape[0], self.a.shape[1], self.b.shape[1])
+
+    @property
+    def shape_mn(self) -> tuple[int, int]:
+        return (self.a.shape[0], self.b.shape[1])
+
+    @property
+    def deadline_at(self) -> float:
+        """Absolute virtual-time deadline (inf when none was set)."""
+        if self.deadline_s is None:
+            return float("inf")
+        return self.submitted_at + self.deadline_s
+
+
+@dataclass
+class GemmResponse:
+    """Terminal outcome of one request, with full provenance."""
+
+    request_id: int
+    status: RequestStatus
+    #: the product, present iff status is COMPLETED
+    d: np.ndarray | None = None
+    #: kernel that produced the result (routing decision)
+    kernel: str | None = None
+    #: analytic relative-error bound the routed kernel certifies
+    error_bound: float | None = None
+    #: device that executed the batch
+    device: str | None = None
+    #: size of the coalesced batch this request rode in
+    batch_size: int = 0
+    #: why the request was rejected/expired (None when completed)
+    reason: str | None = None
+    #: virtual seconds spent queued (batcher + device queue)
+    queued_s: float = 0.0
+    #: virtual seconds of execution (the batch's service time)
+    service_s: float = 0.0
+    #: end-to-end virtual latency (completion - submission)
+    latency_s: float = 0.0
+    #: resilient-runner provenance for reliable=True requests
+    attempts: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status is RequestStatus.COMPLETED

@@ -1,0 +1,186 @@
+"""Dynamic batching: coalesce compatible requests, bounded wait.
+
+Requests are bucketed by a **compatibility key** — the ``(m, k, n)``
+shape (via :func:`repro.perf.bucketing.gemm_shape_key`, the same
+definition the bench's mixed-stream coalescer uses), the routed kernel,
+the reliability mode, and whether a ``C`` accumuland is present — so
+every batch can execute as one stacked
+:meth:`~repro.emulation.gemm.EmulatedGemm.run_batched` call whose
+results are bit-identical to per-request runs.
+
+Two knobs bound the latency cost of waiting for company:
+
+* ``max_batch_size`` — a bucket that fills dispatches immediately;
+* ``max_wait_s`` — a bucket whose *oldest* member has waited this long
+  dispatches regardless of size (the classic dynamic-batching window).
+
+The batcher is clock-agnostic: callers pass ``now`` (the service's
+virtual clock) and poll :meth:`next_due` to schedule the timeout event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..obs.metrics import get_registry
+from ..perf.bucketing import bucket_by_shape, gemm_shape_key
+from .api import GemmRequest
+from .router import RoutingDecision
+
+__all__ = ["Batch", "DynamicBatcher", "compatibility_key"]
+
+
+def compatibility_key(request: GemmRequest, decision: RoutingDecision) -> Hashable:
+    """The bucket key under which two requests may coalesce."""
+    return (
+        gemm_shape_key(request.a, request.b),
+        decision.kernel,
+        decision.reliable,
+        request.c is not None,
+    )
+
+
+@dataclass
+class Batch:
+    """A dispatchable group of shape/kernel-compatible requests."""
+
+    key: Hashable
+    decision: RoutingDecision
+    requests: list[GemmRequest]
+    #: virtual arrival time of the oldest member (window anchor)
+    created_at: float
+    #: virtual time the batch left the batcher for a device queue
+    dispatched_at: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def priority(self) -> int:
+        """A batch is as urgent as its most urgent member."""
+        return max((r.priority for r in self.requests), default=0)
+
+    @property
+    def deadline_at(self) -> float:
+        """Earliest member deadline — the batch's own urgency horizon."""
+        return min((r.deadline_at for r in self.requests), default=float("inf"))
+
+    @property
+    def service_s(self) -> float:
+        """Modelled fused execution time of the whole batch."""
+        return self.decision.batch_seconds(self.size)
+
+
+@dataclass
+class _Bucket:
+    decision: RoutingDecision
+    requests: list[GemmRequest] = field(default_factory=list)
+    oldest_at: float = 0.0
+
+
+class DynamicBatcher:
+    """Shape-bucketed request coalescing with a bounded wait window."""
+
+    def __init__(self, max_batch_size: int = 8, max_wait_s: float = 200e-6):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if max_wait_s < 0.0:
+            raise ValueError("max_wait_s must be non-negative")
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self._buckets: dict[Hashable, _Bucket] = {}
+        self.batches_formed = 0
+        self.requests_batched = 0
+
+    # -- intake ---------------------------------------------------------
+    def add(
+        self, request: GemmRequest, decision: RoutingDecision, now: float
+    ) -> Batch | None:
+        """Bucket one request; returns a full batch the moment one fills."""
+        key = compatibility_key(request, decision)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = _Bucket(decision=decision, oldest_at=now)
+        bucket.requests.append(request)
+        get_registry().set_gauge("serve.batcher.pending", self.pending)
+        if len(bucket.requests) >= self.max_batch_size:
+            return self._form(key, now)
+        return None
+
+    def add_many(
+        self,
+        pairs: list[tuple[GemmRequest, RoutingDecision]],
+        now: float,
+    ) -> list[Batch]:
+        """Bucket a same-instant burst of requests (shared grouping helper).
+
+        Groups the burst with :func:`~repro.perf.bucketing.bucket_by_shape`
+        before touching the buckets, so a burst that alone fills a batch
+        forms it without ``len(pairs)`` dict probes.
+        """
+        ready: list[Batch] = []
+        groups = bucket_by_shape(pairs, key=lambda p: compatibility_key(p[0], p[1]))
+        for indices in groups.values():
+            for i in indices:
+                request, decision = pairs[i]
+                batch = self.add(request, decision, now)
+                if batch is not None:
+                    ready.append(batch)
+        return ready
+
+    # -- windows --------------------------------------------------------
+    def due(self, now: float) -> list[Batch]:
+        """Batches whose oldest member has exhausted the wait window."""
+        expired = [
+            key
+            for key, bucket in self._buckets.items()
+            if now >= bucket.oldest_at + self.max_wait_s
+        ]
+        return [self._form(key, now) for key in expired]
+
+    def next_due(self) -> float | None:
+        """Earliest window expiry across pending buckets (None if empty)."""
+        if not self._buckets:
+            return None
+        return min(b.oldest_at for b in self._buckets.values()) + self.max_wait_s
+
+    def flush(self, now: float) -> list[Batch]:
+        """Dispatch everything pending (shutdown / drain)."""
+        return [self._form(key, now) for key in list(self._buckets)]
+
+    @property
+    def pending(self) -> int:
+        return sum(len(b.requests) for b in self._buckets.values())
+
+    # -- internals ------------------------------------------------------
+    def _form(self, key: Hashable, now: float) -> Batch:
+        bucket = self._buckets.pop(key)
+        batch = Batch(
+            key=key,
+            decision=bucket.decision,
+            requests=bucket.requests,
+            created_at=bucket.oldest_at,
+            dispatched_at=now,
+        )
+        self.batches_formed += 1
+        self.requests_batched += batch.size
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("serve.batcher.batches")
+            registry.observe("serve.batcher.batch_size", batch.size)
+            registry.set_gauge("serve.batcher.pending", self.pending)
+        return batch
+
+    def stats(self) -> dict:
+        return {
+            "batches_formed": self.batches_formed,
+            "requests_batched": self.requests_batched,
+            "pending": self.pending,
+            "mean_batch_size": (
+                self.requests_batched / self.batches_formed
+                if self.batches_formed
+                else 0.0
+            ),
+        }

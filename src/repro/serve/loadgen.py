@@ -1,0 +1,344 @@
+"""Seeded load generation and SLO reporting for the serving layer.
+
+``python -m repro serve`` drives :class:`~repro.serve.service
+.GemmService` with a reproducible synthetic workload and writes
+``SERVE_slo.json`` — the serving counterpart of ``BENCH_perf.json``:
+
+* **open loop** (``--arrival poisson`` / ``uniform``) — arrivals follow
+  a seeded renewal process at ``--rate`` requests/s, independent of
+  completions (the load-test regime that exposes queueing and
+  backpressure);
+* **closed loop** (``--arrival closed``) — ``--concurrency`` requests
+  are kept in flight; each resolution immediately submits the next (the
+  throughput-probing regime).
+
+The request mix spans the router's whole decision space: several
+``(m, k, n)`` shapes, accuracy-SLO tiers from "any kernel qualifies"
+down to "fp32 only" plus a sliver of deliberately impossible SLOs
+(typed rejections), optional deadlines tight enough that some requests
+expire, a reliable (ABFT-routed) fraction, and mixed priorities.
+
+Everything — operands, SLO draws, arrival gaps — comes from one
+``numpy`` generator seeded by ``--seed``, and the service runs in
+virtual time, so two runs with the same flags produce byte-identical
+reports.  :func:`validate_slo_report` is the schema contract CI holds
+the artifact to.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..obs.metrics import get_registry
+from .api import GemmRequest, GemmResponse
+from .service import GemmService, ServeConfig
+
+__all__ = [
+    "SCHEMA",
+    "make_request",
+    "open_loop_arrivals",
+    "run_load_test",
+    "build_report",
+    "validate_slo_report",
+    "main",
+]
+
+#: report schema identifier, bumped on breaking field changes
+SCHEMA = "repro.serve.slo/1"
+
+#: problem shapes (m, k, n) — small enough that the functional kernels
+#: stay cheap, varied enough to span the launch-overhead regime (where
+#: the fp32 CUDA-core kernel is cheapest) and the Tensor-Core-win regime
+#: (where the emulated kernels are)
+SHAPES = ((32, 32, 32), (64, 32, 64), (16, 64, 16), (128, 32, 128), (192, 32, 192))
+
+#: accuracy-SLO tier classes with draw weights.  The strict tiers are
+#: *k-aware*: drawn between adjacent kernels' analytic bounds at the
+#: request's own k, so every class of the accuracy-throughput frontier
+#: is exercised deterministically — "precise" admits the 21-bit
+#: round-split kernels but excludes the 20-bit truncate class, "strict"
+#: drops below the round-split class (leaving fp32 and the int8 Ozaki
+#: path, whose exact int32 accumulation dodges the k-dependent gamma
+#: term entirely), and "impossible" sits below every bound on the menu
+#: (the floor is ``2 * 2^-24`` — fp32's input rounding), forcing the
+#: typed rejection path.
+SLO_TIERS = (
+    ("loose", 0.30),
+    ("extended", 0.30),
+    ("precise", 0.20),
+    ("strict", 0.17),
+    ("impossible", 0.03),
+)
+
+
+def _tier_slo(tier: str, k: int) -> float:
+    """Map a tier class to a concrete max_rel_error at reduction depth k."""
+    from ..fp.error import gemm_relative_error_bound
+
+    round_split = gemm_relative_error_bound(k, 21)  # egemm / tc-emulation
+    truncate = gemm_relative_error_bound(k, 20)  # markidis (and ozaki 3-slice)
+    fp32 = gemm_relative_error_bound(k, 23)
+    if tier == "loose":
+        return 1e-2
+    if tier == "extended":
+        return 1e-4
+    if tier == "precise":
+        return (round_split + truncate) / 2.0
+    if tier == "strict":
+        return (fp32 + round_split) / 2.0
+    return 1e-9  # impossible: below every menu bound for any k >= 1
+
+
+def make_request(rng: np.random.Generator, mean_service_s: float = 1e-5) -> GemmRequest:
+    """Draw one request from the seeded workload mix."""
+    m, k, n = SHAPES[int(rng.integers(len(SHAPES)))]
+    tiers = [t[0] for t in SLO_TIERS]
+    weights = np.array([t[1] for t in SLO_TIERS])
+    tier = tiers[int(rng.choice(len(tiers), p=weights / weights.sum()))]
+    slo = _tier_slo(tier, k)
+    a = rng.standard_normal((m, k)).astype(np.float32)
+    b = rng.standard_normal((k, n)).astype(np.float32)
+    c = None
+    if rng.random() < 0.1:
+        c = rng.standard_normal((m, n)).astype(np.float32)
+    deadline = None
+    if rng.random() < 0.25:
+        # headroom for one full batching window plus an exponential
+        # service allowance: most deadline-carrying requests complete,
+        # the short draws expire while queued or batched
+        deadline = 150e-6 + float(rng.exponential(10.0 * mean_service_s))
+    return GemmRequest(
+        a=a,
+        b=b,
+        c=c,
+        max_rel_error=slo,
+        deadline_s=deadline,
+        priority=int(rng.integers(0, 4)),
+        reliable=bool(rng.random() < 0.05),
+    )
+
+
+def open_loop_arrivals(
+    rng: np.random.Generator, count: int, rate_rps: float, arrival: str
+):
+    """Seeded renewal arrival schedule: ``(time, request)`` pairs."""
+    t = 0.0
+    for _ in range(count):
+        if arrival == "poisson":
+            t += float(rng.exponential(1.0 / rate_rps))
+        else:  # uniform: deterministic spacing
+            t += 1.0 / rate_rps
+        yield t, make_request(rng)
+
+
+def run_load_test(
+    requests: int,
+    seed: int = 0,
+    arrival: str = "poisson",
+    rate_rps: float = 150_000.0,
+    concurrency: int = 16,
+    config: ServeConfig | None = None,
+) -> tuple[GemmService, dict[int, GemmResponse]]:
+    """Drive one seeded load test; returns the service and its responses."""
+    if arrival not in ("poisson", "uniform", "closed"):
+        raise ValueError(f"unknown arrival process {arrival!r}")
+    rng = np.random.default_rng(seed)
+    service = GemmService(config)
+    if arrival == "closed":
+        remaining = [requests - min(concurrency, requests)]
+
+        def on_complete(_response: GemmResponse, _now: float) -> list[GemmRequest]:
+            if remaining[0] <= 0:
+                return []
+            remaining[0] -= 1
+            return [make_request(rng)]
+
+        seeds = [(0.0, make_request(rng)) for _ in range(min(concurrency, requests))]
+        responses = service.run(seeds, on_complete=on_complete)
+    else:
+        responses = service.run(open_loop_arrivals(rng, requests, rate_rps, arrival))
+    return service, responses
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values), q))
+
+
+def build_report(service: GemmService, workload: dict) -> dict:
+    """Assemble the ``SERVE_slo.json`` payload from a finished service."""
+    stats = service.stats()
+    lat = service.latencies
+    virtual_s = stats["virtual_s"]
+    report = {
+        "schema": SCHEMA,
+        "workload": workload,
+        "counts": {
+            "submitted": stats["submitted"],
+            "completed": stats["completed"],
+            "rejected": stats["rejected"],
+            "expired": stats["expired"],
+        },
+        "throughput_rps": (
+            stats["completed"] / virtual_s if virtual_s > 0 else 0.0
+        ),
+        "latency_s": {
+            "mean": float(np.mean(lat)) if lat else 0.0,
+            "p50": _percentile(lat, 50),
+            "p95": _percentile(lat, 95),
+            "p99": _percentile(lat, 99),
+            "max": max(lat) if lat else 0.0,
+        },
+        "batch_size_histogram": stats["batch_size_counts"],
+        "routing_mix": stats["routing_mix"],
+        "reject_reasons": stats["reject_reasons"],
+        "devices": stats["pool"]["devices"],
+        "batcher": stats["batcher"],
+        "router": stats["router"],
+        "virtual_s": virtual_s,
+    }
+    return report
+
+
+def validate_slo_report(report: dict) -> list[str]:
+    """Schema + invariant check of a load-test report; returns problems.
+
+    CI fails the smoke step on any returned string.  Checks both the
+    shape of the document and the accounting identity (zero silent
+    drops): ``submitted == completed + rejected + expired``.
+    """
+    problems: list[str] = []
+    if report.get("schema") != SCHEMA:
+        problems.append(f"schema is {report.get('schema')!r}, expected {SCHEMA!r}")
+    counts = report.get("counts")
+    if not isinstance(counts, dict):
+        return problems + ["counts missing"]
+    for key in ("submitted", "completed", "rejected", "expired"):
+        if not isinstance(counts.get(key), int) or counts.get(key, -1) < 0:
+            problems.append(f"counts.{key} missing or negative")
+    if not problems:
+        resolved = counts["completed"] + counts["rejected"] + counts["expired"]
+        if resolved != counts["submitted"]:
+            problems.append(
+                f"silent drops: submitted={counts['submitted']} but only "
+                f"{resolved} resolved"
+            )
+    for key in ("latency_s", "batch_size_histogram", "routing_mix",
+                "reject_reasons", "devices", "batcher", "router", "workload"):
+        if not isinstance(report.get(key), dict):
+            problems.append(f"{key} missing or not an object")
+    lat = report.get("latency_s", {})
+    for q in ("mean", "p50", "p95", "p99", "max"):
+        if not isinstance(lat.get(q), (int, float)):
+            problems.append(f"latency_s.{q} missing")
+    hist = report.get("batch_size_histogram", {})
+    if isinstance(hist, dict):
+        coalesced = sum(int(size) * count for size, count in hist.items())
+        if isinstance(counts.get("completed"), int) and coalesced < counts["completed"]:
+            problems.append(
+                f"batch histogram covers {coalesced} requests but "
+                f"{counts['completed']} completed"
+            )
+    if not isinstance(report.get("throughput_rps"), (int, float)):
+        problems.append("throughput_rps missing")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m repro serve [--requests N] [--arrival poisson]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="precision-aware GEMM serving load test (see docs/serving.md)",
+    )
+    parser.add_argument("--requests", type=int, default=1000, help="requests to submit")
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--arrival", choices=("poisson", "uniform", "closed"), default="poisson",
+        help="arrival process (open-loop poisson/uniform, or closed-loop)",
+    )
+    parser.add_argument("--rate", type=float, default=150_000.0,
+                        help="open-loop arrival rate, requests/s (virtual time)")
+    parser.add_argument("--concurrency", type=int, default=16,
+                        help="closed-loop in-flight requests")
+    parser.add_argument("--devices", default="t4,t4,rtx6000",
+                        help="comma-separated GPU fleet")
+    parser.add_argument("--max-batch", type=int, default=8, help="max coalesced batch size")
+    parser.add_argument("--max-wait-us", type=float, default=200.0,
+                        help="dynamic batching window, microseconds")
+    parser.add_argument("--queue-capacity", type=int, default=4,
+                        help="queued batches per device (0 = rendezvous)")
+    parser.add_argument("--max-in-flight", type=int, default=256,
+                        help="admission-control bound on unresolved requests")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: 200 requests unless --requests given")
+    parser.add_argument("--out", default="SERVE_slo.json", help="report path (JSON)")
+    args = parser.parse_args(argv)
+
+    requests = args.requests
+    if args.quick and "--requests" not in (argv or []):
+        requests = 200
+    config = ServeConfig(
+        devices=tuple(args.devices.split(",")),
+        max_batch_size=args.max_batch,
+        max_wait_s=args.max_wait_us * 1e-6,
+        queue_capacity=args.queue_capacity,
+        max_in_flight=args.max_in_flight,
+    )
+    service, _responses = run_load_test(
+        requests,
+        seed=args.seed,
+        arrival=args.arrival,
+        rate_rps=args.rate,
+        concurrency=args.concurrency,
+        config=config,
+    )
+    workload = {
+        "requests": requests,
+        "seed": args.seed,
+        "arrival": args.arrival,
+        "rate_rps": args.rate,
+        "concurrency": args.concurrency,
+        "devices": list(config.devices),
+        "max_batch_size": config.max_batch_size,
+        "max_wait_s": config.max_wait_s,
+        "queue_capacity": config.queue_capacity,
+        "max_in_flight": config.max_in_flight,
+        "quick": bool(args.quick),
+    }
+    report = build_report(service, workload)
+    problems = validate_slo_report(report)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+
+    counts = report["counts"]
+    lat = report["latency_s"]
+    print(
+        f"serve: {counts['submitted']} submitted -> "
+        f"{counts['completed']} completed, {counts['rejected']} rejected, "
+        f"{counts['expired']} expired ({report['virtual_s'] * 1e3:.3f} virtual ms)"
+    )
+    print(
+        f"latency: p50 {lat['p50'] * 1e6:.1f} us, p95 {lat['p95'] * 1e6:.1f} us, "
+        f"p99 {lat['p99'] * 1e6:.1f} us; throughput "
+        f"{report['throughput_rps'] / 1e3:.1f} k req/s (virtual)"
+    )
+    mix = ", ".join(f"{k}: {v}" for k, v in report["routing_mix"].items())
+    print(f"routing mix: {mix or 'none'}")
+    mean_bs = report["batcher"].get("mean_batch_size", 0.0)
+    print(f"batching: {report['batcher']['batches_formed']} batches, "
+          f"mean size {mean_bs:.2f}")
+    provider = get_registry().snapshot()["providers"].get("serve.service", {})
+    print(f"lifetime (registry): {provider.get('submitted', 0)} submitted across "
+          f"{provider.get('services', 0)} live + "
+          f"{provider.get('retired_services', 0)} retired services")
+    if problems:
+        for problem in problems:
+            print(f"SCHEMA PROBLEM: {problem}")
+        return 1
+    print(f"report written to {args.out} (schema {SCHEMA}, accounting exact)")
+    return 0

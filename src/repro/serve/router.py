@@ -1,0 +1,192 @@
+"""Precision-aware routing: cheapest kernel that certifies the SLO.
+
+The kernel menu spans an accuracy-throughput frontier (Table 5 plus the
+int8 successor): ``cuBLAS-TC-Half`` is fastest and sloppiest (10
+effective mantissa bits), the extended-precision emulations sit in the
+middle (20-21 bits at near-half throughput), the fp32 CUDA-core kernel
+is the most accurate and slowest.  The router turns a request's
+``max_rel_error`` into a kernel choice:
+
+1. compute each kernel's **analytic** forward-error bound for the
+   request's ``k`` (:func:`repro.fp.error.gemm_relative_error_bound`
+   with the kernel's effective mantissa / accumulator widths) — the
+   bound, not a measured error, so eligibility is a worst-case
+   certificate;
+2. among kernels whose bound is at or below the SLO, pick the one whose
+   modelled wall time (``kernel.time`` — the instruction-level engine or
+   calibrated roofline) is smallest;
+3. no eligible kernel -> :class:`~repro.serve.api.SloUnsatisfiableError`
+   (typed, immediate — an impossible SLO must never hang the batcher).
+
+Timing and bound lookups are memoized per ``(kernel, shape, gpu)``: the
+models are deterministic, and a serving stream re-routes the same few
+shapes thousands of times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fp.error import gemm_relative_error_bound
+from ..gpu.engine import LAUNCH_OVERHEAD_S
+from ..gpu.spec import TESLA_T4, GpuSpec
+from ..kernels.registry import get_kernel
+from ..obs.metrics import get_registry
+from ..obs.tracing import get_tracer
+from .api import GemmRequest, SloUnsatisfiableError
+
+__all__ = ["DEFAULT_MENU", "RoutingDecision", "PrecisionRouter", "kernel_error_model"]
+
+#: default serving menu, spanning the accuracy-throughput frontier
+DEFAULT_MENU = (
+    "cublas-tc-half",
+    "egemm-tc",
+    "markidis",
+    "cublas-tc-emulation",
+    "ozaki-int8",
+    "cublas-cuda-fp32",
+)
+
+
+def kernel_error_model(kernel) -> tuple[int, int]:
+    """``(mantissa_bits, accumulator_bits)`` of a kernel's arithmetic.
+
+    Emulation-backed kernels expose their scheme (21 bits for the
+    round-split, 20 for truncate, 10 for bare half), all accumulating in
+    fp32.  The Ozaki int8 kernel represents ``7*slices - 1`` leading
+    bits across its digit slices and recombines exactly-computed int32
+    partials in fp64.  fp32 CUDA-core kernels round both input and
+    accumulator at 23 stored bits.
+    """
+    scheme = getattr(kernel, "scheme", None)
+    if scheme is None:
+        gemm = getattr(kernel, "_gemm", None)
+        scheme = getattr(gemm, "scheme", None)
+    if scheme is not None:
+        return scheme.effective_mantissa_bits, 23
+    slices = getattr(kernel, "slices", None)
+    if slices is not None:
+        return 7 * slices - 1, 52
+    if kernel.info.precision == "single":
+        return 23, 23
+    # conservative fallback: treat an unknown kernel as bare half
+    return 10, 23
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """One request's routing outcome: kernel + its certificates."""
+
+    kernel: str
+    #: analytic relative-error bound the kernel certifies at this k
+    error_bound: float
+    #: modelled single-GEMM wall time on the routed device class
+    seconds: float
+    #: route through ABFT + resilient fallback (request.reliable)
+    reliable: bool = False
+
+    def batch_seconds(self, batch_size: int) -> float:
+        """Modelled service time of a ``batch_size``-element fused batch.
+
+        A coalesced batch pays the kernel-launch overhead once; every
+        element past the first adds only the launch-free execution time.
+        Degenerate shapes (``seconds`` below the overhead itself) never
+        go negative.
+        """
+        if batch_size <= 0:
+            return 0.0
+        extra = max(self.seconds - LAUNCH_OVERHEAD_S, 0.0)
+        return self.seconds + (batch_size - 1) * extra
+
+
+class PrecisionRouter:
+    """Maps requests to the cheapest SLO-certifying kernel on a menu."""
+
+    def __init__(self, menu: tuple[str, ...] = DEFAULT_MENU, spec: GpuSpec = TESLA_T4):
+        if not menu:
+            raise ValueError("router menu must name at least one kernel")
+        self.spec = spec
+        self.kernels = {name: get_kernel(name) for name in menu}
+        self._bits = {
+            name: kernel_error_model(kern) for name, kern in self.kernels.items()
+        }
+        self._bound_memo: dict[tuple[str, int], float] = {}
+        self._time_memo: dict[tuple[str, tuple[int, int, int]], float] = {}
+        self.decisions = 0
+        self.unsatisfiable = 0
+
+    # -- certificates ---------------------------------------------------
+    def error_bound(self, kernel_name: str, k: int) -> float:
+        """Analytic forward-error bound of one menu kernel at depth k."""
+        key = (kernel_name, k)
+        bound = self._bound_memo.get(key)
+        if bound is None:
+            mant, acc = self._bits[kernel_name]
+            bound = gemm_relative_error_bound(k, mant, acc)
+            self._bound_memo[key] = bound
+        return bound
+
+    def seconds_for(self, kernel_name: str, shape: tuple[int, int, int]) -> float:
+        """Memoized modelled wall time of one GEMM on this router's GPU.
+
+        Public because the service re-prices a batch on the *executing*
+        device's router — kernel choice is device-independent (accuracy
+        is), but service time is not.
+        """
+        key = (kernel_name, shape)
+        seconds = self._time_memo.get(key)
+        if seconds is None:
+            m, k, n = shape
+            if min(m, n, k) <= 0:
+                # Degenerate GEMM: nothing launches but the call still
+                # pays the fixed overhead (kernel.time refuses k=0).
+                seconds = LAUNCH_OVERHEAD_S
+            else:
+                seconds = self.kernels[kernel_name].time(m, n, k, self.spec).seconds
+            self._time_memo[key] = seconds
+        return seconds
+
+    # -- routing --------------------------------------------------------
+    def route(self, request: GemmRequest) -> RoutingDecision:
+        """Cheapest menu kernel whose analytic bound certifies the SLO."""
+        m, k, n = request.shape
+        eligible = [
+            (name, bound)
+            for name in self.kernels
+            if (bound := self.error_bound(name, k)) <= request.max_rel_error
+        ]
+        self.decisions += 1
+        registry = get_registry()
+        if not eligible:
+            self.unsatisfiable += 1
+            best = min(self.error_bound(name, k) for name in self.kernels)
+            if registry.enabled:
+                registry.inc("serve.router.unsatisfiable")
+            raise SloUnsatisfiableError(
+                f"no kernel on the menu certifies max_rel_error={request.max_rel_error:g} "
+                f"at k={k} (best analytic bound: {best:g})"
+            )
+        choice, bound = min(
+            eligible, key=lambda nb: (self.seconds_for(nb[0], request.shape), nb[0])
+        )
+        seconds = self.seconds_for(choice, request.shape)
+        with get_tracer().span(
+            "serve.route", category="serve", kernel=choice,
+            m=m, k=k, n=n, slo=request.max_rel_error,
+        ) as span:
+            span.set(bound=bound, seconds=seconds)
+        if registry.enabled:
+            registry.inc("serve.router.decisions")
+            registry.inc(f"serve.router.kernel.{choice}")
+        return RoutingDecision(
+            kernel=choice, error_bound=bound, seconds=seconds,
+            reliable=request.reliable,
+        )
+
+    def stats(self) -> dict:
+        return {
+            "decisions": self.decisions,
+            "unsatisfiable": self.unsatisfiable,
+            "bound_memo": len(self._bound_memo),
+            "time_memo": len(self._time_memo),
+        }

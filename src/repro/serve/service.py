@@ -1,0 +1,501 @@
+"""The serving engine: a deterministic discrete-event GEMM service.
+
+:class:`GemmService` wires the router, the dynamic batcher, and the
+device pool into one event loop over **virtual time**.  Real threads
+would make every latency figure (and therefore ``SERVE_slo.json``)
+nondeterministic; a discrete-event simulation driven by modelled kernel
+times keeps a seeded load test bit-reproducible while exercising exactly
+the policies under study — batching windows, queue bounds, deadline
+expiry, work stealing.  The *results* are not simulated: every completed
+response carries the routed kernel's bit-accurate product, computed
+through the same stacked ``run_batched`` path a fused batch would use.
+
+Event kinds:
+
+* ``arrive``      — a request enters: admission control, routing,
+  batching (a filled bucket dispatches immediately);
+* ``batch_window``— a bucket's ``max_wait_s`` elapsed: dispatch it;
+* ``device_free`` — a device finished a batch: resolve its responses,
+  then pull the next batch from its queue or steal from a peer.
+
+Terminal accounting is exhaustive: every submitted request resolves to
+exactly one of completed / rejected / expired, checked by
+:meth:`GemmService.check_accounting` and asserted in CI.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import weakref
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..gpu.spec import get_gpu
+from ..obs.metrics import get_registry
+from ..obs.tracing import get_tracer
+from .api import GemmRequest, GemmResponse, RequestStatus, SloUnsatisfiableError
+from .batcher import Batch, DynamicBatcher
+from .router import DEFAULT_MENU, PrecisionRouter
+from .workers import DeviceWorker, WorkerPool
+
+__all__ = ["ServeConfig", "GemmService", "serve_stats"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Every policy knob of the serving layer, in one place."""
+
+    #: kernel menu the router chooses from
+    menu: tuple[str, ...] = DEFAULT_MENU
+    #: device fleet, by GPU name (one worker per entry)
+    devices: tuple[str, ...] = ("t4", "t4", "rtx6000")
+    #: a filled bucket dispatches at this size
+    max_batch_size: int = 8
+    #: a bucket dispatches once its oldest member waited this long
+    max_wait_s: float = 200e-6
+    #: queued batches per device beyond the one executing (0 = rendezvous)
+    queue_capacity: int = 4
+    #: admission control: max unresolved requests in the system
+    max_in_flight: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
+        if self.queue_capacity < 0:
+            raise ValueError("queue_capacity must be non-negative")
+
+
+# -- process-wide stats provider (the split-cache idiom) -----------------
+_LIVE_SERVICES: "weakref.WeakValueDictionary[int, GemmService]" = (
+    weakref.WeakValueDictionary()
+)
+_RETIRED = {"services": 0, "submitted": 0, "completed": 0, "rejected": 0,
+            "expired": 0, "batches": 0}
+
+
+def _retire(totals: dict) -> None:
+    _RETIRED["services"] += 1
+    for key in ("submitted", "completed", "rejected", "expired", "batches"):
+        _RETIRED[key] += totals.get(key, 0)
+
+
+def serve_stats() -> dict:
+    """Aggregated serving counters across live and retired services.
+
+    Registered as the ``serve.service`` provider so ``python -m repro
+    bench`` and any ``MetricsRegistry.snapshot()`` consumer sees the
+    serving layer's lifetime totals without importing it explicitly.
+    """
+    totals = {
+        "services": 0,
+        "submitted": _RETIRED["submitted"],
+        "completed": _RETIRED["completed"],
+        "rejected": _RETIRED["rejected"],
+        "expired": _RETIRED["expired"],
+        "batches": _RETIRED["batches"],
+        "retired_services": _RETIRED["services"],
+    }
+    for service in list(_LIVE_SERVICES.values()):
+        totals["services"] += 1
+        for key in ("submitted", "completed", "rejected", "expired", "batches"):
+            totals[key] += service._totals[key]
+    return totals
+
+
+get_registry().register_provider("serve.service", serve_stats)
+
+
+@dataclass
+class _Event:
+    kind: str
+    request: GemmRequest | None = None
+    device: str | None = None
+    batch: Batch | None = None
+
+
+class GemmService:
+    """Precision-aware GEMM serving over a simulated device fleet."""
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        specs = [get_gpu(name) for name in self.config.devices]
+        self.pool = WorkerPool(
+            [
+                DeviceWorker(
+                    name=f"{name}-{i}",
+                    spec=spec,
+                    queue_capacity=self.config.queue_capacity,
+                )
+                for i, (name, spec) in enumerate(zip(self.config.devices, specs))
+            ]
+        )
+        # One router per distinct GPU class: the kernel choice is
+        # accuracy-driven (device-independent, so the first router
+        # decides), but a batch is re-priced on its executing device.
+        self._routers: dict[str, PrecisionRouter] = {}
+        for spec in specs:
+            if spec.name not in self._routers:
+                self._routers[spec.name] = PrecisionRouter(self.config.menu, spec)
+        self.router = self._routers[specs[0].name]
+
+        self.batcher = DynamicBatcher(
+            max_batch_size=self.config.max_batch_size,
+            max_wait_s=self.config.max_wait_s,
+        )
+        self.now = 0.0
+        self.responses: dict[int, GemmResponse] = {}
+        self.routing_mix: dict[str, int] = {}
+        self.batch_size_counts: dict[int, int] = {}
+        self.reject_reasons: dict[str, int] = {}
+        self.latencies: list[float] = []
+        self._totals = {"submitted": 0, "completed": 0, "rejected": 0,
+                        "expired": 0, "batches": 0}
+        self._events: list[tuple[float, int, _Event]] = []
+        self._seq = itertools.count()
+        self._next_id = itertools.count()
+        self._executing: dict[str, Batch] = {}
+        self._on_complete: Callable[[GemmResponse, float], list[GemmRequest]] | None = None
+        _LIVE_SERVICES[id(self)] = self
+        weakref.finalize(self, _retire, self._totals)
+
+    # -- counters -------------------------------------------------------
+    @property
+    def submitted(self) -> int:
+        return self._totals["submitted"]
+
+    @property
+    def completed(self) -> int:
+        return self._totals["completed"]
+
+    @property
+    def rejected(self) -> int:
+        return self._totals["rejected"]
+
+    @property
+    def expired(self) -> int:
+        return self._totals["expired"]
+
+    @property
+    def in_flight(self) -> int:
+        return self.submitted - self.completed - self.rejected - self.expired
+
+    def check_accounting(self) -> None:
+        """Zero silent drops: every request reached a terminal status."""
+        resolved = self.completed + self.rejected + self.expired
+        if resolved != self.submitted or len(self.responses) != self.submitted:
+            raise AssertionError(
+                f"accounting violated: submitted={self.submitted} "
+                f"completed={self.completed} rejected={self.rejected} "
+                f"expired={self.expired} responses={len(self.responses)}"
+            )
+
+    # -- event plumbing -------------------------------------------------
+    def _push(self, at: float, event: _Event) -> None:
+        heapq.heappush(self._events, (at, next(self._seq), event))
+
+    # -- submission -----------------------------------------------------
+    def submit(self, request: GemmRequest) -> int:
+        """Admit, route, and bucket one request at the current time."""
+        request.request_id = next(self._next_id)
+        request.submitted_at = self.now
+        self._totals["submitted"] += 1
+        registry = get_registry()
+        registry.inc("serve.requests.submitted")
+
+        if self.in_flight > self.config.max_in_flight:
+            self._resolve_reject(request, "admission-capacity")
+            return request.request_id
+        try:
+            decision = self.router.route(request)
+        except SloUnsatisfiableError as exc:
+            self._resolve_reject(request, "slo-unsatisfiable", detail=str(exc))
+            return request.request_id
+        self.routing_mix[decision.kernel] = self.routing_mix.get(decision.kernel, 0) + 1
+        batch = self.batcher.add(request, decision, self.now)
+        if batch is not None:
+            self._dispatch(batch)
+        else:
+            due = self.batcher.next_due()
+            if due is not None:
+                self._push(due, _Event("batch_window"))
+        return request.request_id
+
+    # -- dispatch / execution ------------------------------------------
+    def _dispatch(self, batch: Batch) -> None:
+        """Place a formed batch on the fleet (or reject under backpressure)."""
+        batch.dispatched_at = self.now
+        device = self.pool.select(self.now)
+        if device is None:
+            for request in batch.requests:
+                self._resolve_reject(request, "backpressure")
+            return
+        self._totals["batches"] += 1
+        self.batch_size_counts[batch.size] = self.batch_size_counts.get(batch.size, 0) + 1
+        if device.idle(self.now):
+            self._start(device, batch)
+        else:
+            device.enqueue(batch)
+        self.pool.record_depth_gauges()
+
+    def _start(self, device: DeviceWorker, batch: Batch) -> None:
+        """Begin executing a batch; expire members that missed the start."""
+        live = []
+        for request in batch.requests:
+            if request.deadline_at < self.now:
+                self._resolve_expire(request)
+            else:
+                live.append(request)
+        if not live:
+            self._advance(device)
+            return
+        batch.requests = live
+        service_s = self._price(device, batch)
+        start = max(self.now, device.busy_until)
+        device.busy_until = start + service_s
+        device.busy_s += service_s
+        device.batches_executed += 1
+        device.requests_executed += batch.size
+        self._executing[device.name] = batch
+        self._push(device.busy_until, _Event("device_free", device=device.name))
+
+    def _price(self, device: DeviceWorker, batch: Batch) -> float:
+        """Service time of the batch on its *executing* device."""
+        router = self._routers[device.spec.name]
+        seconds = router.seconds_for(batch.decision.kernel, batch.requests[0].shape)
+        decision = batch.decision
+        if seconds != decision.seconds:
+            from dataclasses import replace
+
+            decision = replace(decision, seconds=seconds)
+        return decision.batch_seconds(batch.size)
+
+    def _advance(self, device: DeviceWorker) -> None:
+        """Pull the device's next batch: own queue first, then steal."""
+        batch = device.pop_next()
+        if batch is None:
+            batch = self.pool.steal_for(device)
+        if batch is not None:
+            self._start(device, batch)
+        self.pool.record_depth_gauges()
+
+    def _finish(self, device: DeviceWorker) -> None:
+        batch = self._executing.pop(device.name, None)
+        if batch is not None:
+            self._execute_batch(batch, device, self._price(device, batch))
+        self._advance(device)
+
+    # -- the actual math ------------------------------------------------
+    def _execute_batch(self, batch: Batch, device: DeviceWorker, service_s: float) -> None:
+        """Compute bit-accurate results and resolve COMPLETED responses."""
+        kernel = self.router.kernels[batch.decision.kernel]
+        results: list[np.ndarray]
+        attempts: list[list] = [[] for _ in batch.requests]
+        if batch.decision.reliable:
+            results = []
+            for i, request in enumerate(batch.requests):
+                result = self._run_reliable(batch.decision.kernel, request)
+                results.append(result.d)
+                attempts[i] = [a.as_dict() for a in result.attempts]
+        else:
+            results = self._run_batch_exact(kernel, batch)
+        for i, request in enumerate(batch.requests):
+            self._resolve_complete(
+                request, batch, device, results[i], service_s, attempts[i]
+            )
+
+    def _run_batch_exact(self, kernel, batch: Batch) -> list[np.ndarray]:
+        """One fused launch when the kernel supports stacked batching.
+
+        Emulation-backed kernels expose their ``EmulatedGemm`` as
+        ``_gemm``; its ``run_batched`` is bit-identical to per-request
+        ``run`` by construction.  Other kernels (fp32 roofline models,
+        the int8 Ozaki path) compute per request — trivially identical
+        to the unbatched replay.
+        """
+        requests = batch.requests
+        gemm = getattr(kernel, "_gemm", None)
+        if gemm is not None and len(requests) > 1:
+            a = np.stack([r.a for r in requests])
+            b = np.stack([r.b for r in requests])
+            c = None
+            if requests[0].c is not None:  # compatibility key: all-or-none
+                c = np.stack([r.c for r in requests])
+            d, _ = gemm.run_batched(a, b, c)
+            return [d[i] for i in range(len(requests))]
+        return [kernel.compute(r.a, r.b, r.c) for r in requests]
+
+    def _run_reliable(self, kernel_name: str, request: GemmRequest):
+        """ABFT-protected, fallback-chained execution for reliable=True.
+
+        The fallback tail is the fp32 CUDA-core kernel, whose analytic
+        bound is at or below every emulated kernel's at any k — a
+        fallback can therefore never violate an SLO the primary met.
+        """
+        from ..resilience.runner import ResilientRunner
+
+        chain = [kernel_name]
+        if kernel_name != "cublas-cuda-fp32":
+            chain.append("cublas-cuda-fp32")
+        runner = ResilientRunner(
+            chain=tuple(chain), abft=True, backoff_s=0.0,
+            sleep=lambda _s: None,
+        )
+        return runner.run(request.a, request.b, request.c)
+
+    # -- resolution -----------------------------------------------------
+    def _emit_span(self, response: GemmResponse, request: GemmRequest) -> None:
+        m, k, n = request.shape
+        with get_tracer().span(
+            "serve.request", category="serve",
+            request_id=request.request_id, m=m, k=k, n=n,
+            slo=request.max_rel_error, reliable=request.reliable,
+        ) as span:
+            span.set(
+                status=response.status.value,
+                kernel=response.kernel,
+                device=response.device,
+                batch_size=response.batch_size,
+                latency_s=response.latency_s,
+                reason=response.reason,
+            )
+
+    def _resolve(self, response: GemmResponse, request: GemmRequest) -> None:
+        self.responses[request.request_id] = response
+        self._emit_span(response, request)
+        if self._on_complete is not None:
+            for follow_up in self._on_complete(response, self.now):
+                self.submit(follow_up)
+
+    def _resolve_reject(
+        self, request: GemmRequest, reason: str, detail: str | None = None
+    ) -> None:
+        self._totals["rejected"] += 1
+        self.reject_reasons[reason] = self.reject_reasons.get(reason, 0) + 1
+        registry = get_registry()
+        registry.inc("serve.requests.rejected")
+        registry.inc(f"serve.requests.rejected.{reason}")
+        self._resolve(
+            GemmResponse(
+                request_id=request.request_id,
+                status=RequestStatus.REJECTED,
+                reason=detail or reason,
+                latency_s=self.now - request.submitted_at,
+            ),
+            request,
+        )
+
+    def _resolve_expire(self, request: GemmRequest) -> None:
+        self._totals["expired"] += 1
+        registry = get_registry()
+        registry.inc("serve.requests.expired")
+        self._resolve(
+            GemmResponse(
+                request_id=request.request_id,
+                status=RequestStatus.EXPIRED,
+                reason="deadline-expired",
+                latency_s=self.now - request.submitted_at,
+            ),
+            request,
+        )
+
+    def _resolve_complete(
+        self,
+        request: GemmRequest,
+        batch: Batch,
+        device: DeviceWorker,
+        d: np.ndarray,
+        service_s: float,
+        attempts: list,
+    ) -> None:
+        self._totals["completed"] += 1
+        latency = self.now - request.submitted_at
+        self.latencies.append(latency)
+        registry = get_registry()
+        registry.inc("serve.requests.completed")
+        if registry.enabled:
+            registry.observe("serve.latency_s", latency)
+            registry.observe("serve.queue_wait_s", max(latency - service_s, 0.0))
+        self._resolve(
+            GemmResponse(
+                request_id=request.request_id,
+                status=RequestStatus.COMPLETED,
+                d=d,
+                kernel=batch.decision.kernel,
+                error_bound=batch.decision.error_bound,
+                device=device.name,
+                batch_size=batch.size,
+                queued_s=max(latency - service_s, 0.0),
+                service_s=service_s,
+                latency_s=latency,
+                attempts=attempts,
+            ),
+            request,
+        )
+
+    # -- the event loop -------------------------------------------------
+    def run(
+        self,
+        arrivals: Iterable[tuple[float, GemmRequest]] = (),
+        on_complete: Callable[[GemmResponse, float], list[GemmRequest]] | None = None,
+        drain: bool = True,
+    ) -> dict[int, GemmResponse]:
+        """Run the event loop over a timed arrival schedule.
+
+        ``arrivals`` yields ``(virtual_time, request)`` pairs (open-loop
+        workloads precompute these from a seeded process).
+        ``on_complete`` is called at every terminal resolution and may
+        return follow-up requests to submit *now* — the closed-loop
+        hook.  With ``drain`` (default) the loop flushes the batcher and
+        runs the fleet dry before returning.
+        """
+        self._on_complete = on_complete
+        try:
+            for at, request in arrivals:
+                self._push(at, _Event("arrive", request=request))
+            while self._events:
+                at, _seq, event = heapq.heappop(self._events)
+                self.now = max(self.now, at)
+                if event.kind == "arrive":
+                    self.submit(event.request)
+                elif event.kind == "batch_window":
+                    for batch in self.batcher.due(self.now):
+                        self._dispatch(batch)
+                elif event.kind == "device_free":
+                    self._finish(self._device(event.device))
+                if not self._events and drain and self.batcher.pending:
+                    # Nothing left will fire a window event sooner than
+                    # the residual wait; flush the tail explicitly.
+                    due = self.batcher.next_due()
+                    self.now = max(self.now, due if due is not None else self.now)
+                    for batch in self.batcher.flush(self.now):
+                        self._dispatch(batch)
+        finally:
+            self._on_complete = None
+        if drain:
+            self.check_accounting()
+        return self.responses
+
+    def _device(self, name: str) -> DeviceWorker:
+        for device in self.pool.devices:
+            if device.name == name:
+                return device
+        raise KeyError(name)
+
+    # -- reporting ------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            **self._totals,
+            "in_flight": self.in_flight,
+            "routing_mix": dict(sorted(self.routing_mix.items())),
+            "batch_size_counts": {
+                str(k): v for k, v in sorted(self.batch_size_counts.items())
+            },
+            "reject_reasons": dict(sorted(self.reject_reasons.items())),
+            "batcher": self.batcher.stats(),
+            "router": self.router.stats(),
+            "pool": self.pool.stats(),
+            "virtual_s": self.now,
+        }

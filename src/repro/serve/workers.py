@@ -1,0 +1,153 @@
+"""Simulated multi-device worker fleet: queues, stealing, backpressure.
+
+The serving layer schedules batches onto a fleet of simulated GPUs
+(:class:`~repro.gpu.spec.GpuSpec` — a T4/RTX6000 mix by default).  Each
+:class:`DeviceWorker` owns a **bounded** batch queue; the pool-level
+policies are:
+
+* **placement** — a new batch goes to the accepting device with the
+  earliest estimated start (current busy tail + queued work), so a
+  faster RTX6000 naturally absorbs more of the stream than a T4;
+* **backpressure** — a device only accepts while idle or while its
+  queue has room; when *no* device accepts, the pool reports the fact
+  and the service turns it into explicit admission-control rejections
+  (never an unbounded queue, never a silent drop);
+* **work stealing** — a device that goes idle with an empty queue pulls
+  the most urgent queued batch from the most backlogged peer, keeping
+  the fleet busy under skewed placement.
+
+Device time is *virtual*: the discrete-event service advances
+``busy_until`` from the routing decision's modelled service time, which
+keeps the whole simulation deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gpu.spec import GpuSpec
+from ..obs.metrics import get_registry
+from .batcher import Batch
+
+__all__ = ["DeviceWorker", "WorkerPool"]
+
+
+@dataclass
+class DeviceWorker:
+    """One simulated GPU: a bounded queue feeding a serial executor."""
+
+    name: str
+    spec: GpuSpec
+    #: queued batches beyond the one executing; 0 = rendezvous only
+    queue_capacity: int = 4
+    busy_until: float = 0.0
+    queue: list[Batch] = field(default_factory=list)
+    batches_executed: int = 0
+    requests_executed: int = 0
+    busy_s: float = 0.0
+    stolen_from: int = 0
+    stolen_into: int = 0
+
+    def idle(self, now: float) -> bool:
+        return self.busy_until <= now and not self.queue
+
+    def can_accept(self, now: float) -> bool:
+        if self.busy_until <= now and not self.queue:
+            return True
+        return len(self.queue) < self.queue_capacity
+
+    def estimated_start(self, now: float) -> float:
+        """When a batch enqueued now would begin executing."""
+        start = max(self.busy_until, now)
+        for batch in self.queue:
+            start += batch.service_s
+        return start
+
+    def enqueue(self, batch: Batch) -> None:
+        self.queue.append(batch)
+
+    def pop_next(self) -> Batch | None:
+        """Most urgent queued batch: priority, then earliest deadline/age."""
+        if not self.queue:
+            return None
+        best = min(
+            range(len(self.queue)),
+            key=lambda i: (
+                -self.queue[i].priority,
+                self.queue[i].deadline_at,
+                self.queue[i].created_at,
+            ),
+        )
+        return self.queue.pop(best)
+
+
+class WorkerPool:
+    """Placement, stealing, and backpressure over a device fleet."""
+
+    def __init__(self, devices: list[DeviceWorker]):
+        if not devices:
+            raise ValueError("worker pool needs at least one device")
+        names = [d.name for d in devices]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate device names: {names}")
+        self.devices = devices
+        self.rejected_batches = 0
+
+    def select(self, now: float) -> DeviceWorker | None:
+        """Accepting device with the earliest estimated start, or None.
+
+        ``None`` is the backpressure signal: every queue is full and
+        every executor busy — the caller must reject, not wait.
+        """
+        accepting = [d for d in self.devices if d.can_accept(now)]
+        if not accepting:
+            self.rejected_batches += 1
+            get_registry().inc("serve.pool.backpressure")
+            return None
+        return min(
+            accepting, key=lambda d: (d.estimated_start(now), len(d.queue), d.name)
+        )
+
+    def steal_for(self, idle_device: DeviceWorker) -> Batch | None:
+        """Pull the most urgent batch from the most backlogged peer."""
+        victim = max(
+            (d for d in self.devices if d is not idle_device and d.queue),
+            key=lambda d: len(d.queue),
+            default=None,
+        )
+        if victim is None:
+            return None
+        batch = victim.pop_next()
+        if batch is not None:
+            victim.stolen_from += 1
+            idle_device.stolen_into += 1
+            get_registry().inc("serve.pool.steals")
+        return batch
+
+    def queue_depth(self) -> int:
+        return sum(len(d.queue) for d in self.devices)
+
+    def record_depth_gauges(self) -> None:
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        registry.set_gauge("serve.pool.queue_depth", self.queue_depth())
+        for device in self.devices:
+            registry.set_gauge(f"serve.pool.{device.name}.queue_depth", len(device.queue))
+
+    def stats(self) -> dict:
+        return {
+            "devices": {
+                d.name: {
+                    "gpu": d.spec.name,
+                    "batches": d.batches_executed,
+                    "requests": d.requests_executed,
+                    "busy_s": d.busy_s,
+                    "stolen_from": d.stolen_from,
+                    "stolen_into": d.stolen_into,
+                }
+                for d in self.devices
+            },
+            "backpressure_rejections": self.rejected_batches,
+            "queue_depth": self.queue_depth(),
+        }

@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.hooks import fault_hook_override
+
 __all__ = ["FragmentRole", "Fragment", "FragmentSpace", "FragmentOverflowError"]
 
 #: fault-injection hook (``repro.resilience.faults``): when set, called as
@@ -88,8 +90,9 @@ class Fragment:
         if src.shape != self.shape:
             raise ValueError(f"tile shape {src.shape} != fragment shape {self.shape}")
         self.data[...] = src.astype(self.dtype)
-        if FAULT_HOOK is not None:
-            self.data[...] = FAULT_HOOK("frag", self.data)
+        hook = fault_hook_override(FAULT_HOOK)
+        if hook is not None:
+            self.data[...] = hook("frag", self.data)
 
     def store(self) -> np.ndarray:
         """``wmma::store_matrix_sync`` — copy the tile out of registers."""

@@ -36,6 +36,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.hooks import fault_hook_override
+
 __all__ = ["InternalPrecision", "MmaShape", "M16N16K16", "HMMA_1688", "mma", "MmaCounter"]
 
 #: fault-injection hook (``repro.resilience.faults``): when set, called as
@@ -237,7 +239,7 @@ def mma(
     a, b, c = _validate(a, b, c, shape)
     if counter is not None:
         counter.record(a.shape[0], b.shape[1], a.shape[1])
-    hook = FAULT_HOOK
+    hook = fault_hook_override(FAULT_HOOK)
     if hook is not None:
         # FRAG faults corrupt operand registers before the multiply;
         # accumulator faults corrupt the rounded primitive output.
