@@ -12,7 +12,10 @@ Usage::
     python -m repro bench [--quick]      # hot-path performance benchmarks
     python -m repro faults [--quick]     # fault-injection campaign (ABFT)
     python -m repro serve [--requests N] [--arrival poisson|uniform|closed]
+                          [--trace T.json] [--flight-log F.jsonl]
                                          # GEMM serving load test -> SERVE_slo.json
+    python -m repro postmortem <request-id> [--log FLIGHT_serve.jsonl]
+                                         # reconstruct one request's lifecycle
     python -m repro profile <kernel> --shape MxNxK [--trace out.json]
                                          # per-kernel profile report + trace
 """
@@ -79,6 +82,10 @@ def main(argv: list[str] | None = None) -> int:
         from .serve.loadgen import main as serve_main
 
         return serve_main(args[1:])
+    if args and args[0] == "postmortem":
+        from .obs.flight import main as postmortem_main
+
+        return postmortem_main(args[1:])
     if args and args[0] == "profile":
         from .obs.profile import main as profile_main
 

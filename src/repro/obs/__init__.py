@@ -1,6 +1,6 @@
 """repro.obs — the observability spine of the simulator stack.
 
-Four pieces (see ``docs/observability.md``):
+The pieces (see ``docs/observability.md``):
 
 * :mod:`repro.obs.tracing` — hierarchical spans with thread-safe context
   propagation and a no-op fast path when disabled (``REPRO_TRACE``);
@@ -8,17 +8,34 @@ Four pieces (see ``docs/observability.md``):
   gauges, histograms, and subsystem stat providers (``REPRO_METRICS``);
 * :mod:`repro.obs.export` — Chrome-trace JSON, schema validation, and
   run manifests;
+* :mod:`repro.obs.flight` — the bounded flight recorder and the
+  ``python -m repro postmortem`` lifecycle reconstruction;
+* :mod:`repro.obs.slo` — multi-window multi-burn-rate SLO monitoring;
+* :mod:`repro.obs.benchtrack` — the benchmark history + regression gate
+  behind ``python -m repro bench --check``;
+* :mod:`repro.obs.serving` — the per-request serving observer tying
+  traces, flight log, and burn alerts to :mod:`repro.serve`;
 * :mod:`repro.obs.profile` — the per-kernel profiler behind
   ``python -m repro profile``.
 
-The first three are stdlib-only, so every layer of the package —
-including :mod:`repro.gpu` — imports them freely.  The profiler imports
-the kernel registry (and therefore most of the package); it is exposed
-lazily here so ``import repro.obs`` from low layers stays cycle-free.
+Everything except the profiler and the serving observer is stdlib-only,
+so every layer of the package — including :mod:`repro.gpu` — imports
+them freely.  The profiler imports the kernel registry (and therefore
+most of the package); it is exposed lazily here so ``import repro.obs``
+from low layers stays cycle-free.
 """
 
 from __future__ import annotations
 
+from .benchtrack import (
+    HISTORY_SCHEMA,
+    MetricSpec,
+    append_record,
+    check_metrics,
+    load_history,
+    make_record,
+    validate_history,
+)
 from .export import (
     chrome_trace,
     run_manifest,
@@ -26,7 +43,16 @@ from .export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from .flight import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    load_flight_log,
+    reconstruct_lifecycle,
+    validate_flight_log,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+from .serving import ServeObserver
+from .slo import DEFAULT_WINDOWS, BurnRateMonitor, BurnWindow
 from .tracing import (
     Span,
     Tracer,
@@ -53,6 +79,22 @@ __all__ = [
     "write_chrome_trace",
     "spans_to_events",
     "run_manifest",
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
+    "load_flight_log",
+    "validate_flight_log",
+    "reconstruct_lifecycle",
+    "BurnWindow",
+    "BurnRateMonitor",
+    "DEFAULT_WINDOWS",
+    "ServeObserver",
+    "HISTORY_SCHEMA",
+    "MetricSpec",
+    "make_record",
+    "append_record",
+    "load_history",
+    "validate_history",
+    "check_metrics",
     "profile_kernel",
     "collect_executions",
     "format_report",

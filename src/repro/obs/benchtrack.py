@@ -1,0 +1,240 @@
+"""Benchmark history: a durable time series with a regression gate.
+
+``BENCH_perf.json`` is a single overwritten snapshot — a perf regression
+ships silently because nothing remembers what last week's numbers were.
+This module turns every measured run (``python -m repro bench`` /
+``serve`` / ``faults``) into one **schema-versioned JSONL record**
+appended to ``BENCH_history.jsonl``, and implements the run-over-run
+verdict logic behind ``python -m repro bench --check``:
+
+* each record carries a ``kind`` (``bench``/``serve``/``faults``), the
+  ``quick`` flag (quick and full runs are separate series — their
+  shapes differ), a flat ``metrics`` map, and the reproducibility
+  manifest (:func:`repro.obs.export.run_manifest`);
+* the **baseline** for a metric is the *median* of its last ``N``
+  values from prior records of the same series — median-of-N absorbs a
+  single noisy CI run without moving the gate;
+* each tracked metric declares a **direction** (``higher`` is better,
+  or ``lower``) and a **relative tolerance band**: deterministic
+  virtual-time metrics get tight bands, wall-clock timings get wide
+  ones (machine noise is not a regression).  Metrics with
+  ``gate=False`` are recorded and reported but never fail the check;
+* a gated metric outside its band on the bad side is a **regression**
+  and the check exits nonzero — wired into CI as a gate.
+
+The history file is append-only: runs on different machines interleave
+safely, and the time series survives every ``BENCH_perf.json``
+overwrite.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "MetricSpec",
+    "make_record",
+    "append_record",
+    "load_history",
+    "validate_history",
+    "check_metrics",
+    "format_check",
+]
+
+#: history-record schema identifier, bumped on breaking field changes
+HISTORY_SCHEMA = "repro.obs.benchtrack/1"
+
+#: default baseline window (median of up to this many prior values)
+BASELINE_N = 5
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """How one tracked metric is compared run-over-run."""
+
+    name: str
+    #: "higher" = bigger is better (throughput, speedup, hit rate);
+    #: "lower" = smaller is better (latency, SDC count)
+    direction: str
+    #: relative tolerance band around the baseline median; a gated
+    #: metric outside the band on the bad side is a regression
+    rel_tol: float
+    #: False = informational only (recorded, reported, never gates)
+    gate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("higher", "lower"):
+            raise ValueError(f"direction must be 'higher' or 'lower', got {self.direction!r}")
+        if self.rel_tol < 0:
+            raise ValueError("rel_tol must be non-negative")
+
+
+def make_record(
+    kind: str,
+    metrics: dict,
+    quick: bool = False,
+    manifest: dict | None = None,
+    label: str | None = None,
+) -> dict:
+    """Assemble one history record (flat numeric metrics only)."""
+    clean: dict[str, float] = {}
+    for name, value in metrics.items():
+        if isinstance(value, bool):
+            clean[name] = float(value)
+        elif isinstance(value, (int, float)):
+            clean[name] = float(value)
+        # non-numeric values are silently excluded: the history is a
+        # numeric time series, the full report stays in the JSON snapshot
+    record = {
+        "schema": HISTORY_SCHEMA,
+        "kind": kind,
+        "quick": bool(quick),
+        "metrics": clean,
+    }
+    if label is not None:
+        record["label"] = label
+    if manifest is not None:
+        record["manifest"] = manifest
+    return record
+
+
+def append_record(path: str | Path, record: dict) -> Path:
+    """Append one record to the JSONL history (creates the file)."""
+    problems = validate_history([record])
+    if problems:
+        raise ValueError(f"refusing to append invalid record: {problems}")
+    path = Path(path)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def load_history(
+    path: str | Path, kind: str | None = None, quick: bool | None = None
+) -> list[dict]:
+    """Parse the JSONL history, optionally filtered to one series."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if kind is not None and record.get("kind") != kind:
+                continue
+            if quick is not None and bool(record.get("quick")) != quick:
+                continue
+            records.append(record)
+    return records
+
+
+def validate_history(records: Iterable[dict]) -> list[str]:
+    """Schema-check history records; returns a list of problems."""
+    problems: list[str] = []
+    for i, record in enumerate(records):
+        if record.get("schema") != HISTORY_SCHEMA:
+            problems.append(
+                f"record {i}: schema is {record.get('schema')!r}, "
+                f"expected {HISTORY_SCHEMA!r}"
+            )
+        if not isinstance(record.get("kind"), str) or not record.get("kind"):
+            problems.append(f"record {i}: missing 'kind'")
+        if not isinstance(record.get("quick"), bool):
+            problems.append(f"record {i}: missing boolean 'quick'")
+        metrics = record.get("metrics")
+        if not isinstance(metrics, dict):
+            problems.append(f"record {i}: 'metrics' must be an object")
+            continue
+        for name, value in metrics.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"record {i}: metric {name!r} is not numeric")
+    return problems
+
+
+def check_metrics(
+    current: dict,
+    history: Iterable[dict],
+    specs: Iterable[MetricSpec],
+    baseline_n: int = BASELINE_N,
+) -> dict:
+    """Run-over-run verdicts of ``current`` metrics against the history.
+
+    ``history`` holds *prior* records (the current run excluded) of the
+    same series.  Per-metric verdicts:
+
+    * ``no-baseline`` — fewer than one prior value: nothing to gate;
+    * ``ok`` — inside the tolerance band;
+    * ``improved`` — outside the band on the good side;
+    * ``regression`` — outside the band on the bad side (fails the
+      check when the spec gates);
+    * ``info`` — the spec is non-gating (band reported, never fails);
+    * ``missing`` — the metric is absent from the current run (fails
+      the check when gated: a silently vanished metric is itself a
+      regression).
+    """
+    prior = [r["metrics"] for r in history]
+    verdicts: dict[str, dict] = {}
+    regressions: list[str] = []
+    for spec in specs:
+        value = current.get(spec.name)
+        baseline_values = [m[spec.name] for m in prior if spec.name in m][-baseline_n:]
+        entry: dict = {
+            "direction": spec.direction,
+            "rel_tol": spec.rel_tol,
+            "gate": spec.gate,
+            "current": value,
+            "baseline": None,
+            "baseline_n": len(baseline_values),
+        }
+        if value is None:
+            entry["verdict"] = "missing" if baseline_values else "no-baseline"
+            if spec.gate and baseline_values:
+                regressions.append(spec.name)
+        elif not baseline_values:
+            entry["verdict"] = "no-baseline"
+        else:
+            baseline = statistics.median(baseline_values)
+            entry["baseline"] = baseline
+            scale = abs(baseline)
+            delta = value - baseline
+            # the bad direction is negative delta for higher-is-better
+            signed = delta if spec.direction == "higher" else -delta
+            band = spec.rel_tol * scale
+            if not spec.gate:
+                entry["verdict"] = "info"
+            elif signed < -band:
+                entry["verdict"] = "regression"
+                regressions.append(spec.name)
+            elif signed > band:
+                entry["verdict"] = "improved"
+            else:
+                entry["verdict"] = "ok"
+        verdicts[spec.name] = entry
+    return {"verdicts": verdicts, "regressions": regressions,
+            "ok": not regressions}
+
+
+def format_check(report: dict) -> str:
+    """Readable verdict table for the CLI."""
+    lines = []
+    width = max((len(n) for n in report["verdicts"]), default=10)
+    for name, v in report["verdicts"].items():
+        baseline = "-" if v["baseline"] is None else f"{v['baseline']:.6g}"
+        current = "-" if v["current"] is None else f"{v['current']:.6g}"
+        flag = "" if v["gate"] else " (info)"
+        lines.append(
+            f"  {name:<{width}s}  {current:>12s} vs baseline {baseline:>12s} "
+            f"(median of {v['baseline_n']}, ±{v['rel_tol']:.0%} {v['direction']}-better)"
+            f" -> {v['verdict']}{flag}"
+        )
+    verdict = "PASS" if report["ok"] else "FAIL: " + ", ".join(report["regressions"])
+    lines.append(f"  gate: {verdict}")
+    return "\n".join(lines)

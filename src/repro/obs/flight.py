@@ -1,0 +1,295 @@
+"""Flight recorder: a bounded, replayable event log for the serving layer.
+
+Aircraft keep a flight recorder precisely because the interesting
+failures happen in production, under load, and are gone by the time
+anyone is watching.  The serving layer gets the same facility: a
+**bounded ring buffer** of structured events — admissions, routing
+decisions, batch formation, dispatches, executions, expiries,
+rejections, SLO-burn alerts, injected faults — that costs one locked
+append per event and never grows without bound.
+
+Design constraints:
+
+* **deterministic** — events carry only *virtual* timestamps, sequence
+  numbers, and ids; a seeded load test therefore dumps a byte-identical
+  log on every run, and tests assert byte-stable replay;
+* **bounded** — a ``collections.deque(maxlen=capacity)`` ring: when the
+  buffer fills, the oldest events fall off and ``dropped`` counts them
+  (a production recorder must never OOM the process it is observing);
+* **self-describing** — the JSONL dump opens with a header record
+  naming the schema (and optionally the run manifest), and
+  :func:`validate_flight_log` is the contract CI holds the artifact to;
+* **reconstructable** — :func:`reconstruct_lifecycle` rebuilds any
+  request's full admission→route→batch→execute→terminal story from a
+  dumped log, which is what ``python -m repro postmortem <request-id>``
+  prints.
+
+stdlib-only, like the rest of the observability spine.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Iterable
+
+__all__ = [
+    "FLIGHT_SCHEMA",
+    "EVENT_KINDS",
+    "FlightRecorder",
+    "load_flight_log",
+    "validate_flight_log",
+    "reconstruct_lifecycle",
+    "format_lifecycle",
+    "main",
+]
+
+#: flight-log schema identifier, bumped on breaking record changes
+FLIGHT_SCHEMA = "repro.obs.flight/1"
+
+#: event vocabulary -> required fields (beyond ``seq``/``t``/``kind``)
+EVENT_KINDS: dict[str, tuple[str, ...]] = {
+    "header": ("schema",),
+    "admit": ("request_id", "shape", "max_rel_error", "priority", "reliable"),
+    "route": ("request_id", "kernel", "error_bound", "seconds", "rejected_cheaper"),
+    "reject": ("request_id", "reason"),
+    "batch_form": ("batch_id", "kernel", "size", "request_ids", "created_at"),
+    "dispatch": ("batch_id", "device"),
+    "backpressure": ("batch_id", "size"),
+    "exec": ("batch_id", "device", "start", "end", "service_s", "size"),
+    "expire": ("request_id",),
+    "complete": ("request_id", "batch_id", "device", "kernel", "latency_s"),
+    "fault": ("site", "span_id", "bit"),
+    "alert": ("monitor", "window_long_s", "window_short_s", "burn_long", "burn_short"),
+}
+
+
+class FlightRecorder:
+    """Bounded ring buffer of structured serving events.
+
+    Thread-safe: serving observers may record from hook callbacks on any
+    thread.  ``capacity`` bounds memory; once exceeded, the *oldest*
+    events are discarded and counted in :attr:`dropped` — a postmortem
+    on a long-running service sees the most recent window, which is the
+    one that matters.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be at least 1")
+        self.capacity = capacity
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self.recorded = 0
+
+    def record(self, kind: str, t: float, **fields) -> dict:
+        """Append one event; returns the stored record."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown flight event kind {kind!r}")
+        event = {"seq": next(self._seq), "t": float(t), "kind": kind, **fields}
+        with self._lock:
+            self._events.append(event)
+            self.recorded += 1
+        return event
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to the ring bound (recorded - retained)."""
+        with self._lock:
+            return self.recorded - len(self._events)
+
+    def events(self, kind: str | None = None) -> list[dict]:
+        """Snapshot of retained events, oldest first (optionally filtered)."""
+        with self._lock:
+            out = list(self._events)
+        if kind is not None:
+            out = [e for e in out if e["kind"] == kind]
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    # -- serialization ---------------------------------------------------
+    def dump_jsonl(self, path: str | Path, manifest: dict | None = None) -> Path:
+        """Write the header + retained events as JSON Lines.
+
+        The header carries the schema, capacity, and drop accounting;
+        ``manifest`` (a :func:`repro.obs.export.run_manifest`) is
+        embedded when given.  Events are dumped with sorted keys so a
+        seeded run's log is byte-identical across replays.
+        """
+        path = Path(path)
+        with self._lock:
+            events = list(self._events)
+            header: dict = {
+                "seq": -1,
+                "t": 0.0,
+                "kind": "header",
+                "schema": FLIGHT_SCHEMA,
+                "capacity": self.capacity,
+                "recorded": self.recorded,
+                "dropped": self.recorded - len(events),
+            }
+        if manifest is not None:
+            header["manifest"] = manifest
+        with open(path, "w") as fh:
+            fh.write(json.dumps(header, sort_keys=True) + "\n")
+            for event in events:
+                fh.write(json.dumps(event, sort_keys=True) + "\n")
+        return path
+
+
+def load_flight_log(path: str | Path) -> list[dict]:
+    """Parse a JSONL flight log (header first, then events)."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def validate_flight_log(records: Iterable[dict]) -> list[str]:
+    """Schema-check a parsed flight log; returns a list of problems.
+
+    CI fails the serving smoke step on any returned string.  Checks the
+    header (schema identity), the event vocabulary, per-kind required
+    fields, and monotonically increasing sequence numbers — the
+    properties :func:`reconstruct_lifecycle` relies on.
+    """
+    problems: list[str] = []
+    records = list(records)
+    if not records:
+        return ["empty flight log"]
+    header = records[0]
+    if header.get("kind") != "header":
+        problems.append("first record must be the header")
+    elif header.get("schema") != FLIGHT_SCHEMA:
+        problems.append(
+            f"schema is {header.get('schema')!r}, expected {FLIGHT_SCHEMA!r}"
+        )
+    last_seq = None
+    for i, event in enumerate(records[1:], start=1):
+        kind = event.get("kind")
+        if kind not in EVENT_KINDS or kind == "header":
+            problems.append(f"record {i}: unknown kind {kind!r}")
+            continue
+        t = event.get("t")
+        if not isinstance(t, (int, float)) or isinstance(t, bool) or t < 0:
+            problems.append(f"record {i}: 't' must be a non-negative number")
+        seq = event.get("seq")
+        if not isinstance(seq, int):
+            problems.append(f"record {i}: missing integer 'seq'")
+        elif last_seq is not None and seq <= last_seq:
+            problems.append(f"record {i}: seq {seq} not increasing (after {last_seq})")
+        else:
+            last_seq = seq
+        for field in EVENT_KINDS[kind]:
+            if field not in event:
+                problems.append(f"record {i}: {kind!r} event missing {field!r}")
+    return problems
+
+
+# -- postmortem reconstruction -------------------------------------------
+def reconstruct_lifecycle(records: Iterable[dict], request_id: int) -> dict:
+    """Rebuild one request's full lifecycle from a flight log.
+
+    Collects the request's own events (admit/route/reject/expire/
+    complete), finds the batch that carried it, and folds in that
+    batch's formation/dispatch/execution events — the complete
+    admission→route→batch→execute→terminal chain.  Deterministic:
+    events are returned in sequence order, so two seeded runs
+    reconstruct identical lifecycles.
+    """
+    batch_id = None
+    own: list[dict] = []
+    for event in records:
+        kind = event.get("kind")
+        if kind == "header":
+            continue
+        if event.get("request_id") == request_id:
+            own.append(event)
+            if event.get("batch_id") is not None:
+                batch_id = event["batch_id"]
+        elif kind == "batch_form" and request_id in event.get("request_ids", ()):
+            batch_id = event["batch_id"]
+            own.append(event)
+        elif (
+            kind in ("dispatch", "backpressure", "exec")
+            and batch_id is not None
+            and event.get("batch_id") == batch_id
+        ):
+            own.append(event)
+    own.sort(key=lambda e: e["seq"])
+    status = None
+    for event in own:
+        if event["kind"] in ("complete", "reject", "expire"):
+            status = {"complete": "completed", "reject": "rejected",
+                      "expire": "expired"}[event["kind"]]
+    return {
+        "request_id": request_id,
+        "batch_id": batch_id,
+        "status": status,
+        "events": own,
+    }
+
+
+def format_lifecycle(lifecycle: dict) -> str:
+    """Human-readable, byte-deterministic rendering of a lifecycle."""
+    lines = [
+        f"request {lifecycle['request_id']}: "
+        f"status={lifecycle['status'] or 'unknown'} "
+        f"batch={lifecycle['batch_id'] if lifecycle['batch_id'] is not None else '-'}"
+    ]
+    for event in lifecycle["events"]:
+        detail = {
+            k: v
+            for k, v in sorted(event.items())
+            if k not in ("seq", "t", "kind")
+        }
+        rendered = " ".join(
+            f"{k}={json.dumps(v, sort_keys=True)}" for k, v in detail.items()
+        )
+        lines.append(f"  [{event['t'] * 1e6:12.3f} us] {event['kind']:<12s} {rendered}")
+    if not lifecycle["events"]:
+        lines.append("  (no events — request id not present in this log)")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m repro postmortem <request-id> [--log PATH]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro postmortem",
+        description="reconstruct one request's lifecycle from a flight-recorder log",
+    )
+    parser.add_argument("request_id", type=int, help="request id to reconstruct")
+    parser.add_argument("--log", default="FLIGHT_serve.jsonl",
+                        help="flight-recorder JSONL dump (from python -m repro serve)")
+    args = parser.parse_args(argv)
+
+    try:
+        records = load_flight_log(args.log)
+    except FileNotFoundError:
+        print(f"no flight log at {args.log} — run python -m repro serve "
+              f"--flight-log {args.log} first")
+        return 2
+    problems = validate_flight_log(records)
+    if problems:
+        for problem in problems:
+            print(f"SCHEMA PROBLEM: {problem}")
+        return 1
+    lifecycle = reconstruct_lifecycle(records, args.request_id)
+    print(format_lifecycle(lifecycle))
+    return 0 if lifecycle["events"] else 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -33,7 +33,7 @@ from __future__ import annotations
 import math
 import os
 import threading
-from typing import Callable
+from typing import Callable, Iterable
 
 __all__ = [
     "Counter",
@@ -103,16 +103,31 @@ class Histogram:
     Buckets count observations by ``ceil(log2(value))`` (values <= 0 land
     in the ``"<=0"`` bucket) — enough resolution to see the shape of
     latencies and sizes without configuring bucket boundaries.
+
+    The first ``sample_limit`` observations are additionally stored
+    verbatim, so :meth:`quantile` can interpolate **exact** percentiles
+    from the raw samples instead of bucket midpoints — the serving-layer
+    latency summary depends on this.  Past the limit the stream summary
+    (count/sum/min/max/buckets) keeps updating but no further samples
+    are retained; ``snapshot()["samples_truncated"]`` records the fact.
     """
 
-    __slots__ = ("count", "total", "min", "max", "buckets", "_lock")
+    __slots__ = ("count", "total", "min", "max", "buckets", "samples",
+                 "sample_limit", "_lock")
 
-    def __init__(self) -> None:
+    #: default cap on retained raw samples (exact-quantile window)
+    DEFAULT_SAMPLE_LIMIT = 65536
+
+    def __init__(self, sample_limit: int | None = None) -> None:
         self.count = 0
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
         self.buckets: dict[str, int] = {}
+        self.samples: list[float] = []
+        self.sample_limit = (
+            self.DEFAULT_SAMPLE_LIMIT if sample_limit is None else max(0, sample_limit)
+        )
         self._lock = threading.Lock()
 
     @staticmethod
@@ -129,12 +144,43 @@ class Histogram:
             self.min = min(self.min, value)
             self.max = max(self.max, value)
             self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+            if len(self.samples) < self.sample_limit:
+                self.samples.append(float(value))
+
+    def quantile(self, q: float) -> float | None:
+        """Exact ``q``-quantile of the stored samples, linearly interpolated.
+
+        Uses the same linear-interpolation definition as
+        ``numpy.percentile`` (``method="linear"``): the quantile sits at
+        fractional rank ``q * (n - 1)`` of the sorted samples.  Edge
+        cases: no samples returns ``None``; one sample returns that
+        sample for every ``q``; two samples interpolate between them.
+        Only the retained samples (the first ``sample_limit``
+        observations) participate — exact whenever the stream fit.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            samples = sorted(self.samples)
+        if not samples:
+            return None
+        if len(samples) == 1:
+            return samples[0]
+        rank = q * (len(samples) - 1)
+        lo = math.floor(rank)
+        hi = min(lo + 1, len(samples) - 1)
+        frac = rank - lo
+        return samples[lo] + (samples[hi] - samples[lo]) * frac
+
+    def quantiles(self, qs: Iterable[float]) -> dict[float, float | None]:
+        """Batch :meth:`quantile` lookup over one sorted copy."""
+        return {q: self.quantile(q) for q in qs}
 
     def snapshot(self) -> dict:
         with self._lock:
             if not self.count:
                 return {"count": 0, "sum": 0.0, "min": None, "max": None,
-                        "mean": None, "buckets": {}}
+                        "mean": None, "buckets": {}, "samples_truncated": False}
             return {
                 "count": self.count,
                 "sum": self.total,
@@ -142,6 +188,7 @@ class Histogram:
                 "max": self.max,
                 "mean": self.total / self.count,
                 "buckets": dict(self.buckets),
+                "samples_truncated": self.count > len(self.samples),
             }
 
     def reset(self) -> None:
@@ -151,6 +198,7 @@ class Histogram:
             self.min = math.inf
             self.max = -math.inf
             self.buckets = {}
+            self.samples = []
 
 
 class MetricsRegistry:
@@ -163,6 +211,10 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._providers: dict[str, Callable[[], dict]] = {}
+        #: durable providers re-installed by :meth:`reset` — the lazy
+        #: subsystem providers (serving totals, cache stats) register
+        #: here so a mid-run reset can never drop them from snapshots
+        self._durable_providers: dict[str, Callable[[], dict]] = {}
 
     # --- metric factories (create on first use) -----------------------------
     def counter(self, name: str) -> Counter:
@@ -200,18 +252,34 @@ class MetricsRegistry:
             self.histogram(name).observe(value)
 
     # --- providers ----------------------------------------------------------
-    def register_provider(self, name: str, provider: Callable[[], dict]) -> None:
+    def register_provider(
+        self, name: str, provider: Callable[[], dict], durable: bool = True
+    ) -> None:
         """Attach an external stats source, evaluated at snapshot time.
 
         Re-registering a name replaces the provider (module reloads and
-        tests would otherwise accumulate stale callables).
+        tests would otherwise accumulate stale callables).  ``durable``
+        (the default — every subsystem provider wants this) additionally
+        records the provider so :meth:`reset` re-installs it: a reset
+        mid-run used to silently drop the serving and cache-stats
+        providers from every subsequent snapshot when something had
+        unregistered them in between.
         """
         with self._lock:
             self._providers[name] = provider
+            if durable:
+                self._durable_providers[name] = provider
 
-    def unregister_provider(self, name: str) -> None:
+    def unregister_provider(self, name: str, durable: bool = False) -> None:
+        """Detach a provider; ``durable=True`` also forgets the default.
+
+        Plain unregistration is temporary by design — the next
+        :meth:`reset` restores a durable provider.
+        """
         with self._lock:
             self._providers.pop(name, None)
+            if durable:
+                self._durable_providers.pop(name, None)
 
     # --- snapshot / reset protocol ------------------------------------------
     def snapshot(self, include_providers: bool = True) -> dict:
@@ -240,11 +308,18 @@ class MetricsRegistry:
         return out
 
     def reset(self) -> None:
-        """Zero every owned metric (providers own their own reset)."""
+        """Zero every owned metric (providers own their own reset).
+
+        Durable providers that were unregistered since their
+        registration are re-installed, so the registry's provider set
+        after a reset always includes every subsystem default.
+        """
         with self._lock:
             for metric in (*self._counters.values(), *self._gauges.values(),
                            *self._histograms.values()):
                 metric.reset()
+            for name, provider in self._durable_providers.items():
+                self._providers.setdefault(name, provider)
 
     def query(self, prefix: str) -> dict:
         """Flat {name: value} view of counters/gauges under a dotted prefix."""

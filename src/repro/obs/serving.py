@@ -1,0 +1,326 @@
+"""Per-request serving observability: traces, flight log, burn alerts.
+
+:class:`ServeObserver` is the bridge between the discrete-event serving
+engine (:mod:`repro.serve.service`) and the observability spine.  The
+service invokes one callback per lifecycle transition — admission,
+routing, batch formation, dispatch, device execution, and the terminal
+resolution — and the observer fans each transition out three ways:
+
+* into the **flight recorder** (:mod:`repro.obs.flight`) as a bounded,
+  byte-deterministic JSONL event stream that ``python -m repro
+  postmortem`` reconstructs request lifecycles from;
+* into the **SLO burn-rate monitors** (:mod:`repro.obs.slo`) — one
+  watching the latency/deadline contract, one watching the accuracy
+  contract — whose alerts land back in the flight recorder;
+* into an in-memory **lifecycle table** from which
+  :meth:`ServeObserver.chrome_trace_events` renders a validated Chrome
+  trace of the whole load test: request lanes (admission→terminal, with
+  the routing decision as a zero-width marker), batch lanes
+  (formation→execution), and one fleet lane per device.
+
+Everything is keyed by the service's **virtual clock** (1 µs of trace
+time = 1 virtual µs), so a seeded load test yields an identical trace,
+flight log, and alert sequence on every run.  The wall-clock tracer
+spans the service also emits (:mod:`repro.obs.tracing`) are a separate,
+optional tier; when ``REPRO_TRACE=1`` the execution flight events carry
+the active span id, which is the join key to ``gpu.engine`` execution
+captures and :class:`repro.resilience.faults.FaultEvent` attributions.
+"""
+
+from __future__ import annotations
+
+from .export import complete_event, process_name_event, thread_name_event
+from .flight import FlightRecorder
+from .slo import DEFAULT_WINDOWS, BurnRateMonitor
+from .tracing import current_span_id
+
+__all__ = ["ServeObserver", "REQUEST_LANES", "BATCH_LANES"]
+
+#: lane packing for the request/batch trace sections (Chrome renders a
+#: tid per lane; packing by id keeps the lane count readable)
+REQUEST_LANES = 32
+BATCH_LANES = 16
+
+#: rejection reasons that are the *caller's* fault — excluded from the
+#: server's latency error budget (an impossible SLO is a typed client
+#: error, not an availability incident)
+_CLIENT_ERROR_REASONS = ("slo-unsatisfiable",)
+
+
+class ServeObserver:
+    """Collects per-request lifecycle telemetry from a :class:`GemmService`."""
+
+    def __init__(
+        self,
+        recorder: FlightRecorder | None = None,
+        latency_target: float = 0.99,
+        accuracy_target: float = 0.999,
+        windows=DEFAULT_WINDOWS,
+    ) -> None:
+        self.recorder = recorder if recorder is not None else FlightRecorder()
+        self.latency_monitor = BurnRateMonitor(
+            "latency", target=latency_target, windows=windows, recorder=self.recorder
+        )
+        self.accuracy_monitor = BurnRateMonitor(
+            "accuracy", target=accuracy_target, windows=windows, recorder=self.recorder
+        )
+        # lifecycle tables (request_id / batch_id keyed)
+        self.admits: dict[int, dict] = {}
+        self.routes: dict[int, dict] = {}
+        self.terminals: dict[int, dict] = {}
+        self.batches: dict[int, dict] = {}
+        self.request_batch: dict[int, int] = {}
+
+    # -- service callbacks ------------------------------------------------
+    def on_admit(self, now: float, request) -> None:
+        m, k, n = request.shape
+        self.admits[request.request_id] = {
+            "t": now, "shape": (m, k, n),
+            "max_rel_error": request.max_rel_error,
+            "reliable": request.reliable,
+        }
+        self.recorder.record(
+            "admit", now,
+            request_id=request.request_id,
+            shape=[m, k, n],
+            max_rel_error=request.max_rel_error,
+            deadline_s=request.deadline_s,
+            priority=request.priority,
+            reliable=request.reliable,
+        )
+
+    def on_route(self, now: float, request, decision) -> None:
+        self.routes[request.request_id] = {
+            "t": now, "kernel": decision.kernel,
+            "error_bound": decision.error_bound,
+        }
+        self.recorder.record(
+            "route", now,
+            request_id=request.request_id,
+            kernel=decision.kernel,
+            error_bound=decision.error_bound,
+            seconds=decision.seconds,
+            rejected_cheaper=list(decision.rejected_cheaper),
+        )
+
+    def on_batch(self, now: float, batch) -> None:
+        entry = self.batches.setdefault(
+            batch.batch_id,
+            {"formed_at": batch.created_at, "kernel": batch.decision.kernel,
+             "size": batch.size, "request_ids": [r.request_id for r in batch.requests],
+             "device": None, "exec_start": None, "exec_end": None},
+        )
+        for request in batch.requests:
+            self.request_batch[request.request_id] = batch.batch_id
+        self.recorder.record(
+            "batch_form", now,
+            batch_id=batch.batch_id,
+            kernel=batch.decision.kernel,
+            size=batch.size,
+            request_ids=entry["request_ids"],
+            created_at=batch.created_at,
+        )
+
+    def on_dispatch(self, now: float, batch, device: str) -> None:
+        entry = self.batches.get(batch.batch_id)
+        if entry is not None:
+            entry["device"] = device
+        self.recorder.record("dispatch", now, batch_id=batch.batch_id, device=device)
+
+    def on_backpressure(self, now: float, batch) -> None:
+        self.recorder.record(
+            "backpressure", now, batch_id=batch.batch_id, size=batch.size
+        )
+
+    def on_exec(
+        self, now: float, batch, device: str, start: float, end: float,
+        service_s: float,
+    ) -> None:
+        entry = self.batches.get(batch.batch_id)
+        if entry is not None:
+            entry["device"] = device
+            entry["exec_start"] = start
+            entry["exec_end"] = end
+            # expiry at batch start shrinks the executing membership
+            entry["size"] = batch.size
+        self.recorder.record(
+            "exec", now,
+            batch_id=batch.batch_id,
+            device=device,
+            start=start,
+            end=end,
+            service_s=service_s,
+            size=batch.size,
+            span_id=current_span_id(),
+        )
+
+    def on_resolve(self, now: float, request, response) -> None:
+        """Terminal resolution: flight event + burn-monitor accounting."""
+        status = response.status.value
+        rid = request.request_id
+        self.terminals[rid] = {
+            "t": now, "status": status, "reason": response.reason,
+            "latency_s": response.latency_s,
+        }
+        if status == "completed":
+            self.recorder.record(
+                "complete", now,
+                request_id=rid,
+                batch_id=self.request_batch.get(rid),
+                device=response.device,
+                kernel=response.kernel,
+                latency_s=response.latency_s,
+                queued_s=response.queued_s,
+                service_s=response.service_s,
+                batch_size=response.batch_size,
+            )
+            self.latency_monitor.observe(now, good=True)
+            bound_ok = (
+                response.error_bound is not None
+                and response.error_bound <= request.max_rel_error
+            )
+            self.accuracy_monitor.observe(now, good=bound_ok)
+        elif status == "expired":
+            self.recorder.record(
+                "expire", now, request_id=rid,
+                batch_id=self.request_batch.get(rid),
+            )
+            self.latency_monitor.observe(now, good=False)
+        else:  # rejected
+            reason = response.reason or "rejected"
+            self.recorder.record("reject", now, request_id=rid, reason=reason)
+            # impossible SLOs are typed client errors; capacity rejections
+            # (admission control, backpressure) burn the server's budget
+            if not any(reason.startswith(c) or c in reason
+                       for c in _CLIENT_ERROR_REASONS):
+                self.latency_monitor.observe(now, good=False)
+
+    def record_fault(self, now: float, event) -> None:
+        """Log an injected :class:`FaultEvent` (span-id attributed)."""
+        self.recorder.record(
+            "fault", now,
+            site=event.site,
+            span_id=event.span_id,
+            bit=event.bit,
+            call_index=event.call_index,
+            flat_index=event.flat_index,
+        )
+
+    # -- chain accounting --------------------------------------------------
+    def chain_report(self) -> dict:
+        """Completeness of the admission→route→batch→execute span chain.
+
+        A *complete* chain for a completed request means: an admission
+        record, a routing record, membership in a formed batch, and that
+        batch having executed on a device.  CI asserts coverage >= 0.99
+        on the seeded smoke run.
+        """
+        completed = [
+            rid for rid, t in self.terminals.items() if t["status"] == "completed"
+        ]
+        complete_chains = 0
+        for rid in completed:
+            batch_id = self.request_batch.get(rid)
+            batch = self.batches.get(batch_id) if batch_id is not None else None
+            if (
+                rid in self.admits
+                and rid in self.routes
+                and batch is not None
+                and batch["exec_start"] is not None
+            ):
+                complete_chains += 1
+        return {
+            "completed": len(completed),
+            "complete_chains": complete_chains,
+            "coverage": complete_chains / len(completed) if completed else 1.0,
+        }
+
+    # -- SLO summary -------------------------------------------------------
+    def slo_summary(self) -> dict:
+        """The ``slo_monitor`` block of ``SERVE_slo.json``."""
+        return {
+            "latency": self.latency_monitor.summary(),
+            "accuracy": self.accuracy_monitor.summary(),
+            "flight_recorder": {
+                "recorded": self.recorder.recorded,
+                "retained": len(self.recorder),
+                "dropped": self.recorder.dropped,
+                "capacity": self.recorder.capacity,
+            },
+        }
+
+    # -- Chrome-trace export ----------------------------------------------
+    def chrome_trace_events(self) -> list[dict]:
+        """The load test as Chrome trace events over the virtual clock.
+
+        Three process sections: requests (pid 1, lane-packed), batches
+        (pid 2, lane-packed), fleet (pid 3, one lane per device).
+        ``ts``/``dur`` are in microseconds with **1 µs = 1 virtual µs**.
+        """
+        events: list[dict] = [process_name_event(1, "serve: requests"),
+                              process_name_event(2, "serve: batches"),
+                              process_name_event(3, "serve: fleet")]
+        for lane in range(1, REQUEST_LANES + 1):
+            events.append(thread_name_event(1, lane, f"requests %{REQUEST_LANES}={lane - 1}"))
+        for lane in range(1, BATCH_LANES + 1):
+            events.append(thread_name_event(2, lane, f"batches %{BATCH_LANES}={lane - 1}"))
+
+        for rid, admit in sorted(self.admits.items()):
+            terminal = self.terminals.get(rid)
+            if terminal is None:
+                continue
+            tid = rid % REQUEST_LANES + 1
+            start_us = admit["t"] * 1e6
+            dur_us = max((terminal["t"] - admit["t"]) * 1e6, 0.0)
+            args = {
+                "request_id": rid,
+                "status": terminal["status"],
+                "slo": admit["max_rel_error"],
+            }
+            batch_id = self.request_batch.get(rid)
+            if batch_id is not None:
+                args["batch_id"] = batch_id
+            route = self.routes.get(rid)
+            if route is not None:
+                args["kernel"] = route["kernel"]
+                args["error_bound"] = route["error_bound"]
+            events.append(complete_event(
+                f"request {terminal['status']}", ts=start_us, dur=dur_us,
+                pid=1, tid=tid, cat="serve.request", args=args,
+            ))
+            if route is not None:
+                events.append(complete_event(
+                    f"route:{route['kernel']}", ts=route["t"] * 1e6, dur=0.0,
+                    pid=1, tid=tid, cat="serve.route",
+                    args={"request_id": rid, "error_bound": route["error_bound"]},
+                ))
+
+        device_tids: dict[str, int] = {}
+        for batch_id, batch in sorted(self.batches.items()):
+            tid = batch_id % BATCH_LANES + 1
+            end = batch["exec_end"]
+            if end is None:
+                end = batch["formed_at"]
+            events.append(complete_event(
+                f"batch x{batch['size']} {batch['kernel']}",
+                ts=batch["formed_at"] * 1e6,
+                dur=max((end - batch["formed_at"]) * 1e6, 0.0),
+                pid=2, tid=tid, cat="serve.batch",
+                args={"batch_id": batch_id, "size": batch["size"],
+                      "kernel": batch["kernel"],
+                      "request_ids": str(batch["request_ids"])},
+            ))
+            if batch["exec_start"] is not None and batch["device"] is not None:
+                device = batch["device"]
+                dev_tid = device_tids.get(device)
+                if dev_tid is None:
+                    dev_tid = device_tids[device] = len(device_tids) + 1
+                    events.append(thread_name_event(3, dev_tid, device))
+                events.append(complete_event(
+                    f"exec x{batch['size']} {batch['kernel']}",
+                    ts=batch["exec_start"] * 1e6,
+                    dur=max((batch["exec_end"] - batch["exec_start"]) * 1e6, 0.0),
+                    pid=3, tid=dev_tid, cat="serve.exec",
+                    args={"batch_id": batch_id, "device": device},
+                ))
+        return events

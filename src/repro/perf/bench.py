@@ -14,6 +14,14 @@ bit-exactness verdict against a seed-faithful reference implementation:
 
 Results land in ``BENCH_perf.json`` (see docs/performance.md for the
 field glossary).  ``--quick`` shrinks the shapes for CI smoke runs.
+
+Every run also appends one schema-versioned record to
+``BENCH_history.jsonl`` (:mod:`repro.obs.benchtrack`), and ``--check``
+turns the history into a **regression gate**: the tracked metrics are
+compared against the median of the last few same-series records, with
+tight tolerance bands on deterministic virtual-time metrics and
+informational-only treatment of wall-clock timings.  A gated metric
+outside its band fails the run (exit 1) — CI wires this in as a gate.
 """
 
 from __future__ import annotations
@@ -29,10 +37,34 @@ from ..emulation.schemes import EGEMM, EmulationScheme
 from ..gpu.scheduler import clear_schedule_cache, schedule_cache_stats
 from ..gpu.spec import TESLA_T4
 from ..kernels.egemm import EgemmTcKernel
+from ..obs.benchtrack import MetricSpec
 from ..obs.metrics import get_registry
 from .split_cache import SplitCache
 
-__all__ = ["run_bench", "main"]
+__all__ = ["run_bench", "tracked_metrics", "METRIC_SPECS", "main"]
+
+#: run-over-run comparison policy of ``--check``.  Deterministic
+#: virtual-time metrics (same seed, same shapes -> bit-identical
+#: numbers) carry tight gated bands; bit-exactness flags gate at zero
+#: tolerance; wall-clock speedups and timings are informational only —
+#: machine noise is not a regression.
+METRIC_SPECS = (
+    MetricSpec("serving.virtual_throughput_rps", "higher", 0.01),
+    MetricSpec("serving.p99_latency_s", "lower", 0.01),
+    MetricSpec("serving.completed", "higher", 0.0),
+    MetricSpec("serving.mean_batch_size", "higher", 0.01),
+    MetricSpec("batched_gemm.bit_identical", "higher", 0.0),
+    MetricSpec("power_iteration.bit_identical", "higher", 0.0),
+    MetricSpec("bucketed_stream.bit_identical", "higher", 0.0),
+    MetricSpec("batched_gemm.split_cache_hit_rate", "higher", 0.01),
+    MetricSpec("schedule_memoization.hit_rate", "higher", 0.01),
+    MetricSpec("batched_gemm.speedup", "higher", 0.5, gate=False),
+    MetricSpec("power_iteration.speedup", "higher", 0.5, gate=False),
+    MetricSpec("schedule_memoization.speedup", "higher", 0.5, gate=False),
+    MetricSpec("bucketed_stream.speedup", "higher", 0.5, gate=False),
+    MetricSpec("serving.wall_seconds", "lower", 1.0, gate=False),
+    MetricSpec("serving.requests_per_wall_second", "higher", 1.0, gate=False),
+)
 
 
 def _legacy_gemm(
@@ -305,8 +337,34 @@ def run_bench(quick: bool = False) -> dict:
     }
 
 
+def tracked_metrics(report: dict) -> dict[str, float]:
+    """The flat metric map one run contributes to ``BENCH_history.jsonl``."""
+    b = report["batched_gemm"]
+    p = report["power_iteration"]
+    s = report["schedule_memoization"]
+    u = report["bucketed_stream"]
+    v = report["serving"]
+    return {
+        "batched_gemm.speedup": b["speedup"],
+        "batched_gemm.bit_identical": float(b["bit_identical"]),
+        "batched_gemm.split_cache_hit_rate": b["split_cache"]["hit_rate"],
+        "power_iteration.speedup": p["speedup"],
+        "power_iteration.bit_identical": float(p["bit_identical"]),
+        "schedule_memoization.speedup": s["speedup"],
+        "schedule_memoization.hit_rate": s["hit_rate"],
+        "bucketed_stream.speedup": u["speedup"],
+        "bucketed_stream.bit_identical": float(u["bit_identical"]),
+        "serving.virtual_throughput_rps": v["virtual_throughput_rps"],
+        "serving.p99_latency_s": v["p99_latency_s"],
+        "serving.mean_batch_size": v["mean_batch_size"],
+        "serving.completed": float(v["counts"]["completed"]),
+        "serving.wall_seconds": v["wall_seconds"],
+        "serving.requests_per_wall_second": v["requests_per_wall_second"],
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI: ``python -m repro bench [--quick] [--out PATH]``."""
+    """CLI: ``python -m repro bench [--quick] [--check] [--out PATH]``."""
     import argparse
 
     parser = argparse.ArgumentParser(
@@ -315,6 +373,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--quick", action="store_true", help="small shapes for CI smoke runs")
     parser.add_argument("--out", default="BENCH_perf.json", help="report path (JSON)")
+    parser.add_argument("--history", default="BENCH_history.jsonl", metavar="PATH",
+                        help="benchmark-history JSONL (append + --check baseline)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip appending this run to the benchmark history")
+    parser.add_argument("--check", action="store_true",
+                        help="regression gate: compare tracked metrics against the "
+                             "history baseline; exit 1 on a gated regression")
+    parser.add_argument("--inject-slowdown", type=float, default=0.0, metavar="FRAC",
+                        help="gate-validation hook: synthetically worsen every gated "
+                             "metric by FRAC before checking (the run is not recorded)")
     args = parser.parse_args(argv)
 
     report = run_bench(quick=args.quick)
@@ -354,7 +422,39 @@ def main(argv: list[str] | None = None) -> int:
           f"router decisions {counters.get('serve.router.decisions', 0):.0f}, "
           f"pool steals {counters.get('serve.pool.steals', 0):.0f}")
     print(f"report written to {args.out}")
-    return 0
+
+    from ..obs.benchtrack import (
+        append_record, check_metrics, format_check, load_history, make_record,
+    )
+    from ..obs.export import run_manifest
+
+    exit_code = 0
+    metrics = tracked_metrics(report)
+    if args.inject_slowdown:
+        factor = 1.0 + args.inject_slowdown
+        for spec in METRIC_SPECS:
+            if spec.gate and spec.name in metrics:
+                metrics[spec.name] = (
+                    metrics[spec.name] / factor
+                    if spec.direction == "higher"
+                    else metrics[spec.name] * factor
+                )
+        print(f"inject-slowdown: gated metrics worsened by {args.inject_slowdown:.0%}")
+    if args.check:
+        history = load_history(args.history, kind="bench", quick=args.quick)
+        result = check_metrics(metrics, history, METRIC_SPECS)
+        print(f"regression check vs {args.history} "
+              f"({len(history)} prior record(s) in this series):")
+        print(format_check(result))
+        if not result["ok"]:
+            exit_code = 1
+    if not args.no_history and not args.inject_slowdown:
+        # a synthetically worsened run must never poison the baseline
+        record = make_record("bench", metrics, quick=args.quick,
+                             manifest=run_manifest())
+        append_record(args.history, record)
+        print(f"history: bench record appended to {args.history}")
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

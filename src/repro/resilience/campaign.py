@@ -390,9 +390,35 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--faults", type=int, default=1000, help="accumulator-site fault count")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", default="FAULTS_campaign.json", help="JSON report path")
+    parser.add_argument("--history", default="BENCH_history.jsonl", metavar="PATH",
+                        help="benchmark-history JSONL to append this campaign to")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip appending to the benchmark history")
     args = parser.parse_args(argv)
 
     report = run_campaign(faults=args.faults, seed=args.seed, quick=args.quick, out=args.out)
     _print_summary(report)
     print(f"report written to {args.out}")
+    if not args.no_history:
+        from ..obs.benchtrack import append_record, make_record
+        from ..obs.export import run_manifest
+
+        summary = report["summary"]
+        record = make_record(
+            "faults",
+            {
+                "detection_rate": summary["detection_rate"],
+                "sdc": summary["sdc"],
+                "unrecovered": summary["unrecovered"],
+                "false_positives": summary["false_positives"],
+                "total_injected": summary["total_injected"],
+                "measured_overhead": report["overhead"]["measured_overhead"],
+                "modelled_overhead": report["overhead"]["modelled_overhead"],
+                "pass": summary["pass"],
+            },
+            quick=bool(args.quick),
+            manifest=run_manifest(seed=args.seed),
+        )
+        append_record(args.history, record)
+        print(f"history: faults record appended to {args.history}")
     return 0 if report["summary"]["pass"] else 1

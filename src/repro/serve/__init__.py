@@ -34,7 +34,7 @@ from .api import (
     SloUnsatisfiableError,
 )
 from .batcher import Batch, DynamicBatcher, compatibility_key
-from .loadgen import build_report, run_load_test, validate_slo_report
+from .loadgen import SCHEMA, UNITS, build_report, run_load_test, validate_slo_report
 from .router import DEFAULT_MENU, PrecisionRouter, RoutingDecision, kernel_error_model
 from .service import GemmService, ServeConfig, serve_stats
 from .workers import DeviceWorker, WorkerPool
@@ -51,6 +51,8 @@ __all__ = [
     "PrecisionRouter",
     "RequestStatus",
     "RoutingDecision",
+    "SCHEMA",
+    "UNITS",
     "ServeConfig",
     "ServeError",
     "SloUnsatisfiableError",

@@ -52,6 +52,9 @@ class Batch:
     created_at: float
     #: virtual time the batch left the batcher for a device queue
     dispatched_at: float = 0.0
+    #: formation-order id assigned by the batcher (flight-recorder /
+    #: trace join key linking member requests to their batch)
+    batch_id: int = -1
 
     @property
     def size(self) -> int:
@@ -163,6 +166,7 @@ class DynamicBatcher:
             requests=bucket.requests,
             created_at=bucket.oldest_at,
             dispatched_at=now,
+            batch_id=self.batches_formed,
         )
         self.batches_formed += 1
         self.requests_batched += batch.size

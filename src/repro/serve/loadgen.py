@@ -31,12 +31,13 @@ import json
 
 import numpy as np
 
-from ..obs.metrics import get_registry
+from ..obs.metrics import Histogram, get_registry
 from .api import GemmRequest, GemmResponse
 from .service import GemmService, ServeConfig
 
 __all__ = [
     "SCHEMA",
+    "UNITS",
     "make_request",
     "open_loop_arrivals",
     "run_load_test",
@@ -46,7 +47,24 @@ __all__ = [
 ]
 
 #: report schema identifier, bumped on breaking field changes
-SCHEMA = "repro.serve.slo/1"
+#: (v2: every time/latency field is explicitly *virtual* seconds, the
+#: ``units`` block documents them, devices gain ``utilization``, and the
+#: optional ``slo_monitor``/``trace_chain`` blocks carry the burn-rate
+#: and span-chain telemetry)
+SCHEMA = "repro.serve.slo/2"
+
+#: the unit contract of every time-valued field in the report.  All of
+#: them are **virtual** (discrete-event clock) seconds — a device's
+#: ``busy_s`` of 0.0028 s over a 0.0065 s run means 44% utilization,
+#: not a wall-clock measurement
+UNITS = {
+    "virtual_s": "virtual seconds (total discrete-event span of the run)",
+    "latency_s": "virtual seconds (submission to terminal resolution)",
+    "throughput_rps": "completed requests per virtual second",
+    "devices.busy_s": "virtual seconds of modelled batch execution",
+    "devices.utilization": "busy_s / virtual_s (fraction of the run)",
+    "batcher.max_wait_s": "virtual seconds",
+}
 
 #: problem shapes (m, k, n) — small enough that the functional kernels
 #: stay cheap, varied enough to span the launch-overhead regime (where
@@ -140,12 +158,20 @@ def run_load_test(
     rate_rps: float = 150_000.0,
     concurrency: int = 16,
     config: ServeConfig | None = None,
+    observer=None,
 ) -> tuple[GemmService, dict[int, GemmResponse]]:
-    """Drive one seeded load test; returns the service and its responses."""
+    """Drive one seeded load test; returns the service and its responses.
+
+    ``observer`` (a :class:`repro.obs.serving.ServeObserver`) rides the
+    service's lifecycle callbacks: it sees every admission, routing
+    decision, batch formation, dispatch, execution, and terminal
+    resolution in virtual time, and feeds the flight recorder, burn-rate
+    monitors, and per-request Chrome trace.
+    """
     if arrival not in ("poisson", "uniform", "closed"):
         raise ValueError(f"unknown arrival process {arrival!r}")
     rng = np.random.default_rng(seed)
-    service = GemmService(config)
+    service = GemmService(config, observer=observer)
     if arrival == "closed":
         remaining = [requests - min(concurrency, requests)]
 
@@ -162,19 +188,46 @@ def run_load_test(
     return service, responses
 
 
-def _percentile(values: list[float], q: float) -> float:
-    if not values:
-        return 0.0
-    return float(np.percentile(np.asarray(values), q))
+def _latency_summary(latencies: list[float]) -> dict:
+    """Exact-quantile latency block via :class:`~repro.obs.metrics.Histogram`.
+
+    Feeds the completed-request latencies through a histogram sized to
+    retain every sample, so p50/p95/p99 come from
+    :meth:`Histogram.quantile`'s linear interpolation over the *raw*
+    samples (``numpy.percentile``-compatible), not bucket midpoints.
+    """
+    hist = Histogram(sample_limit=max(len(latencies), 1))
+    for value in latencies:
+        hist.observe(value)
+    return {
+        "mean": float(np.mean(latencies)) if latencies else 0.0,
+        "p50": hist.quantile(0.50) or 0.0,
+        "p95": hist.quantile(0.95) or 0.0,
+        "p99": hist.quantile(0.99) or 0.0,
+        "max": max(latencies) if latencies else 0.0,
+    }
 
 
-def build_report(service: GemmService, workload: dict) -> dict:
-    """Assemble the ``SERVE_slo.json`` payload from a finished service."""
+def build_report(service: GemmService, workload: dict, observer=None) -> dict:
+    """Assemble the ``SERVE_slo.json`` payload from a finished service.
+
+    All time fields are **virtual** seconds (see :data:`UNITS`).  With an
+    ``observer`` the report additionally carries the burn-rate monitor
+    summary (``slo_monitor``) and the span-chain coverage audit
+    (``trace_chain``).
+    """
     stats = service.stats()
-    lat = service.latencies
     virtual_s = stats["virtual_s"]
+    devices = {}
+    for name, dev in stats["pool"]["devices"].items():
+        dev = dict(dev)
+        dev["utilization"] = (
+            dev.get("busy_s", 0.0) / virtual_s if virtual_s > 0 else 0.0
+        )
+        devices[name] = dev
     report = {
         "schema": SCHEMA,
+        "units": dict(UNITS),
         "workload": workload,
         "counts": {
             "submitted": stats["submitted"],
@@ -185,21 +238,18 @@ def build_report(service: GemmService, workload: dict) -> dict:
         "throughput_rps": (
             stats["completed"] / virtual_s if virtual_s > 0 else 0.0
         ),
-        "latency_s": {
-            "mean": float(np.mean(lat)) if lat else 0.0,
-            "p50": _percentile(lat, 50),
-            "p95": _percentile(lat, 95),
-            "p99": _percentile(lat, 99),
-            "max": max(lat) if lat else 0.0,
-        },
+        "latency_s": _latency_summary(service.latencies),
         "batch_size_histogram": stats["batch_size_counts"],
         "routing_mix": stats["routing_mix"],
         "reject_reasons": stats["reject_reasons"],
-        "devices": stats["pool"]["devices"],
+        "devices": devices,
         "batcher": stats["batcher"],
         "router": stats["router"],
         "virtual_s": virtual_s,
     }
+    if observer is not None:
+        report["slo_monitor"] = observer.slo_summary()
+        report["trace_chain"] = observer.chain_report()
     return report
 
 
@@ -213,6 +263,13 @@ def validate_slo_report(report: dict) -> list[str]:
     problems: list[str] = []
     if report.get("schema") != SCHEMA:
         problems.append(f"schema is {report.get('schema')!r}, expected {SCHEMA!r}")
+    units = report.get("units")
+    if not isinstance(units, dict):
+        problems.append("units missing or not an object")
+    else:
+        for key in UNITS:
+            if key not in units:
+                problems.append(f"units.{key} undocumented")
     counts = report.get("counts")
     if not isinstance(counts, dict):
         return problems + ["counts missing"]
@@ -244,6 +301,16 @@ def validate_slo_report(report: dict) -> list[str]:
             )
     if not isinstance(report.get("throughput_rps"), (int, float)):
         problems.append("throughput_rps missing")
+    devices = report.get("devices")
+    if isinstance(devices, dict):
+        for name, dev in devices.items():
+            if not isinstance(dev, dict) or not isinstance(
+                dev.get("utilization"), (int, float)
+            ):
+                problems.append(f"devices.{name}.utilization missing")
+    for key in ("slo_monitor", "trace_chain"):
+        if key in report and not isinstance(report[key], dict):
+            problems.append(f"{key} present but not an object")
     return problems
 
 
@@ -277,6 +344,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke: 200 requests unless --requests given")
     parser.add_argument("--out", default="SERVE_slo.json", help="report path (JSON)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a per-request Chrome trace (virtual-time) here")
+    parser.add_argument("--flight-log", default=None, metavar="PATH",
+                        help="dump the flight-recorder JSONL here "
+                             "(postmortem input; see docs/observability.md)")
+    parser.add_argument("--history", default="BENCH_history.jsonl", metavar="PATH",
+                        help="benchmark-history JSONL to append this run to")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip appending to the benchmark history")
     args = parser.parse_args(argv)
 
     requests = args.requests
@@ -289,6 +365,9 @@ def main(argv: list[str] | None = None) -> int:
         queue_capacity=args.queue_capacity,
         max_in_flight=args.max_in_flight,
     )
+    from ..obs.serving import ServeObserver
+
+    observer = ServeObserver()
     service, _responses = run_load_test(
         requests,
         seed=args.seed,
@@ -296,6 +375,7 @@ def main(argv: list[str] | None = None) -> int:
         rate_rps=args.rate,
         concurrency=args.concurrency,
         config=config,
+        observer=observer,
     )
     workload = {
         "requests": requests,
@@ -310,10 +390,57 @@ def main(argv: list[str] | None = None) -> int:
         "max_in_flight": config.max_in_flight,
         "quick": bool(args.quick),
     }
-    report = build_report(service, workload)
+    report = build_report(service, workload, observer=observer)
     problems = validate_slo_report(report)
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
+
+    if args.trace:
+        from ..obs.export import run_manifest, write_chrome_trace
+
+        events = observer.chrome_trace_events()
+        try:
+            # write_chrome_trace validates before writing (raises on a
+            # structurally broken document)
+            write_chrome_trace(args.trace, events, manifest=run_manifest())
+        except ValueError as exc:
+            problems.append(f"trace: {exc}")
+        else:
+            print(f"chrome trace: {len(events)} events -> {args.trace}")
+    if args.flight_log:
+        from ..obs.export import run_manifest
+
+        observer.recorder.dump_jsonl(args.flight_log, manifest=run_manifest())
+        print(f"flight log: {len(observer.recorder.events())} events -> "
+              f"{args.flight_log} (postmortem: python -m repro postmortem "
+              f"<request-id> --log {args.flight_log})")
+    if not args.no_history:
+        from ..obs.benchtrack import append_record, make_record
+        from ..obs.export import run_manifest
+
+        chain = report.get("trace_chain", {})
+        slo_block = report.get("slo_monitor", {})
+        record = make_record(
+            "serve",
+            {
+                "throughput_rps": report["throughput_rps"],
+                "latency_p50_s": report["latency_s"]["p50"],
+                "latency_p95_s": report["latency_s"]["p95"],
+                "latency_p99_s": report["latency_s"]["p99"],
+                "completed": report["counts"]["completed"],
+                "rejected": report["counts"]["rejected"],
+                "expired": report["counts"]["expired"],
+                "virtual_s": report["virtual_s"],
+                "chain_coverage": chain.get("coverage", 0.0),
+                "latency_slo_compliant": slo_block.get("latency", {}).get(
+                    "compliant", False
+                ),
+            },
+            quick=bool(args.quick),
+            manifest=run_manifest(),
+        )
+        append_record(args.history, record)
+        print(f"history: serve record appended to {args.history}")
 
     counts = report["counts"]
     lat = report["latency_s"]
@@ -332,6 +459,16 @@ def main(argv: list[str] | None = None) -> int:
     mean_bs = report["batcher"].get("mean_batch_size", 0.0)
     print(f"batching: {report['batcher']['batches_formed']} batches, "
           f"mean size {mean_bs:.2f}")
+    chain = report.get("trace_chain", {})
+    slo_block = report.get("slo_monitor", {})
+    lat_mon = slo_block.get("latency", {})
+    print(
+        f"span chains: {chain.get('complete_chains', 0)}/{chain.get('completed', 0)} "
+        f"complete ({chain.get('coverage', 0.0):.1%}); latency SLO "
+        f"{'compliant' if lat_mon.get('compliant') else 'VIOLATED'} "
+        f"(bad fraction {lat_mon.get('bad_fraction', 0.0):.4f}, "
+        f"{lat_mon.get('alerts', 0)} burn-rate alerts)"
+    )
     provider = get_registry().snapshot()["providers"].get("serve.service", {})
     print(f"lifetime (registry): {provider.get('submitted', 0)} submitted across "
           f"{provider.get('services', 0)} live + "

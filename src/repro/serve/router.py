@@ -84,6 +84,10 @@ class RoutingDecision:
     seconds: float
     #: route through ABFT + resilient fallback (request.reliable)
     reliable: bool = False
+    #: menu kernels that would have been *cheaper* but whose analytic
+    #: bound failed to certify the SLO — the audit trail of why the
+    #: router paid for precision (span/flight-recorder attribute)
+    rejected_cheaper: tuple[str, ...] = ()
 
     def batch_seconds(self, batch_size: int) -> float:
         """Modelled service time of a ``batch_size``-element fused batch.
@@ -170,17 +174,27 @@ class PrecisionRouter:
             eligible, key=lambda nb: (self.seconds_for(nb[0], request.shape), nb[0])
         )
         seconds = self.seconds_for(choice, request.shape)
+        # the audit trail: kernels that modelled cheaper than the choice
+        # but could not certify the SLO (sorted cheapest-first)
+        eligible_names = {name for name, _ in eligible}
+        rejected_cheaper = tuple(sorted(
+            (name for name in self.kernels
+             if name not in eligible_names
+             and self.seconds_for(name, request.shape) < seconds),
+            key=lambda name: (self.seconds_for(name, request.shape), name),
+        ))
         with get_tracer().span(
             "serve.route", category="serve", kernel=choice,
             m=m, k=k, n=n, slo=request.max_rel_error,
         ) as span:
-            span.set(bound=bound, seconds=seconds)
+            span.set(bound=bound, seconds=seconds,
+                     rejected_cheaper=",".join(rejected_cheaper))
         if registry.enabled:
             registry.inc("serve.router.decisions")
             registry.inc(f"serve.router.kernel.{choice}")
         return RoutingDecision(
             kernel=choice, error_bound=bound, seconds=seconds,
-            reliable=request.reliable,
+            reliable=request.reliable, rejected_cheaper=rejected_cheaper,
         )
 
     def stats(self) -> dict:

@@ -117,10 +117,18 @@ class _Event:
 
 
 class GemmService:
-    """Precision-aware GEMM serving over a simulated device fleet."""
+    """Precision-aware GEMM serving over a simulated device fleet.
 
-    def __init__(self, config: ServeConfig | None = None):
+    ``observer`` (a :class:`repro.obs.serving.ServeObserver`, or any
+    object with the same callback surface) receives every lifecycle
+    transition — admission, routing, batch formation, dispatch, device
+    execution, terminal resolution — keyed by the virtual clock.  The
+    default ``None`` keeps the hot path free of telemetry calls.
+    """
+
+    def __init__(self, config: ServeConfig | None = None, observer=None):
         self.config = config or ServeConfig()
+        self.observer = observer
         specs = [get_gpu(name) for name in self.config.devices]
         self.pool = WorkerPool(
             [
@@ -204,6 +212,8 @@ class GemmService:
         self._totals["submitted"] += 1
         registry = get_registry()
         registry.inc("serve.requests.submitted")
+        if self.observer is not None:
+            self.observer.on_admit(self.now, request)
 
         if self.in_flight > self.config.max_in_flight:
             self._resolve_reject(request, "admission-capacity")
@@ -213,6 +223,8 @@ class GemmService:
         except SloUnsatisfiableError as exc:
             self._resolve_reject(request, "slo-unsatisfiable", detail=str(exc))
             return request.request_id
+        if self.observer is not None:
+            self.observer.on_route(self.now, request, decision)
         self.routing_mix[decision.kernel] = self.routing_mix.get(decision.kernel, 0) + 1
         batch = self.batcher.add(request, decision, self.now)
         if batch is not None:
@@ -227,11 +239,17 @@ class GemmService:
     def _dispatch(self, batch: Batch) -> None:
         """Place a formed batch on the fleet (or reject under backpressure)."""
         batch.dispatched_at = self.now
+        if self.observer is not None:
+            self.observer.on_batch(self.now, batch)
         device = self.pool.select(self.now)
         if device is None:
+            if self.observer is not None:
+                self.observer.on_backpressure(self.now, batch)
             for request in batch.requests:
                 self._resolve_reject(request, "backpressure")
             return
+        if self.observer is not None:
+            self.observer.on_dispatch(self.now, batch, device.name)
         self._totals["batches"] += 1
         self.batch_size_counts[batch.size] = self.batch_size_counts.get(batch.size, 0) + 1
         if device.idle(self.now):
@@ -259,6 +277,10 @@ class GemmService:
         device.batches_executed += 1
         device.requests_executed += batch.size
         self._executing[device.name] = batch
+        if self.observer is not None:
+            self.observer.on_exec(
+                self.now, batch, device.name, start, device.busy_until, service_s
+            )
         self._push(device.busy_until, _Event("device_free", device=device.name))
 
     def _price(self, device: DeviceWorker, batch: Batch) -> float:
@@ -289,18 +311,30 @@ class GemmService:
 
     # -- the actual math ------------------------------------------------
     def _execute_batch(self, batch: Batch, device: DeviceWorker, service_s: float) -> None:
-        """Compute bit-accurate results and resolve COMPLETED responses."""
+        """Compute bit-accurate results and resolve COMPLETED responses.
+
+        The whole batch runs inside a ``serve.execute`` tracer span
+        carrying the batch id — when ``REPRO_TRACE=1``, fault events
+        (:class:`~repro.resilience.faults.FaultEvent`) and ``gpu.engine``
+        execution captures raised during the math carry this span's id,
+        which is the join key back to the batch in a postmortem.
+        """
         kernel = self.router.kernels[batch.decision.kernel]
         results: list[np.ndarray]
         attempts: list[list] = [[] for _ in batch.requests]
-        if batch.decision.reliable:
-            results = []
-            for i, request in enumerate(batch.requests):
-                result = self._run_reliable(batch.decision.kernel, request)
-                results.append(result.d)
-                attempts[i] = [a.as_dict() for a in result.attempts]
-        else:
-            results = self._run_batch_exact(kernel, batch)
+        with get_tracer().span(
+            "serve.execute", category="serve",
+            batch_id=batch.batch_id, device=device.name,
+            kernel=batch.decision.kernel, size=batch.size,
+        ):
+            if batch.decision.reliable:
+                results = []
+                for i, request in enumerate(batch.requests):
+                    result = self._run_reliable(batch.decision.kernel, request)
+                    results.append(result.d)
+                    attempts[i] = [a.as_dict() for a in result.attempts]
+            else:
+                results = self._run_batch_exact(kernel, batch)
         for i, request in enumerate(batch.requests):
             self._resolve_complete(
                 request, batch, device, results[i], service_s, attempts[i]
@@ -364,6 +398,8 @@ class GemmService:
 
     def _resolve(self, response: GemmResponse, request: GemmRequest) -> None:
         self.responses[request.request_id] = response
+        if self.observer is not None:
+            self.observer.on_resolve(self.now, request, response)
         self._emit_span(response, request)
         if self._on_complete is not None:
             for follow_up in self._on_complete(response, self.now):

@@ -1,0 +1,180 @@
+"""Tests for the benchmark history and its run-over-run regression gate.
+
+The history file is the durable perf time series behind ``python -m
+repro bench --check``; these tests pin the record schema, the series
+filtering, the median-of-N baseline robustness, and every verdict class
+of the gate — including that a >=20% synthetic slowdown on a gated
+metric fails the check while informational metrics never do.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.benchtrack import (
+    BASELINE_N,
+    HISTORY_SCHEMA,
+    MetricSpec,
+    append_record,
+    check_metrics,
+    format_check,
+    load_history,
+    make_record,
+    validate_history,
+)
+from repro.perf.bench import METRIC_SPECS, tracked_metrics
+
+
+class TestRecords:
+    def test_roundtrip_append_load(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        for i in range(3):
+            append_record(path, make_record("bench", {"speedup": 2.0 + i},
+                                            quick=True))
+        append_record(path, make_record("serve", {"rps": 100.0}, quick=True))
+        assert len(load_history(path)) == 4
+        assert len(load_history(path, kind="bench")) == 3
+        assert len(load_history(path, kind="serve", quick=True)) == 1
+        assert load_history(path, kind="bench", quick=False) == []
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+    def test_record_shape_and_numeric_coercion(self):
+        record = make_record(
+            "bench",
+            {"speedup": 3.5, "count": 7, "ok": True, "label": "ignored",
+             "nested": {"x": 1}},
+            quick=False,
+            manifest={"seed": 0},
+            label="nightly",
+        )
+        assert record["schema"] == HISTORY_SCHEMA
+        assert record["metrics"] == {"speedup": 3.5, "count": 7.0, "ok": 1.0}
+        assert record["label"] == "nightly"
+        assert record["manifest"] == {"seed": 0}
+        assert validate_history([record]) == []
+
+    def test_validation_catches_bad_records(self):
+        assert any("schema" in p for p in validate_history([{"kind": "bench"}]))
+        bad = make_record("bench", {"x": 1.0})
+        bad["metrics"]["x"] = "fast"
+        assert any("not numeric" in p for p in validate_history([bad]))
+        bad2 = make_record("", {})
+        assert any("kind" in p for p in validate_history([bad2]))
+
+    def test_append_refuses_invalid(self, tmp_path):
+        with pytest.raises(ValueError, match="invalid record"):
+            append_record(tmp_path / "h.jsonl", {"schema": "wrong"})
+
+    def test_records_are_sorted_key_jsonl(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        append_record(path, make_record("bench", {"b": 1.0, "a": 2.0}))
+        line = path.read_text().strip()
+        assert line == json.dumps(json.loads(line), sort_keys=True)
+
+
+def _history(values, name="speedup", kind="bench"):
+    return [make_record(kind, {name: v}, quick=True) for v in values]
+
+
+class TestCheckVerdicts:
+    SPEC = (MetricSpec("speedup", "higher", 0.10),)
+
+    def test_no_baseline_when_history_empty(self):
+        result = check_metrics({"speedup": 2.0}, [], self.SPEC)
+        assert result["verdicts"]["speedup"]["verdict"] == "no-baseline"
+        assert result["ok"]
+
+    def test_ok_inside_band(self):
+        result = check_metrics({"speedup": 1.95}, _history([2.0] * 3), self.SPEC)
+        assert result["verdicts"]["speedup"]["verdict"] == "ok"
+        assert result["ok"]
+
+    def test_improved_outside_band_good_side(self):
+        result = check_metrics({"speedup": 2.5}, _history([2.0] * 3), self.SPEC)
+        assert result["verdicts"]["speedup"]["verdict"] == "improved"
+        assert result["ok"]
+
+    def test_twenty_percent_drop_is_regression(self):
+        result = check_metrics({"speedup": 1.6}, _history([2.0] * 3), self.SPEC)
+        assert result["verdicts"]["speedup"]["verdict"] == "regression"
+        assert result["regressions"] == ["speedup"]
+        assert not result["ok"]
+        assert "FAIL" in format_check(result)
+
+    def test_lower_is_better_direction(self):
+        spec = (MetricSpec("latency", "lower", 0.10),)
+        worse = check_metrics({"latency": 1.3}, _history([1.0], name="latency"),
+                              spec)
+        assert worse["verdicts"]["latency"]["verdict"] == "regression"
+        better = check_metrics({"latency": 0.8}, _history([1.0], name="latency"),
+                               spec)
+        assert better["verdicts"]["latency"]["verdict"] == "improved"
+
+    def test_info_metric_never_gates(self):
+        spec = (MetricSpec("wall", "lower", 0.10, gate=False),)
+        result = check_metrics({"wall": 50.0}, _history([1.0], name="wall"), spec)
+        assert result["verdicts"]["wall"]["verdict"] == "info"
+        assert result["ok"]
+
+    def test_missing_gated_metric_is_regression(self):
+        result = check_metrics({}, _history([2.0] * 3), self.SPEC)
+        assert result["verdicts"]["speedup"]["verdict"] == "missing"
+        assert not result["ok"]
+        # but with no prior data, absence is just no-baseline
+        result = check_metrics({}, [], self.SPEC)
+        assert result["verdicts"]["speedup"]["verdict"] == "no-baseline"
+        assert result["ok"]
+
+    def test_median_of_n_absorbs_one_outlier(self):
+        # one wildly slow prior run must not drag the baseline down
+        values = [2.0, 2.0, 0.1, 2.0, 2.0]
+        result = check_metrics({"speedup": 1.95}, _history(values), self.SPEC)
+        assert result["verdicts"]["speedup"]["baseline"] == 2.0
+        assert result["verdicts"]["speedup"]["verdict"] == "ok"
+
+    def test_baseline_window_is_last_n(self):
+        values = [10.0] * 5 + [2.0] * BASELINE_N
+        result = check_metrics({"speedup": 2.0}, _history(values), self.SPEC)
+        entry = result["verdicts"]["speedup"]
+        assert entry["baseline"] == 2.0
+        assert entry["baseline_n"] == BASELINE_N
+
+    def test_zero_tolerance_exact_match_ok(self):
+        spec = (MetricSpec("bit_identical", "higher", 0.0),)
+        ok = check_metrics({"bit_identical": 1.0},
+                           _history([1.0] * 3, name="bit_identical"), spec)
+        assert ok["verdicts"]["bit_identical"]["verdict"] == "ok"
+        broken = check_metrics({"bit_identical": 0.0},
+                               _history([1.0] * 3, name="bit_identical"), spec)
+        assert broken["verdicts"]["bit_identical"]["verdict"] == "regression"
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="direction"):
+            MetricSpec("x", "sideways", 0.1)
+        with pytest.raises(ValueError, match="non-negative"):
+            MetricSpec("x", "higher", -0.1)
+
+
+class TestBenchIntegration:
+    def test_metric_specs_cover_tracked_metrics(self):
+        """Every spec names a metric the bench actually produces."""
+        fake_report = {
+            "batched_gemm": {"speedup": 2.0, "bit_identical": True,
+                             "split_cache": {"hit_rate": 0.5}},
+            "power_iteration": {"speedup": 2.0, "bit_identical": True},
+            "schedule_memoization": {"speedup": 2.0, "hit_rate": 0.9},
+            "bucketed_stream": {"speedup": 1.2, "bit_identical": True},
+            "serving": {"virtual_throughput_rps": 9e4, "p99_latency_s": 2e-4,
+                        "mean_batch_size": 2.0, "counts": {"completed": 100},
+                        "wall_seconds": 0.2, "requests_per_wall_second": 500.0},
+        }
+        metrics = tracked_metrics(fake_report)
+        spec_names = {s.name for s in METRIC_SPECS}
+        assert spec_names == set(metrics)
+        # the gate rests on deterministic virtual metrics; wall noise is info
+        gated = {s.name for s in METRIC_SPECS if s.gate}
+        assert "serving.virtual_throughput_rps" in gated
+        assert "serving.wall_seconds" not in gated
+        assert all(not s.gate for s in METRIC_SPECS if "speedup" in s.name)

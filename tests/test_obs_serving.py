@@ -1,0 +1,467 @@
+"""Tests for serving-scale observability: flight recorder, burn-rate
+monitoring, per-request tracing, and the lifecycle postmortem.
+
+Covers the contracts the serving stack and CI lean on: bounded
+byte-deterministic flight logs, >=99% admission→route→batch→execute
+span-chain coverage on seeded load tests, postmortem reconstruction
+determinism, Chrome-trace schema validity of the virtual-time export,
+exact histogram quantiles, durable provider re-registration across
+registry resets, and trace-context isolation between concurrent
+requests (threads and the contextvars hook tier).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.export import validate_chrome_trace
+from repro.obs.flight import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    format_lifecycle,
+    load_flight_log,
+    reconstruct_lifecycle,
+    validate_flight_log,
+)
+from repro.obs.flight import main as postmortem_main
+from repro.obs.hooks import fault_hook_override, local_fault_hook
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.serving import ServeObserver
+from repro.obs.slo import BurnRateMonitor, BurnWindow
+from repro.obs.tracing import configure, current_span_id, get_tracer
+from repro.serve import ServeConfig, build_report, run_load_test, validate_slo_report
+
+
+# --- flight recorder ---------------------------------------------------------
+class TestFlightRecorder:
+    def test_capacity_bound_and_drop_accounting(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.record("expire", float(i), request_id=i)
+        assert len(rec) == 4
+        assert rec.recorded == 10
+        assert rec.dropped == 6
+        # the ring keeps the newest window
+        assert [e["request_id"] for e in rec.events()] == [6, 7, 8, 9]
+
+    def test_unknown_kind_rejected(self):
+        rec = FlightRecorder()
+        with pytest.raises(ValueError, match="unknown flight event kind"):
+            rec.record("teleport", 0.0)
+
+    def test_dump_load_validate_roundtrip(self, tmp_path):
+        rec = FlightRecorder()
+        rec.record("admit", 1e-6, request_id=0, shape=[4, 4, 4],
+                   max_rel_error=1e-4, deadline_s=None, priority=0,
+                   reliable=False)
+        rec.record("route", 2e-6, request_id=0, kernel="egemm-tc",
+                   error_bound=1e-6, seconds=1e-5, rejected_cheaper=[])
+        path = tmp_path / "flight.jsonl"
+        rec.dump_jsonl(path)
+        records = load_flight_log(path)
+        assert records[0]["kind"] == "header"
+        assert records[0]["schema"] == FLIGHT_SCHEMA
+        assert validate_flight_log(records) == []
+
+    def test_validation_catches_corruption(self, tmp_path):
+        rec = FlightRecorder()
+        rec.record("expire", 1e-6, request_id=3)
+        path = tmp_path / "flight.jsonl"
+        rec.dump_jsonl(path)
+        records = load_flight_log(path)
+        # wrong schema
+        bad = [dict(records[0], schema="nope")] + records[1:]
+        assert any("schema" in p for p in validate_flight_log(bad))
+        # unknown kind
+        bad = records + [{"seq": 99, "t": 1.0, "kind": "warp-drive"}]
+        assert any("unknown kind" in p for p in validate_flight_log(bad))
+        # missing required field
+        bad = records + [{"seq": 99, "t": 1.0, "kind": "expire"}]
+        assert any("missing 'request_id'" in p for p in validate_flight_log(bad))
+        # non-monotone seq
+        bad = records + [{"seq": -5, "t": 1.0, "kind": "expire", "request_id": 1}]
+        assert any("not increasing" in p for p in validate_flight_log(bad))
+        assert validate_flight_log([]) == ["empty flight log"]
+
+
+# --- burn-rate monitor -------------------------------------------------------
+class TestBurnRateMonitor:
+    WINDOW = (BurnWindow(long_s=1e-3, short_s=2.5e-4, threshold=10.0),)
+
+    def test_healthy_stream_never_alerts(self):
+        mon = BurnRateMonitor("latency", target=0.99, windows=self.WINDOW)
+        for i in range(200):
+            mon.observe(i * 1e-5, good=True)
+        summary = mon.summary()
+        assert summary["alerts"] == 0
+        assert summary["compliant"] is True
+        assert summary["bad_fraction"] == 0.0
+
+    def test_brownout_fires_once_per_episode(self):
+        rec = FlightRecorder()
+        mon = BurnRateMonitor("latency", target=0.99, windows=self.WINDOW,
+                              recorder=rec)
+        t = 0.0
+        for i in range(50):  # healthy warmup
+            t += 1e-5
+            mon.observe(t, good=True)
+        raised = []
+        for i in range(50):  # sustained brownout: everything bad
+            t += 1e-5
+            raised.extend(mon.observe(t, good=False))
+        # rising edge only: one alert, latched for the whole episode
+        assert len(raised) == 1
+        assert mon.summary()["alerts"] == 1
+        alerts = rec.events(kind="alert")
+        assert len(alerts) == 1
+        assert alerts[0]["monitor"] == "latency"
+        assert alerts[0]["burn_long"] > 10.0
+
+    def test_unlatch_then_fresh_episode_realerts(self):
+        mon = BurnRateMonitor("latency", target=0.99, windows=self.WINDOW)
+        t = 0.0
+        for good_phase in (False, True, False):
+            for i in range(60):
+                t += 1e-5
+                mon.observe(t, good=good_phase)
+        # two distinct brownouts, separated by a clean recovery window
+        assert mon.summary()["alerts"] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="target"):
+            BurnRateMonitor("x", target=1.0)
+        with pytest.raises(ValueError, match="short window"):
+            BurnWindow(long_s=1e-4, short_s=1e-3, threshold=1.0)
+        with pytest.raises(ValueError, match="positive"):
+            BurnWindow(long_s=-1.0, short_s=-2.0, threshold=1.0)
+
+
+# --- histogram exact quantiles (satellite) -----------------------------------
+class TestHistogramQuantiles:
+    def test_empty_returns_none(self):
+        assert Histogram().quantile(0.5) is None
+
+    def test_single_sample_every_quantile(self):
+        h = Histogram()
+        h.observe(7.5)
+        assert h.quantile(0.0) == 7.5
+        assert h.quantile(0.5) == 7.5
+        assert h.quantile(1.0) == 7.5
+
+    def test_two_samples_interpolate(self):
+        h = Histogram()
+        h.observe(10.0)
+        h.observe(20.0)
+        assert h.quantile(0.0) == 10.0
+        assert h.quantile(0.5) == 15.0
+        assert h.quantile(1.0) == 20.0
+        assert h.quantile(0.25) == pytest.approx(12.5)
+
+    def test_matches_numpy_percentile(self):
+        rng = np.random.default_rng(5)
+        values = rng.exponential(1.0, 500)
+        h = Histogram()
+        for v in values:
+            h.observe(float(v))
+        for q in (0.01, 0.5, 0.95, 0.99):
+            assert h.quantile(q) == pytest.approx(
+                float(np.percentile(values, q * 100)), rel=1e-12
+            )
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_sample_limit_truncation_flagged(self):
+        h = Histogram(sample_limit=3)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["samples_truncated"] is True
+        assert h.quantile(1.0) == 3.0  # only the retained window participates
+        h.reset()
+        assert h.quantile(0.5) is None
+
+
+# --- durable providers across reset (satellite) ------------------------------
+class TestDurableProviders:
+    def test_reset_reinstalls_durable_provider(self):
+        reg = MetricsRegistry()
+        reg.register_provider("sub.stats", lambda: {"x": 1}, durable=True)
+        reg.unregister_provider("sub.stats")
+        assert "sub.stats" not in reg.snapshot()["providers"]
+        reg.reset()
+        assert reg.snapshot()["providers"]["sub.stats"] == {"x": 1}
+
+    def test_non_durable_provider_stays_gone(self):
+        reg = MetricsRegistry()
+        reg.register_provider("tmp.stats", lambda: {"y": 2}, durable=False)
+        reg.unregister_provider("tmp.stats")
+        reg.reset()
+        assert "tmp.stats" not in reg.snapshot()["providers"]
+
+    def test_reregistration_replaces_both_tiers(self):
+        reg = MetricsRegistry()
+        reg.register_provider("sub.stats", lambda: {"v": 1})
+        reg.register_provider("sub.stats", lambda: {"v": 2})
+        reg.unregister_provider("sub.stats")
+        reg.reset()
+        assert reg.snapshot()["providers"]["sub.stats"] == {"v": 2}
+
+    def test_durable_unregister_forgets_for_good(self):
+        reg = MetricsRegistry()
+        reg.register_provider("sub.stats", lambda: {"v": 1})
+        reg.unregister_provider("sub.stats", durable=True)
+        reg.reset()
+        assert "sub.stats" not in reg.snapshot()["providers"]
+
+    def test_reset_does_not_clobber_live_replacement(self):
+        reg = MetricsRegistry()
+        reg.register_provider("sub.stats", lambda: {"v": 1})
+        reg.register_provider("sub.stats", lambda: {"v": 3}, durable=False)
+        reg.reset()  # the live (newer) provider wins over the durable default
+        assert reg.snapshot()["providers"]["sub.stats"] == {"v": 3}
+
+
+# --- seeded load test through the observer -----------------------------------
+def _observed_run(requests=150, seed=3):
+    observer = ServeObserver()
+    config = ServeConfig(max_in_flight=64)
+    service, responses = run_load_test(
+        requests, seed=seed, arrival="poisson", config=config, observer=observer
+    )
+    return observer, service, responses
+
+
+@pytest.fixture(scope="module")
+def observed():
+    return _observed_run()
+
+
+class TestServeObserverLoadTest:
+    def test_chain_coverage_at_least_99_percent(self, observed):
+        observer, _, _ = observed
+        chain = observer.chain_report()
+        assert chain["completed"] > 0
+        assert chain["coverage"] >= 0.99
+
+    def test_flight_log_accounts_for_every_request(self, observed):
+        observer, service, _ = observed
+        admits = observer.recorder.events(kind="admit")
+        terminal = (observer.recorder.events(kind="complete")
+                    + observer.recorder.events(kind="reject")
+                    + observer.recorder.events(kind="expire"))
+        assert len(admits) + len(observer.recorder.events(kind="reject")) >= len(
+            terminal
+        )
+        stats = service.stats()
+        assert len(terminal) == stats["submitted"]
+
+    def test_report_schema_valid_with_observer_blocks(self, observed):
+        observer, service, _ = observed
+        report = build_report(service, {"requests": 150}, observer=observer)
+        assert validate_slo_report(report) == []
+        assert report["slo_monitor"]["latency"]["total"] > 0
+        assert "flight_recorder" in report["slo_monitor"]
+        assert report["trace_chain"]["coverage"] >= 0.99
+        # units satellite: the block documents the virtual-time contract
+        assert "virtual seconds" in report["units"]["devices.busy_s"]
+        for name, dev in report["devices"].items():
+            assert dev["utilization"] == pytest.approx(
+                dev["busy_s"] / report["virtual_s"]
+            )
+            assert 0.0 <= dev["utilization"] <= 1.0
+
+    def test_chrome_trace_schema_valid(self, observed):
+        observer, _, _ = observed
+        events = observer.chrome_trace_events()
+        count = validate_chrome_trace({"traceEvents": events})
+        assert count == len(events) > 0
+        cats = {e.get("cat") for e in events if e.get("ph") == "X"}
+        assert {"serve.request", "serve.batch", "serve.exec"} <= cats
+        # the trace axis is the virtual clock in microseconds
+        execs = [e for e in events if e.get("cat") == "serve.exec"]
+        assert execs and all(e["ts"] >= 0 for e in execs)
+
+    def test_route_events_carry_rejected_cheaper(self, observed):
+        observer, _, _ = observed
+        routes = observer.recorder.events(kind="route")
+        assert routes
+        # the strict SLO tiers force the router past cheaper kernels
+        assert any(r["rejected_cheaper"] for r in routes)
+
+    def test_flight_log_byte_stable_across_same_seed_runs(self, tmp_path):
+        paths = []
+        for i in range(2):
+            observer, _, _ = _observed_run()
+            path = tmp_path / f"flight{i}.jsonl"
+            observer.recorder.dump_jsonl(path)  # no manifest: pure event bytes
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_postmortem_identical_across_same_seed_runs(self, tmp_path):
+        renderings = []
+        for i in range(2):
+            observer, _, responses = _observed_run()
+            path = tmp_path / f"flight{i}.jsonl"
+            observer.recorder.dump_jsonl(path)
+            records = load_flight_log(path)
+            assert validate_flight_log(records) == []
+            completed = [rid for rid, r in responses.items()
+                         if r.status.value == "completed"]
+            rid = sorted(completed)[len(completed) // 2]
+            renderings.append(format_lifecycle(reconstruct_lifecycle(records, rid)))
+        assert renderings[0] == renderings[1]
+        # the lifecycle tells the whole story
+        assert "admit" in renderings[0]
+        assert "route" in renderings[0]
+        assert "batch_form" in renderings[0]
+        assert "exec" in renderings[0]
+        assert "complete" in renderings[0]
+
+    def test_postmortem_cli_exit_codes(self, tmp_path, capsys):
+        observer, _, responses = _observed_run(requests=40, seed=1)
+        log = tmp_path / "flight.jsonl"
+        observer.recorder.dump_jsonl(log)
+        completed = sorted(rid for rid, r in responses.items()
+                           if r.status.value == "completed")
+        assert postmortem_main([str(completed[0]), "--log", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert f"request {completed[0]}" in out
+        # unknown request id
+        assert postmortem_main(["999999", "--log", str(log)]) == 2
+        # schema-corrupt log
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(json.dumps({"seq": 0, "t": 0.0, "kind": "expire"}) + "\n")
+        assert postmortem_main(["0", "--log", str(bad)]) == 1
+        # missing file
+        assert postmortem_main(["0", "--log", str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_fault_events_recordable(self, observed):
+        from repro.resilience.faults import FaultEvent, FaultSite
+
+        observer, _, _ = observed
+        before = len(observer.recorder.events(kind="fault"))
+        event = FaultEvent(site=FaultSite.ACCUMULATOR.value, call_index=3,
+                           flat_index=7, bit=12, before=1.0, after=-1.0,
+                           span_id=42)
+        observer.record_fault(1e-4, event)
+        faults = observer.recorder.events(kind="fault")
+        assert len(faults) == before + 1
+        assert faults[-1]["span_id"] == 42
+        assert faults[-1]["site"] == FaultSite.ACCUMULATOR.value
+
+
+# --- trace-context isolation under concurrency (satellite) -------------------
+class TestTraceContextIsolation:
+    @pytest.fixture
+    def tracer(self):
+        t = get_tracer()
+        prev = t.enabled
+        t.clear()
+        configure(True)
+        yield t
+        configure(prev)
+        t.clear()
+
+    def test_no_span_leakage_between_interleaved_threads(self, tracer):
+        """Interleaved per-thread span stacks never cross-parent."""
+        barrier = threading.Barrier(4)
+        errors: list[str] = []
+
+        def worker(name: str) -> None:
+            try:
+                with tracer.span(f"request.{name}") as outer:
+                    barrier.wait(timeout=10)  # all outers open simultaneously
+                    with tracer.span(f"execute.{name}") as inner:
+                        if inner.parent_id != outer.span_id:
+                            errors.append(f"{name}: cross-thread parent")
+                        if current_span_id() != inner.span_id:
+                            errors.append(f"{name}: wrong active span")
+                    barrier.wait(timeout=10)
+                if current_span_id() != 0:
+                    errors.append(f"{name}: span leaked past its scope")
+            except Exception as exc:  # surface thread failures to the test
+                errors.append(f"{name}: {exc!r}")
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert errors == []
+        spans = {s.name: s for s in tracer.spans()}
+        for i in range(4):
+            assert spans[f"execute.t{i}"].parent_id == spans[f"request.t{i}"].span_id
+
+    def test_contextvars_hook_tier_isolated_across_threads(self):
+        """scope='context' hooks installed per thread never interleave."""
+        barrier = threading.Barrier(3)
+        collected: dict[str, list] = {f"t{i}": [] for i in range(3)}
+        errors: list[str] = []
+
+        def worker(name: str) -> None:
+            try:
+                with local_fault_hook(collected[name].append):
+                    barrier.wait(timeout=10)  # all overrides live at once
+                    hook = fault_hook_override(None)
+                    for i in range(20):
+                        hook((name, i))
+                    barrier.wait(timeout=10)
+                if fault_hook_override(None) is not None:
+                    errors.append(f"{name}: hook leaked past its scope")
+            except Exception as exc:
+                errors.append(f"{name}: {exc!r}")
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",))
+                   for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert errors == []
+        for name, events in collected.items():
+            assert len(events) == 20
+            assert all(tag == name for tag, _ in events)
+
+    def test_concurrent_observed_load_tests_do_not_cross_talk(self, tmp_path):
+        """Two same-seed services on concurrent threads stay independent."""
+        reference, _, _ = _observed_run(requests=60, seed=9)
+        results: dict[int, ServeObserver] = {}
+        errors: list[str] = []
+
+        def worker(i: int) -> None:
+            try:
+                observer, _, _ = _observed_run(requests=60, seed=9)
+                results[i] = observer
+            except Exception as exc:
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert errors == []
+        ref_path = tmp_path / "ref.jsonl"
+        reference.recorder.dump_jsonl(ref_path)
+        for i, observer in results.items():
+            path = tmp_path / f"run{i}.jsonl"
+            observer.recorder.dump_jsonl(path)
+            assert path.read_bytes() == ref_path.read_bytes()
+
+    def test_parallel_map_preserves_caller_span_context(self, tracer):
+        """A sweep inside a span leaves the caller's context untouched."""
+        from repro.perf.parallel import parallel_map
+
+        with tracer.span("sweep.outer") as outer:
+            out = parallel_map(lambda x: x * x, [1, 2, 3])
+            assert out == [1, 4, 9]
+            assert current_span_id() == outer.span_id
+        assert current_span_id() == 0
