@@ -33,6 +33,7 @@ import numpy as np
 from ..obs.hooks import fault_hook_override
 from ..obs.metrics import get_registry
 from ..obs.tracing import get_tracer
+from ..perf.scratch import ScratchPool, default_pool
 from ..perf.split_cache import SplitCache, SplitPlan
 from ..tensorcore.mma import InternalPrecision, MmaCounter
 from .schemes import EGEMM, EmulationScheme
@@ -135,6 +136,13 @@ class EmulatedGemm:
     precision: InternalPrecision = InternalPrecision.TENSOR_CORE
     counter: MmaCounter = field(default_factory=MmaCounter)
     split_cache: SplitCache | None = None
+    #: scratch buffers for the cadence loop's intermediates; ``None``
+    #: uses the process-wide shared pool (buffers are per-thread, so
+    #: sharing is safe).  Results are bit-identical either way.
+    scratch: ScratchPool | None = None
+
+    def _pool(self) -> ScratchPool:
+        return self.scratch if self.scratch is not None else default_pool()
 
     def __post_init__(self) -> None:
         if self.tk <= 0:
@@ -179,12 +187,16 @@ class EmulatedGemm:
         Stats are aggregated across elements with ``mma_calls`` counted
         once per element.
         """
-        with get_tracer().span(
-            "emulation.gemm.run_batched", category="emulation",
-            scheme=self.scheme.name,
-        ) as span:
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "emulation.gemm.run_batched", category="emulation",
+                scheme=self.scheme.name,
+            ) as span:
+                d, stats = self._run_batched_impl(a, b, c)
+                span.set(**stats.as_dict())
+        else:
             d, stats = self._run_batched_impl(a, b, c)
-            span.set(**stats.as_dict())
         _record_run(stats)
         return d, stats
 
@@ -236,6 +248,118 @@ class EmulatedGemm:
         # elementwise, so splitting the stack equals stacking the splits.
         plan_a = self._plan(a32)
         plan_b = self._plan(b32)
+        unbroadcast = a32.shape == (*batch, m, k) and b32.shape == (*batch, k, n)
+        d = self._batched_cadence(
+            plan_a, plan_b, batch, m, k, n, d, stats, unbroadcast
+        )
+
+        tiles = -(-m // 16) * -(-n // 16) * -(-k // 16)
+        stats.mma_calls = tiles * self.scheme.compute_overhead * nbatch
+        self.counter.add(stats.mma_calls, stats.flops * self.scheme.compute_overhead)
+        return d, stats
+
+    def run_batched_elements(
+        self,
+        a_elements: list,
+        b_elements: list,
+        c_elements: list | None = None,
+    ) -> tuple[np.ndarray, GemmStats]:
+        """Batched GEMM over per-element operand lists (one batcher bucket).
+
+        The serving batcher's execution entry: all elements must share
+        one ``(m, k, n)`` shape.  With a :class:`SplitCache` attached the
+        elements share split entries **individually**
+        (:meth:`~repro.perf.SplitCache.get_stacked`), so a stacked
+        launch reuses the splits of operands seen in earlier batches or
+        single runs.  Bit-identical to stacking the elements and calling
+        :meth:`run_batched`, and therefore to per-element :meth:`run`.
+        """
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "emulation.gemm.run_batched", category="emulation",
+                scheme=self.scheme.name,
+            ) as span:
+                d, stats = self._run_batched_elements_impl(
+                    a_elements, b_elements, c_elements
+                )
+                span.set(**stats.as_dict())
+        else:
+            d, stats = self._run_batched_elements_impl(
+                a_elements, b_elements, c_elements
+            )
+        _record_run(stats)
+        return d, stats
+
+    def _run_batched_elements_impl(
+        self,
+        a_elements: list,
+        b_elements: list,
+        c_elements: list | None,
+    ) -> tuple[np.ndarray, GemmStats]:
+        nbatch = len(a_elements)
+        if nbatch == 0 or len(b_elements) != nbatch:
+            raise ValueError("element lists must be non-empty and equal-length")
+        a32s = [np.asarray(x, dtype=np.float32) for x in a_elements]
+        b32s = [np.asarray(x, dtype=np.float32) for x in b_elements]
+        if any(x.ndim != 2 for x in a32s) or any(x.ndim != 2 for x in b32s):
+            raise ValueError("elements must be 2-D matrices")
+        m, k = a32s[0].shape
+        kb, n = b32s[0].shape
+        if k != kb:
+            raise ValueError(f"k-dimension mismatch: {a32s[0].shape} x {b32s[0].shape}")
+        if any(x.shape != (m, k) for x in a32s) or any(x.shape != (k, n) for x in b32s):
+            raise ValueError("all elements must share one (m, k, n) shape")
+
+        if self.precision is not InternalPrecision.TENSOR_CORE:
+            c = None if c_elements is None else np.stack(c_elements)
+            return self._run_batched_impl(np.stack(a32s), np.stack(b32s), c)
+
+        if c_elements is None:
+            d = np.zeros((nbatch, m, n), dtype=np.float32)
+        else:
+            if len(c_elements) != nbatch:
+                raise ValueError("c_elements must match the batch length")
+            d = np.stack([np.asarray(c, dtype=np.float32) for c in c_elements])
+            if d.shape != (nbatch, m, n):
+                raise ValueError(f"C shape {d.shape[1:]} != {(m, n)}")
+        stats = GemmStats(m=m, n=n, k=k, scheme=self.scheme.name, batch=nbatch)
+        if min(m, n, k) == 0:
+            return d, stats
+
+        if self.split_cache is not None:
+            plan_a = self.split_cache.get_stacked(
+                a32s, self.scheme.split_id, self.scheme.split_one
+            )
+            plan_b = self.split_cache.get_stacked(
+                b32s, self.scheme.split_id, self.scheme.split_one
+            )
+        else:
+            plan_a = SplitPlan(self.scheme.split_one(np.stack(a32s)))
+            plan_b = SplitPlan(self.scheme.split_one(np.stack(b32s)))
+        d = self._batched_cadence(
+            plan_a, plan_b, (nbatch,), m, k, n, d, stats, True
+        )
+
+        tiles = -(-m // 16) * -(-n // 16) * -(-k // 16)
+        stats.mma_calls = tiles * self.scheme.compute_overhead * nbatch
+        self.counter.add(stats.mma_calls, stats.flops * self.scheme.compute_overhead)
+        return d, stats
+
+    def _batched_cadence(
+        self,
+        plan_a: SplitPlan,
+        plan_b: SplitPlan,
+        batch: tuple,
+        m: int,
+        k: int,
+        n: int,
+        d: np.ndarray,
+        stats: GemmStats,
+        unbroadcast: bool,
+    ) -> np.ndarray:
+        """The stacked per-chunk-per-term rounding cadence (shared core)."""
+        nbatch = stats.batch
         terms64 = [
             (
                 np.broadcast_to(plan_a.wide(pa), (*batch, m, k)),
@@ -243,38 +367,79 @@ class EmulatedGemm:
             )
             for pa, pb in self.scheme.term_parts()
         ]
-        # Preallocated scratch keeps the cadence loop allocation-free:
-        # the fp32->fp64 promotion of D happens inside the in-place add
-        # and the single fp32 rounding inside ``copyto`` — bit-identical
-        # to ``(d.astype(f64) + wide).astype(f32)``.
-        wide = np.empty((*batch, m, n), dtype=np.float64)
+        # Pooled scratch keeps the cadence loop allocation-free, and each
+        # rounding step is ONE fused ufunc pass: ``np.add(wide, d, out=d)``
+        # promotes D to fp64 inside the add loop and rounds the fp64 sum
+        # once on the fp32 store — bit-identical to
+        # ``(d.astype(f64) + wide).astype(f32)``.
+        pool = self._pool()
         hook = fault_hook_override(FAULT_HOOK)
-        for k0 in range(0, k, self.tk):
-            k1 = min(k0 + self.tk, k)
-            stats.k_chunks += nbatch
-            for a64, b64 in terms64:
-                np.matmul(a64[..., :, k0:k1], b64[..., k0:k1, :], out=wide)
-                wide += d
-                np.copyto(d, wide)
-                if hook is not None:
-                    d = hook("accumulator", d)
-                stats.partial_products += nbatch
+        tk = self.tk
+        full, rem = divmod(k, tk)
+        nterms = len(terms64)
+        # Fused stacked-chunk path: every (term, chunk, element) partial
+        # product is computed by ONE batched matmul per term, then the
+        # rounding cadence is replayed over the precomputed stack in the
+        # exact chunk-major/term-inner order of the per-chunk loop below.
+        # Requires unbroadcast operands (so the chunk reshapes are views)
+        # and the full product stack inside the scratch budget.
+        if (
+            full >= 1
+            and unbroadcast
+            and nterms * nbatch * full * m * n * 8 <= _WIDE_SCRATCH_BYTES
+        ):
+            wide_all = pool.take("batched.chunk_products", (nterms, *batch, full, m, n))
+            for t, (a64, b64) in enumerate(terms64):
+                ac = np.swapaxes(
+                    a64[..., :, : full * tk].reshape(*batch, m, full, tk), -3, -2
+                )
+                bc = b64[..., : full * tk, :].reshape(*batch, full, tk, n)
+                np.matmul(ac, bc, out=wide_all[t])
+            for ci in range(full):
+                stats.k_chunks += nbatch
+                for t in range(nterms):
+                    np.add(wide_all[t][..., ci, :, :], d, out=d)
+                    if hook is not None:
+                        d = hook("accumulator", d)
+                    stats.partial_products += nbatch
+            if rem:
+                k0 = full * tk
+                wide = pool.take("batched.acc", (*batch, m, n))
+                stats.k_chunks += nbatch
+                for a64, b64 in terms64:
+                    np.matmul(a64[..., :, k0:], b64[..., k0:, :], out=wide)
+                    np.add(wide, d, out=d)
+                    if hook is not None:
+                        d = hook("accumulator", d)
+                    stats.partial_products += nbatch
+        else:
+            wide = pool.take("batched.acc", (*batch, m, n))
+            for k0 in range(0, k, tk):
+                k1 = min(k0 + tk, k)
+                stats.k_chunks += nbatch
+                for a64, b64 in terms64:
+                    np.matmul(a64[..., :, k0:k1], b64[..., k0:k1, :], out=wide)
+                    np.add(wide, d, out=d)
+                    if hook is not None:
+                        d = hook("accumulator", d)
+                    stats.partial_products += nbatch
 
-        tiles = -(-m // 16) * -(-n // 16) * -(-k // 16)
-        stats.mma_calls = tiles * self.scheme.compute_overhead * nbatch
-        self.counter.add(stats.mma_calls, stats.flops * self.scheme.compute_overhead)
-        return d, stats
+        return d
 
     # --- single -----------------------------------------------------------
     def run(
         self, a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None
     ) -> tuple[np.ndarray, GemmStats]:
         """Compute ``D = A @ B + C`` and return (D, stats)."""
-        with get_tracer().span(
-            "emulation.gemm.run", category="emulation", scheme=self.scheme.name,
-        ) as span:
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "emulation.gemm.run", category="emulation", scheme=self.scheme.name,
+            ) as span:
+                d, stats = self._run_impl(a, b, c)
+                span.set(**stats.as_dict())
+        else:
             d, stats = self._run_impl(a, b, c)
-            span.set(**stats.as_dict())
         _record_run(stats)
         return d, stats
 
@@ -345,7 +510,9 @@ class EmulatedGemm:
         pos = 0
         full = k // tk
         hook = fault_hook_override(FAULT_HOOK)
-        group = int(_WIDE_SCRATCH_BYTES // max(m * n * 8, 1))
+        pool = self._pool()
+        nterms = len(terms64)
+        group = int(_WIDE_SCRATCH_BYTES // max(nterms * m * n * 8, 1))
         if full >= 2 and group >= 2:
             stacked = [
                 (
@@ -356,24 +523,28 @@ class EmulatedGemm:
             ]
             for c0 in range(0, full, group):
                 c1 = min(c0 + group, full)
-                wides = [ar[c0:c1] @ br[c0:c1] for ar, br in stacked]
+                wides = pool.take("run.chunk_products", (nterms, c1 - c0, m, n))
+                for t, (ar, br) in enumerate(stacked):
+                    np.matmul(ar[c0:c1], br[c0:c1], out=wides[t])
                 for i in range(c1 - c0):
                     stats.k_chunks += 1
-                    for w in wides:
-                        d = (d.astype(np.float64) + w[i]).astype(np.float32)
+                    for t in range(nterms):
+                        np.add(wides[t, i], d, out=d)
                         if hook is not None:
                             d = hook("accumulator", d)
                         stats.partial_products += 1
             pos = full * tk
-        for k0 in range(pos, k, tk):
-            k1 = min(k0 + tk, k)
-            stats.k_chunks += 1
-            for a64, b64 in terms64:
-                wide = a64[:, k0:k1] @ b64[k0:k1, :]
-                d = (d.astype(np.float64) + wide).astype(np.float32)
-                if hook is not None:
-                    d = hook("accumulator", d)
-                stats.partial_products += 1
+        if pos < k:
+            wide = pool.take("run.acc", (m, n))
+            for k0 in range(pos, k, tk):
+                k1 = min(k0 + tk, k)
+                stats.k_chunks += 1
+                for a64, b64 in terms64:
+                    np.matmul(a64[:, k0:k1], b64[k0:k1, :], out=wide)
+                    np.add(wide, d, out=d)
+                    if hook is not None:
+                        d = hook("accumulator", d)
+                    stats.partial_products += 1
         return d
 
     def _run_generic(self, d, terms, k, stats) -> np.ndarray:

@@ -42,13 +42,17 @@ def _timed(time_method):
 
     @functools.wraps(time_method)
     def wrapper(self, m, n, k, spec=TESLA_T4):
-        with get_tracer().span(
-            "kernel.time", category="kernel",
-            kernel=self.info.name, m=m, n=n, k=k, gpu=spec.name,
-        ) as span:
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "kernel.time", category="kernel",
+                kernel=self.info.name, m=m, n=n, k=k, gpu=spec.name,
+            ) as span:
+                timing = time_method(self, m, n, k, spec)
+                span.set(seconds=timing.seconds, cycles=timing.cycles,
+                         tflops=timing.tflops)
+        else:
             timing = time_method(self, m, n, k, spec)
-            span.set(seconds=timing.seconds, cycles=timing.cycles,
-                     tflops=timing.tflops)
         registry = get_registry()
         if registry.enabled:
             registry.inc("kernels.timings")

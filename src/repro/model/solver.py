@@ -26,6 +26,7 @@ On the Tesla T4 budget the solver returns the paper's Table 4 point:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -35,7 +36,10 @@ from ..gpu.spec import TESLA_T4, GpuSpec
 from ..tensorize.tiling import TilingConfig
 from . import resources as R
 
-__all__ = ["Candidate", "SolverResult", "DesignSpace", "solve", "table4_rows"]
+__all__ = [
+    "Candidate", "SolverResult", "DesignSpace", "solve", "clear_solve_memo",
+    "table4_rows",
+]
 
 
 @dataclass(frozen=True)
@@ -120,13 +124,47 @@ def _check(cfg: TilingConfig, spec: GpuSpec, times: R.ModelTimes) -> tuple[bool,
     return (not violated), tuple(violated)
 
 
+#: memoized default-space solves, keyed by the (frozen, hashable) spec.
+#: The scan is a pure function of its inputs and every serving router /
+#: kernel instance needs the same point, so one process pays the
+#: exhaustive scan once per GPU model instead of once per instance.
+_SOLVE_MEMO: dict[GpuSpec, SolverResult] = {}
+_SOLVE_MEMO_LOCK = threading.Lock()
+
+
+def clear_solve_memo() -> None:
+    """Drop memoized solver results (tests and design-space experiments)."""
+    with _SOLVE_MEMO_LOCK:
+        _SOLVE_MEMO.clear()
+
+
 def solve(
     spec: GpuSpec = TESLA_T4,
     space: DesignSpace | None = None,
     keep_candidates: bool = False,
 ) -> SolverResult:
-    """Scan the design space; return the best feasible configuration."""
-    space = space or DesignSpace()
+    """Scan the design space; return the best feasible configuration.
+
+    Default-space scans (``space=None, keep_candidates=False``) are
+    memoized process-wide: the result is deterministic in ``spec`` and
+    callers treat it as read-only.  Custom spaces and candidate-keeping
+    runs always scan fresh.
+    """
+    if space is None and not keep_candidates:
+        with _SOLVE_MEMO_LOCK:
+            cached = _SOLVE_MEMO.get(spec)
+        if cached is not None:
+            return cached
+        result = _solve_scan(spec, DesignSpace(), False)
+        with _SOLVE_MEMO_LOCK:
+            _SOLVE_MEMO.setdefault(spec, result)
+        return result
+    return _solve_scan(spec, space or DesignSpace(), keep_candidates)
+
+
+def _solve_scan(
+    spec: GpuSpec, space: DesignSpace, keep_candidates: bool
+) -> SolverResult:
     times = R.times_from_spec(spec)
 
     best: TilingConfig | None = None

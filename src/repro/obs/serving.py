@@ -56,7 +56,15 @@ class ServeObserver:
         latency_target: float = 0.99,
         accuracy_target: float = 0.999,
         windows=DEFAULT_WINDOWS,
+        infeasible_deadline_s: float | None = None,
     ) -> None:
+        #: deadlines below this floor are *structurally* infeasible —
+        #: shorter than the service's own batching window, so no server
+        #: behaviour could meet them.  Their expiries are client errors
+        #: (like ``slo-unsatisfiable`` rejections) and do not burn the
+        #: latency error budget; they are counted separately instead.
+        self.infeasible_deadline_s = infeasible_deadline_s
+        self.infeasible_expiries = 0
         self.recorder = recorder if recorder is not None else FlightRecorder()
         self.latency_monitor = BurnRateMonitor(
             "latency", target=latency_target, windows=windows, recorder=self.recorder
@@ -181,11 +189,20 @@ class ServeObserver:
             )
             self.accuracy_monitor.observe(now, good=bound_ok)
         elif status == "expired":
+            infeasible = (
+                self.infeasible_deadline_s is not None
+                and request.deadline_s is not None
+                and request.deadline_s < self.infeasible_deadline_s
+            )
             self.recorder.record(
                 "expire", now, request_id=rid,
                 batch_id=self.request_batch.get(rid),
+                infeasible=infeasible,
             )
-            self.latency_monitor.observe(now, good=False)
+            if infeasible:
+                self.infeasible_expiries += 1
+            else:
+                self.latency_monitor.observe(now, good=False)
         else:  # rejected
             reason = response.reason or "rejected"
             self.recorder.record("reject", now, request_id=rid, reason=reason)
@@ -238,8 +255,11 @@ class ServeObserver:
     # -- SLO summary -------------------------------------------------------
     def slo_summary(self) -> dict:
         """The ``slo_monitor`` block of ``SERVE_slo.json``."""
+        latency = self.latency_monitor.summary()
+        latency["infeasible_excluded"] = self.infeasible_expiries
+        latency["infeasible_deadline_s"] = self.infeasible_deadline_s
         return {
-            "latency": self.latency_monitor.summary(),
+            "latency": latency,
             "accuracy": self.accuracy_monitor.summary(),
             "flight_recorder": {
                 "recorded": self.recorder.recorded,

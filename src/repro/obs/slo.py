@@ -64,6 +64,38 @@ DEFAULT_WINDOWS = (
 )
 
 
+class _WindowCount:
+    """Sliding ``(t - length, t]`` good/bad counts over an ordered stream.
+
+    Exact replacement for a per-observation rescan: events enter once,
+    leave once (amortized O(1) per observation), and the retained
+    ``total``/``bad`` equal what a scan of the same half-open interval
+    would count, because eviction uses the same ``at <= t - length``
+    boundary the scan excludes.
+    """
+
+    __slots__ = ("length", "events", "total", "bad", "last_t")
+
+    def __init__(self, length: float) -> None:
+        self.length = length
+        self.events: deque[tuple[float, bool]] = deque()
+        self.total = 0
+        self.bad = 0
+        self.last_t = float("-inf")
+
+    def push(self, t: float, good: bool) -> None:
+        self.events.append((t, good))
+        self.total += 1
+        if not good:
+            self.bad += 1
+        edge = t - self.length
+        while self.events and self.events[0][0] <= edge:
+            _, was_good = self.events.popleft()
+            self.total -= 1
+            if not was_good:
+                self.bad -= 1
+        self.last_t = t
+
 class BurnRateMonitor:
     """Windowed error-budget burn evaluation over a virtual event stream.
 
@@ -92,6 +124,16 @@ class BurnRateMonitor:
         self.recorder = recorder
         self._events: deque[tuple[float, bool]] = deque()
         self._horizon = max(w.long_s for w in self.windows)
+        # Sliding-window counters, one per distinct window length: the
+        # virtual event stream is time-ordered, so each window's burn is
+        # maintained incrementally (append + evict-stale) instead of
+        # rescanning the retained events at every observation.
+        self._win_lengths = sorted(
+            {w.long_s for w in self.windows} | {w.short_s for w in self.windows}
+        )
+        self._win = {length: _WindowCount(length) for length in self._win_lengths}
+        self._last_t = float("-inf")
+        self._ordered = True
         self._active = [False] * len(self.windows)
         self.total = 0
         self.bad = 0
@@ -107,6 +149,16 @@ class BurnRateMonitor:
         self._events.append((t, good))
         while self._events and self._events[0][0] < t - self._horizon:
             self._events.popleft()
+        if t < self._last_t:
+            # Out-of-order observation (not produced by the event loop,
+            # but allowed by the API): the sliding counters assume a
+            # time-ordered stream, so retire them for this monitor and
+            # let every later burn evaluation use the exact scan path.
+            self._ordered = False
+        self._last_t = max(self._last_t, t)
+        if self._ordered:
+            for win in self._win.values():
+                win.push(t, good)
         raised: list[dict] = []
         for i, window in enumerate(self.windows):
             burn_long = self._burn(t, window.long_s)
@@ -145,6 +197,13 @@ class BurnRateMonitor:
 
     def _burn(self, t: float, window_s: float) -> float:
         """Burn rate over ``(t - window_s, t]``: bad fraction / budget."""
+        win = self._win.get(window_s)
+        if self._ordered and win is not None and win.last_t == t:
+            if win.total == 0:
+                return 0.0
+            return (win.bad / win.total) / self.budget
+        # Fallback scan for a window length or instant the sliding
+        # counters don't track (direct callers outside ``observe``).
         total = 0
         bad = 0
         for at, good in self._events:

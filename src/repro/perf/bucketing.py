@@ -77,9 +77,18 @@ def run_bucketed(
             a, b = problems[i]
             results[i], _ = gemm.run(a, b)
             continue
-        stacked_a = np.stack([problems[i][0] for i in indices])
-        stacked_b = np.stack([problems[i][1] for i in indices])
-        d, _ = gemm.run_batched(stacked_a, stacked_b)
+        elements = getattr(gemm, "run_batched_elements", None)
+        if elements is not None:
+            # Element-listed entry: shares split-cache entries per
+            # element across launches (bit-identical to the stack path).
+            d, _ = elements(
+                [problems[i][0] for i in indices],
+                [problems[i][1] for i in indices],
+            )
+        else:
+            stacked_a = np.stack([problems[i][0] for i in indices])
+            stacked_b = np.stack([problems[i][1] for i in indices])
+            d, _ = gemm.run_batched(stacked_a, stacked_b)
         for pos, i in enumerate(indices):
             results[i] = d[pos]
     return results  # type: ignore[return-value]

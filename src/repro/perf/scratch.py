@@ -1,0 +1,218 @@
+"""Preallocated scratch buffers for the hot-path NumPy dispatches.
+
+The emulation cadence and the serving batcher issue many short-lived
+intermediate arrays per launch — chunk partial products, the float64
+promotion of the running accumulator, stacked operand buffers.  Under a
+high-rate serving loop those allocations dominate: the arrays are small
+(a few KB to a few MB), identically shaped from batch to batch, and dead
+the moment the launch completes, which is exactly the profile allocator
+churn punishes hardest.
+
+:class:`ScratchPool` keeps one preallocated buffer per ``(tag, shape,
+dtype)`` bucket and hands the *same* array back every time the bucket
+repeats, so steady-state serving performs zero hot-path allocations.
+
+Contract (deliberately minimal, matching how GEMM scratch behaves on a
+real device):
+
+* ``take`` returns a buffer with **arbitrary contents** — callers must
+  fully overwrite before reading (e.g. ``np.matmul(..., out=buf)``);
+* the buffer is valid until the *same bucket* is taken again — callers
+  namespace concurrent uses with distinct ``tag`` strings;
+* buffers are **per-thread** (thread-local storage), so two threads can
+  never alias a bucket; the pool object itself may be shared freely.
+
+Buckets are evicted least-recently-used once a thread's live bytes
+exceed ``max_bytes``; a request larger than the whole budget is served
+by a plain uncached allocation.  Like :class:`~repro.perf.SplitCache`,
+every live pool reports into the ``perf.scratch`` registry provider and
+pickled pools arrive empty (buffers are process/thread-local).
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..obs.metrics import get_registry
+
+__all__ = ["ScratchStats", "ScratchPool", "default_pool", "scratch_pool_stats"]
+
+#: default per-thread byte budget — comfortably holds the serving hot
+#: set (every live shape bucket times four split terms) while bounding a
+#: pathological shape sweep
+_DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+#: live pools for the registry provider (see split_cache._LIVE_CACHES)
+_LIVE_POOLS: "weakref.WeakValueDictionary[int, ScratchPool]" = weakref.WeakValueDictionary()
+
+_RETIRED = {"pools": 0, "hits": 0, "misses": 0, "evictions": 0, "oversize": 0}
+_RETIRED_LOCK = threading.Lock()
+
+
+def _retire(stats: "ScratchStats") -> None:
+    with _RETIRED_LOCK:
+        _RETIRED["pools"] += 1
+        _RETIRED["hits"] += stats.hits
+        _RETIRED["misses"] += stats.misses
+        _RETIRED["evictions"] += stats.evictions
+        _RETIRED["oversize"] += stats.oversize
+
+
+def scratch_pool_stats() -> dict[str, float]:
+    """Aggregate reuse stats across every :class:`ScratchPool` ever made.
+
+    Registered as the ``perf.scratch`` provider.  ``hit_rate`` is the
+    fraction of ``take`` calls served without allocating — the direct
+    measure of how allocation-free the hot path runs.
+    """
+    with _RETIRED_LOCK:
+        totals = {
+            "pools": 0, "live_bytes": 0,
+            "hits": _RETIRED["hits"], "misses": _RETIRED["misses"],
+            "evictions": _RETIRED["evictions"], "oversize": _RETIRED["oversize"],
+            "retired_pools": _RETIRED["pools"],
+        }
+    for pool in list(_LIVE_POOLS.values()):
+        with pool._lock:
+            totals["pools"] += 1
+            totals["live_bytes"] += pool._live_bytes
+            totals["hits"] += pool.stats.hits
+            totals["misses"] += pool.stats.misses
+            totals["evictions"] += pool.stats.evictions
+            totals["oversize"] += pool.stats.oversize
+    takes = totals["hits"] + totals["misses"] + totals["oversize"]
+    totals["hit_rate"] = totals["hits"] / takes if takes else 0.0
+    return totals
+
+
+@dataclass
+class ScratchStats:
+    """Reuse counters of one pool instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: requests larger than the whole budget, served uncached
+    oversize: int = 0
+
+    @property
+    def takes(self) -> int:
+        return self.hits + self.misses + self.oversize
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.takes if self.takes else 0.0
+
+
+@dataclass
+class ScratchPool:
+    """Shape-bucketed preallocated buffers with LRU eviction, per-thread."""
+
+    max_bytes: int = _DEFAULT_MAX_BYTES
+    stats: ScratchStats = field(default_factory=ScratchStats)
+
+    def __post_init__(self) -> None:
+        if self.max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        #: live bytes across threads (reporting only; eviction is per-thread)
+        self._live_bytes = 0
+        _LIVE_POOLS[id(self)] = self
+        weakref.finalize(self, _retire, self.stats)
+
+    def _buffers(self) -> OrderedDict:
+        bufs = getattr(self._local, "buffers", None)
+        if bufs is None:
+            bufs = self._local.buffers = OrderedDict()
+            self._local.nbytes = 0
+        return bufs
+
+    def take(self, tag: str, shape: tuple, dtype=np.float64) -> np.ndarray:
+        """The bucket's buffer, allocating on first use.  Contents arbitrary.
+
+        The returned array is owned by the caller until the same
+        ``(tag, shape, dtype)`` bucket is taken again on this thread.
+        """
+        shape = tuple(int(s) for s in shape)
+        dt = np.dtype(dtype)
+        key = (tag, shape, dt.str)
+        bufs = self._buffers()
+        buf = bufs.get(key)
+        if buf is not None:
+            bufs.move_to_end(key)
+            with self._lock:
+                self.stats.hits += 1
+            return buf
+        buf = np.empty(shape, dtype=dt)
+        if buf.nbytes > self.max_bytes:
+            with self._lock:
+                self.stats.oversize += 1
+            return buf
+        bufs[key] = buf
+        self._local.nbytes += buf.nbytes
+        evicted = 0
+        freed = 0
+        while self._local.nbytes > self.max_bytes and len(bufs) > 1:
+            _, old = bufs.popitem(last=False)
+            self._local.nbytes -= old.nbytes
+            freed += old.nbytes
+            evicted += 1
+        with self._lock:
+            self.stats.misses += 1
+            self.stats.evictions += evicted
+            self._live_bytes += buf.nbytes - freed
+        return buf
+
+    def clear(self) -> None:
+        """Drop this thread's buffers (other threads keep theirs)."""
+        bufs = self._buffers()
+        freed = sum(b.nbytes for b in bufs.values())
+        bufs.clear()
+        self._local.nbytes = 0
+        with self._lock:
+            self._live_bytes -= freed
+
+    @property
+    def live_buffers(self) -> int:
+        """Buckets currently held for the calling thread."""
+        return len(self._buffers())
+
+    # --- pickling ---------------------------------------------------------
+    # A pickled pool arrives empty: buffers are process/thread-local and
+    # locks are unpicklable, mirroring SplitCache's worker semantics.
+    def __getstate__(self) -> dict:
+        return {"max_bytes": self.max_bytes}
+
+    def __setstate__(self, state: dict) -> None:
+        self.max_bytes = state["max_bytes"]
+        self.stats = ScratchStats()
+        self.__post_init__()
+
+
+_DEFAULT_POOL: ScratchPool | None = None
+_DEFAULT_POOL_LOCK = threading.Lock()
+
+
+def default_pool() -> ScratchPool:
+    """The process-wide shared pool (created on first use).
+
+    Thread safety comes from the pool's own per-thread buffers, so one
+    shared instance serves every ``EmulatedGemm`` without wiring.
+    """
+    global _DEFAULT_POOL
+    pool = _DEFAULT_POOL
+    if pool is None:
+        with _DEFAULT_POOL_LOCK:
+            pool = _DEFAULT_POOL
+            if pool is None:
+                pool = _DEFAULT_POOL = ScratchPool()
+    return pool
+
+
+get_registry().register_provider("perf.scratch", scratch_pool_stats)

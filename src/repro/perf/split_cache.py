@@ -214,6 +214,32 @@ class SplitCache:
             return ("id", split_name, id(x))
         return ("content", split_name, x.shape, x.dtype.str, _fingerprint(x))
 
+    def _lookup_locked(self, key: tuple, x: np.ndarray) -> SplitPlan | None:
+        """Probe one entry under the lock; handles guard-stale retirement."""
+        entry = self._entries.get(key)
+        if entry is not None and (entry.array is None or entry.array is x):
+            if entry.array is not None and entry.guard != _guard_sample(x):
+                # Frozen view, writeable base, content changed: the
+                # cached plan no longer describes this data.
+                del self._entries[key]
+                self.stats.stale += 1
+                return None
+            self._entries.move_to_end(key)
+            return entry.plan
+        return None
+
+    def _insert_locked(self, key: tuple, x: np.ndarray, plan: SplitPlan) -> None:
+        is_id = key[0] == "id"
+        self._entries[key] = _Entry(
+            plan=plan,
+            array=x if is_id else None,
+            guard=_guard_sample(x) if is_id else b"",
+        )
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
     # --- API --------------------------------------------------------------
     def get(self, x: np.ndarray, split_name: str, splitter) -> SplitPlan:
         """The split plan for ``x``, computing it on a miss.
@@ -224,37 +250,75 @@ class SplitCache:
         """
         key = self._key(x, split_name)
         with self._lock:
-            entry = self._entries.get(key)
-            if entry is not None and (entry.array is None or entry.array is x):
-                if entry.array is not None and entry.guard != _guard_sample(x):
-                    # Frozen view, writeable base, content changed: the
-                    # cached plan no longer describes this data.
-                    del self._entries[key]
-                    self.stats.stale += 1
-                else:
-                    self._entries.move_to_end(key)
-                    self.stats.hits += 1
-                    return entry.plan
+            plan = self._lookup_locked(key, x)
+            if plan is not None:
+                self.stats.hits += 1
+                return plan
             self.stats.misses += 1
         # Split outside the lock: the split is the expensive part and is
         # deterministic, so a racing duplicate costs time, not correctness.
         plan = SplitPlan(splitter(x))
         with self._lock:
-            is_id = key[0] == "id"
-            self._entries[key] = _Entry(
-                plan=plan,
-                array=x if is_id else None,
-                guard=_guard_sample(x) if is_id else b"",
-            )
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+            self._insert_locked(key, x, plan)
         return plan
+
+    def get_stacked(self, elements: list, split_name: str, splitter) -> SplitPlan:
+        """A *stacked* split plan assembled from per-element cache entries.
+
+        The bucket-aware key path for stacked-chunk launches: each
+        element of the batch is keyed **individually** (identity or
+        content, exactly as :meth:`get` would key it), so a stacked
+        launch shares entries with single-request runs and with any
+        other batch containing the same operand.  Missing elements are
+        split by ONE ``splitter`` call over their sub-stack; their
+        per-element plans (views into the sub-stack's parts) are
+        inserted for future sharing.  Because the split is elementwise,
+        the assembled stacked plan is bit-identical to splitting the
+        stacked operand directly.
+        """
+        x32s = [np.asarray(x) for x in elements]
+        keys = [self._key(x, split_name) for x in x32s]
+        plans: list[SplitPlan | None] = [None] * len(x32s)
+        with self._lock:
+            for i, (x, key) in enumerate(zip(x32s, keys)):
+                plan = self._lookup_locked(key, x)
+                if plan is not None:
+                    self.stats.hits += 1
+                    plans[i] = plan
+                else:
+                    self.stats.misses += 1
+        missing = [i for i, p in enumerate(plans) if p is None]
+        if missing:
+            sub = np.stack([x32s[i] for i in missing])
+            pair = splitter(sub)
+            for pos, i in enumerate(missing):
+                plans[i] = SplitPlan(SplitPair(hi=pair.hi[pos], lo=pair.lo[pos]))
+            with self._lock:
+                for i in missing:
+                    self._insert_locked(keys[i], x32s[i], plans[i])
+            if len(missing) == len(plans):
+                # Nothing was shared: the sub-stack IS the stack, in
+                # order — reuse its parts without restacking.
+                return SplitPlan(pair)
+        hi = np.stack([p.pair.hi for p in plans])
+        lo = np.stack([p.pair.lo for p in plans])
+        return SplitPlan(SplitPair(hi=hi, lo=lo))
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the counters in place (steady-state measurements).
+
+        Mutates the existing :class:`CacheStats` object so the retire
+        finalizer and any aliased references stay coherent.
+        """
+        with self._lock:
+            self.stats.hits = 0
+            self.stats.misses = 0
+            self.stats.evictions = 0
+            self.stats.stale = 0
 
     def __len__(self) -> int:
         with self._lock:

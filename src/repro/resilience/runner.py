@@ -244,6 +244,9 @@ class ResilientRunner:
     stage_timeout_s: float | None = None
     validate_output: bool = True
     sleep: Callable[[float], None] = time.sleep
+    #: per-runner kernel instance cache — ``get_kernel`` constructs a
+    #: fresh kernel object per call, which a reused runner amortizes away
+    _kernels: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.escalation not in ("scaled", "ozaki", "none"):
@@ -342,7 +345,10 @@ class ResilientRunner:
         attempts: list[Attempt] = []
         last_error: BaseException | None = None
         for name in self.chain:
-            kernel = get_kernel(name)
+            kernel = self._kernels.get(name)
+            if kernel is None:
+                kernel = get_kernel(name)
+                self._kernels[name] = kernel
             escalation = self._pick_escalation(kernel, ha, hb)
             for i in range(1, self.attempts_per_kernel + 1):
                 backoff = 0.0

@@ -66,7 +66,7 @@ class RequestStatus(enum.Enum):
     EXPIRED = "expired"
 
 
-@dataclass
+@dataclass(slots=True)
 class GemmRequest:
     """One GEMM problem plus its accuracy/latency service contract."""
 
@@ -123,7 +123,7 @@ class GemmRequest:
         return self.submitted_at + self.deadline_s
 
 
-@dataclass
+@dataclass(slots=True)
 class GemmResponse:
     """Terminal outcome of one request, with full provenance."""
 

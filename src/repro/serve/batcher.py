@@ -16,6 +16,13 @@ Two knobs bound the latency cost of waiting for company:
 
 The batcher is clock-agnostic: callers pass ``now`` (the service's
 virtual clock) and poll :meth:`next_due` to schedule the timeout event.
+
+Bookkeeping is struct-of-array (:class:`~repro.serve.soa.RequestTable`):
+buckets hold preallocated slot arrays and maintain their urgency
+aggregates (max priority, earliest deadline) incrementally, so a formed
+:class:`Batch` carries O(1) scalars where the object design re-derived
+them by walking request lists.  The ``requests`` object list is
+materialized once per batch, at formation — the API boundary.
 """
 
 from __future__ import annotations
@@ -23,10 +30,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable
 
+import numpy as np
+
 from ..obs.metrics import get_registry
 from ..perf.bucketing import bucket_by_shape, gemm_shape_key
 from .api import GemmRequest
 from .router import RoutingDecision
+from .soa import RequestState, RequestTable
 
 __all__ = ["Batch", "DynamicBatcher", "compatibility_key"]
 
@@ -43,7 +53,15 @@ def compatibility_key(request: GemmRequest, decision: RoutingDecision) -> Hashab
 
 @dataclass
 class Batch:
-    """A dispatchable group of shape/kernel-compatible requests."""
+    """A dispatchable group of shape/kernel-compatible requests.
+
+    ``slots`` indexes the owning :class:`RequestTable` (the hot-path
+    identity of the members); ``requests`` is the object list
+    materialized at formation for executors and observers.  ``priority``
+    and ``deadline_at`` are precomputed aggregates — O(1) reads for the
+    device queues' urgency ordering, where the object design walked the
+    member list on every comparison.
+    """
 
     key: Hashable
     decision: RoutingDecision
@@ -55,60 +73,110 @@ class Batch:
     #: formation-order id assigned by the batcher (flight-recorder /
     #: trace join key linking member requests to their batch)
     batch_id: int = -1
+    #: RequestTable rows of the members, aligned with ``requests``
+    slots: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    #: owning table (None for hand-built batches in tests)
+    table: RequestTable | None = None
+    #: max member priority — a batch is as urgent as its most urgent member
+    priority: int = 0
+    #: earliest member deadline — the batch's own urgency horizon
+    deadline_at: float = float("inf")
 
     @property
     def size(self) -> int:
         return len(self.requests)
 
     @property
-    def priority(self) -> int:
-        """A batch is as urgent as its most urgent member."""
-        return max((r.priority for r in self.requests), default=0)
-
-    @property
-    def deadline_at(self) -> float:
-        """Earliest member deadline — the batch's own urgency horizon."""
-        return min((r.deadline_at for r in self.requests), default=float("inf"))
-
-    @property
     def service_s(self) -> float:
         """Modelled fused execution time of the whole batch."""
         return self.decision.batch_seconds(self.size)
 
+    def trim(self, keep: np.ndarray) -> None:
+        """Drop members not in ``keep`` (boolean mask), refreshing the
+        urgency aggregates from the surviving rows."""
+        indices = np.flatnonzero(keep)
+        self.slots = self.slots[indices]
+        self.requests = [self.requests[int(i)] for i in indices]
+        if self.table is not None and len(self.slots):
+            self.priority = int(self.table.priority[self.slots].max())
+            self.deadline_at = float(self.table.deadline_at[self.slots].min())
 
-@dataclass
+
 class _Bucket:
-    decision: RoutingDecision
-    requests: list[GemmRequest] = field(default_factory=list)
-    oldest_at: float = 0.0
+    """One compatibility bucket: a preallocated slot array + aggregates."""
+
+    __slots__ = ("decision", "slots", "count", "oldest_at", "max_priority",
+                 "min_deadline")
+
+    def __init__(self, capacity: int):
+        self.slots = np.empty(capacity, dtype=np.int64)
+        self.reset(None, 0.0)
+
+    def reset(self, decision: RoutingDecision | None, now: float) -> None:
+        self.decision = decision
+        self.count = 0
+        self.oldest_at = now
+        self.max_priority = 0
+        self.min_deadline = float("inf")
 
 
 class DynamicBatcher:
     """Shape-bucketed request coalescing with a bounded wait window."""
 
-    def __init__(self, max_batch_size: int = 8, max_wait_s: float = 200e-6):
+    def __init__(
+        self,
+        max_batch_size: int = 8,
+        max_wait_s: float = 200e-6,
+        table: RequestTable | None = None,
+    ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be at least 1")
         if max_wait_s < 0.0:
             raise ValueError("max_wait_s must be non-negative")
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_s
+        self.table = table if table is not None else RequestTable()
         self._buckets: dict[Hashable, _Bucket] = {}
+        #: recycled bucket objects — the slot arrays are preallocated
+        #: once and reused across formations instead of reallocated
+        self._bucket_pool: list[_Bucket] = []
         self.batches_formed = 0
         self.requests_batched = 0
+        self._pending = 0
 
     # -- intake ---------------------------------------------------------
     def add(
         self, request: GemmRequest, decision: RoutingDecision, now: float
     ) -> Batch | None:
-        """Bucket one request; returns a full batch the moment one fills."""
+        """Bucket one request; returns a full batch the moment one fills.
+
+        The request is parked in the table (slot acquired here, released
+        by the caller at terminal resolution) and all bucket bookkeeping
+        is on the table's columns.
+        """
         key = compatibility_key(request, decision)
         bucket = self._buckets.get(key)
         if bucket is None:
-            bucket = self._buckets[key] = _Bucket(decision=decision, oldest_at=now)
-        bucket.requests.append(request)
-        get_registry().set_gauge("serve.batcher.pending", self.pending)
-        if len(bucket.requests) >= self.max_batch_size:
+            if self._bucket_pool:
+                bucket = self._bucket_pool.pop()
+                bucket.reset(decision, now)
+            else:
+                bucket = _Bucket(self.max_batch_size)
+                bucket.reset(decision, now)
+            self._buckets[key] = bucket
+        slot = self.table.acquire(request)
+        bucket.slots[bucket.count] = slot
+        bucket.count += 1
+        self._pending += 1
+        if request.priority > bucket.max_priority:
+            bucket.max_priority = request.priority
+        deadline = request.deadline_at
+        if deadline < bucket.min_deadline:
+            bucket.min_deadline = deadline
+        registry = get_registry()
+        if registry.enabled:
+            registry.set_gauge("serve.batcher.pending", self._pending)
+        if bucket.count >= self.max_batch_size:
             return self._form(key, now)
         return None
 
@@ -155,26 +223,34 @@ class DynamicBatcher:
 
     @property
     def pending(self) -> int:
-        return sum(len(b.requests) for b in self._buckets.values())
+        return self._pending
 
     # -- internals ------------------------------------------------------
     def _form(self, key: Hashable, now: float) -> Batch:
         bucket = self._buckets.pop(key)
+        slots = bucket.slots[: bucket.count].copy()
+        self.table.state[slots] = RequestState.BATCHED
         batch = Batch(
             key=key,
             decision=bucket.decision,
-            requests=bucket.requests,
+            requests=self.table.requests_for(slots),
             created_at=bucket.oldest_at,
             dispatched_at=now,
             batch_id=self.batches_formed,
+            slots=slots,
+            table=self.table,
+            priority=bucket.max_priority,
+            deadline_at=bucket.min_deadline,
         )
         self.batches_formed += 1
         self.requests_batched += batch.size
+        self._pending -= batch.size
+        self._bucket_pool.append(bucket)
         registry = get_registry()
         if registry.enabled:
             registry.inc("serve.batcher.batches")
             registry.observe("serve.batcher.batch_size", batch.size)
-            registry.set_gauge("serve.batcher.pending", self.pending)
+            registry.set_gauge("serve.batcher.pending", self._pending)
         return batch
 
     def stats(self) -> dict:

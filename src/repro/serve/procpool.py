@@ -1,0 +1,263 @@
+"""Opt-in multiprocess shared-memory execution of deferred batch math.
+
+The serving event loop is virtual-time and single-threaded by design —
+real threads would make latency figures nondeterministic.  The *math*
+behind completed responses, however, is pure: by the time
+:meth:`~repro.serve.service.GemmService._flush_deferred` runs, every
+shape-grouped stacked launch is an independent, side-effect-free
+computation whose result is bit-identical no matter where it executes.
+That makes the flush phase the one safe place to spend real cores.
+
+``REPRO_SERVE_PROCS=N`` (N >= 1) opts in: the pool forks ``N`` worker
+processes, ships each group's stacked operands through
+``multiprocessing.shared_memory`` (one block per job, laid out
+``[A | B | C? | D]``, so operands cross the process boundary as raw
+bytes — no pickling of array payloads), and the workers write the
+product ``D`` back into the same block.  Workers rebuild kernels by
+name from :mod:`repro.kernels.registry`; ``run_batched`` is
+bit-identical to the in-process path by construction, so results are
+byte-deterministic for a fixed seed regardless of worker count or
+scheduling.
+
+Every failure mode falls back to the in-process path: no
+``SharedMemory`` support (platforms without ``/dev/shm``), fork
+unavailable, a worker crash, or a per-job error each degrade cleanly —
+the serving layer never *requires* the pool.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["SharedMemoryGemmPool", "procs_requested", "get_shared_pool"]
+
+#: sentinel kernel name for the plain stacked-fp32 path
+FP32_KERNEL = "__fp32_stacked__"
+
+
+def procs_requested() -> int:
+    """Worker count requested via ``REPRO_SERVE_PROCS`` (0 = disabled)."""
+    raw = os.environ.get("REPRO_SERVE_PROCS", "").strip()
+    if not raw:
+        return 0
+    try:
+        return max(int(raw), 0)
+    except ValueError:
+        return 0
+
+
+def _attach(name: str):
+    """Attach to a shared block without taking ownership of it.
+
+    The creating process owns the block's lifetime.  Python >= 3.13
+    makes that explicit (``track=False``); on older versions a plain
+    attach is correct under the fork start method (the registration is
+    a set-add in the *shared* resource tracker, removed exactly once by
+    the parent's ``unlink``).
+    """
+    from multiprocessing.shared_memory import SharedMemory
+
+    try:
+        return SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        return SharedMemory(name=name)
+
+
+def _views(buf, dims: tuple[int, int, int, int], has_c: bool):
+    """The ``[A | B | C? | D]`` float32 views over one job's block."""
+    nb, m, k, n = dims
+    a_sz, b_sz, mn_sz = nb * m * k, nb * k * n, nb * m * n
+    off = 0
+    a = np.frombuffer(buf, dtype=np.float32, count=a_sz, offset=off).reshape(nb, m, k)
+    off += a_sz * 4
+    b = np.frombuffer(buf, dtype=np.float32, count=b_sz, offset=off).reshape(nb, k, n)
+    off += b_sz * 4
+    c = None
+    if has_c:
+        c = np.frombuffer(buf, dtype=np.float32, count=mn_sz, offset=off).reshape(nb, m, n)
+        off += mn_sz * 4
+    d = np.frombuffer(buf, dtype=np.float32, count=mn_sz, offset=off).reshape(nb, m, n)
+    return a, b, c, d
+
+
+def _job_bytes(dims: tuple[int, int, int, int], has_c: bool) -> int:
+    nb, m, k, n = dims
+    return 4 * (nb * m * k + nb * k * n + (2 if has_c else 1) * nb * m * n)
+
+
+def _worker_loop(conn) -> None:
+    """Worker entry: attach, compute, write D in place, acknowledge."""
+    kernels: dict[str, object] = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg is None:
+            return
+        job_id, shm_name, kernel_name, dims, has_c = msg
+        try:
+            shm = _attach(shm_name)
+            try:
+                a, b, c, d_slot = _views(shm.buf, dims, has_c)
+                if kernel_name == FP32_KERNEL:
+                    d = np.matmul(a, b)
+                    if c is not None:
+                        d = d + c
+                else:
+                    kernel = kernels.get(kernel_name)
+                    if kernel is None:
+                        from ..kernels.registry import get_kernel
+
+                        kernel = get_kernel(kernel_name)
+                        kernels[kernel_name] = kernel
+                    d, _ = kernel._gemm.run_batched(a, b, c)  # noqa: SLF001
+                d_slot[...] = d
+            finally:
+                del a, b, c, d_slot  # drop buffer views before close
+                shm.close()
+            conn.send((job_id, None))
+        except Exception as exc:  # per-job fallback signal
+            try:
+                conn.send((job_id, f"{type(exc).__name__}: {exc}"))
+            except Exception:
+                return
+
+
+class SharedMemoryGemmPool:
+    """N forked workers computing stacked GEMM groups via shared memory."""
+
+    def __init__(self, procs: int):
+        if procs < 1:
+            raise ValueError("procs must be >= 1")
+        import multiprocessing as mp
+        from multiprocessing.shared_memory import SharedMemory
+
+        if "fork" in mp.get_all_start_methods():
+            ctx = mp.get_context("fork")
+        else:  # pragma: no cover - non-fork platforms
+            ctx = mp.get_context("spawn")
+        # Probe shared-memory support up front so an unsupported
+        # platform fails construction (and the caller falls back) once.
+        probe = SharedMemory(create=True, size=16)
+        probe.close()
+        probe.unlink()
+        self.procs = procs
+        self._workers = []
+        self._conns = []
+        for _ in range(procs):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=_worker_loop, args=(child_conn,), daemon=True)
+            proc.start()
+            child_conn.close()
+            self._workers.append(proc)
+            self._conns.append(parent_conn)
+
+    def run_groups(self, jobs: list[tuple]) -> list[np.ndarray | None]:
+        """Execute ``(kernel_name, a_list, b_list, c_list | None)`` jobs.
+
+        Jobs are dealt round-robin to the workers, all dispatched before
+        any collection so independent groups overlap.  A job whose
+        worker reports an error (or dies) comes back as ``None`` — the
+        caller recomputes it in process.  Collection order is by job
+        index, so the returned list is deterministic.
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        blocks: list = [None] * len(jobs)
+        metas: list = [None] * len(jobs)
+        results: list[np.ndarray | None] = [None] * len(jobs)
+        sent: list[list[int]] = [[] for _ in self._conns]
+        try:
+            for idx, (kernel_name, a_list, b_list, c_list) in enumerate(jobs):
+                nb = len(a_list)
+                m, k = a_list[0].shape
+                n = b_list[0].shape[1]
+                dims = (nb, m, k, n)
+                has_c = c_list is not None
+                shm = SharedMemory(create=True, size=_job_bytes(dims, has_c))
+                a, b, c, _d = _views(shm.buf, dims, has_c)
+                for i in range(nb):
+                    a[i] = a_list[i]
+                    b[i] = b_list[i]
+                    if has_c:
+                        c[i] = c_list[i]
+                del a, b, c, _d
+                blocks[idx] = shm
+                metas[idx] = (dims, has_c)
+                conn_i = idx % len(self._conns)
+                self._conns[conn_i].send((idx, shm.name, kernel_name, dims, has_c))
+                sent[conn_i].append(idx)
+            # Each worker is serial, so its pipe yields acknowledgements
+            # in dispatch order; a dead worker leaves its jobs as None
+            # and the caller recomputes them in process.
+            for conn_i, conn in enumerate(self._conns):
+                for _ in sent[conn_i]:
+                    try:
+                        job_id, error = conn.recv()
+                    except (EOFError, OSError):
+                        break
+                    if error is None:
+                        dims, has_c = metas[job_id]
+                        _a, _b, _c, d = _views(blocks[job_id].buf, dims, has_c)
+                        results[job_id] = np.array(d, copy=True)
+                        del _a, _b, _c, d
+        finally:
+            for shm in blocks:
+                if shm is not None:
+                    try:
+                        shm.close()
+                        shm.unlink()
+                    except Exception:
+                        pass
+        return results
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(None)
+                conn.close()
+            except Exception:
+                pass
+        for proc in self._workers:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover
+                proc.terminate()
+        self._workers = []
+        self._conns = []
+
+    def __del__(self):  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+_POOL: SharedMemoryGemmPool | None = None
+_POOL_UNAVAILABLE = False
+
+
+def get_shared_pool() -> SharedMemoryGemmPool | None:
+    """Process-wide pool singleton honouring ``REPRO_SERVE_PROCS``.
+
+    Returns ``None`` when the feature is off (the default), when a
+    previous construction attempt failed (no shared-memory support), or
+    when construction fails now — callers treat ``None`` as "use the
+    in-process path".
+    """
+    global _POOL, _POOL_UNAVAILABLE
+    procs = procs_requested()
+    if procs <= 0 or _POOL_UNAVAILABLE:
+        return None
+    if _POOL is None or _POOL.procs != procs:
+        if _POOL is not None:
+            _POOL.close()
+            _POOL = None
+        try:
+            _POOL = SharedMemoryGemmPool(procs)
+        except Exception:
+            _POOL_UNAVAILABLE = True
+            return None
+    return _POOL

@@ -39,6 +39,7 @@ from ..obs.tracing import get_tracer
 from .api import GemmRequest, GemmResponse, RequestStatus, SloUnsatisfiableError
 from .batcher import Batch, DynamicBatcher
 from .router import DEFAULT_MENU, PrecisionRouter
+from .soa import RequestState, RequestTable
 from .workers import DeviceWorker, WorkerPool
 
 __all__ = ["ServeConfig", "GemmService", "serve_stats"]
@@ -108,12 +109,24 @@ def serve_stats() -> dict:
 get_registry().register_provider("serve.service", serve_stats)
 
 
-@dataclass
+@dataclass(slots=True)
 class _Event:
     kind: str
     request: GemmRequest | None = None
     device: str | None = None
     batch: Batch | None = None
+
+
+#: sentinel deferred-execution engine for plain fp32 matmul kernels —
+#: a stacked ``np.matmul`` over f32 slices is bitwise identical to the
+#: per-request ``reference_single`` (BLAS sgemm runs once per slice)
+_FP32_STACKED = "fp32-stacked"
+
+
+def _is_plain_fp32(kernel) -> bool:
+    from ..kernels.cublas import CublasCudaFp32
+
+    return type(kernel) is CublasCudaFp32
 
 
 class GemmService:
@@ -126,9 +139,18 @@ class GemmService:
     default ``None`` keeps the hot path free of telemetry calls.
     """
 
-    def __init__(self, config: ServeConfig | None = None, observer=None):
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        observer=None,
+        defer_math: bool | None = None,
+    ):
         self.config = config or ServeConfig()
         self.observer = observer
+        #: tri-state: True/False force deferred math on/off; None (the
+        #: default) defers automatically whenever tracing and fault
+        #: injection are inactive (see :meth:`_deferral_safe`)
+        self.defer_math = defer_math
         specs = [get_gpu(name) for name in self.config.devices]
         self.pool = WorkerPool(
             [
@@ -149,9 +171,13 @@ class GemmService:
                 self._routers[spec.name] = PrecisionRouter(self.config.menu, spec)
         self.router = self._routers[specs[0].name]
 
+        #: struct-of-array bookkeeping for every in-flight request;
+        #: sized past admission control so steady state never grows
+        self.table = RequestTable(capacity=self.config.max_in_flight + 64)
         self.batcher = DynamicBatcher(
             max_batch_size=self.config.max_batch_size,
             max_wait_s=self.config.max_wait_s,
+            table=self.table,
         )
         self.now = 0.0
         self.responses: dict[int, GemmResponse] = {}
@@ -165,6 +191,12 @@ class GemmService:
         self._seq = itertools.count()
         self._next_id = itertools.count()
         self._executing: dict[str, Batch] = {}
+        #: deferred-math jobs: (gemm, requests, placeholder responses)
+        self._deferred: list[tuple] = []
+        self._defer_active = False
+        #: reliable-path runners, one per primary kernel — reused across
+        #: requests so kernel construction amortizes over the stream
+        self._reliable_runners: dict[str, object] = {}
         self._on_complete: Callable[[GemmResponse, float], list[GemmRequest]] | None = None
         _LIVE_SERVICES[id(self)] = self
         weakref.finalize(self, _retire, self._totals)
@@ -211,7 +243,8 @@ class GemmService:
         request.submitted_at = self.now
         self._totals["submitted"] += 1
         registry = get_registry()
-        registry.inc("serve.requests.submitted")
+        if registry.enabled:
+            registry.inc("serve.requests.submitted")
         if self.observer is not None:
             self.observer.on_admit(self.now, request)
 
@@ -245,8 +278,8 @@ class GemmService:
         if device is None:
             if self.observer is not None:
                 self.observer.on_backpressure(self.now, batch)
-            for request in batch.requests:
-                self._resolve_reject(request, "backpressure")
+            for i, request in enumerate(batch.requests):
+                self._resolve_reject(request, "backpressure", slot=int(batch.slots[i]))
             return
         if self.observer is not None:
             self.observer.on_dispatch(self.now, batch, device.name)
@@ -259,17 +292,25 @@ class GemmService:
         self.pool.record_depth_gauges()
 
     def _start(self, device: DeviceWorker, batch: Batch) -> None:
-        """Begin executing a batch; expire members that missed the start."""
-        live = []
-        for request in batch.requests:
-            if request.deadline_at < self.now:
-                self._resolve_expire(request)
-            else:
-                live.append(request)
-        if not live:
-            self._advance(device)
-            return
-        batch.requests = live
+        """Begin executing a batch; expire members that missed the start.
+
+        The fast path is one scalar compare: ``batch.deadline_at`` is
+        the precomputed earliest member deadline, so a batch with no
+        expired member (the common case) skips the per-member scan
+        entirely; otherwise the scan is one vectorized column read.
+        """
+        if batch.deadline_at < self.now:
+            alive = self.table.deadline_at[batch.slots] >= self.now
+            if not alive.all():
+                for i in np.flatnonzero(~alive):
+                    self._resolve_expire(
+                        batch.requests[int(i)], slot=int(batch.slots[i])
+                    )
+                batch.trim(alive)
+                if not batch.size:
+                    self._advance(device)
+                    return
+        self.table.state[batch.slots] = RequestState.EXECUTING
         service_s = self._price(device, batch)
         start = max(self.now, device.busy_until)
         device.busy_until = start + service_s
@@ -320,6 +361,22 @@ class GemmService:
         which is the join key back to the batch in a postmortem.
         """
         kernel = self.router.kernels[batch.decision.kernel]
+        if self._defer_active and not batch.decision.reliable:
+            gemm = getattr(kernel, "_gemm", None)
+            if gemm is None and _is_plain_fp32(kernel):
+                gemm = _FP32_STACKED
+            if gemm is not None:
+                responses = [
+                    self._resolve_complete(
+                        request, batch, device, None, service_s, [],
+                        slot=int(batch.slots[i]),
+                    )
+                    for i, request in enumerate(batch.requests)
+                ]
+                self._deferred.append(
+                    (gemm, batch.decision.kernel, batch.requests, responses)
+                )
+                return
         results: list[np.ndarray]
         attempts: list[list] = [[] for _ in batch.requests]
         with get_tracer().span(
@@ -337,7 +394,8 @@ class GemmService:
                 results = self._run_batch_exact(kernel, batch)
         for i, request in enumerate(batch.requests):
             self._resolve_complete(
-                request, batch, device, results[i], service_s, attempts[i]
+                request, batch, device, results[i], service_s, attempts[i],
+                slot=int(batch.slots[i]),
             )
 
     def _run_batch_exact(self, kernel, batch: Batch) -> list[np.ndarray]:
@@ -352,12 +410,12 @@ class GemmService:
         requests = batch.requests
         gemm = getattr(kernel, "_gemm", None)
         if gemm is not None and len(requests) > 1:
-            a = np.stack([r.a for r in requests])
-            b = np.stack([r.b for r in requests])
             c = None
             if requests[0].c is not None:  # compatibility key: all-or-none
-                c = np.stack([r.c for r in requests])
-            d, _ = gemm.run_batched(a, b, c)
+                c = [r.c for r in requests]
+            d, _ = gemm.run_batched_elements(
+                [r.a for r in requests], [r.b for r in requests], c
+            )
             return [d[i] for i in range(len(requests))]
         return [kernel.compute(r.a, r.b, r.c) for r in requests]
 
@@ -368,21 +426,110 @@ class GemmService:
         bound is at or below every emulated kernel's at any k — a
         fallback can therefore never violate an SLO the primary met.
         """
-        from ..resilience.runner import ResilientRunner
+        runner = self._reliable_runners.get(kernel_name)
+        if runner is None:
+            from ..resilience.runner import ResilientRunner
 
-        chain = [kernel_name]
-        if kernel_name != "cublas-cuda-fp32":
-            chain.append("cublas-cuda-fp32")
-        runner = ResilientRunner(
-            chain=tuple(chain), abft=True, backoff_s=0.0,
-            sleep=lambda _s: None,
-        )
+            chain = [kernel_name]
+            if kernel_name != "cublas-cuda-fp32":
+                chain.append("cublas-cuda-fp32")
+            runner = ResilientRunner(
+                chain=tuple(chain), abft=True, backoff_s=0.0,
+                sleep=lambda _s: None,
+            )
+            self._reliable_runners[kernel_name] = runner
         return runner.run(request.a, request.b, request.c)
+
+    # -- deferred fused execution ---------------------------------------
+    def _deferral_safe(self) -> bool:
+        """Whether batch math may be deferred past virtual resolution.
+
+        Virtual time, routing, batching, and every observer callback are
+        independent of *when* the bit-accurate products are computed —
+        nothing reads ``response.d`` before :meth:`run` returns.  The
+        two consumers that do care about math running inside the event
+        (the tracer's ``serve.execute`` span join and an armed fault
+        injector, whose strike position depends on execution order)
+        force the eager path.
+        """
+        if self.defer_math is not None:
+            return self.defer_math
+        if get_tracer().enabled:
+            return False
+        from ..emulation import gemm as emulation_gemm
+        from ..obs.hooks import fault_hook_override
+
+        return fault_hook_override(emulation_gemm.FAULT_HOOK) is None
+
+    def _flush_deferred(self) -> None:
+        """Run all deferred batch math as shape-grouped stacked launches.
+
+        Jobs are coalesced across *batches* by (kernel, shape, has-C) —
+        one :meth:`~repro.emulation.gemm.EmulatedGemm
+        .run_batched_elements` launch per group — which is bit-identical
+        per element to the eager per-batch execution (and to per-request
+        ``run``) while amortizing splits, matmul dispatch, and the
+        rounding-cadence passes over every coalesced request of the run.
+        """
+        jobs, self._deferred = self._deferred, []
+        if not jobs:
+            return
+        groups: dict[tuple, tuple] = {}
+        for gemm, kernel_name, requests, responses in jobs:
+            key = (id(gemm), requests[0].shape, requests[0].c is not None)
+            entry = groups.get(key)
+            if entry is None:
+                groups[key] = entry = (gemm, kernel_name, [], [])
+            entry[2].extend(requests)
+            entry[3].extend(responses)
+        group_list = list(groups.values())
+        stacked = [None] * len(group_list)
+        executor = self.pool.shared_executor()
+        if executor is not None:
+            from .procpool import FP32_KERNEL
+
+            try:
+                stacked = executor.run_groups(
+                    [
+                        (
+                            FP32_KERNEL if gemm is _FP32_STACKED else kernel_name,
+                            [r.a for r in requests],
+                            [r.b for r in requests],
+                            [r.c for r in requests]
+                            if requests[0].c is not None
+                            else None,
+                        )
+                        for gemm, kernel_name, requests, responses in group_list
+                    ]
+                )
+            except Exception:
+                stacked = [None] * len(group_list)
+        for (gemm, kernel_name, requests, responses), d in zip(group_list, stacked):
+            if d is None:
+                if gemm is _FP32_STACKED:
+                    d = np.matmul(
+                        np.stack([r.a for r in requests]),
+                        np.stack([r.b for r in requests]),
+                    )
+                    if requests[0].c is not None:
+                        d = d + np.stack([r.c for r in requests])
+                else:
+                    c = None
+                    if requests[0].c is not None:
+                        c = [r.c for r in requests]
+                    d, _ = gemm.run_batched_elements(
+                        [r.a for r in requests], [r.b for r in requests], c
+                    )
+            for i, response in enumerate(responses):
+                response.d = d[i]
 
     # -- resolution -----------------------------------------------------
     def _emit_span(self, response: GemmResponse, request: GemmRequest) -> None:
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
         m, k, n = request.shape
-        with get_tracer().span(
+        with tracer.span(
             "serve.request", category="serve",
             request_id=request.request_id, m=m, k=k, n=n,
             slo=request.max_rel_error, reliable=request.reliable,
@@ -406,27 +553,40 @@ class GemmService:
                 self.submit(follow_up)
 
     def _resolve_reject(
-        self, request: GemmRequest, reason: str, detail: str | None = None
+        self,
+        request: GemmRequest,
+        reason: str,
+        detail: str | None = None,
+        slot: int | None = None,
     ) -> None:
+        if slot is not None:
+            self.table.release(slot)
         self._totals["rejected"] += 1
         self.reject_reasons[reason] = self.reject_reasons.get(reason, 0) + 1
         registry = get_registry()
-        registry.inc("serve.requests.rejected")
-        registry.inc(f"serve.requests.rejected.{reason}")
+        if registry.enabled:
+            registry.inc("serve.requests.rejected")
+            registry.inc(f"serve.requests.rejected.{reason}")
         self._resolve(
             GemmResponse(
                 request_id=request.request_id,
                 status=RequestStatus.REJECTED,
-                reason=detail or reason,
+                # keep the canonical reason key as a prefix so consumers
+                # (e.g. the observer's client-error classification) can
+                # match it without parsing the human-readable detail
+                reason=f"{reason}: {detail}" if detail else reason,
                 latency_s=self.now - request.submitted_at,
             ),
             request,
         )
 
-    def _resolve_expire(self, request: GemmRequest) -> None:
+    def _resolve_expire(self, request: GemmRequest, slot: int | None = None) -> None:
+        if slot is not None:
+            self.table.release(slot)
         self._totals["expired"] += 1
         registry = get_registry()
-        registry.inc("serve.requests.expired")
+        if registry.enabled:
+            registry.inc("serve.requests.expired")
         self._resolve(
             GemmResponse(
                 request_id=request.request_id,
@@ -445,31 +605,33 @@ class GemmService:
         d: np.ndarray,
         service_s: float,
         attempts: list,
-    ) -> None:
+        slot: int | None = None,
+    ) -> GemmResponse:
+        if slot is not None:
+            self.table.release(slot)
         self._totals["completed"] += 1
         latency = self.now - request.submitted_at
         self.latencies.append(latency)
         registry = get_registry()
-        registry.inc("serve.requests.completed")
         if registry.enabled:
+            registry.inc("serve.requests.completed")
             registry.observe("serve.latency_s", latency)
             registry.observe("serve.queue_wait_s", max(latency - service_s, 0.0))
-        self._resolve(
-            GemmResponse(
-                request_id=request.request_id,
-                status=RequestStatus.COMPLETED,
-                d=d,
-                kernel=batch.decision.kernel,
-                error_bound=batch.decision.error_bound,
-                device=device.name,
-                batch_size=batch.size,
-                queued_s=max(latency - service_s, 0.0),
-                service_s=service_s,
-                latency_s=latency,
-                attempts=attempts,
-            ),
-            request,
+        response = GemmResponse(
+            request_id=request.request_id,
+            status=RequestStatus.COMPLETED,
+            d=d,
+            kernel=batch.decision.kernel,
+            error_bound=batch.decision.error_bound,
+            device=device.name,
+            batch_size=batch.size,
+            queued_s=max(latency - service_s, 0.0),
+            service_s=service_s,
+            latency_s=latency,
+            attempts=attempts,
         )
+        self._resolve(response, request)
+        return response
 
     # -- the event loop -------------------------------------------------
     def run(
@@ -488,6 +650,7 @@ class GemmService:
         runs the fleet dry before returning.
         """
         self._on_complete = on_complete
+        self._defer_active = self._deferral_safe()
         try:
             for at, request in arrivals:
                 self._push(at, _Event("arrive", request=request))
@@ -510,6 +673,7 @@ class GemmService:
                         self._dispatch(batch)
         finally:
             self._on_complete = None
+            self._flush_deferred()
         if drain:
             self.check_accounting()
         return self.responses

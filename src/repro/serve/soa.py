@@ -1,0 +1,132 @@
+"""Struct-of-array request bookkeeping for the serving hot path.
+
+The event loop's per-request costs are dominated by Python object
+traffic: every batch-urgency comparison walked a list of
+:class:`~repro.serve.api.GemmRequest` objects, every expiry check ran an
+attribute-access loop, every bucket kept a growing Python list.
+:class:`RequestTable` replaces that bookkeeping with preallocated NumPy
+columns — deadlines, priorities, shape keys, state — indexed by a
+**slot** handle from a ring of free rows, so the hot paths become O(1)
+scalar reads and vectorized column operations.
+
+``GemmRequest`` objects still exist, but only at the API boundary: one
+reference is parked in the table's object column when a request enters
+the batcher and is read back when a response is materialized.  Batches
+and device queues carry slot arrays, not object lists.
+
+Slots are acquired when a request enters the batcher and released at
+terminal resolution; the table doubles its capacity when the ring runs
+dry, so a bounded in-flight population (admission control enforces one)
+never reallocates in steady state.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["RequestState", "RequestTable"]
+
+
+class RequestState(enum.IntEnum):
+    """Lifecycle of one slot (the table's ``state`` column)."""
+
+    FREE = 0
+    QUEUED = 1      #: in a batcher bucket
+    BATCHED = 2     #: in a formed batch (dispatched or device-queued)
+    EXECUTING = 3   #: member of the batch a device is running
+
+
+class RequestTable:
+    """Preallocated struct-of-array storage for in-flight requests."""
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        #: absolute virtual-time deadline (inf = none)
+        self.deadline_at = np.full(capacity, np.inf, dtype=np.float64)
+        #: scheduling priority (larger = more urgent)
+        self.priority = np.zeros(capacity, dtype=np.int64)
+        #: virtual submission timestamp
+        self.submitted_at = np.zeros(capacity, dtype=np.float64)
+        #: (m, k, n) shape key of the GEMM problem
+        self.shape_mkn = np.zeros((capacity, 3), dtype=np.int64)
+        #: RequestState per slot
+        self.state = np.zeros(capacity, dtype=np.int8)
+        #: API-boundary object column — the only per-request Python object
+        self._requests: list = [None] * capacity
+        # free-slot ring: _free[_head : _head+_free_count] (mod capacity)
+        # holds every unoccupied row
+        self._free = np.arange(capacity, dtype=np.int64)
+        self._head = 0
+        self._free_count = capacity
+
+    # -- lifecycle -------------------------------------------------------
+    def acquire(self, request) -> int:
+        """Park one request; returns its slot handle."""
+        if self._free_count == 0:
+            self._grow()
+        slot = int(self._free[self._head])
+        self._head = (self._head + 1) % self.capacity
+        self._free_count -= 1
+        self.deadline_at[slot] = request.deadline_at
+        self.priority[slot] = request.priority
+        self.submitted_at[slot] = request.submitted_at
+        self.shape_mkn[slot] = request.shape
+        self.state[slot] = RequestState.QUEUED
+        self._requests[slot] = request
+        return slot
+
+    def release(self, slot: int) -> None:
+        """Free one slot at terminal resolution."""
+        self._requests[slot] = None
+        self.state[slot] = RequestState.FREE
+        self.deadline_at[slot] = np.inf
+        tail = (self._head + self._free_count) % self.capacity
+        self._free[tail] = slot
+        self._free_count += 1
+
+    def _grow(self) -> None:
+        old = self.capacity
+        new = old * 2
+        for name in ("priority", "submitted_at", "state"):
+            column = getattr(self, name)
+            grown = np.zeros(new, dtype=column.dtype)
+            grown[:old] = column
+            setattr(self, name, grown)
+        deadline = np.full(new, np.inf, dtype=np.float64)
+        deadline[:old] = self.deadline_at
+        self.deadline_at = deadline
+        shapes = np.zeros((new, 3), dtype=np.int64)
+        shapes[:old] = self.shape_mkn
+        self.shape_mkn = shapes
+        self._requests.extend([None] * old)
+        # every new row is free; the old ring was empty when we grew
+        self._free = np.arange(old, new, dtype=np.int64)
+        self._head = 0
+        self._free_count = old
+        # re-pad the ring array to the new capacity
+        grown_free = np.zeros(new, dtype=np.int64)
+        grown_free[:old] = self._free
+        self._free = grown_free
+        self.capacity = new
+
+    # -- reads -----------------------------------------------------------
+    def request(self, slot: int):
+        """The API-boundary object parked in ``slot``."""
+        return self._requests[slot]
+
+    def requests_for(self, slots: np.ndarray) -> list:
+        """Materialize the object list of a slot array (boundary only)."""
+        column = self._requests
+        return [column[int(s)] for s in slots]
+
+    def shape(self, slot: int) -> tuple[int, int, int]:
+        m, k, n = self.shape_mkn[slot]
+        return (int(m), int(k), int(n))
+
+    @property
+    def in_use(self) -> int:
+        return self.capacity - self._free_count

@@ -124,6 +124,19 @@ class WorkerPool:
             get_registry().inc("serve.pool.steals")
         return batch
 
+    def shared_executor(self):
+        """The opt-in multiprocess shared-memory executor, or ``None``.
+
+        Honours ``REPRO_SERVE_PROCS=N`` (see :mod:`repro.serve
+        .procpool`); the default — and every failure mode — is ``None``,
+        meaning "compute in process".  Exposed on the pool so the
+        service reaches real-parallel execution through the same object
+        that owns the simulated fleet.
+        """
+        from .procpool import get_shared_pool
+
+        return get_shared_pool()
+
     def queue_depth(self) -> int:
         return sum(len(d.queue) for d in self.devices)
 

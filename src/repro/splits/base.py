@@ -37,10 +37,14 @@ def _observed(split_method):
 
     @functools.wraps(split_method)
     def wrapper(self, x, *args, **kwargs):
-        with get_tracer().span(
-            "splits.split", category="splits", split=self.name,
-            elements=int(np.asarray(x).size),
-        ):
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "splits.split", category="splits", split=self.name,
+                elements=int(np.asarray(x).size),
+            ):
+                pair = split_method(self, x, *args, **kwargs)
+        else:
             pair = split_method(self, x, *args, **kwargs)
         registry = get_registry()
         if registry.enabled:

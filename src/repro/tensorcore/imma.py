@@ -36,8 +36,11 @@ def imma(a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None) -> np.ndarra
             f"k={a.shape[1]} exceeds the int32 accumulator's exact range "
             f"(max {IMMA_MAX_K})"
         )
-    # int64 matmul is exact for these magnitudes; cast down is checked.
-    wide = a.astype(np.int64) @ b.astype(np.int64)
+    # float64 matmul is exact for these magnitudes — every product is an
+    # integer of magnitude <= 127^2 and every partial sum stays an exact
+    # integer below 2^53 for any k <= IMMA_MAX_K — and it runs on BLAS,
+    # where an integer matmul would take numpy's non-BLAS fallback loop.
+    wide = (a.astype(np.float64) @ b.astype(np.float64)).astype(np.int64)
     if c is not None:
         c = np.asarray(c)
         if c.dtype != np.int32 or c.shape != wide.shape:

@@ -165,7 +165,8 @@ class TestBenchIntegration:
                              "split_cache": {"hit_rate": 0.5}},
             "power_iteration": {"speedup": 2.0, "bit_identical": True},
             "schedule_memoization": {"speedup": 2.0, "hit_rate": 0.9},
-            "bucketed_stream": {"speedup": 1.2, "bit_identical": True},
+            "bucketed_stream": {"speedup": 1.2, "bit_identical": True,
+                                "split_cache": {"hit_rate": 0.5}},
             "serving": {"virtual_throughput_rps": 9e4, "p99_latency_s": 2e-4,
                         "mean_batch_size": 2.0, "counts": {"completed": 100},
                         "wall_seconds": 0.2, "requests_per_wall_second": 500.0},

@@ -1,0 +1,306 @@
+"""Raw-speed serving core: bit-identity, pooling, and SoA invariants.
+
+Covers the hot-path machinery end to end:
+
+* batched-elements GEMM vs per-request serial replay (hypothesis),
+* deferred cross-batch fused execution vs eager execution,
+* split-plan sharing between stacked launches and single runs,
+* :class:`~repro.perf.scratch.ScratchPool` reuse contract,
+* :class:`~repro.serve.soa.RequestTable` slot ring,
+* the opt-in shared-memory process pool (byte determinism + fallback),
+* the burn-rate monitor's sliding-window counters vs a brute scan,
+* the seed-0 quick SLO compliance values (regression pin).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.emulation.gemm import EmulatedGemm
+from repro.obs.serving import ServeObserver
+from repro.obs.slo import BurnRateMonitor
+from repro.perf.scratch import ScratchPool
+from repro.perf.split_cache import SplitCache
+from repro.serve.api import RequestStatus
+from repro.serve.loadgen import make_request, open_loop_arrivals, run_load_test
+from repro.serve.service import GemmService, ServeConfig
+from repro.serve.soa import RequestState, RequestTable
+
+
+def _bits(x: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(x).view(np.uint32)
+
+
+# --- fused stacked-chunk path vs serial replay ------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    nb=st.integers(1, 5),
+    m=st.integers(1, 24),
+    k=st.integers(1, 48),
+    n=st.integers(1, 24),
+    with_c=st.booleans(),
+    cached=st.booleans(),
+)
+def test_batched_elements_bit_identical_to_serial(seed, nb, m, k, n, with_c, cached):
+    """One stacked launch == nb independent runs, to the bit."""
+    rng = np.random.default_rng(seed)
+    a_els = [rng.standard_normal((m, k)).astype(np.float32) for _ in range(nb)]
+    b_els = [rng.standard_normal((k, n)).astype(np.float32) for _ in range(nb)]
+    c_els = None
+    if with_c:
+        c_els = [rng.standard_normal((m, n)).astype(np.float32) for _ in range(nb)]
+    gemm = EmulatedGemm(split_cache=SplitCache() if cached else None)
+    d_batch, stats = gemm.run_batched_elements(a_els, b_els, c_els)
+    assert d_batch.shape == (nb, m, n)
+    serial = EmulatedGemm()
+    for i in range(nb):
+        c = None if c_els is None else c_els[i]
+        d_one, _ = serial.run(a_els[i], b_els[i], c)
+        assert np.array_equal(_bits(d_batch[i]), _bits(d_one))
+
+
+def test_stacked_launch_shares_entries_with_single_runs():
+    """get_stacked hits on operands already split by a single run."""
+    rng = np.random.default_rng(0)
+    cache = SplitCache(maxsize=64)
+    gemm = EmulatedGemm(split_cache=cache)
+    a0 = rng.standard_normal((8, 16)).astype(np.float32)
+    b0 = rng.standard_normal((16, 8)).astype(np.float32)
+    gemm.run(a0, b0)  # seeds the per-element entries
+    cache.reset_stats()
+    a1 = rng.standard_normal((8, 16)).astype(np.float32)
+    b1 = rng.standard_normal((16, 8)).astype(np.float32)
+    gemm.run_batched_elements([a0, a1], [b0, b1])
+    # a0 and b0 come from the single run's entries; a1/b1 are misses
+    assert cache.stats.hits == 2
+    assert cache.stats.misses == 2
+    cache.reset_stats()
+    # ...and the batch inserted a1/b1, so a replay is all hits
+    gemm.run_batched_elements([a0, a1], [b0, b1])
+    assert cache.stats.hits == 4
+    assert cache.stats.misses == 0
+
+
+# --- deferred cross-batch fused execution -----------------------------------
+
+def _run_service(defer: bool):
+    rng = np.random.default_rng(5)
+    svc = GemmService(ServeConfig(), defer_math=defer)
+    arrivals = list(open_loop_arrivals(rng, 60, 150_000.0, "poisson"))
+    responses = svc.run(arrivals)
+    return [responses[rid] for rid in sorted(responses)]
+
+
+def test_deferred_execution_matches_eager():
+    """Deferring batch math to end-of-run changes nothing observable."""
+    eager = _run_service(False)
+    deferred = _run_service(True)
+    assert len(eager) == len(deferred)
+    completed = 0
+    for r_e, r_d in zip(eager, deferred):
+        assert r_e.request_id == r_d.request_id
+        assert r_e.status == r_d.status
+        assert r_e.kernel == r_d.kernel
+        assert r_e.latency_s == r_d.latency_s
+        if r_e.status is RequestStatus.COMPLETED:
+            completed += 1
+            assert r_d.d is not None
+            assert np.array_equal(_bits(r_e.d), _bits(r_d.d))
+        else:
+            assert r_d.d is None
+    assert completed > 0
+
+
+# --- ScratchPool ------------------------------------------------------------
+
+def test_scratch_pool_reuses_buffers_per_bucket():
+    pool = ScratchPool()
+    a = pool.take("acc", (8, 8))
+    b = pool.take("acc", (8, 8))
+    assert a is b
+    assert pool.stats.hits == 1 and pool.stats.misses == 1
+    # distinct tag, shape, or dtype -> distinct buffer
+    assert pool.take("other", (8, 8)) is not a
+    assert pool.take("acc", (8, 9)) is not a
+    assert pool.take("acc", (8, 8), dtype=np.float32) is not a
+    assert pool.take("acc", (8, 8)) is a
+
+
+def test_scratch_pool_oversize_served_uncached():
+    pool = ScratchPool(max_bytes=1024)
+    big = pool.take("x", (1024,))  # 8 KiB > budget
+    big2 = pool.take("x", (1024,))
+    assert big is not big2
+    assert pool.stats.oversize == 2
+    assert pool.stats.hits == 0
+
+
+# --- RequestTable slot ring -------------------------------------------------
+
+class _Row:
+    def __init__(self, deadline_at=np.inf, priority=0, submitted_at=0.0,
+                 shape=(4, 4, 4)):
+        self.deadline_at = deadline_at
+        self.priority = priority
+        self.submitted_at = submitted_at
+        self.shape = shape
+
+
+def test_request_table_acquire_release_recycles_slots():
+    table = RequestTable(capacity=2)
+    r0, r1 = _Row(priority=1), _Row(priority=2)
+    s0, s1 = table.acquire(r0), table.acquire(r1)
+    assert s0 != s1
+    assert table.request(s0) is r0
+    assert table.state[s0] == RequestState.QUEUED
+    assert table.priority[s1] == 2
+    table.release(s0)
+    assert table.state[s0] == RequestState.FREE
+    assert table.request(s0) is None
+    assert np.isinf(table.deadline_at[s0])
+    # the freed slot comes back before any growth
+    s2 = table.acquire(_Row())
+    assert s2 == s0
+    assert table.capacity == 2
+
+
+def test_request_table_grows_when_ring_runs_dry():
+    table = RequestTable(capacity=2)
+    rows = [_Row(priority=i) for i in range(5)]
+    slots = [table.acquire(r) for r in rows]
+    assert len(set(slots)) == 5
+    assert table.capacity >= 5
+    for slot, row in zip(slots, rows):
+        assert table.request(slot) is row
+        assert table.priority[slot] == row.priority
+    for slot in slots:
+        table.release(slot)
+    assert all(table.state[s] == RequestState.FREE for s in slots)
+
+
+# --- shared-memory process pool ---------------------------------------------
+
+def _fresh_pool(monkeypatch, procs: str):
+    import repro.serve.procpool as pp
+
+    monkeypatch.setenv("REPRO_SERVE_PROCS", procs)
+    monkeypatch.setattr(pp, "_POOL", None)
+    monkeypatch.setattr(pp, "_POOL_UNAVAILABLE", False)
+    return pp
+
+
+def test_procs_pool_disabled_without_env(monkeypatch):
+    pp = _fresh_pool(monkeypatch, "")
+    assert pp.procs_requested() == 0
+    assert pp.get_shared_pool() is None
+    monkeypatch.setenv("REPRO_SERVE_PROCS", "not-a-number")
+    assert pp.procs_requested() == 0
+    assert pp.get_shared_pool() is None
+
+
+def test_procs_pool_bitwise_identical_to_inline(monkeypatch):
+    pp = _fresh_pool(monkeypatch, "2")
+    pool = pp.get_shared_pool()
+    if pool is None:
+        pytest.skip("shared-memory pool unavailable on this platform")
+    try:
+        from repro.kernels.registry import get_kernel
+
+        rng = np.random.default_rng(9)
+        a1 = [rng.standard_normal((6, 12)).astype(np.float32) for _ in range(3)]
+        b1 = [rng.standard_normal((12, 5)).astype(np.float32) for _ in range(3)]
+        a2 = [rng.standard_normal((8, 16)).astype(np.float32) for _ in range(2)]
+        b2 = [rng.standard_normal((16, 8)).astype(np.float32) for _ in range(2)]
+        c2 = [rng.standard_normal((8, 8)).astype(np.float32) for _ in range(2)]
+        jobs = [
+            (pp.FP32_KERNEL, a1, b1, None),
+            ("egemm-tc", a2, b2, c2),
+        ]
+        results = pool.run_groups(jobs)
+        assert all(r is not None for r in results)
+        want_fp32 = np.matmul(np.stack(a1), np.stack(b1))
+        assert np.array_equal(_bits(results[0]), _bits(want_fp32))
+        want_egemm, _ = get_kernel("egemm-tc")._gemm.run_batched(
+            np.stack(a2), np.stack(b2), np.stack(c2)
+        )
+        assert np.array_equal(_bits(results[1]), _bits(want_egemm))
+    finally:
+        pool.close()
+        monkeypatch.setattr(pp, "_POOL", None)
+
+
+def test_serve_deterministic_with_procs_pool(monkeypatch):
+    """End-to-end: pooled run is byte-identical to the inline run."""
+    pp = _fresh_pool(monkeypatch, "2")
+    if pp.get_shared_pool() is None:
+        pytest.skip("shared-memory pool unavailable on this platform")
+    try:
+        pooled = _run_service(True)
+    finally:
+        pool = pp._POOL
+        if pool is not None:
+            pool.close()
+        monkeypatch.setattr(pp, "_POOL", None)
+        monkeypatch.setenv("REPRO_SERVE_PROCS", "")
+    inline = _run_service(True)
+    assert len(pooled) == len(inline)
+    for r_p, r_i in zip(pooled, inline):
+        assert r_p.status == r_i.status
+        if r_p.status is RequestStatus.COMPLETED:
+            assert np.array_equal(_bits(r_p.d), _bits(r_i.d))
+
+
+# --- burn-rate monitor sliding counters -------------------------------------
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_burn_monitor_incremental_matches_scan(seed):
+    rng = np.random.default_rng(seed)
+    monitor = BurnRateMonitor("prop")
+    events: list[tuple[float, bool]] = []
+    t = 0.0
+    for _ in range(300):
+        t += float(rng.random()) * 2e-4
+        good = bool(rng.random() > 0.3)
+        events.append((t, good))
+        monitor.observe(t, good)
+        for window_s in monitor._win_lengths:
+            inside = [(at, g) for at, g in events if t - window_s < at <= t]
+            bad = sum(1 for _, g in inside if not g)
+            want = (bad / len(inside)) / monitor.budget if inside else 0.0
+            assert monitor._burn(t, window_s) == pytest.approx(want, abs=1e-12)
+
+
+def test_burn_monitor_out_of_order_falls_back_to_scan():
+    monitor = BurnRateMonitor("ooo")
+    monitor.observe(1e-4, True)
+    monitor.observe(2e-4, False)
+    monitor.observe(1.5e-4, False)  # out of order: counters retire
+    assert not monitor._ordered
+    # burn still exact via the scan path: 2 bad of 3 in the long window
+    burn = monitor._burn(2e-4, monitor._win_lengths[-1])
+    assert burn == pytest.approx((2 / 3) / monitor.budget)
+
+
+# --- seed-0 quick SLO pin ---------------------------------------------------
+
+def test_seed0_quick_slo_compliance_values():
+    """The serve --quick workload is latency-compliant after excluding
+    structurally infeasible deadlines (pins the satellite fix: the old
+    record's 0.0 was a coerced False from misclassified client errors)."""
+    config = ServeConfig()
+    observer = ServeObserver(infeasible_deadline_s=config.max_wait_s)
+    service, _ = run_load_test(
+        200, seed=0, arrival="poisson", rate_rps=150_000.0,
+        concurrency=16, config=config, observer=observer,
+    )
+    assert service.completed == 185
+    latency = observer.slo_summary()["latency"]
+    assert latency["bad"] == 0
+    assert latency["bad_fraction"] == 0.0
+    assert latency["compliant"] is True
+    assert latency["infeasible_excluded"] == 5
+    # the history-record field: a float good fraction, not a coerced bool
+    assert 1.0 - latency["bad_fraction"] == 1.0
