@@ -14,6 +14,8 @@ Usage::
     python -m repro serve [--requests N] [--arrival poisson|uniform|closed]
                           [--trace T.json] [--flight-log F.jsonl]
                                          # GEMM serving load test -> SERVE_slo.json
+    python -m repro chaos [--quick] [--seeds 0,1] [--requests N]
+                                         # fleet chaos campaign -> CHAOS_campaign.json
     python -m repro postmortem <request-id> [--log FLIGHT_serve.jsonl]
                                          # reconstruct one request's lifecycle
     python -m repro profile <kernel> --shape MxNxK [--trace out.json]
@@ -82,6 +84,10 @@ def main(argv: list[str] | None = None) -> int:
         from .serve.loadgen import main as serve_main
 
         return serve_main(args[1:])
+    if args and args[0] == "chaos":
+        from .serve.chaos import main as chaos_main
+
+        return chaos_main(args[1:])
     if args and args[0] == "postmortem":
         from .obs.flight import main as postmortem_main
 

@@ -64,6 +64,13 @@ EVENT_KINDS: dict[str, tuple[str, ...]] = {
     "complete": ("request_id", "batch_id", "device", "kernel", "latency_s"),
     "fault": ("site", "span_id", "bit"),
     "alert": ("monitor", "window_long_s", "window_short_s", "burn_long", "burn_short"),
+    # fleet chaos + recovery vocabulary (repro.serve.chaos / .recovery)
+    "chaos": ("site", "fault_kind"),
+    "retry": ("batch_id", "attempt", "delay_s", "reason"),
+    "hedge": ("batch_id", "device"),
+    "requeue": ("batch_id", "device"),
+    "degrade": ("request_id", "kernel", "error_bound", "fallback_slo"),
+    "failed": ("request_id", "reason"),
 }
 
 
@@ -221,7 +228,7 @@ def reconstruct_lifecycle(records: Iterable[dict], request_id: int) -> dict:
             batch_id = event["batch_id"]
             own.append(event)
         elif (
-            kind in ("dispatch", "backpressure", "exec")
+            kind in ("dispatch", "backpressure", "exec", "retry", "hedge", "requeue")
             and batch_id is not None
             and event.get("batch_id") == batch_id
         ):
@@ -229,9 +236,9 @@ def reconstruct_lifecycle(records: Iterable[dict], request_id: int) -> dict:
     own.sort(key=lambda e: e["seq"])
     status = None
     for event in own:
-        if event["kind"] in ("complete", "reject", "expire"):
+        if event["kind"] in ("complete", "reject", "expire", "failed"):
             status = {"complete": "completed", "reject": "rejected",
-                      "expire": "expired"}[event["kind"]]
+                      "expire": "expired", "failed": "failed"}[event["kind"]]
     return {
         "request_id": request_id,
         "batch_id": batch_id,

@@ -162,6 +162,50 @@ class ServeObserver:
             span_id=current_span_id(),
         )
 
+    # -- recovery callbacks (repro.serve.recovery / repro.serve.chaos) ----
+    def on_chaos(self, now: float, fault) -> None:
+        """Log one injected :class:`FleetFaultEvent` taking effect."""
+        self.recorder.record(
+            "chaos", now,
+            site=fault.site,
+            fault_kind=fault.kind,
+            device=fault.device,
+            duration_s=fault.duration_s,
+            param=fault.param,
+        )
+
+    def on_retry(
+        self, now: float, batch, attempt: int, delay_s: float, reason: str
+    ) -> None:
+        self.recorder.record(
+            "retry", now,
+            batch_id=batch.batch_id,
+            attempt=attempt,
+            delay_s=delay_s,
+            reason=reason,
+            size=batch.size,
+        )
+
+    def on_hedge(self, now: float, batch, device: str) -> None:
+        self.recorder.record(
+            "hedge", now, batch_id=batch.batch_id, device=device, size=batch.size
+        )
+
+    def on_requeue(self, now: float, batch, device: str) -> None:
+        self.recorder.record(
+            "requeue", now, batch_id=batch.batch_id, device=device, size=batch.size
+        )
+
+    def on_degrade(self, now: float, request, decision, fallback_slo: float) -> None:
+        self.recorder.record(
+            "degrade", now,
+            request_id=request.request_id,
+            kernel=decision.kernel,
+            error_bound=decision.error_bound,
+            fallback_slo=fallback_slo,
+            original_slo=request.max_rel_error,
+        )
+
     def on_resolve(self, now: float, request, response) -> None:
         """Terminal resolution: flight event + burn-monitor accounting."""
         status = response.status.value
@@ -203,6 +247,16 @@ class ServeObserver:
                 self.infeasible_expiries += 1
             else:
                 self.latency_monitor.observe(now, good=False)
+        elif status == "failed":
+            # fleet fault exhausted the retry budget: unambiguously the
+            # server's fault, so it burns the latency error budget
+            self.recorder.record(
+                "failed", now, request_id=rid,
+                batch_id=self.request_batch.get(rid),
+                reason=response.reason or "failed",
+                retries=response.retries,
+            )
+            self.latency_monitor.observe(now, good=False)
         else:  # rejected
             reason = response.reason or "rejected"
             self.recorder.record("reject", now, request_id=rid, reason=reason)

@@ -215,6 +215,11 @@ class BurnRateMonitor:
             return 0.0
         return (bad / total) / self.budget
 
+    @property
+    def alerting(self) -> bool:
+        """True while any window pair's alert is latched (brownout input)."""
+        return any(self._active)
+
     # -- reporting --------------------------------------------------------
     def summary(self) -> dict:
         """The ``SERVE_slo.json`` block for this monitor."""

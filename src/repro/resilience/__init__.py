@@ -25,8 +25,17 @@ See docs/robustness.md for the fault model and the ABFT math.
 from __future__ import annotations
 
 from .abft import AbftError, AbftGemm, AbftKernel, AbftReport, abft_run, augment_operands
+from .backoff import BackoffPolicy
 from .campaign import run_campaign
-from .faults import FaultEvent, FaultInjector, FaultSite, flip_bit
+from .faults import (
+    FLEET_FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultSite,
+    FleetFaultEvent,
+    FleetSite,
+    flip_bit,
+)
 from .runner import (
     ExhaustedFallbacksError,
     InputValidationError,
@@ -46,9 +55,13 @@ __all__ = [
     "abft_run",
     "augment_operands",
     "run_campaign",
+    "BackoffPolicy",
     "FaultEvent",
     "FaultInjector",
     "FaultSite",
+    "FleetFaultEvent",
+    "FleetSite",
+    "FLEET_FAULT_KINDS",
     "flip_bit",
     "ExhaustedFallbacksError",
     "InputValidationError",

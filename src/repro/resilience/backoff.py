@@ -1,0 +1,86 @@
+"""One backoff implementation for every retry layer.
+
+Both retry layers of the codebase — the per-kernel attempt loop of
+:class:`~repro.resilience.runner.ResilientRunner` and the serve-level
+batch retry of :mod:`repro.serve.recovery` — previously needed the same
+capped exponential backoff, and the runner hard-coded its constants.
+:class:`BackoffPolicy` is the shared, frozen description of that
+schedule:
+
+* attempt ``i`` (1-based retry index) waits
+  ``min(base_s * multiplier**(i-1), cap_s)``;
+* optional **deterministic jitter**: the delay is scaled by a factor
+  drawn uniformly from ``[1 - jitter, 1 + jitter]`` using a generator
+  seeded by ``(seed, key, attempt)`` — identical inputs always produce
+  identical delays, so a seeded chaos campaign (or a replayed serving
+  run) sees byte-identical retry timing while distinct requests still
+  decorrelate (no thundering herd of synchronized retries).
+
+Keys may be ints (request/batch ids) or strings (kernel names); strings
+hash through CRC-32, not Python's salted ``hash()``, so jitter survives
+interpreter restarts.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BackoffPolicy"]
+
+
+def _key_bits(key: object) -> int:
+    """Stable 32-bit digest of a jitter key (int passthrough, CRC for str)."""
+    if isinstance(key, (int, np.integer)) and not isinstance(key, bool):
+        return int(key) & 0xFFFFFFFF
+    return zlib.crc32(str(key).encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff with seeded, deterministic jitter."""
+
+    #: delay of the first retry
+    base_s: float = 0.05
+    #: ceiling no delay exceeds (before jitter)
+    cap_s: float = 1.0
+    #: exponential growth factor between consecutive retries
+    multiplier: float = 2.0
+    #: retry budget consumers of the policy enforce (the policy itself
+    #: only computes delays; :meth:`delay` works for any attempt index)
+    max_retries: int = 2
+    #: jitter half-width as a fraction of the delay (0 = deterministic
+    #: schedule with no spread; must stay < 1 so delays remain positive)
+    jitter: float = 0.0
+    #: seeds the jitter draw together with ``key`` and the attempt index
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0.0 or self.cap_s < 0.0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("backoff multiplier must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay(self, attempt: int, key: object = 0) -> float:
+        """Delay before retry ``attempt`` (1-based); 0 for attempt < 1.
+
+        ``key`` decorrelates jitter between independent retry streams
+        (one request's schedule never depends on another's).
+        """
+        if attempt < 1:
+            return 0.0
+        raw = min(self.base_s * self.multiplier ** (attempt - 1), self.cap_s)
+        if self.jitter > 0.0 and raw > 0.0:
+            rng = np.random.default_rng((self.seed, _key_bits(key), attempt))
+            raw *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return raw
+
+    def schedule(self, key: object = 0) -> tuple[float, ...]:
+        """The full delay schedule over the policy's retry budget."""
+        return tuple(self.delay(i, key=key) for i in range(1, self.max_retries + 1))

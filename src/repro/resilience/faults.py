@@ -43,7 +43,15 @@ import numpy as np
 from ..obs.metrics import get_registry
 from ..obs.tracing import current_span_id
 
-__all__ = ["FaultSite", "FaultEvent", "FaultInjector", "flip_bit"]
+__all__ = [
+    "FaultSite",
+    "FaultEvent",
+    "FaultInjector",
+    "flip_bit",
+    "FleetSite",
+    "FLEET_FAULT_KINDS",
+    "FleetFaultEvent",
+]
 
 #: default bit windows (lo inclusive, hi exclusive) per storage width —
 #: upper mantissa + exponent + sign, the architecturally significant bits
@@ -59,6 +67,78 @@ class FaultSite(enum.Enum):
     ACCUMULATOR = "accumulator"
     FRAG = "frag"
     SHARED = "shared"
+
+
+class FleetSite(enum.Enum):
+    """A fault site in the simulated serving *fleet* (vs. one kernel).
+
+    The bit-flip sites above corrupt data inside a single GEMM launch;
+    fleet sites model infrastructure failures of the serving layer:
+
+    * ``device`` — a whole simulated accelerator crashes (its queue is
+      drained back onto the fleet) or restarts;
+    * ``worker`` — a device stalls (straggler): in-flight and queued
+      work is delayed by the stall duration but not lost;
+    * ``queue`` — a queue-capacity storm: every device's bounded queue
+      collapses to a reduced capacity for a window, forcing
+      backpressure;
+    * ``launch`` — a batch launch fails at dispatch time with some
+      probability inside a window (the seeded analogue of a transient
+      launch error).
+    """
+
+    DEVICE = "device"
+    WORKER = "worker"
+    QUEUE = "queue"
+    LAUNCH = "launch"
+
+
+#: every fleet fault kind the service's chaos handler understands,
+#: mapped to the :class:`FleetSite` it exercises
+FLEET_FAULT_KINDS = {
+    "device_crash": FleetSite.DEVICE,
+    "queued_crash": FleetSite.DEVICE,
+    "device_restart": FleetSite.DEVICE,
+    "device_stall": FleetSite.WORKER,
+    "exec_stall": FleetSite.WORKER,
+    "queue_storm": FleetSite.QUEUE,
+    "queue_storm_end": FleetSite.QUEUE,
+    "launch_faults": FleetSite.LAUNCH,
+    "launch_fault": FleetSite.LAUNCH,
+}
+
+
+@dataclass(frozen=True)
+class FleetFaultEvent:
+    """One scheduled (or observed) fleet-level fault, fully loggable.
+
+    ``at`` is virtual seconds on the service clock.  ``duration_s`` and
+    ``param`` are kind-specific: a stall's length, a storm's reduced
+    queue capacity, a launch window's fault probability.
+    """
+
+    kind: str
+    at: float
+    site: str = ""
+    device: str | None = None
+    duration_s: float = 0.0
+    param: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FLEET_FAULT_KINDS:
+            raise ValueError(f"unknown fleet fault kind {self.kind!r}")
+        if not self.site:
+            object.__setattr__(self, "site", FLEET_FAULT_KINDS[self.kind].value)
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "at": self.at,
+            "site": self.site,
+            "device": self.device,
+            "duration_s": self.duration_s,
+            "param": self.param,
+        }
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,7 @@ from ..kernels.registry import get_kernel
 from ..obs.metrics import get_registry
 from ..obs.tracing import get_tracer
 from ..splits.ozaki import ozaki_gemm
+from .backoff import BackoffPolicy
 
 __all__ = [
     "ResilienceError",
@@ -226,9 +227,12 @@ class ResilientRunner:
         Wrap every attempt in checksum protection; a detected
         uncorrectable fault counts as a failed attempt and advances the
         retry/fallback machinery.
-    attempts_per_kernel / backoff_s / backoff_cap_s:
-        Bounded exponential backoff: attempt ``i`` of a kernel sleeps
-        ``min(backoff_s * 2**(i-1), backoff_cap_s)`` first.
+    attempts_per_kernel / backoff:
+        Attempt ``i`` of a kernel sleeps ``backoff.delay(i - 1)`` first
+        (see :class:`~repro.resilience.backoff.BackoffPolicy`).  When
+        ``backoff`` is None a policy is built from the legacy
+        ``backoff_s``/``backoff_cap_s`` fields, reproducing the original
+        ``min(backoff_s * 2**(i-2), backoff_cap_s)`` schedule exactly.
     stage_timeout_s:
         Per-attempt wall-clock budget (None = unbounded).
     sleep:
@@ -241,6 +245,7 @@ class ResilientRunner:
     attempts_per_kernel: int = 2
     backoff_s: float = 0.05
     backoff_cap_s: float = 1.0
+    backoff: BackoffPolicy | None = None
     stage_timeout_s: float | None = None
     validate_output: bool = True
     sleep: Callable[[float], None] = time.sleep
@@ -253,6 +258,12 @@ class ResilientRunner:
             raise ValueError(f"unknown escalation strategy {self.escalation!r}")
         if not self.chain:
             raise ValueError("fallback chain must name at least one kernel")
+        if self.backoff is None:
+            self.backoff = BackoffPolicy(
+                base_s=self.backoff_s,
+                cap_s=self.backoff_cap_s,
+                max_retries=max(self.attempts_per_kernel - 1, 0),
+            )
 
     # -- sanitization ---------------------------------------------------
     def sanitize(
@@ -353,7 +364,7 @@ class ResilientRunner:
             for i in range(1, self.attempts_per_kernel + 1):
                 backoff = 0.0
                 if i > 1:
-                    backoff = min(self.backoff_s * 2.0 ** (i - 2), self.backoff_cap_s)
+                    backoff = self.backoff.delay(i - 1, key=name)
                     self.sleep(backoff)
                 record = Attempt(
                     kernel=name, attempt=i, escalation=escalation, ok=False, backoff_s=backoff

@@ -20,13 +20,19 @@ The pieces (see ``docs/serving.md`` for the full tour):
 * :mod:`~repro.serve.service` — the deterministic discrete-event engine
   tying it together in virtual time;
 * :mod:`~repro.serve.loadgen` — seeded open/closed-loop load tests and
-  the ``SERVE_slo.json`` report (``python -m repro serve``).
+  the ``SERVE_slo.json`` report (``python -m repro serve``);
+* :mod:`~repro.serve.recovery` — retry/hedge/brownout policy keeping the
+  accounting identity exact under fleet faults;
+* :mod:`~repro.serve.chaos`   — the seeded fleet-fault scenario catalogue
+  and the ``CHAOS_campaign.json`` campaign (``python -m repro chaos``,
+  see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
 
 from .api import (
     AdmissionError,
+    FleetExhaustedError,
     GemmRequest,
     GemmResponse,
     RequestStatus,
@@ -35,22 +41,41 @@ from .api import (
 )
 from .batcher import Batch, DynamicBatcher, compatibility_key
 from .loadgen import SCHEMA, UNITS, build_report, run_load_test, validate_slo_report
+from .recovery import BackoffPolicy, BrownoutConfig, BrownoutController, RecoveryConfig
 from .router import DEFAULT_MENU, PrecisionRouter, RoutingDecision, kernel_error_model
 from .service import GemmService, ServeConfig, serve_stats
 from .workers import DeviceWorker, WorkerPool
 
+# .chaos imports .loadgen and .service, so it comes last
+from .chaos import (  # noqa: E402  (import cycle guard, not style)
+    CHAOS_SCHEMA,
+    SCENARIOS,
+    ChaosSchedule,
+    build_schedule,
+    run_campaign,
+    validate_chaos_report,
+)
+
 __all__ = [
     "AdmissionError",
+    "BackoffPolicy",
     "Batch",
+    "BrownoutConfig",
+    "BrownoutController",
+    "CHAOS_SCHEMA",
+    "ChaosSchedule",
     "DEFAULT_MENU",
     "DeviceWorker",
     "DynamicBatcher",
+    "FleetExhaustedError",
     "GemmRequest",
     "GemmResponse",
     "GemmService",
     "PrecisionRouter",
+    "RecoveryConfig",
     "RequestStatus",
     "RoutingDecision",
+    "SCENARIOS",
     "SCHEMA",
     "UNITS",
     "ServeConfig",
@@ -58,9 +83,12 @@ __all__ = [
     "SloUnsatisfiableError",
     "WorkerPool",
     "build_report",
+    "build_schedule",
     "compatibility_key",
     "kernel_error_model",
+    "run_campaign",
     "run_load_test",
     "serve_stats",
+    "validate_chaos_report",
     "validate_slo_report",
 ]

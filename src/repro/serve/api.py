@@ -18,9 +18,20 @@ contract:
 
 Every submitted request is resolved to exactly one terminal
 :class:`RequestStatus` — ``COMPLETED``, ``REJECTED`` (admission control
-or no kernel can certify the SLO), or ``EXPIRED`` — so the accounting
-identity ``submitted == completed + rejected + expired`` holds by
-construction; the load-test report and CI assert it.
+or no kernel can certify the SLO), ``EXPIRED``, or ``FAILED`` (the
+fleet lost it to an infrastructure fault after exhausting recovery) —
+so the accounting identity
+``submitted == completed + rejected + expired + failed`` holds by
+construction; the load-test report, the chaos campaign, and CI assert
+it.
+
+Requests may additionally consent to **graceful degradation**
+(``degradable=True``): under a brownout (latched burn-rate alerts) the
+service may route such a request to a cheaper kernel whose certified
+bound satisfies only the *fallback* SLO
+(``fallback_max_rel_error``, or the brownout controller's default).
+This is never silent — the response carries ``degraded=True`` and the
+actually-certified ``error_bound``.
 """
 
 from __future__ import annotations
@@ -37,6 +48,7 @@ __all__ = [
     "ServeError",
     "SloUnsatisfiableError",
     "AdmissionError",
+    "FleetExhaustedError",
 ]
 
 
@@ -58,12 +70,24 @@ class AdmissionError(ServeError):
     """The service is at capacity and refused the request (backpressure)."""
 
 
+class FleetExhaustedError(ServeError):
+    """Zero healthy devices remain in the fleet.
+
+    Raised by :meth:`repro.serve.workers.WorkerPool.select` when every
+    device has crashed (distinct from ``None`` = transient backpressure
+    among healthy devices).  The service turns it into ``FAILED``
+    responses — or a retry, if a restart is pending — never a hang.
+    """
+
+
 class RequestStatus(enum.Enum):
     """Terminal disposition of a submitted request."""
 
     COMPLETED = "completed"
     REJECTED = "rejected"
     EXPIRED = "expired"
+    #: lost to an infrastructure fault after recovery was exhausted
+    FAILED = "failed"
 
 
 @dataclass(slots=True)
@@ -81,10 +105,18 @@ class GemmRequest:
     priority: int = 0
     #: route through ABFT + the resilient fallback chain
     reliable: bool = False
+    #: consent to brownout degradation: under latched overload the
+    #: service may serve this request at the (looser) fallback SLO
+    degradable: bool = False
+    #: per-request fallback accuracy SLO honored during a brownout;
+    #: None defers to the brownout controller's configured default
+    fallback_max_rel_error: float | None = None
     #: assigned by the service at submission
     request_id: int = -1
     #: virtual submission timestamp, assigned by the service
     submitted_at: float = 0.0
+    #: stamped by the service when brownout routing relaxed the SLO
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         self.a = np.asarray(self.a, dtype=np.float32)
@@ -103,6 +135,8 @@ class GemmRequest:
                 )
         if not self.max_rel_error > 0.0:
             raise ValueError("max_rel_error must be positive")
+        if self.fallback_max_rel_error is not None and not self.fallback_max_rel_error > 0.0:
+            raise ValueError("fallback_max_rel_error must be positive (or None)")
         if self.deadline_s is not None and self.deadline_s <= 0.0:
             raise ValueError("deadline_s must be positive (or None)")
 
@@ -149,6 +183,14 @@ class GemmResponse:
     latency_s: float = 0.0
     #: resilient-runner provenance for reliable=True requests
     attempts: list = field(default_factory=list)
+    #: True when the brownout controller served the fallback SLO; the
+    #: certified ``error_bound`` then exceeds the request's original
+    #: ``max_rel_error`` but is at most the declared fallback SLO
+    degraded: bool = False
+    #: serve-level batch retries this request's batch consumed
+    retries: int = 0
+    #: True when a hedged duplicate launch covered this request
+    hedged: bool = False
 
     @property
     def ok(self) -> bool:

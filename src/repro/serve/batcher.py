@@ -81,6 +81,18 @@ class Batch:
     priority: int = 0
     #: earliest member deadline — the batch's own urgency horizon
     deadline_at: float = float("inf")
+    # -- recovery bookkeeping (repro.serve.recovery) --------------------
+    #: serve-level retries this batch has consumed (backpressure,
+    #: launch faults, device crashes)
+    attempts: int = 0
+    #: True once a hedged duplicate launch covered this batch
+    hedged: bool = False
+    #: devices currently executing a copy of this batch (a hedge can
+    #: make this 2; a crash decrements it)
+    exec_count: int = 0
+    #: True once every member reached a terminal status — queued hedge
+    #: losers and requeued copies see this and cancel (first wins)
+    resolved: bool = False
 
     @property
     def size(self) -> int:

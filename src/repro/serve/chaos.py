@@ -1,0 +1,557 @@
+"""Fleet-level chaos campaigns for the serving layer.
+
+``python -m repro chaos`` drives :class:`~repro.serve.service
+.GemmService` through a matrix of **seeded fleet-fault scenarios** —
+device crashes and restarts, straggler stalls, queue-capacity storms,
+batch-launch fault windows, and overload brownouts — with the recovery
+machinery of :mod:`repro.serve.recovery` switched on, and holds every
+run to the invariants that make chaos engineering more than noise:
+
+* **exact accounting** — ``submitted == completed + rejected + expired
+  + failed`` under every scenario (no request is ever silently
+  dropped, no matter which device died under it);
+* **zero silent drops** — every submitted request has a terminal
+  :class:`~repro.serve.api.GemmResponse`;
+* **bit-identity of survivors** — every COMPLETED response's product is
+  bit-for-bit what a fault-free run of its routed kernel produces on
+  the same operands: retries, requeues, and hedged duplicates must
+  never change the numbers;
+* **degraded contract** — every ``degraded=True`` completion belongs to
+  a ``degradable`` request and carries a certified analytic bound at or
+  below its declared fallback SLO.
+
+Faults are :class:`~repro.resilience.faults.FleetFaultEvent` records
+scheduled at fractions of the run's virtual horizon, so the same
+scenario scales from a CI smoke (``--quick``) to a long campaign
+without editing the schedule.  Everything — operands, arrival gaps,
+fault draws — is seeded; a campaign is byte-reproducible.
+
+CLI::
+
+    python -m repro chaos [--quick] [--seeds 0,1,2] [--requests N]
+                          [--out CHAOS_campaign.json]
+
+Exits non-zero when any scenario violates any invariant.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..obs.metrics import get_registry
+from ..obs.tracing import get_tracer
+from ..resilience.backoff import BackoffPolicy
+from ..resilience.faults import FleetFaultEvent
+from .loadgen import make_request
+from .recovery import BrownoutConfig, RecoveryConfig
+from .service import GemmService, ServeConfig
+
+__all__ = [
+    "CHAOS_SCHEMA",
+    "SCENARIOS",
+    "ChaosSchedule",
+    "build_schedule",
+    "chaos_arrivals",
+    "run_scenario",
+    "run_campaign",
+    "validate_chaos_report",
+    "main",
+]
+
+#: campaign report schema identifier, bumped on breaking field changes
+CHAOS_SCHEMA = "repro.serve.chaos/1"
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A seeded fleet-fault schedule consumed by :class:`GemmService`."""
+
+    faults: tuple[FleetFaultEvent, ...]
+    #: seed for the service's launch-fault draws (and the audit trail)
+    seed: int = 0
+    name: str = ""
+
+
+#: scenario catalogue: fault builders over ``(horizon H, device names)``.
+#: Times are fractions of the horizon so the same scenario scales from a
+#: --quick smoke to a long campaign.  ``rate_mult`` overdrives the
+#: arrival rate (the overload scenarios need queueing pressure to latch
+#: the burn-rate monitors).
+SCENARIOS: dict[str, dict] = {
+    # fault-free control: recovery armed but never exercised
+    "baseline": {"faults": lambda H, dev: ()},
+    # one device dies mid-run and stays dead: ``queued_crash`` waits for
+    # a device with work queued behind its in-flight batch, so the
+    # requeue-and-drain path runs on every seed
+    "device-crash": {
+        "rate_mult": 4.0,
+        "faults": lambda H, dev: (
+            FleetFaultEvent("queued_crash", 0.25 * H),
+        ),
+    },
+    # crash followed by a restart: requeue, retry, and refeed
+    "crash-restart": {
+        "rate_mult": 2.0,
+        "faults": lambda H, dev: (
+            FleetFaultEvent("device_crash", 0.20 * H, device=dev[0]),
+            FleetFaultEvent("device_restart", 0.60 * H, device=dev[0]),
+        ),
+    },
+    # mid-execution straggler stalls: ``exec_stall`` waits until a batch
+    # is actually in flight, then freezes its device, so the stuck copy
+    # hedges onto the first idle device (first copy to finish wins)
+    "stall-hedge": {
+        "rate_mult": 2.0,
+        "faults": lambda H, dev: (
+            FleetFaultEvent("exec_stall", 0.15 * H, duration_s=0.60 * H),
+            FleetFaultEvent("exec_stall", 0.35 * H, duration_s=0.50 * H),
+        ),
+    },
+    # every queue collapses to rendezvous for a third of the run
+    "queue-storm": {
+        "rate_mult": 2.0,
+        "faults": lambda H, dev: (
+            FleetFaultEvent("queue_storm", 0.20 * H, param=0.0),
+            FleetFaultEvent("queue_storm_end", 0.55 * H),
+        ),
+    },
+    # batch launches fail with probability ``param`` inside the window
+    "launch-faults": {
+        "faults": lambda H, dev: (
+            FleetFaultEvent("launch_faults", 0.10 * H, duration_s=0.60 * H,
+                            param=0.35),
+        ),
+    },
+    # overload + two crashed devices: burn-rate alerts latch and
+    # degradable requests brown out to their fallback SLO
+    "overload-brownout": {
+        "rate_mult": 2.5,
+        "faults": lambda H, dev: (
+            FleetFaultEvent("device_crash", 0.10 * H, device=dev[0]),
+            FleetFaultEvent("device_crash", 0.10 * H, device=dev[1]),
+        ),
+    },
+    # permanent whole-fleet outage: dispatches after the crash exhaust
+    # the retry budget and resolve as explicit FAILED responses
+    "fleet-outage": {
+        "faults": lambda H, dev: tuple(
+            FleetFaultEvent("device_crash", 0.45 * H, device=d) for d in dev
+        ),
+    },
+    # total fleet blackout with one late revival: exercises
+    # FleetExhaustedError, retry-until-restart, and terminal failures
+    "blackout-recovery": {
+        "faults": lambda H, dev: tuple(
+            FleetFaultEvent("device_crash", 0.30 * H, device=d) for d in dev
+        ) + (FleetFaultEvent("device_restart", 0.50 * H, device=dev[0]),),
+    },
+    # everything at once
+    "combined": {
+        "rate_mult": 2.0,
+        "faults": lambda H, dev: (
+            FleetFaultEvent("device_crash", 0.15 * H, device=dev[0]),
+            FleetFaultEvent("exec_stall", 0.25 * H, duration_s=0.30 * H),
+            FleetFaultEvent("launch_faults", 0.30 * H, duration_s=0.30 * H,
+                            param=0.25),
+            FleetFaultEvent("queue_storm", 0.40 * H, param=0.0),
+            FleetFaultEvent("device_restart", 0.50 * H, device=dev[0]),
+            FleetFaultEvent("queue_storm_end", 0.60 * H),
+        ),
+    },
+}
+
+
+def build_schedule(
+    name: str,
+    horizon_s: float,
+    device_names: tuple[str, ...],
+    seed: int = 0,
+) -> ChaosSchedule:
+    """Instantiate one catalogue scenario over a concrete run horizon."""
+    if name not in SCENARIOS:
+        raise ValueError(
+            f"unknown chaos scenario {name!r} (catalogue: {sorted(SCENARIOS)})"
+        )
+    faults = tuple(
+        sorted(SCENARIOS[name]["faults"](horizon_s, device_names),
+               key=lambda f: (f.at, f.kind, f.device or ""))
+    )
+    return ChaosSchedule(faults=faults, seed=seed, name=name)
+
+
+def chaos_arrivals(seed: int, count: int, rate_rps: float):
+    """Seeded poisson arrivals with a degradable sub-population.
+
+    Rides :func:`~repro.serve.loadgen.make_request` for the operand /
+    SLO / deadline mix, then stamps the chaos-specific fields from the
+    *same* stream (after the base draws, so the base request is
+    byte-identical to what the plain load generator would build):
+    half the requests consent to degradation, and a third of those
+    declare their own fallback SLO.
+    """
+    rng = np.random.default_rng((int(seed), 7))
+    t = 0.0
+    for _ in range(count):
+        t += float(rng.exponential(1.0 / rate_rps))
+        request = make_request(rng)
+        request.reliable = False
+        if rng.random() < 0.5:
+            request.degradable = True
+            if rng.random() < 0.3:
+                request.fallback_max_rel_error = 1e-2
+        yield t, request
+
+
+def _recovery_config(seed: int) -> RecoveryConfig:
+    """The campaign's recovery policy (shared by every scenario)."""
+    return RecoveryConfig(
+        retry=BackoffPolicy(base_s=40e-6, cap_s=320e-6, multiplier=2.0,
+                            max_retries=3, jitter=0.25, seed=seed),
+        hedge_after_s=200e-6,
+        brownout=BrownoutConfig(fallback_max_rel_error=5e-2, hold_s=5e-4),
+    )
+
+
+def run_scenario(
+    name: str,
+    seed: int = 0,
+    requests: int = 400,
+    rate_rps: float = 150_000.0,
+) -> tuple[dict, "object"]:
+    """Run one scenario at one seed; returns ``(result, observer)``.
+
+    The result dict carries the counts, recovery stats, and the
+    invariant verdicts; the observer is returned so the CLI can dump a
+    scenario's flight log for the postmortem toolchain.
+    """
+    from ..obs.serving import ServeObserver
+
+    config = ServeConfig(recovery=_recovery_config(seed))
+    rate = rate_rps * SCENARIOS[name].get("rate_mult", 1.0)
+    horizon_s = requests / rate
+    device_names = tuple(
+        f"{gpu}-{i}" for i, gpu in enumerate(config.devices)
+    )
+    schedule = build_schedule(name, horizon_s, device_names, seed)
+    observer = ServeObserver(infeasible_deadline_s=config.max_wait_s)
+    service = GemmService(config, observer=observer, chaos=schedule)
+    arrivals = list(chaos_arrivals(seed, requests, rate))
+    by_id_request = {}
+    responses = service.run(arrivals)
+    for _, request in arrivals:
+        by_id_request[request.request_id] = request
+
+    stats = service.stats()
+    counts = {key: stats[key] for key in
+              ("submitted", "completed", "rejected", "expired", "failed")}
+    accounting_exact = (
+        counts["submitted"]
+        == counts["completed"] + counts["rejected"] + counts["expired"]
+        + counts["failed"]
+    )
+    silent_drops = counts["submitted"] - len(responses)
+
+    # bit-identity of survivors: every completed product must equal a
+    # fault-free run of its routed kernel on the same operands
+    bit_mismatches = 0
+    degraded_completions = 0
+    degraded_violations = 0
+    fallback_default = config.recovery.brownout.fallback_max_rel_error
+    for rid, response in responses.items():
+        if not response.ok:
+            continue
+        request = by_id_request[rid]
+        kernel = service.router.kernels[response.kernel]
+        reference = np.asarray(kernel.compute(request.a, request.b, request.c))
+        delivered = np.asarray(response.d)
+        if (delivered.shape != reference.shape
+                or delivered.dtype != reference.dtype
+                or delivered.tobytes() != reference.tobytes()):
+            bit_mismatches += 1
+        if response.degraded:
+            degraded_completions += 1
+            declared = request.fallback_max_rel_error
+            if declared is None:
+                declared = fallback_default
+            declared = max(declared, request.max_rel_error)
+            if (not request.degradable
+                    or response.error_bound is None
+                    or response.error_bound > declared):
+                degraded_violations += 1
+
+    faults_fired = len(service.fleet_log) >= len(schedule.faults)
+    invariants = {
+        "accounting_exact": accounting_exact,
+        "silent_drops": silent_drops,
+        "bit_mismatches": bit_mismatches,
+        "degraded_completions": degraded_completions,
+        "degraded_violations": degraded_violations,
+        "faults_fired": faults_fired,
+    }
+    result = {
+        "scenario": name,
+        "seed": seed,
+        "requests": requests,
+        "rate_rps": rate,
+        "scheduled_faults": len(schedule.faults),
+        "fleet_faults": stats["fleet_faults"],
+        "counts": counts,
+        "fail_reasons": stats["fail_reasons"],
+        "recovery": stats["recovery"],
+        "brownout": stats.get("brownout", {}),
+        "virtual_s": stats["virtual_s"],
+        "invariants": invariants,
+        "pass": (
+            accounting_exact
+            and silent_drops == 0
+            and bit_mismatches == 0
+            and degraded_violations == 0
+            and faults_fired
+        ),
+    }
+    return result, observer
+
+
+def run_campaign(
+    seeds: tuple[int, ...] = (0,),
+    requests: int = 400,
+    rate_rps: float = 150_000.0,
+    quick: bool = False,
+    scenarios: tuple[str, ...] | None = None,
+    out: str | Path | None = None,
+) -> tuple[dict, dict]:
+    """Run the scenario × seed matrix; returns ``(report, observers)``.
+
+    ``observers`` maps ``"scenario#s<seed>"`` to each run's
+    :class:`~repro.obs.serving.ServeObserver` (flight-log export).
+    """
+    names = tuple(scenarios) if scenarios is not None else tuple(SCENARIOS)
+    tracer = get_tracer()
+    timing: dict[str, float] = {}
+    results: dict[str, dict] = {}
+    observers: dict[str, object] = {}
+    for name in names:
+        for seed in seeds:
+            key = f"{name}#s{seed}"
+            with tracer.span(f"serve.chaos.{name}", category="serve",
+                             seed=seed) as span:
+                t0 = time.perf_counter()
+                result, observer = run_scenario(
+                    name, seed=seed, requests=requests, rate_rps=rate_rps
+                )
+                elapsed = time.perf_counter() - t0
+                span.set(seconds=elapsed)
+            timing[key] = elapsed
+            get_registry().observe("serve.chaos.scenario_seconds", elapsed)
+            results[key] = result
+            observers[key] = observer
+    totals = {k: sum(r["counts"][k] for r in results.values())
+              for k in ("submitted", "completed", "rejected", "expired", "failed")}
+    report = {
+        "schema": CHAOS_SCHEMA,
+        "quick": quick,
+        "seeds": list(seeds),
+        "requests": requests,
+        "rate_rps": rate_rps,
+        "scenarios": results,
+        "timing": timing,
+        "summary": {
+            "scenarios": len(results),
+            **totals,
+            "degraded": sum(r["recovery"]["degraded"] for r in results.values()),
+            "retries": sum(r["recovery"]["retries"] for r in results.values()),
+            "hedges": sum(r["recovery"]["hedges"] for r in results.values()),
+            "fleet_faults": sum(r["fleet_faults"] for r in results.values()),
+            "pass": all(r["pass"] for r in results.values()),
+        },
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(report, indent=2, sort_keys=True,
+                                        default=float))
+    return report, observers
+
+
+def validate_chaos_report(report: dict) -> list[str]:
+    """Schema + invariant check of a campaign report; returns problems.
+
+    CI fails the chaos smoke step on any returned string: schema
+    identity, per-scenario count types, the exact accounting identity,
+    the zero-silent-drop and bit-identity verdicts, and summary
+    consistency.
+    """
+    problems: list[str] = []
+    if report.get("schema") != CHAOS_SCHEMA:
+        problems.append(
+            f"schema is {report.get('schema')!r}, expected {CHAOS_SCHEMA!r}"
+        )
+    scenarios = report.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        return problems + ["scenarios missing or empty"]
+    for key, result in scenarios.items():
+        counts = result.get("counts")
+        if not isinstance(counts, dict):
+            problems.append(f"{key}: counts missing")
+            continue
+        for field in ("submitted", "completed", "rejected", "expired", "failed"):
+            if not isinstance(counts.get(field), int) or counts[field] < 0:
+                problems.append(f"{key}: counts.{field} missing or negative")
+        if not any(p.startswith(f"{key}:") for p in problems):
+            resolved = (counts["completed"] + counts["rejected"]
+                        + counts["expired"] + counts["failed"])
+            if resolved != counts["submitted"]:
+                problems.append(
+                    f"{key}: accounting broken — submitted={counts['submitted']}"
+                    f" but {resolved} resolved"
+                )
+        invariants = result.get("invariants")
+        if not isinstance(invariants, dict):
+            problems.append(f"{key}: invariants missing")
+            continue
+        for field in ("accounting_exact", "silent_drops", "bit_mismatches",
+                      "degraded_violations", "faults_fired"):
+            if field not in invariants:
+                problems.append(f"{key}: invariants.{field} missing")
+        if invariants.get("silent_drops", 0) != 0:
+            problems.append(f"{key}: {invariants['silent_drops']} silent drops")
+        if invariants.get("bit_mismatches", 0) != 0:
+            problems.append(
+                f"{key}: {invariants['bit_mismatches']} survivors not "
+                f"bit-identical to fault-free replay"
+            )
+        if invariants.get("degraded_violations", 0) != 0:
+            problems.append(
+                f"{key}: {invariants['degraded_violations']} degraded "
+                f"completions violate the fallback contract"
+            )
+        if "pass" not in result:
+            problems.append(f"{key}: pass verdict missing")
+    summary = report.get("summary")
+    if not isinstance(summary, dict) or not isinstance(summary.get("pass"), bool):
+        problems.append("summary.pass missing")
+    elif summary["pass"] != all(r.get("pass", False) for r in scenarios.values()):
+        problems.append("summary.pass inconsistent with scenario verdicts")
+    return problems
+
+
+def _print_summary(report: dict) -> None:
+    print("fleet chaos campaign")
+    for key, r in report["scenarios"].items():
+        c, rec, inv = r["counts"], r["recovery"], r["invariants"]
+        print(
+            f"  {key:28s} {c['submitted']:4d} -> "
+            f"{c['completed']:4d} ok / {c['rejected']:3d} rej / "
+            f"{c['expired']:3d} exp / {c['failed']:3d} fail | "
+            f"retries {rec['retries']:3d}, hedges {rec['hedges']:2d} "
+            f"(wins {rec['hedge_wins']}), requeued {rec['requeued']:3d}, "
+            f"degraded {rec['degraded']:3d} | "
+            f"{'PASS' if r['pass'] else 'FAIL'}"
+        )
+        if not r["pass"]:
+            print(f"    invariants: {inv}")
+    s = report["summary"]
+    t = report.get("timing", {})
+    total = sum(t.values())
+    print(
+        f"  summary: {s['scenarios']} scenario runs, {s['submitted']} requests, "
+        f"{s['fleet_faults']} fleet faults, {s['retries']} retries, "
+        f"{s['hedges']} hedges, {s['degraded']} degraded ({total:.1f}s)"
+    )
+    print(f"  verdict: {'PASS' if s['pass'] else 'FAIL'}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m repro chaos [--quick] [--seeds 0,1]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="seeded fleet-fault chaos campaign over the serving layer "
+                    "(see docs/robustness.md)",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: seed 0 only, 150 requests per scenario")
+    parser.add_argument("--seeds", default=None,
+                        help="comma-separated seeds (default 0,1 full / 0 quick)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per scenario run (default 400 / 150 quick)")
+    parser.add_argument("--rate", type=float, default=150_000.0,
+                        help="base arrival rate, requests/s (virtual time)")
+    parser.add_argument("--scenario", action="append", default=None,
+                        metavar="NAME", dest="scenario",
+                        help="run only this scenario (repeatable)")
+    parser.add_argument("--out", default="CHAOS_campaign.json",
+                        help="JSON report path")
+    parser.add_argument("--flight-log", default=None, metavar="PATH",
+                        help="dump the combined scenario's flight-recorder "
+                             "JSONL here (postmortem input)")
+    parser.add_argument("--history", default="BENCH_history.jsonl", metavar="PATH",
+                        help="benchmark-history JSONL to append this campaign to")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip appending to the benchmark history")
+    args = parser.parse_args(argv)
+
+    if args.seeds is not None:
+        seeds = tuple(int(s) for s in args.seeds.split(","))
+    else:
+        seeds = (0,) if args.quick else (0, 1)
+    requests = args.requests
+    if requests is None:
+        requests = 150 if args.quick else 400
+    scenarios = tuple(args.scenario) if args.scenario else None
+
+    # Warm the analytic kernel model outside the timed sections (same
+    # policy as python -m repro serve).
+    from ..gpu import get_gpu
+    from ..model.solver import solve
+
+    for name in set(ServeConfig().devices):
+        solve(get_gpu(name))
+
+    report, observers = run_campaign(
+        seeds=seeds, requests=requests, rate_rps=args.rate,
+        quick=bool(args.quick), scenarios=scenarios, out=args.out,
+    )
+    _print_summary(report)
+    problems = validate_chaos_report(report)
+    for problem in problems:
+        print(f"SCHEMA PROBLEM: {problem}")
+
+    if args.flight_log:
+        from ..obs.export import run_manifest
+
+        key = f"combined#s{seeds[0]}"
+        observer = observers.get(key) or next(iter(observers.values()))
+        observer.recorder.dump_jsonl(args.flight_log,
+                                     manifest=run_manifest(seed=seeds[0]))
+        print(f"flight log: {len(observer.recorder.events())} events -> "
+              f"{args.flight_log}")
+    if not args.no_history:
+        from ..obs.benchtrack import append_record, make_record
+        from ..obs.export import run_manifest
+
+        s = report["summary"]
+        record = make_record(
+            "chaos",
+            {
+                "scenarios": s["scenarios"],
+                "submitted": s["submitted"],
+                "completed": s["completed"],
+                "failed": s["failed"],
+                "retries": s["retries"],
+                "hedges": s["hedges"],
+                "degraded": s["degraded"],
+                "fleet_faults": s["fleet_faults"],
+                "pass": s["pass"],
+            },
+            quick=bool(args.quick),
+            manifest=run_manifest(seed=seeds[0]),
+        )
+        append_record(args.history, record)
+        print(f"history: chaos record appended to {args.history}")
+    print(f"report written to {args.out} (schema {CHAOS_SCHEMA})")
+    return 0 if report["summary"]["pass"] and not problems else 1

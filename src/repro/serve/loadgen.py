@@ -253,6 +253,7 @@ def build_report(service: GemmService, workload: dict, observer=None) -> dict:
             "completed": stats["completed"],
             "rejected": stats["rejected"],
             "expired": stats["expired"],
+            "failed": stats["failed"],
         },
         "throughput_rps": (
             stats["completed"] / virtual_s if virtual_s > 0 else 0.0
@@ -277,7 +278,9 @@ def validate_slo_report(report: dict) -> list[str]:
 
     CI fails the smoke step on any returned string.  Checks both the
     shape of the document and the accounting identity (zero silent
-    drops): ``submitted == completed + rejected + expired``.
+    drops): ``submitted == completed + rejected + expired + failed``
+    (``failed`` is zero on every fault-free run and absent from
+    pre-chaos reports).
     """
     problems: list[str] = []
     if report.get("schema") != SCHEMA:
@@ -295,8 +298,16 @@ def validate_slo_report(report: dict) -> list[str]:
     for key in ("submitted", "completed", "rejected", "expired"):
         if not isinstance(counts.get(key), int) or counts.get(key, -1) < 0:
             problems.append(f"counts.{key} missing or negative")
+    # ``failed`` (fleet faults past the retry budget) is optional for
+    # backward compatibility with pre-chaos reports, but when present it
+    # joins the accounting identity.
+    if "failed" in counts and (
+        not isinstance(counts["failed"], int) or counts["failed"] < 0
+    ):
+        problems.append("counts.failed present but not a non-negative int")
     if not problems:
-        resolved = counts["completed"] + counts["rejected"] + counts["expired"]
+        resolved = (counts["completed"] + counts["rejected"] + counts["expired"]
+                    + counts.get("failed", 0))
         if resolved != counts["submitted"]:
             problems.append(
                 f"silent drops: submitted={counts['submitted']} but only "

@@ -27,6 +27,7 @@ the serving layer never *requires* the pool.
 
 from __future__ import annotations
 
+import logging
 import os
 
 import numpy as np
@@ -147,6 +148,7 @@ class SharedMemoryGemmPool:
         self.procs = procs
         self._workers = []
         self._conns = []
+        self._dead = [False] * procs
         for _ in range(procs):
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(target=_worker_loop, args=(child_conn,), daemon=True)
@@ -154,6 +156,23 @@ class SharedMemoryGemmPool:
             child_conn.close()
             self._workers.append(proc)
             self._conns.append(parent_conn)
+
+    @property
+    def dead_workers(self) -> int:
+        """Workers detected dead so far (their jobs fall back in-process)."""
+        return sum(self._dead)
+
+    def _mark_dead(self, conn_i: int) -> None:
+        """Record one worker's death (idempotent) and log the fallback."""
+        if self._dead[conn_i]:
+            return
+        self._dead[conn_i] = True
+        proc = self._workers[conn_i]
+        logging.getLogger(__name__).warning(
+            "shared-memory gemm worker %d (pid %s) died (exitcode %s); "
+            "its jobs fall back to in-process execution",
+            conn_i, proc.pid, proc.exitcode,
+        )
 
     def run_groups(self, jobs: list[tuple]) -> list[np.ndarray | None]:
         """Execute ``(kernel_name, a_list, b_list, c_list | None)`` jobs.
@@ -170,6 +189,8 @@ class SharedMemoryGemmPool:
         metas: list = [None] * len(jobs)
         results: list[np.ndarray | None] = [None] * len(jobs)
         sent: list[list[int]] = [[] for _ in self._conns]
+        alive = [i for i, dead in enumerate(self._dead) if not dead]
+        cursor = 0
         try:
             for idx, (kernel_name, a_list, b_list, c_list) in enumerate(jobs):
                 nb = len(a_list)
@@ -187,9 +208,27 @@ class SharedMemoryGemmPool:
                 del a, b, c, _d
                 blocks[idx] = shm
                 metas[idx] = (dims, has_c)
-                conn_i = idx % len(self._conns)
-                self._conns[conn_i].send((idx, shm.name, kernel_name, dims, has_c))
-                sent[conn_i].append(idx)
+                # Deal over the *live* workers only; a send that hits a
+                # freshly dead worker (killed child, closed pipe) marks
+                # it and redeals to the next one.  A job no live worker
+                # accepts stays None — the in-process fallback.
+                while alive:
+                    conn_i = alive[cursor % len(alive)]
+                    if not self._workers[conn_i].is_alive():
+                        self._mark_dead(conn_i)
+                        alive.remove(conn_i)
+                        continue
+                    try:
+                        self._conns[conn_i].send(
+                            (idx, shm.name, kernel_name, dims, has_c)
+                        )
+                    except (BrokenPipeError, OSError):
+                        self._mark_dead(conn_i)
+                        alive.remove(conn_i)
+                        continue
+                    sent[conn_i].append(idx)
+                    cursor += 1
+                    break
             # Each worker is serial, so its pipe yields acknowledgements
             # in dispatch order; a dead worker leaves its jobs as None
             # and the caller recomputes them in process.
@@ -198,6 +237,7 @@ class SharedMemoryGemmPool:
                     try:
                         job_id, error = conn.recv()
                     except (EOFError, OSError):
+                        self._mark_dead(conn_i)
                         break
                     if error is None:
                         dims, has_c = metas[job_id]

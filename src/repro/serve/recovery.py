@@ -1,0 +1,146 @@
+"""Recovery policy for the serving fleet: retry, hedge, brownout.
+
+Three mechanisms keep the accounting identity
+``submitted == completed + rejected + expired + failed`` true — and the
+failure count small — under the fleet faults of
+:mod:`repro.serve.chaos`:
+
+* **retry** — a batch that hits backpressure, a launch fault, or a
+  device crash is re-dispatched after a capped exponential backoff with
+  deterministic jitter (:class:`~repro.resilience.backoff
+  .BackoffPolicy`, the same implementation the kernel-level
+  :class:`~repro.resilience.runner.ResilientRunner` uses).  Members
+  whose deadline passes while the batch waits out its backoff are
+  expired, never silently dropped;
+* **hedging** — a batch still sitting in a device queue after
+  ``hedge_after_s`` (a straggler behind a stalled device) gets a
+  duplicate launch on an idle device.  The first copy to finish
+  resolves the members; the loser is cancelled without executing
+  (first-wins).  Both copies run the same kernel on the same operands,
+  so the winner's bits are identical regardless of which copy wins;
+* **brownout** — when the observer's latency burn-rate monitor
+  (:class:`repro.obs.slo.BurnRateMonitor`) has a latched alert, the
+  :class:`BrownoutController` enters the brownout state and newly
+  submitted ``degradable=True`` requests are routed against their
+  *fallback* SLO instead of their primary one — the cheapest kernel
+  whose Higham bound certifies the fallback, stamped
+  ``degraded=True`` on the response.  The controller exits brownout
+  only after alerts clear and a hold period elapses (hysteresis).
+
+Everything here is policy/configuration; the mechanics live in
+:class:`repro.serve.service.GemmService`'s event loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..resilience.backoff import BackoffPolicy
+
+__all__ = [
+    "BackoffPolicy",
+    "BrownoutConfig",
+    "RecoveryConfig",
+    "BrownoutController",
+]
+
+
+@dataclass(frozen=True)
+class BrownoutConfig:
+    """Graceful-degradation policy under latched overload alerts."""
+
+    #: fallback accuracy SLO applied to ``degradable`` requests that do
+    #: not declare their own ``fallback_max_rel_error``
+    fallback_max_rel_error: float = 5e-2
+    #: virtual seconds the controller stays in brownout after the last
+    #: latched alert clears (hysteresis against flapping)
+    hold_s: float = 5e-4
+
+    def __post_init__(self) -> None:
+        if not self.fallback_max_rel_error > 0.0:
+            raise ValueError("fallback_max_rel_error must be positive")
+        if self.hold_s < 0.0:
+            raise ValueError("hold_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Which recovery mechanisms a :class:`GemmService` runs, and how.
+
+    All three default to off — a config of ``RecoveryConfig()`` (or a
+    service with no recovery config at all) behaves byte-identically to
+    the pre-recovery service.
+    """
+
+    #: serve-level batch retry policy; None disables retries (faults
+    #: and backpressure resolve terminally on first occurrence)
+    retry: BackoffPolicy | None = None
+    #: queued batches older than this get a hedged duplicate launch on
+    #: an idle device; None disables hedging
+    hedge_after_s: float | None = None
+    #: brownout/graceful-degradation policy; None disables degradation
+    brownout: BrownoutConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.hedge_after_s is not None and self.hedge_after_s <= 0.0:
+            raise ValueError("hedge_after_s must be positive (or None)")
+
+
+class BrownoutController:
+    """Two-state (normal/brownout) controller over a burn-rate monitor.
+
+    ``update(now)`` is called by the service at each submission:
+
+    * **normal → brownout** on the rising edge of any latched alert in
+      the monitored :class:`~repro.obs.slo.BurnRateMonitor`;
+    * **brownout → normal** once no alert is latched *and* ``hold_s``
+      virtual seconds have passed since the last instant an alert was
+      observed latched (hysteresis: a flapping monitor cannot toggle
+      degradation per-request).
+    """
+
+    def __init__(self, config: BrownoutConfig, monitor) -> None:
+        self.config = config
+        self.monitor = monitor
+        self.active = False
+        self.activations = 0
+        self.degraded = 0
+        self.entered_at = 0.0
+        self.brownout_s = 0.0
+        self._last_latched = float("-inf")
+
+    def update(self, now: float) -> bool:
+        """Advance the state machine; returns the (possibly new) state."""
+        latched = bool(self.monitor.alerting)
+        if latched:
+            self._last_latched = now
+            if not self.active:
+                self.active = True
+                self.activations += 1
+                self.entered_at = now
+        elif self.active and now >= self._last_latched + self.config.hold_s:
+            self.active = False
+            self.brownout_s += now - self.entered_at
+        return self.active
+
+    def fallback_slo(self, request) -> float:
+        """The effective (relaxed) SLO for one degradable request.
+
+        Never tighter than the request's own ``max_rel_error`` — a
+        brownout can only loosen the contract the client consented to.
+        """
+        fallback = request.fallback_max_rel_error
+        if fallback is None:
+            fallback = self.config.fallback_max_rel_error
+        return max(request.max_rel_error, fallback)
+
+    def summary(self) -> dict:
+        """The report block for ``CHAOS_campaign.json`` / stats()."""
+        return {
+            "active": self.active,
+            "activations": self.activations,
+            "degraded": self.degraded,
+            "brownout_s": self.brownout_s,
+            "fallback_max_rel_error": self.config.fallback_max_rel_error,
+            "hold_s": self.config.hold_s,
+        }

@@ -187,12 +187,20 @@ class PrecisionRouter:
         return seconds
 
     # -- routing --------------------------------------------------------
-    def route(self, request: GemmRequest) -> RoutingDecision:
-        """Cheapest menu kernel whose analytic bound certifies the SLO."""
+    def route(
+        self, request: GemmRequest, max_rel_error: float | None = None
+    ) -> RoutingDecision:
+        """Cheapest menu kernel whose analytic bound certifies the SLO.
+
+        ``max_rel_error`` overrides the request's own SLO — the brownout
+        controller routes degradable requests against their *fallback*
+        SLO through this parameter without mutating the request.
+        """
         m, k, n = request.shape
+        slo = request.max_rel_error if max_rel_error is None else max_rel_error
         self.decisions += 1
         registry = get_registry()
-        memo_key = (m, k, n, request.max_rel_error, request.reliable)
+        memo_key = (m, k, n, slo, request.reliable)
         cached = self._route_memo.get(memo_key)
         if cached is not None:
             if isinstance(cached, str):  # memoized unsatisfiable message
@@ -207,7 +215,7 @@ class PrecisionRouter:
         eligible = [
             (name, bound)
             for name in self.kernels
-            if (bound := self.error_bound(name, k)) <= request.max_rel_error
+            if (bound := self.error_bound(name, k)) <= slo
         ]
         if not eligible:
             self.unsatisfiable += 1
@@ -215,7 +223,7 @@ class PrecisionRouter:
             if registry.enabled:
                 registry.inc("serve.router.unsatisfiable")
             message = (
-                f"no kernel on the menu certifies max_rel_error={request.max_rel_error:g} "
+                f"no kernel on the menu certifies max_rel_error={slo:g} "
                 f"at k={k} (best analytic bound: {best:g})"
             )
             self._route_memo[memo_key] = message
@@ -237,7 +245,7 @@ class PrecisionRouter:
         if tracer.enabled:
             with tracer.span(
                 "serve.route", category="serve", kernel=choice,
-                m=m, k=k, n=n, slo=request.max_rel_error,
+                m=m, k=k, n=n, slo=slo,
             ) as span:
                 span.set(bound=bound, seconds=seconds,
                          rejected_cheaper=",".join(rejected_cheaper))

@@ -16,11 +16,20 @@ Event kinds:
   batching (a filled bucket dispatches immediately);
 * ``batch_window``— a bucket's ``max_wait_s`` elapsed: dispatch it;
 * ``device_free`` — a device finished a batch: resolve its responses,
-  then pull the next batch from its queue or steal from a peer.
+  then pull the next batch from its queue or steal from a peer (events
+  carry the device's *epoch* so a crash/stall invalidates stale ones);
+* ``chaos``       — a scheduled fleet fault fires (device crash or
+  restart, worker stall, queue-capacity storm, launch-fault window —
+  see :mod:`repro.serve.chaos`);
+* ``retry``       — a batch's recovery backoff elapsed: expire members
+  whose deadline passed while requeued, then re-dispatch the rest;
+* ``hedge_check`` — a queued batch aged past ``hedge_after_s``: launch
+  a duplicate on an idle device (first copy to finish wins).
 
 Terminal accounting is exhaustive: every submitted request resolves to
-exactly one of completed / rejected / expired, checked by
-:meth:`GemmService.check_accounting` and asserted in CI.
+exactly one of completed / rejected / expired / failed, checked by
+:meth:`GemmService.check_accounting` and asserted in CI — under every
+chaos scenario as well as fault-free.
 """
 
 from __future__ import annotations
@@ -28,7 +37,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import weakref
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Iterable
 
 import numpy as np
@@ -36,8 +45,16 @@ import numpy as np
 from ..gpu.spec import get_gpu
 from ..obs.metrics import get_registry
 from ..obs.tracing import get_tracer
-from .api import GemmRequest, GemmResponse, RequestStatus, SloUnsatisfiableError
+from ..resilience.faults import FleetFaultEvent, FleetSite
+from .api import (
+    FleetExhaustedError,
+    GemmRequest,
+    GemmResponse,
+    RequestStatus,
+    SloUnsatisfiableError,
+)
 from .batcher import Batch, DynamicBatcher
+from .recovery import BrownoutController, RecoveryConfig
 from .router import DEFAULT_MENU, PrecisionRouter
 from .soa import RequestState, RequestTable
 from .workers import DeviceWorker, WorkerPool
@@ -61,6 +78,9 @@ class ServeConfig:
     queue_capacity: int = 4
     #: admission control: max unresolved requests in the system
     max_in_flight: int = 256
+    #: recovery policy (retry/hedge/brownout); None = all mechanisms
+    #: off, byte-identical to the pre-recovery service
+    recovery: RecoveryConfig | None = None
 
     def __post_init__(self) -> None:
         if self.max_in_flight < 1:
@@ -74,12 +94,12 @@ _LIVE_SERVICES: "weakref.WeakValueDictionary[int, GemmService]" = (
     weakref.WeakValueDictionary()
 )
 _RETIRED = {"services": 0, "submitted": 0, "completed": 0, "rejected": 0,
-            "expired": 0, "batches": 0}
+            "expired": 0, "failed": 0, "batches": 0}
 
 
 def _retire(totals: dict) -> None:
     _RETIRED["services"] += 1
-    for key in ("submitted", "completed", "rejected", "expired", "batches"):
+    for key in ("submitted", "completed", "rejected", "expired", "failed", "batches"):
         _RETIRED[key] += totals.get(key, 0)
 
 
@@ -96,12 +116,13 @@ def serve_stats() -> dict:
         "completed": _RETIRED["completed"],
         "rejected": _RETIRED["rejected"],
         "expired": _RETIRED["expired"],
+        "failed": _RETIRED["failed"],
         "batches": _RETIRED["batches"],
         "retired_services": _RETIRED["services"],
     }
     for service in list(_LIVE_SERVICES.values()):
         totals["services"] += 1
-        for key in ("submitted", "completed", "rejected", "expired", "batches"):
+        for key in ("submitted", "completed", "rejected", "expired", "failed", "batches"):
             totals[key] += service._totals[key]
     return totals
 
@@ -115,6 +136,12 @@ class _Event:
     request: GemmRequest | None = None
     device: str | None = None
     batch: Batch | None = None
+    #: device epoch a ``device_free`` was scheduled against; a crash,
+    #: restart, or stall bumps the device's epoch so stale completions
+    #: scheduled for the previous incarnation are ignored
+    epoch: int = 0
+    #: the scheduled fleet fault of a ``chaos`` event
+    fault: FleetFaultEvent | None = None
 
 
 #: sentinel deferred-execution engine for plain fp32 matmul kernels —
@@ -144,9 +171,14 @@ class GemmService:
         config: ServeConfig | None = None,
         observer=None,
         defer_math: bool | None = None,
+        chaos=None,
     ):
         self.config = config or ServeConfig()
         self.observer = observer
+        #: a :class:`repro.serve.chaos.ChaosSchedule` (any object with
+        #: ``faults`` — FleetFaultEvents — and ``seed``); None = no
+        #: fleet faults, the fault-free fast path
+        self.chaos = chaos
         #: tri-state: True/False force deferred math on/off; None (the
         #: default) defers automatically whenever tracing and fault
         #: injection are inactive (see :meth:`_deferral_safe`)
@@ -184,9 +216,10 @@ class GemmService:
         self.routing_mix: dict[str, int] = {}
         self.batch_size_counts: dict[int, int] = {}
         self.reject_reasons: dict[str, int] = {}
+        self.fail_reasons: dict[str, int] = {}
         self.latencies: list[float] = []
         self._totals = {"submitted": 0, "completed": 0, "rejected": 0,
-                        "expired": 0, "batches": 0}
+                        "expired": 0, "failed": 0, "batches": 0}
         self._events: list[tuple[float, int, _Event]] = []
         self._seq = itertools.count()
         self._next_id = itertools.count()
@@ -198,6 +231,39 @@ class GemmService:
         #: requests so kernel construction amortizes over the stream
         self._reliable_runners: dict[str, object] = {}
         self._on_complete: Callable[[GemmResponse, float], list[GemmRequest]] | None = None
+
+        # -- recovery machinery (all dormant when config.recovery is None)
+        recovery: RecoveryConfig | None = self.config.recovery
+        self._retry_policy = recovery.retry if recovery is not None else None
+        self._hedge_after_s = recovery.hedge_after_s if recovery is not None else None
+        self._brownout: BrownoutController | None = None
+        if recovery is not None and recovery.brownout is not None:
+            monitor = getattr(observer, "latency_monitor", None)
+            if monitor is None:
+                raise ValueError(
+                    "brownout recovery needs an observer with a "
+                    "latency_monitor (repro.obs.serving.ServeObserver)"
+                )
+            self._brownout = BrownoutController(recovery.brownout, monitor)
+        #: every fleet fault applied (scheduled chaos + drawn launch faults)
+        self.fleet_log: list[FleetFaultEvent] = []
+        self.recovery_stats = {
+            "retries": 0, "hedges": 0, "hedge_wins": 0, "hedge_cancelled": 0,
+            "requeued": 0, "degraded": 0, "launch_faults": 0, "crashes": 0,
+            "restarts": 0, "stalls": 0, "queue_storms": 0,
+        }
+        self._chaos_armed = False
+        self._launch_rng = None
+        self._launch_window_until = 0.0
+        self._launch_fault_p = 0.0
+        self._pending_restarts = 0
+        self._saved_queue_caps: dict[str, int] = {}
+        if chaos is not None:
+            self._launch_rng = np.random.default_rng((int(chaos.seed), 101))
+            self._pending_restarts = sum(
+                1 for f in chaos.faults if f.kind == "device_restart"
+            )
+
         _LIVE_SERVICES[id(self)] = self
         weakref.finalize(self, _retire, self._totals)
 
@@ -219,17 +285,28 @@ class GemmService:
         return self._totals["expired"]
 
     @property
+    def failed(self) -> int:
+        return self._totals["failed"]
+
+    @property
     def in_flight(self) -> int:
-        return self.submitted - self.completed - self.rejected - self.expired
+        return (
+            self.submitted
+            - self.completed
+            - self.rejected
+            - self.expired
+            - self.failed
+        )
 
     def check_accounting(self) -> None:
         """Zero silent drops: every request reached a terminal status."""
-        resolved = self.completed + self.rejected + self.expired
+        resolved = self.completed + self.rejected + self.expired + self.failed
         if resolved != self.submitted or len(self.responses) != self.submitted:
             raise AssertionError(
                 f"accounting violated: submitted={self.submitted} "
                 f"completed={self.completed} rejected={self.rejected} "
-                f"expired={self.expired} responses={len(self.responses)}"
+                f"expired={self.expired} failed={self.failed} "
+                f"responses={len(self.responses)}"
             )
 
     # -- event plumbing -------------------------------------------------
@@ -251,11 +328,17 @@ class GemmService:
         if self.in_flight > self.config.max_in_flight:
             self._resolve_reject(request, "admission-capacity")
             return request.request_id
-        try:
-            decision = self.router.route(request)
-        except SloUnsatisfiableError as exc:
-            self._resolve_reject(request, "slo-unsatisfiable", detail=str(exc))
-            return request.request_id
+        decision = None
+        if self._brownout is not None:
+            self._brownout.update(self.now)
+            if self._brownout.active and request.degradable:
+                decision = self._route_degraded(request)
+        if decision is None:
+            try:
+                decision = self.router.route(request)
+            except SloUnsatisfiableError as exc:
+                self._resolve_reject(request, "slo-unsatisfiable", detail=str(exc))
+                return request.request_id
         if self.observer is not None:
             self.observer.on_route(self.now, request, decision)
         self.routing_mix[decision.kernel] = self.routing_mix.get(decision.kernel, 0) + 1
@@ -268,27 +351,170 @@ class GemmService:
                 self._push(due, _Event("batch_window"))
         return request.request_id
 
-    # -- dispatch / execution ------------------------------------------
-    def _dispatch(self, batch: Batch) -> None:
-        """Place a formed batch on the fleet (or reject under backpressure)."""
-        batch.dispatched_at = self.now
+    def _route_degraded(self, request: GemmRequest):
+        """Brownout routing: try the fallback SLO, never tighter.
+
+        Returns a decision iff the relaxed route actually degrades the
+        contract (a looser bound than the request's own SLO certifies);
+        otherwise None, and the caller routes normally.
+        """
+        relaxed = self._brownout.fallback_slo(request)
+        if relaxed <= request.max_rel_error:
+            return None
+        try:
+            decision = self.router.route(request, max_rel_error=relaxed)
+        except SloUnsatisfiableError:
+            return None
+        if decision.error_bound <= request.max_rel_error:
+            # the cheapest fallback-certifying kernel certifies the
+            # primary SLO too — nothing is actually degraded
+            return None
+        request.degraded = True
+        self._brownout.degraded += 1
+        self.recovery_stats["degraded"] += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("serve.recovery.degraded")
         if self.observer is not None:
-            self.observer.on_batch(self.now, batch)
-        device = self.pool.select(self.now)
-        if device is None:
+            self.observer.on_degrade(self.now, request, decision, relaxed)
+        return decision
+
+    # -- dispatch / execution ------------------------------------------
+    def _dispatch(self, batch: Batch, redispatch: bool = False) -> None:
+        """Place a formed batch on the fleet.
+
+        Backpressure and fleet exhaustion either retry (when a recovery
+        policy allows) or resolve the members terminally — never wait.
+        ``redispatch`` marks recovery re-dispatches (after a retry
+        backoff or a dead device's queue drain): the batch was already
+        counted and observed at first dispatch.
+        """
+        if not redispatch:
+            batch.dispatched_at = self.now
             if self.observer is not None:
-                self.observer.on_backpressure(self.now, batch)
-            for i, request in enumerate(batch.requests):
-                self._resolve_reject(request, "backpressure", slot=int(batch.slots[i]))
+                self.observer.on_batch(self.now, batch)
+        try:
+            device = self.pool.select(self.now)
+        except FleetExhaustedError:
+            self._fleet_exhausted(batch)
+            return
+        if device is None:
+            self._backpressure(batch)
             return
         if self.observer is not None:
             self.observer.on_dispatch(self.now, batch, device.name)
-        self._totals["batches"] += 1
-        self.batch_size_counts[batch.size] = self.batch_size_counts.get(batch.size, 0) + 1
+        if not redispatch:
+            self._totals["batches"] += 1
+            self.batch_size_counts[batch.size] = self.batch_size_counts.get(batch.size, 0) + 1
         if device.idle(self.now):
             self._start(device, batch)
         else:
             device.enqueue(batch)
+            if self._hedge_after_s is not None and not batch.hedged:
+                self._push(
+                    self.now + self._hedge_after_s, _Event("hedge_check", batch=batch)
+                )
+        self.pool.record_depth_gauges()
+
+    def _backpressure(self, batch: Batch) -> None:
+        """Every healthy queue full: retry if allowed, else reject."""
+        if self._can_retry(batch):
+            self._schedule_retry(batch, "backpressure")
+            return
+        if self.observer is not None:
+            self.observer.on_backpressure(self.now, batch)
+        for i, request in enumerate(batch.requests):
+            self._resolve_reject(request, "backpressure", slot=int(batch.slots[i]))
+
+    def _fleet_exhausted(self, batch: Batch) -> None:
+        """Zero healthy devices: wait for a pending restart, else fail."""
+        if self._pending_restarts > 0 and self._can_retry(batch):
+            self._schedule_retry(batch, "fleet-exhausted")
+            return
+        self._fail_batch(batch, "fleet-exhausted: no healthy devices")
+
+    # -- retry / hedge recovery ----------------------------------------
+    def _can_retry(self, batch: Batch) -> bool:
+        policy = self._retry_policy
+        return policy is not None and batch.attempts < policy.max_retries
+
+    def _schedule_retry(self, batch: Batch, reason: str) -> None:
+        """Back the batch off and re-dispatch after a deterministic delay."""
+        batch.attempts += 1
+        if batch.table is not None:
+            batch.table.attempts[batch.slots] = batch.attempts
+        delay = self._retry_policy.delay(batch.attempts, key=batch.batch_id)
+        self.recovery_stats["retries"] += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("serve.recovery.retries")
+        if self.observer is not None:
+            self.observer.on_retry(self.now, batch, batch.attempts, delay, reason)
+        self._push(self.now + delay, _Event("retry", batch=batch))
+
+    def _retry_batch(self, batch: Batch) -> None:
+        """A retry backoff elapsed: expire stale members, re-dispatch.
+
+        Members whose deadline passed *while the batch waited out its
+        backoff* resolve as expired here — the expire-while-requeued
+        path — so a retried batch can never silently strand them.
+        """
+        if batch.resolved or batch.exec_count > 0:
+            return
+        if batch.deadline_at < self.now:
+            alive = self.table.deadline_at[batch.slots] >= self.now
+            if not alive.all():
+                for i in np.flatnonzero(~alive):
+                    self._resolve_expire(
+                        batch.requests[int(i)], slot=int(batch.slots[i])
+                    )
+                batch.trim(alive)
+                if not batch.size:
+                    batch.resolved = True
+                    return
+        self._dispatch(batch, redispatch=True)
+
+    def _maybe_hedge(self, batch: Batch, straggler: str | None = None) -> None:
+        """Duplicate a straggler batch onto an idle device (first wins).
+
+        Two trigger paths share this check: a *queued* hedge (armed at
+        enqueue; fires only while the original copy has not started
+        anywhere) and a *straggler* hedge (armed by a device stall for
+        the batch executing on it; fires only while that batch is still
+        stuck on the stalled device).  Either way the first copy to
+        finish resolves the members and the loser is cancelled at its
+        own start/finish via ``batch.resolved`` — and bit-identity is
+        trivial: both copies run the same kernel on the same operands.
+        """
+        if batch.resolved or batch.hedged:
+            return
+        if straggler is None:
+            if batch.exec_count > 0:
+                return
+        elif self._executing.get(straggler) is not batch:
+            return
+        idle = [d for d in self.pool.devices if d.healthy and d.idle(self.now)]
+        if not idle:
+            # no spare capacity right now; a straggler hedge keeps
+            # looking until the stuck copy resolves (the queued-hedge
+            # path does not — once started, the batch no longer needs it)
+            if straggler is not None:
+                self._push(
+                    self.now + self._hedge_after_s,
+                    _Event("hedge_check", batch=batch, device=straggler),
+                )
+            return
+        device = min(idle, key=lambda d: d.name)
+        batch.hedged = True
+        if batch.table is not None:
+            batch.table.hedged[batch.slots] = 1
+        self.recovery_stats["hedges"] += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("serve.recovery.hedges")
+        if self.observer is not None:
+            self.observer.on_hedge(self.now, batch, device.name)
+        self._start(device, batch)
         self.pool.record_depth_gauges()
 
     def _start(self, device: DeviceWorker, batch: Batch) -> None:
@@ -299,6 +525,11 @@ class GemmService:
         expired member (the common case) skips the per-member scan
         entirely; otherwise the scan is one vectorized column read.
         """
+        if batch.resolved:
+            # hedge loser (or fully-expired retry) pulled from a queue:
+            # nothing left to run, keep the device fed
+            self._advance(device)
+            return
         if batch.deadline_at < self.now:
             alive = self.table.deadline_at[batch.slots] >= self.now
             if not alive.all():
@@ -308,8 +539,20 @@ class GemmService:
                     )
                 batch.trim(alive)
                 if not batch.size:
+                    batch.resolved = True
                     self._advance(device)
                     return
+        if self._launch_fault(device, batch):
+            # a hedged duplicate that faults on the pad just dies — the
+            # original copy is still live, so neither retry nor failure
+            # is warranted
+            if batch.exec_count == 0:
+                if self._can_retry(batch):
+                    self._schedule_retry(batch, "launch-fault")
+                else:
+                    self._fail_batch(batch, f"launch-fault: {device.name}")
+            self._advance(device)
+            return
         self.table.state[batch.slots] = RequestState.EXECUTING
         service_s = self._price(device, batch)
         start = max(self.now, device.busy_until)
@@ -317,12 +560,16 @@ class GemmService:
         device.busy_s += service_s
         device.batches_executed += 1
         device.requests_executed += batch.size
+        batch.exec_count += 1
         self._executing[device.name] = batch
         if self.observer is not None:
             self.observer.on_exec(
                 self.now, batch, device.name, start, device.busy_until, service_s
             )
-        self._push(device.busy_until, _Event("device_free", device=device.name))
+        self._push(
+            device.busy_until,
+            _Event("device_free", device=device.name, epoch=device.epoch),
+        )
 
     def _price(self, device: DeviceWorker, batch: Batch) -> float:
         """Service time of the batch on its *executing* device."""
@@ -330,13 +577,13 @@ class GemmService:
         seconds = router.seconds_for(batch.decision.kernel, batch.requests[0].shape)
         decision = batch.decision
         if seconds != decision.seconds:
-            from dataclasses import replace
-
             decision = replace(decision, seconds=seconds)
         return decision.batch_seconds(batch.size)
 
     def _advance(self, device: DeviceWorker) -> None:
         """Pull the device's next batch: own queue first, then steal."""
+        if not device.healthy:
+            return
         batch = device.pop_next()
         if batch is None:
             batch = self.pool.steal_for(device)
@@ -347,8 +594,212 @@ class GemmService:
     def _finish(self, device: DeviceWorker) -> None:
         batch = self._executing.pop(device.name, None)
         if batch is not None:
-            self._execute_batch(batch, device, self._price(device, batch))
+            batch.exec_count -= 1
+            if batch.resolved:
+                # a hedged duplicate finished first; this copy's work is
+                # discarded without executing (first-wins cancellation)
+                self.recovery_stats["hedge_cancelled"] += 1
+            else:
+                self._execute_batch(batch, device, self._price(device, batch))
+                batch.resolved = True
+                if batch.hedged:
+                    self.recovery_stats["hedge_wins"] += 1
         self._advance(device)
+
+    # -- fleet fault handling (repro.serve.chaos) -----------------------
+    def _apply_chaos(self, fault: FleetFaultEvent) -> None:
+        """Apply one scheduled fleet fault at its virtual fire time."""
+        if fault.kind in ("exec_stall", "queued_crash"):
+            target = self._deferred_fault_target(fault.kind)
+            if target is None:
+                # no eligible target yet: re-arm quietly (only the firing
+                # that lands is logged) while non-chaos work remains
+                if any(ev.kind != "chaos" for _, _, ev in self._events):
+                    self._push(self.now + 1e-6, _Event("chaos", fault=fault))
+                return
+            fault = replace(fault, device=target)
+        self.fleet_log.append(fault)
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("serve.chaos.faults")
+            registry.inc(f"serve.chaos.{fault.kind}")
+        if self.observer is not None:
+            self.observer.on_chaos(self.now, fault)
+        kind = fault.kind
+        if kind == "device_crash":
+            self._crash_device(fault.device)
+        elif kind == "queued_crash":
+            self._crash_device(fault.device)
+        elif kind == "device_restart":
+            self._restart_device(fault.device)
+        elif kind == "device_stall":
+            self._stall_device(fault.device, fault.duration_s)
+        elif kind == "exec_stall":
+            self._stall_device(fault.device, fault.duration_s)
+        elif kind == "queue_storm":
+            self._queue_storm(int(fault.param))
+        elif kind == "queue_storm_end":
+            self._queue_storm_end()
+        elif kind == "launch_faults":
+            self._launch_window_until = self.now + fault.duration_s
+            self._launch_fault_p = fault.param
+
+    def _crash_device(self, name: str) -> None:
+        """Kill a device: fail/retry its in-flight batch, drain its queue."""
+        device = self._device(name)
+        if not device.healthy:
+            return
+        device.healthy = False
+        device.epoch += 1
+        device.busy_until = self.now
+        self.recovery_stats["crashes"] += 1
+        executing = self._executing.pop(name, None)
+        if executing is not None and not executing.resolved:
+            executing.exec_count -= 1
+            # a hedged copy may still be running (or queued) elsewhere;
+            # only when this was the last live copy does the batch need
+            # recovery of its own
+            still_queued = any(
+                b is executing for d in self.pool.devices for b in d.queue
+            )
+            if executing.exec_count <= 0 and not still_queued:
+                self.table.state[executing.slots] = RequestState.BATCHED
+                if self._can_retry(executing):
+                    self._schedule_retry(executing, "device-crash")
+                else:
+                    self._fail_batch(executing, f"device-crash: {name}")
+        # requeue-and-drain: the dead device's queued batches go back
+        # onto the fleet (or into retry/fail if nothing accepts them)
+        queued, device.queue = list(device.queue), []
+        for batch in queued:
+            if batch.resolved:
+                continue
+            self.recovery_stats["requeued"] += 1
+            if self.observer is not None:
+                self.observer.on_requeue(self.now, batch, name)
+            self._dispatch(batch, redispatch=True)
+        self.pool.record_depth_gauges()
+
+    def _restart_device(self, name: str) -> None:
+        """Bring a crashed device back (fresh epoch) and feed it."""
+        device = self._device(name)
+        self._pending_restarts = max(self._pending_restarts - 1, 0)
+        if device.healthy:
+            return
+        device.healthy = True
+        device.epoch += 1
+        device.busy_until = self.now
+        self.recovery_stats["restarts"] += 1
+        self._advance(device)
+
+    def _stall_device(self, name: str, duration_s: float) -> None:
+        """Straggler fault: push the device's free time out by the stall.
+
+        The epoch bump invalidates the pending ``device_free`` and a
+        fresh one is scheduled at the extended time, preserving the
+        invariant that a non-idle device always has exactly one live
+        completion event in the heap.
+        """
+        device = self._device(name)
+        if not device.healthy:
+            return
+        self.recovery_stats["stalls"] += 1
+        device.epoch += 1
+        device.busy_until = max(device.busy_until, self.now) + duration_s
+        self._push(
+            device.busy_until,
+            _Event("device_free", device=name, epoch=device.epoch),
+        )
+        # A batch executing on the straggler is the one case work
+        # stealing cannot rescue (steals only take *queued* batches) —
+        # arm a straggler hedge check for it.
+        executing = self._executing.get(name)
+        if (
+            self._hedge_after_s is not None
+            and executing is not None
+            and not executing.resolved
+            and not executing.hedged
+        ):
+            self._push(
+                self.now + self._hedge_after_s,
+                _Event("hedge_check", batch=executing, device=name),
+            )
+
+    def _deferred_fault_target(self, kind: str) -> str | None:
+        """The device a state-conditioned fault should hit right now.
+
+        Fixed-time stalls and crashes almost always land on an idle,
+        empty device at realistic utilisations (execution and queueing
+        windows are a few microseconds wide), which makes the
+        straggler-hedge and requeue-and-drain paths unreachable from a
+        static schedule.  ``exec_stall`` and ``queued_crash`` instead
+        wait for the fleet: the first (by name) healthy device with an
+        unresolved batch in flight (resp. a non-empty queue), re-armed
+        a microsecond at a time until one exists.  Deterministic for a
+        fixed seed — the re-arm cadence depends only on virtual time.
+        """
+        if kind == "exec_stall":
+            candidates = sorted(
+                name
+                for name, batch in self._executing.items()
+                if self._device(name).healthy and not batch.resolved
+            )
+        else:  # queued_crash
+            candidates = sorted(
+                d.name
+                for d in self.pool.devices
+                if d.healthy and any(not b.resolved for b in d.queue)
+            )
+        return candidates[0] if candidates else None
+
+    def _queue_storm(self, capacity: int) -> None:
+        """Collapse every device queue to ``capacity`` (0 = rendezvous)."""
+        self.recovery_stats["queue_storms"] += 1
+        for device in self.pool.devices:
+            self._saved_queue_caps.setdefault(device.name, device.queue_capacity)
+            device.queue_capacity = max(capacity, 0)
+
+    def _queue_storm_end(self) -> None:
+        for device in self.pool.devices:
+            saved = self._saved_queue_caps.pop(device.name, None)
+            if saved is not None:
+                device.queue_capacity = saved
+
+    def _launch_fault(self, device: DeviceWorker, batch: Batch) -> bool:
+        """Draw a batch-launch fault inside an active launch window.
+
+        The draw consumes one variate per launch attempt in event order,
+        so a fixed chaos seed reproduces the identical fault pattern.
+        """
+        if self._launch_rng is None or self.now >= self._launch_window_until:
+            return False
+        if float(self._launch_rng.random()) >= self._launch_fault_p:
+            return False
+        fault = FleetFaultEvent(
+            kind="launch_fault",
+            at=self.now,
+            site=FleetSite.LAUNCH.value,
+            device=device.name,
+            param=float(batch.batch_id),
+        )
+        self.fleet_log.append(fault)
+        self.recovery_stats["launch_faults"] += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("serve.chaos.launch_fault")
+        if self.observer is not None:
+            self.observer.on_chaos(self.now, fault)
+        return True
+
+    def _fail_batch(self, batch: Batch, reason: str) -> None:
+        """Terminal infrastructure failure of every member (never silent)."""
+        if batch.resolved:
+            return
+        batch.resolved = True
+        for i, request in enumerate(batch.requests):
+            self._resolve_fail(
+                request, reason, retries=batch.attempts, slot=int(batch.slots[i])
+            )
 
     # -- the actual math ------------------------------------------------
     def _execute_batch(self, batch: Batch, device: DeviceWorker, service_s: float) -> None:
@@ -597,6 +1048,34 @@ class GemmService:
             request,
         )
 
+    def _resolve_fail(
+        self,
+        request: GemmRequest,
+        reason: str,
+        retries: int = 0,
+        slot: int | None = None,
+    ) -> None:
+        if slot is not None:
+            self.table.release(slot)
+        self._totals["failed"] += 1
+        key = reason.split(":", 1)[0]
+        self.fail_reasons[key] = self.fail_reasons.get(key, 0) + 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("serve.requests.failed")
+            registry.inc(f"serve.requests.failed.{key}")
+        self._resolve(
+            GemmResponse(
+                request_id=request.request_id,
+                status=RequestStatus.FAILED,
+                reason=reason,
+                latency_s=self.now - request.submitted_at,
+                retries=retries,
+                degraded=request.degraded,
+            ),
+            request,
+        )
+
     def _resolve_complete(
         self,
         request: GemmRequest,
@@ -629,6 +1108,9 @@ class GemmService:
             service_s=service_s,
             latency_s=latency,
             attempts=attempts,
+            degraded=request.degraded,
+            retries=batch.attempts,
+            hedged=batch.hedged,
         )
         self._resolve(response, request)
         return response
@@ -651,6 +1133,10 @@ class GemmService:
         """
         self._on_complete = on_complete
         self._defer_active = self._deferral_safe()
+        if self.chaos is not None and not self._chaos_armed:
+            self._chaos_armed = True
+            for fault in self.chaos.faults:
+                self._push(fault.at, _Event("chaos", fault=fault))
         try:
             for at, request in arrivals:
                 self._push(at, _Event("arrive", request=request))
@@ -663,7 +1149,15 @@ class GemmService:
                     for batch in self.batcher.due(self.now):
                         self._dispatch(batch)
                 elif event.kind == "device_free":
-                    self._finish(self._device(event.device))
+                    device = self._device(event.device)
+                    if event.epoch == device.epoch:
+                        self._finish(device)
+                elif event.kind == "chaos":
+                    self._apply_chaos(event.fault)
+                elif event.kind == "retry":
+                    self._retry_batch(event.batch)
+                elif event.kind == "hedge_check":
+                    self._maybe_hedge(event.batch, straggler=event.device)
                 if not self._events and drain and self.batcher.pending:
                     # Nothing left will fire a window event sooner than
                     # the residual wait; flush the tail explicitly.
@@ -686,7 +1180,7 @@ class GemmService:
 
     # -- reporting ------------------------------------------------------
     def stats(self) -> dict:
-        return {
+        stats = {
             **self._totals,
             "in_flight": self.in_flight,
             "routing_mix": dict(sorted(self.routing_mix.items())),
@@ -694,8 +1188,14 @@ class GemmService:
                 str(k): v for k, v in sorted(self.batch_size_counts.items())
             },
             "reject_reasons": dict(sorted(self.reject_reasons.items())),
+            "fail_reasons": dict(sorted(self.fail_reasons.items())),
             "batcher": self.batcher.stats(),
             "router": self.router.stats(),
             "pool": self.pool.stats(),
             "virtual_s": self.now,
+            "recovery": dict(self.recovery_stats),
+            "fleet_faults": len(self.fleet_log),
         }
+        if self._brownout is not None:
+            stats["brownout"] = self._brownout.summary()
+        return stats

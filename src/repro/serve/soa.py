@@ -55,6 +55,10 @@ class RequestTable:
         self.shape_mkn = np.zeros((capacity, 3), dtype=np.int64)
         #: RequestState per slot
         self.state = np.zeros(capacity, dtype=np.int8)
+        #: serve-level retry attempts the slot's batch has consumed
+        self.attempts = np.zeros(capacity, dtype=np.int16)
+        #: 1 when a hedged duplicate launch covered the slot
+        self.hedged = np.zeros(capacity, dtype=np.int8)
         #: API-boundary object column — the only per-request Python object
         self._requests: list = [None] * capacity
         # free-slot ring: _free[_head : _head+_free_count] (mod capacity)
@@ -76,6 +80,8 @@ class RequestTable:
         self.submitted_at[slot] = request.submitted_at
         self.shape_mkn[slot] = request.shape
         self.state[slot] = RequestState.QUEUED
+        self.attempts[slot] = 0
+        self.hedged[slot] = 0
         self._requests[slot] = request
         return slot
 
@@ -84,6 +90,8 @@ class RequestTable:
         self._requests[slot] = None
         self.state[slot] = RequestState.FREE
         self.deadline_at[slot] = np.inf
+        self.attempts[slot] = 0
+        self.hedged[slot] = 0
         tail = (self._head + self._free_count) % self.capacity
         self._free[tail] = slot
         self._free_count += 1
@@ -91,7 +99,7 @@ class RequestTable:
     def _grow(self) -> None:
         old = self.capacity
         new = old * 2
-        for name in ("priority", "submitted_at", "state"):
+        for name in ("priority", "submitted_at", "state", "attempts", "hedged"):
             column = getattr(self, name)
             grown = np.zeros(new, dtype=column.dtype)
             grown[:old] = column

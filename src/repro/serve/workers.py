@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from ..gpu.spec import GpuSpec
 from ..obs.metrics import get_registry
+from .api import FleetExhaustedError
 from .batcher import Batch
 
 __all__ = ["DeviceWorker", "WorkerPool"]
@@ -47,6 +48,11 @@ class DeviceWorker:
     busy_s: float = 0.0
     stolen_from: int = 0
     stolen_into: int = 0
+    #: False after a chaos crash; an unhealthy device accepts no work
+    healthy: bool = True
+    #: bumped on crash/restart/stall so stale ``device_free`` events
+    #: scheduled against the previous incarnation are ignored
+    epoch: int = 0
 
     def idle(self, now: float) -> bool:
         return self.busy_until <= now and not self.queue
@@ -67,18 +73,25 @@ class DeviceWorker:
         self.queue.append(batch)
 
     def pop_next(self) -> Batch | None:
-        """Most urgent queued batch: priority, then earliest deadline/age."""
-        if not self.queue:
-            return None
-        best = min(
-            range(len(self.queue)),
-            key=lambda i: (
-                -self.queue[i].priority,
-                self.queue[i].deadline_at,
-                self.queue[i].created_at,
-            ),
-        )
-        return self.queue.pop(best)
+        """Most urgent queued batch: priority, then earliest deadline/age.
+
+        Batches already resolved elsewhere (a hedged duplicate won, or
+        every member expired) are discarded instead of returned, so a
+        queue never hands back work that has no members left to serve.
+        """
+        while self.queue:
+            best = min(
+                range(len(self.queue)),
+                key=lambda i: (
+                    -self.queue[i].priority,
+                    self.queue[i].deadline_at,
+                    self.queue[i].created_at,
+                ),
+            )
+            batch = self.queue.pop(best)
+            if not batch.resolved:
+                return batch
+        return None
 
 
 class WorkerPool:
@@ -94,12 +107,20 @@ class WorkerPool:
         self.rejected_batches = 0
 
     def select(self, now: float) -> DeviceWorker | None:
-        """Accepting device with the earliest estimated start, or None.
+        """Accepting healthy device with the earliest estimated start.
 
-        ``None`` is the backpressure signal: every queue is full and
-        every executor busy — the caller must reject, not wait.
+        ``None`` is the backpressure signal: every *healthy* queue is
+        full and every healthy executor busy — the caller must reject
+        (or retry), not wait.  Zero healthy devices is a different,
+        typed condition: :class:`~repro.serve.api.FleetExhaustedError`.
         """
-        accepting = [d for d in self.devices if d.can_accept(now)]
+        healthy = [d for d in self.devices if d.healthy]
+        if not healthy:
+            raise FleetExhaustedError(
+                f"no healthy devices remain in the fleet "
+                f"({len(self.devices)} configured, all crashed)"
+            )
+        accepting = [d for d in healthy if d.can_accept(now)]
         if not accepting:
             self.rejected_batches += 1
             get_registry().inc("serve.pool.backpressure")
@@ -109,9 +130,20 @@ class WorkerPool:
         )
 
     def steal_for(self, idle_device: DeviceWorker) -> Batch | None:
-        """Pull the most urgent batch from the most backlogged peer."""
+        """Pull the most urgent batch from the most backlogged peer.
+
+        Dead (unhealthy) devices are skipped on both sides: a crashed
+        device never steals, and its queue is drained by the service's
+        requeue path rather than picked at here.
+        """
+        if not idle_device.healthy:
+            return None
         victim = max(
-            (d for d in self.devices if d is not idle_device and d.queue),
+            (
+                d
+                for d in self.devices
+                if d is not idle_device and d.healthy and d.queue
+            ),
             key=lambda d: len(d.queue),
             default=None,
         )
@@ -158,6 +190,7 @@ class WorkerPool:
                     "busy_s": d.busy_s,
                     "stolen_from": d.stolen_from,
                     "stolen_into": d.stolen_into,
+                    "healthy": d.healthy,
                 }
                 for d in self.devices
             },

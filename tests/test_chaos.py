@@ -1,0 +1,564 @@
+"""Fleet chaos engineering: fault injection, recovery, and degradation.
+
+Covers the acceptance contract of ``repro.serve.chaos`` +
+``repro.serve.recovery``:
+
+* :class:`BackoffPolicy` — capped exponential schedule, deterministic
+  seeded jitter, and exact equivalence with the legacy
+  :class:`ResilientRunner` formula;
+* fleet exhaustion — ``WorkerPool.select`` raises the typed error when
+  zero healthy devices remain, and the service resolves the affected
+  batches as explicit FAILED responses (never a hang or a drop);
+* recovery mechanics in the event loop — hedge first-wins with
+  bit-identical winners, retry-then-expire for requeued batches whose
+  deadline passes in backoff, retry exhaustion, crash requeue-and-drain;
+* the 4-term accounting identity ``submitted == completed + rejected +
+  expired + failed`` and zero silent drops across the scenario
+  catalogue (hypothesis property);
+* fault-free byte-identity: arming recovery without faults changes no
+  response bit;
+* flight-log round trip: chaos/retry/requeue events validate and
+  reconstruct;
+* the shared-memory process pool surviving killed workers.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import signal
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.spec import get_gpu
+from repro.obs.flight import reconstruct_lifecycle, validate_flight_log
+from repro.resilience.backoff import BackoffPolicy
+from repro.resilience.faults import FLEET_FAULT_KINDS, FleetFaultEvent
+from repro.resilience.runner import ResilientRunner
+from repro.serve import (
+    ChaosSchedule,
+    FleetExhaustedError,
+    GemmRequest,
+    GemmService,
+    RecoveryConfig,
+    RequestStatus,
+    ServeConfig,
+    run_campaign,
+    validate_chaos_report,
+)
+from repro.serve.chaos import chaos_arrivals, run_scenario
+from repro.serve.soa import RequestTable
+from repro.serve.workers import DeviceWorker, WorkerPool
+
+
+def _request(rng, m=16, k=16, n=16, **kwargs) -> GemmRequest:
+    a = rng.uniform(-1, 1, (m, k)).astype(np.float32)
+    b = rng.uniform(-1, 1, (k, n)).astype(np.float32)
+    return GemmRequest(a=a, b=b, **kwargs)
+
+
+def _bits(x: np.ndarray) -> np.ndarray:
+    return np.asarray(x, dtype=np.float32).view(np.uint32)
+
+
+# ---------------------------------------------------------------------------
+# backoff policy
+# ---------------------------------------------------------------------------
+
+
+class TestBackoffPolicy:
+    def test_capped_exponential_schedule(self):
+        policy = BackoffPolicy(base_s=0.1, cap_s=0.5, multiplier=2.0,
+                               max_retries=5)
+        assert policy.delay(0) == 0.0
+        assert policy.schedule() == (0.1, 0.2, 0.4, 0.5, 0.5)
+
+    def test_matches_legacy_runner_formula(self):
+        """Runner attempt ``i`` slept min(b * 2**(i-2), cap); the policy
+        reproduces it exactly as ``delay(i - 1)``."""
+        base, cap = 0.05, 1.0
+        policy = BackoffPolicy(base_s=base, cap_s=cap, multiplier=2.0,
+                               max_retries=8)
+        for i in range(2, 10):
+            assert policy.delay(i - 1) == min(base * 2 ** (i - 2), cap)
+
+    def test_runner_builds_policy_from_legacy_fields(self):
+        runner = ResilientRunner(backoff_s=0.02, backoff_cap_s=0.3,
+                                 attempts_per_kernel=4)
+        assert isinstance(runner.backoff, BackoffPolicy)
+        assert runner.backoff.base_s == 0.02
+        assert runner.backoff.cap_s == 0.3
+        assert runner.backoff.max_retries == 3
+        assert runner.backoff.jitter == 0.0  # legacy schedule, no spread
+
+    def test_jitter_bounded_and_deterministic(self):
+        policy = BackoffPolicy(base_s=1e-3, cap_s=1e-2, multiplier=2.0,
+                               max_retries=4, jitter=0.25, seed=3)
+        for attempt in (1, 2, 3, 4):
+            raw = min(1e-3 * 2.0 ** (attempt - 1), 1e-2)
+            d = policy.delay(attempt, key=17)
+            assert raw * 0.75 <= d <= raw * 1.25
+            assert d == policy.delay(attempt, key=17)  # replayable
+        # distinct keys decorrelate (not all draws can collide)
+        draws = {policy.delay(1, key=k) for k in range(16)}
+        assert len(draws) > 1
+        # string keys hash stably (CRC-32, not salted hash())
+        assert policy.delay(2, key="egemm-tc") == policy.delay(2, key="egemm-tc")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_s=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# fault model
+# ---------------------------------------------------------------------------
+
+
+class TestFaultModel:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FleetFaultEvent("meteor_strike", 0.0)
+
+    def test_site_autofilled_per_kind(self):
+        assert FleetFaultEvent("device_crash", 0.0).site == "device"
+        assert FleetFaultEvent("queued_crash", 0.0).site == "device"
+        assert FleetFaultEvent("exec_stall", 0.0).site == "worker"
+        assert FleetFaultEvent("queue_storm", 0.0).site == "queue"
+        assert set(FLEET_FAULT_KINDS) >= {
+            "device_crash", "queued_crash", "device_restart", "device_stall",
+            "exec_stall", "queue_storm", "queue_storm_end", "launch_faults",
+        }
+
+
+# ---------------------------------------------------------------------------
+# fleet exhaustion
+# ---------------------------------------------------------------------------
+
+
+def _pool(n=2) -> WorkerPool:
+    spec = get_gpu("t4")
+    return WorkerPool([DeviceWorker(f"t4-{i}", spec) for i in range(n)])
+
+
+class _FakeBatch:
+    """Just enough surface for queue/steal bookkeeping."""
+
+    def __init__(self):
+        self.priority = 0
+        self.deadline_at = float("inf")
+        self.created_at = 0.0
+        self.service_s = 1e-6
+        self.resolved = False
+
+
+class TestFleetExhaustion:
+    def test_select_raises_typed_error_when_all_dead(self):
+        pool = _pool(2)
+        for device in pool.devices:
+            device.healthy = False
+        with pytest.raises(FleetExhaustedError):
+            pool.select(0.0)
+        pool.devices[1].healthy = True
+        assert pool.select(0.0) is pool.devices[1]
+
+    def test_steal_skips_dead_devices_both_sides(self):
+        pool = _pool(2)
+        donor, thief = pool.devices
+        donor.queue.append(_FakeBatch())
+        donor.healthy = False
+        # dead donor: its queue is drained by the crash handler, not
+        # stolen from behind its back
+        assert pool.steal_for(thief) is None
+        # dead thief never steals
+        donor.healthy = True
+        thief.healthy = False
+        assert pool.steal_for(thief) is None
+
+    def test_service_fails_batches_when_fleet_dies(self):
+        """Crash the only device, keep submitting: explicit FAILED
+        responses with the fleet-exhausted reason, exact accounting."""
+        rng = np.random.default_rng(0)
+        config = ServeConfig(
+            devices=("t4",),
+            recovery=RecoveryConfig(
+                retry=BackoffPolicy(base_s=20e-6, cap_s=80e-6, max_retries=2),
+            ),
+        )
+        schedule = ChaosSchedule(
+            faults=(FleetFaultEvent("device_crash", 1e-6, device="t4-0"),),
+        )
+        service = GemmService(config, chaos=schedule)
+        arrivals = [(i * 50e-6, _request(rng)) for i in range(6)]
+        responses = service.run(arrivals)
+        stats = service.stats()
+        assert stats["failed"] > 0
+        assert "fleet-exhausted" in stats["fail_reasons"]
+        assert stats["submitted"] == (
+            stats["completed"] + stats["rejected"] + stats["expired"]
+            + stats["failed"]
+        )
+        assert len(responses) == stats["submitted"]
+        assert all(
+            r.status is RequestStatus.FAILED for r in responses.values()
+            if not r.ok
+        )
+
+
+# ---------------------------------------------------------------------------
+# recovery mechanics in the event loop
+# ---------------------------------------------------------------------------
+
+
+class TestRecoveryMechanics:
+    def test_hedge_winner_is_bit_identical(self):
+        """A stalled execution hedges onto the idle device; the winner's
+        product is byte-equal to a fault-free kernel run."""
+        rng = np.random.default_rng(1)
+        config = ServeConfig(
+            devices=("t4", "t4"),
+            recovery=RecoveryConfig(hedge_after_s=50e-6),
+        )
+        schedule = ChaosSchedule(
+            faults=(FleetFaultEvent("exec_stall", 0.0, duration_s=1.0),),
+        )
+        service = GemmService(config, chaos=schedule)
+        request = _request(rng)
+        responses = service.run([(0.0, request)])
+        recovery = service.stats()["recovery"]
+        assert recovery["stalls"] == 1
+        assert recovery["hedges"] == 1
+        assert recovery["hedge_wins"] == 1
+        assert recovery["hedge_cancelled"] == 1  # the stuck copy's finish
+        (response,) = responses.values()
+        assert response.ok and response.hedged
+        kernel = service.router.kernels[response.kernel]
+        want = kernel.compute(request.a, request.b, request.c)
+        assert np.array_equal(_bits(response.d), _bits(want))
+
+    def test_retry_then_expire_while_requeued(self):
+        """A deadline that passes during backoff resolves EXPIRED at the
+        retry, never silently dropped and never falsely completed."""
+        rng = np.random.default_rng(2)
+        config = ServeConfig(
+            devices=("t4",),
+            recovery=RecoveryConfig(
+                retry=BackoffPolicy(base_s=5e-3, cap_s=5e-3, max_retries=3),
+            ),
+        )
+        schedule = ChaosSchedule(
+            faults=(FleetFaultEvent("launch_faults", 0.0, duration_s=10.0,
+                                    param=1.0),),
+        )
+        service = GemmService(config, chaos=schedule)
+        responses = service.run([(0.0, _request(rng, deadline_s=500e-6))])
+        stats = service.stats()
+        assert stats["recovery"]["retries"] == 1
+        assert stats["expired"] == 1
+        assert stats["completed"] == 0 and stats["failed"] == 0
+        (response,) = responses.values()
+        assert response.status is RequestStatus.EXPIRED
+
+    def test_retry_exhaustion_fails_with_reason(self):
+        """Permanent launch faults burn the retry budget, then resolve
+        as FAILED carrying the attempt count."""
+        rng = np.random.default_rng(3)
+        config = ServeConfig(
+            devices=("t4",),
+            recovery=RecoveryConfig(
+                retry=BackoffPolicy(base_s=10e-6, cap_s=40e-6, max_retries=2),
+            ),
+        )
+        schedule = ChaosSchedule(
+            faults=(FleetFaultEvent("launch_faults", 0.0, duration_s=10.0,
+                                    param=1.0),),
+        )
+        service = GemmService(config, chaos=schedule)
+        responses = service.run([(0.0, _request(rng))])
+        stats = service.stats()
+        assert stats["failed"] == 1
+        assert stats["recovery"]["retries"] == 2
+        assert "launch-fault" in stats["fail_reasons"]
+        (response,) = responses.values()
+        assert response.status is RequestStatus.FAILED
+        assert response.retries == 2
+
+    def test_crash_requeues_queued_batches(self):
+        """``queued_crash`` kills a device holding queued work; the
+        queue drains back onto the fleet and everything completes."""
+        rng = np.random.default_rng(4)
+        config = ServeConfig(
+            devices=("t4", "t4"),
+            recovery=RecoveryConfig(
+                retry=BackoffPolicy(base_s=20e-6, cap_s=80e-6, max_retries=3),
+            ),
+        )
+        schedule = ChaosSchedule(
+            faults=(FleetFaultEvent("queued_crash", 0.0),),
+        )
+        service = GemmService(config, chaos=schedule)
+        # three incompatible shapes -> three batches for two devices,
+        # so one batch must queue behind an execution
+        arrivals = [
+            (0.0, _request(rng, m=16)), (0.0, _request(rng, m=16)),
+            (0.0, _request(rng, m=24)), (0.0, _request(rng, m=24)),
+            (0.0, _request(rng, m=32)), (0.0, _request(rng, m=32)),
+        ]
+        responses = service.run(arrivals)
+        stats = service.stats()
+        assert stats["recovery"]["crashes"] == 1
+        assert stats["recovery"]["requeued"] >= 1
+        assert stats["completed"] == stats["submitted"] == len(responses)
+
+    def test_deferred_fault_terminates_without_target(self):
+        """A ``queued_crash`` that never finds a queued batch re-arms
+        only while work remains — the loop still terminates and the
+        fault is not logged as fired."""
+        rng = np.random.default_rng(5)
+        config = ServeConfig(devices=("t4",),
+                             recovery=RecoveryConfig())
+        schedule = ChaosSchedule(
+            faults=(FleetFaultEvent("queued_crash", 0.0),),
+        )
+        service = GemmService(config, chaos=schedule)
+        responses = service.run([(0.0, _request(rng))])
+        assert len(responses) == 1
+        assert service.stats()["recovery"]["crashes"] == 0
+        assert len(service.fleet_log) == 0
+
+    def test_fault_free_run_identical_with_and_without_recovery(self):
+        """Arming recovery without faults is byte-invisible — the
+        guarantee that keeps the pre-chaos seed-0 pins valid."""
+        def _run(recovery):
+            config = ServeConfig(recovery=recovery)
+            service = GemmService(config)
+            return service.run(list(chaos_arrivals(0, 40, 150_000.0)))
+
+        armed = _run(RecoveryConfig(
+            retry=BackoffPolicy(base_s=40e-6, cap_s=320e-6, max_retries=3,
+                                jitter=0.25, seed=0),
+            hedge_after_s=200e-6,
+        ))
+        plain = _run(None)
+        assert set(armed) == set(plain)
+        for rid in armed:
+            assert armed[rid].status == plain[rid].status
+            if armed[rid].ok:
+                assert np.array_equal(_bits(armed[rid].d), _bits(plain[rid].d))
+
+
+# ---------------------------------------------------------------------------
+# scenario catalogue / campaign invariants
+# ---------------------------------------------------------------------------
+
+
+class TestScenarios:
+    def test_stall_hedge_scenario_exercises_hedging(self):
+        result, _ = run_scenario("stall-hedge", seed=0, requests=150)
+        assert result["pass"]
+        assert result["recovery"]["hedges"] >= 1
+        assert result["recovery"]["hedge_wins"] >= 1
+        assert result["invariants"]["bit_mismatches"] == 0
+
+    def test_device_crash_scenario_requeues(self):
+        result, _ = run_scenario("device-crash", seed=0, requests=150)
+        assert result["pass"]
+        assert result["recovery"]["requeued"] >= 1
+        assert result["recovery"]["crashes"] == 1
+
+    def test_fleet_outage_fails_explicitly_and_degrades(self):
+        result, _ = run_scenario("fleet-outage", seed=0, requests=150)
+        assert result["pass"]
+        assert result["counts"]["failed"] > 0
+        assert "fleet-exhausted" in result["fail_reasons"]
+        assert result["brownout"]["activations"] >= 1
+        assert result["recovery"]["degraded"] > 0  # degraded at submit...
+        # ...but none completed: the fleet is dead, so the degraded
+        # contract is vacuously clean here (blackout-recovery covers the
+        # completed-degraded case)
+        assert result["invariants"]["degraded_violations"] == 0
+
+    def test_blackout_recovery_retries_through_restart(self):
+        result, _ = run_scenario("blackout-recovery", seed=0, requests=150)
+        assert result["pass"]
+        assert result["counts"]["failed"] == 0  # restart lands in backoff
+        assert result["recovery"]["retries"] > 0
+        assert result["recovery"]["restarts"] >= 1
+        # degraded responses actually completed, within the fallback SLO
+        assert result["invariants"]["degraded_completions"] > 0
+        assert result["invariants"]["degraded_violations"] == 0
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(0, 999),
+        name=st.sampled_from((
+            "baseline", "launch-faults", "queue-storm", "blackout-recovery",
+        )),
+    )
+    def test_no_silent_drops_property(self, seed, name):
+        """Accounting is exact and nothing vanishes for any seed."""
+        result, _ = run_scenario(name, seed=seed, requests=60)
+        inv = result["invariants"]
+        assert inv["accounting_exact"]
+        assert inv["silent_drops"] == 0
+        assert inv["bit_mismatches"] == 0
+        assert inv["degraded_violations"] == 0
+
+    def test_campaign_report_validates_and_detects_corruption(self, tmp_path):
+        out = tmp_path / "CHAOS_campaign.json"
+        report, _ = run_campaign(seeds=(0,), requests=80,
+                                 scenarios=("baseline", "launch-faults"),
+                                 out=out)
+        assert validate_chaos_report(report) == []
+        assert report["summary"]["pass"]
+        on_disk = json.loads(out.read_text())
+        assert validate_chaos_report(on_disk) == []
+        # corruption surfaces as problems, not silence
+        on_disk["scenarios"]["baseline#s0"]["counts"]["completed"] += 1
+        assert validate_chaos_report(on_disk)
+
+
+# ---------------------------------------------------------------------------
+# flight log round trip
+# ---------------------------------------------------------------------------
+
+
+class TestFlightLog:
+    def test_chaos_events_validate_and_reconstruct(self, tmp_path):
+        _, observer = run_scenario("device-crash", seed=0, requests=150)
+        path = observer.recorder.dump_jsonl(tmp_path / "flight.jsonl")
+        records = [json.loads(line) for line in
+                   path.read_text().splitlines() if line]
+        assert validate_flight_log(records) == []
+        kinds = {r.get("kind") for r in records}
+        assert {"chaos", "retry", "requeue"} <= kinds
+        chaos = [r for r in records if r.get("kind") == "chaos"]
+        assert all(r["fault_kind"] in FLEET_FAULT_KINDS for r in chaos)
+        # a retried batch's members reconstruct with the retry event in
+        # their lifecycle chain
+        retried = next(r for r in records if r.get("kind") == "retry")
+        member = next(
+            r["request_ids"][0] for r in records
+            if r.get("kind") == "batch_form"
+            and r.get("batch_id") == retried["batch_id"]
+        )
+        life = reconstruct_lifecycle(records, member)
+        assert life["batch_id"] == retried["batch_id"]
+        assert "retry" in {e["kind"] for e in life["events"]}
+        assert life["status"] is not None
+
+
+# ---------------------------------------------------------------------------
+# SoA recovery columns
+# ---------------------------------------------------------------------------
+
+
+class TestRequestTableRecoveryColumns:
+    def test_attempts_hedged_reset_on_acquire_and_release(self):
+        rng = np.random.default_rng(6)
+        table = RequestTable(capacity=2)
+        slot = table.acquire(_request(rng))
+        table.attempts[slot] = 3
+        table.hedged[slot] = 1
+        table.release(slot)
+        assert table.attempts[slot] == 0 and table.hedged[slot] == 0
+        slot = table.acquire(_request(rng))
+        assert table.attempts[slot] == 0 and table.hedged[slot] == 0
+
+    def test_columns_survive_growth(self):
+        rng = np.random.default_rng(7)
+        table = RequestTable(capacity=2)
+        slots = [table.acquire(_request(rng)) for _ in range(2)]
+        table.attempts[slots[0]] = 2
+        table.hedged[slots[1]] = 1
+        for _ in range(4):  # force at least one growth
+            table.acquire(_request(rng))
+        assert table.capacity > 2
+        assert table.attempts[slots[0]] == 2
+        assert table.hedged[slots[1]] == 1
+
+
+# ---------------------------------------------------------------------------
+# shared-memory pool: dead forked workers
+# ---------------------------------------------------------------------------
+
+
+class TestProcpoolDeadWorkers:
+    def _fp32_jobs(self, rng, n):
+        import repro.serve.procpool as pp
+
+        jobs = []
+        for _ in range(n):
+            a = [rng.standard_normal((6, 8)).astype(np.float32)
+                 for _ in range(2)]
+            b = [rng.standard_normal((8, 5)).astype(np.float32)
+                 for _ in range(2)]
+            jobs.append((pp.FP32_KERNEL, a, b, None))
+        return jobs
+
+    def test_killed_worker_detected_and_jobs_fall_back(self, caplog):
+        import repro.serve.procpool as pp
+
+        try:
+            pool = pp.SharedMemoryGemmPool(2)
+        except Exception:
+            pytest.skip("shared-memory pool unavailable on this platform")
+        rng = np.random.default_rng(8)
+        try:
+            os.kill(pool._workers[0].pid, signal.SIGKILL)
+            pool._workers[0].join(timeout=5.0)
+            with caplog.at_level(logging.WARNING,
+                                 logger="repro.serve.procpool"):
+                results = pool.run_groups(self._fp32_jobs(rng, 3))
+            assert pool.dead_workers == 1
+            assert any("died" in r.message for r in caplog.records)
+            # surviving worker absorbed every job, bit-exactly
+            assert all(r is not None for r in results)
+            # second funeral: no jobs land, every result is the
+            # in-process-fallback sentinel, and the pool stays usable
+            os.kill(pool._workers[1].pid, signal.SIGKILL)
+            pool._workers[1].join(timeout=5.0)
+            results = pool.run_groups(self._fp32_jobs(rng, 2))
+            assert pool.dead_workers == 2
+            assert results == [None, None]
+        finally:
+            pool.close()
+
+    def test_service_stays_correct_with_dead_worker(self, monkeypatch):
+        """End to end: responses with a killed pool worker are identical
+        to the inline run (the fallback recomputes in process)."""
+        import repro.serve.procpool as pp
+
+        monkeypatch.setenv("REPRO_SERVE_PROCS", "2")
+        monkeypatch.setattr(pp, "_POOL", None)
+        monkeypatch.setattr(pp, "_POOL_UNAVAILABLE", False)
+        pool = pp.get_shared_pool()
+        if pool is None:
+            pytest.skip("shared-memory pool unavailable on this platform")
+
+        def _run():
+            service = GemmService(ServeConfig())
+            return service.run(list(chaos_arrivals(3, 30, 150_000.0)))
+
+        try:
+            os.kill(pool._workers[0].pid, signal.SIGKILL)
+            pool._workers[0].join(timeout=5.0)
+            degraded = _run()
+        finally:
+            pool.close()
+            monkeypatch.setattr(pp, "_POOL", None)
+            monkeypatch.setenv("REPRO_SERVE_PROCS", "")
+        inline = _run()
+        assert set(degraded) == set(inline)
+        for rid in degraded:
+            assert degraded[rid].status == inline[rid].status
+            if degraded[rid].ok:
+                assert np.array_equal(_bits(degraded[rid].d),
+                                      _bits(inline[rid].d))
