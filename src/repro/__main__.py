@@ -18,6 +18,11 @@ Usage::
                                          # fleet chaos campaign -> CHAOS_campaign.json
     python -m repro postmortem <request-id> [--log FLIGHT_serve.jsonl]
                                          # reconstruct one request's lifecycle
+    python -m repro accuracy [--quick] [--seed N]
+                                         # shadow-sampled accuracy verification
+                                         # -> ACCURACY_report.json
+    python -m repro metrics [SNAPSHOT.json]
+                                         # registry snapshot in OpenMetrics text
     python -m repro profile <kernel> --shape MxNxK [--trace out.json]
                                          # per-kernel profile report + trace
 """
@@ -92,6 +97,14 @@ def main(argv: list[str] | None = None) -> int:
         from .obs.flight import main as postmortem_main
 
         return postmortem_main(args[1:])
+    if args and args[0] == "accuracy":
+        from .obs.accuracy import main as accuracy_main
+
+        return accuracy_main(args[1:])
+    if args and args[0] == "metrics":
+        from .obs.metrics import main as metrics_main
+
+        return metrics_main(args[1:])
     if args and args[0] == "profile":
         from .obs.profile import main as profile_main
 

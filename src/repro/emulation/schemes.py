@@ -46,6 +46,13 @@ class EmulationScheme:
     #: with FRAG caching the paper reduces realized traffic to 2x (§3.2)
     memory_overhead: int
     effective_mantissa_bits: int
+    #: absolute representation error of an fp16-encoded part that lands on
+    #: the subnormal grid (spacing 2^-24): half the spacing for
+    #: round-to-nearest encodings, the full spacing for truncating ones.
+    #: Feeds :func:`repro.fp.error.split_subnormal_floor` — the
+    #: operand-dependent charge the accuracy verifier's property test
+    #: showed the pure-relative ``u_in`` model silently omits.
+    subnormal_eta: float = 2.0**-25
     description: str = ""
 
     @property
@@ -108,6 +115,7 @@ MARKIDIS = EmulationScheme(
     compute_overhead=4,
     memory_overhead=2,
     effective_mantissa_bits=20,
+    subnormal_eta=2.0**-24,
     description="Markidis et al.: truncate-split + 4 Tensor Core calls (1-bit precision loss)",
 )
 

@@ -12,6 +12,7 @@ half-precision cuBLAS error.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,9 +22,20 @@ __all__ = [
     "mean_error",
     "error_ratio",
     "gemm_relative_error_bound",
+    "split_subnormal_floor",
+    "CONDITIONING_TARGET_EXP",
+    "block_scaled_relative_error_bound",
+    "operand_spread",
+    "observed_relative_error",
     "ErrorReport",
     "compare_to_reference",
 ]
+
+#: power-of-two conditioning target: scaling an operand so its largest
+#: magnitude sits near 2^11 keeps split lo-parts out of fp16's subnormal
+#: range for any element within 2^14 of the maximum (matches the
+#: resilient runner's ``_SCALE_TARGET_EXP``)
+CONDITIONING_TARGET_EXP = 11
 
 
 def max_error(value: np.ndarray, reference: np.ndarray) -> float:
@@ -45,7 +57,11 @@ def mean_error(value: np.ndarray, reference: np.ndarray) -> float:
 
 
 def gemm_relative_error_bound(
-    k: int, mantissa_bits: int, accumulator_bits: int = 23
+    k: int,
+    mantissa_bits: int,
+    accumulator_bits: int = 23,
+    floor_a: float = 0.0,
+    floor_b: float = 0.0,
 ) -> float:
     """Worst-case relative forward error of a length-``k`` dot product.
 
@@ -56,11 +72,40 @@ def gemm_relative_error_bound(
 
         |computed_ij - exact_ij|  <=  bound * (|A| |B|)_ij
 
-    with ``bound = 2*u_in + u_in^2 + gamma_k(u_acc) * (1 + u_in)^2``,
-    where ``u = 2^-(bits+1)`` is the unit roundoff and ``gamma_k = k*u /
-    (1 - k*u)`` collects the ``k`` accumulator roundings.  The first
-    terms charge the input representation (both operands), the gamma
-    term the accumulation cadence.
+    with ``bound = 2*u_in + u_in^2 + gamma_{k+4}(u_acc) * (1 + u_in)^2``,
+    where ``u = 2^-(bits+1)`` is the unit roundoff and ``gamma_j = j*u /
+    (1 - j*u)`` collects ``j`` accumulator roundings.  The first terms
+    charge the input representation (both operands), the gamma term the
+    accumulation cadence.
+
+    The gamma index is ``k + 4``, not the classic ``k``: a plain fused
+    dot product rounds at most ``k`` times per element, but the
+    emulated multi-term schemes round the accumulator once per (product
+    term, k-chunk) pair — ``4 * ceil(k / tk)`` roundings for the
+    4-term splits at the default ``tk = 16`` cadence, which *exceeds*
+    ``k`` for small ``k`` (at ``k = 1``: four roundings against the one
+    the classic bound charges — an observable violation).  Since
+    ``4 * ceil(k / tk) <= k + 4`` for every ``k >= 1`` and ``tk >= 4``,
+    charging ``gamma_{k+4}`` soundly covers both accumulation
+    cadences at the cost of four extra roundoffs' slack at large ``k``.
+
+    ``floor_a``/``floor_b`` are the operands' *subnormal floor charges*
+    (:func:`split_subnormal_floor`).  The relative representation model
+    ``|fl(x) - x| <= u_in * |x|`` silently assumes the fp16-encoded
+    parts of every element stay in fp16's normal range; an element small
+    enough that its split lo-part (or its bare half cast) lands on the
+    subnormal grid is only represented to an *absolute* spacing, and
+    its relative representation error grows to ``eta / |x|``.  With
+    ``rho = floor`` the per-element model becomes ``u_in*|x| + eta*S(x)``
+    and the componentwise bound
+
+        2u + u^2 + (1+u)*(rho_a + rho_b) + rho_a*rho_b
+        + gamma_{k+4}(u_acc) * (1+u)^2 * (1+rho_a) * (1+rho_b)
+
+    which reduces to the classic form at ``rho = 0`` (all magnitudes
+    comfortably normal after splitting).  This is the hole the accuracy
+    verifier's property test exposed: wide-exponent operands at small
+    ``k`` measurably exceed the unfloored certificate by >10x.
 
     This is the *analytic* accuracy contract the serving router trades
     against the timing model: a kernel is eligible for a request iff its
@@ -70,17 +115,214 @@ def gemm_relative_error_bound(
 
     ``k <= 0`` (degenerate GEMM) returns 0.0: an empty reduction is
     exact.  A ``k`` large enough that ``k * u_acc >= 1`` returns ``inf``
-    (the bound no longer certifies anything).
+    (the bound no longer certifies anything), as do non-finite floors.
     """
     if k <= 0:
         return 0.0
+    for floor in (floor_a, floor_b):
+        if math.isnan(floor) or floor < 0.0:
+            raise ValueError(f"subnormal floor charge must be >= 0, got {floor}")
+    if math.isinf(floor_a) or math.isinf(floor_b):
+        return float("inf")
     u_in = 2.0 ** -(mantissa_bits + 1)
     u_acc = 2.0 ** -(accumulator_bits + 1)
-    ku = k * u_acc
+    ku = (k + 4) * u_acc
     if ku >= 1.0:
         return float("inf")
     gamma = ku / (1.0 - ku)
-    return 2.0 * u_in + u_in * u_in + gamma * (1.0 + u_in) ** 2
+    rep = (
+        2.0 * u_in
+        + u_in * u_in
+        + (1.0 + u_in) * (floor_a + floor_b)
+        + floor_a * floor_b
+    )
+    return rep + gamma * (1.0 + u_in) ** 2 * (1.0 + floor_a) * (1.0 + floor_b)
+
+
+def split_subnormal_floor(
+    min_nonzero: float,
+    max_abs: float,
+    mantissa_bits: int,
+    eta: float,
+    conditioned: bool = False,
+) -> float:
+    """Operand floor charge ``rho``: subnormal excess over the ``u_in`` model.
+
+    The fp16 grid below ``2^-14`` has *absolute* spacing ``2^-24``, so an
+    element whose encoded low part lands there is represented to within
+    ``eta`` (half the spacing for round-to-nearest splits, the full
+    spacing for truncating ones) rather than ``u_in * |x|``.  The
+    per-element envelope — verified against exhaustive sampling of both
+    split algorithms across 33 binades — is
+
+        |x - (hi + lo)|  <=  u_in * |x| + eta * S(x),
+        S(x) = 1  iff  0 < |x| < eta / u_in
+
+    and the worst relative excess over a whole operand is ``eta / mu``
+    with ``mu`` its smallest nonzero magnitude (zero elements split
+    exactly).  ``mu`` at or above the threshold ``eta / u_in`` charges
+    nothing: there the absolute spacing is already inside the relative
+    model.
+
+    ``conditioned=True`` prices the power-of-two conditioned launch the
+    resilient runner's ``"scaled"`` escalation performs: the operand is
+    exactly rescaled so its largest magnitude sits near
+    ``2^CONDITIONING_TARGET_EXP``, which multiplies every magnitude —
+    ``mu`` included — by the same exact power of two before the split.
+    Conditioning therefore eliminates the charge whenever the operand's
+    total magnitude spread is below ``~2^14`` and shrinks it by
+    ``max_abs``'s headroom below ``2^11`` otherwise.
+
+    All-zero operands (``min_nonzero <= 0``) charge nothing; non-finite
+    statistics return ``inf`` (no certificate).
+    """
+    if min_nonzero <= 0.0:
+        return 0.0
+    if not (math.isfinite(min_nonzero) and math.isfinite(max_abs)):
+        return float("inf")
+    u_in = 2.0 ** -(mantissa_bits + 1)
+    threshold = eta / u_in
+    mu = min_nonzero
+    if conditioned and max_abs > 0.0:
+        exp = math.floor(math.log2(max_abs)) - CONDITIONING_TARGET_EXP
+        mu = math.ldexp(mu, -exp)
+    if mu >= threshold:
+        return 0.0
+    return eta / mu
+
+
+def block_scaled_relative_error_bound(
+    k: int,
+    slices: int,
+    spread_a: float = 1.0,
+    spread_b: float = 1.0,
+    digit_bits: int = 7,
+    lead_bits: int = 6,
+    out_bits: int = 23,
+) -> float:
+    """Componentwise error bound of a blockwise-scaled (Ozaki) GEMM.
+
+    Digit slicing under a *shared per-row exponent* drops at most
+    ``eps * row_max`` per element after ``slices`` planes, with ``eps =
+    2^-(digit_bits*(slices-1) + lead_bits)``: the unretained residual is
+    at most half an ulp of the last plane, and the shared scale is within
+    a factor of two of the row maximum.  Relative to the element itself
+    that is ``eps * spread``, where ``spread`` is the row's
+    max/min-nonzero magnitude ratio (:func:`operand_spread`; zero
+    elements slice exactly and are excluded).  The certificate is
+    therefore **operand-dependent**:
+
+        |computed_ij - exact_ij| <= bound * (|A| |B|)_ij
+        bound = eps*(ra + rb) + eps^2*ra*rb
+                + gamma_{k + slices^2 + 4}(2^-53) * (1 + eps*ra)(1 + eps*rb)
+                + u_out * (1 + base)
+
+    with ``ra``/``rb`` the operands' spreads, the gamma term charging the
+    fp64 recombination (slices^2 plane additions plus the exact int32
+    partials' conversion, plus slack for the c-add), and ``u_out =
+    2^-(out_bits+1)`` the final rounding into the output format.  At
+    ``spread = 1`` (constant-magnitude rows) this floors near
+    ``2^-(digit_bits*(slices-1) + lead_bits - 1)`` — for 3 slices, ~1.97e-6,
+    *below* fp32's own bound past k=32 thanks to the fp64 accumulation.
+    For heterogeneous rows the bound degrades linearly in the spread,
+    which is exactly the blockwise-scaling weakness the post-EGEMM-TC
+    literature documents; a static (mantissa, accumulator) model cannot
+    express it, and pretending ``7*slices - 1`` mantissa bits is unsound
+    (measured errors exceed that certificate by >2x on standard-normal
+    operands).
+
+    ``k <= 0`` returns 0.0 (empty reduction, exact).  Non-finite or
+    sub-unity spreads raise; ``inf`` spread returns ``inf`` (a row mixing
+    finite and non-finite magnitudes certifies nothing).
+    """
+    if k <= 0:
+        return 0.0
+    if slices < 1:
+        raise ValueError("need at least one slice")
+    for spread in (spread_a, spread_b):
+        if math.isnan(spread) or spread < 1.0:
+            raise ValueError(f"operand spread must be >= 1, got {spread}")
+    if math.isinf(spread_a) or math.isinf(spread_b):
+        return float("inf")
+    eps = 2.0 ** -(digit_bits * (slices - 1) + lead_bits)
+    base = eps * spread_a + eps * spread_b + eps * eps * spread_a * spread_b
+    n_roundings = k + slices * slices + 4
+    ku = n_roundings * 2.0**-53
+    if ku >= 1.0:
+        return float("inf")
+    gamma = ku / (1.0 - ku)
+    u_out = 2.0 ** -(out_bits + 1)
+    return (
+        base
+        + gamma * (1.0 + eps * spread_a) * (1.0 + eps * spread_b)
+        + u_out * (1.0 + base)
+    )
+
+
+def operand_spread(x: np.ndarray, axis: int = 1) -> float:
+    """Worst per-row (``axis=1``) or per-column (``axis=0``) magnitude spread.
+
+    The ratio ``max|row| / min-nonzero|row|``, maximized over rows — the
+    operand statistic that scales :func:`block_scaled_relative_error_bound`.
+    Zero elements are excluded (digit slicing represents them exactly);
+    all-zero rows and empty operands spread 1.0.  Any non-finite element
+    returns ``inf``: no blockwise certificate is possible.
+    """
+    x64 = np.abs(np.asarray(x, dtype=np.float64))
+    if x64.ndim != 2:
+        raise ValueError("operand_spread expects a matrix")
+    if axis == 0:
+        x64 = x64.T
+    elif axis != 1:
+        raise ValueError("axis must be 0 or 1")
+    if not np.all(np.isfinite(x64)):
+        return float("inf")
+    row_max = np.max(x64, axis=1, initial=0.0)
+    nonzero_min = np.min(np.where(x64 > 0, x64, np.inf), axis=1, initial=np.inf)
+    with np.errstate(invalid="ignore"):
+        spread = np.where(
+            row_max > 0, row_max / np.where(np.isfinite(nonzero_min), nonzero_min, row_max), 1.0
+        )
+    return float(np.max(spread, initial=1.0))
+
+
+def observed_relative_error(
+    value: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+) -> float:
+    """Measured componentwise relative error against float64 ground truth.
+
+    The observational dual of the analytic certificates: recomputes
+    ``A @ B (+ C)`` in float64 and returns the largest entry of
+    ``|value - exact| / scale`` with ``scale = (|A| |B|)_ij (+ |C|_ij)``
+    — the same denominator the Higham-style bounds are stated against,
+    so ``observed <= certified`` is directly checkable.  Entries whose
+    scale is exactly zero (an empty or fully cancelling-free reduction)
+    must be exact: any deviation there returns ``inf``.
+    """
+    a64 = np.asarray(a, dtype=np.float64)
+    b64 = np.asarray(b, dtype=np.float64)
+    v64 = np.asarray(value, dtype=np.float64)
+    exact = a64 @ b64
+    scale = np.abs(a64) @ np.abs(b64)
+    if c is not None:
+        c64 = np.asarray(c, dtype=np.float64)
+        exact = exact + c64
+        scale = scale + np.abs(c64)
+    if v64.shape != exact.shape:
+        raise ValueError(f"shape mismatch: {v64.shape} vs {exact.shape}")
+    if not v64.size:
+        return 0.0
+    deviation = np.abs(v64 - exact)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rel = np.where(
+            scale > 0,
+            deviation / np.where(scale > 0, scale, 1.0),
+            np.where(deviation > 0, np.inf, 0.0),
+        )
+    return float(np.max(rel, initial=0.0))
 
 
 def error_ratio(value_error: float, baseline_error: float) -> float:

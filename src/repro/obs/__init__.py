@@ -15,14 +15,18 @@ The pieces (see ``docs/observability.md``):
   behind ``python -m repro bench --check``;
 * :mod:`repro.obs.serving` — the per-request serving observer tying
   traces, flight log, and burn alerts to :mod:`repro.serve`;
+* :mod:`repro.obs.accuracy` — shadow-sampled float64 ground-truth
+  verification of served results against the analytic certificates
+  (``python -m repro accuracy``, ``REPRO_ACCURACY_SAMPLE``);
 * :mod:`repro.obs.profile` — the per-kernel profiler behind
   ``python -m repro profile``.
 
-Everything except the profiler and the serving observer is stdlib-only,
-so every layer of the package — including :mod:`repro.gpu` — imports
-them freely.  The profiler imports the kernel registry (and therefore
-most of the package); it is exposed lazily here so ``import repro.obs``
-from low layers stays cycle-free.
+Everything except the profiler, the serving observer, and the accuracy
+verifier is stdlib-only, so every layer of the package — including
+:mod:`repro.gpu` — imports them freely.  The profiler and the accuracy
+verifier import the kernel registry (and therefore most of the
+package); they are exposed lazily here so ``import repro.obs`` from low
+layers stays cycle-free.
 """
 
 from __future__ import annotations
@@ -38,6 +42,8 @@ from .benchtrack import (
 )
 from .export import (
     chrome_trace,
+    openmetrics_text,
+    parse_openmetrics,
     run_manifest,
     spans_to_events,
     validate_chrome_trace,
@@ -79,6 +85,8 @@ __all__ = [
     "write_chrome_trace",
     "spans_to_events",
     "run_manifest",
+    "openmetrics_text",
+    "parse_openmetrics",
     "FLIGHT_SCHEMA",
     "FlightRecorder",
     "load_flight_log",
@@ -98,14 +106,32 @@ __all__ = [
     "profile_kernel",
     "collect_executions",
     "format_report",
+    "ACCURACY_SCHEMA",
+    "AccuracySampler",
+    "BoundViolationError",
+    "build_accuracy_report",
+    "sweep_menu",
+    "validate_accuracy_report",
 ]
 
-_LAZY = ("profile_kernel", "collect_executions", "format_report")
+_LAZY_PROFILE = ("profile_kernel", "collect_executions", "format_report")
+_LAZY_ACCURACY = (
+    "ACCURACY_SCHEMA",
+    "AccuracySampler",
+    "BoundViolationError",
+    "build_accuracy_report",
+    "sweep_menu",
+    "validate_accuracy_report",
+)
 
 
 def __getattr__(name: str):
-    if name in _LAZY:
+    if name in _LAZY_PROFILE:
         from . import profile
 
         return getattr(profile, name)
+    if name in _LAZY_ACCURACY:
+        from . import accuracy
+
+        return getattr(accuracy, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

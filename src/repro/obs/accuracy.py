@@ -1,0 +1,962 @@
+"""Accuracy observability: shadow-sampled ground truth vs. the certificates.
+
+The serving layer's accuracy story so far is entirely *analytic*: the
+router certifies each response with a worst-case componentwise bound
+(:func:`repro.fp.error.gemm_relative_error_bound`, or the
+operand-dependent :func:`repro.fp.error.block_scaled_relative_error_bound`
+for blockwise-scaled kernels) and promises ``bound <= max_rel_error``.
+Nothing ever checks the *observed* error of a served result against that
+certificate — the one invariant whose silent failure would make every
+SLO in the system a fiction.  This module closes the loop, the way a
+production inference service shadow-samples its model outputs:
+
+* an :class:`AccuracySampler` deterministically samples completed
+  responses (a seeded hash of the request id — no RNG state is consumed,
+  so enabling sampling cannot perturb the workload), recomputes the
+  sampled products in **float64 ground truth off the hot path** (after
+  the event loop drains), and records the observed relative error
+  against the same ``(|A| |B|)`` scaling the analytic bounds are stated
+  in, so ``observed <= certified`` is directly checkable;
+* **bound-tightness histograms** per (kernel, shape-bucket) track the
+  ``observed / certified`` ratio (p50/p95/p99/max) with exemplar
+  retention — how much of the certificate real workloads actually use,
+  the datum that justifies (or indicts) the router's conservatism;
+* a breach of the hard invariant raises a typed
+  :class:`BoundViolationError` and lands a ``bound_violation`` event in
+  the flight recorder: a certified bound that lies is an incident, not
+  a statistic;
+* an **accuracy error-budget accountant** — one
+  :class:`~repro.obs.slo.BurnRateMonitor` per SLO decade tier — feeds
+  the same multiwindow burn-rate machinery the latency SLO uses, where
+  "bad" means the observed error exceeded the request's contract;
+* **worst-residual exemplars** (request id, operand magnitude/spread
+  stats, kernel, certified bound, observed error) per kernel are kept
+  and emitted as ``accuracy_exemplar`` flight events, so
+  ``python -m repro postmortem <request-id>`` reconstructs the
+  worst-case request end to end;
+* ``python -m repro accuracy`` drives a seeded serve workload with
+  sampling at rate 1.0 **plus** a sweep over the kernel menu × shape
+  buckets × operand distributions (including the blockwise kernels'
+  adversarial high-spread regime and finite-but-out-of-fp16-range
+  operands through the resilience escalation path) and writes
+  ``ACCURACY_report.json``, schema-validated by
+  :func:`validate_accuracy_report` and gated in CI.
+
+In-service sampling is **observation only**: it captures references at
+resolution time, verifies after the run drains, touches neither routing
+nor the RNG stream nor ``SERVE_slo.json`` — a seeded load test is
+byte-identical with sampling on or off.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+
+from ..fp.error import (
+    block_scaled_relative_error_bound,
+    gemm_relative_error_bound,
+    observed_relative_error,
+    operand_spread,
+    split_subnormal_floor,
+)
+from .benchtrack import MetricSpec
+from .metrics import Histogram, get_registry
+from .slo import DEFAULT_WINDOWS, BurnRateMonitor
+
+__all__ = [
+    "ACCURACY_SCHEMA",
+    "ACCURACY_METRIC_SPECS",
+    "BoundViolationError",
+    "AccuracySampler",
+    "sweep_menu",
+    "build_accuracy_report",
+    "validate_accuracy_report",
+    "main",
+]
+
+#: report schema identifier, bumped on breaking field changes
+ACCURACY_SCHEMA = "repro.obs.accuracy/1"
+
+#: run-over-run comparison policy of ``--check`` — the accuracy analogue
+#: of :data:`repro.perf.bench.METRIC_SPECS`.  Everything here is
+#: deterministic (seeded workload, seeded sweep), so the bands are
+#: tight: violations gate at literal zero, the worst tightness ratio may
+#: not creep toward the certificate, and a silently shrinking sample
+#: (fewer verified responses / sweep cells) is itself a regression.
+ACCURACY_METRIC_SPECS = (
+    MetricSpec("bound_violations", "lower", 0.0),
+    MetricSpec("worst_tightness_ratio", "lower", 0.05),
+    MetricSpec("serve_verified", "higher", 0.0),
+    MetricSpec("sweep_cells", "higher", 0.0),
+    MetricSpec("sweep_escalations", "lower", 0.0, gate=False),
+)
+
+
+class BoundViolationError(AssertionError):
+    """A served result's observed error exceeded its certified bound.
+
+    The analytic certificates are *worst-case* — a violation means the
+    error model is wrong (unsound bound, mislabeled kernel, corrupted
+    result), never bad luck.  Carries the full verification ``record``
+    for the postmortem.
+    """
+
+    def __init__(self, message: str, record: dict | None = None) -> None:
+        super().__init__(message)
+        self.record = record or {}
+
+
+# -- deterministic sampling ------------------------------------------------
+def _sample_hash(request_id: int, seed: int) -> float:
+    """Seeded avalanche hash of a request id, uniform on [0, 1).
+
+    Sampling decisions must not consume generator state (bit-identity of
+    the served workload) and must be stable across runs and processes —
+    so no ``random``/``numpy`` involvement, just integer mixing
+    (xxhash-style multiply/shift constants).
+    """
+    h = (request_id * 0x9E3779B1 + seed * 0x85EBCA6B + 0x165667B1) & 0xFFFFFFFF
+    h ^= h >> 15
+    h = (h * 0x2C1B3C6D) & 0xFFFFFFFF
+    h ^= h >> 13
+    h = (h * 0x297A2D39) & 0xFFFFFFFF
+    h ^= h >> 16
+    return h / 2.0**32
+
+
+def _tier_label(max_rel_error: float) -> str:
+    """Accuracy-SLO decade tier of a request (budget-accounting key)."""
+    if not math.isfinite(max_rel_error) or max_rel_error <= 0.0:
+        return "slo_1e+00"
+    return f"slo_1e{math.floor(math.log10(max_rel_error)):+03d}"
+
+
+def _operand_summary(x: np.ndarray, axis: int) -> dict:
+    """Shape/magnitude/spread statistics of one operand (exemplar payload)."""
+    x64 = np.abs(np.asarray(x, dtype=np.float64))
+    finite = bool(np.all(np.isfinite(x64)))
+    finite_vals = x64[np.isfinite(x64)] if not finite else x64
+    max_abs = float(finite_vals.max(initial=0.0))
+    nonzero = finite_vals[finite_vals > 0.0]
+    min_nonzero = float(nonzero.min(initial=0.0)) if nonzero.size else 0.0
+    return {
+        "shape": [int(s) for s in x.shape],
+        "finite": finite,
+        "max_abs": max_abs,
+        "min_nonzero": min_nonzero,
+        "exponent_span_bits": (
+            float(math.log2(max_abs / min_nonzero))
+            if max_abs > 0.0 and min_nonzero > 0.0
+            else 0.0
+        ),
+        "spread": operand_spread(np.asarray(x), axis=axis),
+    }
+
+
+def _tightness_ratio(observed: float, certified: float) -> float:
+    """``observed / certified`` with the k=0 degenerate cases pinned.
+
+    A certificate of exactly zero (empty reduction) admits only an
+    exactly-zero observation: both zero ratios 0.0 (vacuously tight),
+    any deviation ratios ``inf`` (an unconditional violation).
+    """
+    if certified > 0.0:
+        return observed / certified
+    return 0.0 if observed == 0.0 else float("inf")
+
+
+class AccuracySampler:
+    """Shadow-sampling verifier for completed serving responses.
+
+    Two-phase by design: :meth:`capture` runs on the serving path and
+    only stores references (one hash, one list append — no float64
+    recomputation while the event loop is live), :meth:`flush` runs
+    after the service drains and does the ground-truth verification.
+    The split also accommodates deferred math: a captured response's
+    ``d`` may still be a placeholder at capture time; by flush the
+    service has filled it in place.
+
+    Parameters
+    ----------
+    rate:
+        Sampling probability in [0, 1]; the decision is a seeded hash of
+        the request id (deterministic, RNG-free).
+    seed:
+        Sampling-hash seed; decouples the sample set from the workload.
+    recorder:
+        Optional :class:`~repro.obs.flight.FlightRecorder` receiving
+        ``bound_violation`` and ``accuracy_exemplar`` events.
+    raise_on_violation:
+        Raise :class:`BoundViolationError` at the first breach (default);
+        ``False`` collects violations for batch reporting (the sweep).
+    budget_target:
+        Per-tier accuracy SLO target for the burn-rate accountants
+        (0.999 = one contract miss per thousand sampled responses).
+    capture_limit:
+        Bound on pending captures between flushes (memory safety on a
+        long-running service); excess captures are counted, not stored.
+    """
+
+    def __init__(
+        self,
+        rate: float = 1.0,
+        seed: int = 0,
+        recorder=None,
+        raise_on_violation: bool = True,
+        budget_target: float = 0.999,
+        windows=DEFAULT_WINDOWS,
+        capture_limit: int = 65536,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sample rate must be in [0, 1], got {rate}")
+        if capture_limit < 1:
+            raise ValueError("capture_limit must be at least 1")
+        self.rate = float(rate)
+        self.seed = int(seed)
+        self.recorder = recorder
+        self.raise_on_violation = raise_on_violation
+        self.budget_target = budget_target
+        self.windows = windows
+        self.capture_limit = capture_limit
+        self._pending: list[tuple[float, object, object]] = []
+        self.sampled = 0
+        self.skipped = 0
+        self.dropped = 0
+        self.verified = 0
+        self.violations: list[dict] = []
+        #: (kernel, "MxKxN") -> tightness-ratio histogram with exemplars
+        self.tightness: dict[tuple[str, str], Histogram] = {}
+        #: kernel -> worst-residual verification record
+        self.worst: dict[str, dict] = {}
+        #: SLO decade tier -> error-budget burn-rate accountant
+        self.budgets: dict[str, BurnRateMonitor] = {}
+
+    # -- serving-path phase ----------------------------------------------
+    def wants(self, request_id: int) -> bool:
+        """Deterministic sampling decision for one request id."""
+        return _sample_hash(int(request_id), self.seed) < self.rate
+
+    def capture(self, now: float, request, response) -> bool:
+        """Stash one completed resolution for post-drain verification.
+
+        Reference-only and O(1): safe to call from the service's terminal
+        funnel.  Returns True iff the response was sampled.
+        """
+        status = getattr(response, "status", None)
+        if status is not None and getattr(status, "value", status) != "completed":
+            return False
+        if not self.wants(getattr(request, "request_id", -1)):
+            self.skipped += 1
+            return False
+        if len(self._pending) >= self.capture_limit:
+            self.dropped += 1
+            return False
+        self._pending.append((float(now), request, response))
+        self.sampled += 1
+        return True
+
+    # -- off-hot-path phase ----------------------------------------------
+    def flush(self) -> list[dict]:
+        """Verify every pending capture against float64 ground truth.
+
+        Called by the service after its event loop drains (and after
+        deferred math materializes), or directly by tests.  Verification
+        is silent on success — worst-residual exemplars reach the flight
+        recorder only via the explicit :meth:`emit_exemplars` reporting
+        step, so a healthy sampled run leaves the recorder (and
+        therefore ``SERVE_slo.json``) byte-identical to an unsampled
+        one; only a bound violation writes an event.
+        """
+        pending, self._pending = self._pending, []
+        return [self.verify(t, request, response) for t, request, response in pending]
+
+    def verify(self, now: float, request, response) -> dict:
+        """Ground-truth check of one completed response; returns the record."""
+        observed = observed_relative_error(response.d, request.a, request.b, request.c)
+        certified = float(response.error_bound)
+        ratio = _tightness_ratio(observed, certified)
+        m, k, n = request.shape
+        bucket = f"{m}x{k}x{n}"
+        kernel = response.kernel or "unknown"
+        hist = self.tightness.get((kernel, bucket))
+        if hist is None:
+            hist = self.tightness[(kernel, bucket)] = Histogram(track_exemplars=True)
+        hist.observe(
+            ratio, exemplar={"request_id": int(request.request_id), "t": now}
+        )
+        registry = get_registry()
+        registry.inc("obs.accuracy.verified")
+
+        # the *contract* the budget accountant holds the response to: the
+        # requested SLO — or, for a consented brownout degradation, the
+        # (looser) bound the response explicitly carries
+        contract = float(request.max_rel_error)
+        degraded = bool(getattr(response, "degraded", False))
+        if degraded:
+            contract = max(contract, certified)
+        tier = _tier_label(request.max_rel_error)
+        monitor = self.budgets.get(tier)
+        if monitor is None:
+            monitor = self.budgets[tier] = BurnRateMonitor(
+                f"accuracy:{tier}",
+                target=self.budget_target,
+                windows=self.windows,
+                recorder=self.recorder,
+            )
+        monitor.observe(now, observed <= contract)
+
+        record = {
+            "request_id": int(request.request_id),
+            "t": now,
+            "kernel": kernel,
+            "shape": bucket,
+            "degraded": degraded,
+            "slo": float(request.max_rel_error),
+            "contract": contract,
+            "observed": observed,
+            "certified": certified,
+            "ratio": ratio,
+            "operand_a": _operand_summary(request.a, axis=1),
+            "operand_b": _operand_summary(request.b, axis=0),
+        }
+        worst = self.worst.get(kernel)
+        if worst is None or ratio > worst["ratio"]:
+            self.worst[kernel] = record
+        self.verified += 1
+
+        if observed > certified:
+            self.violations.append(record)
+            registry.inc("obs.accuracy.bound_violations")
+            if self.recorder is not None:
+                self.recorder.record(
+                    "bound_violation",
+                    now,
+                    request_id=int(request.request_id),
+                    kernel=kernel,
+                    observed=observed,
+                    certified=certified,
+                    shape=bucket,
+                    degraded=degraded,
+                )
+            if self.raise_on_violation:
+                raise BoundViolationError(
+                    f"kernel {kernel!r} on {bucket} observed relative error "
+                    f"{observed:.6g} above its certified bound {certified:.6g} "
+                    f"(request {request.request_id}) — the analytic error "
+                    f"model is unsound for this operand class",
+                    record=record,
+                )
+        return record
+
+    def emit_exemplars(self) -> int:
+        """Record the worst-residual exemplar per kernel as flight events."""
+        if self.recorder is None:
+            return 0
+        for kernel in sorted(self.worst):
+            record = self.worst[kernel]
+            self.recorder.record(
+                "accuracy_exemplar",
+                record["t"],
+                request_id=record["request_id"],
+                kernel=kernel,
+                observed=record["observed"],
+                certified=record["certified"],
+                ratio=record["ratio"],
+                shape=record["shape"],
+                operand_a=record["operand_a"],
+                operand_b=record["operand_b"],
+            )
+        return len(self.worst)
+
+    # -- reporting --------------------------------------------------------
+    def tightness_table(self) -> dict:
+        """Nested ``{kernel: {shape: quantile-block}}`` tightness summary."""
+        table: dict[str, dict] = {}
+        for (kernel, bucket) in sorted(self.tightness):
+            hist = self.tightness[(kernel, bucket)]
+            table.setdefault(kernel, {})[bucket] = {
+                "count": hist.count,
+                "p50": hist.quantile(0.50) or 0.0,
+                "p95": hist.quantile(0.95) or 0.0,
+                "p99": hist.quantile(0.99) or 0.0,
+                "max": hist.max if hist.count else 0.0,
+                "exemplar": dict(hist.exemplar) if hist.exemplar else None,
+            }
+        return table
+
+    def summary(self) -> dict:
+        """The ``serve`` block of ``ACCURACY_report.json``."""
+        return {
+            "sample_rate": self.rate,
+            "sample_seed": self.seed,
+            "sampled": self.sampled,
+            "skipped": self.skipped,
+            "dropped": self.dropped,
+            "verified": self.verified,
+            "violations": len(self.violations),
+            "violation_records": self.violations[:5],
+            "tightness": self.tightness_table(),
+            "worst": {k: self.worst[k] for k in sorted(self.worst)},
+            "budget": {
+                tier: self.budgets[tier].summary() for tier in sorted(self.budgets)
+            },
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """A :class:`~repro.obs.metrics.MetricsRegistry`-shaped snapshot.
+
+        Embedded under the report's ``metrics`` key so
+        ``python -m repro metrics ACCURACY_report.json`` exports the
+        tightness telemetry in OpenMetrics text format.
+        """
+        histograms = {
+            f"obs.accuracy.tightness.{kernel}.{bucket}": hist.snapshot()
+            for (kernel, bucket), hist in sorted(self.tightness.items())
+        }
+        return {
+            "counters": {
+                "obs.accuracy.sampled": self.sampled,
+                "obs.accuracy.skipped": self.skipped,
+                "obs.accuracy.verified": self.verified,
+                "obs.accuracy.bound_violations": len(self.violations),
+            },
+            "gauges": {"obs.accuracy.sample_rate": self.rate},
+            "histograms": histograms,
+            "providers": {},
+        }
+
+
+# -- the kernel-menu sweep -------------------------------------------------
+#: operand distributions the sweep certifies against, chosen to span the
+#: regimes where the bounds behave differently: homogeneous magnitudes
+#: (blockwise floor), sign-varying unit-scale draws, per-element wide
+#: exponents (the blockwise kernels' adversarial spread regime), per-row
+#: constant magnitudes (spread exactly 1), and finite-but-out-of-fp16-range
+#: operands that force the resilience escalation path
+DISTRIBUTIONS = ("normal", "uniform", "wide-exponent", "block-scaled", "out-of-range")
+QUICK_DISTRIBUTIONS = ("normal", "wide-exponent", "block-scaled", "out-of-range")
+
+SWEEP_SHAPES = ((32, 32, 32), (64, 32, 64), (16, 64, 16), (128, 32, 128))
+QUICK_SWEEP_SHAPES = ((32, 32, 32), (16, 64, 16))
+
+
+def _draw_operands(
+    rng: np.random.Generator, distribution: str, m: int, k: int, n: int
+) -> tuple[np.ndarray, np.ndarray]:
+    if distribution == "normal":
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+    elif distribution == "uniform":
+        a = rng.uniform(-1.0, 1.0, (m, k))
+        b = rng.uniform(-1.0, 1.0, (k, n))
+    elif distribution == "wide-exponent":
+        a = rng.standard_normal((m, k)) * np.exp2(rng.uniform(-8.0, 8.0, (m, k)))
+        b = rng.standard_normal((k, n)) * np.exp2(rng.uniform(-8.0, 8.0, (k, n)))
+    elif distribution == "block-scaled":
+        # per-row (a) / per-column (b) constant magnitude, varying sign:
+        # the blockwise kernels' best case (operand spread exactly 1)
+        sign_a = np.where(rng.random((m, k)) < 0.5, -1.0, 1.0)
+        sign_b = np.where(rng.random((k, n)) < 0.5, -1.0, 1.0)
+        a = sign_a * np.exp2(rng.uniform(-6.0, 6.0, (m, 1)))
+        b = sign_b * np.exp2(rng.uniform(-6.0, 6.0, (1, n)))
+    elif distribution == "out-of-range":
+        # finite but far above fp16's 65504 max: the escalation regime
+        a = rng.standard_normal((m, k)) * 1e6
+        b = rng.standard_normal((k, n)) * 1e6
+    else:
+        raise ValueError(f"unknown operand distribution {distribution!r}")
+    return a.astype(np.float32), b.astype(np.float32)
+
+
+def _certified_bound(kernel_name: str, kernel, k: int, a, b, escalation: str) -> float:
+    """The analytic certificate for one sweep execution.
+
+    Blockwise kernels get the operand-dependent spread bound; an
+    ``"ozaki"`` escalation replaced the kernel's arithmetic outright, so
+    the certificate is the blockwise bound regardless of the nominal
+    kernel.  Scheme-backed (fp16-split/half) kernels additionally pay
+    the operand-dependent fp16-subnormal floor
+    (:func:`repro.fp.error.split_subnormal_floor`): a ``"scaled"``
+    escalation is an exact power-of-two rescale, so the floor is priced
+    at the *conditioned* magnitudes the split actually saw; the
+    unescalated path prices the raw magnitudes.
+    """
+    from ..resilience.runner import assess_operand
+    from ..serve.router import (
+        kernel_blockwise_slices,
+        kernel_error_model,
+        kernel_subnormal_eta,
+    )
+
+    spread_a = operand_spread(a, axis=1)
+    spread_b = operand_spread(b, axis=0)
+    if escalation == "ozaki":
+        return block_scaled_relative_error_bound(
+            k, 3, spread_a=spread_a, spread_b=spread_b
+        )
+    slices = kernel_blockwise_slices(kernel)
+    if slices is not None:
+        return block_scaled_relative_error_bound(
+            k, slices, spread_a=spread_a, spread_b=spread_b
+        )
+    mantissa_bits, accumulator_bits = kernel_error_model(kernel)
+    floor_a = floor_b = 0.0
+    eta = kernel_subnormal_eta(kernel)
+    if eta is not None:
+        conditioned = escalation == "scaled"
+        ha, hb = assess_operand(a), assess_operand(b)
+        floor_a = split_subnormal_floor(
+            ha.min_nonzero, ha.max_abs, mantissa_bits, eta, conditioned=conditioned
+        )
+        floor_b = split_subnormal_floor(
+            hb.min_nonzero, hb.max_abs, mantissa_bits, eta, conditioned=conditioned
+        )
+    return gemm_relative_error_bound(
+        k, mantissa_bits, accumulator_bits, floor_a=floor_a, floor_b=floor_b
+    )
+
+
+def sweep_menu(
+    menu: tuple[str, ...] | None = None,
+    shapes=SWEEP_SHAPES,
+    distributions=DISTRIBUTIONS,
+    trials: int = 2,
+    seed: int = 0,
+    raise_on_violation: bool = False,
+) -> dict:
+    """Certify every menu kernel over shapes × operand distributions.
+
+    Operands are drawn once per (shape, distribution, trial) cell and
+    shared across kernels, so per-kernel tightness is comparable on
+    identical inputs.  Every cell runs through
+    :class:`repro.resilience.runner.ResilientRunner` (single-kernel
+    chain, ``"scaled"`` escalation) so the certificate covers what was
+    *actually* computed.  ``menu`` defaults to the serving menu
+    (:data:`repro.serve.router.DEFAULT_MENU`) — the kernels the router
+    can actually certify and serve.  Returns the ``sweep`` block of the
+    report.
+    """
+    from ..kernels.registry import get_kernel
+    from ..resilience.runner import ResilientRunner
+
+    if menu is None:
+        from ..serve.router import DEFAULT_MENU
+
+        menu = tuple(DEFAULT_MENU)
+    kernels = {name: get_kernel(name) for name in menu}
+    runners = {
+        name: ResilientRunner(chain=(name,), escalation="scaled", abft=False)
+        for name in menu
+    }
+
+    cells: dict[tuple[str, str, str], dict] = {}
+    worst: dict[str, dict] = {}
+    tightness: dict[str, Histogram] = {name: Histogram(track_exemplars=True) for name in menu}
+    violations: list[dict] = []
+    escalations = 0
+
+    for shape_index, (m, k, n) in enumerate(shapes):
+        bucket = f"{m}x{k}x{n}"
+        for dist_index, distribution in enumerate(distributions):
+            for trial in range(trials):
+                rng = np.random.default_rng(
+                    np.random.SeedSequence([seed, shape_index, dist_index, trial])
+                )
+                a, b = _draw_operands(rng, distribution, m, k, n)
+                for name in menu:
+                    kernel = kernels[name]
+                    # every cell goes through the resilient front door:
+                    # in-range operands hit the kernel directly
+                    # (escalation "none"), finite-but-out-of-fp16-range
+                    # operands take the exact power-of-two rescale the
+                    # serving path would, and the certificate below
+                    # covers what was *actually* computed
+                    result = runners[name].run(a, b)
+                    d, escalation = result.d, result.escalation
+                    if escalation != "none":
+                        escalations += 1
+                    observed = observed_relative_error(d, a, b)
+                    certified = _certified_bound(name, kernel, k, a, b, escalation)
+                    ratio = _tightness_ratio(observed, certified)
+                    tightness[name].observe(
+                        ratio,
+                        exemplar={"shape": bucket, "distribution": distribution,
+                                  "trial": trial},
+                    )
+                    cell = cells.setdefault(
+                        (name, bucket, distribution),
+                        {
+                            "kernel": name,
+                            "shape": bucket,
+                            "distribution": distribution,
+                            "trials": 0,
+                            "escalated": 0,
+                            "worst_observed": 0.0,
+                            "worst_certified": 0.0,
+                            "worst_ratio": 0.0,
+                            "violations": 0,
+                        },
+                    )
+                    cell["trials"] += 1
+                    if escalation != "none":
+                        cell["escalated"] += 1
+                    if ratio >= cell["worst_ratio"]:
+                        cell["worst_ratio"] = ratio
+                        cell["worst_observed"] = observed
+                        cell["worst_certified"] = certified
+                    record = {
+                        "kernel": name,
+                        "shape": bucket,
+                        "distribution": distribution,
+                        "trial": trial,
+                        "escalation": escalation,
+                        "observed": observed,
+                        "certified": certified,
+                        "ratio": ratio,
+                        "operand_a": _operand_summary(a, axis=1),
+                        "operand_b": _operand_summary(b, axis=0),
+                    }
+                    if name not in worst or ratio > worst[name]["ratio"]:
+                        worst[name] = record
+                    if observed > certified:
+                        cell["violations"] += 1
+                        violations.append(record)
+                        if raise_on_violation:
+                            raise BoundViolationError(
+                                f"sweep: kernel {name!r} on {bucket} "
+                                f"({distribution}, trial {trial}, escalation "
+                                f"{escalation}) observed {observed:.6g} above "
+                                f"certified {certified:.6g}",
+                                record=record,
+                            )
+    rows = [cells[key] for key in sorted(cells)]
+    return {
+        "menu": list(menu),
+        "shapes": [f"{m}x{k}x{n}" for m, k, n in shapes],
+        "distributions": list(distributions),
+        "trials": trials,
+        "seed": seed,
+        "rows": rows,
+        "worst": {name: worst[name] for name in sorted(worst)},
+        "violations": len(violations),
+        "violation_records": violations[:5],
+        "escalations": escalations,
+        "histograms": {
+            f"obs.accuracy.sweep.{name}": tightness[name].snapshot()
+            for name in sorted(tightness)
+        },
+    }
+
+
+# -- report assembly + validation ------------------------------------------
+def _jsonable(node):
+    """Recursively make a report JSON-strict (non-finite floats -> strings)."""
+    if isinstance(node, dict):
+        return {str(k): _jsonable(v) for k, v in node.items()}
+    if isinstance(node, (list, tuple)):
+        return [_jsonable(v) for v in node]
+    if isinstance(node, float) and not math.isfinite(node):
+        return repr(node)
+    if isinstance(node, (np.floating, np.integer)):
+        return _jsonable(node.item())
+    return node
+
+
+def build_accuracy_report(
+    sampler: AccuracySampler | None,
+    sweep: dict,
+    serve_workload: dict | None = None,
+    seed: int = 0,
+    quick: bool = False,
+) -> dict:
+    """Assemble the ``ACCURACY_report.json`` payload.
+
+    The per-kernel ``kernels`` section merges the serve-workload and
+    sweep exemplars, keeping the worse (higher-ratio) of the two, so
+    every menu kernel carries at least one exemplar even when the
+    routed workload never selected it.
+    """
+    serve_block = sampler.summary() if sampler is not None else None
+    if serve_block is not None and serve_workload is not None:
+        serve_block = {"workload": serve_workload, **serve_block}
+    kernels: dict[str, dict] = {}
+    for name in sweep.get("menu", []):
+        candidates = []
+        if serve_block is not None and name in serve_block["worst"]:
+            candidates.append(("serve", serve_block["worst"][name]))
+        if name in sweep.get("worst", {}):
+            candidates.append(("sweep", sweep["worst"][name]))
+        if not candidates:
+            continue
+        source, exemplar = max(candidates, key=lambda item: item[1]["ratio"])
+        kernels[name] = {
+            "exemplar": exemplar,
+            "exemplar_source": source,
+            "worst_ratio": exemplar["ratio"],
+            "sources": [s for s, _ in candidates],
+        }
+    total_violations = sweep.get("violations", 0) + (
+        serve_block["violations"] if serve_block is not None else 0
+    )
+    metrics = (
+        sampler.metrics_snapshot()
+        if sampler is not None
+        else {"counters": {}, "gauges": {}, "histograms": {}, "providers": {}}
+    )
+    metrics["histograms"] = {
+        **metrics["histograms"],
+        **sweep.get("histograms", {}),
+    }
+    metrics["counters"] = {
+        **metrics["counters"],
+        "obs.accuracy.sweep_violations": sweep.get("violations", 0),
+    }
+    from .export import run_manifest
+
+    worst_ratio = max(
+        (entry["worst_ratio"] for entry in kernels.values()), default=0.0
+    )
+    return _jsonable(
+        {
+            "schema": ACCURACY_SCHEMA,
+            "seed": seed,
+            "quick": quick,
+            "manifest": run_manifest(seed=seed),
+            "serve": serve_block,
+            "sweep": sweep,
+            "kernels": kernels,
+            "violations": total_violations,
+            "worst_tightness_ratio": worst_ratio,
+            "metrics": metrics,
+        }
+    )
+
+
+def validate_accuracy_report(report: dict) -> list[str]:
+    """Schema + invariant check of an accuracy report; returns problems.
+
+    CI fails the accuracy smoke step on any returned string: schema
+    identity, per-kernel exemplar presence (every menu kernel must carry
+    one), numeric observed/certified pairs, the ``observed <= certified``
+    invariant on every exemplar, and an embedded registry-shaped
+    ``metrics`` snapshot.
+    """
+    problems: list[str] = []
+    if report.get("schema") != ACCURACY_SCHEMA:
+        problems.append(
+            f"schema is {report.get('schema')!r}, expected {ACCURACY_SCHEMA!r}"
+        )
+    violations = report.get("violations")
+    if not isinstance(violations, int) or violations < 0:
+        problems.append("violations missing or negative")
+    sweep = report.get("sweep")
+    if not isinstance(sweep, dict):
+        problems.append("sweep block missing")
+        sweep = {}
+    menu = sweep.get("menu", [])
+    if not menu:
+        problems.append("sweep.menu empty")
+    if not sweep.get("rows"):
+        problems.append("sweep.rows empty")
+    for row in sweep.get("rows", []):
+        for key in ("kernel", "shape", "distribution", "worst_observed",
+                    "worst_certified", "worst_ratio", "violations"):
+            if key not in row:
+                problems.append(f"sweep row missing {key!r}")
+                break
+    kernels = report.get("kernels")
+    if not isinstance(kernels, dict) or not kernels:
+        problems.append("kernels section missing or empty")
+        kernels = {}
+    for name in menu:
+        if name not in kernels:
+            problems.append(f"kernel {name!r} has no exemplar")
+    for name, entry in kernels.items():
+        exemplar = entry.get("exemplar")
+        if not isinstance(exemplar, dict):
+            problems.append(f"kernels.{name}.exemplar missing")
+            continue
+        observed = exemplar.get("observed")
+        certified = exemplar.get("certified")
+        if not isinstance(observed, (int, float)) or not isinstance(
+            certified, (int, float)
+        ):
+            problems.append(f"kernels.{name}.exemplar observed/certified not numeric")
+        elif observed > certified:
+            problems.append(
+                f"kernels.{name}.exemplar violates observed <= certified "
+                f"({observed} > {certified})"
+            )
+    serve = report.get("serve")
+    if serve is not None:
+        if not isinstance(serve, dict):
+            problems.append("serve block present but not an object")
+        else:
+            for key in ("sampled", "verified", "violations", "tightness", "budget"):
+                if key not in serve:
+                    problems.append(f"serve.{key} missing")
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict) or "counters" not in metrics:
+        problems.append("metrics snapshot missing (need a registry-shaped dict)")
+    if not isinstance(report.get("worst_tightness_ratio"), (int, float)):
+        problems.append("worst_tightness_ratio missing")
+    return problems
+
+
+# -- CLI -------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m repro accuracy [--quick] [--seed N]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro accuracy",
+        description="shadow-sampled accuracy verification: serve workload + "
+                    "kernel-menu sweep against the analytic certificates "
+                    "(see docs/observability.md)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload + sweep seed")
+    parser.add_argument("--requests", type=int, default=600,
+                        help="serve-workload requests to shadow-sample")
+    parser.add_argument("--sample-rate", type=float, default=1.0,
+                        help="shadow-sampling probability over completed requests")
+    parser.add_argument("--trials", type=int, default=2,
+                        help="sweep trials per (shape, distribution) cell")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: 200 requests, reduced sweep grid")
+    parser.add_argument("--out", default="ACCURACY_report.json",
+                        help="report path (JSON)")
+    parser.add_argument("--flight-log", default=None, metavar="PATH",
+                        help="dump the flight-recorder JSONL (bound violations "
+                             "+ worst-residual exemplars) here")
+    parser.add_argument("--history", default="BENCH_history.jsonl", metavar="PATH",
+                        help="benchmark-history JSONL to append this run to")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip appending to the benchmark history")
+    parser.add_argument("--check", action="store_true",
+                        help="regression gate: compare this run's accuracy "
+                             "metrics against the history baseline "
+                             "(kind=accuracy series); exit 1 on a gated "
+                             "regression")
+    args = parser.parse_args(argv)
+
+    requests = args.requests
+    trials = args.trials
+    shapes, distributions = SWEEP_SHAPES, DISTRIBUTIONS
+    if args.quick:
+        if "--requests" not in (argv or []):
+            requests = 200
+        if "--trials" not in (argv or []):
+            trials = 1
+        shapes, distributions = QUICK_SWEEP_SHAPES, QUICK_DISTRIBUTIONS
+
+    from ..obs.serving import ServeObserver
+    from ..serve.loadgen import run_load_test
+
+    observer = ServeObserver()
+    sampler = AccuracySampler(
+        rate=args.sample_rate,
+        seed=args.seed,
+        recorder=observer.recorder,
+        raise_on_violation=False,
+    )
+    service, _responses = run_load_test(
+        requests, seed=args.seed, accuracy_sampler=sampler, observer=observer
+    )
+    sampler.emit_exemplars()
+    serve_workload = {
+        "requests": requests,
+        "seed": args.seed,
+        "completed": service.completed,
+    }
+
+    sweep = sweep_menu(
+        shapes=shapes,
+        distributions=distributions,
+        trials=trials,
+        seed=args.seed,
+        raise_on_violation=False,
+    )
+
+    report = build_accuracy_report(
+        sampler, sweep, serve_workload=serve_workload,
+        seed=args.seed, quick=bool(args.quick),
+    )
+    problems = validate_accuracy_report(report)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+
+    if args.flight_log:
+        from .export import run_manifest
+
+        observer.recorder.dump_jsonl(args.flight_log, manifest=run_manifest())
+        print(f"flight log: {len(observer.recorder.events())} events -> "
+              f"{args.flight_log}")
+
+    exit_code = 0
+    from .benchtrack import (
+        append_record, check_metrics, format_check, load_history, make_record,
+    )
+    from .export import run_manifest
+
+    metrics = {
+        "worst_tightness_ratio": report["worst_tightness_ratio"],
+        "bound_violations": float(report["violations"]),
+        "serve_verified": float(sampler.verified),
+        "sweep_cells": float(len(sweep["rows"])),
+        "sweep_escalations": float(sweep["escalations"]),
+    }
+    if args.check:
+        history = load_history(args.history, kind="accuracy", quick=args.quick)
+        result = check_metrics(metrics, history, ACCURACY_METRIC_SPECS)
+        print(f"accuracy regression check vs {args.history} "
+              f"({len(history)} prior record(s) in this series):")
+        print(format_check(result))
+        if not result["ok"]:
+            exit_code = 1
+    if not args.no_history:
+        record = make_record(
+            "accuracy", metrics, quick=bool(args.quick), manifest=run_manifest(),
+        )
+        append_record(args.history, record)
+        print(f"history: accuracy record appended to {args.history}")
+
+    print(
+        f"accuracy: serve pass verified {sampler.verified}/{service.completed} "
+        f"completed (rate {args.sample_rate:g}), sweep certified "
+        f"{len(sweep['rows'])} cells over {len(sweep['menu'])} kernels "
+        f"({sweep['escalations']} escalations)"
+    )
+    worst_overall = max(
+        report["kernels"].items(),
+        key=lambda item: item[1]["worst_ratio"],
+        default=(None, None),
+    )
+    if worst_overall[0] is not None:
+        print(
+            f"tightest certificate use: {worst_overall[0]} at ratio "
+            f"{worst_overall[1]['worst_ratio']:.4f} "
+            f"(observed/certified, {worst_overall[1]['exemplar_source']})"
+        )
+    for tier in sorted(sampler.budgets):
+        block = sampler.budgets[tier].summary()
+        print(f"budget {tier}: {block['bad']}/{block['total']} bad "
+              f"({'compliant' if block['compliant'] else 'VIOLATED'}, "
+              f"{block['alerts']} alerts)")
+    if report["violations"]:
+        print(f"BOUND VIOLATIONS: {report['violations']} — certified analytic "
+              f"bounds were exceeded; see {args.out}")
+    if problems:
+        for problem in problems:
+            print(f"SCHEMA PROBLEM: {problem}")
+    if report["violations"] or problems:
+        return 1
+    print(f"report written to {args.out} (schema {ACCURACY_SCHEMA}, "
+          f"0 bound violations)")
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

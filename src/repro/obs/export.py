@@ -25,6 +25,7 @@ interpreter, NumPy, platform, package version, git revision, the
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
 import subprocess
@@ -43,6 +44,8 @@ __all__ = [
     "chrome_trace",
     "validate_chrome_trace",
     "write_chrome_trace",
+    "openmetrics_text",
+    "parse_openmetrics",
     "run_manifest",
 ]
 
@@ -186,10 +189,17 @@ def validate_chrome_trace(doc: dict) -> int:
             if not isinstance(event.get("args"), dict):
                 raise ValueError(f"event {i}: metadata event needs an 'args' object")
         elif ph == "C":
-            if not isinstance(event.get("ts"), (int, float)):
-                raise ValueError(f"event {i}: 'C' event needs numeric 'ts'")
-            if not isinstance(event.get("args"), dict):
-                raise ValueError(f"event {i}: 'C' event needs an 'args' object")
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+                raise ValueError(f"event {i}: 'C' event needs numeric non-negative 'ts'")
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                raise ValueError(f"event {i}: 'C' event needs a non-empty 'args' object")
+            for key, value in args.items():
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    raise ValueError(
+                        f"event {i}: 'C' counter series {key!r} must be numeric"
+                    )
         # other phases (B/E/i/...) are legal in the format; we don't emit
         # them, but a trace merging external events must still validate.
     return len(events)
@@ -204,6 +214,196 @@ def write_chrome_trace(
     path = Path(path)
     path.write_text(json.dumps(doc, indent=1, default=float))
     return path
+
+
+# --- OpenMetrics / Prometheus text export -----------------------------------
+def _openmetrics_name(name: str) -> str:
+    """Sanitize a dotted registry name into the OpenMetrics charset."""
+    out = "".join(ch if (ch.isascii() and (ch.isalnum() or ch in "_:")) else "_"
+                  for ch in name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _openmetrics_escape(value) -> str:
+    """Escape a label value per the OpenMetrics text format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _bucket_le(bucket: str) -> float:
+    """Numeric upper edge of one power-of-two histogram bucket label."""
+    if bucket == "<=0":
+        return 0.0
+    return float(2.0 ** int(bucket.removeprefix("<=2^")))
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value: integers bare, floats via repr (lossless)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _flatten_numeric(prefix: str, node, out: list[tuple[str, float]]) -> None:
+    for key, value in sorted(node.items()) if isinstance(node, dict) else ():
+        name = f"{prefix}.{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out.append((name, value))
+        elif isinstance(value, dict):
+            _flatten_numeric(name, value, out)
+
+
+def openmetrics_text(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as OpenMetrics text.
+
+    The Prometheus exposition dialect every scraper ingests: counters
+    become ``name_total`` samples, gauges plain samples, histograms
+    cumulative ``name_bucket{le="..."}`` series (the registry's
+    power-of-two magnitude buckets provide the edges) plus ``_count`` /
+    ``_sum``, and provider stats flatten into gauges on their dotted
+    paths.  Dotted registry names sanitize to underscores.  A histogram
+    exemplar (see :class:`repro.obs.metrics.Histogram`) rides on the
+    ``+Inf`` bucket in the official ``# {labels} value`` exemplar
+    syntax.  Output terminates with ``# EOF`` per the OpenMetrics spec,
+    and :func:`parse_openmetrics` round-trips it.
+    """
+    lines: list[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        base = _openmetrics_name(name)
+        lines.append(f"# TYPE {base} counter")
+        lines.append(f"{base}_total {_format_value(value)}")
+    gauges = list(snapshot.get("gauges", {}).items())
+    provided: list[tuple[str, float]] = []
+    for pname, stats in snapshot.get("providers", {}).items():
+        _flatten_numeric(pname, stats, provided)
+    for name, value in (*gauges, *provided):
+        base = _openmetrics_name(name)
+        lines.append(f"# TYPE {base} gauge")
+        lines.append(f"{base} {_format_value(value)}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        base = _openmetrics_name(name)
+        lines.append(f"# TYPE {base} histogram")
+        cumulative = 0
+        for bucket in sorted(hist.get("buckets", {}), key=_bucket_le):
+            cumulative += hist["buckets"][bucket]
+            le = _format_value(_bucket_le(bucket))
+            lines.append(f'{base}_bucket{{le="{le}"}} {cumulative}')
+        exemplar = hist.get("exemplar")
+        suffix = ""
+        if exemplar:
+            labels = ",".join(
+                f'{_openmetrics_name(str(k))}="{_openmetrics_escape(v)}"'
+                for k, v in sorted(exemplar.get("labels", {}).items())
+            )
+            suffix = f" # {{{labels}}} {_format_value(exemplar['value'])}"
+        lines.append(f'{base}_bucket{{le="+Inf"}} {hist.get("count", 0)}{suffix}')
+        lines.append(f"{base}_count {hist.get('count', 0)}")
+        lines.append(f"{base}_sum {_format_value(hist.get('sum', 0.0))}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(raw: str) -> dict:
+    labels: dict[str, str] = {}
+    for part in filter(None, (p.strip() for p in raw.split(","))):
+        key, _, value = part.partition("=")
+        value = value.strip().strip('"')
+        labels[key.strip()] = (
+            value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+        )
+    return labels
+
+
+def _le_bucket(le: float) -> str:
+    """Inverse of :func:`_bucket_le`: numeric edge back to the label."""
+    if le <= 0:
+        return "<=0"
+    return f"<=2^{round(math.log2(le))}"
+
+
+def parse_openmetrics(text: str) -> dict:
+    """Parse OpenMetrics text back into a registry-snapshot-shaped dict.
+
+    The inverse of :func:`openmetrics_text` over what the text format
+    can carry: counters, gauges (including flattened provider stats —
+    indistinguishable from plain gauges once exported), and histograms
+    with their non-cumulative power-of-two buckets, count, sum, and
+    exemplar.  Histogram min/max/mean/quantiles do not survive the
+    format and are not reconstructed.
+    """
+    snapshot: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    types: dict[str, str] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line == "# EOF":
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        sample, _, exemplar_raw = line.partition(" # ")
+        if "{" in sample:
+            name, rest = sample.split("{", 1)
+            labels_raw, _, value_raw = rest.rpartition("}")
+            labels = _parse_labels(labels_raw)
+        else:
+            name, _, value_raw = sample.partition(" ")
+            labels = {}
+        value = float(value_raw.strip().split()[0])
+        for base, kind in types.items():
+            if kind == "histogram" and name in (
+                f"{base}_bucket", f"{base}_count", f"{base}_sum"
+            ):
+                hist = snapshot["histograms"].setdefault(
+                    base, {"count": 0, "sum": 0.0, "buckets": {}}
+                )
+                if name.endswith("_count"):
+                    hist["count"] = int(value)
+                elif name.endswith("_sum"):
+                    hist["sum"] = value
+                else:
+                    le = labels.get("le", "+Inf")
+                    if le != "+Inf":
+                        hist.setdefault("_cumulative", []).append(
+                            (float(le), int(value))
+                        )
+                    if exemplar_raw:
+                        ex_labels, _, ex_value = exemplar_raw.strip().partition("} ")
+                        hist["exemplar"] = {
+                            "value": float(ex_value.split()[0]),
+                            "labels": _parse_labels(ex_labels.lstrip("{")),
+                        }
+                break
+            if kind == "counter" and name == f"{base}_total":
+                raw = snapshot["counters"]
+                raw[base] = int(value) if value.is_integer() else value
+                break
+            if kind == "gauge" and name == base:
+                snapshot["gauges"][base] = value
+                break
+    for hist in snapshot["histograms"].values():
+        cumulative = sorted(hist.pop("_cumulative", []))
+        buckets: dict[str, int] = {}
+        prev = 0
+        for le, count in cumulative:
+            if count > prev:
+                buckets[_le_bucket(le)] = count - prev
+            prev = count
+        hist["buckets"] = buckets
+    return snapshot
 
 
 # --- reproducibility manifest -----------------------------------------------

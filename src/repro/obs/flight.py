@@ -71,6 +71,13 @@ EVENT_KINDS: dict[str, tuple[str, ...]] = {
     "requeue": ("batch_id", "device"),
     "degrade": ("request_id", "kernel", "error_bound", "fallback_slo"),
     "failed": ("request_id", "reason"),
+    # accuracy-observability vocabulary (repro.obs.accuracy): shadow
+    # verification against float64 ground truth.  ``bound_violation`` is
+    # the page-worthy event — a certified analytic bound was exceeded by
+    # a served result; ``accuracy_exemplar`` snapshots the worst-residual
+    # request per kernel so the postmortem CLI can reconstruct it.
+    "bound_violation": ("request_id", "kernel", "observed", "certified"),
+    "accuracy_exemplar": ("request_id", "kernel", "observed", "certified", "ratio"),
 }
 
 

@@ -41,6 +41,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "main",
 ]
 
 
@@ -110,15 +111,24 @@ class Histogram:
     latency summary depends on this.  Past the limit the stream summary
     (count/sum/min/max/buckets) keeps updating but no further samples
     are retained; ``snapshot()["samples_truncated"]`` records the fact.
+
+    With ``track_exemplars=True`` the histogram additionally retains one
+    **exemplar** — the labels (trace/span id, request id, kernel, ...)
+    attached to the observation that set a new maximum — so the worst
+    value in a distribution stays attributable to the event that caused
+    it.  The accuracy layer's bound-tightness histograms use this to
+    point straight at the worst-residual request.
     """
 
     __slots__ = ("count", "total", "min", "max", "buckets", "samples",
-                 "sample_limit", "_lock")
+                 "sample_limit", "track_exemplars", "exemplar", "_lock")
 
     #: default cap on retained raw samples (exact-quantile window)
     DEFAULT_SAMPLE_LIMIT = 65536
 
-    def __init__(self, sample_limit: int | None = None) -> None:
+    def __init__(
+        self, sample_limit: int | None = None, track_exemplars: bool = False
+    ) -> None:
         self.count = 0
         self.total = 0.0
         self.min = math.inf
@@ -128,6 +138,8 @@ class Histogram:
         self.sample_limit = (
             self.DEFAULT_SAMPLE_LIMIT if sample_limit is None else max(0, sample_limit)
         )
+        self.track_exemplars = track_exemplars
+        self.exemplar: dict | None = None
         self._lock = threading.Lock()
 
     @staticmethod
@@ -136,9 +148,14 @@ class Histogram:
             return "<=0"
         return f"<=2^{max(0, math.ceil(math.log2(value)))}"
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: dict | None = None) -> None:
         bucket = self._bucket(value)
         with self._lock:
+            if self.track_exemplars and value > self.max:
+                self.exemplar = {
+                    "value": float(value),
+                    "labels": dict(exemplar) if exemplar else {},
+                }
             self.count += 1
             self.total += value
             self.min = min(self.min, value)
@@ -179,17 +196,21 @@ class Histogram:
     def snapshot(self) -> dict:
         with self._lock:
             if not self.count:
-                return {"count": 0, "sum": 0.0, "min": None, "max": None,
-                        "mean": None, "buckets": {}, "samples_truncated": False}
-            return {
-                "count": self.count,
-                "sum": self.total,
-                "min": self.min,
-                "max": self.max,
-                "mean": self.total / self.count,
-                "buckets": dict(self.buckets),
-                "samples_truncated": self.count > len(self.samples),
-            }
+                out = {"count": 0, "sum": 0.0, "min": None, "max": None,
+                       "mean": None, "buckets": {}, "samples_truncated": False}
+            else:
+                out = {
+                    "count": self.count,
+                    "sum": self.total,
+                    "min": self.min,
+                    "max": self.max,
+                    "mean": self.total / self.count,
+                    "buckets": dict(self.buckets),
+                    "samples_truncated": self.count > len(self.samples),
+                }
+            if self.track_exemplars:
+                out["exemplar"] = dict(self.exemplar) if self.exemplar else None
+            return out
 
     def reset(self) -> None:
         with self._lock:
@@ -199,6 +220,7 @@ class Histogram:
             self.max = -math.inf
             self.buckets = {}
             self.samples = []
+            self.exemplar = None
 
 
 class MetricsRegistry:
@@ -247,9 +269,9 @@ class MetricsRegistry:
         if self.enabled:
             self.gauge(name).set(value)
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(self, name: str, value: float, exemplar: dict | None = None) -> None:
         if self.enabled:
-            self.histogram(name).observe(value)
+            self.histogram(name).observe(value, exemplar)
 
     # --- providers ----------------------------------------------------------
     def register_provider(
@@ -337,3 +359,53 @@ REGISTRY = MetricsRegistry(enabled=_env_flag("REPRO_METRICS"))
 def get_registry() -> MetricsRegistry:
     """The process-wide metrics registry."""
     return REGISTRY
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m repro metrics [SNAPSHOT.json]``.
+
+    Renders a :class:`MetricsRegistry` snapshot as OpenMetrics/Prometheus
+    text (:func:`repro.obs.export.openmetrics_text`).  ``SNAPSHOT.json``
+    may be a bare ``MetricsRegistry.snapshot()`` dump or any report that
+    embeds one under a ``"metrics"`` key (``ACCURACY_report.json``
+    does); without an argument the live process registry is dumped.
+    """
+    import argparse
+    import json
+    import sys
+
+    from .export import openmetrics_text
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro metrics",
+        description="dump a MetricsRegistry snapshot in OpenMetrics text format",
+    )
+    parser.add_argument(
+        "snapshot", nargs="?", default=None,
+        help="JSON file holding a registry snapshot, or a report embedding "
+             "one under a 'metrics' key; default: this process's registry",
+    )
+    args = parser.parse_args(argv)
+
+    if args.snapshot is None:
+        snap = get_registry().snapshot()
+    else:
+        try:
+            with open(args.snapshot) as fh:
+                doc = json.load(fh)
+        except FileNotFoundError:
+            print(f"no snapshot file at {args.snapshot}", file=sys.stderr)
+            return 2
+        snap = doc if "counters" in doc else doc.get("metrics")
+        if not isinstance(snap, dict) or "counters" not in snap:
+            print(
+                f"{args.snapshot} holds neither a registry snapshot nor a "
+                f"report with a 'metrics' section", file=sys.stderr,
+            )
+            return 2
+    sys.stdout.write(openmetrics_text(snap))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -29,7 +29,12 @@ captures and :class:`repro.resilience.faults.FaultEvent` attributions.
 
 from __future__ import annotations
 
-from .export import complete_event, process_name_event, thread_name_event
+from .export import (
+    complete_event,
+    counter_event,
+    process_name_event,
+    thread_name_event,
+)
 from .flight import FlightRecorder
 from .slo import DEFAULT_WINDOWS, BurnRateMonitor
 from .tracing import current_span_id
@@ -78,6 +83,10 @@ class ServeObserver:
         self.terminals: dict[int, dict] = {}
         self.batches: dict[int, dict] = {}
         self.request_batch: dict[int, int] = {}
+        #: fleet occupancy counter series: (t, queue_depth,
+        #: healthy_devices, executing_batches), change-compressed —
+        #: rendered as Chrome-trace counter tracks ("ph": "C")
+        self.fleet_samples: list[tuple[float, int, int, int]] = []
 
     # -- service callbacks ------------------------------------------------
     def on_admit(self, now: float, request) -> None:
@@ -161,6 +170,24 @@ class ServeObserver:
             size=batch.size,
             span_id=current_span_id(),
         )
+
+    def on_fleet_state(
+        self,
+        now: float,
+        queue_depth: int,
+        healthy_devices: int,
+        executing_batches: int,
+    ) -> None:
+        """Sample the fleet's occupancy counters at a state change.
+
+        Change-compressed: a sample identical to the previous one is
+        dropped (counter tracks only render transitions), so the series
+        stays proportional to fleet activity, not to event-loop traffic.
+        """
+        sample = (now, int(queue_depth), int(healthy_devices), int(executing_batches))
+        if self.fleet_samples and self.fleet_samples[-1][1:] == sample[1:]:
+            return
+        self.fleet_samples.append(sample)
 
     # -- recovery callbacks (repro.serve.recovery / repro.serve.chaos) ----
     def on_chaos(self, now: float, fault) -> None:
@@ -397,4 +424,24 @@ class ServeObserver:
                     pid=3, tid=dev_tid, cat="serve.exec",
                     args={"batch_id": batch_id, "device": device},
                 ))
+
+        # fleet occupancy counter tracks: Perfetto renders each "C"
+        # series as a stacked-area lane under the fleet process
+        for t, queue_depth, healthy, executing in self.fleet_samples:
+            ts_us = max(t * 1e6, 0.0)
+            events.append(counter_event(
+                "fleet queue depth", ts=ts_us,
+                values={"queued_batches": queue_depth},
+                pid=3, cat="serve.fleet",
+            ))
+            events.append(counter_event(
+                "fleet healthy devices", ts=ts_us,
+                values={"healthy": healthy},
+                pid=3, cat="serve.fleet",
+            ))
+            events.append(counter_event(
+                "fleet executing batches", ts=ts_us,
+                values={"executing": executing},
+                pid=3, cat="serve.fleet",
+            ))
         return events

@@ -47,6 +47,7 @@ __all__ = [
     "ExhaustedFallbacksError",
     "FP16_MAX",
     "FP16_TINY",
+    "SPLIT_SUBNORMAL_THRESHOLD",
     "OperandHealth",
     "assess_operand",
     "call_with_timeout",
@@ -62,6 +63,12 @@ FP16_TINY = 2.0**-24
 #: escalation target: bring max |x| near 2^11 so hi*hi products sit
 #: comfortably inside fp16 range (matches the scaled-split design point)
 _SCALE_TARGET_EXP = 11
+#: elements below this magnitude put the split's lo part on fp16's
+#: subnormal grid, turning its representation error from relative
+#: (u_in * |x|) into an *absolute* floor (eta = eta/u_in * u_in; see
+#: repro.fp.error.split_subnormal_floor) — the hazard behind the
+#: wide-exponent bound violations the accuracy verifier surfaced
+SPLIT_SUBNORMAL_THRESHOLD = 2.0**-3
 
 
 class ResilienceError(RuntimeError):
@@ -94,6 +101,19 @@ class OperandHealth:
     @property
     def needs_escalation(self) -> bool:
         return self.overflow or self.underflow
+
+    @property
+    def subnormal_risk(self) -> bool:
+        """Some lo parts would land on fp16's subnormal grid, *and* the
+        pow2 conditioning of ``_scaled_compute`` can lift them off it
+        (``max_abs`` has headroom below the 2^11 scale target — scaling
+        such an operand up multiplies ``min_nonzero`` by the same exact
+        power of two, shrinking or eliminating the absolute error floor).
+        """
+        return (
+            0.0 < self.min_nonzero < SPLIT_SUBNORMAL_THRESHOLD
+            and self.max_abs < 2.0**_SCALE_TARGET_EXP
+        )
 
 
 def assess_operand(x: np.ndarray) -> OperandHealth:
@@ -291,6 +311,12 @@ class ResilientRunner:
         if kernel.info.precision == "single":
             return "none"  # fp32 CUDA-core path has no fp16 range hazard
         if ha.needs_escalation or hb.needs_escalation:
+            return self.escalation
+        # Escalating on subnormal *risk* (vs. hard under/overflow) is a
+        # soundness measure, not a range repair: conditioning is exact,
+        # so triggering it for operands that would merely pay the
+        # fp16-subnormal error floor tightens the certificate for free.
+        if ha.subnormal_risk or hb.subnormal_risk:
             return self.escalation
         return "none"
 

@@ -42,7 +42,13 @@ from .api import (
 from .batcher import Batch, DynamicBatcher, compatibility_key
 from .loadgen import SCHEMA, UNITS, build_report, run_load_test, validate_slo_report
 from .recovery import BackoffPolicy, BrownoutConfig, BrownoutController, RecoveryConfig
-from .router import DEFAULT_MENU, PrecisionRouter, RoutingDecision, kernel_error_model
+from .router import (
+    DEFAULT_MENU,
+    PrecisionRouter,
+    RoutingDecision,
+    kernel_blockwise_slices,
+    kernel_error_model,
+)
 from .service import GemmService, ServeConfig, serve_stats
 from .workers import DeviceWorker, WorkerPool
 
@@ -85,6 +91,7 @@ __all__ = [
     "build_report",
     "build_schedule",
     "compatibility_key",
+    "kernel_blockwise_slices",
     "kernel_error_model",
     "run_campaign",
     "run_load_test",

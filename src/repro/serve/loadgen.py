@@ -77,9 +77,10 @@ SHAPES = ((32, 32, 32), (64, 32, 64), (16, 64, 16), (128, 32, 128), (192, 32, 19
 #: request's own k, so every class of the accuracy-throughput frontier
 #: is exercised deterministically — "precise" admits the 21-bit
 #: round-split kernels but excludes the 20-bit truncate class, "strict"
-#: drops below the round-split class (leaving fp32 and the int8 Ozaki
-#: path, whose exact int32 accumulation dodges the k-dependent gamma
-#: term entirely), and "impossible" sits below every bound on the menu
+#: drops below the round-split class (leaving fp32 — and, for low-spread
+#: operands only, the int8 Ozaki path, whose operand-dependent blockwise
+#: certificate floors below fp32's bound at k >= 32 but degrades with
+#: the operands' magnitude spread), and "impossible" sits below every bound on the menu
 #: (the floor is ``2 * 2^-24`` — fp32's input rounding), forcing the
 #: typed rejection path.
 SLO_TIERS = (
@@ -114,7 +115,7 @@ def _tier_slo(tier: str, k: int) -> float:
     from ..fp.error import gemm_relative_error_bound
 
     round_split = gemm_relative_error_bound(k, 21)  # egemm / tc-emulation
-    truncate = gemm_relative_error_bound(k, 20)  # markidis (and ozaki 3-slice)
+    truncate = gemm_relative_error_bound(k, 20)  # markidis
     fp32 = gemm_relative_error_bound(k, 23)
     if tier == "loose":
         slo = 1e-2
@@ -135,8 +136,21 @@ def make_request(rng: np.random.Generator, mean_service_s: float = 1e-5) -> Gemm
     m, k, n = SHAPES[int(rng.integers(len(SHAPES)))]
     tier = _TIER_NAMES[int(_TIER_CDF.searchsorted(rng.random(), side="right"))]
     slo = _tier_slo(tier, k)
-    a = rng.standard_normal((m, k)).astype(np.float32)
-    b = rng.standard_normal((k, n)).astype(np.float32)
+    if rng.random() < 0.15:
+        # block-scaled share: per-row (A) / per-column (B) constant
+        # magnitudes with varying sign — operand spread exactly 1, the
+        # regime where the blockwise int8 kernel's operand-dependent
+        # certificate reaches its floor.  This exercises the router's
+        # second (operand-aware) stage in *both* directions: these
+        # requests confirm the blockwise nominee, while the
+        # heterogeneous standard-normal majority falls back.
+        sign_a = np.where(rng.random((m, k)) < 0.5, -1.0, 1.0)
+        sign_b = np.where(rng.random((k, n)) < 0.5, -1.0, 1.0)
+        a = (sign_a * np.exp2(rng.uniform(-4.0, 4.0, (m, 1)))).astype(np.float32)
+        b = (sign_b * np.exp2(rng.uniform(-4.0, 4.0, (1, n)))).astype(np.float32)
+    else:
+        a = rng.standard_normal((m, k)).astype(np.float32)
+        b = rng.standard_normal((k, n)).astype(np.float32)
     c = None
     if rng.random() < 0.1:
         c = rng.standard_normal((m, n)).astype(np.float32)
@@ -178,6 +192,7 @@ def run_load_test(
     concurrency: int = 16,
     config: ServeConfig | None = None,
     observer=None,
+    accuracy_sampler=None,
 ) -> tuple[GemmService, dict[int, GemmResponse]]:
     """Drive one seeded load test; returns the service and its responses.
 
@@ -185,12 +200,15 @@ def run_load_test(
     service's lifecycle callbacks: it sees every admission, routing
     decision, batch formation, dispatch, execution, and terminal
     resolution in virtual time, and feeds the flight recorder, burn-rate
-    monitors, and per-request Chrome trace.
+    monitors, and per-request Chrome trace.  ``accuracy_sampler`` (a
+    :class:`repro.obs.accuracy.AccuracySampler`) shadow-samples completed
+    responses for post-drain float64 verification; it never perturbs the
+    workload stream or the served results.
     """
     if arrival not in ("poisson", "uniform", "closed"):
         raise ValueError(f"unknown arrival process {arrival!r}")
     rng = np.random.default_rng(seed)
-    service = GemmService(config, observer=observer)
+    service = GemmService(config, observer=observer, accuracy_sampler=accuracy_sampler)
     if arrival == "closed":
         remaining = [requests - min(concurrency, requests)]
 

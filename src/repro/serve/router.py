@@ -21,18 +21,57 @@ is the most accurate and slowest.  The router turns a request's
 Timing and bound lookups are memoized per ``(kernel, shape, gpu)``: the
 models are deterministic, and a serving stream re-routes the same few
 shapes thousands of times.
+
+**Operand-dependent kernels route in two stages.**  Two kernel
+families carry certificates that depend on the operands, not just the
+shape:
+
+* the Ozaki int8 line — digit slicing under a shared per-row exponent
+  is accurate relative to the row *maximum*, so its componentwise bound
+  scales with the operands' max/min-nonzero magnitude spread
+  (:func:`repro.fp.error.block_scaled_relative_error_bound`; the
+  earlier static ``7*slices - 1``-mantissa-bit model was unsound — the
+  accuracy verifier measured errors >2x past it on standard-normal
+  operands);
+* every fp16-split/half kernel — elements whose split parts land on
+  fp16's *subnormal* grid pay an absolute representation error
+  ``eta`` instead of the relative ``u_in * |x|`` the static model
+  assumes, adding an operand-dependent floor ``eta / min_nonzero``
+  (:func:`repro.fp.error.split_subnormal_floor`; the accuracy
+  verifier's property test measured errors ~30x past the static bound
+  on wide-exponent operands at small k).
+
+Stage one routes statically against each kernel's *floor* bound
+(spread 1 / no subnormal parts, its best case) and memoizes as usual;
+only when the static winner is operand-dependent does stage two
+measure the request's actual operands and walk the statically eligible
+kernels in cost order, confirming the first whose *refined* bound
+(spread-bucketed for blockwise, subnormal-floor-bucketed for the fp16
+family, static for fp32) still certifies the SLO.  ``reliable``
+requests price the fp16 family's floor *after* the exact power-of-two
+conditioning the resilient front door applies (same trigger rule as
+:class:`repro.resilience.runner.ResilientRunner`), because that is the
+arithmetic their escalated execution actually runs.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
-from ..fp.error import gemm_relative_error_bound
+from ..fp.error import (
+    CONDITIONING_TARGET_EXP,
+    block_scaled_relative_error_bound,
+    gemm_relative_error_bound,
+    operand_spread,
+    split_subnormal_floor,
+)
 from ..gpu.engine import LAUNCH_OVERHEAD_S
 from ..gpu.spec import TESLA_T4, GpuSpec
 from ..kernels.registry import get_kernel
 from ..obs.metrics import get_registry
 from ..obs.tracing import get_tracer
+from ..resilience.runner import assess_operand
 from .api import GemmRequest, SloUnsatisfiableError
 
 __all__ = [
@@ -40,6 +79,8 @@ __all__ = [
     "RoutingDecision",
     "PrecisionRouter",
     "kernel_error_model",
+    "kernel_blockwise_slices",
+    "kernel_subnormal_eta",
     "clear_router_memos",
 ]
 
@@ -51,12 +92,19 @@ __all__ = [
 # (kernel, shape, device) triple it routes.
 _BOUND_MEMO: dict[tuple[int, int, int], float] = {}
 _TIME_MEMO: dict[tuple[GpuSpec, str, tuple[int, int, int]], float] = {}
+#: spread-refined blockwise bounds keyed (slices, k, bucket_a, bucket_b)
+_SPREAD_BOUND_MEMO: dict[tuple[int, int, int, int], float] = {}
+#: subnormal-floor-refined fp16-family bounds keyed
+#: (mantissa, accumulator, eta, k, bucket_a, bucket_b)
+_FLOOR_BOUND_MEMO: dict[tuple[int, int, float, int, int | None, int | None], float] = {}
 
 
 def clear_router_memos() -> None:
     """Drop the process-wide bound/time memos (test isolation hook)."""
     _BOUND_MEMO.clear()
     _TIME_MEMO.clear()
+    _SPREAD_BOUND_MEMO.clear()
+    _FLOOR_BOUND_MEMO.clear()
 
 
 #: default serving menu, spanning the accuracy-throughput frontier
@@ -70,15 +118,32 @@ DEFAULT_MENU = (
 )
 
 
+def kernel_blockwise_slices(kernel) -> int | None:
+    """Digit-slice count of a blockwise-scaled kernel, else ``None``.
+
+    Blockwise kernels (the Ozaki int8 line) carry an operand-dependent
+    certificate — :func:`repro.fp.error.block_scaled_relative_error_bound`
+    — instead of a static (mantissa, accumulator) pair, and the router
+    routes them in two stages.
+    """
+    slices = getattr(kernel, "slices", None)
+    return int(slices) if slices is not None else None
+
+
 def kernel_error_model(kernel) -> tuple[int, int]:
     """``(mantissa_bits, accumulator_bits)`` of a kernel's arithmetic.
 
     Emulation-backed kernels expose their scheme (21 bits for the
     round-split, 20 for truncate, 10 for bare half), all accumulating in
-    fp32.  The Ozaki int8 kernel represents ``7*slices - 1`` leading
-    bits across its digit slices and recombines exactly-computed int32
-    partials in fp64.  fp32 CUDA-core kernels round both input and
-    accumulator at 23 stored bits.
+    fp32.  fp32 CUDA-core kernels round both input and accumulator at 23
+    stored bits.  For the blockwise Ozaki int8 kernel this static pair is
+    only the *floor* of an operand-dependent certificate (its slicing
+    error is relative to each row's maximum, so ``u_in`` is
+    ``2^-(7*(slices-1) + 6)`` at best — 19 effective mantissa bits for 3
+    slices, degrading with the operands' magnitude spread); the router
+    certifies it through
+    :func:`repro.fp.error.block_scaled_relative_error_bound`, never
+    through this model.
     """
     scheme = getattr(kernel, "scheme", None)
     if scheme is None:
@@ -86,13 +151,85 @@ def kernel_error_model(kernel) -> tuple[int, int]:
         scheme = getattr(gemm, "scheme", None)
     if scheme is not None:
         return scheme.effective_mantissa_bits, 23
-    slices = getattr(kernel, "slices", None)
+    slices = kernel_blockwise_slices(kernel)
     if slices is not None:
-        return 7 * slices - 1, 52
+        return 7 * (slices - 1) + 6 - 1, 52
     if kernel.info.precision == "single":
         return 23, 23
     # conservative fallback: treat an unknown kernel as bare half
     return 10, 23
+
+
+def kernel_subnormal_eta(kernel) -> float | None:
+    """Absolute fp16-subnormal representation error of a kernel's split.
+
+    ``None`` for kernels without a half-precision encoding step (the
+    fp32 CUDA-core and blockwise int8 lines): their certificates carry
+    no subnormal floor.  For scheme-backed kernels this is the scheme's
+    ``subnormal_eta`` — half the fp16 subnormal spacing (2^-25) for
+    round-to-nearest encodings, the full spacing (2^-24) for truncating
+    ones — which :func:`repro.fp.error.split_subnormal_floor` turns into
+    the operand-dependent floor the router prices in stage two.
+    """
+    scheme = getattr(kernel, "scheme", None)
+    if scheme is None:
+        gemm = getattr(kernel, "_gemm", None)
+        scheme = getattr(gemm, "scheme", None)
+    if scheme is None:
+        return None
+    return float(getattr(scheme, "subnormal_eta", 2.0**-25))
+
+
+def _spread_bucket(spread: float) -> int:
+    """Power-of-two bucket index covering ``spread`` from above.
+
+    The refined bound is memoized per bucket and must certify every
+    request in it, so the spread quantizes *up*: bucket ``b`` covers
+    spreads in ``(2^(b-1), 2^b]`` and prices them all at ``2^b``.
+    Non-finite spreads return -1 (no certificate; handled by callers).
+    """
+    if math.isinf(spread) or math.isnan(spread):
+        return -1
+    return max(0, math.ceil(math.log2(max(spread, 1.0))))
+
+
+def _floor_bucket(health, conditioned: bool) -> int | None:
+    """Power-of-two bucket exponent of the smallest nonzero magnitude.
+
+    Quantized *down*: the subnormal-floor charge ``eta / mu`` grows as
+    ``mu`` shrinks, so pricing the bucket's lower edge ``2^b <= mu``
+    certifies every operand in the bucket.  ``conditioned`` applies the
+    exact power-of-two rescale of the resilient runner's ``'scaled'``
+    escalation before bucketing (scaling is exact, so the shifted
+    exponent is the one the split actually sees).  ``None`` means the
+    operand has no nonzero magnitudes — zeros split exactly, no floor.
+    """
+    mu = health.min_nonzero
+    if mu <= 0.0:
+        return None
+    if conditioned and health.max_abs > 0.0:
+        mu = math.ldexp(mu, CONDITIONING_TARGET_EXP - math.floor(math.log2(health.max_abs)))
+    return math.floor(math.log2(mu))
+
+
+@dataclass(frozen=True)
+class _OperandCandidate:
+    """Stage-one outcome when the static winner is operand-dependent.
+
+    Memoized in the route memo: the cost-ordered statically eligible
+    kernels (the walk order of stage two) plus the audit pool of
+    statically rejected ones.  Stage two measures the request's actual
+    operands and confirms the first kernel in the walk whose *refined*
+    bound still certifies the SLO; with none, the memoized
+    unsatisfiable message is raised per request — these operands
+    genuinely cannot meet the SLO on this menu.
+    """
+
+    #: cost-ordered statically eligible (kernel, static_bound, seconds)
+    eligible: tuple[tuple[str, float, float], ...]
+    #: statically rejected kernels with modelled seconds (audit pool)
+    static_rejects: tuple[tuple[str, float], ...]
+    unsat_message: str
 
 
 @dataclass(frozen=True)
@@ -136,30 +273,107 @@ class PrecisionRouter:
         self._bits = {
             name: kernel_error_model(kern) for name, kern in self.kernels.items()
         }
+        self._blockwise = {
+            name: slices
+            for name, kern in self.kernels.items()
+            if (slices := kernel_blockwise_slices(kern)) is not None
+        }
+        self._floor_eta = {
+            name: eta
+            for name, kern in self.kernels.items()
+            if (eta := kernel_subnormal_eta(kern)) is not None
+        }
         self._bound_memo: dict[tuple[str, int], float] = {}
         self._time_memo: dict[tuple[str, tuple[int, int, int]], float] = {}
-        # Full-decision memo: routing is a pure function of the request's
-        # (shape, SLO, reliability) under a fixed menu and device, and a
-        # serving stream repeats the same few keys thousands of times.
+        # Full-decision memo: a static route is a pure function of the
+        # request's (shape, SLO, reliability) under a fixed menu and
+        # device, and a serving stream repeats the same few keys
+        # thousands of times.  When the static winner is
+        # operand-dependent (blockwise or fp16-family) the memo stores
+        # an _OperandCandidate instead: the final decision additionally
+        # depends on the request's operand magnitudes, resolved per
+        # request in stage two.
         self._route_memo: dict[
-            tuple[int, int, int, float, bool], RoutingDecision | str
+            tuple[int, int, int, float, bool],
+            RoutingDecision | str | _OperandCandidate,
         ] = {}
         self.decisions = 0
         self.unsatisfiable = 0
+        #: stage-two outcomes (audit counters surfaced in stats())
+        self.spread_refinements = 0
+        self.spread_fallbacks = 0
+        self.floor_refinements = 0
+        self.floor_fallbacks = 0
 
     # -- certificates ---------------------------------------------------
     def error_bound(self, kernel_name: str, k: int) -> float:
-        """Analytic forward-error bound of one menu kernel at depth k."""
+        """Analytic forward-error bound of one menu kernel at depth k.
+
+        For operand-dependent kernels this is the *best-case* bound:
+        operand spread 1 for the blockwise line (the sound per-request
+        certificate comes from :meth:`spread_bound`), no fp16-subnormal
+        split parts for the scheme-backed family (per-request
+        certificate from :meth:`floor_bound`).
+        """
         key = (kernel_name, k)
         bound = self._bound_memo.get(key)
         if bound is None:
-            mant, acc = self._bits[kernel_name]
-            gkey = (mant, acc, k)
-            bound = _BOUND_MEMO.get(gkey)
-            if bound is None:
-                bound = gemm_relative_error_bound(k, mant, acc)
-                _BOUND_MEMO[gkey] = bound
+            slices = self._blockwise.get(kernel_name)
+            if slices is not None:
+                bound = self.spread_bound(kernel_name, k, 0, 0)
+            else:
+                mant, acc = self._bits[kernel_name]
+                gkey = (mant, acc, k)
+                bound = _BOUND_MEMO.get(gkey)
+                if bound is None:
+                    bound = gemm_relative_error_bound(k, mant, acc)
+                    _BOUND_MEMO[gkey] = bound
             self._bound_memo[key] = bound
+        return bound
+
+    def spread_bound(
+        self, kernel_name: str, k: int, bucket_a: int, bucket_b: int
+    ) -> float:
+        """Blockwise certificate at quantized operand spreads.
+
+        ``bucket_a``/``bucket_b`` are :func:`_spread_bucket` indices: the
+        bound is evaluated at spread ``2^bucket``, the bucket's upper
+        edge, so it certifies every request whose measured spread falls
+        inside.  Negative buckets (non-finite spreads) return ``inf``.
+        """
+        slices = self._blockwise[kernel_name]
+        if bucket_a < 0 or bucket_b < 0:
+            return float("inf")
+        gkey = (slices, k, bucket_a, bucket_b)
+        bound = _SPREAD_BOUND_MEMO.get(gkey)
+        if bound is None:
+            bound = block_scaled_relative_error_bound(
+                k, slices, spread_a=2.0**bucket_a, spread_b=2.0**bucket_b
+            )
+            _SPREAD_BOUND_MEMO[gkey] = bound
+        return bound
+
+    def floor_bound(
+        self, kernel_name: str, k: int, bucket_a: int | None, bucket_b: int | None
+    ) -> float:
+        """fp16-family certificate at quantized operand magnitude floors.
+
+        ``bucket_a``/``bucket_b`` are :func:`_floor_bucket` exponents:
+        the subnormal floor is priced at the bucket's lower edge
+        ``2^bucket`` (the *largest* charge inside the bucket), so the
+        bound certifies every operand whose smallest nonzero magnitude
+        falls in it.  ``None`` buckets (all-zero operands) charge no
+        floor, reducing to the static bound.
+        """
+        mant, acc = self._bits[kernel_name]
+        eta = self._floor_eta[kernel_name]
+        gkey = (mant, acc, eta, k, bucket_a, bucket_b)
+        bound = _FLOOR_BOUND_MEMO.get(gkey)
+        if bound is None:
+            fa = 0.0 if bucket_a is None else split_subnormal_floor(2.0**bucket_a, 1.0, mant, eta)
+            fb = 0.0 if bucket_b is None else split_subnormal_floor(2.0**bucket_b, 1.0, mant, eta)
+            bound = gemm_relative_error_bound(k, mant, acc, floor_a=fa, floor_b=fb)
+            _FLOOR_BOUND_MEMO[gkey] = bound
         return bound
 
     def seconds_for(self, kernel_name: str, shape: tuple[int, int, int]) -> float:
@@ -208,6 +422,8 @@ class PrecisionRouter:
                 if registry.enabled:
                     registry.inc("serve.router.unsatisfiable")
                 raise SloUnsatisfiableError(cached)
+            if isinstance(cached, _OperandCandidate):
+                return self._refine(cached, request, slo, registry)
             if registry.enabled:
                 registry.inc("serve.router.decisions")
                 registry.inc(f"serve.router.kernel.{cached.kernel}")
@@ -241,6 +457,36 @@ class PrecisionRouter:
              and self.seconds_for(name, request.shape) < seconds),
             key=lambda name: (self.seconds_for(name, request.shape), name),
         ))
+        if (choice in self._blockwise or choice in self._floor_eta) and k > 0:
+            # Stage one only *nominates* an operand-dependent winner —
+            # its static bound assumes best-case operands (spread 1 for
+            # blockwise, no fp16-subnormal parts for the split family).
+            # Memoize the cost-ordered eligible list and let stage two
+            # certify against this request's actual operands, walking
+            # to the next-cheapest eligible kernel on rejection.
+            ordered = sorted(
+                eligible,
+                key=lambda nb: (self.seconds_for(nb[0], request.shape), nb[0]),
+            )
+            candidate = _OperandCandidate(
+                eligible=tuple(
+                    (name, b, self.seconds_for(name, request.shape))
+                    for name, b in ordered
+                ),
+                static_rejects=tuple(
+                    (name, self.seconds_for(name, request.shape))
+                    for name in self.kernels
+                    if name not in eligible_names
+                ),
+                unsat_message=(
+                    f"no kernel on the menu certifies max_rel_error={slo:g} at "
+                    f"k={k} for these operands (every statically eligible "
+                    f"kernel's certificate is operand-dependent, and the "
+                    f"operand magnitudes push all of them past the SLO)"
+                ),
+            )
+            self._route_memo[memo_key] = candidate
+            return self._refine(candidate, request, slo, registry)
         tracer = get_tracer()
         if tracer.enabled:
             with tracer.span(
@@ -259,10 +505,100 @@ class PrecisionRouter:
         self._route_memo[memo_key] = decision
         return decision
 
+    def _refine(
+        self,
+        candidate: _OperandCandidate,
+        request: GemmRequest,
+        slo: float,
+        registry,
+    ) -> RoutingDecision:
+        """Stage two: walk the eligible kernels with refined certificates.
+
+        Confirms the first (cheapest) statically eligible kernel whose
+        operand-refined bound still certifies the SLO.  Operand
+        measurements are lazy and shared across the walk: magnitude
+        floors are kernel-independent (only the priced ``eta`` differs),
+        spreads are measured once for the blockwise line.  A walk that
+        exhausts every eligible kernel raises the typed unsatisfiable
+        error — refinement only ever *raises* bounds, so statically
+        rejected kernels can never rejoin.
+        """
+        k = request.shape[1]
+        floors: tuple[int | None, int | None] | None = None
+        spreads: tuple[int, int] | None = None
+        walk_rejects: list[tuple[str, float]] = []
+        for name, static_bound, seconds in candidate.eligible:
+            if name in self._blockwise:
+                self.spread_refinements += 1
+                if registry.enabled:
+                    registry.inc("serve.router.spread_refinements")
+                if spreads is None:
+                    spreads = (
+                        _spread_bucket(operand_spread(request.a, axis=1)),
+                        _spread_bucket(operand_spread(request.b, axis=0)),
+                    )
+                bound = self.spread_bound(name, k, *spreads)
+                if bound > slo:
+                    self.spread_fallbacks += 1
+                    if registry.enabled:
+                        registry.inc("serve.router.spread_fallbacks")
+                    walk_rejects.append((name, seconds))
+                    continue
+            elif name in self._floor_eta:
+                self.floor_refinements += 1
+                if registry.enabled:
+                    registry.inc("serve.router.floor_refinements")
+                if floors is None:
+                    ha = assess_operand(request.a)
+                    hb = assess_operand(request.b)
+                    # Reliable requests execute behind the resilient
+                    # runner, whose 'scaled' escalation conditions the
+                    # operands by exact powers of two; price the floor
+                    # the conditioned split sees iff the runner's own
+                    # trigger rule would fire.  Plain requests run the
+                    # kernel directly — unconditioned floor.
+                    conditioned = request.reliable and (
+                        ha.needs_escalation or hb.needs_escalation
+                        or ha.subnormal_risk or hb.subnormal_risk
+                    )
+                    floors = (
+                        _floor_bucket(ha, conditioned),
+                        _floor_bucket(hb, conditioned),
+                    )
+                bound = self.floor_bound(name, k, *floors)
+                if bound > slo:
+                    self.floor_fallbacks += 1
+                    if registry.enabled:
+                        registry.inc("serve.router.floor_fallbacks")
+                    walk_rejects.append((name, seconds))
+                    continue
+            else:
+                bound = static_bound
+            rejected_cheaper = tuple(sorted(
+                {nm for nm, s in walk_rejects if s < seconds}
+                | {nm for nm, s in candidate.static_rejects if s < seconds},
+                key=lambda nm: (self.seconds_for(nm, request.shape), nm),
+            ))
+            if registry.enabled:
+                registry.inc("serve.router.decisions")
+                registry.inc(f"serve.router.kernel.{name}")
+            return RoutingDecision(
+                kernel=name, error_bound=bound, seconds=seconds,
+                reliable=request.reliable, rejected_cheaper=rejected_cheaper,
+            )
+        self.unsatisfiable += 1
+        if registry.enabled:
+            registry.inc("serve.router.unsatisfiable")
+        raise SloUnsatisfiableError(candidate.unsat_message)
+
     def stats(self) -> dict:
         return {
             "decisions": self.decisions,
             "unsatisfiable": self.unsatisfiable,
+            "spread_refinements": self.spread_refinements,
+            "spread_fallbacks": self.spread_fallbacks,
+            "floor_refinements": self.floor_refinements,
+            "floor_fallbacks": self.floor_fallbacks,
             "bound_memo": len(self._bound_memo),
             "time_memo": len(self._time_memo),
         }

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
 import weakref
 from dataclasses import dataclass, replace
 from typing import Callable, Iterable
@@ -172,9 +173,29 @@ class GemmService:
         observer=None,
         defer_math: bool | None = None,
         chaos=None,
+        accuracy_sampler=None,
     ):
         self.config = config or ServeConfig()
         self.observer = observer
+        #: a :class:`repro.obs.accuracy.AccuracySampler` (or None).  The
+        #: ``REPRO_ACCURACY_SAMPLE`` environment variable (a rate in
+        #: (0, 1]) enables shadow sampling without code changes.  The
+        #: sampler only *captures references* while the event loop is
+        #: live — float64 verification happens after :meth:`run` drains,
+        #: so served results and ``SERVE_slo.json`` stay byte-identical
+        #: with sampling on or off.
+        if accuracy_sampler is None:
+            env_rate = os.environ.get("REPRO_ACCURACY_SAMPLE", "")
+            if env_rate:
+                rate = float(env_rate)
+                if rate > 0.0:
+                    from ..obs.accuracy import AccuracySampler
+
+                    accuracy_sampler = AccuracySampler(
+                        rate=rate,
+                        recorder=getattr(observer, "recorder", None),
+                    )
+        self.accuracy_sampler = accuracy_sampler
         #: a :class:`repro.serve.chaos.ChaosSchedule` (any object with
         #: ``faults`` — FleetFaultEvents — and ``seed``); None = no
         #: fleet faults, the fault-free fast path
@@ -380,6 +401,29 @@ class GemmService:
         return decision
 
     # -- dispatch / execution ------------------------------------------
+    def _observe_fleet_state(self) -> None:
+        """Refresh fleet gauges and sample the observer's counter tracks.
+
+        Called wherever fleet occupancy changes (dispatch, hedge,
+        advance, crash): updates the registry depth gauges and feeds the
+        observer's ``on_fleet_state`` hook — the queue-depth /
+        healthy-device / in-flight-batch counter series rendered as
+        Chrome-trace counter tracks.
+        """
+        self.pool.record_depth_gauges()
+        observer = self.observer
+        if observer is None:
+            return
+        hook = getattr(observer, "on_fleet_state", None)
+        if hook is None:
+            return
+        hook(
+            self.now,
+            queue_depth=self.pool.queue_depth(),
+            healthy_devices=sum(1 for d in self.pool.devices if d.healthy),
+            executing_batches=len(self._executing),
+        )
+
     def _dispatch(self, batch: Batch, redispatch: bool = False) -> None:
         """Place a formed batch on the fleet.
 
@@ -414,7 +458,7 @@ class GemmService:
                 self._push(
                     self.now + self._hedge_after_s, _Event("hedge_check", batch=batch)
                 )
-        self.pool.record_depth_gauges()
+        self._observe_fleet_state()
 
     def _backpressure(self, batch: Batch) -> None:
         """Every healthy queue full: retry if allowed, else reject."""
@@ -515,7 +559,7 @@ class GemmService:
         if self.observer is not None:
             self.observer.on_hedge(self.now, batch, device.name)
         self._start(device, batch)
-        self.pool.record_depth_gauges()
+        self._observe_fleet_state()
 
     def _start(self, device: DeviceWorker, batch: Batch) -> None:
         """Begin executing a batch; expire members that missed the start.
@@ -589,7 +633,7 @@ class GemmService:
             batch = self.pool.steal_for(device)
         if batch is not None:
             self._start(device, batch)
-        self.pool.record_depth_gauges()
+        self._observe_fleet_state()
 
     def _finish(self, device: DeviceWorker) -> None:
         batch = self._executing.pop(device.name, None)
@@ -678,7 +722,7 @@ class GemmService:
             if self.observer is not None:
                 self.observer.on_requeue(self.now, batch, name)
             self._dispatch(batch, redispatch=True)
-        self.pool.record_depth_gauges()
+        self._observe_fleet_state()
 
     def _restart_device(self, name: str) -> None:
         """Bring a crashed device back (fresh epoch) and feed it."""
@@ -998,6 +1042,14 @@ class GemmService:
         self.responses[request.request_id] = response
         if self.observer is not None:
             self.observer.on_resolve(self.now, request, response)
+        if (
+            self.accuracy_sampler is not None
+            and response.status is RequestStatus.COMPLETED
+        ):
+            # reference capture only — ground-truth verification runs
+            # after the event loop drains (and deferred math, which may
+            # still hold this response's ``d``, has materialized)
+            self.accuracy_sampler.capture(self.now, request, response)
         self._emit_span(response, request)
         if self._on_complete is not None:
             for follow_up in self._on_complete(response, self.now):
@@ -1168,6 +1220,10 @@ class GemmService:
         finally:
             self._on_complete = None
             self._flush_deferred()
+            if self.accuracy_sampler is not None:
+                # off the hot path by construction: the event loop is
+                # done and deferred math has filled every placeholder
+                self.accuracy_sampler.flush()
         if drain:
             self.check_accounting()
         return self.responses

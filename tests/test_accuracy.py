@@ -1,0 +1,429 @@
+"""Accuracy observability: shadow sampling, bound tightness, exemplars.
+
+Covers the acceptance contract of ``repro.obs.accuracy`` and the
+exporter plumbing it rides on:
+
+* deterministic RNG-free sampling (a seeded request-id hash) and the
+  byte-identity guarantee — a seeded load test produces an identical
+  SLO report and flight-recorder stream with sampling on or off;
+* the hard invariant ``observed <= certified`` as a Hypothesis property
+  over every serving-menu kernel × random shapes/scales, including the
+  out-of-fp16-range operands that force the escalation path;
+* a violated certificate raises the typed :class:`BoundViolationError`,
+  lands a ``bound_violation`` flight event, and burns the tier budget;
+* histogram exemplar retention (new-max-only), the OpenMetrics text
+  round-trip (under the munged names the format forces), and the fleet
+  counter tracks' Chrome-trace validity;
+* report assembly + schema validation accept/reject.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fp.error import observed_relative_error
+from repro.obs.accuracy import (
+    AccuracySampler,
+    BoundViolationError,
+    _certified_bound,
+    _draw_operands,
+    _sample_hash,
+    _tier_label,
+    build_accuracy_report,
+    sweep_menu,
+    validate_accuracy_report,
+)
+from repro.obs.export import (
+    counter_event,
+    openmetrics_text,
+    parse_openmetrics,
+    validate_chrome_trace,
+)
+from repro.obs.flight import FlightRecorder, load_flight_log, validate_flight_log
+from repro.obs.metrics import Histogram
+from repro.obs.serving import ServeObserver
+from repro.serve.api import GemmRequest, GemmResponse, RequestStatus
+from repro.serve.loadgen import run_load_test
+from repro.serve.router import DEFAULT_MENU
+
+
+# ---------------------------------------------------------------------------
+# deterministic sampling
+# ---------------------------------------------------------------------------
+
+
+class TestSampling:
+    def test_hash_stable_unit_interval_roughly_uniform(self):
+        values = [_sample_hash(i, seed=0) for i in range(4000)]
+        assert values == [_sample_hash(i, seed=0) for i in range(4000)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        frac = sum(v < 0.25 for v in values) / len(values)
+        assert 0.20 < frac < 0.30
+
+    def test_seed_decouples_sample_set_from_workload(self):
+        picks_a = {i for i in range(500) if AccuracySampler(rate=0.5, seed=0).wants(i)}
+        picks_b = {i for i in range(500) if AccuracySampler(rate=0.5, seed=1).wants(i)}
+        assert picks_a != picks_b
+        assert 150 < len(picks_a) < 350  # rate 0.5, not degenerate
+
+    def test_rate_extremes(self):
+        assert all(AccuracySampler(rate=1.0).wants(i) for i in range(100))
+        assert not any(AccuracySampler(rate=0.0).wants(i) for i in range(100))
+        with pytest.raises(ValueError):
+            AccuracySampler(rate=1.5)
+
+    def test_capture_guards(self):
+        sampler = AccuracySampler(rate=1.0, capture_limit=2)
+        request = _completed(request_id=1)[0]
+        expired = GemmResponse(request_id=1, status=RequestStatus.EXPIRED)
+        assert not sampler.capture(0.0, request, expired)
+        for rid in (1, 2, 3):
+            req, resp = _completed(request_id=rid)
+            sampler.capture(0.0, req, resp)
+        assert sampler.sampled == 2
+        assert sampler.dropped == 1
+
+    def test_tier_labels(self):
+        assert _tier_label(1e-2) == "slo_1e-02"
+        assert _tier_label(3e-4) == "slo_1e-04"
+        assert _tier_label(float("nan")) == "slo_1e+00"
+        assert _tier_label(0.0) == "slo_1e+00"
+
+
+# ---------------------------------------------------------------------------
+# verification: tightness, budgets, and the hard invariant
+# ---------------------------------------------------------------------------
+
+
+def _completed(
+    request_id: int = 7, k: int = 16, slo: float = 1e-2, perturb: float = 0.0
+) -> tuple[GemmRequest, GemmResponse]:
+    """A completed fp32-exact response with a generous certificate."""
+    rng = np.random.default_rng(request_id)
+    a = rng.uniform(-1, 1, (4, k)).astype(np.float32)
+    b = rng.uniform(-1, 1, (k, 4)).astype(np.float32)
+    d = (a.astype(np.float64) @ b.astype(np.float64)).astype(np.float32)
+    if perturb:
+        d = d + np.float32(perturb)
+    request = GemmRequest(a=a, b=b, max_rel_error=slo, request_id=request_id)
+    response = GemmResponse(
+        request_id=request_id, status=RequestStatus.COMPLETED,
+        d=d, kernel="cublas-cuda-fp32", error_bound=1e-6,
+    )
+    return request, response
+
+
+class TestVerification:
+    def test_healthy_verify_fills_tightness_and_budget(self):
+        sampler = AccuracySampler(rate=1.0)
+        request, response = _completed()
+        sampler.capture(1.0, request, response)
+        records = sampler.flush()
+        assert len(records) == 1 and sampler.verified == 1
+        record = records[0]
+        assert record["observed"] <= record["certified"]
+        hist = sampler.tightness[("cublas-cuda-fp32", "4x16x4")]
+        assert hist.count == 1
+        assert hist.exemplar["labels"]["request_id"] == 7
+        budget = sampler.budgets["slo_1e-02"].summary()
+        assert budget["total"] == 1 and budget["bad"] == 0
+        assert not sampler._pending  # flush drains
+
+    def test_violation_raises_typed_and_records_flight_event(self, tmp_path):
+        recorder = FlightRecorder()
+        sampler = AccuracySampler(rate=1.0, recorder=recorder)
+        request, response = _completed(perturb=0.5)  # way past the 1e-6 bound
+        sampler.capture(1.0, request, response)
+        with pytest.raises(BoundViolationError) as excinfo:
+            sampler.flush()
+        assert excinfo.value.record["request_id"] == 7
+        assert isinstance(excinfo.value, AssertionError)  # generic catchers work
+        events = [e for e in recorder.events() if e["kind"] == "bound_violation"]
+        assert len(events) == 1
+        assert events[0]["kernel"] == "cublas-cuda-fp32"
+        # the new event kind round-trips the schema-validated JSONL path
+        log = tmp_path / "flight.jsonl"
+        recorder.dump_jsonl(log)
+        assert not validate_flight_log(load_flight_log(log))
+
+    def test_violation_collect_mode_and_budget_burn(self):
+        sampler = AccuracySampler(rate=1.0, raise_on_violation=False)
+        request, response = _completed(perturb=0.5)
+        sampler.capture(1.0, request, response)
+        sampler.flush()
+        assert len(sampler.violations) == 1
+        assert sampler.budgets["slo_1e-02"].summary()["bad"] == 1
+
+    def test_degraded_contract_is_the_carried_bound(self):
+        # a consented brownout degradation: observed may exceed the
+        # original SLO without burning budget, as long as it honours
+        # the certified bound the response carries
+        sampler = AccuracySampler(rate=1.0)
+        request, response = _completed(slo=1e-30)  # stricter than any kernel
+        response.degraded = True
+        sampler.capture(1.0, request, response)
+        sampler.flush()
+        assert sampler.budgets["slo_1e-30"].summary()["bad"] == 0
+
+    def test_exemplars_emitted_only_on_request(self):
+        recorder = FlightRecorder()
+        sampler = AccuracySampler(rate=1.0, recorder=recorder)
+        request, response = _completed()
+        sampler.capture(1.0, request, response)
+        sampler.flush()
+        assert not recorder.events()  # healthy flush writes nothing
+        assert sampler.emit_exemplars() == 1
+        events = [e for e in recorder.events() if e["kind"] == "accuracy_exemplar"]
+        assert len(events) == 1 and events[0]["ratio"] == pytest.approx(
+            sampler.worst["cublas-cuda-fp32"]["ratio"]
+        )
+
+
+# ---------------------------------------------------------------------------
+# the hard invariant as a property over the serving menu
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    m=st.integers(1, 12),
+    k=st.integers(1, 24),
+    n=st.integers(1, 12),
+    distribution=st.sampled_from(
+        ("normal", "uniform", "wide-exponent", "block-scaled", "out-of-range")
+    ),
+)
+def test_observed_never_exceeds_certified_across_menu(seed, m, k, n, distribution):
+    """observed <= certified for every menu kernel on arbitrary operands.
+
+    Every cell goes through the resilient front door exactly like the
+    sweep: finite-but-out-of-fp16-range operands take the power-of-two
+    rescale escalation, and the certificate covers what actually ran.
+    """
+    from repro.kernels.registry import get_kernel
+    from repro.resilience.runner import ResilientRunner
+
+    rng = np.random.default_rng(seed)
+    a, b = _draw_operands(rng, distribution, m, k, n)
+    for name in DEFAULT_MENU:
+        kernel = get_kernel(name)
+        runner = ResilientRunner(chain=(name,), escalation="scaled", abft=False)
+        result = runner.run(a, b)
+        observed = observed_relative_error(result.d, a, b)
+        certified = _certified_bound(name, kernel, k, a, b, result.escalation)
+        assert observed <= certified, (
+            f"{name} on {m}x{k}x{n} ({distribution}, escalation "
+            f"{result.escalation}): observed {observed} > certified {certified}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# byte-identity: sampling must not perturb the served workload
+# ---------------------------------------------------------------------------
+
+
+def _serve_fingerprint(sampler):
+    from repro.serve import build_report
+
+    observer = ServeObserver()
+    service, responses = run_load_test(
+        120, seed=0, observer=observer, accuracy_sampler=sampler
+    )
+    report = build_report(service, {"requests": 120})
+    report["slo_monitor"] = observer.slo_summary()
+    digest = [
+        (r.request_id, r.status.value, r.kernel,
+         None if r.d is None else r.d.tobytes())
+        for _, r in sorted(responses.items())
+    ]
+    return json.dumps(report, sort_keys=True, default=str), digest, service
+
+
+class TestByteIdentity:
+    def test_sampled_run_is_byte_identical_to_unsampled(self):
+        plain_report, plain_digest, _ = _serve_fingerprint(None)
+        sampler = AccuracySampler(rate=1.0, raise_on_violation=True)
+        sampled_report, sampled_digest, service = _serve_fingerprint(sampler)
+        sampler.flush()  # idempotent: run() already flushed
+        assert sampled_report == plain_report
+        assert sampled_digest == plain_digest
+        assert sampler.verified == service.completed > 0
+        assert not sampler.violations
+
+    def test_env_var_activates_sampler(self, monkeypatch):
+        from repro.serve.service import GemmService
+
+        monkeypatch.setenv("REPRO_ACCURACY_SAMPLE", "0.25")
+        service = GemmService()
+        assert service.accuracy_sampler is not None
+        assert service.accuracy_sampler.rate == 0.25
+        monkeypatch.delenv("REPRO_ACCURACY_SAMPLE")
+        assert GemmService().accuracy_sampler is None
+
+
+# ---------------------------------------------------------------------------
+# histogram exemplars
+# ---------------------------------------------------------------------------
+
+
+class TestHistogramExemplars:
+    def test_retained_on_new_max_only(self):
+        hist = Histogram(track_exemplars=True)
+        hist.observe(5.0, exemplar={"id": 1})
+        hist.observe(3.0, exemplar={"id": 2})
+        assert hist.exemplar["value"] == 5.0
+        assert hist.exemplar["labels"] == {"id": 1}
+        hist.observe(7.0, exemplar={"id": 3})
+        assert hist.exemplar["labels"] == {"id": 3}
+
+    def test_snapshot_carries_exemplar_and_reset_clears(self):
+        hist = Histogram(track_exemplars=True)
+        hist.observe(2.0, exemplar={"id": 9})
+        snap = hist.snapshot()
+        assert snap["exemplar"]["labels"] == {"id": 9}
+        hist.reset()
+        assert hist.exemplar is None
+
+    def test_disabled_by_default(self):
+        hist = Histogram()
+        hist.observe(2.0, exemplar={"id": 9})
+        assert hist.exemplar is None
+        assert "exemplar" not in hist.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# OpenMetrics text round-trip
+# ---------------------------------------------------------------------------
+
+
+class TestOpenMetrics:
+    def test_round_trip_preserves_values_under_munged_names(self):
+        hist = Histogram(track_exemplars=True)
+        for value in (0.25, 1.5, 6.0):
+            hist.observe(value, exemplar={"request_id": 42})
+        snapshot = {
+            "counters": {"obs.accuracy.verified": 3, "obs.accuracy.sampled": 5},
+            "gauges": {"obs.accuracy.sample_rate": 0.5},
+            "histograms": {"obs.accuracy.tightness.k": hist.snapshot()},
+            "providers": {},
+        }
+        text = openmetrics_text(snapshot)
+        assert text.endswith("# EOF\n")
+        parsed = parse_openmetrics(text)
+        # dotted names munge to underscores — the format's charset, not a
+        # lossy bug; values must survive exactly
+        assert parsed["counters"]["obs_accuracy_verified"] == 3
+        assert parsed["counters"]["obs_accuracy_sampled"] == 5
+        assert parsed["gauges"]["obs_accuracy_sample_rate"] == 0.5
+        round_hist = parsed["histograms"]["obs_accuracy_tightness_k"]
+        assert round_hist["count"] == 3
+        assert round_hist["sum"] == pytest.approx(7.75)
+        assert round_hist["buckets"] == hist.snapshot()["buckets"]
+        assert round_hist["exemplar"]["value"] == 6.0
+        assert round_hist["exemplar"]["labels"]["request_id"] == "42"
+
+    def test_counter_total_suffix_and_type_headers(self):
+        text = openmetrics_text(
+            {"counters": {"a.b": 1}, "gauges": {}, "histograms": {}, "providers": {}}
+        )
+        assert "# TYPE a_b counter" in text
+        assert "a_b_total 1" in text
+
+
+# ---------------------------------------------------------------------------
+# fleet counter tracks
+# ---------------------------------------------------------------------------
+
+
+class TestCounterTracks:
+    def test_counter_event_shape_and_validation(self):
+        event = counter_event("fleet queue depth", 1.5, {"queued": 3}, pid=3)
+        assert event["ph"] == "C" and event["args"] == {"queued": 3.0}
+        assert validate_chrome_trace({"traceEvents": [event]}) == 1
+        for bad in (
+            {**event, "args": {}},
+            {**event, "args": {"queued": "three"}},
+            {**event, "ts": -1.0},
+        ):
+            with pytest.raises(ValueError):
+                validate_chrome_trace({"traceEvents": [bad]})
+
+    def test_fleet_samples_change_compressed_into_trace(self):
+        observer = ServeObserver()
+        observer.on_fleet_state(0.0, queue_depth=0, healthy_devices=3,
+                                executing_batches=0)
+        observer.on_fleet_state(1.0, queue_depth=0, healthy_devices=3,
+                                executing_batches=0)  # dropped: no change
+        observer.on_fleet_state(2.0, queue_depth=2, healthy_devices=3,
+                                executing_batches=1)
+        assert len(observer.fleet_samples) == 2
+        events = observer.chrome_trace_events()
+        counters = [e for e in events if e.get("ph") == "C"]
+        assert {e["name"] for e in counters} == {
+            "fleet queue depth", "fleet healthy devices",
+            "fleet executing batches",
+        }
+        assert all(e["pid"] == 3 for e in counters)
+        validate_chrome_trace({"traceEvents": events})
+
+    def test_load_test_trace_carries_fleet_counters(self):
+        observer = ServeObserver()
+        run_load_test(60, seed=0, observer=observer)
+        events = observer.chrome_trace_events()
+        validate_chrome_trace({"traceEvents": events})
+        depths = [e for e in events
+                  if e.get("ph") == "C" and e["name"] == "fleet queue depth"]
+        assert depths  # the fleet actually queued work
+        assert any(e["args"]["queued_batches"] > 0 for e in depths)
+
+
+# ---------------------------------------------------------------------------
+# sweep + report schema
+# ---------------------------------------------------------------------------
+
+
+class TestSweepAndReport:
+    def test_small_sweep_certifies_and_report_validates(self):
+        sampler = AccuracySampler(rate=1.0)
+        request, response = _completed()
+        sampler.capture(1.0, request, response)
+        sampler.flush()
+        sweep = sweep_menu(
+            shapes=((8, 8, 8),), distributions=("normal", "out-of-range"),
+            trials=1, seed=0,
+        )
+        assert sweep["violations"] == 0
+        assert len(sweep["rows"]) == 2 * len(DEFAULT_MENU)
+        assert sweep["escalations"] > 0  # out-of-range forced the rescale
+        report = build_accuracy_report(
+            sampler, sweep, serve_workload={"requests": 1}, seed=0, quick=True
+        )
+        assert validate_accuracy_report(report) == []
+        # every menu kernel carries an exemplar even though the serve
+        # pass only exercised one kernel
+        assert set(report["kernels"]) == set(DEFAULT_MENU)
+        json.dumps(report)  # JSON-serializable end to end
+
+    def test_validator_rejects_broken_reports(self):
+        sweep = sweep_menu(shapes=((8, 8, 8),), distributions=("normal",),
+                           trials=1, seed=0)
+        report = build_accuracy_report(None, sweep, seed=0)
+        assert validate_accuracy_report(report) == []
+        for mutation in (
+            lambda r: r.update(schema="bogus/9"),
+            lambda r: r.update(violations="lots"),
+            lambda r: r["sweep"].update(rows=[]),
+            lambda r: r.pop("worst_tightness_ratio"),
+            lambda r: r["kernels"].pop(DEFAULT_MENU[0]),
+            lambda r: r["kernels"][DEFAULT_MENU[1]]["exemplar"].update(
+                observed=1.0, certified=1e-9
+            ),
+        ):
+            broken = json.loads(json.dumps(report))
+            mutation(broken)
+            assert validate_accuracy_report(broken), mutation

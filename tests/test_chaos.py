@@ -386,7 +386,11 @@ class TestScenarios:
         assert result["invariants"]["degraded_violations"] == 0
 
     def test_blackout_recovery_retries_through_restart(self):
-        result, _ = run_scenario("blackout-recovery", seed=0, requests=150)
+        # 200 requests (not 150): the loadgen's block-scaled slice
+        # shifted the seed-0 draw so the brownout window at 150 closes
+        # before any degradable request completes; at 200 the scenario
+        # exercises every asserted path again
+        result, _ = run_scenario("blackout-recovery", seed=0, requests=200)
         assert result["pass"]
         assert result["counts"]["failed"] == 0  # restart lands in backoff
         assert result["recovery"]["retries"] > 0

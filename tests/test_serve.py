@@ -40,7 +40,15 @@ from repro.serve import (
     run_load_test,
     validate_slo_report,
 )
+from repro.fp.error import operand_spread
+from repro.resilience.runner import assess_operand
 from repro.serve.loadgen import make_request
+from repro.serve.router import (
+    _floor_bucket,
+    _spread_bucket,
+    kernel_blockwise_slices,
+    kernel_subnormal_eta,
+)
 
 
 def _request(rng, m=32, k=32, n=32, **kwargs) -> GemmRequest:
@@ -61,18 +69,50 @@ class TestRouter:
         for k in (8, 16, 32, 64, 128, 256):
             for slo in (1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 3e-6, 1e-6):
                 request = _request(rng, m=16, k=k, n=16, max_rel_error=slo)
+                buckets = (
+                    _spread_bucket(operand_spread(request.a, axis=1)),
+                    _spread_bucket(operand_spread(request.b, axis=0)),
+                )
+                # plain (non-reliable) requests run unconditioned, so
+                # the fp16-family certificate prices the raw magnitudes
+                floors = (
+                    _floor_bucket(assess_operand(request.a), False),
+                    _floor_bucket(assess_operand(request.b), False),
+                )
                 try:
                     decision = router.route(request)
                 except SloUnsatisfiableError:
-                    # Must genuinely be unsatisfiable: every menu kernel's
-                    # analytic bound exceeds the SLO.
+                    # Must genuinely be unsatisfiable *for these
+                    # operands*: every menu kernel's certificate exceeds
+                    # the SLO — the static Higham bound for fp32, the
+                    # spread-refined bound for blockwise, the
+                    # subnormal-floor-refined bound for the fp16 family.
                     for name, kernel in router.kernels.items():
-                        mant, acc = kernel_error_model(kernel)
-                        assert gemm_relative_error_bound(k, mant, acc) > slo
+                        if kernel_blockwise_slices(kernel) is not None:
+                            assert router.spread_bound(name, k, *buckets) > slo
+                        elif kernel_subnormal_eta(kernel) is not None:
+                            assert router.floor_bound(name, k, *floors) > slo
+                        else:
+                            mant, acc = kernel_error_model(kernel)
+                            assert gemm_relative_error_bound(k, mant, acc) > slo
                     continue
                 assert decision.error_bound <= slo
-                mant, acc = kernel_error_model(router.kernels[decision.kernel])
-                assert decision.error_bound == gemm_relative_error_bound(k, mant, acc)
+                winner = router.kernels[decision.kernel]
+                if kernel_blockwise_slices(winner) is not None:
+                    # a blockwise win is certified per request at its
+                    # measured (bucketed) operand spreads
+                    assert decision.error_bound == router.spread_bound(
+                        decision.kernel, k, *buckets
+                    )
+                elif kernel_subnormal_eta(winner) is not None:
+                    # an fp16-family win is certified per request at its
+                    # bucketed operand magnitude floors
+                    assert decision.error_bound == router.floor_bound(
+                        decision.kernel, k, *floors
+                    )
+                else:
+                    mant, acc = kernel_error_model(winner)
+                    assert decision.error_bound == gemm_relative_error_bound(k, mant, acc)
 
     def test_routes_cheapest_eligible(self, rng):
         router = PrecisionRouter()
