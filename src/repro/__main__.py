@@ -21,6 +21,8 @@ Usage::
     python -m repro accuracy [--quick] [--seed N]
                                          # shadow-sampled accuracy verification
                                          # -> ACCURACY_report.json
+    python -m repro tune [--quick] [--check] [--gpu t4] [--shapes MxKxN,...]
+                                         # autotune kernel configs -> TUNE_db.json
     python -m repro metrics [SNAPSHOT.json]
                                          # registry snapshot in OpenMetrics text
     python -m repro profile <kernel> --shape MxNxK [--trace out.json]
@@ -101,6 +103,10 @@ def main(argv: list[str] | None = None) -> int:
         from .obs.accuracy import main as accuracy_main
 
         return accuracy_main(args[1:])
+    if args and args[0] == "tune":
+        from .tune.cli import main as tune_main
+
+        return tune_main(args[1:])
     if args and args[0] == "metrics":
         from .obs.metrics import main as metrics_main
 

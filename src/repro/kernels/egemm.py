@@ -67,6 +67,13 @@ class EgemmTcKernel(GemmKernel):
         paper's design point; spilled registers turn into local-memory
         round trips on the LSU every iteration — the "heavy slow down"
         ablation.
+    tk:
+        k-chunk cadence of the emulated accumulation (functional: it
+        sets where the fp32 accumulator rounds between chunks).
+    lds_head_steps:
+        scheduler weight for the LDS batch gating the first HMMA of an
+        iteration; ``None`` keeps the structural default (``bk // wk``).
+        Performance-only — an autotuner axis.
     """
 
     scheme: EmulationScheme = field(default_factory=lambda: EGEMM)
@@ -74,6 +81,8 @@ class EgemmTcKernel(GemmKernel):
     latency_hiding: bool = True
     frag_caching: bool = True
     register_policy: str = "stage-reuse"
+    tk: int = 16
+    lds_head_steps: int | None = None
 
     def __post_init__(self) -> None:
         self.info = KernelInfo(
@@ -87,7 +96,7 @@ class EgemmTcKernel(GemmKernel):
         #: operand across an iterative workload is split exactly once —
         #: the software analogue of §3.2's "split once, reuse" pre-pass
         self.split_cache = SplitCache()
-        self._gemm = EmulatedGemm(scheme=self.scheme, split_cache=self.split_cache)
+        self._gemm = EmulatedGemm(scheme=self.scheme, split_cache=self.split_cache, tk=self.tk)
 
     # --- functional -------------------------------------------------------
     def compute(self, a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None) -> np.ndarray:
@@ -125,6 +134,7 @@ class EgemmTcKernel(GemmKernel):
             scheme_terms=self.scheme.compute_overhead,
             latency_hiding=self.latency_hiding,
             lds_cost_factor=lds_cost,
+            lds_head_steps=self.lds_head_steps,
         )
         launch = KernelLaunch(
             name=self.info.name,

@@ -483,6 +483,16 @@ def main(argv: list[str] | None = None) -> int:
           f"{serve.get('expired', 0)} expired in {serve.get('batches', 0)} batches; "
           f"router decisions {counters.get('serve.router.decisions', 0):.0f}, "
           f"pool steals {counters.get('serve.pool.steals', 0):.0f}")
+    # Importing the module registers the ``tune.db`` provider, so the
+    # tuning counters show up even when no database was attached this
+    # run (all zeros = the static menu served everything).
+    from ..tune.db import tune_db_stats
+
+    tuned = tune_db_stats()
+    print(f"tuning DB (registry): {tuned['dbs']} live / {tuned['retired_dbs']} retired "
+          f"database(s), {tuned['entries']} entries; "
+          f"{tuned['hits']} hits / {tuned['misses']} misses / "
+          f"{tuned['fallbacks']} fallbacks ({tuned['hit_rate']:.1%} hit rate)")
     print(f"report written to {args.out}")
 
     from ..obs.benchtrack import (

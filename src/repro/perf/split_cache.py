@@ -44,6 +44,7 @@ aggregate statistics through their returned results instead.
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 import weakref
 from collections import OrderedDict
@@ -54,7 +55,7 @@ import numpy as np
 from ..obs.metrics import get_registry
 from ..splits.base import SplitPair
 
-__all__ = ["CacheStats", "SplitPlan", "SplitCache", "split_cache_stats"]
+__all__ = ["CacheStats", "SplitPlan", "SplitCache", "default_maxsize", "split_cache_stats"]
 
 #: every live cache instance, keyed by id, for the registry's aggregate
 #: provider.  Weak references: registering for observability must not
@@ -192,11 +193,38 @@ class _Entry:
     guard: bytes = b""
 
 
+#: fallback capacity when ``REPRO_SPLITCACHE_SIZE`` is unset.  16 was
+#: the original default and evicts under the serving workload's five
+#: shape buckets × several operand identities per in-flight batch; 64
+#: holds the steady-state working set with room to spare at ~KBs of
+#: plan metadata per entry.
+_DEFAULT_MAXSIZE = 64
+
+
+def default_maxsize() -> int:
+    """Per-instance default capacity, overridable by environment.
+
+    ``REPRO_SPLITCACHE_SIZE`` lets a deployment size the cache without
+    code changes; unset or unparsable values fall back to
+    ``_DEFAULT_MAXSIZE``.  Read at construction (not import), so tests
+    and operators can flip the variable between instances.
+    """
+    raw = os.environ.get("REPRO_SPLITCACHE_SIZE", "")
+    if raw:
+        try:
+            size = int(raw)
+        except ValueError:
+            return _DEFAULT_MAXSIZE
+        if size > 0:
+            return size
+    return _DEFAULT_MAXSIZE
+
+
 @dataclass
 class SplitCache:
     """Bounded LRU cache of :class:`SplitPlan` objects, thread-safe."""
 
-    maxsize: int = 16
+    maxsize: int = field(default_factory=default_maxsize)
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:

@@ -404,6 +404,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-wall-rps", type=float, default=None, metavar="RPS",
                         help="wall-throughput floor: exit 1 if completed requests "
                              "per real second fall below this (CI regression gate)")
+    parser.add_argument("--tuning-db", default=None, metavar="PATH",
+                        help="TUNE_db.json from `python -m repro tune`; routers "
+                             "price tuned configurations from it (docs/tuning.md)")
     args = parser.parse_args(argv)
 
     requests = args.requests
@@ -415,6 +418,7 @@ def main(argv: list[str] | None = None) -> int:
         max_wait_s=args.max_wait_us * 1e-6,
         queue_capacity=args.queue_capacity,
         max_in_flight=args.max_in_flight,
+        tuning_db=args.tuning_db,
     )
     from ..obs.serving import ServeObserver
 
@@ -459,6 +463,10 @@ def main(argv: list[str] | None = None) -> int:
         "max_in_flight": config.max_in_flight,
         "quick": bool(args.quick),
     }
+    if config.tuning_db is not None:
+        # Recorded only when tuning is on: the default report's bytes
+        # must not move when no database is attached.
+        workload["tuning_db"] = config.tuning_db
     report = build_report(service, workload, observer=observer)
     problems = validate_slo_report(report)
     with open(args.out, "w") as fh:

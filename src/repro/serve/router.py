@@ -265,11 +265,26 @@ class RoutingDecision:
 class PrecisionRouter:
     """Maps requests to the cheapest SLO-certifying kernel on a menu."""
 
-    def __init__(self, menu: tuple[str, ...] = DEFAULT_MENU, spec: GpuSpec = TESLA_T4):
+    def __init__(
+        self,
+        menu: tuple[str, ...] = DEFAULT_MENU,
+        spec: GpuSpec = TESLA_T4,
+        tuning_db=None,
+    ):
         if not menu:
             raise ValueError("router menu must name at least one kernel")
         self.spec = spec
         self.kernels = {name: get_kernel(name) for name in menu}
+        #: optional :class:`repro.tune.TuningDatabase`.  Tuned entries
+        #: refine only the *timing model* — execution stays on the
+        #: static ``self.kernels`` instances, so attaching a database
+        #: can never change the bits a decision produces.
+        self.tuning_db = tuning_db
+        self._tuned_seconds_memo: dict[tuple[str, tuple[int, int, int]], float | None] = {}
+        self._tuned_kernel_memo: dict[str, object] = {}
+        self.tuned_hits = 0
+        self.tuned_misses = 0
+        self.tuned_fallbacks = 0
         self._bits = {
             name: kernel_error_model(kern) for name, kern in self.kernels.items()
         }
@@ -376,13 +391,77 @@ class PrecisionRouter:
             _FLOOR_BOUND_MEMO[gkey] = bound
         return bound
 
+    def _tuned_seconds(self, kernel_name: str, shape: tuple[int, int, int]) -> float | None:
+        """Price a shape from the tuning database; ``None`` → static path.
+
+        Resolution is memoized per (kernel, shape), so the hit / miss /
+        fallback counters tally *distinct pricings*, not repeat calls.
+        The database entry must carry the same functional identity
+        (scheme, ``tk``) as this router's static kernel — a database
+        written against a different menu build is refused (fallback),
+        because pricing must describe the kernel the service will
+        actually execute.  Tuned seconds deliberately stay out of the
+        process-wide time memo: that cache is shared with untuned
+        routers.
+        """
+        key = (kernel_name, shape)
+        if key in self._tuned_seconds_memo:
+            return self._tuned_seconds_memo[key]
+        registry = get_registry()
+        seconds: float | None = None
+        m, k, n = shape
+        if min(m, n, k) > 0:
+            entry = self.tuning_db.lookup(self.spec, kernel_name, shape)
+            if entry is None:
+                self.tuned_misses += 1
+                if registry.enabled:
+                    registry.inc("serve.router.tuned_miss")
+            else:
+                kern = self.kernels[kernel_name]
+                scheme = getattr(kern, "scheme", None)
+                expected = {
+                    "scheme": getattr(scheme, "name", None),
+                    "tk": getattr(kern, "tk", None),
+                }
+                if entry.functional != expected:
+                    self.tuned_fallbacks += 1
+                    self.tuning_db.note_fallback()
+                    if registry.enabled:
+                        registry.inc("serve.router.tuned_fallback")
+                else:
+                    tuned = self._tuned_kernel_memo.get(entry.key)
+                    if tuned is None:
+                        tuned = entry.candidate.build_kernel()
+                        self._tuned_kernel_memo[entry.key] = tuned
+                    try:
+                        seconds = tuned.time(m, n, k, self.spec).seconds
+                    except (ValueError, RuntimeError):
+                        seconds = None
+                    if seconds is None:
+                        self.tuned_fallbacks += 1
+                        self.tuning_db.note_fallback()
+                        if registry.enabled:
+                            registry.inc("serve.router.tuned_fallback")
+                    else:
+                        self.tuned_hits += 1
+                        if registry.enabled:
+                            registry.inc("serve.router.tuned_hit")
+        self._tuned_seconds_memo[key] = seconds
+        return seconds
+
     def seconds_for(self, kernel_name: str, shape: tuple[int, int, int]) -> float:
         """Memoized modelled wall time of one GEMM on this router's GPU.
 
         Public because the service re-prices a batch on the *executing*
         device's router — kernel choice is device-independent (accuracy
-        is), but service time is not.
+        is), but service time is not.  With a tuning database attached,
+        the tuned configuration's time is served first; every guard
+        failure falls back to the static menu price below.
         """
+        if self.tuning_db is not None:
+            tuned = self._tuned_seconds(kernel_name, shape)
+            if tuned is not None:
+                return tuned
         key = (kernel_name, shape)
         seconds = self._time_memo.get(key)
         if seconds is None:
@@ -592,7 +671,7 @@ class PrecisionRouter:
         raise SloUnsatisfiableError(candidate.unsat_message)
 
     def stats(self) -> dict:
-        return {
+        stats = {
             "decisions": self.decisions,
             "unsatisfiable": self.unsatisfiable,
             "spread_refinements": self.spread_refinements,
@@ -602,3 +681,11 @@ class PrecisionRouter:
             "bound_memo": len(self._bound_memo),
             "time_memo": len(self._time_memo),
         }
+        if self.tuning_db is not None:
+            # Reported only when a database is attached: the default
+            # (static-menu) report stays byte-identical with no DB.
+            stats["tuned_entries"] = len(self.tuning_db)
+            stats["tuned_hits"] = self.tuned_hits
+            stats["tuned_misses"] = self.tuned_misses
+            stats["tuned_fallbacks"] = self.tuned_fallbacks
+        return stats

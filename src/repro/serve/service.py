@@ -82,6 +82,11 @@ class ServeConfig:
     #: recovery policy (retry/hedge/brownout); None = all mechanisms
     #: off, byte-identical to the pre-recovery service
     recovery: RecoveryConfig | None = None
+    #: path to a ``TUNE_db.json`` written by ``python -m repro tune``;
+    #: routers price tuned configurations from it (timing model only —
+    #: execution stays on the static menu kernels).  None = static
+    #: pricing, byte-identical to the pre-tuning service
+    tuning_db: str | None = None
 
     def __post_init__(self) -> None:
         if self.max_in_flight < 1:
@@ -218,10 +223,17 @@ class GemmService:
         # One router per distinct GPU class: the kernel choice is
         # accuracy-driven (device-independent, so the first router
         # decides), but a batch is re-priced on its executing device.
+        tuning_db = None
+        if self.config.tuning_db is not None:
+            from ..tune import TuningDatabase
+
+            tuning_db = TuningDatabase.load(self.config.tuning_db)
         self._routers: dict[str, PrecisionRouter] = {}
         for spec in specs:
             if spec.name not in self._routers:
-                self._routers[spec.name] = PrecisionRouter(self.config.menu, spec)
+                self._routers[spec.name] = PrecisionRouter(
+                    self.config.menu, spec, tuning_db=tuning_db
+                )
         self.router = self._routers[specs[0].name]
 
         #: struct-of-array bookkeeping for every in-flight request;

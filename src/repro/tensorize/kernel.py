@@ -41,6 +41,7 @@ def build_gemm_stream(
     scheme_terms: int = 4,
     latency_hiding: bool = True,
     lds_cost_factor: float = 1.0,
+    lds_head_steps: int | None = None,
 ) -> InstructionStream:
     """Emit one block's instruction schedule for the tensorized GEMM.
 
@@ -62,7 +63,14 @@ def build_gemm_stream(
     n_hmma = plan.hmma_per_iteration(scheme_terms)
     # The first wk-step's fragments gate the first HMMA; the remaining LDS
     # batch interleaves with compute (double-buffered FRAG operands).
-    lds_steps = max(1, plan.config.bk // plan.config.wk)
+    # ``lds_head_steps`` is a scheduler weight (autotuner axis): how many
+    # wk-step batches the head is sized as 1/steps of.  The structural
+    # default is the warp k-step count; it never changes which bytes move,
+    # only how early the first HMMA may issue in the simulated schedule.
+    if lds_head_steps is None:
+        lds_steps = max(1, plan.config.bk // plan.config.wk)
+    else:
+        lds_steps = max(1, lds_head_steps)
     n_lds_head = max(1, n_lds // lds_steps)
     n_lds_rest = max(0, n_lds - n_lds_head)
     iters = plan.k_iterations

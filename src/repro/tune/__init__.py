@@ -1,0 +1,59 @@
+"""Autotuning search over the cycle simulator (`docs/tuning.md`).
+
+EGEMM-TC's §6 pitch is that a new GPU needs only "a small set of
+resource budgets" — the analytic solver picks one tiling from the
+budgets alone.  This package closes the remaining gap between *one
+analytic point* and *the fastest verified configuration*: a typed
+search space over every performance knob the kernel exposes (tiling,
+split scheme, k-chunk cadence, scheduler weights, FRAG allocation
+policy), searched by exhaustive sweep / beam / seeded multi-start,
+scored on simulated cycles plus the certified error bound, gated by a
+bit-correctness check against the reference emulation, and persisted
+in a schema-versioned per-(device, shape-bucket) tuning database the
+:class:`~repro.serve.router.PrecisionRouter` consults at serving time.
+"""
+
+from .db import (
+    DB_SCHEMA,
+    TuneEntry,
+    TuningDatabase,
+    shape_bucket,
+    spec_fingerprint,
+    tune_db_stats,
+    validate_db_document,
+)
+from .search import (
+    ScoredCandidate,
+    SearchOutcome,
+    beam_search,
+    evaluate,
+    exhaustive_search,
+    multistart_search,
+    search,
+    static_baseline,
+)
+from .space import SearchSpace, TuneCandidate, default_space, quick_space
+from .verify import verify_bit_correct
+
+__all__ = [
+    "DB_SCHEMA",
+    "TuneEntry",
+    "TuningDatabase",
+    "shape_bucket",
+    "spec_fingerprint",
+    "tune_db_stats",
+    "validate_db_document",
+    "ScoredCandidate",
+    "SearchOutcome",
+    "beam_search",
+    "evaluate",
+    "exhaustive_search",
+    "multistart_search",
+    "search",
+    "static_baseline",
+    "SearchSpace",
+    "TuneCandidate",
+    "default_space",
+    "quick_space",
+    "verify_bit_correct",
+]

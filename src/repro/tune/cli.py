@@ -1,0 +1,297 @@
+"""``python -m repro tune`` — search, verify, persist, and check.
+
+Per shape bucket: score the static baseline (the §6 analytic solver's
+tiling with every knob at its default), run the configured search
+strategy, walk the admissible ranking best-first through the
+bit-correctness gate, and persist the first surviving candidate that is
+*strictly* faster (simulated cycles) than the baseline.  The database
+write is atomic; re-running refreshes entries in place.
+
+``--check`` then closes the loop the way CI consumes it: reload the
+persisted file, validate the schema, build a
+:class:`~repro.serve.router.PrecisionRouter` with and without the
+database, and assert that (a) tuned pricing is actually consulted
+(``tuned_hits`` > 0), (b) at least two buckets improved, and (c) the
+static-menu router keeps working with no database at all — the
+fallback path the service relies on when ``TUNE_db.json`` is absent,
+corrupt, or stale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..gpu import get_gpu
+from ..obs.metrics import get_registry
+from .db import TuneEntry, TuningDatabase, shape_bucket, spec_fingerprint, validate_db_document
+from .search import search, static_baseline
+from .space import default_space, quick_space
+from .verify import functional_identity, verify_bit_correct
+
+__all__ = ["main", "tune_bucket", "run_tuning"]
+
+#: default shapes tuned when ``--shapes`` is not given — the serving
+#: workload mix of :mod:`repro.serve.loadgen`, so a default tune run
+#: covers exactly the buckets ``python -m repro serve`` will price
+DEFAULT_SHAPES = ((32, 32, 32), (64, 32, 64), (16, 64, 16), (128, 32, 128), (192, 32, 192))
+
+
+def _parse_shapes(text: str) -> list[tuple[int, int, int]]:
+    shapes = []
+    for part in text.split(","):
+        dims = part.lower().split("x")
+        if len(dims) != 3:
+            raise ValueError(f"bad shape {part!r} (want MxKxN)")
+        shapes.append(tuple(int(d) for d in dims))
+    return shapes
+
+
+def tune_bucket(
+    shape: tuple[int, int, int],
+    spec,
+    space,
+    kernel_name: str = "egemm-tc",
+    strategy: str = "auto",
+    jobs: int | None = None,
+    seed: int = 0,
+    beam_width: int = 8,
+    starts: int = 8,
+) -> tuple[TuneEntry | None, dict]:
+    """Tune one shape bucket; returns (entry-or-None, summary dict).
+
+    ``None`` means the bucket keeps the static configuration — either
+    nothing admissible beat it, or nothing faster survived the bit
+    gate.  Both are healthy outcomes, not errors.
+    """
+    base = static_baseline(shape, spec)
+    outcome = search(
+        space, shape, spec, strategy=strategy, jobs=jobs,
+        seed=seed, beam_width=beam_width, starts=starts,
+    )
+    summary = {
+        "shape": shape,
+        "bucket": shape_bucket(shape),
+        "strategy": outcome.strategy,
+        "evaluated": outcome.evaluated,
+        "inadmissible": outcome.inadmissible,
+        "static_cycles": base.cycles,
+        "best_cycles": None,
+        "verify_rejected": 0,
+        "improved": False,
+    }
+    winner = None
+    for scored in outcome.ranked:
+        if not scored.cycles < base.cycles:
+            break  # ranking is best-first: nothing further can improve
+        if verify_bit_correct(scored.candidate, shape, spec, seed=seed,
+                              kernel_name=kernel_name):
+            winner = scored
+            break
+        summary["verify_rejected"] += 1
+    if winner is None:
+        return None, summary
+    summary["best_cycles"] = winner.cycles
+    summary["improved"] = True
+    entry = TuneEntry(
+        kernel=kernel_name,
+        spec_fingerprint=spec_fingerprint(spec),
+        spec_name=spec.name,
+        bucket=shape_bucket(shape),
+        shape=shape,
+        candidate=winner.candidate,
+        cycles=winner.cycles,
+        seconds=winner.seconds,
+        static_cycles=base.cycles,
+        static_seconds=base.seconds,
+        certified_bound=winner.certified_bound,
+        functional=functional_identity(winner.candidate),
+        verified_bit_correct=True,
+        strategy=outcome.strategy,
+        evaluated=outcome.evaluated,
+    )
+    return entry, summary
+
+
+def run_tuning(
+    shapes,
+    spec,
+    space,
+    db: TuningDatabase,
+    kernel_name: str = "egemm-tc",
+    strategy: str = "auto",
+    jobs: int | None = None,
+    seed: int = 0,
+    beam_width: int = 8,
+    starts: int = 8,
+    echo=print,
+) -> list[dict]:
+    """Tune every distinct bucket of ``shapes`` into ``db`` (no save)."""
+    summaries = []
+    done: set[str] = set()
+    for shape in shapes:
+        bucket = shape_bucket(shape)
+        if bucket in done:
+            continue
+        done.add(bucket)
+        entry, summary = tune_bucket(
+            shape, spec, space, kernel_name=kernel_name, strategy=strategy,
+            jobs=jobs, seed=seed, beam_width=beam_width, starts=starts,
+        )
+        if entry is not None:
+            db.put(entry)
+            echo(
+                f"  {bucket:>14}: {summary['static_cycles']:10.1f} -> "
+                f"{summary['best_cycles']:10.1f} cycles "
+                f"({summary['static_cycles'] / summary['best_cycles']:.2f}x, "
+                f"{summary['evaluated']} evaluated, {summary['strategy']})"
+            )
+        else:
+            echo(
+                f"  {bucket:>14}: static config stands at "
+                f"{summary['static_cycles']:.1f} cycles "
+                f"({summary['evaluated']} evaluated, "
+                f"{summary['verify_rejected']} failed the bit gate)"
+            )
+        summaries.append(summary)
+    return summaries
+
+
+def check_database(path: str, spec, shapes, kernel_name: str = "egemm-tc",
+                   min_improved: int = 2, echo=print) -> list[str]:
+    """The ``--check`` contract; returns a list of problems (empty = pass)."""
+    import json
+
+    problems: list[str] = []
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+    problems += validate_db_document(doc)
+
+    db = TuningDatabase.load(path)
+    problems += [f"load: {p}" for p in db.problems]
+
+    from ..serve.router import PrecisionRouter
+
+    tuned_router = PrecisionRouter(spec=spec, tuning_db=db)
+    static_router = PrecisionRouter(spec=spec)
+    improved = 0
+    buckets = {shape_bucket(s): s for s in shapes}
+    for bucket, shape in sorted(buckets.items()):
+        tuned_s = tuned_router.seconds_for(kernel_name, shape)
+        static_s = static_router.seconds_for(kernel_name, shape)
+        entry = db.entries.get(f"{spec_fingerprint(spec)}/{bucket}/{kernel_name}")
+        if entry is None:
+            echo(f"  {bucket:>14}: no entry (static price {static_s * 1e6:.2f} us)")
+            continue
+        if not tuned_s < static_s:
+            problems.append(
+                f"{bucket}: tuned price {tuned_s} not below static {static_s}"
+            )
+        improved += 1
+        echo(
+            f"  {bucket:>14}: {static_s * 1e6:9.2f} -> {tuned_s * 1e6:9.2f} us "
+            f"({static_s / tuned_s:.2f}x)"
+        )
+    if tuned_router.tuned_hits <= 0:
+        problems.append("router never consulted the tuning database (tuned_hits == 0)")
+    if improved < min(min_improved, len(buckets)):
+        problems.append(
+            f"only {improved} bucket(s) improved; "
+            f"need at least {min(min_improved, len(buckets))}"
+        )
+    # The static router must keep serving with no database attached —
+    # the production fallback when TUNE_db.json is absent or distrusted.
+    if static_router.tuning_db is not None or any(
+        key.startswith("tuned") for key in static_router.stats()
+    ):
+        problems.append("static router unexpectedly carries tuning state")
+    echo(
+        f"  router: {tuned_router.tuned_hits} tuned hit(s), "
+        f"{tuned_router.tuned_misses} miss(es), "
+        f"{tuned_router.tuned_fallbacks} fallback(s); "
+        f"static-menu fallback router OK"
+    )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro tune",
+        description="autotune kernel configurations over the cycle simulator "
+                    "(see docs/tuning.md)",
+    )
+    parser.add_argument("--gpu", default="t4", help="target GPU (t4, rtx6000)")
+    parser.add_argument("--kernel", default="egemm-tc", help="menu kernel to tune")
+    parser.add_argument("--shapes", default=None, metavar="MxKxN,...",
+                        help="comma-separated GEMM shapes (default: the serving mix)")
+    parser.add_argument("--strategy", default="auto",
+                        choices=("auto", "exhaustive", "beam", "multistart"),
+                        help="search strategy (auto: exhaustive when small enough)")
+    parser.add_argument("--db", default="TUNE_db.json", help="tuning database path")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for multistart draws and verification operands")
+    parser.add_argument("--beam-width", type=int, default=8, help="beam frontier size")
+    parser.add_argument("--starts", type=int, default=8, help="multistart restarts")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel evaluation workers (default: auto)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: tiling-only space, exhaustive per bucket")
+    parser.add_argument("--check", action="store_true",
+                        help="after tuning, reload + validate the database and "
+                             "prove the router consults it")
+    args = parser.parse_args(argv)
+
+    spec = get_gpu(args.gpu)
+    shapes = _parse_shapes(args.shapes) if args.shapes else list(DEFAULT_SHAPES)
+    space = quick_space() if args.quick else default_space()
+    strategy = args.strategy
+    if args.quick and args.strategy == "auto":
+        strategy = "exhaustive"
+
+    db = TuningDatabase.load(args.db)
+    for problem in db.problems:
+        print(f"note: {problem}")
+
+    print(f"tuning {args.kernel} on {spec.name} "
+          f"({len(set(shape_bucket(s) for s in shapes))} bucket(s), "
+          f"space ~{space.count()} candidates, strategy {strategy}):")
+    summaries = run_tuning(
+        shapes, spec, space, db,
+        kernel_name=args.kernel, strategy=strategy, jobs=args.jobs,
+        seed=args.seed, beam_width=args.beam_width, starts=args.starts,
+    )
+    db.save(args.db)
+    improved = sum(1 for s in summaries if s["improved"])
+    evaluated = sum(s["evaluated"] for s in summaries)
+    print(f"-> {args.db}: {len(db)} entr{'y' if len(db) == 1 else 'ies'} "
+          f"({improved}/{len(summaries)} buckets improved, "
+          f"{evaluated} candidates evaluated)")
+
+    registry = get_registry()
+    if registry.enabled:
+        snapshot = registry.snapshot()
+        tune_counts = {
+            key: value for key, value in sorted(snapshot.get("counters", {}).items())
+            if key.startswith("tune.")
+        }
+        if tune_counts:
+            print("counters: " + ", ".join(f"{k}={v}" for k, v in tune_counts.items()))
+
+    if args.check:
+        print("check:")
+        problems = check_database(
+            args.db, spec, shapes, kernel_name=args.kernel, echo=print
+        )
+        if problems:
+            for problem in problems:
+                print(f"CHECK FAILED: {problem}", file=sys.stderr)
+            return 1
+        print("  all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,346 @@
+"""The persisted tuning database: ``TUNE_db.json``.
+
+Schema-versioned, keyed by ``(GpuSpec fingerprint, shape bucket,
+kernel name)``.  The fingerprint digests *every* field of the frozen
+:class:`~repro.gpu.spec.GpuSpec` — topology, budgets, and the timing
+constants — because a tuned cycle count is only meaningful against the
+exact simulator parameters it was searched under; changing any of them
+(a recalibrated ``hmma_issue_cycles``, say) makes the entry stale, and
+the staleness guard silently falls the router back to the static menu
+instead of serving a mispriced entry.
+
+Shape buckets round each GEMM dimension up to a power of two — the
+same granularity at which the serving shapes cluster — so one tuned
+entry covers every shape in its bucket.  The entry stores the
+*candidate configuration*, not a cached time: the router rebuilds the
+tuned kernel and prices each concrete shape through the timing model,
+so seconds stay exact per shape while the search cost is paid once per
+bucket.
+
+Writes are atomic (temp file + ``os.replace`` in the destination
+directory), loads are defensive (a corrupt or wrong-schema file
+degrades to an empty database and a counter, never an exception on the
+serving path), and the ``tune.db`` metrics provider aggregates
+hit/miss/fallback counters across every live database.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import weakref
+from dataclasses import asdict, dataclass, field
+
+from ..gpu.spec import GpuSpec
+from ..obs.metrics import get_registry
+from .space import TuneCandidate
+
+__all__ = [
+    "DB_SCHEMA",
+    "TuneEntry",
+    "TuningDatabase",
+    "shape_bucket",
+    "spec_fingerprint",
+    "tune_db_stats",
+    "validate_db_document",
+]
+
+#: database schema identifier, bumped on breaking layout changes
+DB_SCHEMA = "repro.tune.db/1"
+
+#: live databases for the registry provider (the split-cache idiom)
+_LIVE_DBS: "weakref.WeakValueDictionary[int, TuningDatabase]" = weakref.WeakValueDictionary()
+_RETIRED = {"dbs": 0, "hits": 0, "misses": 0, "fallbacks": 0, "corrupt_loads": 0}
+_RETIRED_LOCK = threading.Lock()
+
+#: memoized spec fingerprints (the digest is pure in the frozen spec)
+_FP_MEMO: dict[GpuSpec, str] = {}
+
+
+def _retire(stats: dict) -> None:
+    with _RETIRED_LOCK:
+        _RETIRED["dbs"] += 1
+        for key in ("hits", "misses", "fallbacks", "corrupt_loads"):
+            _RETIRED[key] += stats.get(key, 0)
+
+
+def tune_db_stats() -> dict:
+    """Aggregate counters across every tuning database (``tune.db``)."""
+    with _RETIRED_LOCK:
+        totals = {
+            "dbs": 0,
+            "entries": 0,
+            "hits": _RETIRED["hits"],
+            "misses": _RETIRED["misses"],
+            "fallbacks": _RETIRED["fallbacks"],
+            "corrupt_loads": _RETIRED["corrupt_loads"],
+            "retired_dbs": _RETIRED["dbs"],
+        }
+    for db in list(_LIVE_DBS.values()):
+        totals["dbs"] += 1
+        totals["entries"] += len(db.entries)
+        for key in ("hits", "misses", "fallbacks", "corrupt_loads"):
+            totals[key] += db.counters[key]
+    lookups = totals["hits"] + totals["misses"] + totals["fallbacks"]
+    totals["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
+    return totals
+
+
+get_registry().register_provider("tune.db", tune_db_stats)
+
+
+def spec_fingerprint(spec: GpuSpec) -> str:
+    """Stable digest of every field of a (frozen, hashable) GpuSpec."""
+    fp = _FP_MEMO.get(spec)
+    if fp is None:
+        import hashlib
+
+        payload = json.dumps(asdict(spec), sort_keys=True).encode()
+        fp = hashlib.blake2b(payload, digest_size=8).hexdigest()
+        _FP_MEMO[spec] = fp
+    return fp
+
+
+def _pow2_ceil(x: int) -> int:
+    return 1 if x <= 1 else 1 << (x - 1).bit_length()
+
+
+def shape_bucket(shape: tuple[int, int, int]) -> str:
+    """Power-of-two bucket key of an ``(m, k, n)`` GEMM shape."""
+    m, k, n = shape
+    return f"{_pow2_ceil(m)}x{_pow2_ceil(k)}x{_pow2_ceil(n)}"
+
+
+@dataclass(frozen=True)
+class TuneEntry:
+    """One persisted tuning result for a (spec, bucket, kernel) key."""
+
+    kernel: str
+    spec_fingerprint: str
+    spec_name: str
+    bucket: str
+    #: representative shape the search scored (a member of the bucket)
+    shape: tuple[int, int, int]
+    candidate: TuneCandidate
+    cycles: float
+    seconds: float
+    static_cycles: float
+    static_seconds: float
+    certified_bound: float
+    #: numerics-determining identity (scheme, tk) — router guard input
+    functional: dict
+    verified_bit_correct: bool
+    strategy: str = ""
+    evaluated: int = 0
+
+    @property
+    def key(self) -> str:
+        return f"{self.spec_fingerprint}/{self.bucket}/{self.kernel}"
+
+    def to_json(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "spec_fingerprint": self.spec_fingerprint,
+            "spec_name": self.spec_name,
+            "bucket": self.bucket,
+            "shape": list(self.shape),
+            "candidate": self.candidate.as_dict(),
+            "cycles": self.cycles,
+            "seconds": self.seconds,
+            "static_cycles": self.static_cycles,
+            "static_seconds": self.static_seconds,
+            "certified_bound": self.certified_bound,
+            "functional": dict(self.functional),
+            "verified_bit_correct": self.verified_bit_correct,
+            "strategy": self.strategy,
+            "evaluated": self.evaluated,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "TuneEntry":
+        return cls(
+            kernel=str(doc["kernel"]),
+            spec_fingerprint=str(doc["spec_fingerprint"]),
+            spec_name=str(doc.get("spec_name", "")),
+            bucket=str(doc["bucket"]),
+            shape=tuple(int(v) for v in doc["shape"]),
+            candidate=TuneCandidate.from_dict(doc["candidate"]),
+            cycles=float(doc["cycles"]),
+            seconds=float(doc["seconds"]),
+            static_cycles=float(doc["static_cycles"]),
+            static_seconds=float(doc["static_seconds"]),
+            certified_bound=float(doc["certified_bound"]),
+            functional=dict(doc.get("functional", {})),
+            verified_bit_correct=bool(doc.get("verified_bit_correct", False)),
+            strategy=str(doc.get("strategy", "")),
+            evaluated=int(doc.get("evaluated", 0)),
+        )
+
+
+def validate_db_document(doc: object) -> list[str]:
+    """Schema check of a raw TUNE_db.json document; returns problems.
+
+    The CLI's ``--check`` mode and the CI smoke step hold the persisted
+    artifact to this contract.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema") != DB_SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected {DB_SCHEMA!r}")
+    entries = doc.get("entries")
+    if not isinstance(entries, dict):
+        return problems + ["entries missing or not an object"]
+    for key, raw in entries.items():
+        if not isinstance(raw, dict):
+            problems.append(f"entry {key}: not an object")
+            continue
+        try:
+            entry = TuneEntry.from_json(raw)
+        except (KeyError, TypeError, ValueError) as exc:
+            problems.append(f"entry {key}: malformed ({exc})")
+            continue
+        if entry.key != key:
+            problems.append(f"entry {key}: key disagrees with fields ({entry.key})")
+        if not entry.verified_bit_correct:
+            problems.append(f"entry {key}: persisted without bit-correct verification")
+        if not entry.cycles < entry.static_cycles:
+            problems.append(
+                f"entry {key}: cycles {entry.cycles} not strictly below "
+                f"static {entry.static_cycles}"
+            )
+        if len(entry.shape) != 3 or any(v <= 0 for v in entry.shape):
+            problems.append(f"entry {key}: bad shape {entry.shape}")
+        if shape_bucket(entry.shape) != entry.bucket:
+            problems.append(
+                f"entry {key}: shape {entry.shape} buckets to "
+                f"{shape_bucket(entry.shape)}, not {entry.bucket}"
+            )
+    return problems
+
+
+@dataclass
+class TuningDatabase:
+    """In-memory view of TUNE_db.json with guarded lookups."""
+
+    entries: dict[str, TuneEntry] = field(default_factory=dict)
+    #: path the database was loaded from (informational)
+    path: str | None = None
+    #: problems found at load time (corrupt file, schema mismatch)
+    problems: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.counters = {"hits": 0, "misses": 0, "fallbacks": 0, "corrupt_loads": 0}
+        self._lock = threading.Lock()
+        _LIVE_DBS[id(self)] = self
+        weakref.finalize(self, _retire, self.counters)
+
+    # -- persistence -----------------------------------------------------
+    @classmethod
+    def load(cls, path: str) -> "TuningDatabase":
+        """Read a database; corrupt or missing files degrade to empty.
+
+        A serving process must never crash because its tuning file is
+        damaged — the static menu is always a sound fallback — so every
+        load failure is recorded in ``problems`` (and the
+        ``corrupt_loads`` counter) instead of raised.
+        """
+        db = cls(path=path)
+        if not os.path.exists(path):
+            db.problems.append(f"{path}: not found (starting empty)")
+            return db
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            db.problems.append(f"{path}: unreadable ({exc})")
+            db.counters["corrupt_loads"] += 1
+            return db
+        if not isinstance(doc, dict) or doc.get("schema") != DB_SCHEMA:
+            db.problems.append(
+                f"{path}: schema {doc.get('schema') if isinstance(doc, dict) else None!r} "
+                f"!= {DB_SCHEMA!r} (ignoring file)"
+            )
+            db.counters["corrupt_loads"] += 1
+            return db
+        for key, raw in (doc.get("entries") or {}).items():
+            try:
+                entry = TuneEntry.from_json(raw)
+            except (KeyError, TypeError, ValueError) as exc:
+                db.problems.append(f"{path}: entry {key} malformed ({exc})")
+                db.counters["corrupt_loads"] += 1
+                continue
+            db.entries[entry.key] = entry
+        return db
+
+    def to_json(self) -> dict:
+        return {
+            "schema": DB_SCHEMA,
+            "entries": {key: entry.to_json() for key in sorted(self.entries)
+                        for entry in (self.entries[key],)},
+        }
+
+    def save(self, path: str | None = None) -> str:
+        """Atomically persist: temp file in the target directory + replace."""
+        path = path or self.path
+        if path is None:
+            raise ValueError("no path to save the tuning database to")
+        directory = os.path.dirname(os.path.abspath(path))
+        payload = json.dumps(self.to_json(), indent=2, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(prefix=".TUNE_db.", suffix=".tmp", dir=directory)
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.path = path
+        return path
+
+    # -- lookups ---------------------------------------------------------
+    def put(self, entry: TuneEntry) -> None:
+        with self._lock:
+            self.entries[entry.key] = entry
+
+    def lookup(
+        self, spec: GpuSpec, kernel_name: str, shape: tuple[int, int, int]
+    ) -> TuneEntry | None:
+        """Guarded entry lookup; ``None`` means use the static menu.
+
+        A missing key counts as a *miss*; an entry rejected by a
+        staleness guard (fingerprint disagreement after a spec change,
+        unverified entry) counts as a *fallback* — distinct counters,
+        because a fallback means a database exists but cannot be
+        trusted for this device, which is worth alerting on.
+        """
+        fp = spec_fingerprint(spec)
+        key = f"{fp}/{shape_bucket(shape)}/{kernel_name}"
+        with self._lock:
+            entry = self.entries.get(key)
+            if entry is None:
+                self.counters["misses"] += 1
+                return None
+            if entry.spec_fingerprint != fp or not entry.verified_bit_correct:
+                self.counters["fallbacks"] += 1
+                return None
+            self.counters["hits"] += 1
+        return entry
+
+    def note_fallback(self) -> None:
+        """Record a consumer-side rejection (functional-identity guard)."""
+        with self._lock:
+            self.counters["fallbacks"] += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"entries": len(self.entries), **self.counters}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.entries)

@@ -1,0 +1,377 @@
+"""Search strategies over the tuning space, scored on the cycle simulator.
+
+Every strategy shares one evaluator: build the candidate's kernel, run
+its analytic timing model — the instruction stream scheduled by
+:func:`repro.gpu.scheduler.schedule` inside the wave/DRAM engine — and
+read off the simulated cycles, alongside the candidate scheme's
+certified forward-error bound from
+:func:`repro.fp.error.gemm_relative_error_bound`.  The score is
+lexicographic: a candidate is only *admissible* when its certified
+bound does not exceed the static kernel's (tuning must never weaken
+the accuracy certificate the router serves), and among admissible
+candidates fewer simulated cycles wins, ties broken by modelled
+seconds and then by the candidate's deterministic sort key, so every
+strategy returns the same winner for the same scored set regardless of
+evaluation order or parallelism.
+
+Three strategies, matched to space size:
+
+* :func:`exhaustive_search` — enumerate and score everything (the
+  quick space, a few hundred points, fanned through ``parallel_map``);
+* :func:`beam_search` — seed with the analytic solver's point plus
+  shape-adapted downsizings, expand single-axis neighborhoods, keep
+  the ``beam_width`` best, stop when a round stops improving;
+* :func:`multistart_search` — seeded random restarts, each
+  hill-climbed through the same neighborhood until a local optimum.
+
+``search`` dispatches: exhaustive when the space enumerates under the
+cap, beam otherwise, and is what the CLI calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..emulation.schemes import get_scheme
+from ..fp.error import gemm_relative_error_bound
+from ..gpu.spec import GpuSpec
+from ..model.solver import solve
+from ..obs.metrics import get_registry
+from ..perf.parallel import parallel_map
+from .space import SearchSpace, TuneCandidate
+
+__all__ = [
+    "ScoredCandidate",
+    "SearchOutcome",
+    "certified_bound",
+    "evaluate",
+    "static_baseline",
+    "exhaustive_search",
+    "beam_search",
+    "multistart_search",
+    "search",
+]
+
+#: exhaustive-search enumeration cap; larger spaces go to beam search
+EXHAUSTIVE_CAP = 4096
+
+
+@dataclass(frozen=True)
+class ScoredCandidate:
+    """One evaluated candidate: simulated cost + certified accuracy."""
+
+    candidate: TuneCandidate
+    #: simulated kernel cycles (the engine's schedule over the stream)
+    cycles: float
+    #: modelled end-to-end seconds (cycles + split pre-pass + launch)
+    seconds: float
+    #: analytic forward-error bound of the candidate's scheme at this k
+    certified_bound: float
+    occupancy: float = 0.0
+
+    def score(self) -> tuple:
+        return (self.cycles, self.seconds, self.candidate.sort_key())
+
+
+@dataclass
+class SearchOutcome:
+    """Result of one strategy run over one (shape, spec) bucket."""
+
+    strategy: str
+    shape: tuple[int, int, int]
+    best: ScoredCandidate | None
+    #: admissible candidates, best-first — the verification walk order
+    ranked: list[ScoredCandidate] = field(default_factory=list)
+    evaluated: int = 0
+    #: candidates rejected for weakening the certified bound
+    inadmissible: int = 0
+
+
+def certified_bound(candidate: TuneCandidate, k: int) -> float:
+    """The candidate scheme's analytic bound at reduction depth ``k``."""
+    scheme = get_scheme(candidate.scheme)
+    return gemm_relative_error_bound(k, scheme.effective_mantissa_bits, 23)
+
+
+def evaluate(
+    candidate: TuneCandidate, shape: tuple[int, int, int], spec: GpuSpec
+) -> ScoredCandidate | None:
+    """Score one candidate on the cycle simulator; ``None`` if untimeable."""
+    m, k, n = shape
+    try:
+        timing = candidate.build_kernel().time(m, n, k, spec)
+    except (ValueError, RuntimeError):
+        return None
+    return ScoredCandidate(
+        candidate=candidate,
+        cycles=float(timing.cycles),
+        seconds=float(timing.seconds),
+        certified_bound=certified_bound(candidate, k),
+        occupancy=float(getattr(timing.occupancy, "active_warps_per_sm", 0)),
+    )
+
+
+def _evaluate_job(job: tuple) -> ScoredCandidate | None:
+    """Module-level work function so ``parallel_map`` can pickle it."""
+    candidate, shape, spec = job
+    return evaluate(candidate, shape, spec)
+
+
+def static_baseline(shape: tuple[int, int, int], spec: GpuSpec) -> ScoredCandidate:
+    """The untuned kernel's score: solver tiling, every knob at default."""
+    candidate = TuneCandidate(tiling=solve(spec).best)
+    scored = evaluate(candidate, shape, spec)
+    if scored is None:  # the solver point is always timeable
+        raise RuntimeError(f"static baseline failed to time on {spec.name}")
+    return scored
+
+
+def _rank(
+    scored: list[ScoredCandidate | None], bound_budget: float
+) -> tuple[list[ScoredCandidate], int]:
+    """Admissible candidates best-first + the inadmissible count.
+
+    ``bound_budget`` is the static kernel's certified bound: a tuned
+    entry must certify at least as tightly, or the router's eligibility
+    math would silently loosen when it consults the database.
+    """
+    kept = [s for s in scored if s is not None]
+    admissible = [s for s in kept if s.certified_bound <= bound_budget * (1 + 1e-12)]
+    admissible.sort(key=ScoredCandidate.score)
+    return admissible, len(kept) - len(admissible)
+
+
+def _record_progress(evaluated: int) -> None:
+    registry = get_registry()
+    if registry.enabled:
+        registry.inc("tune.search.evaluated", evaluated)
+
+
+def exhaustive_search(
+    space: SearchSpace,
+    shape: tuple[int, int, int],
+    spec: GpuSpec,
+    jobs: int | None = None,
+    limit: int = EXHAUSTIVE_CAP,
+) -> SearchOutcome:
+    """Score every candidate of a small space (``parallel_map`` fan-out)."""
+    candidates = []
+    for cand in space.candidates():
+        candidates.append(cand)
+        if len(candidates) > limit:
+            raise ValueError(
+                f"space enumerates past {limit} candidates; "
+                f"use beam or multistart search"
+            )
+    bound_budget = certified_bound(TuneCandidate(tiling=solve(spec).best), shape[1])
+    scored = parallel_map(_evaluate_job, [(c, shape, spec) for c in candidates], jobs=jobs)
+    _record_progress(len(candidates))
+    ranked, inadmissible = _rank(scored, bound_budget)
+    return SearchOutcome(
+        strategy="exhaustive",
+        shape=shape,
+        best=ranked[0] if ranked else None,
+        ranked=ranked,
+        evaluated=len(candidates),
+        inadmissible=inadmissible,
+    )
+
+
+def _seed_candidates(
+    space: SearchSpace, shape: tuple[int, int, int], spec: GpuSpec
+) -> list[TuneCandidate]:
+    """Starting points: the solver's analytic optimum + shape-fitted tiles.
+
+    The solver optimizes compute intensity for asymptotically large
+    GEMMs; serving shapes are small, so the seeds also include block
+    tiles clamped near the problem dimensions (better grid-level
+    parallelism on a many-SM device) — the beam refines from both ends.
+    """
+    m, k, n = shape
+    seeds: list[TuneCandidate] = [TuneCandidate(tiling=solve(spec).best)]
+
+    def fit(dim: int, domain) -> list[int]:
+        le = [v for v in domain if v <= max(dim, min(domain))]
+        return sorted(le)[-2:] if le else [min(domain)]
+
+    for bm in fit(m, space.bm):
+        for bn in fit(n, space.bn):
+            for bk in fit(k, space.bk):
+                for wm in space.wm:
+                    for wn in space.wn:
+                        cfg = space._tiling(bm, bn, bk, wm, wn, min(space.wk))
+                        if cfg is not None:
+                            seeds.append(TuneCandidate(tiling=cfg))
+    # dedupe preserving order
+    seen: set[tuple] = set()
+    unique = []
+    for cand in seeds:
+        key = cand.sort_key()
+        if key not in seen:
+            seen.add(key)
+            unique.append(cand)
+    return unique
+
+
+def beam_search(
+    space: SearchSpace,
+    shape: tuple[int, int, int],
+    spec: GpuSpec,
+    beam_width: int = 8,
+    rounds: int = 12,
+    jobs: int | None = None,
+) -> SearchOutcome:
+    """Beam search: expand single-axis neighborhoods of the best frontier."""
+    bound_budget = certified_bound(TuneCandidate(tiling=solve(spec).best), shape[1])
+    seen: set[tuple] = set()
+    ranked_all: dict[tuple, ScoredCandidate] = {}
+    evaluated = 0
+    inadmissible = 0
+
+    def score_batch(batch: list[TuneCandidate]) -> list[ScoredCandidate]:
+        nonlocal evaluated, inadmissible
+        fresh = []
+        for cand in batch:
+            key = cand.sort_key()
+            if key not in seen:
+                seen.add(key)
+                fresh.append(cand)
+        if not fresh:
+            return []
+        scored = parallel_map(_evaluate_job, [(c, shape, spec) for c in fresh], jobs=jobs)
+        evaluated += len(fresh)
+        _record_progress(len(fresh))
+        admissible, bad = _rank(scored, bound_budget)
+        inadmissible += bad
+        for s in admissible:
+            ranked_all[s.candidate.sort_key()] = s
+        return admissible
+
+    frontier = score_batch(_seed_candidates(space, shape, spec))
+    frontier = sorted(frontier, key=ScoredCandidate.score)[:beam_width]
+    best_score = frontier[0].score() if frontier else None
+    for _ in range(rounds):
+        expansion: list[TuneCandidate] = []
+        for entry in frontier:
+            expansion.extend(space.neighbors(entry.candidate))
+        fresh = score_batch(expansion)
+        if not fresh:
+            break
+        frontier = sorted(frontier + fresh, key=ScoredCandidate.score)[:beam_width]
+        new_best = frontier[0].score()
+        if best_score is not None and new_best >= best_score:
+            break
+        best_score = new_best
+
+    ranked = sorted(ranked_all.values(), key=ScoredCandidate.score)
+    return SearchOutcome(
+        strategy="beam",
+        shape=shape,
+        best=ranked[0] if ranked else None,
+        ranked=ranked,
+        evaluated=evaluated,
+        inadmissible=inadmissible,
+    )
+
+
+def multistart_search(
+    space: SearchSpace,
+    shape: tuple[int, int, int],
+    spec: GpuSpec,
+    starts: int = 8,
+    steps: int = 16,
+    seed: int = 0,
+    jobs: int | None = None,
+) -> SearchOutcome:
+    """Seeded random restarts, each hill-climbed to a local optimum.
+
+    The generator is seeded per call, so outcomes are reproducible for
+    a given ``(space, shape, spec, starts, steps, seed)``.
+    """
+    rng = np.random.default_rng(seed)
+    bound_budget = certified_bound(TuneCandidate(tiling=solve(spec).best), shape[1])
+    ranked_all: dict[tuple, ScoredCandidate] = {}
+    scored_memo: dict[tuple, ScoredCandidate | None] = {}
+    evaluated = 0
+    inadmissible = 0
+
+    def score_many(batch: list[TuneCandidate]) -> None:
+        nonlocal evaluated, inadmissible
+        fresh = [c for c in batch if c.sort_key() not in scored_memo]
+        # unique-ify while preserving order
+        uniq: dict[tuple, TuneCandidate] = {}
+        for cand in fresh:
+            uniq.setdefault(cand.sort_key(), cand)
+        todo = list(uniq.values())
+        if not todo:
+            return
+        scored = parallel_map(_evaluate_job, [(c, shape, spec) for c in todo], jobs=jobs)
+        evaluated += len(todo)
+        _record_progress(len(todo))
+        for cand, result in zip(todo, scored):
+            scored_memo[cand.sort_key()] = result
+            if result is None:
+                continue
+            if result.certified_bound <= bound_budget * (1 + 1e-12):
+                ranked_all[cand.sort_key()] = result
+            else:
+                inadmissible += 1
+
+    starts_list = [TuneCandidate(tiling=solve(spec).best)]
+    starts_list += [space.random(rng) for _ in range(max(starts - 1, 0))]
+    score_many(starts_list)
+    for start in starts_list:
+        current = start
+        current_scored = scored_memo.get(current.sort_key())
+        for _ in range(steps):
+            moves = list(space.neighbors(current))
+            score_many(moves)
+            best_move = None
+            for move in moves:
+                s = scored_memo.get(move.sort_key())
+                if s is None or s.certified_bound > bound_budget * (1 + 1e-12):
+                    continue
+                if best_move is None or s.score() < best_move.score():
+                    best_move = s
+            if best_move is None:
+                break
+            if current_scored is not None and best_move.score() >= current_scored.score():
+                break
+            current, current_scored = best_move.candidate, best_move
+
+    ranked = sorted(ranked_all.values(), key=ScoredCandidate.score)
+    return SearchOutcome(
+        strategy="multistart",
+        shape=shape,
+        best=ranked[0] if ranked else None,
+        ranked=ranked,
+        evaluated=evaluated,
+        inadmissible=inadmissible,
+    )
+
+
+def search(
+    space: SearchSpace,
+    shape: tuple[int, int, int],
+    spec: GpuSpec,
+    strategy: str = "auto",
+    jobs: int | None = None,
+    seed: int = 0,
+    beam_width: int = 8,
+    starts: int = 8,
+) -> SearchOutcome:
+    """Strategy dispatcher: exhaustive when the space is small enough."""
+    if strategy == "auto":
+        strategy = (
+            "exhaustive" if space.count(EXHAUSTIVE_CAP + 1) <= EXHAUSTIVE_CAP else "beam"
+        )
+    if strategy == "exhaustive":
+        return exhaustive_search(space, shape, spec, jobs=jobs)
+    if strategy == "beam":
+        return beam_search(space, shape, spec, beam_width=beam_width, jobs=jobs)
+    if strategy == "multistart":
+        return multistart_search(space, shape, spec, starts=starts, seed=seed, jobs=jobs)
+    raise ValueError(f"unknown strategy {strategy!r}; "
+                     f"choose auto, exhaustive, beam, or multistart")

@@ -1,0 +1,287 @@
+"""The typed autotuning search space.
+
+A :class:`TuneCandidate` is one complete configuration of the EGEMM-TC
+kernel: the six tiling hyper-parameters of §4 plus every knob the
+kernel exposes above them.  The axes split into two classes, and the
+distinction carries the whole correctness story of the tuner:
+
+* **performance-only axes** — tiling, latency-hiding schedule,
+  FRAG caching, register-allocation policy, and the LDS-head scheduler
+  weight — change only the *timing model* (the instruction stream the
+  cycle simulator schedules).  The functional product is computed by
+  :class:`~repro.emulation.gemm.EmulatedGemm`, which never sees them,
+  so any candidate varying only these axes is bit-identical to the
+  static kernel by construction;
+* **functional axes** — the split scheme and the ``tk`` k-chunk
+  rounding cadence — change the numerics.  Candidates that mutate them
+  must survive :func:`repro.tune.verify.verify_bit_correct` against
+  the reference emulation before they can win; in practice only
+  mutations that are provably bit-equivalent (e.g. a ``tk`` change
+  when the whole reduction fits one chunk either way) pass the gate.
+
+:class:`SearchSpace` owns the discrete axis domains, legality
+filtering (delegated to :class:`~repro.tensorize.tiling.TilingConfig`
+and the warp budget), enumeration for the exhaustive sweep, and the
+single-axis neighborhood the beam / multi-start strategies walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Sequence
+
+from ..emulation.schemes import get_scheme
+from ..tensorize.tiling import TilingConfig
+
+__all__ = ["TuneCandidate", "SearchSpace", "quick_space", "default_space"]
+
+
+@dataclass(frozen=True)
+class TuneCandidate:
+    """One point of the autotuning space: a complete kernel configuration."""
+
+    tiling: TilingConfig
+    #: emulation scheme name (functional axis — bit-gate applies)
+    scheme: str = "egemm-tc"
+    #: k-chunk rounding cadence (functional axis — bit-gate applies)
+    tk: int = 16
+    #: §5.1 register-enhanced instruction scheduling
+    latency_hiding: bool = True
+    #: §4 intra-warp FRAG caching
+    frag_caching: bool = True
+    #: 'stage-reuse' (§5.2) or 'naive' FRAG allocation
+    register_policy: str = "stage-reuse"
+    #: scheduler weight: LDS batches the first HMMA waits on.  ``None``
+    #: keeps the kernel's structural default (``bk // wk``); smaller
+    #: values front-load less of the LDS batch before compute starts.
+    lds_head_steps: int | None = None
+
+    def build_kernel(self):
+        """Instantiate the EGEMM-TC kernel this candidate describes."""
+        from ..kernels.egemm import EgemmTcKernel
+
+        return EgemmTcKernel(
+            scheme=get_scheme(self.scheme),
+            tiling=self.tiling,
+            latency_hiding=self.latency_hiding,
+            frag_caching=self.frag_caching,
+            register_policy=self.register_policy,
+            tk=self.tk,
+            lds_head_steps=self.lds_head_steps,
+        )
+
+    def sort_key(self) -> tuple:
+        """Deterministic total order for tie-breaking across strategies."""
+        t = self.tiling
+        return (
+            t.bm, t.bn, t.bk, t.wm, t.wn, t.wk,
+            self.scheme, self.tk, self.latency_hiding, self.frag_caching,
+            self.register_policy,
+            -1 if self.lds_head_steps is None else self.lds_head_steps,
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (the TUNE_db.json entry payload)."""
+        t = self.tiling
+        return {
+            "bm": t.bm, "bn": t.bn, "bk": t.bk,
+            "wm": t.wm, "wn": t.wn, "wk": t.wk,
+            "scheme": self.scheme,
+            "tk": self.tk,
+            "latency_hiding": self.latency_hiding,
+            "frag_caching": self.frag_caching,
+            "register_policy": self.register_policy,
+            "lds_head_steps": self.lds_head_steps,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "TuneCandidate":
+        tiling = TilingConfig(
+            bm=int(doc["bm"]), bn=int(doc["bn"]), bk=int(doc["bk"]),
+            wm=int(doc["wm"]), wn=int(doc["wn"]), wk=int(doc["wk"]),
+        )
+        head = doc.get("lds_head_steps")
+        return cls(
+            tiling=tiling,
+            scheme=str(doc.get("scheme", "egemm-tc")),
+            tk=int(doc.get("tk", 16)),
+            latency_hiding=bool(doc.get("latency_hiding", True)),
+            frag_caching=bool(doc.get("frag_caching", True)),
+            register_policy=str(doc.get("register_policy", "stage-reuse")),
+            lds_head_steps=None if head is None else int(head),
+        )
+
+
+#: the non-tiling axes, in the order neighbor moves walk them
+_KNOB_AXES = ("scheme", "tk", "latency_hiding", "frag_caching",
+              "register_policy", "lds_head_steps")
+_TILE_AXES = ("bm", "bn", "bk", "wm", "wn", "wk")
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Discrete axis domains of the autotuning search.
+
+    Tiling legality (divisibility, TC-tile alignment, the warp budget)
+    is enforced at enumeration time, so every yielded candidate is a
+    constructible kernel configuration.
+    """
+
+    bm: Sequence[int] = (16, 32, 64, 96, 128, 192, 256)
+    bn: Sequence[int] = (16, 32, 64, 96, 128, 192, 256)
+    bk: Sequence[int] = (8, 16, 32, 64)
+    wm: Sequence[int] = (16, 32, 64, 128)
+    wn: Sequence[int] = (16, 32, 64, 128)
+    wk: Sequence[int] = (8, 16, 32)
+    scheme: Sequence[str] = ("egemm-tc",)
+    tk: Sequence[int] = (16,)
+    latency_hiding: Sequence[bool] = (True,)
+    frag_caching: Sequence[bool] = (True,)
+    register_policy: Sequence[str] = ("stage-reuse",)
+    lds_head_steps: Sequence[int | None] = (None,)
+    max_warps: int = 8
+
+    def _tiling(self, bm: int, bn: int, bk: int, wm: int, wn: int, wk: int) -> TilingConfig | None:
+        try:
+            cfg = TilingConfig(bm=bm, bn=bn, bk=bk, wm=wm, wn=wn, wk=wk)
+        except ValueError:
+            return None
+        if cfg.warps_per_block > self.max_warps:
+            return None
+        return cfg
+
+    def tilings(self) -> Iterator[TilingConfig]:
+        for bm in self.bm:
+            for bn in self.bn:
+                for bk in self.bk:
+                    for wm in self.wm:
+                        for wn in self.wn:
+                            for wk in self.wk:
+                                cfg = self._tiling(bm, bn, bk, wm, wn, wk)
+                                if cfg is not None:
+                                    yield cfg
+
+    def candidates(self) -> Iterator[TuneCandidate]:
+        """Every legal candidate (exhaustive-sweep enumeration order)."""
+        for cfg in self.tilings():
+            for scheme in self.scheme:
+                for tk in self.tk:
+                    for lh in self.latency_hiding:
+                        for fc in self.frag_caching:
+                            for rp in self.register_policy:
+                                for head in self.lds_head_steps:
+                                    yield TuneCandidate(
+                                        tiling=cfg, scheme=scheme, tk=tk,
+                                        latency_hiding=lh, frag_caching=fc,
+                                        register_policy=rp, lds_head_steps=head,
+                                    )
+
+    def count(self, limit: int = 100_000) -> int:
+        """Number of legal candidates, counting at most ``limit``."""
+        n = 0
+        for _ in self.candidates():
+            n += 1
+            if n >= limit:
+                break
+        return n
+
+    def contains_tiling(self, cfg: TilingConfig) -> bool:
+        return (cfg.bm in self.bm and cfg.bn in self.bn and cfg.bk in self.bk
+                and cfg.wm in self.wm and cfg.wn in self.wn and cfg.wk in self.wk
+                and cfg.warps_per_block <= self.max_warps)
+
+    # -- neighborhood (beam / multi-start moves) -------------------------
+    def _axis_values(self, axis: str) -> Sequence:
+        return getattr(self, axis)
+
+    def neighbors(self, candidate: TuneCandidate) -> Iterator[TuneCandidate]:
+        """Single-axis mutations of ``candidate`` inside this space.
+
+        Tiling axes step to the adjacent value of their domain (both
+        directions); knob axes step to every other domain value.  Only
+        legal results are yielded, so strategies can consume the
+        neighborhood without re-validating.
+        """
+        t = candidate.tiling
+        tile_vals = {"bm": t.bm, "bn": t.bn, "bk": t.bk,
+                     "wm": t.wm, "wn": t.wn, "wk": t.wk}
+        for axis in _TILE_AXES:
+            domain = list(self._axis_values(axis))
+            cur = tile_vals[axis]
+            if cur in domain:
+                idx = domain.index(cur)
+                steps = [i for i in (idx - 1, idx + 1) if 0 <= i < len(domain)]
+            else:  # seed outside the domain: jump to the closest values
+                order = sorted(range(len(domain)), key=lambda i: abs(domain[i] - cur))
+                steps = order[:2]
+            for i in steps:
+                trial = dict(tile_vals)
+                trial[axis] = domain[i]
+                cfg = self._tiling(**trial)
+                if cfg is not None and cfg != t:
+                    yield replace(candidate, tiling=cfg)
+        for axis in _KNOB_AXES:
+            cur = getattr(candidate, axis)
+            for value in self._axis_values(axis):
+                if value != cur:
+                    yield replace(candidate, **{axis: value})
+
+    def random(self, rng) -> TuneCandidate:
+        """One uniformly drawn legal candidate (multi-start seeds).
+
+        Axis values are drawn independently and tiling draws retry
+        until legal — a rejection loop, but the legality density of the
+        default domains keeps it short.
+        """
+        def pick(seq: Sequence):
+            return seq[int(rng.integers(len(seq)))]
+
+        for _ in range(1000):
+            cfg = self._tiling(pick(self.bm), pick(self.bn), pick(self.bk),
+                               pick(self.wm), pick(self.wn), pick(self.wk))
+            if cfg is not None:
+                return TuneCandidate(
+                    tiling=cfg,
+                    scheme=pick(self.scheme),
+                    tk=pick(self.tk),
+                    latency_hiding=pick(self.latency_hiding),
+                    frag_caching=pick(self.frag_caching),
+                    register_policy=pick(self.register_policy),
+                    lds_head_steps=pick(self.lds_head_steps),
+                )
+        raise RuntimeError("could not draw a legal tiling from the space")
+
+
+def quick_space() -> SearchSpace:
+    """Small space for ``--quick`` runs and tests: tiling-only axes.
+
+    Every axis that could fail the bit gate is pinned to the static
+    kernel's value, so the whole space is serving-safe by construction
+    and an exhaustive sweep finishes in well under a second per bucket.
+    """
+    return SearchSpace(
+        bm=(16, 32, 64, 128),
+        bn=(16, 32, 64, 128),
+        bk=(16, 32),
+        wm=(16, 32, 64),
+        wn=(16, 32),
+        wk=(8,),
+    )
+
+
+def default_space() -> SearchSpace:
+    """The full search space: every knob the kernel exposes.
+
+    Includes the functional axes (scheme, ``tk``) — the bit-correct
+    gate prunes the mutations that change numerics — plus both
+    register policies, both schedules, and the LDS-head scheduler
+    weights.  Too large for exhaustion; beam / multi-start territory.
+    """
+    return SearchSpace(
+        scheme=("egemm-tc", "markidis"),
+        tk=(8, 16, 32),
+        latency_hiding=(True, False),
+        frag_caching=(True, False),
+        register_policy=("stage-reuse", "naive"),
+        lds_head_steps=(None, 1, 2, 4),
+    )

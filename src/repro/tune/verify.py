@@ -1,0 +1,90 @@
+"""The bit-correctness gate: no candidate wins without proving its bits.
+
+A surviving search candidate claims to be a drop-in replacement for the
+static menu kernel, and the serving layer's contract is *bitwise*
+reproducibility — so the gate is bitwise too: the candidate kernel's
+product on seeded operands must equal the reference emulation's, byte
+for byte, before the candidate may be persisted to the tuning database.
+
+Performance-only axes (tiling, schedule, FRAG policy) pass trivially —
+they never touch :class:`~repro.emulation.gemm.EmulatedGemm`.  The
+functional axes do real work here: a scheme mutation (round-split vs
+truncate-split) changes the split bits and is rejected; a ``tk``
+cadence mutation changes the rounding points and is rejected *unless*
+the whole reduction provably fits one chunk under both cadences (then
+the sums coincide exactly and the gate passes it).  Two operand draws
+are checked — standard normal and a wide-exponent sample — so a
+cadence or split difference cannot hide behind benign magnitudes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.spec import GpuSpec
+from ..kernels.registry import get_kernel
+from ..obs.metrics import get_registry
+from .space import TuneCandidate
+
+__all__ = ["verify_bit_correct", "functional_identity"]
+
+#: registry name of the menu kernel the tuner currently targets
+TARGET_KERNEL = "egemm-tc"
+
+
+def functional_identity(candidate: TuneCandidate) -> dict:
+    """The numerics-determining part of a candidate (DB entry guard).
+
+    Stored with every tuning entry; the router refuses an entry whose
+    functional identity differs from its own static kernel's, so a
+    database written against one menu build can never silently change
+    the bits a later menu serves.
+    """
+    return {"scheme": candidate.scheme, "tk": candidate.tk}
+
+
+def _operand_draws(
+    shape: tuple[int, int, int], seed: int
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Deterministic operand pairs: standard-normal + wide-exponent."""
+    m, k, n = shape
+    rng = np.random.default_rng((seed, m, k, n))
+    normal = (
+        rng.standard_normal((m, k)).astype(np.float32),
+        rng.standard_normal((k, n)).astype(np.float32),
+    )
+    wide = (
+        (rng.standard_normal((m, k)) * np.exp2(rng.uniform(-12, 12, (m, k)))).astype(np.float32),
+        (rng.standard_normal((k, n)) * np.exp2(rng.uniform(-12, 12, (k, n)))).astype(np.float32),
+    )
+    return [normal, wide]
+
+
+def verify_bit_correct(
+    candidate: TuneCandidate,
+    shape: tuple[int, int, int],
+    spec: GpuSpec | None = None,
+    seed: int = 0,
+    kernel_name: str = TARGET_KERNEL,
+) -> bool:
+    """``True`` iff the candidate's product is bitwise the reference's.
+
+    The reference is the *static* registry kernel — the numerics the
+    router's menu serves today.  ``spec`` is accepted for signature
+    symmetry with the scorer but unused: correctness is device-free
+    (the functional path never consults the GPU model).
+    """
+    m, k, n = shape
+    reference = get_kernel(kernel_name)
+    tuned = candidate.build_kernel()
+    registry = get_registry()
+    for a, b in _operand_draws(shape, seed):
+        expect = reference.compute(a, b)
+        got = tuned.compute(a, b)
+        if expect.shape != got.shape or expect.tobytes() != got.tobytes():
+            if registry.enabled:
+                registry.inc("tune.verify.rejected")
+            return False
+    if registry.enabled:
+        registry.inc("tune.verify.passed")
+    return True

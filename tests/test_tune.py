@@ -1,0 +1,419 @@
+"""Tests for repro.tune: search space, strategies, the bit gate, the
+persisted database, and the router's tuned-pricing integration.
+
+The load-bearing invariants:
+
+* every enumerated candidate is a *legal* kernel configuration;
+* search strategies agree on the winner of a small space (the score is
+  a deterministic total order, so they must);
+* the bit-correctness gate rejects functional mutations (scheme, a
+  ``tk`` cadence that moves a rounding point) and passes candidates
+  that provably cannot change bits;
+* the database round-trips through JSON, degrades to empty on corrupt
+  input, and refuses stale entries;
+* attaching a database to a router changes *pricing only* — the bits a
+  decision produces are identical with and without it.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.gpu.spec import RTX6000, TESLA_T4
+from repro.kernels.registry import get_kernel
+from repro.perf.split_cache import SplitCache, default_maxsize
+from repro.serve.api import GemmRequest
+from repro.serve.router import PrecisionRouter
+from repro.tune import (
+    DB_SCHEMA,
+    SearchSpace,
+    TuneCandidate,
+    TuneEntry,
+    TuningDatabase,
+    exhaustive_search,
+    beam_search,
+    multistart_search,
+    quick_space,
+    search,
+    shape_bucket,
+    spec_fingerprint,
+    static_baseline,
+    validate_db_document,
+    verify_bit_correct,
+)
+from repro.tune.cli import main as tune_main
+from repro.tune.verify import functional_identity
+
+
+SHAPE = (32, 32, 32)
+
+
+def _tuned_db(tmp_path, shapes=(SHAPE,), spec=TESLA_T4):
+    """Run the real CLI pipeline into a temp database file."""
+    path = str(tmp_path / "TUNE_db.json")
+    shape_arg = ",".join("x".join(str(d) for d in s) for s in shapes)
+    assert tune_main(["--quick", "--db", path, "--shapes", shape_arg]) == 0
+    return path
+
+
+# -- space ---------------------------------------------------------------
+
+class TestSearchSpace:
+    def test_every_candidate_is_legal(self):
+        space = quick_space()
+        count = 0
+        for cand in space.candidates():
+            t = cand.tiling
+            assert t.bm % t.wm == 0 and t.bn % t.wn == 0
+            assert t.bk % t.wk == 0 and t.wk <= t.bk
+            assert t.warps_per_block <= space.max_warps
+            count += 1
+        assert 0 < count <= 4096
+
+    def test_neighbors_stay_inside_the_space(self):
+        space = quick_space()
+        cand = next(space.candidates())
+        for nb in space.neighbors(cand):
+            assert space.contains_tiling(nb.tiling)
+            assert nb.sort_key() != cand.sort_key()
+
+    def test_candidate_dict_round_trip(self):
+        space = quick_space()
+        for cand in space.candidates():
+            assert TuneCandidate.from_dict(cand.as_dict()) == cand
+
+    def test_random_draws_are_legal_and_seeded(self):
+        space = quick_space()
+        a = [space.random(np.random.default_rng(7)) for _ in range(5)]
+        b = [space.random(np.random.default_rng(7)) for _ in range(5)]
+        assert a == b
+        for cand in a:
+            assert space.contains_tiling(cand.tiling)
+
+
+# -- search --------------------------------------------------------------
+
+class TestSearch:
+    def test_exhaustive_beats_static_on_small_serving_shape(self):
+        base = static_baseline(SHAPE, TESLA_T4)
+        out = exhaustive_search(quick_space(), SHAPE, TESLA_T4, jobs=1)
+        assert out.best is not None
+        assert out.best.cycles < base.cycles
+
+    def test_beam_agrees_with_exhaustive_on_small_space(self):
+        space = quick_space()
+        ex = exhaustive_search(space, SHAPE, TESLA_T4, jobs=1)
+        bm = beam_search(space, SHAPE, TESLA_T4, jobs=1)
+        assert bm.best.candidate.sort_key() == ex.best.candidate.sort_key()
+        assert bm.best.cycles == ex.best.cycles
+        # beam must not have paid the full enumeration to get there
+        assert bm.evaluated < ex.evaluated
+
+    def test_multistart_matches_on_small_space(self):
+        space = quick_space()
+        ex = exhaustive_search(space, SHAPE, TESLA_T4, jobs=1)
+        ms = multistart_search(space, SHAPE, TESLA_T4, jobs=1, seed=3)
+        assert ms.best.cycles == ex.best.cycles
+
+    def test_parallel_evaluation_changes_nothing(self):
+        space = quick_space()
+        serial = exhaustive_search(space, SHAPE, TESLA_T4, jobs=1)
+        fanned = exhaustive_search(space, SHAPE, TESLA_T4, jobs=2)
+        assert serial.best.candidate == fanned.best.candidate
+
+    def test_exhaustive_refuses_oversized_spaces(self):
+        with pytest.raises(ValueError):
+            exhaustive_search(quick_space(), SHAPE, TESLA_T4, jobs=1, limit=3)
+
+    def test_ranking_is_admissible_and_sorted(self):
+        out = exhaustive_search(quick_space(), SHAPE, TESLA_T4, jobs=1)
+        budget = static_baseline(SHAPE, TESLA_T4).certified_bound
+        scores = [s.score() for s in out.ranked]
+        assert scores == sorted(scores)
+        assert all(s.certified_bound <= budget * (1 + 1e-12) for s in out.ranked)
+
+    def test_dispatcher_picks_exhaustive_for_small_spaces(self):
+        out = search(quick_space(), SHAPE, TESLA_T4, strategy="auto", jobs=1)
+        assert out.strategy == "exhaustive"
+
+
+# -- the bit gate --------------------------------------------------------
+
+class TestBitGate:
+    def test_tiling_only_candidates_pass(self):
+        out = exhaustive_search(quick_space(), SHAPE, TESLA_T4, jobs=1)
+        assert verify_bit_correct(out.best.candidate, SHAPE)
+
+    def test_scheme_mutation_is_rejected(self):
+        cand = TuneCandidate(
+            tiling=static_baseline(SHAPE, TESLA_T4).candidate.tiling,
+            scheme="markidis",
+        )
+        assert not verify_bit_correct(cand, SHAPE)
+
+    def test_tk_cadence_that_moves_a_rounding_point_is_rejected(self):
+        # k=32 with tk=8: four chunks instead of two -> the accumulator
+        # rounds at different points and some operand draw shows it.
+        cand = TuneCandidate(
+            tiling=static_baseline(SHAPE, TESLA_T4).candidate.tiling, tk=8
+        )
+        assert not verify_bit_correct(cand, SHAPE)
+
+    def test_equivalent_tk_cadence_passes(self):
+        # k=16 fits one chunk under tk=16 and tk=32 alike: the chunk
+        # sums coincide exactly, so the gate must pass the mutation.
+        shape = (16, 16, 16)
+        cand = TuneCandidate(
+            tiling=static_baseline(shape, TESLA_T4).candidate.tiling, tk=32
+        )
+        assert verify_bit_correct(cand, shape)
+
+
+# -- database ------------------------------------------------------------
+
+def _entry(spec=TESLA_T4, shape=SHAPE, **overrides) -> TuneEntry:
+    cand = TuneCandidate(tiling=static_baseline(shape, spec).candidate.tiling)
+    fields = dict(
+        kernel="egemm-tc",
+        spec_fingerprint=spec_fingerprint(spec),
+        spec_name=spec.name,
+        bucket=shape_bucket(shape),
+        shape=shape,
+        candidate=cand,
+        cycles=100.0,
+        seconds=1e-6,
+        static_cycles=200.0,
+        static_seconds=2e-6,
+        certified_bound=1e-6,
+        functional=functional_identity(cand),
+        verified_bit_correct=True,
+        strategy="exhaustive",
+        evaluated=10,
+    )
+    fields.update(overrides)
+    return TuneEntry(**fields)
+
+
+class TestDatabase:
+    def test_round_trip_preserves_entries(self, tmp_path):
+        path = str(tmp_path / "db.json")
+        db = TuningDatabase()
+        db.put(_entry())
+        db.save(path)
+        loaded = TuningDatabase.load(path)
+        assert loaded.entries == db.entries
+        assert not loaded.problems
+        doc = json.load(open(path))
+        assert doc["schema"] == DB_SCHEMA
+        assert validate_db_document(doc) == []
+
+    def test_corrupt_file_degrades_to_empty(self, tmp_path):
+        path = str(tmp_path / "db.json")
+        with open(path, "w") as fh:
+            fh.write("{ not json")
+        db = TuningDatabase.load(path)
+        assert len(db) == 0
+        assert db.problems
+        assert db.counters["corrupt_loads"] == 1
+        # a router on a corrupt database keeps serving statically
+        router = PrecisionRouter(spec=TESLA_T4, tuning_db=db)
+        seconds = router.seconds_for("egemm-tc", SHAPE)
+        assert seconds == PrecisionRouter(spec=TESLA_T4).seconds_for("egemm-tc", SHAPE)
+        assert router.tuned_misses == 1
+
+    def test_wrong_schema_is_ignored(self, tmp_path):
+        path = str(tmp_path / "db.json")
+        with open(path, "w") as fh:
+            json.dump({"schema": "something/else", "entries": {}}, fh)
+        db = TuningDatabase.load(path)
+        assert len(db) == 0 and db.problems
+
+    def test_stale_fingerprint_is_a_miss(self):
+        # An entry tuned under different simulator constants keys under
+        # its own fingerprint: the lookup misses, never mispricing.
+        db = TuningDatabase()
+        db.put(_entry(spec_fingerprint="feedfacefeedface"))
+        assert db.lookup(TESLA_T4, "egemm-tc", SHAPE) is None
+        assert db.counters["misses"] == 1
+        assert db.counters["hits"] == 0
+
+    def test_rekeyed_stale_entry_falls_back(self):
+        # A tampered file can key a stale entry under the live
+        # fingerprint; the lookup guard re-checks the stored one.
+        db = TuningDatabase()
+        entry = _entry(spec_fingerprint="feedfacefeedface")
+        db.entries[f"{spec_fingerprint(TESLA_T4)}/{entry.bucket}/{entry.kernel}"] = entry
+        assert db.lookup(TESLA_T4, "egemm-tc", SHAPE) is None
+        assert db.counters["fallbacks"] == 1
+        assert db.counters["hits"] == 0
+
+    def test_unverified_entry_falls_back(self):
+        db = TuningDatabase()
+        db.put(_entry(verified_bit_correct=False))
+        assert db.lookup(TESLA_T4, "egemm-tc", SHAPE) is None
+        assert db.counters["fallbacks"] == 1
+
+    def test_lookup_covers_the_whole_bucket(self):
+        db = TuningDatabase()
+        db.put(_entry())
+        assert db.lookup(TESLA_T4, "egemm-tc", (31, 30, 29)) is not None
+        assert db.lookup(TESLA_T4, "egemm-tc", (64, 32, 32)) is None  # other bucket
+
+    def test_validate_flags_broken_entries(self):
+        entry = _entry(cycles=300.0)  # not below static_cycles=200
+        doc = {"schema": DB_SCHEMA, "entries": {entry.key: entry.to_json()}}
+        assert any("strictly below" in p for p in validate_db_document(doc))
+
+    def test_fingerprint_distinguishes_specs(self):
+        assert spec_fingerprint(TESLA_T4) != spec_fingerprint(RTX6000)
+        assert spec_fingerprint(TESLA_T4) == spec_fingerprint(TESLA_T4)
+
+    def test_shape_bucket_rounds_up_to_pow2(self):
+        assert shape_bucket((32, 32, 32)) == "32x32x32"
+        assert shape_bucket((33, 32, 100)) == "64x32x128"
+        assert shape_bucket((1, 1, 1)) == "1x1x1"
+
+
+# -- router integration --------------------------------------------------
+
+class TestRouterIntegration:
+    def test_tuned_pricing_is_cheaper_and_counted(self, tmp_path):
+        path = _tuned_db(tmp_path)
+        db = TuningDatabase.load(path)
+        tuned = PrecisionRouter(spec=TESLA_T4, tuning_db=db)
+        static = PrecisionRouter(spec=TESLA_T4)
+        assert tuned.seconds_for("egemm-tc", SHAPE) < static.seconds_for("egemm-tc", SHAPE)
+        assert tuned.tuned_hits == 1
+        stats = tuned.stats()
+        assert stats["tuned_hits"] == 1 and stats["tuned_entries"] == 1
+
+    def test_static_router_stats_carry_no_tuned_keys(self):
+        stats = PrecisionRouter(spec=TESLA_T4).stats()
+        assert not any(key.startswith("tuned") for key in stats)
+
+    def test_functional_identity_guard_refuses_mismatched_entries(self):
+        db = TuningDatabase()
+        db.put(_entry(functional={"scheme": "markidis", "tk": 16}))
+        router = PrecisionRouter(spec=TESLA_T4, tuning_db=db)
+        static = PrecisionRouter(spec=TESLA_T4)
+        assert router.seconds_for("egemm-tc", SHAPE) == static.seconds_for("egemm-tc", SHAPE)
+        assert router.tuned_fallbacks == 1 and router.tuned_hits == 0
+
+    def test_bit_identity_with_and_without_db(self, tmp_path):
+        """Property: for identical winning kernels, a tuned router's
+        decision produces byte-identical results to a static router's —
+        the database shapes pricing, never execution."""
+        path = _tuned_db(tmp_path)
+        db = TuningDatabase.load(path)
+        tuned = PrecisionRouter(spec=TESLA_T4, tuning_db=db)
+        static = PrecisionRouter(spec=TESLA_T4)
+        rng = np.random.default_rng(11)
+        checked = 0
+        for slo in (1e-3, 1e-4, 1e-5):
+            for m, k, n in ((32, 32, 32), (31, 17, 29), (64, 32, 64)):
+                a = rng.standard_normal((m, k)).astype(np.float32)
+                b = rng.standard_normal((k, n)).astype(np.float32)
+                req_t = GemmRequest(a=a, b=b, max_rel_error=slo)
+                req_s = GemmRequest(a=a, b=b, max_rel_error=slo)
+                d_t = tuned.route(req_t)
+                d_s = static.route(req_s)
+                if d_t.kernel != d_s.kernel:
+                    continue
+                out_t = tuned.kernels[d_t.kernel].compute(a, b)
+                out_s = static.kernels[d_s.kernel].compute(a, b)
+                assert out_t.tobytes() == out_s.tobytes()
+                checked += 1
+        assert checked > 0
+
+    def test_degenerate_shapes_skip_the_db(self, tmp_path):
+        db = TuningDatabase.load(_tuned_db(tmp_path))
+        router = PrecisionRouter(spec=TESLA_T4, tuning_db=db)
+        assert router.seconds_for("egemm-tc", (0, 32, 32)) > 0
+        assert router.tuned_hits == 0 and router.tuned_misses == 0
+
+
+# -- CLI -----------------------------------------------------------------
+
+class TestCli:
+    def test_quick_check_improves_at_least_two_buckets(self, tmp_path):
+        path = str(tmp_path / "TUNE_db.json")
+        assert tune_main(["--quick", "--check", "--db", path]) == 0
+        doc = json.load(open(path))
+        assert validate_db_document(doc) == []
+        fp = spec_fingerprint(TESLA_T4)
+        entries = [
+            TuneEntry.from_json(raw) for raw in doc["entries"].values()
+        ]
+        improved = [e for e in entries if e.spec_fingerprint == fp
+                    and e.cycles < e.static_cycles]
+        assert len(improved) >= 2
+        assert all(e.verified_bit_correct for e in improved)
+
+    def test_rerun_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "TUNE_db.json")
+        shapes = ["--shapes", "32x32x32,64x32x64"]
+        assert tune_main(["--quick", "--db", path] + shapes) == 0
+        first = open(path).read()
+        assert tune_main(["--quick", "--db", path] + shapes) == 0
+        assert open(path).read() == first
+
+    def test_check_fails_on_a_corrupted_database(self, tmp_path):
+        path = str(tmp_path / "TUNE_db.json")
+        assert tune_main(["--quick", "--db", path, "--shapes", "32x32x32"]) == 0
+        doc = json.load(open(path))
+        for raw in doc["entries"].values():
+            raw["cycles"] = raw["static_cycles"] + 1.0
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        from repro.tune.cli import check_database
+
+        problems = check_database(path, TESLA_T4, [SHAPE], echo=lambda *_: None)
+        assert problems
+
+
+# -- split-cache default sizing (satellite) ------------------------------
+
+class TestSplitCacheDefault:
+    def test_default_comes_from_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SPLITCACHE_SIZE", raising=False)
+        assert SplitCache().maxsize == 64
+        monkeypatch.setenv("REPRO_SPLITCACHE_SIZE", "9")
+        assert SplitCache().maxsize == 9
+        assert default_maxsize() == 9
+        monkeypatch.setenv("REPRO_SPLITCACHE_SIZE", "not-a-number")
+        assert SplitCache().maxsize == 64
+        monkeypatch.setenv("REPRO_SPLITCACHE_SIZE", "-3")
+        assert SplitCache().maxsize == 64
+
+    def test_explicit_maxsize_still_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPLITCACHE_SIZE", "9")
+        assert SplitCache(maxsize=3).maxsize == 3
+
+    def test_steady_state_hit_rate_on_the_serving_mix(self, monkeypatch):
+        """The cold default must hold the serving working set: iterating
+        the five-bucket shape mix with stationary operands, the second
+        and later passes hit on every operand (only the first pass
+        misses), pinning the steady-state rate at exactly 9/10."""
+        monkeypatch.delenv("REPRO_SPLITCACHE_SIZE", raising=False)
+        kernel = get_kernel("egemm-tc")
+        rng = np.random.default_rng(0)
+        shapes = ((32, 32, 32), (64, 32, 64), (16, 64, 16),
+                  (128, 32, 128), (192, 32, 192))
+        operands = []
+        for m, k, n in shapes:
+            a = rng.standard_normal((m, k)).astype(np.float32)
+            b = rng.standard_normal((k, n)).astype(np.float32)
+            a.flags.writeable = False
+            b.flags.writeable = False
+            operands.append((a, b))
+        passes = 5
+        for _ in range(passes):
+            for a, b in operands:
+                kernel.compute(a, b)
+        stats = kernel.split_cache.stats
+        assert stats.evictions == 0
+        total = stats.hits + stats.misses
+        assert stats.misses == 2 * len(shapes)
+        assert stats.hits / total == pytest.approx(1 - 1 / passes)
