@@ -25,6 +25,12 @@ Usage::
                                          # autotune kernel configs -> TUNE_db.json
     python -m repro metrics [SNAPSHOT.json]
                                          # registry snapshot in OpenMetrics text
+    python -m repro latency [--quick] [--check] [--seed N]
+                                         # exact per-request latency attribution
+                                         # + critical path -> LATENCY_report.json
+    python -m repro whatif [--quick] [--scenarios exec:0.8,...]
+                                         # Coz-style what-if speedup predictions
+                                         # validated vs re-runs -> WHATIF_report.json
     python -m repro profile <kernel> --shape MxNxK [--trace out.json]
                                          # per-kernel profile report + trace
 """
@@ -115,6 +121,14 @@ def main(argv: list[str] | None = None) -> int:
         from .obs.profile import main as profile_main
 
         return profile_main(args[1:])
+    if args and args[0] == "latency":
+        from .obs.latency import main as latency_main
+
+        return latency_main(args[1:])
+    if args and args[0] == "whatif":
+        from .obs.latency import whatif_main
+
+        return whatif_main(args[1:])
     names = args or list(_DEFAULT_ORDER)
     unknown = [n for n in names if n not in _EXPERIMENTS]
     if unknown:

@@ -3,11 +3,12 @@
 ``BENCH_perf.json`` is a single overwritten snapshot — a perf regression
 ships silently because nothing remembers what last week's numbers were.
 This module turns every measured run (``python -m repro bench`` /
-``serve`` / ``faults``) into one **schema-versioned JSONL record**
+``serve`` / ``faults`` / ``latency``) into one **schema-versioned JSONL record**
 appended to ``BENCH_history.jsonl``, and implements the run-over-run
 verdict logic behind ``python -m repro bench --check``:
 
-* each record carries a ``kind`` (``bench``/``serve``/``faults``), the
+* each record carries a ``kind`` (``bench``/``serve``/``faults``/
+  ``latency``), the
   ``quick`` flag (quick and full runs are separate series — their
   shapes differ), a flat ``metrics`` map, and the reproducibility
   manifest (:func:`repro.obs.export.run_manifest`);

@@ -78,6 +78,10 @@ EVENT_KINDS: dict[str, tuple[str, ...]] = {
     # request per kernel so the postmortem CLI can reconstruct it.
     "bound_violation": ("request_id", "kernel", "observed", "certified"),
     "accuracy_exemplar": ("request_id", "kernel", "observed", "certified", "ratio"),
+    # latency-attribution vocabulary (repro.obs.latency): the exact
+    # per-component decomposition of a worst-p99 exemplar request's
+    # end-to-end virtual latency, appended by ``python -m repro latency``
+    "latency_breakdown": ("request_id", "components", "latency_s"),
 }
 
 
@@ -302,6 +306,13 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     lifecycle = reconstruct_lifecycle(records, args.request_id)
     print(format_lifecycle(lifecycle))
+    if lifecycle["events"]:
+        from .latency import breakdown_from_flight, format_breakdown
+
+        breakdown = breakdown_from_flight(records, args.request_id)
+        if breakdown is not None:
+            print()
+            print(format_breakdown(args.request_id, *breakdown))
     return 0 if lifecycle["events"] else 2
 
 

@@ -1,0 +1,1180 @@
+"""Latency attribution: exact breakdowns, critical path, what-if engine.
+
+The raw-speed work stalled because nothing in the stack could say
+*where* a request's end-to-end time goes — the batching window, device
+queueing, retry backoff, or the modelled kernel execution itself.  This
+module closes that gap with three analyses layered on the telemetry the
+serving engine already emits (ServeObserver lifecycle spans, the flight
+recorder, and the SoA request table):
+
+* **per-request breakdown** (:func:`exact_breakdown`) — every terminal
+  response's virtual latency decomposed into disjoint, non-negative
+  components (admission, batching window, queue wait, retry backoff,
+  execution, hedge overlap, deferred flush) that sum **exactly** — no
+  tolerance — to ``response.latency_s``.  Exactness is achievable
+  because the service runs on a virtual clock: every boundary timestamp
+  is a float64 the engine itself computed, each converts *exactly* to a
+  :class:`fractions.Fraction`, the component differences telescope to
+  ``F(terminal) - F(submitted)``, and ``float()`` of that rational is
+  correctly rounded — the same rounding IEEE-754 applied when the
+  engine computed ``latency_s = now - submitted_at``;
+* **critical-path analysis** (:func:`critical_path_report`) — a
+  backward walk over the discrete-event dependency graph (request →
+  batch → device occupancy → completion, through retries, hedges and
+  requeues) yielding the top-k longest chains and each component's
+  share of total critical-path time — the ranking that says which
+  stage to optimize first;
+* **what-if engine** (:func:`run_whatif`, ``python -m repro whatif``) —
+  Coz-style causal profiling: the seed-0 run is replayed through the
+  *real* event loop with one component virtually scaled
+  (``exec:0.8`` = execution 20% faster, ``window:0.5`` = batching
+  window halved, ``queue:2`` = device queue depth doubled) but with the
+  kernel math skipped (``GemmService(skip_math=True)`` — legal because
+  the defer-math design already proves results never influence virtual
+  timing).  Each prediction is then **validated** against an actual
+  full re-run with the same scaled config: completed counts must match
+  exactly and throughput within 5%.
+
+A wall-clock :class:`PhaseSampler` rides the load test and attributes
+*real* time to pipeline phases (event loop, batching, routing, kernel
+math, observability) by sampling the main thread's stack — the
+machine-dependent, informational counterpart of the virtual breakdown,
+feeding ``BENCH_history.jsonl``.
+
+EGEMM-TC's own speed comes from knowing which pipeline stage dominates
+and overlapping it (§5.1); this module is that methodology applied to
+the serving stack itself.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
+from typing import Iterable
+
+__all__ = [
+    "LATENCY_SCHEMA",
+    "WHATIF_SCHEMA",
+    "COMPONENTS",
+    "BatchTimeline",
+    "RequestTimeline",
+    "timelines_from_observer",
+    "timelines_from_flight",
+    "exact_breakdown",
+    "verify_breakdown",
+    "format_breakdown",
+    "breakdown_from_flight",
+    "critical_path_report",
+    "component_registry",
+    "inflight_snapshot",
+    "PhaseSampler",
+    "validate_latency_report",
+    "run_whatif",
+    "validate_whatif_report",
+    "main",
+    "whatif_main",
+]
+
+#: latency-report schema identifier, bumped on breaking field changes
+LATENCY_SCHEMA = "repro.obs.latency/1"
+#: what-if report schema identifier
+WHATIF_SCHEMA = "repro.obs.whatif/1"
+
+#: the disjoint components of one request's end-to-end virtual latency,
+#: in lifecycle order.  ``deferred_flush`` is structurally zero on the
+#: virtual clock (deferred math materializes after the event loop
+#: drains without advancing any latency) — it is carried so the
+#: vocabulary matches the engine's full pipeline and a future
+#: flush-on-clock design lands without a schema bump.
+COMPONENTS = (
+    "admission",
+    "batching_window",
+    "queue_wait",
+    "retry_backoff",
+    "execution",
+    "hedge_overlap",
+    "deferred_flush",
+)
+
+#: critical-path segment vocabulary: the breakdown components that can
+#: sit on a chain, plus cross-request device occupancy
+CP_COMPONENTS = (
+    "batch_window",
+    "queue_wait",
+    "retry_backoff",
+    "device_contention",
+    "execution",
+)
+
+
+# -- timeline reconstruction ----------------------------------------------
+@dataclass
+class BatchTimeline:
+    """One batch's event history, from either observer or flight log."""
+
+    batch_id: int
+    #: virtual arrival of the oldest member (the window anchor)
+    created_at: float
+    #: virtual instant the batch was formed (left the batcher)
+    formed_at: float
+    request_ids: tuple[int, ...] = ()
+    #: ``(t, device)`` per dispatch (requeues redispatch)
+    dispatches: list = field(default_factory=list)
+    #: ``(start, end, device)`` per device execution (hedges add copies)
+    execs: list = field(default_factory=list)
+    #: ``(t, delay_s)`` per retry backoff
+    retries: list = field(default_factory=list)
+    #: ``(t, device)`` per hedged duplicate launch
+    hedges: list = field(default_factory=list)
+    #: ``(t, device)`` per requeue after a device crash
+    requeues: list = field(default_factory=list)
+
+
+@dataclass
+class RequestTimeline:
+    """One request's lifecycle boundaries (virtual clock)."""
+
+    request_id: int
+    submitted_at: float
+    routed_at: float | None
+    terminal_at: float
+    status: str
+    latency_s: float
+    #: executing device of the terminal response (None for non-complete)
+    device: str | None
+    batch: BatchTimeline | None
+
+
+def timelines_from_observer(observer) -> dict[int, RequestTimeline]:
+    """Rebuild per-request timelines from a ServeObserver's tables."""
+    batches: dict[int, BatchTimeline] = {}
+    for batch_id, entry in observer.batches.items():
+        batches[batch_id] = BatchTimeline(
+            batch_id=batch_id,
+            created_at=entry["formed_at"],
+            formed_at=entry.get("dispatched_at", entry["formed_at"]),
+            request_ids=tuple(entry["request_ids"]),
+            dispatches=list(entry.get("dispatches", ())),
+            execs=list(entry.get("execs", ())),
+            retries=list(entry.get("retries", ())),
+            hedges=list(entry.get("hedges", ())),
+            requeues=list(entry.get("requeues", ())),
+        )
+    timelines: dict[int, RequestTimeline] = {}
+    for rid, terminal in observer.terminals.items():
+        admit = observer.admits.get(rid)
+        if admit is None:
+            continue
+        route = observer.routes.get(rid)
+        batch_id = observer.request_batch.get(rid)
+        timelines[rid] = RequestTimeline(
+            request_id=rid,
+            submitted_at=admit["t"],
+            routed_at=route["t"] if route is not None else None,
+            terminal_at=terminal["t"],
+            status=terminal["status"],
+            latency_s=terminal["latency_s"],
+            device=terminal.get("device"),
+            batch=batches.get(batch_id) if batch_id is not None else None,
+        )
+    return timelines
+
+
+_TERMINAL_KINDS = {
+    "complete": "completed",
+    "expire": "expired",
+    "failed": "failed",
+    "reject": "rejected",
+}
+
+
+def timelines_from_flight(records: Iterable[dict]) -> dict[int, RequestTimeline]:
+    """Rebuild timelines from a dumped flight log (postmortem input).
+
+    Reconstructs the same boundaries as :func:`timelines_from_observer`
+    for every request whose admission survived the ring bound; the
+    terminal latency is the engine's own IEEE difference, so breakdowns
+    from a flight log verify exactly too.
+    """
+    batches: dict[int, BatchTimeline] = {}
+    submitted: dict[int, float] = {}
+    routed: dict[int, float] = {}
+    request_batch: dict[int, int] = {}
+    terminals: dict[int, dict] = {}
+    for event in records:
+        kind = event.get("kind")
+        if kind == "admit":
+            submitted[event["request_id"]] = event["t"]
+        elif kind == "route":
+            routed[event["request_id"]] = event["t"]
+        elif kind == "batch_form":
+            bid = event["batch_id"]
+            batches.setdefault(bid, BatchTimeline(
+                batch_id=bid,
+                created_at=event["created_at"],
+                formed_at=event["t"],
+                request_ids=tuple(event["request_ids"]),
+            ))
+            for rid in event["request_ids"]:
+                request_batch[rid] = bid
+        elif kind in ("dispatch", "exec", "retry", "hedge", "requeue"):
+            batch = batches.get(event["batch_id"])
+            if batch is None:
+                continue
+            if kind == "dispatch":
+                batch.dispatches.append((event["t"], event["device"]))
+            elif kind == "exec":
+                batch.execs.append(
+                    (event["start"], event["end"], event["device"])
+                )
+            elif kind == "retry":
+                batch.retries.append((event["t"], event["delay_s"]))
+            elif kind == "hedge":
+                batch.hedges.append((event["t"], event["device"]))
+            else:
+                batch.requeues.append((event["t"], event["device"]))
+        elif kind in _TERMINAL_KINDS:
+            terminals[event["request_id"]] = event
+    timelines: dict[int, RequestTimeline] = {}
+    for rid, event in terminals.items():
+        if rid not in submitted:
+            continue
+        status = _TERMINAL_KINDS[event["kind"]]
+        latency = event.get("latency_s")
+        if latency is None:
+            # expire/reject/failed events do not carry latency_s in the
+            # log; the engine computed it as the same IEEE difference
+            latency = event["t"] - submitted[rid]
+        timelines[rid] = RequestTimeline(
+            request_id=rid,
+            submitted_at=submitted[rid],
+            routed_at=routed.get(rid),
+            terminal_at=event["t"],
+            status=status,
+            latency_s=latency,
+            device=event.get("device"),
+            batch=batches.get(request_batch.get(rid)),
+        )
+    return timelines
+
+
+# -- exact breakdown ------------------------------------------------------
+def _merge_clip(
+    intervals: Iterable[tuple[Fraction, Fraction]],
+    lo: Fraction,
+    hi: Fraction,
+) -> Fraction:
+    """Total measure of ``intervals`` clipped to ``[lo, hi]``, overlaps
+    merged — so the result can never exceed ``hi - lo``."""
+    clipped = []
+    for start, end in intervals:
+        start, end = max(start, lo), min(end, hi)
+        if end > start:
+            clipped.append((start, end))
+    clipped.sort()
+    total = Fraction(0)
+    cursor = lo
+    for start, end in clipped:
+        start = max(start, cursor)
+        if end > start:
+            total += end - start
+            cursor = end
+    return total
+
+
+def _winning_exec(tl: RequestTimeline):
+    """The device execution that resolved a completed request.
+
+    Under hedging a batch has several execution copies; the winner is
+    the copy on the response's own device whose start precedes the
+    terminal instant (last such copy — a crash-aborted attempt on the
+    same device is superseded by its requeue's execution).
+    """
+    if tl.batch is None or tl.status != "completed":
+        return None
+    candidates = [
+        e for e in tl.batch.execs
+        if e[0] <= tl.terminal_at and (tl.device is None or e[2] == tl.device)
+    ]
+    if not candidates:
+        candidates = [e for e in tl.batch.execs if e[0] <= tl.terminal_at]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda e: (e[0], e[1]))
+
+
+def exact_breakdown(tl: RequestTimeline) -> dict[str, Fraction]:
+    """Decompose one terminal request's latency into exact components.
+
+    Every boundary is clamped into ``[submitted, terminal]`` and the
+    components are constructed as telescoping Fraction differences, so
+    they are disjoint, non-negative, and sum to exactly
+    ``F(terminal_at) - F(submitted_at)`` — whose ``float()`` equals the
+    engine's own ``latency_s`` (both are the correctly rounded value of
+    the same real difference).
+    """
+    t0 = Fraction(tl.submitted_at)
+    t_end = Fraction(tl.terminal_at)
+
+    def clamp(x: float) -> Fraction:
+        return min(max(Fraction(x), t0), t_end)
+
+    t_route = clamp(tl.routed_at) if tl.routed_at is not None else t0
+    batch = tl.batch
+    t_form = max(clamp(batch.formed_at), t_route) if batch is not None else t_end
+    win = _winning_exec(tl)
+    t_exec = max(clamp(win[0]), t_form) if win is not None else t_end
+
+    retry_backoff = Fraction(0)
+    hedge_overlap = Fraction(0)
+    if batch is not None:
+        retry_backoff = _merge_clip(
+            ((Fraction(t), Fraction(t) + Fraction(d)) for t, d in batch.retries),
+            t_form, t_exec,
+        )
+        if win is not None and len(batch.execs) > 1:
+            # losing copies (hedge losers, crash-aborted attempts)
+            # overlapping the winner's window: time the request was
+            # covered by redundant execution rather than the winner alone
+            hedge_overlap = _merge_clip(
+                ((Fraction(s), Fraction(e)) for s, e, _ in batch.execs
+                 if (s, e) != (win[0], win[1])),
+                t_exec, t_end,
+            )
+    return {
+        "admission": t_route - t0,
+        "batching_window": t_form - t_route,
+        "queue_wait": (t_exec - t_form) - retry_backoff,
+        "retry_backoff": retry_backoff,
+        "execution": (t_end - t_exec) - hedge_overlap,
+        "hedge_overlap": hedge_overlap,
+        "deferred_flush": Fraction(0),
+    }
+
+
+def verify_breakdown(components: dict[str, Fraction], tl: RequestTimeline) -> bool:
+    """The exactness invariant: disjoint, non-negative, sums to latency.
+
+    ``==`` throughout — no tolerance.  This is the property CI and the
+    hypothesis suite hold every terminal request to, chaos runs
+    included.
+    """
+    total = sum(components.values(), Fraction(0))
+    return (
+        all(v >= 0 for v in components.values())
+        and total == Fraction(tl.terminal_at) - Fraction(tl.submitted_at)
+        and float(total) == tl.latency_s
+    )
+
+
+def format_breakdown(
+    request_id: int, components: dict[str, Fraction], tl: RequestTimeline
+) -> str:
+    """Byte-deterministic breakdown table (postmortem / exemplar print)."""
+    total = sum(components.values(), Fraction(0))
+    lines = [
+        f"latency breakdown for request {request_id} "
+        f"({tl.status}, {float(total) * 1e6:.3f} us end-to-end, "
+        f"exact={verify_breakdown(components, tl)}):"
+    ]
+    for name in COMPONENTS:
+        value = components[name]
+        share = float(value / total) if total else 0.0
+        lines.append(f"  {name:<16s} {float(value) * 1e6:12.3f} us  {share:6.1%}")
+    lines.append(f"  {'total (exact)':<16s} {float(total) * 1e6:12.3f} us  "
+                 f"{1.0 if total else 0.0:6.1%}")
+    return "\n".join(lines)
+
+
+def breakdown_from_flight(records: Iterable[dict], request_id: int):
+    """Breakdown of one request from a dumped flight log.
+
+    Returns ``(components, timeline)`` or None when the log holds no
+    terminal event for the request (still in flight, or fell off the
+    ring).  Powers ``python -m repro postmortem``.
+    """
+    timelines = timelines_from_flight(records)
+    tl = timelines.get(request_id)
+    if tl is None:
+        return None
+    return exact_breakdown(tl), tl
+
+
+# -- critical path --------------------------------------------------------
+def critical_path_report(
+    timelines: dict[int, RequestTimeline],
+    top_k: int = 5,
+    depth_limit: int = 128,
+) -> dict:
+    """Top-k critical chains and per-component critical-path share.
+
+    For each completed request the chain is walked *backward* from its
+    terminal: through its winning execution, then through the unbroken
+    run of predecessor executions on the same device (the engine starts
+    a batch at ``max(now, device.busy_until)``, so back-to-back
+    executions share an exact float boundary — device contention), and
+    finally through the front batch's queue/backoff and batching
+    window.  The chain's root is the front batch's oldest-member
+    arrival; its span is what the completed request *experienced* as
+    unavoidable serial time.  Deterministic: all inputs are seeded
+    virtual timestamps and iteration is sorted, so the report is
+    byte-stable for a fixed seed.
+    """
+    batches: dict[int, BatchTimeline] = {}
+    for tl in timelines.values():
+        if tl.batch is not None:
+            batches[tl.batch.batch_id] = tl.batch
+    # device -> exec end -> (exec start, batch_id): the contention join
+    # (an execution whose start equals a predecessor's end waited on it)
+    end_index: dict[str, dict[float, tuple[float, int]]] = {}
+    for bid in sorted(batches):
+        for start, end, device in batches[bid].execs:
+            end_index.setdefault(device, {})[end] = (start, bid)
+
+    chains = []
+    totals = {name: 0.0 for name in CP_COMPONENTS}
+    for rid in sorted(timelines):
+        tl = timelines[rid]
+        if tl.status != "completed" or tl.batch is None:
+            continue
+        win = _winning_exec(tl)
+        if win is None:
+            continue
+        # backward segments: (name, start, end), built terminal-first
+        segments = [("execution", win[0], tl.terminal_at)]
+        cursor, device, front_bid = win[0], win[2], tl.batch.batch_id
+        for _ in range(depth_limit):
+            pred = end_index.get(device, {}).get(cursor)
+            if pred is None or pred[0] >= cursor:
+                break
+            segments.append(("device_contention", pred[0], cursor))
+            cursor, front_bid = pred
+        front = batches.get(front_bid, tl.batch)
+        # decompose [front formation, chain's first execution] into
+        # queue wait interleaved with the front batch's retry backoffs
+        lo, hi = front.formed_at, cursor
+        if hi > lo:
+            marks = []
+            for t, d in front.retries:
+                s, e = max(t, lo), min(t + d, hi)
+                if e > s:
+                    marks.append((s, e))
+            marks.sort()
+            at = lo
+            backward: list[tuple[str, float, float]] = []
+            for s, e in marks:
+                s = max(s, at)
+                if s > at:
+                    backward.append(("queue_wait", at, s))
+                if e > s:
+                    backward.append(("retry_backoff", s, e))
+                at = max(at, e)
+            if hi > at:
+                backward.append(("queue_wait", at, hi))
+            segments.extend(reversed(backward))
+        if front.formed_at > front.created_at:
+            segments.append(("batch_window", front.created_at, front.formed_at))
+        segments = [(n, s, e) for n, s, e in segments if e > s]
+        segments.reverse()
+        root = min(front.created_at, win[0])
+        span = tl.terminal_at - root
+        for name, s, e in segments:
+            totals[name] += e - s
+        chains.append({
+            "request_id": rid,
+            "span_s": span,
+            "root_t": root,
+            "terminal_t": tl.terminal_at,
+            "segments": [
+                {"component": n, "start": s, "end": e, "duration_s": e - s}
+                for n, s, e in segments
+            ],
+        })
+
+    chains.sort(key=lambda c: (-c["span_s"], c["request_id"]))
+    grand = sum(totals.values())
+    share = {
+        name: (totals[name] / grand if grand else 0.0) for name in CP_COMPONENTS
+    }
+    top_component = max(CP_COMPONENTS, key=lambda n: (share[n], n))
+    return {
+        "completed_chains": len(chains),
+        "chains": chains[:top_k],
+        "component_totals_s": totals,
+        "component_share": share,
+        "top_component": top_component,
+        "top_share": share[top_component],
+    }
+
+
+# -- per-SLO-tier component histograms ------------------------------------
+def _slo_tier(max_rel_error: float) -> str:
+    """Bucket an accuracy SLO into a decade-named tier label.
+
+    ``m``/``p`` encode the exponent sign (``slo_1em02`` = 1e-2) so the
+    label survives OpenMetrics name sanitization, which only admits
+    word characters.
+    """
+    if not max_rel_error or max_rel_error <= 0.0:
+        return "slo_none"
+    exponent = int(math.floor(math.log10(max_rel_error)))
+    sign = "m" if exponent < 0 else "p"
+    return f"slo_1e{sign}{abs(exponent):02d}"
+
+
+def component_registry(observer, breakdowns: dict[int, dict]) -> "object":
+    """A standalone registry holding per-component latency histograms.
+
+    One histogram per ``(SLO tier, component)`` pair, named
+    ``serve.latency.component.<tier>.<component>`` — exported through
+    ``python -m repro metrics`` (OpenMetrics) from the report's
+    ``metrics`` block, and round-trippable via
+    :func:`repro.obs.export.parse_openmetrics`.
+    """
+    from .metrics import MetricsRegistry
+
+    registry = MetricsRegistry(enabled=True)
+    for rid in sorted(breakdowns):
+        admit = observer.admits.get(rid)
+        tier = _slo_tier(admit["max_rel_error"]) if admit else "slo_none"
+        for name in COMPONENTS:
+            registry.observe(
+                f"serve.latency.component.{tier}.{name}",
+                float(breakdowns[rid][name]),
+            )
+    return registry
+
+
+# -- live in-flight decomposition (SoA columns) ---------------------------
+def inflight_snapshot(service) -> dict:
+    """Decompose the *live* in-flight population's accumulated wait.
+
+    Reads the SoA request table directly: a QUEUED slot's whole age is
+    batching-window time; a BATCHED/EXECUTING slot splits at its
+    ``batched_at`` stamp.  Diagnostic view over a running service — the
+    terminal breakdowns above are the exact accounting.
+    """
+    import numpy as np
+
+    from ..serve.soa import RequestState
+
+    table = service.table
+    now = service.now
+    states = table.state
+    queued = states == RequestState.QUEUED
+    formed = (states == RequestState.BATCHED) | (states == RequestState.EXECUTING)
+    window_s = float(np.sum(now - table.submitted_at[queued]))
+    batched_at = table.batched_at[formed]
+    submitted = table.submitted_at[formed]
+    split = np.where(np.isnan(batched_at), now, batched_at)
+    window_s += float(np.sum(split - submitted))
+    post_batch_s = float(np.sum(now - split))
+    return {
+        "t": now,
+        "in_flight": int(np.count_nonzero(queued) + np.count_nonzero(formed)),
+        "queued": int(np.count_nonzero(queued)),
+        "batched": int(np.count_nonzero(states == RequestState.BATCHED)),
+        "executing": int(np.count_nonzero(states == RequestState.EXECUTING)),
+        "components": {
+            "batching_window": window_s,
+            "post_batch": post_batch_s,
+        },
+    }
+
+
+# -- wall-clock phase sampling --------------------------------------------
+#: innermost-first module-path patterns -> phase label
+_PHASE_PATTERNS = (
+    ("emulation", "kernel_math"),
+    ("/fp/", "kernel_math"),
+    ("serve/batcher.py", "batching"),
+    ("serve/soa.py", "batching"),
+    ("serve/router.py", "routing"),
+    ("serve/service.py", "event_loop"),
+    ("/obs/", "observability"),
+)
+
+
+class PhaseSampler:
+    """Wall-clock stack sampler attributing real time to pipeline phases.
+
+    A daemon thread samples the instrumented thread's stack every
+    ``interval_s`` via ``sys._current_frames()`` and classifies the
+    innermost matching frame by module path.  Machine-dependent and
+    informational (history metrics carry ``gate=False``) — the virtual
+    breakdown above is the deterministic accounting; this answers the
+    separate question "where does the *wall* time of the load test go".
+    """
+
+    def __init__(self, interval_s: float = 0.005) -> None:
+        self.interval_s = interval_s
+        self.counts: dict[str, int] = {}
+        self.samples = 0
+        self._target: int | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def __enter__(self) -> "PhaseSampler":
+        self._target = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            frame = sys._current_frames().get(self._target)
+            if frame is None:
+                continue
+            phase = "other"
+            walk = frame
+            while walk is not None:
+                filename = walk.f_code.co_filename.replace("\\", "/")
+                matched = next(
+                    (label for pat, label in _PHASE_PATTERNS if pat in filename),
+                    None,
+                )
+                if matched is not None:
+                    phase = matched
+                    break
+                walk = walk.f_back
+            self.counts[phase] = self.counts.get(phase, 0) + 1
+            self.samples += 1
+
+    def fractions(self) -> dict[str, float]:
+        """Phase -> fraction of samples (empty run yields all zeros)."""
+        total = self.samples
+        phases = sorted({label for _, label in _PHASE_PATTERNS} | {"other"})
+        return {
+            phase: (self.counts.get(phase, 0) / total if total else 0.0)
+            for phase in phases
+        }
+
+
+# -- report assembly ------------------------------------------------------
+def _breakdown_block(timelines: dict[int, RequestTimeline]) -> tuple[dict, dict]:
+    """All-request breakdowns + the aggregate block of the report."""
+    breakdowns: dict[int, dict] = {}
+    exact = 0
+    totals = {name: Fraction(0) for name in COMPONENTS}
+    for rid in sorted(timelines):
+        components = exact_breakdown(timelines[rid])
+        breakdowns[rid] = components
+        if verify_breakdown(components, timelines[rid]):
+            exact += 1
+        for name in COMPONENTS:
+            totals[name] += components[name]
+    grand = sum(totals.values(), Fraction(0))
+    block = {
+        "terminal": len(timelines),
+        "exact": exact,
+        "exact_fraction": exact / len(timelines) if timelines else 1.0,
+        "component_totals_s": {n: float(totals[n]) for n in COMPONENTS},
+        "component_share": {
+            n: (float(totals[n] / grand) if grand else 0.0) for n in COMPONENTS
+        },
+    }
+    return breakdowns, block
+
+
+def validate_latency_report(report: dict) -> list[str]:
+    """Schema + invariant check of ``LATENCY_report.json``."""
+    problems: list[str] = []
+    if report.get("schema") != LATENCY_SCHEMA:
+        problems.append(
+            f"schema is {report.get('schema')!r}, expected {LATENCY_SCHEMA!r}"
+        )
+    counts = report.get("counts")
+    if not isinstance(counts, dict):
+        problems.append("counts missing")
+    breakdown = report.get("breakdown")
+    if not isinstance(breakdown, dict):
+        return problems + ["breakdown missing"]
+    for key in ("terminal", "exact", "exact_fraction",
+                "component_totals_s", "component_share"):
+        if key not in breakdown:
+            problems.append(f"breakdown.{key} missing")
+    if breakdown.get("exact") != breakdown.get("terminal"):
+        problems.append(
+            f"breakdown not exact for every terminal request: "
+            f"{breakdown.get('exact')}/{breakdown.get('terminal')}"
+        )
+    for name in COMPONENTS:
+        value = breakdown.get("component_totals_s", {}).get(name)
+        if not isinstance(value, (int, float)) or value < 0:
+            problems.append(f"breakdown.component_totals_s.{name} missing/negative")
+    cp = report.get("critical_path")
+    if not isinstance(cp, dict):
+        problems.append("critical_path missing")
+    else:
+        if cp.get("top_component") not in CP_COMPONENTS:
+            problems.append("critical_path.top_component missing")
+        if not isinstance(cp.get("chains"), list):
+            problems.append("critical_path.chains missing")
+        elif counts and counts.get("completed", 0) > 0 and not cp["chains"]:
+            problems.append("critical_path.chains empty despite completions")
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict) or "histograms" not in metrics:
+        problems.append("metrics snapshot missing")
+    for key, result in (report.get("chaos") or {}).items():
+        if result.get("exact") != result.get("terminal"):
+            problems.append(
+                f"chaos.{key}: breakdown not exact "
+                f"({result.get('exact')}/{result.get('terminal')})"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m repro latency [--quick] [--check] [--seed N]``."""
+    import argparse
+
+    from ..gpu import get_gpu
+    from ..model.solver import solve
+    from ..serve.loadgen import run_load_test
+    from ..serve.service import ServeConfig
+    from .serving import ServeObserver
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro latency",
+        description="exact per-request latency attribution + critical path "
+                    "(see docs/observability.md)",
+    )
+    parser.add_argument("--requests", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument("--rate", type=float, default=150_000.0,
+                        help="open-loop arrival rate, requests/s (virtual)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: 200 requests unless --requests given")
+    parser.add_argument("--check", action="store_true",
+                        help="gate: fail on inexact breakdowns, schema "
+                             "problems, or history regressions; includes "
+                             "the chaos-scenario exactness sweep")
+    parser.add_argument("--chaos", action="store_true",
+                        help="verify exactness under the chaos scenarios "
+                             "even without --check")
+    parser.add_argument("--top-k", type=int, default=5,
+                        help="critical chains to include in the report")
+    parser.add_argument("--out", default="LATENCY_report.json")
+    parser.add_argument("--flight-log", default=None, metavar="PATH",
+                        help="dump the flight log (with latency_breakdown "
+                             "exemplar events) here")
+    parser.add_argument("--history", default="BENCH_history.jsonl", metavar="PATH")
+    parser.add_argument("--no-history", action="store_true")
+    args = parser.parse_args(argv)
+
+    requests = args.requests
+    if args.quick and "--requests" not in (argv or []):
+        requests = 200
+    config = ServeConfig()
+    observer = ServeObserver(infeasible_deadline_s=config.max_wait_s)
+    for name in set(config.devices):
+        solve(get_gpu(name))
+
+    wall_t0 = time.perf_counter()
+    with PhaseSampler() as sampler:
+        service, _responses = run_load_test(
+            requests, seed=args.seed, rate_rps=args.rate,
+            config=config, observer=observer,
+        )
+    wall_seconds = time.perf_counter() - wall_t0
+
+    timelines = timelines_from_observer(observer)
+    breakdowns, breakdown = _breakdown_block(timelines)
+    critical = critical_path_report(timelines, top_k=args.top_k)
+    registry = component_registry(observer, breakdowns)
+
+    chaos_results: dict[str, dict] = {}
+    if args.check or args.chaos:
+        from ..serve.chaos import run_scenario
+
+        for scenario in ("device-crash", "stall-hedge", "combined"):
+            _result, chaos_observer = run_scenario(
+                scenario, seed=args.seed, requests=120, rate_rps=args.rate
+            )
+            chaos_tl = timelines_from_observer(chaos_observer)
+            chaos_exact = sum(
+                verify_breakdown(exact_breakdown(tl), tl)
+                for tl in chaos_tl.values()
+            )
+            chaos_results[scenario] = {
+                "terminal": len(chaos_tl),
+                "exact": int(chaos_exact),
+            }
+
+    # worst-latency exemplars -> flight recorder (the p99 postmortem
+    # trail: `python -m repro postmortem <rid> --log ...` reprints them)
+    exemplars = sorted(
+        (rid for rid in timelines if timelines[rid].status == "completed"),
+        key=lambda rid: (-timelines[rid].latency_s, rid),
+    )[:5]
+    exemplar_block = []
+    for rid in exemplars:
+        tl = timelines[rid]
+        components = {n: float(breakdowns[rid][n]) for n in COMPONENTS}
+        observer.recorder.record(
+            "latency_breakdown", tl.terminal_at,
+            request_id=rid, components=components, latency_s=tl.latency_s,
+        )
+        exemplar_block.append({
+            "request_id": rid, "latency_s": tl.latency_s,
+            "components": components,
+        })
+
+    stats = service.stats()
+    report = {
+        "schema": LATENCY_SCHEMA,
+        "workload": {
+            "requests": requests, "seed": args.seed, "arrival": "poisson",
+            "rate_rps": args.rate, "quick": bool(args.quick),
+        },
+        "counts": {k: stats[k] for k in
+                   ("submitted", "completed", "rejected", "expired", "failed")},
+        "virtual_s": stats["virtual_s"],
+        "breakdown": breakdown,
+        "critical_path": critical,
+        "chaos": chaos_results,
+        "wall_phases": {
+            "samples": sampler.samples,
+            "interval_s": sampler.interval_s,
+            "fractions": sampler.fractions(),
+            "wall_seconds": wall_seconds,
+        },
+        "p99_exemplars": exemplar_block,
+        "metrics": registry.snapshot(),
+    }
+    problems = validate_latency_report(report)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    if args.flight_log:
+        from .export import run_manifest
+
+        observer.recorder.dump_jsonl(args.flight_log, manifest=run_manifest())
+        print(f"flight log: {len(observer.recorder.events())} events -> "
+              f"{args.flight_log}")
+
+    history_ok = True
+    if not args.no_history:
+        from .benchtrack import (
+            MetricSpec, append_record, check_metrics, format_check,
+            load_history, make_record,
+        )
+        from .export import run_manifest
+
+        metrics = {
+            "breakdown_exact_fraction": breakdown["exact_fraction"],
+            "breakdown_terminal": breakdown["terminal"],
+            "completed": report["counts"]["completed"],
+            "critical_top_share": critical["top_share"],
+            "wall_seconds": wall_seconds,
+        }
+        for phase, fraction in report["wall_phases"]["fractions"].items():
+            metrics[f"wall_phase_{phase}"] = fraction
+        if args.check:
+            specs = [
+                # deterministic virtual metrics: zero drift allowed
+                MetricSpec("breakdown_exact_fraction", "higher", 0.0),
+                MetricSpec("completed", "higher", 0.0),
+                MetricSpec("critical_top_share", "higher", 0.5, gate=False),
+                MetricSpec("wall_seconds", "lower", 1.0, gate=False),
+            ]
+            prior = load_history(args.history, kind="latency",
+                                 quick=bool(args.quick))
+            verdict = check_metrics(metrics, prior, specs)
+            print("history gate (vs latency series):")
+            print(format_check(verdict))
+            history_ok = verdict["ok"]
+        record = make_record("latency", metrics, quick=bool(args.quick),
+                             manifest=run_manifest())
+        append_record(args.history, record)
+        print(f"history: latency record appended to {args.history}")
+
+    counts = report["counts"]
+    print(
+        f"latency attribution: {counts['submitted']} submitted -> "
+        f"{breakdown['terminal']} terminal, {breakdown['exact']} exact "
+        f"breakdowns ({breakdown['exact_fraction']:.1%})"
+    )
+    share = breakdown["component_share"]
+    print("  virtual components: " + ", ".join(
+        f"{n} {share[n]:.1%}" for n in COMPONENTS if share[n] > 0
+    ))
+    print(
+        f"  critical path: top component {critical['top_component']} "
+        f"({critical['top_share']:.1%} of {critical['completed_chains']} "
+        f"chains)"
+    )
+    for scenario, result in chaos_results.items():
+        print(f"  chaos {scenario}: {result['exact']}/{result['terminal']} exact")
+    fractions = report["wall_phases"]["fractions"]
+    busiest = sorted(fractions.items(), key=lambda kv: (-kv[1], kv[0]))[:3]
+    print("  wall phases: " + ", ".join(
+        f"{phase} {fraction:.0%}" for phase, fraction in busiest
+    ) + f" ({sampler.samples} samples over {wall_seconds * 1e3:.0f} ms)")
+    if exemplar_block:
+        worst = exemplar_block[0]
+        print(f"  worst exemplar: request {worst['request_id']} at "
+              f"{worst['latency_s'] * 1e6:.1f} us (postmortem: python -m repro "
+              f"postmortem {worst['request_id']})")
+    if problems:
+        for problem in problems:
+            print(f"SCHEMA PROBLEM: {problem}")
+        return 1
+    if args.check and (
+        breakdown["exact"] != breakdown["terminal"]
+        or any(r["exact"] != r["terminal"] for r in chaos_results.values())
+        or not history_ok
+    ):
+        print("LATENCY CHECK FAILED")
+        return 1
+    print(f"report written to {args.out} (schema {LATENCY_SCHEMA})")
+    return 0
+
+
+# -- what-if engine -------------------------------------------------------
+#: default scaling scenarios: execution 20% faster, batching window
+#: halved, device queue depth doubled
+DEFAULT_SCENARIOS = ("exec:0.8", "window:0.5", "queue:2")
+
+#: predicted-vs-actual throughput tolerance (acceptance bar); the
+#: replay shares the engine and clock with the re-run, so observed
+#: error is 0 — the band absorbs a future non-virtual cost model
+THROUGHPUT_REL_TOL = 0.05
+
+
+def _scenario_config(base, spec: str):
+    """Scale one ``ServeConfig`` knob per a ``name:factor`` spec."""
+    name, _, factor_s = spec.partition(":")
+    factor = float(factor_s)
+    if factor <= 0:
+        raise ValueError(f"scenario factor must be positive: {spec!r}")
+    if name == "exec":
+        return replace(base, exec_time_scale=factor)
+    if name == "window":
+        return replace(base, max_wait_s=base.max_wait_s * factor)
+    if name == "queue":
+        return replace(
+            base, queue_capacity=max(int(round(base.queue_capacity * factor)), 0)
+        )
+    raise ValueError(
+        f"unknown what-if scenario {name!r} (use exec:/window:/queue:)"
+    )
+
+
+def _run_virtual(requests: int, seed: int, rate_rps: float, config,
+                 skip_math: bool):
+    """One seeded open-loop run; returns ``(service, observer)``."""
+    import numpy as np
+
+    from ..serve.loadgen import open_loop_arrivals
+    from ..serve.service import GemmService
+    from .serving import ServeObserver
+
+    rng = np.random.default_rng(seed)
+    observer = ServeObserver(infeasible_deadline_s=config.max_wait_s)
+    service = GemmService(config, observer=observer, skip_math=skip_math)
+    service.run(open_loop_arrivals(rng, requests, rate_rps, "poisson"))
+    return service, observer
+
+
+def _virtual_metrics(service, observer) -> dict:
+    """The virtual outcome metrics a what-if scenario predicts."""
+    from ..serve.loadgen import _latency_summary
+
+    stats = service.stats()
+    virtual_s = stats["virtual_s"]
+    latency = _latency_summary(service.latencies)
+    return {
+        "completed": stats["completed"],
+        "rejected": stats["rejected"],
+        "expired": stats["expired"],
+        "failed": stats["failed"],
+        "throughput_rps": stats["completed"] / virtual_s if virtual_s > 0 else 0.0,
+        "latency_p50_s": latency["p50"],
+        "latency_p99_s": latency["p99"],
+        "slo_compliance": 1.0
+        - observer.latency_monitor.summary()["bad_fraction"],
+        "virtual_s": virtual_s,
+    }
+
+
+def run_whatif(
+    requests: int = 400,
+    seed: int = 0,
+    rate_rps: float = 150_000.0,
+    scenarios: tuple[str, ...] = DEFAULT_SCENARIOS,
+) -> dict:
+    """Predict each scenario's effect by replay, then validate by re-run.
+
+    *Prediction* runs the real event loop with the scaled config but
+    ``skip_math=True`` (results are placeholders; virtual timing is
+    bit-identical because the engine's defer-math design guarantees
+    math never feeds back into the clock).  *Validation* re-runs the
+    same scaled config with the math on.  The baseline is run both ways
+    too — ``replay_consistent`` asserts the skip-math replay reproduces
+    the full run's virtual metrics exactly, which is what licenses
+    trusting the predictions.
+    """
+    from ..serve.service import ServeConfig
+
+    base = ServeConfig()
+    baseline_pred = _virtual_metrics(*_run_virtual(
+        requests, seed, rate_rps, base, skip_math=True))
+    baseline_actual = _virtual_metrics(*_run_virtual(
+        requests, seed, rate_rps, base, skip_math=False))
+    replay_consistent = baseline_pred == baseline_actual
+
+    results: dict[str, dict] = {}
+    for spec in scenarios:
+        config = _scenario_config(base, spec)
+        predicted = _virtual_metrics(*_run_virtual(
+            requests, seed, rate_rps, config, skip_math=True))
+        actual = _virtual_metrics(*_run_virtual(
+            requests, seed, rate_rps, config, skip_math=False))
+        rel_err = (
+            abs(predicted["throughput_rps"] - actual["throughput_rps"])
+            / actual["throughput_rps"]
+            if actual["throughput_rps"]
+            else abs(predicted["throughput_rps"])
+        )
+        results[spec] = {
+            "predicted": predicted,
+            "actual": actual,
+            "predicted_delta": {
+                k: predicted[k] - baseline_actual[k] for k in predicted
+            },
+            "actual_delta": {
+                k: actual[k] - baseline_actual[k] for k in actual
+            },
+            "throughput_rel_err": rel_err,
+            "validated": (
+                predicted["completed"] == actual["completed"]
+                and rel_err <= THROUGHPUT_REL_TOL
+            ),
+        }
+    return {
+        "schema": WHATIF_SCHEMA,
+        "workload": {
+            "requests": requests, "seed": seed, "arrival": "poisson",
+            "rate_rps": rate_rps,
+        },
+        "baseline": {
+            "predicted": baseline_pred,
+            "actual": baseline_actual,
+            "replay_consistent": replay_consistent,
+        },
+        "scenarios": results,
+        "validated": replay_consistent
+        and all(r["validated"] for r in results.values()),
+    }
+
+
+def validate_whatif_report(report: dict) -> list[str]:
+    """Schema + validation check of ``WHATIF_report.json``."""
+    problems: list[str] = []
+    if report.get("schema") != WHATIF_SCHEMA:
+        problems.append(
+            f"schema is {report.get('schema')!r}, expected {WHATIF_SCHEMA!r}"
+        )
+    scenarios = report.get("scenarios")
+    if not isinstance(scenarios, dict) or len(scenarios) < 3:
+        return problems + ["fewer than 3 what-if scenarios"]
+    baseline = report.get("baseline", {})
+    if baseline.get("replay_consistent") is not True:
+        problems.append("skip-math replay diverged from the full baseline run")
+    for spec, result in scenarios.items():
+        for key in ("predicted", "actual", "validated", "throughput_rel_err"):
+            if key not in result:
+                problems.append(f"{spec}: {key} missing")
+        if result.get("predicted", {}).get("completed") != result.get(
+            "actual", {}
+        ).get("completed"):
+            problems.append(f"{spec}: predicted completed count differs from re-run")
+        if result.get("throughput_rel_err", 1.0) > THROUGHPUT_REL_TOL:
+            problems.append(
+                f"{spec}: throughput prediction off by "
+                f"{result.get('throughput_rel_err', 1.0):.1%} (> "
+                f"{THROUGHPUT_REL_TOL:.0%})"
+            )
+    if not isinstance(report.get("validated"), bool):
+        problems.append("validated verdict missing")
+    return problems
+
+
+def whatif_main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m repro whatif [--scenarios exec:0.8,...]``."""
+    import argparse
+
+    from ..gpu import get_gpu
+    from ..model.solver import solve
+    from ..serve.service import ServeConfig
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro whatif",
+        description="Coz-style what-if speedup predictions over the serving "
+                    "engine, validated against actual re-runs",
+    )
+    parser.add_argument("--requests", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rate", type=float, default=150_000.0)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: 200 requests unless --requests given")
+    parser.add_argument("--scenarios", default=",".join(DEFAULT_SCENARIOS),
+                        help="comma-separated name:factor specs "
+                             "(exec:/window:/queue:)")
+    parser.add_argument("--out", default="WHATIF_report.json")
+    args = parser.parse_args(argv)
+
+    requests = args.requests
+    if args.quick and "--requests" not in (argv or []):
+        requests = 200
+    for name in set(ServeConfig().devices):
+        solve(get_gpu(name))
+    scenarios = tuple(s for s in args.scenarios.split(",") if s)
+    report = run_whatif(
+        requests=requests, seed=args.seed, rate_rps=args.rate,
+        scenarios=scenarios,
+    )
+    problems = validate_whatif_report(report)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+
+    base = report["baseline"]["actual"]
+    print(
+        f"what-if over seed-{args.seed} run ({requests} requests): baseline "
+        f"{base['completed']} completed, {base['throughput_rps'] / 1e3:.1f} "
+        f"k req/s, p99 {base['latency_p99_s'] * 1e6:.1f} us; replay "
+        f"{'consistent' if report['baseline']['replay_consistent'] else 'DIVERGED'}"
+    )
+    for spec, result in report["scenarios"].items():
+        pred, act = result["predicted_delta"], result["actual_delta"]
+        print(
+            f"  {spec:<12s} predicted: {pred['completed']:+d} completed, "
+            f"{pred['throughput_rps'] / 1e3:+.1f} k req/s, "
+            f"p99 {pred['latency_p99_s'] * 1e6:+.1f} us, "
+            f"SLO {pred['slo_compliance']:+.3f} | actual: "
+            f"{act['throughput_rps'] / 1e3:+.1f} k req/s "
+            f"(rel err {result['throughput_rel_err']:.2%}) -> "
+            f"{'VALIDATED' if result['validated'] else 'FAILED'}"
+        )
+    if problems:
+        for problem in problems:
+            print(f"VALIDATION PROBLEM: {problem}")
+        return 1
+    print(f"report written to {args.out} (schema {WHATIF_SCHEMA}, "
+          f"{len(report['scenarios'])} scenarios validated)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -83,6 +83,11 @@ class ServeObserver:
         self.terminals: dict[int, dict] = {}
         self.batches: dict[int, dict] = {}
         self.request_batch: dict[int, int] = {}
+        #: recovery-span chain accounting (retry/hedge/requeue events
+        #: observed, and how many of them linked to a known batch) —
+        #: the chaos-run analogue of :meth:`chain_report`
+        self.recovery_events = 0
+        self.recovery_linked = 0
         #: fleet occupancy counter series: (t, queue_depth,
         #: healthy_devices, executing_batches), change-compressed —
         #: rendered as Chrome-trace counter tracks ("ph": "C")
@@ -125,7 +130,12 @@ class ServeObserver:
             batch.batch_id,
             {"formed_at": batch.created_at, "kernel": batch.decision.kernel,
              "size": batch.size, "request_ids": [r.request_id for r in batch.requests],
-             "device": None, "exec_start": None, "exec_end": None},
+             "device": None, "exec_start": None, "exec_end": None,
+             # full event history (latency attribution reads these;
+             # the scalar exec_* fields above keep last-wins semantics
+             # for the Chrome trace)
+             "dispatched_at": now, "execs": [], "dispatches": [],
+             "retries": [], "hedges": [], "requeues": []},
         )
         for request in batch.requests:
             self.request_batch[request.request_id] = batch.batch_id
@@ -142,6 +152,7 @@ class ServeObserver:
         entry = self.batches.get(batch.batch_id)
         if entry is not None:
             entry["device"] = device
+            entry["dispatches"].append((now, device))
         self.recorder.record("dispatch", now, batch_id=batch.batch_id, device=device)
 
     def on_backpressure(self, now: float, batch) -> None:
@@ -160,6 +171,7 @@ class ServeObserver:
             entry["exec_end"] = end
             # expiry at batch start shrinks the executing membership
             entry["size"] = batch.size
+            entry["execs"].append((start, end, device))
         self.recorder.record(
             "exec", now,
             batch_id=batch.batch_id,
@@ -204,6 +216,7 @@ class ServeObserver:
     def on_retry(
         self, now: float, batch, attempt: int, delay_s: float, reason: str
     ) -> None:
+        self._link_recovery(batch, "retries", (now, delay_s))
         self.recorder.record(
             "retry", now,
             batch_id=batch.batch_id,
@@ -214,14 +227,29 @@ class ServeObserver:
         )
 
     def on_hedge(self, now: float, batch, device: str) -> None:
+        self._link_recovery(batch, "hedges", (now, device))
         self.recorder.record(
             "hedge", now, batch_id=batch.batch_id, device=device, size=batch.size
         )
 
     def on_requeue(self, now: float, batch, device: str) -> None:
+        self._link_recovery(batch, "requeues", (now, device))
         self.recorder.record(
             "requeue", now, batch_id=batch.batch_id, device=device, size=batch.size
         )
+
+    def _link_recovery(self, batch, history: str, event: tuple) -> None:
+        """Attach one recovery event to its batch's lifecycle entry.
+
+        An event whose batch the observer has never seen form is
+        *unlinked* — it cannot be attributed to any request chain, which
+        :meth:`recovery_chain_report` surfaces as lost coverage.
+        """
+        self.recovery_events += 1
+        entry = self.batches.get(batch.batch_id)
+        if entry is not None:
+            self.recovery_linked += 1
+            entry[history].append(event)
 
     def on_degrade(self, now: float, request, decision, fallback_slo: float) -> None:
         self.recorder.record(
@@ -239,7 +267,7 @@ class ServeObserver:
         rid = request.request_id
         self.terminals[rid] = {
             "t": now, "status": status, "reason": response.reason,
-            "latency_s": response.latency_s,
+            "latency_s": response.latency_s, "device": response.device,
         }
         if status == "completed":
             self.recorder.record(
@@ -331,6 +359,26 @@ class ServeObserver:
             "completed": len(completed),
             "complete_chains": complete_chains,
             "coverage": complete_chains / len(completed) if completed else 1.0,
+        }
+
+    def recovery_chain_report(self) -> dict:
+        """Chain linkage of recovery spans (retry/hedge/requeue).
+
+        Chaos runs only yield exact latency breakdowns when every
+        recovery event attributes to a batch whose formation the
+        observer saw — the chaos campaign asserts coverage >= 0.99,
+        mirroring the admission-chain gate on the smoke run.  Reported
+        separately from :meth:`chain_report` so the byte-pinned
+        ``trace_chain`` block of ``SERVE_slo.json`` is untouched.
+        """
+        return {
+            "events": self.recovery_events,
+            "linked": self.recovery_linked,
+            "coverage": (
+                self.recovery_linked / self.recovery_events
+                if self.recovery_events
+                else 1.0
+            ),
         }
 
     # -- SLO summary -------------------------------------------------------

@@ -242,6 +242,7 @@ class DynamicBatcher:
         bucket = self._buckets.pop(key)
         slots = bucket.slots[: bucket.count].copy()
         self.table.state[slots] = RequestState.BATCHED
+        self.table.batched_at[slots] = now
         batch = Batch(
             key=key,
             decision=bucket.decision,

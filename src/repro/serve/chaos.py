@@ -285,6 +285,12 @@ def run_scenario(
                 degraded_violations += 1
 
     faults_fired = len(service.fleet_log) >= len(schedule.faults)
+    # span-chain coverage under fault injection: the admission chain
+    # gate CI applies to the smoke run, extended to chaos runs, plus
+    # linkage of every recovery span (retry/hedge/requeue) to a batch
+    # the observer saw form — what keeps latency breakdowns exact here
+    chain = observer.chain_report()
+    recovery_chain = observer.recovery_chain_report()
     invariants = {
         "accounting_exact": accounting_exact,
         "silent_drops": silent_drops,
@@ -292,6 +298,8 @@ def run_scenario(
         "degraded_completions": degraded_completions,
         "degraded_violations": degraded_violations,
         "faults_fired": faults_fired,
+        "chain_coverage": chain["coverage"],
+        "recovery_chain_coverage": recovery_chain["coverage"],
     }
     result = {
         "scenario": name,
@@ -305,6 +313,8 @@ def run_scenario(
         "recovery": stats["recovery"],
         "brownout": stats.get("brownout", {}),
         "virtual_s": stats["virtual_s"],
+        "trace_chain": chain,
+        "recovery_chain": recovery_chain,
         "invariants": invariants,
         "pass": (
             accounting_exact
@@ -312,6 +322,8 @@ def run_scenario(
             and bit_mismatches == 0
             and degraded_violations == 0
             and faults_fired
+            and chain["coverage"] >= 0.99
+            and recovery_chain["coverage"] >= 0.99
         ),
     }
     return result, observer
@@ -428,6 +440,14 @@ def validate_chaos_report(report: dict) -> list[str]:
                 f"{key}: {invariants['degraded_violations']} degraded "
                 f"completions violate the fallback contract"
             )
+        # chain coverage is optional (absent from pre-attribution
+        # reports) but gates when present: breakdowns are only exact
+        # under fault injection if the span chains stay linked
+        for field in ("chain_coverage", "recovery_chain_coverage"):
+            if field in invariants and invariants[field] < 0.99:
+                problems.append(
+                    f"{key}: invariants.{field} {invariants[field]:.3f} < 0.99"
+                )
         if "pass" not in result:
             problems.append(f"{key}: pass verdict missing")
     summary = report.get("summary")

@@ -107,6 +107,11 @@ class BrownoutController:
         self.degraded = 0
         self.entered_at = 0.0
         self.brownout_s = 0.0
+        #: timestamped state-change log ``(virtual_t, active)`` — the
+        #: event record the latency-attribution layer joins degradation
+        #: windows against (brownout routing changes which kernel a
+        #: request's execution time was priced on)
+        self.transitions: list[tuple[float, bool]] = []
         self._last_latched = float("-inf")
 
     def update(self, now: float) -> bool:
@@ -118,9 +123,11 @@ class BrownoutController:
                 self.active = True
                 self.activations += 1
                 self.entered_at = now
+                self.transitions.append((now, True))
         elif self.active and now >= self._last_latched + self.config.hold_s:
             self.active = False
             self.brownout_s += now - self.entered_at
+            self.transitions.append((now, False))
         return self.active
 
     def fallback_slo(self, request) -> float:
@@ -141,6 +148,7 @@ class BrownoutController:
             "activations": self.activations,
             "degraded": self.degraded,
             "brownout_s": self.brownout_s,
+            "transitions": len(self.transitions),
             "fallback_max_rel_error": self.config.fallback_max_rel_error,
             "hold_s": self.config.hold_s,
         }

@@ -87,12 +87,19 @@ class ServeConfig:
     #: execution stays on the static menu kernels).  None = static
     #: pricing, byte-identical to the pre-tuning service
     tuning_db: str | None = None
+    #: virtual execution-time multiplier (``python -m repro whatif``'s
+    #: "execution X% faster/slower" knob).  The default 1.0 skips the
+    #: multiply entirely, so a config without the knob prices — and
+    #: reports — byte-identically to the pre-whatif service
+    exec_time_scale: float = 1.0
 
     def __post_init__(self) -> None:
         if self.max_in_flight < 1:
             raise ValueError("max_in_flight must be at least 1")
         if self.queue_capacity < 0:
             raise ValueError("queue_capacity must be non-negative")
+        if not self.exec_time_scale > 0.0:
+            raise ValueError("exec_time_scale must be positive")
 
 
 # -- process-wide stats provider (the split-cache idiom) -----------------
@@ -179,9 +186,18 @@ class GemmService:
         defer_math: bool | None = None,
         chaos=None,
         accuracy_sampler=None,
+        skip_math: bool = False,
     ):
         self.config = config or ServeConfig()
         self.observer = observer
+        #: Coz-style what-if replay flag (``python -m repro whatif``):
+        #: skip the bit-accurate products entirely and resolve completed
+        #: responses with placeholder results.  Virtual timing, routing,
+        #: batching, and every observer callback are independent of the
+        #: math by construction (the deferred-math path relies on the
+        #: same property), so a skip-math replay's counts, latencies,
+        #: and flight log are identical to a full run's.
+        self.skip_math = skip_math
         #: a :class:`repro.obs.accuracy.AccuracySampler` (or None).  The
         #: ``REPRO_ACCURACY_SAMPLE`` environment variable (a rate in
         #: (0, 1]) enables shadow sampling without code changes.  The
@@ -634,7 +650,11 @@ class GemmService:
         decision = batch.decision
         if seconds != decision.seconds:
             decision = replace(decision, seconds=seconds)
-        return decision.batch_seconds(batch.size)
+        service_s = decision.batch_seconds(batch.size)
+        scale = self.config.exec_time_scale
+        if scale != 1.0:
+            service_s *= scale
+        return service_s
 
     def _advance(self, device: DeviceWorker) -> None:
         """Pull the device's next batch: own queue first, then steal."""
@@ -867,6 +887,16 @@ class GemmService:
         execution captures raised during the math carry this span's id,
         which is the join key back to the batch in a postmortem.
         """
+        if self.skip_math:
+            # what-if replay: resolve with placeholder results at the
+            # same virtual instants a full run would — nothing below
+            # this point affects timing, only response payloads
+            for i, request in enumerate(batch.requests):
+                self._resolve_complete(
+                    request, batch, device, None, service_s, [],
+                    slot=int(batch.slots[i]),
+                )
+            return
         kernel = self.router.kernels[batch.decision.kernel]
         if self._defer_active and not batch.decision.reliable:
             gemm = getattr(kernel, "_gemm", None)

@@ -51,6 +51,12 @@ class RequestTable:
         self.priority = np.zeros(capacity, dtype=np.int64)
         #: virtual submission timestamp
         self.submitted_at = np.zeros(capacity, dtype=np.float64)
+        #: virtual time the slot's request entered a formed batch
+        #: (NaN while still queued) — the boundary the latency
+        #: attribution layer (:mod:`repro.obs.latency`) splits a live
+        #: request's wait at: before it is batching window, after it is
+        #: queue/execution time
+        self.batched_at = np.full(capacity, np.nan, dtype=np.float64)
         #: (m, k, n) shape key of the GEMM problem
         self.shape_mkn = np.zeros((capacity, 3), dtype=np.int64)
         #: RequestState per slot
@@ -82,6 +88,7 @@ class RequestTable:
         self.state[slot] = RequestState.QUEUED
         self.attempts[slot] = 0
         self.hedged[slot] = 0
+        self.batched_at[slot] = np.nan
         self._requests[slot] = request
         return slot
 
@@ -92,6 +99,7 @@ class RequestTable:
         self.deadline_at[slot] = np.inf
         self.attempts[slot] = 0
         self.hedged[slot] = 0
+        self.batched_at[slot] = np.nan
         tail = (self._head + self._free_count) % self.capacity
         self._free[tail] = slot
         self._free_count += 1
@@ -104,6 +112,9 @@ class RequestTable:
             grown = np.zeros(new, dtype=column.dtype)
             grown[:old] = column
             setattr(self, name, grown)
+        batched = np.full(new, np.nan, dtype=np.float64)
+        batched[:old] = self.batched_at
+        self.batched_at = batched
         deadline = np.full(new, np.inf, dtype=np.float64)
         deadline[:old] = self.deadline_at
         self.deadline_at = deadline

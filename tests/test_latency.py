@@ -1,0 +1,285 @@
+"""Latency attribution: exact breakdowns, critical path, what-if engine.
+
+Covers the acceptance contract of ``repro.obs.latency``:
+
+* **exactness** — every terminal request's breakdown components are
+  disjoint, non-negative, and sum *exactly* (``==`` on the virtual
+  clock, no tolerance) to the engine's own ``latency_s``, on plain
+  seeded load tests and across seeds × chaos scenarios (hypothesis
+  property);
+* **critical path** — byte-stable output for a fixed seed, chains
+  cover completed requests, shares sum to 1;
+* **what-if** — the skip-math replay reproduces the full run's virtual
+  metrics exactly, and a scaled-scenario prediction validates against
+  its actual re-run (completed exact, throughput within the band);
+* **plumbing** — per-SLO-tier component histograms survive the
+  OpenMetrics round trip, the flight log reconstructs the same exact
+  breakdown the observer computes, the ``latency_breakdown`` exemplar
+  event validates, the live SoA in-flight snapshot drains to zero, and
+  ``ServeConfig(exec_time_scale=1.0)`` stays byte-identical to the
+  default config.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.latency import (
+    COMPONENTS,
+    breakdown_from_flight,
+    component_registry,
+    critical_path_report,
+    exact_breakdown,
+    format_breakdown,
+    inflight_snapshot,
+    run_whatif,
+    timelines_from_flight,
+    timelines_from_observer,
+    validate_whatif_report,
+    verify_breakdown,
+)
+from repro.obs.serving import ServeObserver
+from repro.serve.loadgen import make_request, run_load_test
+from repro.serve.service import GemmService, ServeConfig
+
+
+def _observed_run(requests=120, seed=0, config=None, **kwargs):
+    config = config if config is not None else ServeConfig()
+    observer = ServeObserver(infeasible_deadline_s=config.max_wait_s)
+    service, responses = run_load_test(
+        requests, seed=seed, config=config, observer=observer, **kwargs
+    )
+    return service, observer, responses
+
+
+class TestExactBreakdown:
+    def test_every_terminal_request_sums_exactly(self):
+        _service, observer, responses = _observed_run(150)
+        timelines = timelines_from_observer(observer)
+        assert len(timelines) == len(responses)
+        statuses = set()
+        for rid, tl in timelines.items():
+            components = exact_breakdown(tl)
+            assert set(components) == set(COMPONENTS)
+            assert verify_breakdown(components, tl), (rid, tl.status)
+            # the invariant spelled out: Fraction equality AND float
+            # equality against the engine's own latency
+            total = sum(components.values(), Fraction(0))
+            assert float(total) == responses[rid].latency_s
+            statuses.add(tl.status)
+        # the seeded mix exercises more than one terminal status
+        assert "completed" in statuses and len(statuses) >= 2
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(0, 999),
+        scenario=st.sampled_from((
+            "baseline", "device-crash", "stall-hedge", "queue-storm",
+            "combined", "blackout-recovery",
+        )),
+    )
+    def test_exact_across_seeds_and_chaos(self, seed, scenario):
+        from repro.serve.chaos import run_scenario
+
+        _result, observer = run_scenario(scenario, seed=seed, requests=60)
+        timelines = timelines_from_observer(observer)
+        assert timelines
+        for tl in timelines.values():
+            components = exact_breakdown(tl)
+            assert all(v >= 0 for v in components.values())
+            assert verify_breakdown(components, tl), (scenario, seed, tl)
+
+    def test_recovery_components_appear_under_chaos(self):
+        from repro.serve.chaos import run_scenario
+
+        _result, observer = run_scenario("combined", seed=0, requests=150)
+        timelines = timelines_from_observer(observer)
+        backoff = sum(
+            exact_breakdown(tl)["retry_backoff"] for tl in timelines.values()
+        )
+        assert backoff > 0
+
+    def test_chaos_runs_keep_chain_coverage(self):
+        from repro.serve.chaos import run_scenario
+
+        result, observer = run_scenario("combined", seed=0, requests=150)
+        assert result["invariants"]["chain_coverage"] >= 0.99
+        assert result["invariants"]["recovery_chain_coverage"] >= 0.99
+        chain = observer.recovery_chain_report()
+        assert chain["events"] > 0 and chain["linked"] == chain["events"]
+
+
+class TestCriticalPath:
+    def test_byte_stable_for_fixed_seed(self):
+        blobs = []
+        for _ in range(2):
+            _service, observer, _ = _observed_run(120)
+            report = critical_path_report(timelines_from_observer(observer))
+            blobs.append(json.dumps(report, sort_keys=True))
+        assert blobs[0] == blobs[1]
+
+    def test_chains_and_shares(self):
+        service, observer, _ = _observed_run(150)
+        report = critical_path_report(timelines_from_observer(observer))
+        assert report["completed_chains"] == service.completed
+        assert report["chains"], "no critical chains despite completions"
+        shares = report["component_share"]
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+        assert report["top_component"] in shares
+        assert report["top_share"] == shares[report["top_component"]]
+        for chain in report["chains"]:
+            # segments are chronological and non-overlapping
+            cursor = chain["root_t"]
+            for segment in chain["segments"]:
+                assert segment["start"] >= cursor
+                assert segment["end"] > segment["start"]
+                cursor = segment["end"]
+            assert cursor <= chain["terminal_t"]
+
+
+class TestWhatIf:
+    def test_skip_math_replay_is_virtually_identical(self):
+        config = ServeConfig()
+        runs = []
+        for skip in (False, True):
+            rng = np.random.default_rng(0)
+            service = GemmService(config, skip_math=skip)
+            from repro.serve.loadgen import open_loop_arrivals
+
+            service.run(open_loop_arrivals(rng, 100, 150_000.0, "poisson"))
+            runs.append(service)
+        full, replay = runs
+        assert replay.completed == full.completed
+        assert replay.latencies == full.latencies
+        assert replay.now == full.now
+
+    def test_prediction_validates_against_rerun(self):
+        report = run_whatif(requests=80, scenarios=("exec:0.8",))
+        assert report["baseline"]["replay_consistent"]
+        result = report["scenarios"]["exec:0.8"]
+        assert result["validated"]
+        assert (result["predicted"]["completed"]
+                == result["actual"]["completed"])
+        assert result["throughput_rel_err"] <= 0.05
+        # faster execution can only help p99 on this workload
+        assert result["actual_delta"]["latency_p99_s"] <= 0.0
+
+    def test_report_schema(self):
+        report = run_whatif(requests=60)
+        assert validate_whatif_report(report) == []
+        assert len(report["scenarios"]) == 3
+        assert report["validated"]
+
+    def test_exec_time_scale_default_is_byte_identical(self):
+        responses = []
+        for config in (ServeConfig(), ServeConfig(exec_time_scale=1.0)):
+            _service, _observer, resp = _observed_run(80, config=config)
+            responses.append(resp)
+        a, b = responses
+        assert set(a) == set(b)
+        for rid in a:
+            assert a[rid].latency_s == b[rid].latency_s
+            assert a[rid].status == b[rid].status
+            if a[rid].ok:
+                assert a[rid].d.tobytes() == b[rid].d.tobytes()
+
+    def test_exec_time_scale_validation(self):
+        with pytest.raises(ValueError):
+            ServeConfig(exec_time_scale=0.0)
+
+
+class TestPlumbing:
+    def test_histograms_round_trip_openmetrics(self):
+        from repro.obs.export import openmetrics_text, parse_openmetrics
+
+        _service, observer, _ = _observed_run(100)
+        timelines = timelines_from_observer(observer)
+        breakdowns = {rid: exact_breakdown(tl) for rid, tl in timelines.items()}
+        registry = component_registry(observer, breakdowns)
+        snapshot = registry.snapshot()
+        names = [n for n in snapshot["histograms"]
+                 if n.startswith("serve.latency.component.")]
+        assert names, "no per-tier component histograms recorded"
+        assert any(".execution" in n for n in names)
+        parsed = parse_openmetrics(openmetrics_text(snapshot))
+        for name in names:
+            sanitized = name.replace(".", "_")
+            assert parsed["histograms"][sanitized]["count"] == (
+                snapshot["histograms"][name]["count"]
+            )
+
+    def test_flight_log_reconstructs_same_breakdown(self, tmp_path):
+        from repro.obs.flight import load_flight_log, validate_flight_log
+
+        _service, observer, _ = _observed_run(100)
+        timelines = timelines_from_observer(observer)
+        path = tmp_path / "flight.jsonl"
+        observer.recorder.dump_jsonl(path)
+        records = load_flight_log(path)
+        assert validate_flight_log(records) == []
+        flight_timelines = timelines_from_flight(records)
+        assert set(flight_timelines) == set(timelines)
+        for rid, tl in timelines.items():
+            from_flight = breakdown_from_flight(records, rid)
+            assert from_flight is not None
+            components, flight_tl = from_flight
+            assert components == exact_breakdown(tl)
+            assert verify_breakdown(components, flight_tl)
+
+    def test_latency_breakdown_event_validates(self, tmp_path):
+        from repro.obs.flight import load_flight_log, validate_flight_log
+
+        _service, observer, _ = _observed_run(60)
+        timelines = timelines_from_observer(observer)
+        rid = next(r for r in sorted(timelines)
+                   if timelines[r].status == "completed")
+        tl = timelines[rid]
+        components = exact_breakdown(tl)
+        observer.recorder.record(
+            "latency_breakdown", tl.terminal_at, request_id=rid,
+            components={n: float(v) for n, v in components.items()},
+            latency_s=tl.latency_s,
+        )
+        path = tmp_path / "flight.jsonl"
+        observer.recorder.dump_jsonl(path)
+        records = load_flight_log(path)
+        assert validate_flight_log(records) == []
+        kinds = [e["kind"] for e in records]
+        assert "latency_breakdown" in kinds
+        table = format_breakdown(rid, components, tl)
+        assert f"request {rid}" in table and "total (exact)" in table
+        assert "exact=True" in table
+
+    def test_inflight_snapshot_live_and_drained(self):
+        rng = np.random.default_rng(0)
+        service = GemmService(ServeConfig())
+        for _ in range(4):
+            service.submit(make_request(rng))
+        live = inflight_snapshot(service)
+        assert live["in_flight"] > 0
+        assert live["components"]["batching_window"] >= 0.0
+        service.run(())
+        drained = inflight_snapshot(service)
+        assert drained["in_flight"] == 0
+        assert drained["components"]["batching_window"] == 0.0
+        assert drained["components"]["post_batch"] == 0.0
+
+    def test_batched_at_column_lifecycle(self):
+        _service, observer, _ = _observed_run(60)
+        table = _service.table if hasattr(_service, "table") else None
+        # after a drained run every slot is free and the stamp cleared
+        assert table is not None
+        assert np.all(np.isnan(table.batched_at[: table.capacity]))
+
+    def test_brownout_transitions_logged(self):
+        from repro.serve.chaos import run_scenario
+
+        result, _observer = run_scenario("overload-brownout", seed=0,
+                                         requests=150)
+        assert result["brownout"]["activations"] >= 1
+        assert result["brownout"]["transitions"] >= 1
